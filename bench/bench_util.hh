@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Shared helpers of the figure/table benches: system construction from
+ * flags, functional spot verification, and header printing. Every bench
+ * binary reproduces one table or figure of the paper (see DESIGN.md's
+ * per-experiment index) and prints its rows through util/table.hh.
+ */
+
+#ifndef UNINTT_BENCH_BENCH_UTIL_HH
+#define UNINTT_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <string>
+
+#include "field/field_traits.hh"
+#include "ntt/radix2.hh"
+#include "sim/multi_gpu.hh"
+#include "unintt/engine.hh"
+#include "util/logging.hh"
+#include "util/random.hh"
+
+namespace unintt {
+
+/** Print the standard bench banner. */
+inline void
+benchHeader(const std::string &experiment, const std::string &what)
+{
+    std::printf("==============================================================\n");
+    std::printf("%s: %s\n", experiment.c_str(), what.c_str());
+    std::printf("==============================================================\n");
+}
+
+/**
+ * Functional spot check: run the engine at a small size and compare
+ * with the host reference, so every bench certifies the simulated
+ * algorithm actually computes NTTs before printing numbers.
+ */
+template <NttField F>
+bool
+verifyEngine(const MultiGpuSystem &sys, unsigned logN)
+{
+    Rng rng(12345);
+    std::vector<F> x(1ULL << logN);
+    for (auto &v : x)
+        v = F::fromU64(rng.next());
+    auto expect = x;
+    nttNoPermute(expect, NttDirection::Forward);
+
+    UniNttEngine<F> engine(sys);
+    auto dist = DistributedVector<F>::fromGlobal(x, sys.numGpus);
+    engine.forward(dist);
+    return dist.toGlobal() == expect;
+}
+
+/** Print the verification line (and abort the bench on failure). */
+template <NttField F>
+void
+verifyOrDie(const MultiGpuSystem &sys, unsigned logN = 12)
+{
+    if (!verifyEngine<F>(sys, logN))
+        fatal("functional verification FAILED on %s",
+              sys.description().c_str());
+    std::printf("functional verification (2^%u on %s): OK\n\n", logN,
+                sys.description().c_str());
+}
+
+} // namespace unintt
+
+#endif // UNINTT_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Figure 8: multi-GPU strong scaling of UniNTT. For each transform
+ * size, prints the simulated time at 1/2/4/8 GPUs, the speedup over
+ * one GPU and the parallel efficiency, on both the NVSwitch and PCIe
+ * fabrics.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+#include "field/goldilocks.hh"
+#include "util/stats.hh"
+#include "util/table.hh"
+
+int
+main()
+{
+    using namespace unintt;
+    using F = Goldilocks;
+    benchHeader("Figure 8", "multi-GPU strong scaling of UniNTT");
+    verifyOrDie<F>(makeDgxA100(8));
+
+    struct FabricChoice
+    {
+        const char *name;
+        Interconnect fabric;
+    };
+    const FabricChoice fabrics[] = {
+        {"nvswitch", makeNvSwitchFabric()},
+        {"pcie", makePcieFabric()},
+    };
+
+    for (const auto &fc : fabrics) {
+        Table t({"fabric", "log2(N)", "GPUs", "time", "speedup vs 1 GPU",
+                 "efficiency"});
+        for (unsigned logN : {20u, 24u, 28u}) {
+            double t1 = 0;
+            for (unsigned gpus : {1u, 2u, 4u, 8u}) {
+                MultiGpuSystem sys{makeA100(), fc.fabric, gpus};
+                UniNttEngine<F> engine(sys);
+                double s = engine.analyticRun(logN, NttDirection::Forward)
+                               .totalSeconds();
+                if (gpus == 1)
+                    t1 = s;
+                double speedup = t1 / s;
+                t.addRow({fc.name, std::to_string(logN),
+                          std::to_string(gpus), formatSeconds(s),
+                          fmtX(speedup),
+                          fmtF(speedup / gpus * 100, 1) + "%"});
+            }
+            t.addSeparator();
+        }
+        t.print();
+        std::printf("\n");
+    }
+    return 0;
+}

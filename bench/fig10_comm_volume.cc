@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Figure 10: inter-GPU communication of UniNTT versus the four-step
+ * baseline: bytes each GPU puts on the fabric, message counts, and the
+ * visible (non-overlapped) communication time. UniNTT moves
+ * log2(G) * chunk bytes in large contiguous pairwise messages that
+ * overlap with compute; four-step moves ~2 * chunk bytes but as
+ * congested all-to-all rounds that cannot be hidden.
+ */
+
+#include <cstdio>
+
+#include "baselines/fourstep_multigpu.hh"
+#include "bench/bench_util.hh"
+#include "field/goldilocks.hh"
+#include "util/stats.hh"
+#include "util/table.hh"
+
+int
+main()
+{
+    using namespace unintt;
+    using F = Goldilocks;
+    benchHeader("Figure 10", "inter-GPU communication volume and time");
+    verifyOrDie<F>(makeDgxA100(4));
+
+    for (auto fabric : {makeNvSwitchFabric(), makePcieFabric()}) {
+        Table t({"fabric", "GPUs", "log2(N)", "algo", "bytes/GPU",
+                 "messages", "visible comm", "hidden comm",
+                 "comm share"});
+        for (unsigned gpus : {2u, 4u, 8u}) {
+            for (unsigned logN : {24u, 28u}) {
+                MultiGpuSystem sys{makeA100(), fabric, gpus};
+                UniNttEngine<F> uni(sys);
+                FourStepMultiGpuNtt<F> four(sys);
+
+                auto ru = uni.analyticRun(logN, NttDirection::Forward);
+                auto rf = four.analyticRun(logN, NttDirection::Forward);
+
+                auto hidden = [](const SimReport &r) {
+                    double h = 0;
+                    for (const auto &p : r.phases())
+                        h += p.hiddenSeconds;
+                    return h;
+                };
+                auto row = [&](const char *algo, const SimReport &r) {
+                    t.addRow({toString(fabric.kind), std::to_string(gpus),
+                              std::to_string(logN), algo,
+                              formatBytes(static_cast<double>(
+                                  r.totalCommStats().bytesPerGpu)),
+                              std::to_string(r.totalCommStats().messages),
+                              formatSeconds(r.commSeconds()),
+                              formatSeconds(hidden(r)),
+                              fmtF(r.commSeconds() / r.totalSeconds() *
+                                       100, 1) + "%"});
+                };
+                row("UniNTT", ru);
+                row("four-step", rf);
+            }
+            t.addSeparator();
+        }
+        t.print();
+        std::printf("\n");
+    }
+    return 0;
+}

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Figure 11: ablation of the uniform optimizations. Starting from the
+ * full configuration, each optimization is disabled in isolation (and
+ * all together) at a fixed size, showing its contribution at the level
+ * it targets — and that the same optimization matters at more than one
+ * level, the paper's generalization claim.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+#include "field/goldilocks.hh"
+#include "util/stats.hh"
+#include "util/table.hh"
+
+namespace unintt {
+namespace {
+
+struct Variant
+{
+    const char *name;
+    const char *level;
+    UniNttConfig cfg;
+};
+
+} // namespace
+} // namespace unintt
+
+int
+main()
+{
+    using namespace unintt;
+    using F = Goldilocks;
+    benchHeader("Figure 11", "optimization ablation (2^26, 4 GPUs)");
+    verifyOrDie<F>(makeDgxA100(4));
+
+    const unsigned logN = 26;
+
+    auto cfg_without = [](void (*off)(UniNttConfig &)) {
+        UniNttConfig c = UniNttConfig::allOn();
+        off(c);
+        return c;
+    };
+
+    const Variant variants[] = {
+        {"full UniNTT", "-", UniNttConfig::allOn()},
+        {"- twiddle fusion", "all levels",
+         cfg_without([](UniNttConfig &c) { c.fuseTwiddles = false; })},
+        {"- on-the-fly twiddles", "warp/block",
+         cfg_without([](UniNttConfig &c) {
+             c.onTheFlyTwiddles = false;
+             c.autoTuneTwiddles = false;
+         })},
+        {"- padded smem", "block",
+         cfg_without([](UniNttConfig &c) {
+             c.paddedSmem = false;
+             c.warpShuffle = false; // padding matters on the smem path
+         })},
+        {"- warp shuffle", "warp",
+         cfg_without([](UniNttConfig &c) { c.warpShuffle = false; })},
+        {"- comm overlap", "multi-GPU",
+         cfg_without([](UniNttConfig &c) { c.overlapComm = false; })},
+        {"all optimizations off", "-", UniNttConfig::allOff()},
+    };
+
+    for (auto fabric : {makeNvSwitchFabric(), makePcieFabric()}) {
+        MultiGpuSystem sys{makeA100(), fabric, 4};
+        UniNttEngine<F> full(sys);
+        double base =
+            full.analyticRun(logN, NttDirection::Forward).totalSeconds();
+
+        Table t({"configuration", "level targeted", "time", "slowdown"});
+        std::printf("fabric: %s\n", toString(fabric.kind));
+        for (const auto &v : variants) {
+            UniNttEngine<F> engine(sys, v.cfg);
+            double s = engine.analyticRun(logN, NttDirection::Forward)
+                           .totalSeconds();
+            t.addRow({v.name, v.level, formatSeconds(s),
+                      fmtX(s / base)});
+        }
+        t.print();
+        std::printf("\n");
+    }
+    return 0;
+}

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Figure 12: batched NTT throughput. ZKP provers transform many
+ * polynomials of the same size; batching amortizes kernel launches and
+ * exchange latencies. Prints aggregate throughput versus batch size
+ * for UniNTT and the naive baseline (which launches per transform).
+ */
+
+#include <cstdio>
+
+#include "baselines/naive_gpu.hh"
+#include "bench/bench_util.hh"
+#include "field/goldilocks.hh"
+#include "util/stats.hh"
+#include "util/table.hh"
+
+int
+main()
+{
+    using namespace unintt;
+    using F = Goldilocks;
+    benchHeader("Figure 12", "batched NTT throughput");
+    verifyOrDie<F>(makeDgxA100(4));
+
+    auto sys = makeDgxA100(4);
+    UniNttEngine<F> unintt(sys);
+    NaiveGpuNtt<F> naive(sys.gpu);
+
+    Table t({"log2(N)", "batch", "UniNTT", "naive(1 GPU, per-transform)",
+             "UniNTT advantage"});
+    for (unsigned logN : {12u, 16u, 18u}) {
+        for (size_t batch : {1u, 16u, 256u, 1024u}) {
+            double elems = static_cast<double>(1ULL << logN) *
+                           static_cast<double>(batch);
+            double t_uni =
+                unintt.analyticRun(logN, NttDirection::Forward, batch)
+                    .totalSeconds();
+            // The naive library runs transforms one after another.
+            double t_naive =
+                naive.analyticRun(logN, NttDirection::Forward, 1)
+                    .totalSeconds() *
+                static_cast<double>(batch);
+            t.addRow({std::to_string(logN), std::to_string(batch),
+                      formatRate(elems / t_uni),
+                      formatRate(elems / t_naive),
+                      fmtX(t_naive / t_uni)});
+        }
+        t.addSeparator();
+    }
+    t.print();
+    return 0;
+}

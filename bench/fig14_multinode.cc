@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Figure 14 (extension): scaling UniNTT past one node. The recursive
+ * decomposition adds a fifth hierarchy level — nodes over an
+ * InfiniBand-class fabric — with no algorithmic change: the first
+ * log2(#nodes) butterfly stages simply ride the slower fabric. Prints
+ * time and efficiency from 8 to 64 GPUs and the share spent on the
+ * inter-node stages.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+#include "field/goldilocks.hh"
+#include "util/stats.hh"
+#include "util/table.hh"
+
+int
+main()
+{
+    using namespace unintt;
+    using F = Goldilocks;
+    benchHeader("Figure 14",
+                "multi-node scaling (extension; 8 GPUs per node)");
+    verifyOrDie<F>(makeA100Cluster(2, 4), 12);
+
+    Table t({"log2(N)", "nodes", "GPUs", "time", "speedup vs 1 node",
+             "efficiency", "inter-node comm"});
+    for (unsigned logN : {26u, 28u, 30u}) {
+        double t1 = 0;
+        for (unsigned nodes : {1u, 2u, 4u, 8u}) {
+            auto sys = makeA100Cluster(nodes, 8);
+            UniNttEngine<F> engine(sys);
+            auto rep = engine.analyticRun(logN, NttDirection::Forward);
+            double s = rep.totalSeconds();
+            if (nodes == 1)
+                t1 = s;
+
+            double internode = 0;
+            for (const auto &p : rep.phases())
+                if (p.name.find("node-stage") != std::string::npos)
+                    internode += p.seconds;
+
+            double speedup = t1 / s;
+            t.addRow({std::to_string(logN), std::to_string(nodes),
+                      std::to_string(sys.numGpus), formatSeconds(s),
+                      fmtX(speedup),
+                      fmtF(speedup / nodes * 100, 1) + "%",
+                      formatSeconds(internode)});
+        }
+        t.addSeparator();
+    }
+    t.print();
+    std::printf(
+        "Reading: the decomposition composes to a fifth level unchanged "
+        "(only the\nexchange primitive differs), and the experiment "
+        "quantifies the paper's\nanticipated limit: at HDR-InfiniBand "
+        "bandwidth the inter-node stages dominate,\nso scaling a single "
+        "latency-bound transform past one NVSwitch node does not\npay "
+        "off until the per-node fabric gap closes — multi-node remains "
+        "the regime\nof batch throughput and larger-than-node working "
+        "sets.\n");
+    return 0;
+}

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Figure 15 (sensitivity): how the UniNTT-vs-four-step verdict moves
+ * with the machine parameters the model depends on. Sweeps (a) the
+ * inter-GPU link bandwidth from PCIe-class to beyond-NVLink-class and
+ * (b) the all-to-all efficiency of the fabric, at fixed N and GPU
+ * count. Robustness of the headline to the cost-model constants is
+ * exactly what a simulation-based reproduction owes the reader.
+ */
+
+#include <cstdio>
+
+#include "baselines/fourstep_multigpu.hh"
+#include "bench/bench_util.hh"
+#include "field/goldilocks.hh"
+#include "util/stats.hh"
+#include "util/table.hh"
+
+int
+main()
+{
+    using namespace unintt;
+    using F = Goldilocks;
+    benchHeader("Figure 15",
+                "speedup sensitivity to fabric parameters (2^26, 8 GPUs)");
+    verifyOrDie<F>(makeDgxA100(8));
+
+    const unsigned logN = 26;
+
+    std::printf("(a) link bandwidth sweep (all-to-all efficiency fixed "
+                "at 0.6):\n");
+    {
+        Table t({"link bw", "four-step", "UniNTT", "speedup"});
+        for (double bw : {12.5e9, 25e9, 50e9, 100e9, 250e9, 450e9,
+                          900e9}) {
+            Interconnect fabric = makeNvSwitchFabric();
+            fabric.linkBandwidth = bw;
+            MultiGpuSystem sys{makeA100(), fabric, 8};
+            UniNttEngine<F> uni(sys);
+            FourStepMultiGpuNtt<F> four(sys);
+            double a = four.analyticRun(logN, NttDirection::Forward)
+                           .totalSeconds();
+            double b = uni.analyticRun(logN, NttDirection::Forward)
+                           .totalSeconds();
+            t.addRow({formatBytes(bw) + "/s", formatSeconds(a),
+                      formatSeconds(b), fmtX(a / b)});
+        }
+        t.print();
+    }
+
+    std::printf("\n(b) all-to-all efficiency sweep (NVLink-class "
+                "links):\n");
+    {
+        Table t({"all-to-all efficiency", "four-step", "UniNTT",
+                 "speedup"});
+        for (double eff : {0.2, 0.4, 0.6, 0.8, 1.0}) {
+            Interconnect fabric = makeNvSwitchFabric();
+            fabric.allToAllEfficiency = eff;
+            MultiGpuSystem sys{makeA100(), fabric, 8};
+            UniNttEngine<F> uni(sys);
+            FourStepMultiGpuNtt<F> four(sys);
+            double a = four.analyticRun(logN, NttDirection::Forward)
+                           .totalSeconds();
+            double b = uni.analyticRun(logN, NttDirection::Forward)
+                           .totalSeconds();
+            t.addRow({fmtF(eff, 1), formatSeconds(a), formatSeconds(b),
+                      fmtX(a / b)});
+        }
+        t.print();
+    }
+
+    std::printf("\nReading: UniNTT's advantage grows as links get "
+                "slower (communication\nmatters more) and persists even "
+                "granting the baseline a perfect all-to-all,\nbecause "
+                "the remaining gap comes from overlap and the removed "
+                "twiddle passes.\n");
+    return 0;
+}

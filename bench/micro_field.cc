@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Micro-benchmarks (google-benchmark): real wall-clock throughput of
+ * the field arithmetic that underlies every simulated butterfly.
+ * These validate the relative field costs the performance model uses
+ * (FieldCost in sim/hw_model.hh): BN254-Fr multiplication should be
+ * roughly an order of magnitude more expensive than Goldilocks.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "field/babybear.hh"
+#include "field/bn254.hh"
+#include "field/goldilocks.hh"
+#include "util/random.hh"
+
+namespace unintt {
+namespace {
+
+template <typename F>
+void
+BM_FieldMul(benchmark::State &state)
+{
+    Rng rng(1);
+    F a = F::fromU64(rng.next() | 1);
+    F b = F::fromU64(rng.next() | 1);
+    for (auto _ : state) {
+        a = a * b;
+        benchmark::DoNotOptimize(a);
+    }
+}
+
+template <typename F>
+void
+BM_FieldAdd(benchmark::State &state)
+{
+    Rng rng(2);
+    F a = F::fromU64(rng.next());
+    F b = F::fromU64(rng.next() | 1);
+    for (auto _ : state) {
+        a = a + b;
+        benchmark::DoNotOptimize(a);
+    }
+}
+
+template <typename F>
+void
+BM_FieldInverse(benchmark::State &state)
+{
+    Rng rng(3);
+    F a = F::fromU64(rng.next() | 1);
+    for (auto _ : state) {
+        a = a.inverse();
+        benchmark::DoNotOptimize(a);
+        a = a + F::one(); // avoid a fixed point
+    }
+}
+
+template <typename F>
+void
+BM_Butterfly(benchmark::State &state)
+{
+    Rng rng(4);
+    F u = F::fromU64(rng.next());
+    F v = F::fromU64(rng.next());
+    F w = F::rootOfUnity(10);
+    for (auto _ : state) {
+        F nu = u + v;
+        F nv = (u - v) * w;
+        u = nu;
+        v = nv;
+        benchmark::DoNotOptimize(u);
+        benchmark::DoNotOptimize(v);
+    }
+}
+
+BENCHMARK(BM_FieldMul<Goldilocks>);
+BENCHMARK(BM_FieldMul<BabyBear>);
+BENCHMARK(BM_FieldMul<Bn254Fr>);
+BENCHMARK(BM_FieldAdd<Goldilocks>);
+BENCHMARK(BM_FieldAdd<BabyBear>);
+BENCHMARK(BM_FieldAdd<Bn254Fr>);
+BENCHMARK(BM_FieldInverse<Goldilocks>);
+BENCHMARK(BM_FieldInverse<Bn254Fr>);
+BENCHMARK(BM_Butterfly<Goldilocks>);
+BENCHMARK(BM_Butterfly<BabyBear>);
+BENCHMARK(BM_Butterfly<Bn254Fr>);
+
+} // namespace
+} // namespace unintt
+
+BENCHMARK_MAIN();

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Table 1: hardware configurations and the derived abstract hardware
+ * model. Prints the concrete GPU presets, the fabrics, and the
+ * four-level abstract hierarchy (fanout / local capacity / exchange
+ * bandwidth and latency) the planner reasons about.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+#include "sim/multi_gpu.hh"
+#include "util/stats.hh"
+#include "util/table.hh"
+
+int
+main()
+{
+    using namespace unintt;
+    benchHeader("Table 1", "hardware configurations and abstract model");
+
+    {
+        Table t({"GPU", "SMs", "clock", "DRAM bw", "DRAM cap",
+                 "smem/block", "launch"});
+        for (const auto &m : {makeA100(), makeH100(), makeRtx4090()}) {
+            t.addRow({m.name, std::to_string(m.numSms),
+                      fmtF(m.clockHz / 1e9, 2) + " GHz",
+                      formatBytes(m.dramBandwidth) + "/s",
+                      formatBytes(static_cast<double>(m.dramCapacityBytes)),
+                      formatBytes(static_cast<double>(m.smemBytesPerBlock)),
+                      formatSeconds(m.kernelLaunchLatency)});
+        }
+        t.print();
+    }
+
+    std::printf("\n");
+    {
+        Table t({"fabric", "p2p bandwidth", "latency", "all-to-all eff"});
+        for (const auto &f : {makeNvSwitchFabric(), makeRingFabric(),
+                              makePcieFabric()}) {
+            t.addRow({toString(f.kind),
+                      formatBytes(f.linkBandwidth) + "/s",
+                      formatSeconds(f.linkLatency),
+                      fmtF(f.allToAllEfficiency, 2)});
+        }
+        t.print();
+    }
+
+    std::printf("\nAbstract hardware model (8x A100 / nvswitch, "
+                "8-byte elements):\n");
+    {
+        auto sys = makeDgxA100(8);
+        Table t({"level", "fanout", "local capacity (elems)",
+                 "exchange bw", "exchange latency"});
+        for (const auto &lvl : sys.abstractLevels(8)) {
+            t.addRow({lvl.name, std::to_string(lvl.fanout),
+                      fmtI(lvl.localCapacityElems),
+                      formatBytes(lvl.exchangeBandwidth) + "/s",
+                      formatSeconds(lvl.exchangeLatency)});
+        }
+        t.print();
+    }
+
+    std::printf("\nDecomposition plans (Goldilocks):\n");
+    {
+        Table t({"system", "log2(N)", "plan"});
+        for (unsigned gpus : {1u, 4u, 8u}) {
+            auto sys = makeDgxA100(gpus);
+            for (unsigned logN : {20u, 24u, 28u}) {
+                t.addRow({sys.description(), std::to_string(logN),
+                          planNtt(logN, sys, 8).toString()});
+            }
+        }
+        t.print();
+    }
+    return 0;
+}

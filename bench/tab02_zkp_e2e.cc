@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Table 2: end-to-end proof generation with multi-GPU MSM and each NTT
+ * backend. For Groth16- and PLONK-style provers at 2^22 constraints,
+ * prints total prover time and the speedup UniNTT delivers over the
+ * conventional backends at each GPU count.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+#include "util/stats.hh"
+#include "util/table.hh"
+#include "zkp/prover.hh"
+
+namespace unintt {
+namespace {
+
+void
+sweep(const char *proto, const std::vector<ProverStage> &stages)
+{
+    Table t({"prover", "GPUs", "single-gpu NTT", "four-step NTT",
+             "UniNTT", "vs single-gpu", "vs four-step"});
+    for (unsigned gpus : {2u, 4u, 8u}) {
+        auto total = [&](NttBackend b) {
+            ZkpPipeline pipe(makeDgxA100(gpus), b);
+            return pipe.estimate(stages).total();
+        };
+        double solo = total(NttBackend::SingleGpu);
+        double four = total(NttBackend::FourStep);
+        double uni = total(NttBackend::UniNtt);
+        t.addRow({proto, std::to_string(gpus), formatSeconds(solo),
+                  formatSeconds(four), formatSeconds(uni),
+                  fmtX(solo / uni), fmtX(four / uni)});
+    }
+    t.print();
+    std::printf("\n");
+}
+
+} // namespace
+} // namespace unintt
+
+int
+main()
+{
+    using namespace unintt;
+    benchHeader("Table 2",
+                "end-to-end proof generation, 2^22 constraints, BN254");
+    sweep("groth16", ZkpPipeline::groth16Stages(22));
+    sweep("plonk", ZkpPipeline::plonkStages(22));
+    return 0;
+}

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Table 3: per-GPU device-memory footprint. UniNTT keeps the data
+ * chunk plus one exchange buffer (twiddles generated on the fly); the
+ * four-step baseline additionally holds all-to-all staging buffers and
+ * a twiddle table. The footprint bounds the largest transform a
+ * machine supports — reported in the last column.
+ */
+
+#include <cstdio>
+
+#include "baselines/fourstep_multigpu.hh"
+#include "bench/bench_util.hh"
+#include "field/bn254.hh"
+#include "field/goldilocks.hh"
+#include "util/stats.hh"
+#include "util/table.hh"
+
+namespace unintt {
+namespace {
+
+template <NttField F>
+void
+sweep(const char *field_name)
+{
+    Table t({"field", "GPUs", "log2(N)", "UniNTT peak/GPU",
+             "four-step peak/GPU", "ratio"});
+    for (unsigned gpus : {1u, 4u, 8u}) {
+        auto sys = makeDgxA100(gpus);
+        UniNttEngine<F> uni(sys);
+        FourStepMultiGpuNtt<F> four(sys);
+        for (unsigned logN : {24u, 28u}) {
+            auto a = uni.analyticRun(logN, NttDirection::Forward)
+                         .peakDeviceBytes();
+            auto b = four.analyticRun(logN, NttDirection::Forward)
+                         .peakDeviceBytes();
+            t.addRow({field_name, std::to_string(gpus),
+                      std::to_string(logN),
+                      formatBytes(static_cast<double>(a)),
+                      formatBytes(static_cast<double>(b)),
+                      fmtX(static_cast<double>(b) /
+                           static_cast<double>(a))});
+        }
+    }
+    t.print();
+
+    // Largest supported transform on one DGX node.
+    auto sys = makeDgxA100(8);
+    unsigned max_log = 0;
+    for (unsigned logN = 20; logN < 40; ++logN) {
+        uint64_t need =
+            ((1ULL << logN) / sys.numGpus) * sizeof(F) * 2;
+        if (need > sys.gpu.dramCapacityBytes)
+            break;
+        if (logN > F::kTwoAdicity)
+            break; // the field's two-adic domain is the other bound
+        max_log = logN;
+    }
+    std::printf("largest supported transform for %s on %s: 2^%u\n\n",
+                field_name, sys.description().c_str(), max_log);
+}
+
+} // namespace
+} // namespace unintt
+
+int
+main()
+{
+    using namespace unintt;
+    benchHeader("Table 3", "per-GPU device-memory footprint");
+    sweep<Goldilocks>("Goldilocks");
+    sweep<Bn254Fr>("BN254-Fr");
+    return 0;
+}

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Scenario: multiply two huge integers with the NTT — the classic
+ * Schonhage-Strassen-style application, and a nice end-to-end check
+ * that the transform, pointwise product and carry propagation all
+ * compose. Each integer is a string of decimal digits; digits become
+ * polynomial coefficients, the product is a cyclic convolution in a
+ * domain large enough to avoid wraparound, and Goldilocks is big
+ * enough that no coefficient overflows (n * 81 << p).
+ *
+ *   ./bigint_multiplication [--digits=4096]
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "field/goldilocks.hh"
+#include "ntt/radix2.hh"
+#include "util/cli.hh"
+#include "util/random.hh"
+
+using namespace unintt;
+
+namespace {
+
+/** Random decimal number of @p digits digits (no leading zero). */
+std::string
+randomDecimal(size_t digits, uint64_t seed)
+{
+    Rng rng(seed);
+    std::string s;
+    s.push_back(static_cast<char>('1' + rng.below(9)));
+    for (size_t i = 1; i < digits; ++i)
+        s.push_back(static_cast<char>('0' + rng.below(10)));
+    return s;
+}
+
+/** Schoolbook long multiplication for verification (O(d^2)). */
+std::string
+schoolbookMultiply(const std::string &a, const std::string &b)
+{
+    std::vector<uint64_t> acc(a.size() + b.size(), 0);
+    for (size_t i = 0; i < a.size(); ++i) {
+        uint64_t da = static_cast<uint64_t>(a[a.size() - 1 - i] - '0');
+        for (size_t j = 0; j < b.size(); ++j) {
+            uint64_t db =
+                static_cast<uint64_t>(b[b.size() - 1 - j] - '0');
+            acc[i + j] += da * db;
+        }
+    }
+    std::string out;
+    uint64_t carry = 0;
+    for (uint64_t v : acc) {
+        uint64_t cur = v + carry;
+        out.push_back(static_cast<char>('0' + cur % 10));
+        carry = cur / 10;
+    }
+    while (carry) {
+        out.push_back(static_cast<char>('0' + carry % 10));
+        carry /= 10;
+    }
+    while (out.size() > 1 && out.back() == '0')
+        out.pop_back();
+    return std::string(out.rbegin(), out.rend());
+}
+
+/** NTT-based multiplication over Goldilocks. */
+std::string
+nttMultiply(const std::string &a, const std::string &b)
+{
+    using F = Goldilocks;
+    size_t n = nextPow2(a.size() + b.size());
+    std::vector<F> fa(n, F::zero()), fb(n, F::zero());
+    // Least-significant digit first.
+    for (size_t i = 0; i < a.size(); ++i)
+        fa[i] = F::fromU64(static_cast<uint64_t>(a[a.size() - 1 - i] -
+                                                 '0'));
+    for (size_t i = 0; i < b.size(); ++i)
+        fb[i] = F::fromU64(static_cast<uint64_t>(b[b.size() - 1 - i] -
+                                                 '0'));
+
+    nttNoPermute(fa, NttDirection::Forward);
+    nttNoPermute(fb, NttDirection::Forward);
+    for (size_t i = 0; i < n; ++i)
+        fa[i] *= fb[i];
+    nttNoPermute(fa, NttDirection::Inverse);
+
+    // Coefficients are < n * 81, far below the modulus: read them back
+    // as integers and propagate carries.
+    std::string out;
+    uint64_t carry = 0;
+    for (size_t i = 0; i < n; ++i) {
+        uint64_t cur = fa[i].value() + carry;
+        out.push_back(static_cast<char>('0' + cur % 10));
+        carry = cur / 10;
+    }
+    while (carry) {
+        out.push_back(static_cast<char>('0' + carry % 10));
+        carry /= 10;
+    }
+    while (out.size() > 1 && out.back() == '0')
+        out.pop_back();
+    return std::string(out.rbegin(), out.rend());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    CliParser cli("NTT-based big-integer multiplication");
+    cli.addInt("digits", 4096, "decimal digits per operand");
+    cli.parse(argc, argv);
+    size_t digits = static_cast<size_t>(cli.getInt("digits"));
+
+    auto a = randomDecimal(digits, 1);
+    auto b = randomDecimal(digits, 2);
+    std::printf("multiplying two %zu-digit integers "
+                "(NTT domain 2^%u)\n", digits,
+                log2Exact(nextPow2(2 * digits)));
+
+    auto fast = nttMultiply(a, b);
+    std::printf("product has %zu digits\n", fast.size());
+    std::printf("first digits: %s...\n", fast.substr(0, 32).c_str());
+
+    // Verify against schoolbook (quadratic; keep it feasible).
+    if (digits <= 8192) {
+        auto slow = schoolbookMultiply(a, b);
+        std::printf("schoolbook verification: %s\n",
+                    fast == slow ? "OK" : "MISMATCH");
+        return fast == slow ? 0 : 1;
+    }
+    std::printf("schoolbook verification skipped above 8192 digits\n");
+    return 0;
+}

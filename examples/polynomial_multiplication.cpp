@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Scenario: multiply two large polynomials with the multi-GPU NTT —
+ * the core primitive behind ZKP quotient computations, polynomial
+ * commitment openings and RLWE-style homomorphic multiplication.
+ *
+ * The product is computed three ways and cross-checked:
+ *   1. schoolbook (on a prefix, as the ground truth);
+ *   2. host-side NTT convolution;
+ *   3. UniNTT engine convolution across simulated GPUs, in the
+ *      permutation-free bit-reversed convention (pointwise multiply in
+ *      bit-reversed order, no reordering passes).
+ *
+ *   ./polynomial_multiplication [--log-deg=14] [--gpus=4]
+ */
+
+#include <cstdio>
+
+#include "field/goldilocks.hh"
+#include "unintt/engine.hh"
+#include "util/cli.hh"
+#include "util/random.hh"
+#include "util/stats.hh"
+#include "util/table.hh"
+#include "zkp/polynomial.hh"
+
+using namespace unintt;
+
+int
+main(int argc, char **argv)
+{
+    CliParser cli("multi-GPU polynomial multiplication");
+    cli.addInt("log-deg", 14, "log2 of each factor's coefficient count");
+    cli.addInt("gpus", 4, "number of simulated GPUs");
+    cli.parse(argc, argv);
+
+    using F = Goldilocks;
+    const unsigned log_deg = static_cast<unsigned>(cli.getInt("log-deg"));
+    const unsigned gpus = static_cast<unsigned>(cli.getInt("gpus"));
+    const size_t terms = 1ULL << log_deg;
+    const unsigned log_domain = log_deg + 1; // room for the product
+
+    auto a = Polynomial<F>::random(terms, 1);
+    auto b = Polynomial<F>::random(terms, 2);
+    std::printf("multiplying two polynomials with %s coefficients "
+                "each\n\n", fmtI(terms).c_str());
+
+    // Host reference (NTT-based, exact).
+    auto host_product = Polynomial<F>::multiply(a, b);
+
+    // Multi-GPU convolution through the engine.
+    MultiGpuSystem sys = makeDgxA100(gpus);
+    UniNttEngine<F> engine(sys);
+
+    std::vector<F> fa(1ULL << log_domain, F::zero());
+    std::vector<F> fb(1ULL << log_domain, F::zero());
+    std::copy(a.coeffs().begin(), a.coeffs().end(), fa.begin());
+    std::copy(b.coeffs().begin(), b.coeffs().end(), fb.begin());
+
+    auto da = DistributedVector<F>::fromGlobal(fa, gpus);
+    auto db = DistributedVector<F>::fromGlobal(fb, gpus);
+
+    SimReport report = engine.forward(da);
+    report.append(engine.forward(db));
+
+    // Pointwise product works directly in bit-reversed order, chunk by
+    // chunk on each simulated GPU — no reordering traffic.
+    for (unsigned g = 0; g < gpus; ++g)
+        for (size_t i = 0; i < da.chunk(g).size(); ++i)
+            da.chunk(g)[i] *= db.chunk(g)[i];
+
+    report.append(engine.inverse(da));
+
+    auto got = da.toGlobal();
+    got.resize(2 * terms - 1);
+    bool ok = Polynomial<F>(got) == host_product;
+
+    // Spot-check against schoolbook on the low-order terms.
+    for (size_t k = 0; k < 8 && ok; ++k) {
+        F direct = F::zero();
+        for (size_t i = 0; i <= k; ++i)
+            direct += a.coeffs()[i] * b.coeffs()[k - i];
+        ok = direct == got[k];
+    }
+
+    std::printf("simulated multi-GPU timeline (%s):\n",
+                sys.description().c_str());
+    std::printf("  2 forward + 1 inverse NTT of 2^%u: %s total, "
+                "%s communication\n", log_domain,
+                formatSeconds(report.totalSeconds()).c_str(),
+                formatSeconds(report.commSeconds()).c_str());
+    std::printf("\nresult check vs host NTT and schoolbook: %s\n",
+                ok ? "OK" : "MISMATCH");
+    return ok ? 0 : 1;
+}

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Build everything, run the full test suite, regenerate every
+# table/figure, and run all examples — the one-command reproduction.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+echo "== tests =="
+ctest --test-dir build --output-on-failure
+
+echo "== benches (tables & figures) =="
+for b in build/bench/*; do
+    [ -f "$b" ] && [ -x "$b" ] && "$b"
+done
+
+echo "== examples =="
+for e in build/examples/*; do
+    [ -f "$e" ] && [ -x "$e" ] && "$e"
+done
+
+echo "all green"

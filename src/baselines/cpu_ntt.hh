@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Host-CPU NTT baseline: the reference radix-2 transform timed with the
+ * wall clock. Anchors the motivation figure (why provers want GPUs at
+ * all) and gives the examples something real to race against.
+ */
+
+#ifndef UNINTT_BASELINES_CPU_NTT_HH
+#define UNINTT_BASELINES_CPU_NTT_HH
+
+#include <chrono>
+#include <vector>
+
+#include "field/field_traits.hh"
+#include "ntt/ntt.hh"
+#include "ntt/radix2.hh"
+
+namespace unintt {
+
+/** Result of one timed CPU transform. */
+struct CpuNttResult
+{
+    /** Wall-clock seconds of the transform (twiddle setup excluded). */
+    double seconds;
+};
+
+/**
+ * Run one in-place transform on the host and time it.
+ * Forward: natural in, bit-reversed out; Inverse: the converse, scaled
+ * (matching the engine conventions).
+ */
+template <NttField F>
+CpuNttResult
+cpuNtt(std::vector<F> &data, NttDirection dir)
+{
+    TwiddleTable<F> tw(data.size(), dir);
+    auto start = std::chrono::steady_clock::now();
+    if (dir == NttDirection::Forward) {
+        nttDif(data.data(), data.size(), tw);
+    } else {
+        nttDit(data.data(), data.size(), tw);
+        F scale = inverseScale<F>(data.size());
+        for (auto &v : data)
+            v *= scale;
+    }
+    auto stop = std::chrono::steady_clock::now();
+    return CpuNttResult{std::chrono::duration<double>(stop - start).count()};
+}
+
+} // namespace unintt
+
+#endif // UNINTT_BASELINES_CPU_NTT_HH

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * The naive single-GPU NTT baseline: one kernel launch per butterfly
+ * stage, every stage streaming the whole dataset through global memory,
+ * twiddles loaded from a device table. This is the structure of early
+ * GPU NTT libraries (cuHE-era) and of textbook ports; it is the lower
+ * anchor of the single-GPU comparison (bench/fig07).
+ */
+
+#ifndef UNINTT_BASELINES_NAIVE_GPU_HH
+#define UNINTT_BASELINES_NAIVE_GPU_HH
+
+#include "field/field_traits.hh"
+#include "ntt/ntt.hh"
+#include "ntt/radix2.hh"
+#include "ntt/twiddle.hh"
+#include "sim/multi_gpu.hh"
+#include "sim/perf_model.hh"
+#include "sim/report.hh"
+#include "util/bitops.hh"
+#include "util/logging.hh"
+
+namespace unintt {
+
+/** Stage-per-kernel single-GPU NTT baseline. */
+template <NttField F>
+class NaiveGpuNtt
+{
+  public:
+    /** @param gpu the device model to simulate on. */
+    explicit NaiveGpuNtt(GpuModel gpu)
+        : gpu_(std::move(gpu)), perf_(gpu_, fieldCostOf<F>())
+    {
+    }
+
+    /**
+     * Forward NTT in place, natural in, bit-reversed out (same
+     * convention as the UniNTT engine).
+     */
+    SimReport
+    forward(std::vector<F> &data) const
+    {
+        SimReport report = analyticRun(log2Exact(data.size()),
+                                       NttDirection::Forward);
+        TwiddleTable<F> tw(data.size(), NttDirection::Forward);
+        nttDif(data.data(), data.size(), tw);
+        return report;
+    }
+
+    /** Inverse NTT in place, bit-reversed in, natural out, scaled. */
+    SimReport
+    inverse(std::vector<F> &data) const
+    {
+        SimReport report = analyticRun(log2Exact(data.size()),
+                                       NttDirection::Inverse);
+        TwiddleTable<F> tw(data.size(), NttDirection::Inverse);
+        nttDit(data.data(), data.size(), tw);
+        F scale = inverseScale<F>(data.size());
+        for (auto &v : data)
+            v *= scale;
+        return report;
+    }
+
+    /** Simulated timeline without functional execution. */
+    SimReport
+    analyticRun(unsigned logN, NttDirection dir, size_t batch = 1) const
+    {
+        const uint64_t n = 1ULL << logN;
+        const size_t b = sizeof(F);
+        SimReport report;
+        for (unsigned s = 0; s < logN; ++s) {
+            KernelStats k;
+            k.butterflies = n / 2 * batch;
+            k.fieldMuls = k.butterflies;
+            k.fieldAdds = 2 * k.butterflies;
+            // Whole array read and written every stage; twiddle table
+            // loads go through DRAM with no reuse across blocks.
+            k.globalReadBytes = n * b * batch + k.butterflies * b;
+            k.globalWriteBytes = n * b * batch;
+            k.kernelLaunches = 1;
+            report.addKernelPhase("stage-" + std::to_string(s), k, perf_);
+        }
+        if (dir == NttDirection::Inverse) {
+            KernelStats k;
+            k.fieldMuls = n * batch;
+            k.globalReadBytes = n * b * batch;
+            k.globalWriteBytes = n * b * batch;
+            k.kernelLaunches = 1;
+            report.addKernelPhase("inverse-scale", k, perf_);
+        }
+        return report;
+    }
+
+    /** The device being modeled. */
+    const GpuModel &gpu() const { return gpu_; }
+
+  private:
+    GpuModel gpu_;
+    PerfModel perf_;
+};
+
+} // namespace unintt
+
+#endif // UNINTT_BASELINES_NAIVE_GPU_HH

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * The BabyBear prime field F_p with p = 2^31 - 2^27 + 1 = 2013265921.
+ *
+ * BabyBear is the 31-bit field used by Risc0 and Plonky3-style provers.
+ * Elements are stored in Montgomery form with R = 2^32, so multiplication
+ * is a single 64-bit product plus a Montgomery reduction.
+ */
+
+#ifndef UNINTT_FIELD_BABYBEAR_HH
+#define UNINTT_FIELD_BABYBEAR_HH
+
+#include <cstdint>
+#include <string>
+
+namespace unintt {
+
+/** An element of the BabyBear field in Montgomery form. 4 bytes. */
+class BabyBear
+{
+  public:
+    /** The field modulus. */
+    static constexpr uint32_t kModulus = 2013265921u; // 15 * 2^27 + 1
+    /** Largest k such that 2^k divides p - 1. */
+    static constexpr unsigned kTwoAdicity = 27;
+    /** A generator of the multiplicative group. */
+    static constexpr uint32_t kGenerator = 31;
+    /** Storage size used by the performance model. */
+    static constexpr size_t kBytes = 4;
+    /** Field name for reports. */
+    static constexpr const char *kName = "BabyBear";
+
+    /** Zero-initialized element. */
+    constexpr BabyBear() : mont_(0) {}
+
+    /** Embed an integer (reduced mod p) into the field. */
+    static constexpr BabyBear
+    fromU64(uint64_t x)
+    {
+        BabyBear e;
+        e.mont_ = toMont(static_cast<uint32_t>(x % kModulus));
+        return e;
+    }
+
+    /** The additive identity. */
+    static constexpr BabyBear zero() { return BabyBear(); }
+
+    /** The multiplicative identity. */
+    static constexpr BabyBear one() { return fromU64(1); }
+
+    /** Canonical representative in [0, p). */
+    constexpr uint32_t value() const { return redc(mont_); }
+
+    constexpr BabyBear
+    operator+(BabyBear o) const
+    {
+        uint32_t s = mont_ + o.mont_; // < 2p < 2^32, no overflow
+        if (s >= kModulus)
+            s -= kModulus;
+        BabyBear r;
+        r.mont_ = s;
+        return r;
+    }
+
+    constexpr BabyBear
+    operator-(BabyBear o) const
+    {
+        uint32_t d = mont_ - o.mont_;
+        if (mont_ < o.mont_)
+            d += kModulus;
+        BabyBear r;
+        r.mont_ = d;
+        return r;
+    }
+
+    constexpr BabyBear
+    operator-() const
+    {
+        BabyBear r;
+        r.mont_ = mont_ == 0 ? 0 : kModulus - mont_;
+        return r;
+    }
+
+    constexpr BabyBear
+    operator*(BabyBear o) const
+    {
+        BabyBear r;
+        r.mont_ = redc(static_cast<uint64_t>(mont_) * o.mont_);
+        return r;
+    }
+
+    BabyBear &operator+=(BabyBear o) { return *this = *this + o; }
+    BabyBear &operator-=(BabyBear o) { return *this = *this - o; }
+    BabyBear &operator*=(BabyBear o) { return *this = *this * o; }
+
+    constexpr bool operator==(BabyBear o) const { return mont_ == o.mont_; }
+    constexpr bool operator!=(BabyBear o) const { return mont_ != o.mont_; }
+
+    /** this^exp by square-and-multiply. */
+    BabyBear pow(uint64_t exp) const;
+
+    /** Multiplicative inverse; panics on zero. */
+    BabyBear inverse() const;
+
+    /** True iff the element is zero. */
+    constexpr bool isZero() const { return mont_ == 0; }
+
+    /**
+     * Primitive 2^log_n-th root of unity.
+     * @param log_n must be <= kTwoAdicity.
+     */
+    static BabyBear rootOfUnity(unsigned log_n);
+
+    /** Generator of the full multiplicative group, for coset NTTs. */
+    static BabyBear multiplicativeGenerator()
+    {
+        return fromU64(kGenerator);
+    }
+
+    /** Decimal string of the canonical value. */
+    std::string toString() const { return std::to_string(value()); }
+
+  private:
+    /** -p^-1 mod 2^32, computed by Newton iteration. */
+    static constexpr uint32_t
+    negInv()
+    {
+        uint32_t x = 1;
+        for (int i = 0; i < 5; ++i) // doubles precision each step
+            x *= 2u - kModulus * x;
+        return ~x + 1u; // = -p^-1
+    }
+
+    /** Montgomery reduction of a value < p * 2^32. */
+    static constexpr uint32_t
+    redc(uint64_t t)
+    {
+        constexpr uint32_t np = negInv();
+        uint32_t m = static_cast<uint32_t>(t) * np;
+        uint64_t u = (t + static_cast<uint64_t>(m) * kModulus) >> 32;
+        uint32_t r = static_cast<uint32_t>(u);
+        if (r >= kModulus)
+            r -= kModulus;
+        return r;
+    }
+
+    /** 2^64 mod p, for conversion into Montgomery form. */
+    static constexpr uint32_t
+    r2()
+    {
+        uint64_t r = 1;
+        for (int i = 0; i < 64; ++i) {
+            r <<= 1;
+            if (r >= kModulus)
+                r -= kModulus;
+        }
+        return static_cast<uint32_t>(r);
+    }
+
+    /** Convert canonical value into Montgomery form. */
+    static constexpr uint32_t
+    toMont(uint32_t x)
+    {
+        return redc(static_cast<uint64_t>(x) * r2());
+    }
+
+    uint32_t mont_;
+};
+
+} // namespace unintt
+
+#endif // UNINTT_FIELD_BABYBEAR_HH

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * The two prime fields of the BN254 (alt_bn128) pairing curve:
+ *
+ *  - Fr, the scalar field, is the polynomial/NTT domain of Groth16- and
+ *    PLONK-style provers (two-adicity 28, so NTTs up to size 2^28);
+ *  - Fq, the base field, hosts the curve coordinates used by MSM.
+ *
+ * Constants match the widely deployed parameterization (Ethereum
+ * precompiles, arkworks, gnark): the moduli below and multiplicative
+ * generators 5 (Fr) and 3 (Fq).
+ */
+
+#ifndef UNINTT_FIELD_BN254_HH
+#define UNINTT_FIELD_BN254_HH
+
+#include "field/montfield256.hh"
+#include "field/u256.hh"
+
+namespace unintt {
+
+/** Modulus and group constants of BN254 Fr. */
+struct Bn254FrParams
+{
+    /**
+     * r = 21888242871839275222246405745257275088548364400416034343698
+     *     204186575808495617
+     */
+    static constexpr U256 kModulus{0x43e1f593f0000001ULL,
+                                   0x2833e84879b97091ULL,
+                                   0xb85045b68181585dULL,
+                                   0x30644e72e131a029ULL};
+    static constexpr unsigned kTwoAdicity = 28;
+    static constexpr uint64_t kGenerator = 5;
+    static constexpr const char *kName = "BN254-Fr";
+};
+
+/** Modulus and group constants of BN254 Fq. */
+struct Bn254FqParams
+{
+    /**
+     * q = 21888242871839275222246405745257275088696311157297823662689
+     *     037894645226208583
+     */
+    static constexpr U256 kModulus{0x3c208c16d87cfd47ULL,
+                                   0x97816a916871ca8dULL,
+                                   0xb85045b68181585dULL,
+                                   0x30644e72e131a029ULL};
+    // q - 1 = 2 * odd: no useful NTT domain, Fq is only used for curve
+    // coordinates.
+    static constexpr unsigned kTwoAdicity = 1;
+    static constexpr uint64_t kGenerator = 3;
+    static constexpr const char *kName = "BN254-Fq";
+};
+
+/** The BN254 scalar field (NTT/polynomial domain). */
+using Bn254Fr = MontField256<Bn254FrParams>;
+
+/** The BN254 base field (curve coordinates). */
+using Bn254Fq = MontField256<Bn254FqParams>;
+
+} // namespace unintt
+
+#endif // UNINTT_FIELD_BN254_HH

@@ -1,0 +1,74 @@
+#include "field/fq2.hh"
+
+namespace unintt {
+
+namespace {
+
+/** (q + 1) / 4 as a U256 (q = 3 mod 4, so this is exact). */
+U256
+qPlus1Over4()
+{
+    U256 exp = Bn254FqParams::kModulus;
+    // q + 1 cannot overflow 256 bits (q < 2^254).
+    U256 one(1);
+    U256 sum;
+    addCarry(exp, one, sum);
+    // Shift right by 2.
+    for (int l = 0; l < 3; ++l)
+        sum.limb[l] = (sum.limb[l] >> 2) | (sum.limb[l + 1] << 62);
+    sum.limb[3] >>= 2;
+    return sum;
+}
+
+} // namespace
+
+std::optional<Bn254Fq>
+fqSqrt(const Bn254Fq &a)
+{
+    if (a.isZero())
+        return Bn254Fq::zero();
+    static const U256 exp = qPlus1Over4();
+    Bn254Fq candidate = a.pow(exp);
+    if (candidate * candidate == a)
+        return candidate;
+    return std::nullopt;
+}
+
+std::optional<Fq2>
+Fq2::sqrt() const
+{
+    if (isZero())
+        return Fq2::zero();
+    if (c1_.isZero()) {
+        // Purely real: either sqrt(x) in Fq, or sqrt(-x)*u.
+        if (auto r = fqSqrt(c0_))
+            return Fq2(*r, Bn254Fq::zero());
+        auto r = fqSqrt(-c0_);
+        if (!r)
+            return std::nullopt;
+        return Fq2(Bn254Fq::zero(), *r);
+    }
+
+    // Complex method: n = sqrt(x^2 + y^2), t = (x +- n)/2 = c^2,
+    // result c + (y / 2c) u.
+    auto n = fqSqrt(norm());
+    if (!n)
+        return std::nullopt;
+    Bn254Fq half = Bn254Fq::fromU64(2).inverse();
+    Bn254Fq t = (c0_ + *n) * half;
+    auto c = fqSqrt(t);
+    if (!c) {
+        t = (c0_ - *n) * half;
+        c = fqSqrt(t);
+        if (!c)
+            return std::nullopt;
+    }
+    Bn254Fq two_c_inv = (*c + *c).inverse();
+    Fq2 root(*c, c1_ * two_c_inv);
+    // The construction can be off by sign conventions; check.
+    if (root * root == *this)
+        return root;
+    return std::nullopt;
+}
+
+} // namespace unintt

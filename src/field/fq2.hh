@@ -1,0 +1,155 @@
+/**
+ * @file
+ * The quadratic extension Fq2 = Fq[u]/(u^2 + 1) of the BN254 base
+ * field (-1 is a quadratic nonresidue mod q since q = 3 mod 4). This
+ * is the coordinate field of the G2 group that pairing-based ZKP
+ * proofs commit [B]_2 into.
+ *
+ * Multiplication uses the Karatsuba-like 3-multiplication schoolbook
+ * identity; square roots use the "complex method" enabled by u^2 = -1,
+ * which is what makes deterministic G2 point construction possible
+ * without hard-coded 254-bit generator constants (see msm/g2.hh).
+ */
+
+#ifndef UNINTT_FIELD_FQ2_HH
+#define UNINTT_FIELD_FQ2_HH
+
+#include <optional>
+#include <string>
+
+#include "field/bn254.hh"
+
+namespace unintt {
+
+/** An element c0 + c1*u of Fq2, u^2 = -1. */
+class Fq2
+{
+  public:
+    /** Zero element. */
+    constexpr Fq2() = default;
+
+    /** From components. */
+    constexpr Fq2(Bn254Fq c0, Bn254Fq c1) : c0_(c0), c1_(c1) {}
+
+    /** Embed a base-field element. */
+    static constexpr Fq2
+    fromBase(Bn254Fq c0)
+    {
+        return Fq2(c0, Bn254Fq::zero());
+    }
+
+    /** Embed a small integer. */
+    static Fq2
+    fromU64(uint64_t x)
+    {
+        return fromBase(Bn254Fq::fromU64(x));
+    }
+
+    static Fq2 zero() { return Fq2(); }
+    static Fq2 one() { return fromBase(Bn254Fq::one()); }
+
+    /** Real component. */
+    const Bn254Fq &c0() const { return c0_; }
+    /** u component. */
+    const Bn254Fq &c1() const { return c1_; }
+
+    Fq2
+    operator+(const Fq2 &o) const
+    {
+        return Fq2(c0_ + o.c0_, c1_ + o.c1_);
+    }
+    Fq2
+    operator-(const Fq2 &o) const
+    {
+        return Fq2(c0_ - o.c0_, c1_ - o.c1_);
+    }
+    Fq2 operator-() const { return Fq2(-c0_, -c1_); }
+
+    /** (a0 + a1 u)(b0 + b1 u) = (a0 b0 - a1 b1) + (a0 b1 + a1 b0) u. */
+    Fq2
+    operator*(const Fq2 &o) const
+    {
+        // Karatsuba: 3 base multiplications.
+        Bn254Fq v0 = c0_ * o.c0_;
+        Bn254Fq v1 = c1_ * o.c1_;
+        Bn254Fq mixed = (c0_ + c1_) * (o.c0_ + o.c1_);
+        return Fq2(v0 - v1, mixed - v0 - v1);
+    }
+
+    Fq2 &operator+=(const Fq2 &o) { return *this = *this + o; }
+    Fq2 &operator-=(const Fq2 &o) { return *this = *this - o; }
+    Fq2 &operator*=(const Fq2 &o) { return *this = *this * o; }
+
+    bool
+    operator==(const Fq2 &o) const
+    {
+        return c0_ == o.c0_ && c1_ == o.c1_;
+    }
+    bool operator!=(const Fq2 &o) const { return !(*this == o); }
+
+    bool isZero() const { return c0_.isZero() && c1_.isZero(); }
+
+    /** Conjugate a0 - a1 u. */
+    Fq2 conjugate() const { return Fq2(c0_, -c1_); }
+
+    /** Norm a0^2 + a1^2 (an Fq element). */
+    Bn254Fq
+    norm() const
+    {
+        return c0_ * c0_ + c1_ * c1_;
+    }
+
+    /** Multiplicative inverse via the conjugate over the norm. */
+    Fq2
+    inverse() const
+    {
+        Bn254Fq ninv = norm().inverse();
+        return Fq2(c0_ * ninv, -c1_ * ninv);
+    }
+
+    /** this^exp for a 256-bit exponent. */
+    Fq2
+    pow(const U256 &exp) const
+    {
+        Fq2 base = *this;
+        Fq2 acc = one();
+        int top = exp.highestBit();
+        for (int i = 0; i <= top; ++i) {
+            if (exp.bit(static_cast<unsigned>(i)))
+                acc *= base;
+            base *= base;
+        }
+        return acc;
+    }
+
+    /**
+     * Square root by the complex method (valid because u^2 = -1 and
+     * q = 3 mod 4): for a = x + y u, if n = sqrt(norm) exists in Fq
+     * and t = (x + n)/2 (or (x - n)/2) is a square c^2, then
+     * sqrt(a) = c + (y / 2c) u.
+     *
+     * @return a root, or nullopt when the element is a nonresidue.
+     */
+    std::optional<Fq2> sqrt() const;
+
+    /** "(c0, c1)" hex rendering. */
+    std::string
+    toString() const
+    {
+        return "(" + c0_.toString() + ", " + c1_.toString() + ")";
+    }
+
+  private:
+    Bn254Fq c0_;
+    Bn254Fq c1_;
+};
+
+/**
+ * Square root in the base field Fq (q = 3 mod 4): a^((q+1)/4) if a is
+ * a residue.
+ */
+std::optional<Bn254Fq> fqSqrt(const Bn254Fq &a);
+
+} // namespace unintt
+
+#endif // UNINTT_FIELD_FQ2_HH

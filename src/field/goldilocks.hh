@@ -1,0 +1,176 @@
+/**
+ * @file
+ * The Goldilocks prime field F_p with p = 2^64 - 2^32 + 1.
+ *
+ * Goldilocks is the workhorse field of hash-based ZKP systems (Plonky2,
+ * Polygon zkEVM, Risc0-adjacent designs): it fits one machine word, its
+ * special form gives a branch-light reduction, and p - 1 = 2^32 * (2^32-1)
+ * provides 32 bits of two-adicity, enough for NTTs up to size 2^32.
+ *
+ * Elements are kept canonical (in [0, p)) at all times, so equality is
+ * plain integer comparison.
+ */
+
+#ifndef UNINTT_FIELD_GOLDILOCKS_HH
+#define UNINTT_FIELD_GOLDILOCKS_HH
+
+#include <cstdint>
+#include <string>
+
+namespace unintt {
+
+/** An element of the Goldilocks field. Value type, 8 bytes. */
+class Goldilocks
+{
+  public:
+    /** The field modulus. */
+    static constexpr uint64_t kModulus = 0xffffffff00000001ULL;
+    /** 2^64 mod p; also the correction term for carries. */
+    static constexpr uint64_t kEpsilon = 0xffffffffULL;
+    /** Largest k such that 2^k divides p - 1. */
+    static constexpr unsigned kTwoAdicity = 32;
+    /** A generator of the multiplicative group (hence a nonresidue). */
+    static constexpr uint64_t kGenerator = 7;
+    /** Storage size used by the performance model. */
+    static constexpr size_t kBytes = 8;
+    /** Field name for reports. */
+    static constexpr const char *kName = "Goldilocks";
+
+    /** Zero-initialized element. */
+    constexpr Goldilocks() : value_(0) {}
+
+    /** Reduce an arbitrary 64-bit integer into the field. */
+    static constexpr Goldilocks
+    fromU64(uint64_t x)
+    {
+        Goldilocks e;
+        e.value_ = x >= kModulus ? x - kModulus : x;
+        return e;
+    }
+
+    /** The additive identity. */
+    static constexpr Goldilocks zero() { return Goldilocks(); }
+
+    /** The multiplicative identity. */
+    static constexpr Goldilocks one() { return fromU64(1); }
+
+    /** Canonical representative in [0, p). */
+    constexpr uint64_t value() const { return value_; }
+
+    /** Field addition. */
+    constexpr Goldilocks
+    operator+(Goldilocks o) const
+    {
+        uint64_t s = value_ + o.value_;
+        if (s < value_) // carry out of 64 bits: 2^64 == epsilon (mod p)
+            s += kEpsilon;
+        if (s >= kModulus)
+            s -= kModulus;
+        Goldilocks r;
+        r.value_ = s;
+        return r;
+    }
+
+    /** Field subtraction. */
+    constexpr Goldilocks
+    operator-(Goldilocks o) const
+    {
+        uint64_t d = value_ - o.value_;
+        if (value_ < o.value_) // borrow: -2^64 == -epsilon (mod p)
+            d -= kEpsilon;
+        Goldilocks r;
+        r.value_ = d;
+        return r;
+    }
+
+    /** Additive inverse. */
+    constexpr Goldilocks
+    operator-() const
+    {
+        Goldilocks r;
+        r.value_ = value_ == 0 ? 0 : kModulus - value_;
+        return r;
+    }
+
+    /** Field multiplication via the special-form 128-bit reduction. */
+    constexpr Goldilocks
+    operator*(Goldilocks o) const
+    {
+        Goldilocks r;
+        r.value_ = reduce128(static_cast<unsigned __int128>(value_) *
+                             o.value_);
+        return r;
+    }
+
+    Goldilocks &operator+=(Goldilocks o) { return *this = *this + o; }
+    Goldilocks &operator-=(Goldilocks o) { return *this = *this - o; }
+    Goldilocks &operator*=(Goldilocks o) { return *this = *this * o; }
+
+    constexpr bool operator==(Goldilocks o) const
+    {
+        return value_ == o.value_;
+    }
+    constexpr bool operator!=(Goldilocks o) const
+    {
+        return value_ != o.value_;
+    }
+
+    /** this^exp by square-and-multiply. */
+    Goldilocks pow(uint64_t exp) const;
+
+    /** Multiplicative inverse; panics on zero. */
+    Goldilocks inverse() const;
+
+    /** True iff the element is zero. */
+    constexpr bool isZero() const { return value_ == 0; }
+
+    /**
+     * Primitive 2^log_n-th root of unity.
+     * @param log_n must be <= kTwoAdicity.
+     */
+    static Goldilocks rootOfUnity(unsigned log_n);
+
+    /** Generator of the full multiplicative group, for coset NTTs. */
+    static Goldilocks multiplicativeGenerator()
+    {
+        return fromU64(kGenerator);
+    }
+
+    /** Decimal string of the canonical value. */
+    std::string toString() const { return std::to_string(value_); }
+
+  private:
+    /**
+     * Reduce a 128-bit product modulo p using
+     * 2^64 == 2^32 - 1 and 2^96 == -1 (mod p).
+     */
+    static constexpr uint64_t
+    reduce128(unsigned __int128 x)
+    {
+        uint64_t x_lo = static_cast<uint64_t>(x);
+        uint64_t x_hi = static_cast<uint64_t>(x >> 64);
+        uint64_t x_hi_hi = x_hi >> 32;
+        uint64_t x_hi_lo = x_hi & kEpsilon;
+
+        // t0 = x_lo - x_hi_hi  (the 2^96 == -1 term)
+        uint64_t t0 = x_lo - x_hi_hi;
+        if (x_lo < x_hi_hi)
+            t0 -= kEpsilon; // borrow: -2^64 == -epsilon
+
+        // t1 = x_hi_lo * (2^32 - 1)  (the 2^64 == epsilon term)
+        uint64_t t1 = (x_hi_lo << 32) - x_hi_lo;
+
+        uint64_t res = t0 + t1;
+        if (res < t0) // carry
+            res += kEpsilon;
+        if (res >= kModulus)
+            res -= kModulus;
+        return res;
+    }
+
+    uint64_t value_;
+};
+
+} // namespace unintt
+
+#endif // UNINTT_FIELD_GOLDILOCKS_HH

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * The quadratic extension of Goldilocks, F_{p^2} = F_p[X]/(X^2 - 7)
+ * (7 generates F_p^*, hence is a nonresidue, so X^2 - 7 is
+ * irreducible). Hash-based proof systems over 64-bit fields draw their
+ * verifier challenges from this extension to push soundness error from
+ * ~2^-64 to ~2^-128 (Plonky2's "challenge field"); it is provided here
+ * as the substrate for that amplification.
+ */
+
+#ifndef UNINTT_FIELD_GOLDILOCKS_EXT_HH
+#define UNINTT_FIELD_GOLDILOCKS_EXT_HH
+
+#include <string>
+
+#include "field/goldilocks.hh"
+
+namespace unintt {
+
+/** An element c0 + c1*X of F_{p^2}, X^2 = 7. */
+class GoldilocksExt
+{
+  public:
+    /** The nonresidue X^2 evaluates to. */
+    static constexpr uint64_t kNonResidue = 7;
+
+    constexpr GoldilocksExt() = default;
+
+    constexpr GoldilocksExt(Goldilocks c0, Goldilocks c1)
+        : c0_(c0), c1_(c1)
+    {
+    }
+
+    /** Embed a base-field element. */
+    static constexpr GoldilocksExt
+    fromBase(Goldilocks c0)
+    {
+        return GoldilocksExt(c0, Goldilocks::zero());
+    }
+
+    /** Embed a small integer. */
+    static GoldilocksExt
+    fromU64(uint64_t x)
+    {
+        return fromBase(Goldilocks::fromU64(x));
+    }
+
+    static GoldilocksExt zero() { return GoldilocksExt(); }
+    static GoldilocksExt one() { return fromBase(Goldilocks::one()); }
+
+    /** Base component. */
+    Goldilocks c0() const { return c0_; }
+    /** Extension component. */
+    Goldilocks c1() const { return c1_; }
+
+    GoldilocksExt
+    operator+(const GoldilocksExt &o) const
+    {
+        return GoldilocksExt(c0_ + o.c0_, c1_ + o.c1_);
+    }
+    GoldilocksExt
+    operator-(const GoldilocksExt &o) const
+    {
+        return GoldilocksExt(c0_ - o.c0_, c1_ - o.c1_);
+    }
+    GoldilocksExt operator-() const { return GoldilocksExt(-c0_, -c1_); }
+
+    /** (a0 + a1 X)(b0 + b1 X) = a0 b0 + 7 a1 b1 + (a0 b1 + a1 b0) X. */
+    GoldilocksExt
+    operator*(const GoldilocksExt &o) const
+    {
+        Goldilocks nr = Goldilocks::fromU64(kNonResidue);
+        return GoldilocksExt(c0_ * o.c0_ + nr * (c1_ * o.c1_),
+                             c0_ * o.c1_ + c1_ * o.c0_);
+    }
+
+    GoldilocksExt &
+    operator+=(const GoldilocksExt &o)
+    {
+        return *this = *this + o;
+    }
+    GoldilocksExt &
+    operator-=(const GoldilocksExt &o)
+    {
+        return *this = *this - o;
+    }
+    GoldilocksExt &
+    operator*=(const GoldilocksExt &o)
+    {
+        return *this = *this * o;
+    }
+
+    bool
+    operator==(const GoldilocksExt &o) const
+    {
+        return c0_ == o.c0_ && c1_ == o.c1_;
+    }
+    bool
+    operator!=(const GoldilocksExt &o) const
+    {
+        return !(*this == o);
+    }
+
+    bool isZero() const { return c0_.isZero() && c1_.isZero(); }
+
+    /** Frobenius-style conjugate a0 - a1 X. */
+    GoldilocksExt conjugate() const { return GoldilocksExt(c0_, -c1_); }
+
+    /** Norm a0^2 - 7 a1^2 in the base field. */
+    Goldilocks
+    norm() const
+    {
+        return c0_ * c0_ -
+               Goldilocks::fromU64(kNonResidue) * c1_ * c1_;
+    }
+
+    /** Multiplicative inverse via the conjugate over the norm. */
+    GoldilocksExt
+    inverse() const
+    {
+        Goldilocks ninv = norm().inverse();
+        return GoldilocksExt(c0_ * ninv, -c1_ * ninv);
+    }
+
+    /** this^exp by square-and-multiply. */
+    GoldilocksExt
+    pow(uint64_t exp) const
+    {
+        GoldilocksExt base = *this;
+        GoldilocksExt acc = one();
+        while (exp) {
+            if (exp & 1)
+                acc *= base;
+            base *= base;
+            exp >>= 1;
+        }
+        return acc;
+    }
+
+    /** "(c0, c1)" rendering. */
+    std::string
+    toString() const
+    {
+        return "(" + c0_.toString() + ", " + c1_.toString() + ")";
+    }
+
+  private:
+    Goldilocks c0_;
+    Goldilocks c1_;
+};
+
+} // namespace unintt
+
+#endif // UNINTT_FIELD_GOLDILOCKS_EXT_HH

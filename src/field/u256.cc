@@ -1,0 +1,19 @@
+#include "field/u256.hh"
+
+#include <cstdio>
+
+namespace unintt {
+
+std::string
+U256::toHexString() const
+{
+    char buf[2 + 64 + 1];
+    std::snprintf(buf, sizeof(buf), "0x%016lx%016lx%016lx%016lx",
+                  static_cast<unsigned long>(limb[3]),
+                  static_cast<unsigned long>(limb[2]),
+                  static_cast<unsigned long>(limb[1]),
+                  static_cast<unsigned long>(limb[0]));
+    return buf;
+}
+
+} // namespace unintt

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Fixed-width 256-bit unsigned integer arithmetic used as the limb layer
+ * of the 256-bit Montgomery fields (BN254 Fr and Fq). Little-endian limb
+ * order: limb[0] is least significant.
+ */
+
+#ifndef UNINTT_FIELD_U256_HH
+#define UNINTT_FIELD_U256_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace unintt {
+
+/** A 256-bit unsigned integer (4 x 64-bit limbs, little-endian). */
+struct U256
+{
+    std::array<uint64_t, 4> limb{0, 0, 0, 0};
+
+    constexpr U256() = default;
+
+    /** Construct from a 64-bit value. */
+    constexpr explicit U256(uint64_t lo) : limb{lo, 0, 0, 0} {}
+
+    /** Construct from explicit limbs (little-endian). */
+    constexpr U256(uint64_t l0, uint64_t l1, uint64_t l2, uint64_t l3)
+        : limb{l0, l1, l2, l3}
+    {
+    }
+
+    constexpr bool
+    operator==(const U256 &o) const
+    {
+        return limb == o.limb;
+    }
+    constexpr bool operator!=(const U256 &o) const { return !(*this == o); }
+
+    /** True iff all limbs are zero. */
+    constexpr bool
+    isZero() const
+    {
+        return limb[0] == 0 && limb[1] == 0 && limb[2] == 0 && limb[3] == 0;
+    }
+
+    /** Value of bit @p i (0 = least significant). */
+    constexpr bool
+    bit(unsigned i) const
+    {
+        return (limb[i / 64] >> (i % 64)) & 1;
+    }
+
+    /** Index of the highest set bit, or -1 if zero. */
+    constexpr int
+    highestBit() const
+    {
+        for (int i = 255; i >= 0; --i)
+            if (bit(static_cast<unsigned>(i)))
+                return i;
+        return -1;
+    }
+
+    /** Hex string with 0x prefix, no leading-zero suppression. */
+    std::string toHexString() const;
+};
+
+/** a + b, writing the sum to @p out; returns the carry out. */
+constexpr uint64_t
+addCarry(const U256 &a, const U256 &b, U256 &out)
+{
+    unsigned __int128 carry = 0;
+    for (int i = 0; i < 4; ++i) {
+        unsigned __int128 s = static_cast<unsigned __int128>(a.limb[i]) +
+                              b.limb[i] + carry;
+        out.limb[i] = static_cast<uint64_t>(s);
+        carry = s >> 64;
+    }
+    return static_cast<uint64_t>(carry);
+}
+
+/** a - b, writing the difference to @p out; returns the borrow out. */
+constexpr uint64_t
+subBorrow(const U256 &a, const U256 &b, U256 &out)
+{
+    unsigned __int128 borrow = 0;
+    for (int i = 0; i < 4; ++i) {
+        unsigned __int128 d = static_cast<unsigned __int128>(a.limb[i]) -
+                              b.limb[i] - borrow;
+        out.limb[i] = static_cast<uint64_t>(d);
+        borrow = (d >> 64) & 1; // 1 iff the subtraction wrapped
+    }
+    return static_cast<uint64_t>(borrow);
+}
+
+/** Three-way comparison: -1, 0, or +1. */
+constexpr int
+cmp(const U256 &a, const U256 &b)
+{
+    for (int i = 3; i >= 0; --i) {
+        if (a.limb[i] < b.limb[i])
+            return -1;
+        if (a.limb[i] > b.limb[i])
+            return 1;
+    }
+    return 0;
+}
+
+/** True iff a >= b. */
+constexpr bool
+geq(const U256 &a, const U256 &b)
+{
+    return cmp(a, b) >= 0;
+}
+
+/** Full 256x256 -> 512-bit product, little-endian 8-limb result. */
+constexpr std::array<uint64_t, 8>
+mulWide(const U256 &a, const U256 &b)
+{
+    std::array<uint64_t, 8> t{0, 0, 0, 0, 0, 0, 0, 0};
+    for (int i = 0; i < 4; ++i) {
+        uint64_t carry = 0;
+        for (int j = 0; j < 4; ++j) {
+            unsigned __int128 cur =
+                static_cast<unsigned __int128>(a.limb[i]) * b.limb[j] +
+                t[i + j] + carry;
+            t[i + j] = static_cast<uint64_t>(cur);
+            carry = static_cast<uint64_t>(cur >> 64);
+        }
+        t[i + 4] = carry;
+    }
+    return t;
+}
+
+/** (a << 1) mod m, assuming a < m. Used for building 2^k mod m tables. */
+constexpr U256
+doubleMod(const U256 &a, const U256 &m)
+{
+    U256 out;
+    uint64_t carry = addCarry(a, a, out);
+    // Reduce: if the doubled value overflowed 256 bits or is >= m,
+    // subtract m once (a < m implies 2a < 2m, so once suffices).
+    if (carry || geq(out, m)) {
+        U256 reduced;
+        subBorrow(out, m, reduced);
+        out = reduced;
+    }
+    return out;
+}
+
+} // namespace unintt
+
+#endif // UNINTT_FIELD_U256_HH

@@ -1,0 +1,37 @@
+#include "msm/g2.hh"
+
+#include "util/logging.hh"
+
+namespace unintt {
+
+Fq2
+G2Params::b()
+{
+    // 3 / (9 + u), the standard BN254 twist constant.
+    static const Fq2 value =
+        Fq2::fromU64(3) *
+        Fq2(Bn254Fq::fromU64(9), Bn254Fq::one()).inverse();
+    return value;
+}
+
+AffinePt<Fq2, G2Params>
+G2Params::basePoint()
+{
+    // Deterministic try-and-increment: walk x = k + u, k = 1, 2, ...
+    // until x^3 + b' is a square in Fq2.
+    static const AffinePt<Fq2, G2Params> point = [] {
+        for (uint64_t k = 1; k < 1000; ++k) {
+            Fq2 x(Bn254Fq::fromU64(k), Bn254Fq::one());
+            Fq2 rhs = x * x * x + b();
+            if (auto y = rhs.sqrt()) {
+                AffinePt<Fq2, G2Params> p{x, *y};
+                UNINTT_ASSERT(p.isOnCurve(), "sqrt produced a bad point");
+                return p;
+            }
+        }
+        panic("no G2 base point found in 1000 candidates");
+    }();
+    return point;
+}
+
+} // namespace unintt

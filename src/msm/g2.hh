@@ -1,0 +1,48 @@
+/**
+ * @file
+ * The BN254 G2 curve: y^2 = x^3 + 3/(9 + u) over Fq2. Groth16 proofs
+ * carry one element ([B]_2) on this curve, so the end-to-end prover
+ * needs real G2 MSM, whose Fq2 arithmetic costs ~3x the G1 Fq cost —
+ * the constant the pipeline model uses is validated against this
+ * implementation in the tests.
+ *
+ * The base point is constructed deterministically by hashing to an
+ * x-coordinate and taking the first square root that lands on the
+ * curve (possible in closed form because u^2 = -1, see field/fq2.hh),
+ * then clearing nothing: MSM and the group laws hold on all of
+ * E'(Fq2), so the subgroup cofactor is irrelevant here and no 254-bit
+ * generator constants need to be trusted.
+ */
+
+#ifndef UNINTT_MSM_G2_HH
+#define UNINTT_MSM_G2_HH
+
+#include "field/fq2.hh"
+#include "msm/weierstrass.hh"
+
+namespace unintt {
+
+/** Curve constants of BN254 G2 (the sextic twist). */
+struct G2Params
+{
+    /** b' = 3 / (9 + u). */
+    static Fq2 b();
+
+    /** A deterministic point on the twist (not cofactor-cleared). */
+    static AffinePt<Fq2, G2Params> basePoint();
+};
+
+/** A point of BN254 G2 in affine coordinates. */
+using G2Affine = AffinePt<Fq2, G2Params>;
+
+/** A point of BN254 G2 in Jacobian coordinates. */
+using G2Jacobian = JacobianPt<Fq2, G2Params>;
+
+/** Fq-multiplication cost of one Fq2 multiplication (Karatsuba). */
+constexpr double kFq2MulFqMuls = 3.0;
+/** Serialized size of an affine G2 point in device memory. */
+constexpr size_t kG2AffineBytes = 128;
+
+} // namespace unintt
+
+#endif // UNINTT_MSM_G2_HH

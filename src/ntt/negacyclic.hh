@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Negacyclic NTT: the transform that diagonalizes multiplication in
+ * F[X]/(X^n + 1), the ring of RLWE-based homomorphic encryption and of
+ * several hash-based proof systems. Implemented by the standard
+ * psi-twist: scale input i by psi^i (psi a primitive 2n-th root, so
+ * psi^2 = w), run the cyclic NTT, and un-twist after the inverse.
+ * Requires one extra bit of two-adicity compared to the cyclic case.
+ */
+
+#ifndef UNINTT_NTT_NEGACYCLIC_HH
+#define UNINTT_NTT_NEGACYCLIC_HH
+
+#include <vector>
+
+#include "field/field_traits.hh"
+#include "ntt/ntt.hh"
+#include "ntt/radix2.hh"
+#include "util/bitops.hh"
+#include "util/logging.hh"
+
+namespace unintt {
+
+/**
+ * Forward negacyclic NTT, natural order in and out. After this,
+ * pointwise products correspond to multiplication mod X^n + 1.
+ */
+template <NttField F>
+void
+negacyclicNttForward(std::vector<F> &a)
+{
+    size_t n = a.size();
+    UNINTT_ASSERT(isPow2(n), "size must be a power of two");
+    unsigned log_n = log2Exact(n);
+    UNINTT_ASSERT(log_n + 1 <= F::kTwoAdicity,
+                  "field lacks the 2n-th root for the psi twist");
+    F psi = F::rootOfUnity(log_n + 1);
+    F power = F::one();
+    for (auto &v : a) {
+        v *= power;
+        power *= psi;
+    }
+    nttForwardInPlace(a);
+}
+
+/** Inverse negacyclic NTT, natural order in and out. */
+template <NttField F>
+void
+negacyclicNttInverse(std::vector<F> &a)
+{
+    size_t n = a.size();
+    UNINTT_ASSERT(isPow2(n), "size must be a power of two");
+    unsigned log_n = log2Exact(n);
+    nttInverseInPlace(a);
+    F psi_inv = F::rootOfUnity(log_n + 1).inverse();
+    F power = F::one();
+    for (auto &v : a) {
+        v *= power;
+        power *= psi_inv;
+    }
+}
+
+/**
+ * Reference negacyclic convolution: out[k] = sum_{i+j = k} a_i b_j
+ * minus the wrapped terms (X^n = -1).
+ */
+template <NttField F>
+std::vector<F>
+naiveNegacyclicConvolution(const std::vector<F> &a, const std::vector<F> &b)
+{
+    UNINTT_ASSERT(a.size() == b.size(), "operand sizes must match");
+    size_t n = a.size();
+    std::vector<F> out(n, F::zero());
+    for (size_t i = 0; i < n; ++i) {
+        for (size_t j = 0; j < n; ++j) {
+            F term = a[i] * b[j];
+            size_t k = i + j;
+            if (k < n)
+                out[k] += term;
+            else
+                out[k - n] -= term;
+        }
+    }
+    return out;
+}
+
+} // namespace unintt
+
+#endif // UNINTT_NTT_NEGACYCLIC_HH

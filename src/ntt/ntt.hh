@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Public vocabulary types of the NTT layer: transform direction and
+ * element ordering, plus a convenience dispatcher over the reference CPU
+ * implementations. The GPU-simulated engines (src/unintt, src/baselines)
+ * share these types.
+ *
+ * Ordering conventions used across the library:
+ *  - the forward DIF transform maps Natural -> BitReversed;
+ *  - the inverse DIT transform maps BitReversed -> Natural;
+ * so a forward/inverse round trip needs no explicit permutation. This is
+ * the standard trick ZKP provers use: pointwise products and inverse
+ * transforms consume the bit-reversed order directly.
+ */
+
+#ifndef UNINTT_NTT_NTT_HH
+#define UNINTT_NTT_NTT_HH
+
+#include <cstdint>
+#include <string>
+
+namespace unintt {
+
+/** Transform direction. */
+enum class NttDirection { Forward, Inverse };
+
+/** Element ordering of a transform's input or output. */
+enum class Ordering { Natural, BitReversed };
+
+/** Printable name of a direction. */
+inline const char *
+toString(NttDirection dir)
+{
+    return dir == NttDirection::Forward ? "forward" : "inverse";
+}
+
+/** Printable name of an ordering. */
+inline const char *
+toString(Ordering ord)
+{
+    return ord == Ordering::Natural ? "natural" : "bit-reversed";
+}
+
+} // namespace unintt
+
+#endif // UNINTT_NTT_NTT_HH

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Multithreaded host NTT: the radix-2 stages parallelized over
+ * std::thread workers. Serves as the multicore-CPU baseline of the
+ * motivation story (provers start on CPUs) and as a stress test of
+ * the transform's data-parallel structure: butterflies within a stage
+ * are independent, so each stage splits into disjoint index ranges
+ * with a barrier between stages.
+ */
+
+#ifndef UNINTT_NTT_PARALLEL_HH
+#define UNINTT_NTT_PARALLEL_HH
+
+#include <thread>
+#include <vector>
+
+#include "field/field_traits.hh"
+#include "ntt/ntt.hh"
+#include "ntt/twiddle.hh"
+#include "util/bitops.hh"
+#include "util/logging.hh"
+
+namespace unintt {
+
+/**
+ * Parallel forward DIF transform: natural order in, bit-reversed out
+ * (the engine convention). Spawns @p num_threads workers per stage;
+ * 0 selects the hardware concurrency.
+ */
+template <NttField F>
+void
+nttParallel(std::vector<F> &a, NttDirection dir, unsigned num_threads = 0)
+{
+    const size_t n = a.size();
+    UNINTT_ASSERT(isPow2(n), "size must be a power of two");
+    if (num_threads == 0)
+        num_threads = std::max(1u, std::thread::hardware_concurrency());
+    // Below this many butterflies per stage, threads cost more than
+    // they save.
+    if (n < (1u << 12) || num_threads == 1) {
+        nttNoPermute(a, dir);
+        return;
+    }
+
+    TwiddleTable<F> tw(n, dir);
+    const unsigned log_n = log2Exact(n);
+
+    // Stage order: DIF descends for forward, DIT ascends for inverse.
+    auto run_stage = [&](unsigned s) {
+        const size_t half = n >> (s + 1);
+        // Partition the n/2 butterflies of this stage into contiguous
+        // index ranges; butterfly t of the stage works on
+        // (block, j) = (t / half, t mod half).
+        const size_t total = n / 2;
+        const size_t per_thread = (total + num_threads - 1) / num_threads;
+        std::vector<std::thread> workers;
+        for (unsigned t = 0; t < num_threads; ++t) {
+            size_t begin = t * per_thread;
+            size_t end = std::min(total, begin + per_thread);
+            if (begin >= end)
+                break;
+            workers.emplace_back([&, begin, end, s, half] {
+                for (size_t bf = begin; bf < end; ++bf) {
+                    size_t block = bf / half;
+                    size_t j = bf % half;
+                    size_t base = block * 2 * half + j;
+                    F u = a[base];
+                    F v = a[base + half];
+                    if (dir == NttDirection::Forward) {
+                        a[base] = u + v;
+                        a[base + half] = (u - v) * tw[j << s];
+                    } else {
+                        v = v * tw[j << s];
+                        a[base] = u + v;
+                        a[base + half] = u - v;
+                    }
+                }
+            });
+        }
+        for (auto &w : workers)
+            w.join();
+    };
+
+    if (dir == NttDirection::Forward) {
+        for (unsigned s = 0; s < log_n; ++s)
+            run_stage(s);
+    } else {
+        for (unsigned s = log_n; s-- > 0;)
+            run_stage(s);
+        F scale = inverseScale<F>(n);
+        for (auto &v : a)
+            v *= scale;
+    }
+}
+
+} // namespace unintt
+
+#endif // UNINTT_NTT_PARALLEL_HH

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * In-place iterative radix-2 transforms:
+ *
+ *  - nttDif: Gentleman–Sande decimation-in-frequency butterflies,
+ *    Natural input -> BitReversed output;
+ *  - nttDit: Cooley–Tukey decimation-in-time butterflies,
+ *    BitReversed input -> Natural output.
+ *
+ * The pair composes without any permutation pass, which is the layout
+ * every engine in this library uses internally. Natural->Natural
+ * wrappers that add the explicit bit-reversal are provided for callers
+ * that need ordered output.
+ */
+
+#ifndef UNINTT_NTT_RADIX2_HH
+#define UNINTT_NTT_RADIX2_HH
+
+#include <vector>
+
+#include "field/field_traits.hh"
+#include "ntt/ntt.hh"
+#include "ntt/twiddle.hh"
+#include "util/bitops.hh"
+#include "util/logging.hh"
+
+namespace unintt {
+
+/**
+ * Decimation-in-frequency butterflies over @p a (size n, natural order).
+ * Output is in bit-reversed order. @p tw must be a forward table of
+ * size n (for Inverse semantics build the table with w^-1 and scale
+ * afterwards — see nttInverseInPlace).
+ */
+template <NttField F>
+void
+nttDif(F *a, size_t n, const TwiddleTable<F> &tw)
+{
+    UNINTT_ASSERT(tw.n() == n, "twiddle table size mismatch");
+    for (size_t half = n / 2; half >= 1; half /= 2) {
+        size_t stride = n / (2 * half); // exponent step at this stage
+        for (size_t start = 0; start < n; start += 2 * half) {
+            for (size_t j = 0; j < half; ++j) {
+                F u = a[start + j];
+                F v = a[start + j + half];
+                a[start + j] = u + v;
+                a[start + j + half] = (u - v) * tw[j * stride];
+            }
+        }
+    }
+}
+
+/**
+ * Decimation-in-time butterflies over @p a (size n, bit-reversed order).
+ * Output is in natural order.
+ */
+template <NttField F>
+void
+nttDit(F *a, size_t n, const TwiddleTable<F> &tw)
+{
+    UNINTT_ASSERT(tw.n() == n, "twiddle table size mismatch");
+    for (size_t half = 1; half < n; half *= 2) {
+        size_t stride = n / (2 * half);
+        for (size_t start = 0; start < n; start += 2 * half) {
+            for (size_t j = 0; j < half; ++j) {
+                F u = a[start + j];
+                F v = a[start + j + half] * tw[j * stride];
+                a[start + j] = u + v;
+                a[start + j + half] = u - v;
+            }
+        }
+    }
+}
+
+/**
+ * Forward NTT, natural order in and out (adds the bit-reversal pass).
+ */
+template <NttField F>
+void
+nttForwardInPlace(std::vector<F> &a)
+{
+    TwiddleTable<F> tw(a.size(), NttDirection::Forward);
+    nttDif(a.data(), a.size(), tw);
+    bitReversePermute(a.data(), a.size());
+}
+
+/**
+ * Inverse NTT, natural order in and out, including the n^-1 scaling.
+ */
+template <NttField F>
+void
+nttInverseInPlace(std::vector<F> &a)
+{
+    TwiddleTable<F> tw(a.size(), NttDirection::Inverse);
+    bitReversePermute(a.data(), a.size());
+    nttDit(a.data(), a.size(), tw);
+    F scale = inverseScale<F>(a.size());
+    for (auto &v : a)
+        v *= scale;
+}
+
+/**
+ * One transform in the permutation-free convention:
+ * Forward maps Natural -> BitReversed, Inverse maps BitReversed ->
+ * Natural (with n^-1 scaling). This is the fast path engines replicate.
+ */
+template <NttField F>
+void
+nttNoPermute(std::vector<F> &a, NttDirection dir)
+{
+    TwiddleTable<F> tw(a.size(), dir);
+    if (dir == NttDirection::Forward) {
+        nttDif(a.data(), a.size(), tw);
+    } else {
+        nttDit(a.data(), a.size(), tw);
+        F scale = inverseScale<F>(a.size());
+        for (auto &v : a)
+            v *= scale;
+    }
+}
+
+} // namespace unintt
+
+#endif // UNINTT_NTT_RADIX2_HH

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Iterative radix-4 decimation-in-frequency NTT. Each stage resolves
+ * two bits with a 4-point butterfly (3 twiddle multiplies per 4
+ * outputs instead of radix-2's 4 per two stages, and half the passes)
+ * — the classic mixed-radix trade GPU kernels exploit. Each 4-point
+ * butterfly computes exactly what two fused radix-2 DIF stages would,
+ * so the output ordering is the ordinary bit reversal and the kernel
+ * composes freely with the radix-2 ones.
+ *
+ * Sizes must be powers of 4 here; production mixed-radix codes append
+ * one radix-2 stage for odd log2 sizes, which radix2.hh already
+ * provides — the engines compose the two.
+ */
+
+#ifndef UNINTT_NTT_RADIX4_HH
+#define UNINTT_NTT_RADIX4_HH
+
+#include <vector>
+
+#include "field/field_traits.hh"
+#include "ntt/ntt.hh"
+#include "ntt/twiddle.hh"
+#include "util/bitops.hh"
+#include "util/logging.hh"
+
+namespace unintt {
+
+/** True iff n is a power of four. */
+constexpr bool
+isPow4(uint64_t n)
+{
+    return isPow2(n) && (log2Floor(n) % 2 == 0);
+}
+
+/**
+ * Radix-4 DIF butterflies over @p a (size n = 4^k, natural order).
+ * Output is in base-4 digit-reversed order. For the Inverse direction
+ * build @p tw with inverse twiddles and scale afterwards.
+ *
+ * The 4-point kernel evaluates the size-4 DFT with i = w_4 (the
+ * primitive 4th root): with (a0..a3) and s = n/4 spacing,
+ *   b0 = a0 + a1 + a2 + a3
+ *   b1 = (a0 - a1 + a2 - a3) * w^(2j)
+ *   b2 = (a0 + i a1 - a2 - i a3) * w^j
+ *   b3 = (a0 - i a1 - a2 + i a3) * w^(3j)
+ * matching two fused radix-2 DIF stages.
+ */
+template <NttField F>
+void
+nttDifRadix4(F *a, size_t n, const TwiddleTable<F> &tw)
+{
+    UNINTT_ASSERT(isPow4(n), "size must be a power of four");
+    UNINTT_ASSERT(tw.n() == n, "twiddle table size mismatch");
+    const F im = tw.root().pow(n / 4); // the primitive 4th root
+
+    for (size_t quarter = n / 4; quarter >= 1; quarter /= 4) {
+        size_t stride = n / (4 * quarter); // twiddle exponent step
+        for (size_t start = 0; start < n; start += 4 * quarter) {
+            for (size_t j = 0; j < quarter; ++j) {
+                F a0 = a[start + j];
+                F a1 = a[start + j + quarter];
+                F a2 = a[start + j + 2 * quarter];
+                F a3 = a[start + j + 3 * quarter];
+
+                F t02p = a0 + a2;
+                F t02m = a0 - a2;
+                F t13p = a1 + a3;
+                F t13m = (a1 - a3) * im;
+
+                size_t e = j * stride;
+                a[start + j] = t02p + t13p;
+                a[start + j + quarter] =
+                    e ? (t02p - t13p) * tw[2 * e] : t02p - t13p;
+                a[start + j + 2 * quarter] =
+                    e ? (t02m + t13m) * tw[e] : t02m + t13m;
+                a[start + j + 3 * quarter] =
+                    (t02m - t13m) * tw[(3 * e) % (n / 2)] *
+                    (3 * e >= n / 2 ? -F::one() : F::one());
+            }
+        }
+    }
+}
+
+/**
+ * Forward radix-4 NTT, natural order in and out (the butterflies are
+ * fused radix-2 pairs, so the ordinary bit reversal applies).
+ */
+template <NttField F>
+void
+nttRadix4ForwardInPlace(std::vector<F> &a)
+{
+    const size_t n = a.size();
+    UNINTT_ASSERT(isPow4(n), "size must be a power of four");
+    TwiddleTable<F> tw(n, NttDirection::Forward);
+    nttDifRadix4(a.data(), n, tw);
+    bitReversePermute(a.data(), n);
+}
+
+} // namespace unintt
+
+#endif // UNINTT_NTT_RADIX4_HH

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * O(n^2) direct evaluation of the number theoretic transform. Far too
+ * slow for real sizes, but simple enough to be obviously correct: every
+ * fast transform in the library is tested against this oracle.
+ */
+
+#ifndef UNINTT_NTT_REFERENCE_HH
+#define UNINTT_NTT_REFERENCE_HH
+
+#include <vector>
+
+#include "field/field_traits.hh"
+#include "ntt/ntt.hh"
+#include "ntt/twiddle.hh"
+#include "util/bitops.hh"
+#include "util/logging.hh"
+
+namespace unintt {
+
+/**
+ * Direct DFT: X[k] = sum_n x[n] * w^(nk), natural order in and out.
+ * For Inverse, uses w^-1 and scales by n^-1.
+ */
+template <NttField F>
+std::vector<F>
+naiveDft(const std::vector<F> &x, NttDirection dir)
+{
+    size_t n = x.size();
+    UNINTT_ASSERT(isPow2(n), "size must be a power of two");
+    F w = F::rootOfUnity(log2Exact(n));
+    if (dir == NttDirection::Inverse)
+        w = w.inverse();
+
+    std::vector<F> out(n);
+    for (size_t k = 0; k < n; ++k) {
+        F wk = w.pow(k);   // w^k
+        F wnk = F::one();  // w^(nk), stepped by wk
+        F acc = F::zero();
+        for (size_t i = 0; i < n; ++i) {
+            acc += x[i] * wnk;
+            wnk *= wk;
+        }
+        out[k] = acc;
+    }
+    if (dir == NttDirection::Inverse) {
+        F scale = inverseScale<F>(n);
+        for (auto &v : out)
+            v *= scale;
+    }
+    return out;
+}
+
+/**
+ * Direct polynomial (cyclic) convolution, the semantic contract of
+ * NTT-based multiplication: out[k] = sum_{i+j == k mod n} a[i]*b[j].
+ */
+template <NttField F>
+std::vector<F>
+naiveCyclicConvolution(const std::vector<F> &a, const std::vector<F> &b)
+{
+    UNINTT_ASSERT(a.size() == b.size(), "operand sizes must match");
+    size_t n = a.size();
+    std::vector<F> out(n, F::zero());
+    for (size_t i = 0; i < n; ++i)
+        for (size_t j = 0; j < n; ++j)
+            out[(i + j) % n] += a[i] * b[j];
+    return out;
+}
+
+} // namespace unintt
+
+#endif // UNINTT_NTT_REFERENCE_HH

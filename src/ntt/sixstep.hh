@@ -1,0 +1,112 @@
+/**
+ * @file
+ * The six-step NTT (Bailey's cache variant): for N = n1 * n2 viewed as
+ * an n1 x n2 matrix, (1) transpose, (2) n2 row NTTs of size n1,
+ * (3) twiddle multiplication, (4) transpose, (5) n1 row NTTs of size
+ * n2, (6) transpose. All sub-NTTs run on contiguous rows, which is
+ * what makes the algorithm cache-friendly on CPUs and the historical
+ * basis of out-of-core FFTs. Functionally equivalent to fourStepNtt;
+ * both are oracles for the UniNTT decomposition tests, and the
+ * transposes are the memory passes UniNTT's fusion removes.
+ */
+
+#ifndef UNINTT_NTT_SIXSTEP_HH
+#define UNINTT_NTT_SIXSTEP_HH
+
+#include <vector>
+
+#include "field/field_traits.hh"
+#include "ntt/ntt.hh"
+#include "ntt/radix2.hh"
+#include "ntt/twiddle.hh"
+#include "util/bitops.hh"
+#include "util/logging.hh"
+
+namespace unintt {
+
+namespace detail {
+
+/** Out-of-place transpose of a rows x cols row-major matrix. */
+template <typename F>
+std::vector<F>
+transposeMatrix(const std::vector<F> &in, size_t rows, size_t cols)
+{
+    std::vector<F> out(in.size());
+    for (size_t r = 0; r < rows; ++r)
+        for (size_t c = 0; c < cols; ++c)
+            out[c * rows + r] = in[r * cols + c];
+    return out;
+}
+
+} // namespace detail
+
+/**
+ * Six-step NTT, natural order in and out.
+ *
+ * @param x   input of size n1*n2 (power of two).
+ * @param n1  number of matrix rows (power of two dividing x.size()).
+ * @param dir direction; Inverse applies the full n^-1 scaling.
+ */
+template <NttField F>
+std::vector<F>
+sixStepNtt(const std::vector<F> &x, size_t n1, NttDirection dir)
+{
+    const size_t n = x.size();
+    UNINTT_ASSERT(isPow2(n), "size must be a power of two");
+    UNINTT_ASSERT(isPow2(n1) && n % n1 == 0, "invalid row count");
+    const size_t n2 = n / n1;
+
+    F root = F::rootOfUnity(log2Exact(n));
+    if (dir == NttDirection::Inverse)
+        root = root.inverse();
+
+    // Step 1: transpose n1 x n2 -> n2 x n1 so the size-n1 transforms
+    // run on contiguous rows.
+    std::vector<F> a = detail::transposeMatrix(x, n1, n2);
+
+    // Step 2: n2 contiguous NTTs of size n1.
+    if (n1 > 1) {
+        TwiddleTable<F> tw1(n1, dir);
+        for (size_t r = 0; r < n2; ++r) {
+            nttDif(a.data() + r * n1, n1, tw1);
+            bitReversePermute(a.data() + r * n1, n1);
+        }
+    }
+
+    // Step 3: twiddles. Entry (r, k1) of the n2 x n1 matrix gets
+    // root^(k1 * r).
+    for (size_t r = 1; r < n2; ++r) {
+        F wr = root.pow(r);
+        F w = wr;
+        for (size_t k1 = 1; k1 < n1; ++k1) {
+            a[r * n1 + k1] *= w;
+            w *= wr;
+        }
+    }
+
+    // Step 4: transpose back to n1 x n2.
+    a = detail::transposeMatrix(a, n2, n1);
+
+    // Step 5: n1 contiguous NTTs of size n2.
+    if (n2 > 1) {
+        TwiddleTable<F> tw2(n2, dir);
+        for (size_t r = 0; r < n1; ++r) {
+            nttDif(a.data() + r * n2, n2, tw2);
+            bitReversePermute(a.data() + r * n2, n2);
+        }
+    }
+
+    // Step 6: final transpose: X[k1 + n1*k2] = A[k1][k2].
+    std::vector<F> out = detail::transposeMatrix(a, n1, n2);
+
+    if (dir == NttDirection::Inverse) {
+        F scale = inverseScale<F>(n);
+        for (auto &v : out)
+            v *= scale;
+    }
+    return out;
+}
+
+} // namespace unintt
+
+#endif // UNINTT_NTT_SIXSTEP_HH

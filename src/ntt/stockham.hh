@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Radix-2 Stockham autosort NTT: out-of-place, ping-pong buffers, no
+ * bit-reversal pass, natural order in and out. This is the access
+ * pattern cuFFT-style GPU kernels use, so it doubles as the data-layout
+ * reference for the simulated baselines.
+ */
+
+#ifndef UNINTT_NTT_STOCKHAM_HH
+#define UNINTT_NTT_STOCKHAM_HH
+
+#include <vector>
+
+#include "field/field_traits.hh"
+#include "ntt/ntt.hh"
+#include "ntt/twiddle.hh"
+#include "util/bitops.hh"
+#include "util/logging.hh"
+
+namespace unintt {
+
+/**
+ * Stockham NTT over @p x, natural order in and out. Allocates one
+ * scratch buffer of the same size.
+ *
+ * @param x   data, size must be a power of two.
+ * @param dir transform direction; Inverse includes the n^-1 scaling.
+ */
+template <NttField F>
+void
+nttStockham(std::vector<F> &x, NttDirection dir)
+{
+    const size_t n = x.size();
+    UNINTT_ASSERT(isPow2(n), "size must be a power of two");
+    if (n == 1)
+        return;
+
+    F root = F::rootOfUnity(log2Exact(n));
+    if (dir == NttDirection::Inverse)
+        root = root.inverse();
+
+    std::vector<F> scratch(n);
+    F *src = x.data();
+    F *dst = scratch.data();
+
+    // Stage with sub-transform size cur_n and stride s; the root is
+    // squared as cur_n halves.
+    F w = root;
+    for (size_t cur_n = n, s = 1; cur_n > 1; cur_n /= 2, s *= 2) {
+        const size_t m = cur_n / 2;
+        F wp = F::one();
+        for (size_t p = 0; p < m; ++p) {
+            for (size_t q = 0; q < s; ++q) {
+                F a = src[q + s * p];
+                F b = src[q + s * (p + m)];
+                dst[q + s * (2 * p)] = a + b;
+                dst[q + s * (2 * p + 1)] = (a - b) * wp;
+            }
+            wp *= w;
+        }
+        std::swap(src, dst);
+        w *= w;
+    }
+
+    if (src != x.data())
+        std::copy(src, src + n, x.data());
+
+    if (dir == NttDirection::Inverse) {
+        F scale = inverseScale<F>(n);
+        for (auto &v : x)
+            v *= scale;
+    }
+}
+
+} // namespace unintt
+
+#endif // UNINTT_NTT_STOCKHAM_HH

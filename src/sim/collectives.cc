@@ -1,0 +1,96 @@
+#include "sim/collectives.hh"
+
+#include "util/bitops.hh"
+#include "util/logging.hh"
+
+namespace unintt {
+
+Collectives::Collectives(Interconnect fabric, unsigned num_gpus)
+    : fabric_(fabric), numGpus_(num_gpus)
+{
+    UNINTT_ASSERT(num_gpus >= 1, "need at least one GPU");
+}
+
+CollectiveCost
+Collectives::butterflyExchange(uint64_t bytes_per_gpu,
+                               unsigned distance) const
+{
+    CollectiveCost c;
+    if (numGpus_ <= 1)
+        return c;
+    c.seconds = fabric_.pairwiseExchangeTime(bytes_per_gpu, distance);
+    c.stats = CommStats{bytes_per_gpu, 1};
+    return c;
+}
+
+CollectiveCost
+Collectives::allToAll(uint64_t bytes_per_gpu) const
+{
+    CollectiveCost c;
+    if (numGpus_ <= 1)
+        return c;
+    uint64_t wire = bytes_per_gpu * (numGpus_ - 1) / numGpus_;
+    c.seconds = fabric_.allToAllTime(wire, numGpus_);
+    c.stats = CommStats{wire, numGpus_ - 1};
+    return c;
+}
+
+CollectiveCost
+Collectives::allGather(uint64_t bytes_per_gpu) const
+{
+    CollectiveCost c;
+    if (numGpus_ <= 1)
+        return c;
+    // Ring all-gather: G-1 rounds, each forwarding one neighbor's
+    // buffer of bytes_per_gpu.
+    uint64_t wire = bytes_per_gpu * (numGpus_ - 1);
+    c.seconds = (numGpus_ - 1) *
+                fabric_.pairwiseExchangeTime(bytes_per_gpu, 1);
+    c.stats = CommStats{wire, numGpus_ - 1};
+    return c;
+}
+
+CollectiveCost
+Collectives::reduceScatter(uint64_t bytes_per_gpu) const
+{
+    CollectiveCost c;
+    if (numGpus_ <= 1)
+        return c;
+    // Ring reduce-scatter: G-1 rounds of one share each.
+    uint64_t share = bytes_per_gpu / numGpus_;
+    uint64_t wire = share * (numGpus_ - 1);
+    c.seconds =
+        (numGpus_ - 1) * fabric_.pairwiseExchangeTime(share, 1);
+    c.stats = CommStats{wire, numGpus_ - 1};
+    return c;
+}
+
+CollectiveCost
+Collectives::allReduce(uint64_t bytes_per_gpu) const
+{
+    CollectiveCost rs = reduceScatter(bytes_per_gpu);
+    CollectiveCost ag = allGather(bytes_per_gpu / std::max(1u, numGpus_));
+    CollectiveCost c;
+    c.seconds = rs.seconds + ag.seconds;
+    c.stats = rs.stats;
+    c.stats += ag.stats;
+    return c;
+}
+
+CollectiveCost
+Collectives::broadcast(uint64_t bytes) const
+{
+    CollectiveCost c;
+    if (numGpus_ <= 1)
+        return c;
+    // Binomial tree: ceil(log2 G) rounds, the payload crossing one
+    // link per round.
+    unsigned rounds = log2Floor(numGpus_);
+    if ((1u << rounds) < numGpus_)
+        ++rounds;
+    c.seconds = rounds * fabric_.pairwiseExchangeTime(bytes, 1);
+    c.stats = CommStats{bytes, rounds};
+    return c;
+}
+
+} // namespace unintt

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Collective-communication primitives priced on an Interconnect —
+ * the NCCL-style vocabulary the distributed kernels are built from.
+ * Each primitive returns simulated seconds and reports the per-GPU
+ * wire traffic, so algorithm-level code (four-step transposes, MSM
+ * reductions, witness distribution) can reason about collectives
+ * instead of raw link timings.
+ *
+ * Cost models follow the standard ring/tree algorithm analyses
+ * (Thakur et al.; NCCL documentation): an all-gather or
+ * reduce-scatter of per-GPU payload B over G devices moves
+ * B*(G-1)/G per round for G-1 rounds on a ring.
+ */
+
+#ifndef UNINTT_SIM_COLLECTIVES_HH
+#define UNINTT_SIM_COLLECTIVES_HH
+
+#include <cstdint>
+
+#include "sim/interconnect.hh"
+#include "sim/kernel_stats.hh"
+
+namespace unintt {
+
+/** Result of pricing one collective. */
+struct CollectiveCost
+{
+    /** Simulated seconds on the critical path. */
+    double seconds = 0;
+    /** Wire traffic attributable to each GPU. */
+    CommStats stats;
+};
+
+/** Collective operations over a set of GPUs on one fabric. */
+class Collectives
+{
+  public:
+    Collectives(Interconnect fabric, unsigned num_gpus);
+
+    /** Devices participating. */
+    unsigned numGpus() const { return numGpus_; }
+
+    /**
+     * Every GPU exchanges @p bytes_per_gpu with a partner
+     * @p distance away (the NTT butterfly pattern).
+     */
+    CollectiveCost butterflyExchange(uint64_t bytes_per_gpu,
+                                     unsigned distance) const;
+
+    /**
+     * Every GPU redistributes @p bytes_per_gpu across all others
+     * (the four-step transpose pattern).
+     */
+    CollectiveCost allToAll(uint64_t bytes_per_gpu) const;
+
+    /**
+     * Every GPU ends with all GPUs' @p bytes_per_gpu buffers
+     * (ring algorithm).
+     */
+    CollectiveCost allGather(uint64_t bytes_per_gpu) const;
+
+    /**
+     * Element-wise reduction of per-GPU buffers of
+     * @p bytes_per_gpu, scattered so each GPU holds one reduced
+     * share (ring algorithm).
+     */
+    CollectiveCost reduceScatter(uint64_t bytes_per_gpu) const;
+
+    /** reduceScatter followed by allGather on the shares. */
+    CollectiveCost allReduce(uint64_t bytes_per_gpu) const;
+
+    /** One GPU sends @p bytes to all others (binomial tree). */
+    CollectiveCost broadcast(uint64_t bytes) const;
+
+  private:
+    Interconnect fabric_;
+    unsigned numGpus_;
+};
+
+} // namespace unintt
+
+#endif // UNINTT_SIM_COLLECTIVES_HH

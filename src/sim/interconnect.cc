@@ -1,0 +1,127 @@
+#include "sim/interconnect.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace unintt {
+
+const char *
+toString(FabricKind kind)
+{
+    switch (kind) {
+      case FabricKind::NvSwitch:
+        return "nvswitch";
+      case FabricKind::Ring:
+        return "ring";
+      case FabricKind::Pcie:
+        return "pcie";
+    }
+    return "?";
+}
+
+double
+Interconnect::pairwiseExchangeTime(uint64_t bytes_per_gpu,
+                                   unsigned distance) const
+{
+    double bytes = static_cast<double>(bytes_per_gpu);
+    switch (kind) {
+      case FabricKind::NvSwitch:
+        // Switch gives full bandwidth to every disjoint pair at once.
+        return linkLatency + bytes / linkBandwidth;
+      case FabricKind::Ring: {
+        // A distance-d transfer crosses d ring segments; concurrent
+        // pairs at distance d overlap on segments, so the bottleneck
+        // segment carries d flows.
+        double hops = std::max(1u, distance);
+        return linkLatency * hops + bytes * hops / linkBandwidth;
+      }
+      case FabricKind::Pcie:
+        // Host-staged: down + up, and every concurrent pair shares the
+        // root-complex bandwidth; model one extra serialization factor
+        // of 2 for the staging copy.
+        return 2 * linkLatency + 2 * bytes / linkBandwidth;
+    }
+    panic("unreachable fabric kind");
+}
+
+double
+Interconnect::allToAllTime(uint64_t bytes_per_gpu, unsigned num_gpus) const
+{
+    if (num_gpus <= 1)
+        return 0.0;
+    double bytes = static_cast<double>(bytes_per_gpu);
+    double chunk = bytes / (num_gpus - 1);
+    switch (kind) {
+      case FabricKind::NvSwitch:
+        // (G-1) message setups; sustained rate derated by the
+        // all-to-all efficiency.
+        return linkLatency * (num_gpus - 1) +
+               bytes / (linkBandwidth * allToAllEfficiency);
+      case FabricKind::Ring:
+        // Classic ring all-to-all: G-1 rounds, each moving one chunk
+        // around the ring.
+        return (num_gpus - 1) * (linkLatency + chunk / linkBandwidth);
+      case FabricKind::Pcie:
+        // All 2*bytes (down+up) of every GPU cross the shared bus.
+        return 2 * linkLatency * (num_gpus - 1) +
+               2 * bytes * num_gpus / linkBandwidth;
+    }
+    panic("unreachable fabric kind");
+}
+
+double
+Interconnect::hostTransferTime(uint64_t bytes) const
+{
+    // Host staging uses the PCIe-class path regardless of fabric.
+    double host_bw = kind == FabricKind::Pcie ? linkBandwidth : 25e9;
+    return linkLatency + static_cast<double>(bytes) / host_bw;
+}
+
+Interconnect
+makeNvSwitchFabric()
+{
+    Interconnect f;
+    f.kind = FabricKind::NvSwitch;
+    f.linkBandwidth = 250e9; // NVLink3 aggregate per direction
+    f.linkLatency = 2e-6;
+    f.allToAllEfficiency = 0.6;
+    return f;
+}
+
+Interconnect
+makeRingFabric()
+{
+    Interconnect f;
+    f.kind = FabricKind::Ring;
+    f.linkBandwidth = 100e9; // bridged NVLink pair
+    f.linkLatency = 2.5e-6;
+    f.allToAllEfficiency = 0.4;
+    return f;
+}
+
+Interconnect
+makePcieFabric()
+{
+    Interconnect f;
+    f.kind = FabricKind::Pcie;
+    f.linkBandwidth = 25e9; // PCIe 4.0 x16 per direction
+    f.linkLatency = 5e-6;
+    f.allToAllEfficiency = 0.5;
+    return f;
+}
+
+Interconnect
+fabricByName(const std::string &name)
+{
+    if (name == "nvswitch")
+        return makeNvSwitchFabric();
+    if (name == "ring")
+        return makeRingFabric();
+    if (name == "pcie")
+        return makePcieFabric();
+    fatal("unknown fabric '%s' (expected nvswitch, ring, pcie)",
+          name.c_str());
+}
+
+} // namespace unintt

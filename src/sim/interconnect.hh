@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Inter-GPU fabric models. Three topologies cover the machines the
+ * multi-GPU NTT literature evaluates on:
+ *
+ *  - NvSwitch: every GPU pair has full point-to-point bandwidth
+ *    (DGX-class boxes);
+ *  - Ring: NVLink bridges arranged in a ring, distance-d transfers pay
+ *    d hops;
+ *  - Pcie: all traffic staged through host root complexes sharing one
+ *    bus.
+ *
+ * The two collective shapes the NTT algorithms use are modeled
+ * explicitly: pairwiseExchangeTime (all GPUs exchange with one partner
+ * at a given distance — the butterfly pattern of UniNTT's top level)
+ * and allToAllTime (the transpose of the four-step baseline).
+ */
+
+#ifndef UNINTT_SIM_INTERCONNECT_HH
+#define UNINTT_SIM_INTERCONNECT_HH
+
+#include <cstdint>
+#include <string>
+
+namespace unintt {
+
+/** Fabric topology. */
+enum class FabricKind { NvSwitch, Ring, Pcie };
+
+/** Printable fabric name. */
+const char *toString(FabricKind kind);
+
+/**
+ * An inter-GPU fabric: topology plus per-link bandwidth and latency.
+ */
+struct Interconnect
+{
+    FabricKind kind = FabricKind::NvSwitch;
+    /** Per-direction point-to-point bandwidth per GPU, bytes/s. */
+    double linkBandwidth = 250e9;
+    /** One-way message latency, seconds. */
+    double linkLatency = 2e-6;
+    /**
+     * Fraction of link bandwidth an all-to-all sustains (switch
+     * contention, message slicing); 1.0 means perfect.
+     */
+    double allToAllEfficiency = 0.6;
+
+    /**
+     * Time for all GPUs to concurrently exchange @p bytes_per_gpu with
+     * one partner each, where partners are @p distance apart in GPU
+     * numbering (butterfly stage s uses distance 2^s).
+     */
+    double pairwiseExchangeTime(uint64_t bytes_per_gpu,
+                                unsigned distance) const;
+
+    /**
+     * Time for a full all-to-all in which every GPU sends
+     * @p bytes_per_gpu in total, split evenly across the other
+     * @p num_gpus - 1 GPUs.
+     */
+    double allToAllTime(uint64_t bytes_per_gpu, unsigned num_gpus) const;
+
+    /** Time to move @p bytes host->device or device->host (PCIe path). */
+    double hostTransferTime(uint64_t bytes) const;
+};
+
+/** NVSwitch fabric with NVLink3-class links (DGX A100). */
+Interconnect makeNvSwitchFabric();
+
+/** NVLink ring without a switch (bridged consumer/HGX-lite setups). */
+Interconnect makeRingFabric();
+
+/** PCIe 4.0 x16 host-staged fabric. */
+Interconnect makePcieFabric();
+
+/** Look up a fabric by name ("nvswitch", "ring", "pcie"). */
+Interconnect fabricByName(const std::string &name);
+
+} // namespace unintt
+
+#endif // UNINTT_SIM_INTERCONNECT_HH

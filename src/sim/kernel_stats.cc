@@ -1,0 +1,47 @@
+#include "sim/kernel_stats.hh"
+
+namespace unintt {
+
+KernelStats &
+KernelStats::operator+=(const KernelStats &o)
+{
+    fieldMuls += o.fieldMuls;
+    fieldAdds += o.fieldAdds;
+    butterflies += o.butterflies;
+    globalReadBytes += o.globalReadBytes;
+    globalWriteBytes += o.globalWriteBytes;
+    smemBytes += o.smemBytes;
+    smemBankConflicts += o.smemBankConflicts;
+    shuffles += o.shuffles;
+    syncs += o.syncs;
+    kernelLaunches += o.kernelLaunches;
+    return *this;
+}
+
+KernelStats
+operator+(KernelStats a, const KernelStats &b)
+{
+    a += b;
+    return a;
+}
+
+void
+KernelStats::exportTo(StatSet &out, const std::string &prefix) const
+{
+    out.add(prefix + ".fieldMuls", static_cast<double>(fieldMuls));
+    out.add(prefix + ".fieldAdds", static_cast<double>(fieldAdds));
+    out.add(prefix + ".butterflies", static_cast<double>(butterflies));
+    out.add(prefix + ".globalReadBytes",
+            static_cast<double>(globalReadBytes));
+    out.add(prefix + ".globalWriteBytes",
+            static_cast<double>(globalWriteBytes));
+    out.add(prefix + ".smemBytes", static_cast<double>(smemBytes));
+    out.add(prefix + ".smemBankConflicts",
+            static_cast<double>(smemBankConflicts));
+    out.add(prefix + ".shuffles", static_cast<double>(shuffles));
+    out.add(prefix + ".syncs", static_cast<double>(syncs));
+    out.add(prefix + ".kernelLaunches",
+            static_cast<double>(kernelLaunches));
+}
+
+} // namespace unintt

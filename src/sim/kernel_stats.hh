@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Event counters recorded by the functionally executed kernels. The
+ * simulated engines tally exactly the events a GPU implementation would
+ * generate (arithmetic, DRAM sectors, shared-memory traffic, shuffles,
+ * barriers, link bytes); perf_model.hh converts a KernelStats into
+ * simulated time.
+ */
+
+#ifndef UNINTT_SIM_KERNEL_STATS_HH
+#define UNINTT_SIM_KERNEL_STATS_HH
+
+#include <cstdint>
+#include <string>
+
+#include "util/stats.hh"
+
+namespace unintt {
+
+/** Counters for one kernel-level execution phase. */
+struct KernelStats
+{
+    // Arithmetic.
+    uint64_t fieldMuls = 0;
+    uint64_t fieldAdds = 0;
+    uint64_t butterflies = 0;
+
+    // Global (DRAM) traffic, in bytes actually moved on the bus.
+    // Strided access patterns must account whole sectors.
+    uint64_t globalReadBytes = 0;
+    uint64_t globalWriteBytes = 0;
+
+    // Intra-block traffic.
+    uint64_t smemBytes = 0;
+    uint64_t smemBankConflicts = 0;
+    uint64_t shuffles = 0;
+    uint64_t syncs = 0;
+
+    // Launch overheads.
+    uint64_t kernelLaunches = 0;
+
+    /** Total DRAM bytes. */
+    uint64_t
+    globalBytes() const
+    {
+        return globalReadBytes + globalWriteBytes;
+    }
+
+    /** Accumulate another phase's counters. */
+    KernelStats &operator+=(const KernelStats &o);
+
+    /** Export to a named StatSet with the given prefix. */
+    void exportTo(StatSet &out, const std::string &prefix) const;
+};
+
+KernelStats operator+(KernelStats a, const KernelStats &b);
+
+/** Counters for one inter-GPU communication phase. */
+struct CommStats
+{
+    /** Bytes each GPU sends in this phase. */
+    uint64_t bytesPerGpu = 0;
+    /** Number of exchange operations (stages or message rounds). */
+    uint64_t messages = 0;
+
+    CommStats &
+    operator+=(const CommStats &o)
+    {
+        bytesPerGpu += o.bytesPerGpu;
+        messages += o.messages;
+        return *this;
+    }
+};
+
+} // namespace unintt
+
+#endif // UNINTT_SIM_KERNEL_STATS_HH

@@ -1,0 +1,75 @@
+#include "sim/memory.hh"
+
+#include "util/logging.hh"
+
+namespace unintt {
+
+DeviceMemoryModel::DeviceMemoryModel(const GpuModel &gpu,
+                                     unsigned num_gpus)
+    : capacity_(gpu.dramCapacityBytes), used_(num_gpus, 0),
+      peak_(num_gpus, 0)
+{
+    UNINTT_ASSERT(num_gpus > 0, "need at least one GPU");
+}
+
+void
+DeviceMemoryModel::alloc(unsigned gpu, uint64_t bytes,
+                         const std::string &tag)
+{
+    UNINTT_ASSERT(gpu < used_.size(), "GPU index out of range");
+    if (used_[gpu] + bytes > capacity_)
+        fatal("device %u out of memory allocating %llu bytes for '%s' "
+              "(%llu of %llu in use)",
+              gpu, static_cast<unsigned long long>(bytes), tag.c_str(),
+              static_cast<unsigned long long>(used_[gpu]),
+              static_cast<unsigned long long>(capacity_));
+    used_[gpu] += bytes;
+    peak_[gpu] = std::max(peak_[gpu], used_[gpu]);
+}
+
+void
+DeviceMemoryModel::allocAll(uint64_t bytes, const std::string &tag)
+{
+    for (unsigned g = 0; g < used_.size(); ++g)
+        alloc(g, bytes, tag);
+}
+
+void
+DeviceMemoryModel::free(unsigned gpu, uint64_t bytes)
+{
+    UNINTT_ASSERT(gpu < used_.size(), "GPU index out of range");
+    UNINTT_ASSERT(used_[gpu] >= bytes, "double free in memory model");
+    used_[gpu] -= bytes;
+}
+
+void
+DeviceMemoryModel::freeAll(uint64_t bytes)
+{
+    for (unsigned g = 0; g < used_.size(); ++g)
+        free(g, bytes);
+}
+
+uint64_t
+DeviceMemoryModel::usedBytes(unsigned gpu) const
+{
+    UNINTT_ASSERT(gpu < used_.size(), "GPU index out of range");
+    return used_[gpu];
+}
+
+uint64_t
+DeviceMemoryModel::peakBytes(unsigned gpu) const
+{
+    UNINTT_ASSERT(gpu < peak_.size(), "GPU index out of range");
+    return peak_[gpu];
+}
+
+uint64_t
+DeviceMemoryModel::maxPeakBytes() const
+{
+    uint64_t m = 0;
+    for (uint64_t p : peak_)
+        m = std::max(m, p);
+    return m;
+}
+
+} // namespace unintt

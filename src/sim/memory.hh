@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Simulated device-memory accounting. Engines register their
+ * allocations (data chunks, exchange buffers, twiddle tables) per GPU;
+ * the model enforces the device capacity — exceeding it is a fatal
+ * configuration error, exactly as cudaMalloc failing would be — and
+ * tracks the peak footprint that the memory-usage table reports.
+ */
+
+#ifndef UNINTT_SIM_MEMORY_HH
+#define UNINTT_SIM_MEMORY_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/hw_model.hh"
+
+namespace unintt {
+
+/** Per-GPU allocation tracker with capacity enforcement. */
+class DeviceMemoryModel
+{
+  public:
+    /**
+     * @param gpu      device whose capacity bounds allocations.
+     * @param num_gpus devices tracked.
+     */
+    DeviceMemoryModel(const GpuModel &gpu, unsigned num_gpus);
+
+    /**
+     * Record an allocation of @p bytes on GPU @p gpu. Fatal (user
+     * error) if the device capacity would be exceeded; @p tag names
+     * the buffer in the error message.
+     */
+    void alloc(unsigned gpu, uint64_t bytes, const std::string &tag);
+
+    /** Record an allocation of @p bytes on every GPU. */
+    void allocAll(uint64_t bytes, const std::string &tag);
+
+    /** Release @p bytes on GPU @p gpu. */
+    void free(unsigned gpu, uint64_t bytes);
+
+    /** Release @p bytes on every GPU. */
+    void freeAll(uint64_t bytes);
+
+    /** Bytes currently allocated on GPU @p gpu. */
+    uint64_t usedBytes(unsigned gpu) const;
+
+    /** High-water mark of GPU @p gpu. */
+    uint64_t peakBytes(unsigned gpu) const;
+
+    /** High-water mark across all GPUs. */
+    uint64_t maxPeakBytes() const;
+
+    /** Device capacity being enforced. */
+    uint64_t capacityBytes() const { return capacity_; }
+
+  private:
+    uint64_t capacity_;
+    std::vector<uint64_t> used_;
+    std::vector<uint64_t> peak_;
+};
+
+} // namespace unintt
+
+#endif // UNINTT_SIM_MEMORY_HH

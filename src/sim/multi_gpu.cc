@@ -1,0 +1,109 @@
+#include "sim/multi_gpu.hh"
+
+#include <sstream>
+
+namespace unintt {
+
+std::vector<LevelModel>
+MultiGpuSystem::abstractLevels(size_t element_bytes) const
+{
+    std::vector<LevelModel> levels;
+
+    // Multi-GPU level: lanes are GPUs, local memory is one GPU's DRAM,
+    // exchange is the fabric.
+    levels.push_back(LevelModel{
+        "multi-gpu",
+        numGpus,
+        gpu.dramCapacityBytes / element_bytes,
+        fabric.linkBandwidth * numGpus,
+        fabric.linkLatency,
+    });
+
+    // GPU level: lanes are SMs, local memory is what a grid of blocks
+    // can hold in shared memory at once, exchange is DRAM.
+    levels.push_back(LevelModel{
+        "gpu",
+        gpu.numSms,
+        static_cast<uint64_t>(gpu.numSms) * gpu.smemBytesPerBlock /
+            element_bytes,
+        gpu.dramBandwidth,
+        gpu.kernelLaunchLatency,
+    });
+
+    // Thread-block level: lanes are warps, local memory is the block's
+    // shared memory, exchange is shared memory + barrier.
+    unsigned warps_per_block = gpu.maxThreadsPerBlock / gpu.warpSize;
+    levels.push_back(LevelModel{
+        "block",
+        warps_per_block,
+        gpu.smemBytesPerBlock / element_bytes,
+        gpu.clockHz * gpu.smemBytesPerClockPerSm,
+        1.0 / gpu.clockHz * 20, // barrier cost ~20 cycles
+    });
+
+    // Warp level: lanes are threads, local memory is registers,
+    // exchange is the shuffle network.
+    levels.push_back(LevelModel{
+        "warp",
+        gpu.warpSize,
+        gpu.warpSize * 4, // ~4 register-resident elements per lane
+        gpu.clockHz * gpu.warpSize * element_bytes,
+        1.0 / gpu.clockHz,
+    });
+
+    return levels;
+}
+
+std::string
+MultiGpuSystem::description() const
+{
+    std::ostringstream os;
+    if (numNodes() > 1)
+        os << numNodes() << " nodes x " << gpusPerNode << "x " << gpu.name
+           << " / " << toString(fabric.kind) << " + ib";
+    else
+        os << numGpus << "x " << gpu.name << " / "
+           << toString(fabric.kind);
+    return os.str();
+}
+
+MultiGpuSystem
+makeDgxA100(unsigned num_gpus)
+{
+    return MultiGpuSystem{makeA100(), makeNvSwitchFabric(), num_gpus};
+}
+
+MultiGpuSystem
+makeHgxH100(unsigned num_gpus)
+{
+    return MultiGpuSystem{makeH100(), makeNvSwitchFabric(), num_gpus};
+}
+
+MultiGpuSystem
+makePcieWorkstation(unsigned num_gpus)
+{
+    return MultiGpuSystem{makeRtx4090(), makePcieFabric(), num_gpus};
+}
+
+Interconnect
+makeInfinibandFabric()
+{
+    Interconnect f;
+    f.kind = FabricKind::NvSwitch; // fat-tree: distance-independent
+    f.linkBandwidth = 25e9;        // HDR 200 Gb/s per GPU-paired NIC
+    f.linkLatency = 5e-6;
+    f.allToAllEfficiency = 0.5;
+    return f;
+}
+
+MultiGpuSystem
+makeA100Cluster(unsigned num_nodes, unsigned gpus_per_node)
+{
+    MultiGpuSystem sys{makeA100(), makeNvSwitchFabric(),
+                       num_nodes * gpus_per_node};
+    sys.gpusPerNode = num_nodes > 1 ? gpus_per_node : 0;
+    sys.nodeFabric = makeInfinibandFabric();
+    return sys;
+}
+
+} // namespace unintt

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Composition of the simulated machine: a number of identical GPUs plus
+ * an inter-GPU fabric, and the derivation of the paper's abstract
+ * hierarchy (warp / thread block / GPU / multi-GPU) from the concrete
+ * parameters.
+ */
+
+#ifndef UNINTT_SIM_MULTI_GPU_HH
+#define UNINTT_SIM_MULTI_GPU_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/hw_model.hh"
+#include "sim/interconnect.hh"
+
+namespace unintt {
+
+/**
+ * A multi-GPU machine: identical devices on one fabric, optionally
+ * spread over several nodes joined by a slower inter-node fabric (the
+ * natural fifth hierarchy level — see DESIGN.md, extension section).
+ */
+struct MultiGpuSystem
+{
+    GpuModel gpu;
+    Interconnect fabric;
+    /** Total GPUs across all nodes. */
+    unsigned numGpus = 1;
+    /** GPUs per node; 0 means everything sits in a single node. */
+    unsigned gpusPerNode = 0;
+    /** Fabric between nodes, used when an exchange crosses nodes. */
+    Interconnect nodeFabric;
+
+    /** Number of nodes (1 when single-node). */
+    unsigned
+    numNodes() const
+    {
+        return gpusPerNode == 0 ? 1 : numGpus / gpusPerNode;
+    }
+
+    /** True iff a partner @p distance GPU indices away is off-node. */
+    bool
+    crossesNodes(unsigned distance) const
+    {
+        return gpusPerNode != 0 && distance >= gpusPerNode;
+    }
+
+    /**
+     * The fabric and effective hop distance for a pairwise exchange
+     * between GPUs @p distance indices apart.
+     */
+    const Interconnect &
+    fabricFor(unsigned distance, unsigned &effective_distance) const
+    {
+        if (crossesNodes(distance)) {
+            effective_distance = distance / gpusPerNode;
+            return nodeFabric;
+        }
+        effective_distance = distance;
+        return fabric;
+    }
+
+    /**
+     * The abstract hardware model instance for this machine: one
+     * LevelModel per hierarchy level, outermost (multi-GPU) first.
+     * Capacities are expressed in elements of @p element_bytes.
+     */
+    std::vector<LevelModel> abstractLevels(size_t element_bytes) const;
+
+    /** Total device memory across the machine. */
+    uint64_t
+    totalMemoryBytes() const
+    {
+        return static_cast<uint64_t>(numGpus) * gpu.dramCapacityBytes;
+    }
+
+    /** "4x A100-SXM4-80GB / nvswitch" style description. */
+    std::string description() const;
+};
+
+/** DGX-A100-like machine: A100s behind an NVSwitch. */
+MultiGpuSystem makeDgxA100(unsigned num_gpus);
+
+/** H100 HGX-like machine. */
+MultiGpuSystem makeHgxH100(unsigned num_gpus);
+
+/** Consumer workstation: RTX 4090s on PCIe. */
+MultiGpuSystem makePcieWorkstation(unsigned num_gpus);
+
+/**
+ * Multi-node cluster: DGX-A100 nodes (NVSwitch inside) joined by an
+ * InfiniBand-class fabric.
+ */
+MultiGpuSystem makeA100Cluster(unsigned num_nodes, unsigned gpus_per_node);
+
+/** InfiniBand HDR-class inter-node fabric (per-GPU NIC share). */
+Interconnect makeInfinibandFabric();
+
+} // namespace unintt
+
+#endif // UNINTT_SIM_MULTI_GPU_HH

@@ -1,0 +1,45 @@
+#include "sim/perf_model.hh"
+
+#include <algorithm>
+
+namespace unintt {
+
+double
+KernelTime::total() const
+{
+    return std::max({compute, dram, smem, shuffle}) + launch;
+}
+
+KernelTime
+PerfModel::kernelTime(const KernelStats &stats) const
+{
+    KernelTime t;
+
+    double slots = static_cast<double>(stats.fieldMuls) * field_.mulSlots +
+                   static_cast<double>(stats.fieldAdds) * field_.addSlots;
+    t.compute = slots / mulSlotRate();
+
+    t.dram = static_cast<double>(stats.globalBytes()) / gpu_.dramBandwidth;
+    if (stats.globalBytes() > 0)
+        t.dram += gpu_.dramLatency; // first-access latency, amortized
+
+    // A bank conflict serializes one extra smem transaction; count it
+    // as the same number of bytes replayed.
+    double smem_bytes =
+        static_cast<double>(stats.smemBytes) +
+        static_cast<double>(stats.smemBankConflicts) *
+            static_cast<double>(field_.elementBytes);
+    t.smem = smem_bytes / smemBandwidth();
+
+    t.shuffle = static_cast<double>(stats.shuffles) / shuffleRate();
+
+    t.launch =
+        static_cast<double>(stats.kernelLaunches) * gpu_.kernelLaunchLatency;
+    // A block barrier drains ~30 cycles, but blocks run concurrently
+    // across the SMs, so the aggregate cost divides by the SM count.
+    t.launch += static_cast<double>(stats.syncs) * 30.0 /
+                (gpu_.clockHz * gpu_.numSms);
+    return t;
+}
+
+} // namespace unintt

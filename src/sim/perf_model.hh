@@ -1,0 +1,92 @@
+/**
+ * @file
+ * The analytic timing model: converts the event counters of a
+ * functionally executed phase into simulated seconds on a GpuModel.
+ *
+ * Per kernel phase the model is a roofline: the phase takes the maximum
+ * of its compute time, DRAM time, shared-memory time and shuffle time,
+ * plus the launch latency of its kernel launches. Communication phases
+ * are priced by the Interconnect. The model is deliberately simple and
+ * fully documented so every reported number can be traced to counted
+ * events and spec-sheet constants (see DESIGN.md).
+ */
+
+#ifndef UNINTT_SIM_PERF_MODEL_HH
+#define UNINTT_SIM_PERF_MODEL_HH
+
+#include "sim/hw_model.hh"
+#include "sim/interconnect.hh"
+#include "sim/kernel_stats.hh"
+
+namespace unintt {
+
+/** Breakdown of one kernel phase's roofline terms, in seconds. */
+struct KernelTime
+{
+    double compute = 0;
+    double dram = 0;
+    double smem = 0;
+    double shuffle = 0;
+    double launch = 0;
+
+    /** Roofline total: max of the resource terms plus launch overhead. */
+    double total() const;
+};
+
+/**
+ * Timing model for one GPU of a given model running one field's
+ * arithmetic.
+ */
+class PerfModel
+{
+  public:
+    PerfModel(GpuModel gpu, FieldCost field)
+        : gpu_(std::move(gpu)), field_(field)
+    {
+    }
+
+    /** The device being modeled. */
+    const GpuModel &gpu() const { return gpu_; }
+
+    /** The field cost constants in use. */
+    const FieldCost &field() const { return field_; }
+
+    /** Roofline breakdown of one kernel phase. */
+    KernelTime kernelTime(const KernelStats &stats) const;
+
+    /** Convenience: total seconds of one kernel phase. */
+    double
+    kernelSeconds(const KernelStats &stats) const
+    {
+        return kernelTime(stats).total();
+    }
+
+    /** Aggregate u64-multiply slots per second on this device. */
+    double
+    mulSlotRate() const
+    {
+        return gpu_.numSms * gpu_.clockHz * gpu_.u64MulsPerClockPerSm;
+    }
+
+    /** Aggregate shared-memory bandwidth in bytes/s. */
+    double
+    smemBandwidth() const
+    {
+        return gpu_.numSms * gpu_.clockHz * gpu_.smemBytesPerClockPerSm;
+    }
+
+    /** Shuffle operations per second (one per lane per clock). */
+    double
+    shuffleRate() const
+    {
+        return gpu_.numSms * gpu_.clockHz * gpu_.warpSize;
+    }
+
+  private:
+    GpuModel gpu_;
+    FieldCost field_;
+};
+
+} // namespace unintt
+
+#endif // UNINTT_SIM_PERF_MODEL_HH

@@ -1,0 +1,109 @@
+#include "sim/report.hh"
+
+#include <sstream>
+
+#include "util/stats.hh"
+
+namespace unintt {
+
+double
+SimReport::addKernelPhase(const std::string &name, const KernelStats &stats,
+                          const PerfModel &model)
+{
+    SimPhase phase;
+    phase.name = name;
+    phase.kind = SimPhase::Kind::Kernel;
+    phase.seconds = model.kernelSeconds(stats);
+    phase.kernel = stats;
+    phases_.push_back(phase);
+    return phase.seconds;
+}
+
+void
+SimReport::addCommPhase(const std::string &name, double seconds,
+                        const CommStats &stats, double hidden_seconds)
+{
+    SimPhase phase;
+    phase.name = name;
+    phase.kind = SimPhase::Kind::Comm;
+    phase.seconds = seconds;
+    phase.hiddenSeconds = hidden_seconds;
+    phase.comm = stats;
+    phases_.push_back(phase);
+}
+
+double
+SimReport::totalSeconds() const
+{
+    double t = 0;
+    for (const auto &p : phases_)
+        t += p.seconds;
+    return t;
+}
+
+double
+SimReport::kernelSeconds() const
+{
+    double t = 0;
+    for (const auto &p : phases_)
+        if (p.kind == SimPhase::Kind::Kernel)
+            t += p.seconds;
+    return t;
+}
+
+double
+SimReport::commSeconds() const
+{
+    double t = 0;
+    for (const auto &p : phases_)
+        if (p.kind == SimPhase::Kind::Comm)
+            t += p.seconds;
+    return t;
+}
+
+KernelStats
+SimReport::totalKernelStats() const
+{
+    KernelStats total;
+    for (const auto &p : phases_)
+        if (p.kind == SimPhase::Kind::Kernel)
+            total += p.kernel;
+    return total;
+}
+
+CommStats
+SimReport::totalCommStats() const
+{
+    CommStats total;
+    for (const auto &p : phases_)
+        if (p.kind == SimPhase::Kind::Comm)
+            total += p.comm;
+    return total;
+}
+
+void
+SimReport::append(const SimReport &other)
+{
+    phases_.insert(phases_.end(), other.phases_.begin(),
+                   other.phases_.end());
+    setPeakDeviceBytes(other.peakDeviceBytes());
+}
+
+std::string
+SimReport::toString() const
+{
+    std::ostringstream os;
+    for (const auto &p : phases_) {
+        os << (p.kind == SimPhase::Kind::Kernel ? "[kernel] " : "[comm]   ")
+           << p.name << ": " << formatSeconds(p.seconds);
+        if (p.hiddenSeconds > 0)
+            os << " (+" << formatSeconds(p.hiddenSeconds) << " hidden)";
+        os << "\n";
+    }
+    os << "total: " << formatSeconds(totalSeconds())
+       << " (kernel " << formatSeconds(kernelSeconds()) << ", comm "
+       << formatSeconds(commSeconds()) << ")\n";
+    return os.str();
+}
+
+} // namespace unintt

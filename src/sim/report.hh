@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Execution timeline of one simulated run. Engines append kernel and
+ * communication phases; the report aggregates simulated time, keeps the
+ * raw event counters, and can render itself for the benches.
+ */
+
+#ifndef UNINTT_SIM_REPORT_HH
+#define UNINTT_SIM_REPORT_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/kernel_stats.hh"
+#include "sim/perf_model.hh"
+
+namespace unintt {
+
+/** One phase of a simulated execution. */
+struct SimPhase
+{
+    enum class Kind { Kernel, Comm };
+
+    std::string name;
+    Kind kind;
+    /** Simulated seconds this phase contributes to the critical path. */
+    double seconds = 0;
+    /**
+     * Seconds of this phase that were hidden behind another phase
+     * (communication/computation overlap); informational.
+     */
+    double hiddenSeconds = 0;
+    KernelStats kernel;
+    CommStats comm;
+};
+
+/** Accumulated timeline and counters of one simulated run. */
+class SimReport
+{
+  public:
+    /** Append a kernel phase priced by @p model; returns its seconds. */
+    double addKernelPhase(const std::string &name,
+                          const KernelStats &stats, const PerfModel &model);
+
+    /** Append a communication phase with externally computed time. */
+    void addCommPhase(const std::string &name, double seconds,
+                      const CommStats &stats, double hidden_seconds = 0);
+
+    /** All phases in execution order. */
+    const std::vector<SimPhase> &phases() const { return phases_; }
+
+    /** Total simulated seconds (critical path). */
+    double totalSeconds() const;
+
+    /** Simulated seconds spent in kernel phases. */
+    double kernelSeconds() const;
+
+    /** Simulated seconds spent in (non-hidden) communication. */
+    double commSeconds() const;
+
+    /** Sum of counters over all kernel phases. */
+    KernelStats totalKernelStats() const;
+
+    /** Sum of counters over all communication phases. */
+    CommStats totalCommStats() const;
+
+    /** Merge (append) another report's phases into this one. */
+    void append(const SimReport &other);
+
+    /** Record the per-GPU peak device-memory footprint. */
+    void
+    setPeakDeviceBytes(uint64_t bytes)
+    {
+        peakDeviceBytes_ = std::max(peakDeviceBytes_, bytes);
+    }
+
+    /** Per-GPU peak device-memory footprint (0 if not tracked). */
+    uint64_t peakDeviceBytes() const { return peakDeviceBytes_; }
+
+    /** Multi-line human-readable phase listing. */
+    std::string toString() const;
+
+  private:
+    std::vector<SimPhase> phases_;
+    uint64_t peakDeviceBytes_ = 0;
+};
+
+} // namespace unintt
+
+#endif // UNINTT_SIM_REPORT_HH

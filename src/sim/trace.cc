@@ -1,0 +1,84 @@
+#include "sim/trace.hh"
+
+#include <cstdio>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace unintt {
+
+namespace {
+
+/** Escape a string for JSON embedding. */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out.push_back('\\');
+        out.push_back(c);
+    }
+    return out;
+}
+
+/** One complete-event record ("ph":"X"). */
+void
+emitEvent(std::ostringstream &os, bool &first, const std::string &name,
+          const char *track, double ts_us, double dur_us)
+{
+    if (!first)
+        os << ",\n";
+    first = false;
+    os << "  {\"name\": \"" << jsonEscape(name) << "\", \"ph\": \"X\", "
+       << "\"pid\": 1, \"tid\": \"" << track << "\", "
+       << "\"ts\": " << ts_us << ", \"dur\": " << dur_us << "}";
+}
+
+} // namespace
+
+std::string
+toChromeTrace(const SimReport &report, const std::string &process)
+{
+    std::ostringstream os;
+    os << "[\n";
+    bool first = true;
+
+    // Process name metadata.
+    os << "  {\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 1, "
+       << "\"args\": {\"name\": \"" << jsonEscape(process) << "\"}}";
+    first = false;
+
+    double now_us = 0;
+    for (const auto &p : report.phases()) {
+        double dur_us = p.seconds * 1e6;
+        const char *track =
+            p.kind == SimPhase::Kind::Kernel ? "kernel" : "comm";
+        emitEvent(os, first, p.name, track, now_us, dur_us);
+        if (p.hiddenSeconds > 0) {
+            // Overlapped communication: show it under the preceding
+            // compute on its own track.
+            emitEvent(os, first, p.name + " (hidden)", "comm-overlap",
+                      now_us - p.hiddenSeconds * 1e6,
+                      p.hiddenSeconds * 1e6);
+        }
+        now_us += dur_us;
+    }
+    os << "\n]\n";
+    return os.str();
+}
+
+void
+writeChromeTrace(const SimReport &report, const std::string &process,
+                 const std::string &path)
+{
+    std::string json = toChromeTrace(report, process);
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        fatal("cannot open trace file '%s'", path.c_str());
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    inform("wrote trace to %s", path.c_str());
+}
+
+} // namespace unintt

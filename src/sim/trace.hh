@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Timeline export in the Chrome trace-event format (the JSON array
+ * flavor), viewable in chrome://tracing or Perfetto. Kernel phases and
+ * communication phases land on separate tracks; hidden (overlapped)
+ * communication is emitted on its own track so the overlap is visible.
+ */
+
+#ifndef UNINTT_SIM_TRACE_HH
+#define UNINTT_SIM_TRACE_HH
+
+#include <string>
+
+#include "sim/report.hh"
+
+namespace unintt {
+
+/**
+ * Render @p report as Chrome trace-event JSON.
+ *
+ * @param report  the simulated timeline.
+ * @param process label used as the trace's process name.
+ */
+std::string toChromeTrace(const SimReport &report,
+                          const std::string &process);
+
+/** Write toChromeTrace() output to @p path; fatal on I/O failure. */
+void writeChromeTrace(const SimReport &report, const std::string &process,
+                      const std::string &path);
+
+} // namespace unintt
+
+#endif // UNINTT_SIM_TRACE_HH

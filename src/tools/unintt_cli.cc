@@ -1,0 +1,282 @@
+/**
+ * @file
+ * unintt-cli: command-line front end over the simulation library.
+ *
+ *   unintt-cli plan   --log-n=24 --gpus=4 [--gpu=a100]
+ *   unintt-cli ntt    --log-n=24 --gpus=4 [--fabric=nvswitch]
+ *                     [--field=goldilocks] [--batch=1] [--inverse]
+ *                     [--trace=out.json] [--baseline=fourstep]
+ *   unintt-cli msm    --log-n=20 --gpus=4 [--g2]
+ *   unintt-cli prover --log-constraints=22 --gpus=8 [--proto=plonk]
+ *   unintt-cli levels --gpus=8
+ *
+ * Every subcommand prints simulated timelines built from the same
+ * engines the benches use.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "baselines/fourstep_multigpu.hh"
+#include "field/babybear.hh"
+#include "field/bn254.hh"
+#include "field/goldilocks.hh"
+#include "msm/pippenger.hh"
+#include "sim/trace.hh"
+#include "unintt/engine.hh"
+#include "util/cli.hh"
+#include "util/stats.hh"
+#include "util/table.hh"
+#include "zkp/prover.hh"
+#include "zkp/serialize.hh"
+#include "zkp/stark.hh"
+
+namespace unintt {
+namespace {
+
+MultiGpuSystem
+systemFromFlags(const CliParser &cli)
+{
+    return MultiGpuSystem{gpuModelByName(cli.getString("gpu")),
+                          fabricByName(cli.getString("fabric")),
+                          static_cast<unsigned>(cli.getInt("gpus"))};
+}
+
+void
+addCommonFlags(CliParser &cli)
+{
+    cli.addInt("gpus", 4, "number of simulated GPUs (power of two)");
+    cli.addString("gpu", "a100", "GPU model: a100, h100, rtx4090");
+    cli.addString("fabric", "nvswitch", "fabric: nvswitch, ring, pcie");
+}
+
+int
+cmdPlan(int argc, char **argv)
+{
+    CliParser cli("print the hierarchical decomposition");
+    cli.addInt("log-n", 24, "log2 of the transform size");
+    addCommonFlags(cli);
+    cli.parse(argc, argv);
+    auto sys = systemFromFlags(cli);
+    auto pl = planNtt(static_cast<unsigned>(cli.getInt("log-n")), sys, 8);
+    std::printf("machine: %s\n", sys.description().c_str());
+    std::printf("plan:    %s\n", pl.toString().c_str());
+    std::printf("chunk:   %s elements per GPU\n",
+                fmtI(pl.chunkElems()).c_str());
+    return 0;
+}
+
+template <NttField F>
+int
+runNtt(const CliParser &cli)
+{
+    auto sys = systemFromFlags(cli);
+    unsigned logN = static_cast<unsigned>(cli.getInt("log-n"));
+    size_t batch = static_cast<size_t>(cli.getInt("batch"));
+    NttDirection dir = cli.getBool("inverse") ? NttDirection::Inverse
+                                              : NttDirection::Forward;
+
+    std::printf("machine: %s, %s NTT of 2^%u x%zu over %s\n\n",
+                sys.description().c_str(), toString(dir), logN, batch,
+                F::kName);
+
+    SimReport report;
+    if (cli.getString("baseline") == "fourstep") {
+        FourStepMultiGpuNtt<F> engine(sys);
+        report = engine.analyticRun(logN, dir, batch);
+    } else if (cli.getString("baseline").empty()) {
+        UniNttEngine<F> engine(sys);
+        report = engine.analyticRun(logN, dir, batch);
+    } else {
+        fatal("unknown --baseline '%s' (only 'fourstep')",
+              cli.getString("baseline").c_str());
+    }
+    std::printf("%s", report.toString().c_str());
+    std::printf("peak device memory: %s/GPU\n",
+                formatBytes(static_cast<double>(report.peakDeviceBytes()))
+                    .c_str());
+    double n = static_cast<double>(1ULL << logN) *
+               static_cast<double>(batch);
+    std::printf("throughput: %s\n",
+                formatRate(n / report.totalSeconds()).c_str());
+
+    if (!cli.getString("trace").empty())
+        writeChromeTrace(report, sys.description(),
+                         cli.getString("trace"));
+    return 0;
+}
+
+int
+cmdNtt(int argc, char **argv)
+{
+    CliParser cli("simulate one (batched) NTT");
+    cli.addInt("log-n", 24, "log2 of the transform size");
+    cli.addInt("batch", 1, "number of independent transforms");
+    cli.addBool("inverse", false, "run the inverse transform");
+    cli.addString("field", "goldilocks",
+                  "field: goldilocks, babybear, bn254");
+    cli.addString("baseline", "", "run a baseline instead: fourstep");
+    cli.addString("trace", "", "write a chrome://tracing JSON here");
+    addCommonFlags(cli);
+    cli.parse(argc, argv);
+
+    std::string field = cli.getString("field");
+    if (field == "goldilocks")
+        return runNtt<Goldilocks>(cli);
+    if (field == "babybear")
+        return runNtt<BabyBear>(cli);
+    if (field == "bn254")
+        return runNtt<Bn254Fr>(cli);
+    fatal("unknown field '%s'", field.c_str());
+}
+
+int
+cmdMsm(int argc, char **argv)
+{
+    CliParser cli("simulate one multi-GPU MSM");
+    cli.addInt("log-n", 20, "log2 of the point count");
+    cli.addBool("g2", false, "price the G2 variant");
+    addCommonFlags(cli);
+    cli.parse(argc, argv);
+    auto sys = systemFromFlags(cli);
+    MsmEngine engine(sys);
+    auto report = engine.analyticRun(
+        1ULL << cli.getInt("log-n"), cli.getBool("g2"));
+    std::printf("machine: %s, %s MSM of 2^%lld points\n\n",
+                sys.description().c_str(),
+                cli.getBool("g2") ? "G2" : "G1",
+                static_cast<long long>(cli.getInt("log-n")));
+    std::printf("%s", report.toString().c_str());
+    return 0;
+}
+
+int
+cmdProver(int argc, char **argv)
+{
+    CliParser cli("simulate an end-to-end prover");
+    cli.addInt("log-constraints", 22, "log2 of the circuit size");
+    cli.addString("proto", "groth16", "protocol: groth16, plonk");
+    addCommonFlags(cli);
+    cli.parse(argc, argv);
+    auto sys = systemFromFlags(cli);
+
+    unsigned logc = static_cast<unsigned>(cli.getInt("log-constraints"));
+    auto stages = cli.getString("proto") == "plonk"
+                      ? ZkpPipeline::plonkStages(logc)
+                      : ZkpPipeline::groth16Stages(logc);
+
+    Table t({"backend", "NTT", "MSM", "other", "total"});
+    for (auto backend : {NttBackend::SingleGpu, NttBackend::FourStep,
+                         NttBackend::UniNtt}) {
+        ZkpPipeline pipe(sys, backend);
+        auto bd = pipe.estimate(stages);
+        t.addRow({toString(backend), formatSeconds(bd.nttSeconds),
+                  formatSeconds(bd.msmSeconds),
+                  formatSeconds(bd.otherSeconds),
+                  formatSeconds(bd.total())});
+    }
+    std::printf("%s prover, 2^%u constraints, %s\n",
+                cli.getString("proto").c_str(), logc,
+                sys.description().c_str());
+    t.print();
+    return 0;
+}
+
+int
+cmdStark(int argc, char **argv)
+{
+    CliParser cli("run a functional STARK prove/verify cycle");
+    cli.addInt("start", 3, "public start value");
+    cli.addInt("log-steps", 9, "log2 of the trace length");
+    cli.addString("proof-out", "", "write the serialized proof here");
+    cli.parse(argc, argv);
+
+    SquareStark stark;
+    auto t0 = Goldilocks::fromU64(
+        static_cast<uint64_t>(cli.getInt("start")));
+    auto proof = stark.prove(
+        t0, static_cast<unsigned>(cli.getInt("log-steps")));
+    bool ok = stark.verify(proof);
+    auto bytes = serializeStarkProof(proof);
+    std::printf("proof: %s, verifies: %s\n",
+                formatBytes(static_cast<double>(bytes.size())).c_str(),
+                ok ? "OK" : "FAILED");
+
+    std::string path = cli.getString("proof-out");
+    if (!path.empty()) {
+        std::FILE *f = std::fopen(path.c_str(), "wb");
+        if (!f)
+            fatal("cannot open '%s'", path.c_str());
+        std::fwrite(bytes.data(), 1, bytes.size(), f);
+        std::fclose(f);
+        std::printf("wrote %s\n", path.c_str());
+    }
+    return ok ? 0 : 1;
+}
+
+int
+cmdLevels(int argc, char **argv)
+{
+    CliParser cli("print the abstract hardware model");
+    addCommonFlags(cli);
+    cli.parse(argc, argv);
+    auto sys = systemFromFlags(cli);
+    Table t({"level", "fanout", "capacity (elems)", "exchange bw",
+             "latency"});
+    for (const auto &lvl : sys.abstractLevels(8))
+        t.addRow({lvl.name, std::to_string(lvl.fanout),
+                  fmtI(lvl.localCapacityElems),
+                  formatBytes(lvl.exchangeBandwidth) + "/s",
+                  formatSeconds(lvl.exchangeLatency)});
+    std::printf("%s\n", sys.description().c_str());
+    t.print();
+    return 0;
+}
+
+void
+usage()
+{
+    std::printf(
+        "unintt-cli <command> [flags]\n\n"
+        "commands:\n"
+        "  plan    print the hierarchical decomposition for a size\n"
+        "  ntt     simulate one (batched) NTT and print the timeline\n"
+        "  msm     simulate one multi-GPU MSM\n"
+        "  prover  simulate an end-to-end ZKP prover\n"
+        "  levels  print the abstract hardware model of a machine\n\n"
+        "run 'unintt-cli <command> --help' for the command's flags\n");
+}
+
+} // namespace
+} // namespace unintt
+
+int
+main(int argc, char **argv)
+{
+    using namespace unintt;
+    if (argc < 2) {
+        usage();
+        return 1;
+    }
+    std::string cmd = argv[1];
+    if (cmd == "plan")
+        return cmdPlan(argc - 1, argv + 1);
+    if (cmd == "ntt")
+        return cmdNtt(argc - 1, argv + 1);
+    if (cmd == "msm")
+        return cmdMsm(argc - 1, argv + 1);
+    if (cmd == "prover")
+        return cmdProver(argc - 1, argv + 1);
+    if (cmd == "stark")
+        return cmdStark(argc - 1, argv + 1);
+    if (cmd == "levels")
+        return cmdLevels(argc - 1, argv + 1);
+    if (cmd == "--help" || cmd == "-h") {
+        usage();
+        return 0;
+    }
+    std::fprintf(stderr, "unknown command '%s'\n\n", cmd.c_str());
+    usage();
+    return 1;
+}

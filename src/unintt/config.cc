@@ -1,0 +1,20 @@
+#include "unintt/config.hh"
+
+#include <sstream>
+
+namespace unintt {
+
+std::string
+UniNttConfig::toString() const
+{
+    auto onoff = [](bool b) { return b ? "on" : "off"; };
+    std::ostringstream os;
+    os << "fuse=" << onoff(fuseTwiddles)
+       << " otf-twiddle=" << onoff(onTheFlyTwiddles)
+       << " pad-smem=" << onoff(paddedSmem)
+       << " warp-shfl=" << onoff(warpShuffle)
+       << " overlap=" << onoff(overlapComm);
+    return os.str();
+}
+
+} // namespace unintt

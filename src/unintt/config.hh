@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Configuration of the UniNTT engine: the uniform optimization set.
+ *
+ * Each flag corresponds to one of the optimizations the paper designs
+ * once against the abstract hardware model and then applies at every
+ * hierarchy level. Turning a flag off reproduces the ablation
+ * experiments (bench/fig11_ablation).
+ */
+
+#ifndef UNINTT_UNINTT_CONFIG_HH
+#define UNINTT_UNINTT_CONFIG_HH
+
+#include <string>
+
+namespace unintt {
+
+/** Optimization toggles of the UniNTT engine. */
+struct UniNttConfig
+{
+    /**
+     * The overhead-free decomposition: fuse the inter-sub-NTT twiddle
+     * multiplication into the butterflies of the adjacent sub-NTT.
+     * When off, every decomposition boundary (cross-GPU -> local, and
+     * every grid pass boundary) pays an explicit twiddle pass over the
+     * whole dataset, exactly like the classic four-step algorithm.
+     */
+    bool fuseTwiddles = true;
+
+    /**
+     * Generate twiddles incrementally in registers instead of loading
+     * a precomputed table through the memory hierarchy. Trades extra
+     * multiplies for bandwidth; the same trade at every level.
+     */
+    bool onTheFlyTwiddles = true;
+
+    /**
+     * Resolve onTheFlyTwiddles from the abstract hardware model at
+     * engine construction: generation wins on bandwidth-bound fields
+     * (Goldilocks, BabyBear), tables win on compute-bound ones
+     * (BN254-Fr). This is the paper's "design once against the
+     * abstract model" story applied to the strategy choice itself.
+     * Set to false to pin the flag manually (ablation studies do).
+     */
+    bool autoTuneTwiddles = true;
+
+    /**
+     * Pad the shared-memory tile layout so strided accesses hit
+     * distinct banks. When off, tile exchanges pay bank-conflict
+     * replays.
+     */
+    bool paddedSmem = true;
+
+    /**
+     * Use the register shuffle network for the warp-level sub-NTTs.
+     * When off, warp-level stages round-trip through shared memory like
+     * the block-level ones.
+     */
+    bool warpShuffle = true;
+
+    /**
+     * Double-buffer the inter-GPU exchanges so link transfers overlap
+     * butterfly computation (and, one level down, smem prefetch
+     * overlaps tile compute). When off, communication serializes with
+     * computation.
+     */
+    bool overlapComm = true;
+
+    /**
+     * Pin the shared-memory block tile to 2^forceLogBlockTile elements
+     * instead of the planner's capacity-derived choice. 0 = automatic.
+     * Used by the tile-size sensitivity study (bench/fig16_tile_size).
+     */
+    unsigned forceLogBlockTile = 0;
+
+    /** Human-readable on/off summary for reports. */
+    std::string toString() const;
+
+    /** All optimizations enabled (the paper's default). */
+    static UniNttConfig allOn() { return UniNttConfig{}; }
+
+    /** All optimizations disabled (decomposition still correct). */
+    static UniNttConfig
+    allOff()
+    {
+        UniNttConfig c;
+        c.fuseTwiddles = false;
+        c.onTheFlyTwiddles = false;
+        c.autoTuneTwiddles = false;
+        c.paddedSmem = false;
+        c.warpShuffle = false;
+        c.overlapComm = false;
+        return c;
+    }
+};
+
+/**
+ * Model constants used when pricing the optimization trade-offs. They
+ * are deliberately explicit (not buried in code) so EXPERIMENTS.md can
+ * reference them; see DESIGN.md "Hardware substitution".
+ */
+struct CostConstants
+{
+    /**
+     * Fraction of twiddle-table loads that miss in L2 and reach DRAM
+     * when onTheFlyTwiddles is off.
+     */
+    double twiddleTableDramFraction = 0.5;
+    /**
+     * Extra field multiplies per butterfly for incremental twiddle
+     * generation when onTheFlyTwiddles is on.
+     */
+    double onTheFlyExtraMuls = 0.5;
+    /**
+     * Average extra shared-memory replays per access for the unpadded
+     * layout (a 8-way conflict replays 7 times).
+     */
+    double unpaddedConflictReplays = 7.0;
+};
+
+} // namespace unintt
+
+#endif // UNINTT_UNINTT_CONFIG_HH

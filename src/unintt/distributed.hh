@@ -1,0 +1,86 @@
+/**
+ * @file
+ * A vector of field elements distributed across the simulated GPUs in
+ * contiguous chunks: GPU g owns global positions
+ * [g*n/G, (g+1)*n/G). This is the layout the UniNTT engine computes in;
+ * helpers convert to and from a single host-side vector for tests and
+ * examples.
+ */
+
+#ifndef UNINTT_UNINTT_DISTRIBUTED_HH
+#define UNINTT_UNINTT_DISTRIBUTED_HH
+
+#include <vector>
+
+#include "field/field_traits.hh"
+#include "util/bitops.hh"
+#include "util/logging.hh"
+
+namespace unintt {
+
+/** Field elements sharded in contiguous chunks across GPUs. */
+template <NttField F>
+class DistributedVector
+{
+  public:
+    /** Empty vector over @p num_gpus devices. */
+    explicit DistributedVector(unsigned num_gpus)
+        : chunks_(num_gpus)
+    {
+        UNINTT_ASSERT(num_gpus > 0, "need at least one GPU");
+    }
+
+    /** Shard a host vector; size must be divisible by the GPU count. */
+    static DistributedVector
+    fromGlobal(const std::vector<F> &global, unsigned num_gpus)
+    {
+        UNINTT_ASSERT(global.size() % num_gpus == 0,
+                      "size must divide evenly across GPUs");
+        DistributedVector out(num_gpus);
+        size_t chunk = global.size() / num_gpus;
+        for (unsigned g = 0; g < num_gpus; ++g)
+            out.chunks_[g].assign(global.begin() + g * chunk,
+                                  global.begin() + (g + 1) * chunk);
+        return out;
+    }
+
+    /** Gather all chunks back into one host vector. */
+    std::vector<F>
+    toGlobal() const
+    {
+        std::vector<F> out;
+        out.reserve(size());
+        for (const auto &c : chunks_)
+            out.insert(out.end(), c.begin(), c.end());
+        return out;
+    }
+
+    /** Number of devices. */
+    unsigned numGpus() const { return chunks_.size(); }
+
+    /** Total element count. */
+    size_t
+    size() const
+    {
+        size_t n = 0;
+        for (const auto &c : chunks_)
+            n += c.size();
+        return n;
+    }
+
+    /** Elements per device (uniform). */
+    size_t chunkSize() const { return chunks_.empty() ? 0 : chunks_[0].size(); }
+
+    /** Mutable chunk of GPU @p g. */
+    std::vector<F> &chunk(unsigned g) { return chunks_[g]; }
+
+    /** Read-only chunk of GPU @p g. */
+    const std::vector<F> &chunk(unsigned g) const { return chunks_[g]; }
+
+  private:
+    std::vector<std::vector<F>> chunks_;
+};
+
+} // namespace unintt
+
+#endif // UNINTT_UNINTT_DISTRIBUTED_HH

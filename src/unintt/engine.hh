@@ -1,0 +1,574 @@
+/**
+ * @file
+ * The UniNTT execution engine.
+ *
+ * The engine runs a radix-2 transform whose stages are assigned to the
+ * hierarchy levels chosen by the planner (plan.hh):
+ *
+ *  - the first logMg stages (forward direction) are cross-GPU
+ *    butterflies: every GPU exchanges its whole chunk with one partner
+ *    and applies butterflies with fused twiddles — the same NTT
+ *    computation as everywhere else, at multi-GPU scale;
+ *  - the remaining stages are grouped into grid passes; each pass
+ *    stages a block tile in shared memory and resolves its bits with
+ *    warp-scale shuffle rounds glued by shared-memory exchanges.
+ *
+ * Because the per-element twiddle exponents of a plain radix-2
+ * decimation-in-frequency transform already include the inter-sub-NTT
+ * factors, executing the stages hierarchically IS the overhead-free
+ * decomposition: no separate twiddle pass exists unless fusion is
+ * disabled (in which case the engine emulates the four-step-style
+ * explicit passes for the ablation study).
+ *
+ * The transform is executed functionally (bit-exact field arithmetic on
+ * host memory) while every phase's events are tallied and priced by the
+ * simulator (src/sim). Orderings: Forward maps natural input to
+ * globally bit-reversed output; Inverse maps bit-reversed input back to
+ * natural order, including the n^-1 scaling.
+ */
+
+#ifndef UNINTT_UNINTT_ENGINE_HH
+#define UNINTT_UNINTT_ENGINE_HH
+
+#include <algorithm>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "field/field_traits.hh"
+#include "ntt/ntt.hh"
+#include "ntt/twiddle.hh"
+#include "sim/memory.hh"
+#include "sim/multi_gpu.hh"
+#include "sim/perf_model.hh"
+#include "sim/report.hh"
+#include "unintt/config.hh"
+#include "unintt/distributed.hh"
+#include "unintt/plan.hh"
+#include "util/bitops.hh"
+#include "util/logging.hh"
+
+namespace unintt {
+
+/** Multi-GPU NTT engine implementing the UniNTT algorithm. */
+template <NttField F>
+class UniNttEngine
+{
+  public:
+    /**
+     * @param sys   simulated machine (GPU count must be a power of 2).
+     * @param cfg   optimization toggles.
+     * @param costs model constants for the optimization trade-offs.
+     */
+    explicit UniNttEngine(MultiGpuSystem sys,
+                          UniNttConfig cfg = UniNttConfig::allOn(),
+                          CostConstants costs = CostConstants{})
+        : sys_(std::move(sys)),
+          cfg_(cfg),
+          costs_(costs),
+          perf_(sys_.gpu, fieldCostOf<F>())
+    {
+        if (cfg_.autoTuneTwiddles)
+            cfg_.onTheFlyTwiddles = onTheFlyTwiddlesAreCheaper();
+    }
+
+    /**
+     * The abstract-model comparison behind the twiddle auto-tune: the
+     * marginal compute of generating a twiddle versus the marginal
+     * DRAM traffic of loading it.
+     */
+    bool
+    onTheFlyTwiddlesAreCheaper() const
+    {
+        const FieldCost &fc = perf_.field();
+        double generate_s =
+            costs_.onTheFlyExtraMuls * fc.mulSlots / perf_.mulSlotRate();
+        double load_s = costs_.twiddleTableDramFraction *
+                        static_cast<double>(fc.elementBytes) /
+                        sys_.gpu.dramBandwidth;
+        return generate_s <= load_s;
+    }
+
+    /** The machine this engine targets. */
+    const MultiGpuSystem &system() const { return sys_; }
+
+    /** The active optimization configuration. */
+    const UniNttConfig &config() const { return cfg_; }
+
+    /** Decomposition the engine will use for a 2^logN transform. */
+    NttPlan
+    plan(unsigned logN) const
+    {
+        return planNttWithTile(logN, sys_, sizeof(F),
+                               cfg_.forceLogBlockTile);
+    }
+
+    /**
+     * Forward NTT in place: natural order in, globally bit-reversed
+     * order out. Returns the simulated timeline.
+     */
+    SimReport
+    forward(DistributedVector<F> &data) const
+    {
+        std::vector<DistributedVector<F> *> batch{&data};
+        return run(log2Exact(data.size()), NttDirection::Forward, batch);
+    }
+
+    /** Inverse NTT in place: bit-reversed in, natural out, scaled. */
+    SimReport
+    inverse(DistributedVector<F> &data) const
+    {
+        std::vector<DistributedVector<F> *> batch{&data};
+        return run(log2Exact(data.size()), NttDirection::Inverse, batch);
+    }
+
+    /**
+     * Batched transform over independent equal-size inputs. Kernel
+     * launches are amortized over the batch (one launch per pass), the
+     * data-proportional costs scale with the batch size.
+     */
+    SimReport
+    forwardBatch(std::vector<DistributedVector<F>> &batch) const
+    {
+        UNINTT_ASSERT(!batch.empty(), "empty batch");
+        std::vector<DistributedVector<F> *> ptrs;
+        for (auto &b : batch)
+            ptrs.push_back(&b);
+        return run(log2Exact(batch[0].size()), NttDirection::Forward,
+                   ptrs);
+    }
+
+    /**
+     * Analytic-only run: produce the simulated timeline of a
+     * 2^logN x batch transform without touching data. Used for sweeps
+     * beyond the sizes that are practical to execute functionally.
+     */
+    SimReport
+    analyticRun(unsigned logN, NttDirection dir, size_t batch = 1) const
+    {
+        std::vector<DistributedVector<F> *> empty;
+        return run(logN, dir, empty, batch);
+    }
+
+    /**
+     * Coset forward NTT (low-degree extension): transforms the
+     * evaluations onto the coset shift * <w>, i.e. output position k
+     * holds P(shift * w^k) in bit-reversed order. The coefficient
+     * scaling by shift^i fuses into the first pass when twiddle fusion
+     * is on; otherwise it costs an explicit pass, exactly like the
+     * other decomposition twiddles.
+     */
+    SimReport
+    forwardCoset(DistributedVector<F> &data, F shift) const
+    {
+        const unsigned logN = log2Exact(data.size());
+        const uint64_t C = data.chunkSize();
+        SimReport report;
+
+        // Functional scaling by shift^i, i the global index.
+        for (unsigned g = 0; g < data.numGpus(); ++g) {
+            F power = shift.pow(static_cast<uint64_t>(g) * C);
+            for (auto &v : data.chunk(g)) {
+                v *= power;
+                power *= shift;
+            }
+        }
+        KernelStats k;
+        k.fieldMuls = 2 * C; // scale + running shift power
+        if (!cfg_.fuseTwiddles) {
+            k.globalReadBytes = C * sizeof(F);
+            k.globalWriteBytes = C * sizeof(F);
+            k.kernelLaunches = 1;
+        }
+        report.addKernelPhase(cfg_.fuseTwiddles ? "coset-scale-fused"
+                                                : "coset-scale-pass",
+                              k, perf_);
+        UNINTT_ASSERT(logN == log2Exact(data.size()), "size changed");
+        report.append(forward(data));
+        return report;
+    }
+
+    /**
+     * Cyclic convolution of two equal-size distributed vectors:
+     * a <- IFFT(FFT(a) . FFT(b)) without any reordering passes (the
+     * pointwise product runs in bit-reversed order). The pointwise
+     * multiply fuses into the inverse transform's first pass when
+     * fusion is on.
+     */
+    SimReport
+    convolve(DistributedVector<F> &a, DistributedVector<F> &b) const
+    {
+        UNINTT_ASSERT(a.size() == b.size(), "operand size mismatch");
+        SimReport report = forward(a);
+        report.append(forward(b));
+
+        const uint64_t C = a.chunkSize();
+        for (unsigned g = 0; g < a.numGpus(); ++g)
+            for (uint64_t i = 0; i < C; ++i)
+                a.chunk(g)[i] *= b.chunk(g)[i];
+        KernelStats k;
+        k.fieldMuls = C;
+        if (!cfg_.fuseTwiddles) {
+            k.globalReadBytes = 2 * C * sizeof(F);
+            k.globalWriteBytes = C * sizeof(F);
+            k.kernelLaunches = 1;
+        }
+        report.addKernelPhase(cfg_.fuseTwiddles ? "pointwise-fused"
+                                                : "pointwise-pass",
+                              k, perf_);
+
+        report.append(inverse(a));
+        return report;
+    }
+
+  private:
+    /**
+     * Shared implementation. @p batch holds the functional data (may
+     * be empty for analytic runs, in which case @p analytic_batch
+     * supplies the batch multiplier).
+     */
+    SimReport run(unsigned logN, NttDirection dir,
+                  std::vector<DistributedVector<F> *> &batch,
+                  size_t analytic_batch = 1) const;
+
+    /** Functional butterflies of one cross-GPU stage. */
+    void crossStageCompute(DistributedVector<F> &data, unsigned s,
+                           unsigned logN, const TwiddleTable<F> &tw,
+                           NttDirection dir) const;
+
+    /** Functional butterflies of local stages [s_begin, s_end). */
+    void localStagesCompute(DistributedVector<F> &data, unsigned s_begin,
+                            unsigned s_end, unsigned logN,
+                            const TwiddleTable<F> &tw,
+                            NttDirection dir) const;
+
+    /** Event counters of one cross-GPU stage (per GPU). */
+    KernelStats crossStageStats(uint64_t chunk, size_t batch) const;
+
+    /** Event counters of one grid pass (per GPU). */
+    KernelStats gridPassStats(uint64_t chunk, const GridPassPlan &pass,
+                              size_t batch) const;
+
+    /** Event counters of one explicit twiddle pass (fusion off). */
+    KernelStats twiddlePassStats(uint64_t chunk, size_t batch) const;
+
+    MultiGpuSystem sys_;
+    UniNttConfig cfg_;
+    CostConstants costs_;
+    PerfModel perf_;
+};
+
+// ---------------------------------------------------------------------
+// Implementation.
+// ---------------------------------------------------------------------
+
+template <NttField F>
+void
+UniNttEngine<F>::crossStageCompute(DistributedVector<F> &data, unsigned s,
+                                   unsigned logN,
+                                   const TwiddleTable<F> &tw,
+                                   NttDirection dir) const
+{
+    const unsigned G = data.numGpus();
+    const unsigned logMg = log2Exact(G);
+    const uint64_t n = 1ULL << logN;
+    const uint64_t C = n / G;
+    const unsigned partner_gap = 1u << (logMg - s - 1); // in GPU indices
+
+    for (unsigned g = 0; g < G; ++g) {
+        if ((g / partner_gap) % 2 != 0)
+            continue; // g is the upper element of its pair
+        unsigned p = g + partner_gap;
+        auto &lo = data.chunk(g);
+        auto &hi = data.chunk(p);
+        // Position of this GPU's chunk inside the half-block.
+        uint64_t j0 = static_cast<uint64_t>(g % partner_gap) * C;
+        for (uint64_t c = 0; c < C; ++c) {
+            uint64_t j = j0 + c;
+            F u = lo[c];
+            F v = hi[c];
+            if (dir == NttDirection::Forward) {
+                lo[c] = u + v;
+                hi[c] = (u - v) * tw[j << s];
+            } else {
+                v = v * tw[j << s];
+                lo[c] = u + v;
+                hi[c] = u - v;
+            }
+        }
+    }
+}
+
+template <NttField F>
+void
+UniNttEngine<F>::localStagesCompute(DistributedVector<F> &data,
+                                    unsigned s_begin, unsigned s_end,
+                                    unsigned logN,
+                                    const TwiddleTable<F> &tw,
+                                    NttDirection dir) const
+{
+    const uint64_t n = 1ULL << logN;
+
+    // Stage order: DIF descends (strides shrink), DIT ascends.
+    std::vector<unsigned> stages;
+    for (unsigned s = s_begin; s < s_end; ++s)
+        stages.push_back(s);
+    if (dir == NttDirection::Inverse)
+        std::reverse(stages.begin(), stages.end());
+
+    for (unsigned g = 0; g < data.numGpus(); ++g) {
+        auto &chunk = data.chunk(g);
+        const uint64_t C = chunk.size();
+        for (unsigned s : stages) {
+            const uint64_t half = n >> (s + 1);
+            UNINTT_ASSERT(2 * half <= C, "stage is not GPU-local");
+            for (uint64_t start = 0; start < C; start += 2 * half) {
+                for (uint64_t j = 0; j < half; ++j) {
+                    F u = chunk[start + j];
+                    F v = chunk[start + j + half];
+                    if (dir == NttDirection::Forward) {
+                        chunk[start + j] = u + v;
+                        chunk[start + j + half] = (u - v) * tw[j << s];
+                    } else {
+                        v = v * tw[j << s];
+                        chunk[start + j] = u + v;
+                        chunk[start + j + half] = u - v;
+                    }
+                }
+            }
+        }
+    }
+}
+
+template <NttField F>
+KernelStats
+UniNttEngine<F>::crossStageStats(uint64_t chunk, size_t batch) const
+{
+    const size_t b = sizeof(F);
+    KernelStats k;
+    k.fieldAdds = chunk * batch;     // one add or sub per output element
+    k.fieldMuls = chunk / 2 * batch; // twiddle on the upper half outputs
+    k.butterflies = chunk / 2 * batch;
+    if (cfg_.onTheFlyTwiddles) {
+        k.fieldMuls += static_cast<uint64_t>(
+            static_cast<double>(k.butterflies) * costs_.onTheFlyExtraMuls);
+    } else {
+        k.globalReadBytes += static_cast<uint64_t>(
+            static_cast<double>(k.butterflies) * b *
+            costs_.twiddleTableDramFraction);
+    }
+    // Read own chunk + received chunk, write result + link landing.
+    k.globalReadBytes += 2 * chunk * b * batch;
+    k.globalWriteBytes += 2 * chunk * b * batch;
+    k.kernelLaunches = 1;
+    return k;
+}
+
+template <NttField F>
+KernelStats
+UniNttEngine<F>::gridPassStats(uint64_t chunk, const GridPassPlan &pass,
+                               size_t batch) const
+{
+    const size_t b = sizeof(F);
+    KernelStats k;
+    k.butterflies = chunk / 2 * pass.bits * batch;
+    k.fieldMuls = k.butterflies;
+    k.fieldAdds = 2 * k.butterflies;
+    if (cfg_.onTheFlyTwiddles) {
+        k.fieldMuls += static_cast<uint64_t>(
+            static_cast<double>(k.butterflies) * costs_.onTheFlyExtraMuls);
+    } else {
+        k.globalReadBytes += static_cast<uint64_t>(
+            static_cast<double>(k.butterflies) * b *
+            costs_.twiddleTableDramFraction);
+    }
+    // One coalesced read and write of the chunk per pass.
+    k.globalReadBytes += chunk * b * batch;
+    k.globalWriteBytes += chunk * b * batch;
+
+    if (cfg_.warpShuffle) {
+        // Warp-resident stages exchange via the shuffle network; only
+        // round boundaries cross shared memory.
+        k.shuffles = chunk * pass.bits * batch;
+        k.smemBytes = 2 * chunk * b * (pass.warpRounds - 1) * batch;
+    } else {
+        // Every stage round-trips through shared memory.
+        k.smemBytes = 2 * chunk * b * pass.bits * batch;
+    }
+    if (!cfg_.paddedSmem) {
+        uint64_t accesses = k.smemBytes / b;
+        k.smemBankConflicts = static_cast<uint64_t>(
+            static_cast<double>(accesses) * costs_.unpaddedConflictReplays);
+    }
+    uint64_t tiles = std::max<uint64_t>(1, chunk >> pass.bits);
+    // The shuffle path only barriers at round boundaries; the pure smem
+    // path barriers after every stage.
+    k.syncs = tiles * (cfg_.warpShuffle ? pass.warpRounds : pass.bits) *
+              batch;
+    k.kernelLaunches = 1;
+    return k;
+}
+
+template <NttField F>
+KernelStats
+UniNttEngine<F>::twiddlePassStats(uint64_t chunk, size_t batch) const
+{
+    const size_t b = sizeof(F);
+    KernelStats k;
+    k.fieldMuls = chunk * batch;
+    k.globalReadBytes = chunk * b * batch;
+    k.globalWriteBytes = chunk * b * batch;
+    k.kernelLaunches = 1;
+    return k;
+}
+
+template <NttField F>
+SimReport
+UniNttEngine<F>::run(unsigned logN, NttDirection dir,
+                     std::vector<DistributedVector<F> *> &batch,
+                     size_t analytic_batch) const
+{
+    const NttPlan pl = plan(logN);
+    const uint64_t n = 1ULL << logN;
+    const uint64_t C = pl.chunkElems();
+    const size_t nbatch = batch.empty() ? analytic_batch : batch.size();
+    const bool functional = !batch.empty();
+
+    for (auto *d : batch) {
+        UNINTT_ASSERT(d->size() == n, "batch entry size mismatch");
+        UNINTT_ASSERT(d->numGpus() == sys_.numGpus, "GPU count mismatch");
+    }
+
+    // Twiddle table shared by the functional execution. The simulated
+    // twiddle strategy (table vs on-the-fly) only affects accounting.
+    std::optional<TwiddleTable<F>> tw;
+    if (functional)
+        tw.emplace(n, dir);
+
+    SimReport report;
+
+    // Device-memory footprint: the data chunk, one exchange buffer for
+    // the cross-GPU phase, and the twiddle table when it is not
+    // generated on the fly.
+    {
+        DeviceMemoryModel mem(sys_.gpu, sys_.numGpus);
+        mem.allocAll(C * sizeof(F) * nbatch, "data");
+        if (pl.logMg > 0)
+            mem.allocAll(C * sizeof(F) * nbatch, "exchange-buffer");
+        if (!cfg_.onTheFlyTwiddles)
+            mem.allocAll(n / 2 * sizeof(F), "twiddle-table");
+        report.setPeakDeviceBytes(mem.maxPeakBytes());
+    }
+
+    auto add_cross_stage = [&](unsigned s) {
+        KernelStats k = crossStageStats(C, nbatch);
+        double kernel_t = perf_.kernelSeconds(k);
+        CommStats comm{C * sizeof(F) * nbatch, 1};
+        unsigned distance = 1u << (pl.logMg - s - 1);
+        unsigned effective = distance;
+        const Interconnect &fabric = sys_.fabricFor(distance, effective);
+        double comm_t =
+            fabric.pairwiseExchangeTime(comm.bytesPerGpu, effective);
+        std::string name =
+            (sys_.crossesNodes(distance) ? "node-stage-" : "mgpu-stage-") +
+            std::to_string(s) + "/x" + std::to_string(distance);
+        if (functional) {
+            for (auto *d : batch)
+                crossStageCompute(*d, s, logN, *tw, dir);
+        }
+        if (cfg_.overlapComm) {
+            // Segmented pipeline: transfer overlaps butterflies; the
+            // longer of the two dominates.
+            double visible = std::max(0.0, comm_t - kernel_t);
+            report.addKernelPhase(name + "-compute", k, perf_);
+            report.addCommPhase(name + "-exchange", visible, comm,
+                                comm_t - visible);
+        } else {
+            report.addKernelPhase(name + "-compute", k, perf_);
+            report.addCommPhase(name + "-exchange", comm_t, comm);
+        }
+    };
+
+    auto add_twiddle_pass = [&](const std::string &why) {
+        KernelStats k = twiddlePassStats(C, nbatch);
+        report.addKernelPhase("twiddle-pass-" + why, k, perf_);
+        // Functionally a no-op: the fused execution already applied
+        // the factors; this models the un-fused algorithm's extra
+        // memory round trip.
+    };
+
+    // ----- Forward: cross-GPU phase first, then local passes. -----
+    // ----- Inverse: local passes first, cross-GPU phase last.  -----
+
+    auto run_cross_phase = [&] {
+        for (unsigned i = 0; i < pl.logMg; ++i) {
+            unsigned s = dir == NttDirection::Forward
+                             ? i
+                             : pl.logMg - 1 - i; // DIT ascends strides
+            add_cross_stage(s);
+        }
+        if (!cfg_.fuseTwiddles && pl.logMg > 0)
+            add_twiddle_pass("mgpu");
+    };
+
+    auto run_local_phase = [&] {
+        // Grid passes cover stage ranges [s, s + bits). Forward order:
+        // outermost (largest strides) first; inverse reversed.
+        std::vector<std::pair<unsigned, GridPassPlan>> ranges;
+        unsigned s = pl.logMg;
+        for (const auto &pass : pl.passes) {
+            ranges.emplace_back(s, pass);
+            s += pass.bits;
+        }
+        UNINTT_ASSERT(s == logN, "plan does not cover all stages");
+        if (dir == NttDirection::Inverse)
+            std::reverse(ranges.begin(), ranges.end());
+
+        for (size_t i = 0; i < ranges.size(); ++i) {
+            const auto &[s_begin, pass] = ranges[i];
+            if (functional) {
+                for (auto *d : batch)
+                    localStagesCompute(*d, s_begin, s_begin + pass.bits,
+                                       logN, *tw, dir);
+            }
+            KernelStats k = gridPassStats(C, pass, nbatch);
+            report.addKernelPhase("grid-pass-" + std::to_string(i) + "/b" +
+                                      std::to_string(pass.bits),
+                                  k, perf_);
+            if (!cfg_.fuseTwiddles && i + 1 < ranges.size())
+                add_twiddle_pass("pass" + std::to_string(i));
+        }
+    };
+
+    if (dir == NttDirection::Forward) {
+        run_cross_phase();
+        run_local_phase();
+    } else {
+        run_local_phase();
+        run_cross_phase();
+
+        // n^-1 scaling. Fused into the last stage's butterflies when
+        // fusion is on (extra muls only); a separate pass otherwise.
+        if (functional) {
+            F scale = inverseScale<F>(n);
+            for (auto *d : batch)
+                for (unsigned g = 0; g < d->numGpus(); ++g)
+                    for (auto &v : d->chunk(g))
+                        v *= scale;
+        }
+        if (cfg_.fuseTwiddles) {
+            KernelStats k;
+            k.fieldMuls = C * nbatch;
+            report.addKernelPhase("inverse-scale-fused", k, perf_);
+        } else {
+            add_twiddle_pass("inverse-scale");
+        }
+    }
+
+    return report;
+}
+
+} // namespace unintt
+
+#endif // UNINTT_UNINTT_ENGINE_HH

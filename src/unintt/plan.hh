@@ -1,0 +1,97 @@
+/**
+ * @file
+ * The decomposition planner: recursively factor a size-2^logN NTT over
+ * the hierarchy so that every level runs the same computation at its
+ * own scale.
+ *
+ * The plan mirrors the paper's construction:
+ *
+ *   NTT(2^logN) = NTT(2^logMg)  (across GPUs, butterfly exchanges)
+ *               x NTT(2^r0)     (grid pass 0, per GPU)
+ *               x NTT(2^r1)     (grid pass 1)
+ *               x ...
+ *
+ * where each grid pass of r bits is itself decomposed into warp-scale
+ * rounds of at most logWarp bits (shuffle sub-NTTs glued by
+ * shared-memory exchanges). All inter-factor twiddles are fused into
+ * butterflies (the overhead-free property), so the factorization adds
+ * no extra data passes.
+ */
+
+#ifndef UNINTT_UNINTT_PLAN_HH
+#define UNINTT_UNINTT_PLAN_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/multi_gpu.hh"
+
+namespace unintt {
+
+/** One per-GPU grid pass: a sub-NTT of 2^bits executed in block tiles. */
+struct GridPassPlan
+{
+    /** Bits of the transform this pass covers. */
+    unsigned bits;
+    /** Warp-scale rounds inside the tile (ceil(bits / logWarp)). */
+    unsigned warpRounds;
+};
+
+/** A full hierarchical decomposition of one transform size. */
+struct NttPlan
+{
+    /** log2 of the transform size. */
+    unsigned logN = 0;
+    /** Number of GPUs the transform is distributed over. */
+    unsigned numGpus = 1;
+    /** Bits handled by the cross-GPU butterfly phase (= log2 numGpus). */
+    unsigned logMg = 0;
+    /** log2 of the block-tile size (elements staged in shared memory). */
+    unsigned logBlockTile = 0;
+    /** log2 of the warp sub-NTT size (shuffle width). */
+    unsigned logWarp = 5;
+    /** Per-GPU grid passes, outermost first; bits sum to logN - logMg. */
+    std::vector<GridPassPlan> passes;
+
+    /** Elements per GPU. */
+    uint64_t
+    chunkElems() const
+    {
+        return (1ULL << logN) / numGpus;
+    }
+
+    /** Total local bits, i.e. logN - logMg. */
+    unsigned
+    localBits() const
+    {
+        return logN - logMg;
+    }
+
+    /** "2^24 = mgpu(2) * pass(11) * pass(11)" style description. */
+    std::string toString() const;
+};
+
+/**
+ * Build the decomposition for a transform of size 2^logN on @p sys.
+ * Fatal (user error) if the size does not fit the machine or is
+ * smaller than the GPU count.
+ *
+ * @param logN          log2 transform size.
+ * @param sys           target machine.
+ * @param element_bytes field element footprint.
+ */
+NttPlan planNtt(unsigned logN, const MultiGpuSystem &sys,
+                size_t element_bytes);
+
+/**
+ * planNtt with the block-tile size pinned to 2^force_log_tile instead
+ * of the capacity-derived choice (tile-size sensitivity studies;
+ * bench/fig16_tile_size). Pass 0 to defer to the planner.
+ */
+NttPlan planNttWithTile(unsigned logN, const MultiGpuSystem &sys,
+                        size_t element_bytes, unsigned force_log_tile);
+
+} // namespace unintt
+
+#endif // UNINTT_UNINTT_PLAN_HH

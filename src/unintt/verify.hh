@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Randomized output verification. At the scales multi-GPU NTTs run
+ * (2^24 and up), re-checking a transform with a second full algorithm
+ * is as expensive as the transform itself; spot-checking k output
+ * positions against a direct Horner evaluation of the input costs
+ * O(k*n) field ops, catches any single corrupted output with
+ * probability k/n per check set, and — because the positions are
+ * random — catches the systematic corruptions that actually occur
+ * (a wrong twiddle table, a mis-routed exchange) with overwhelming
+ * probability. Production provers run exactly this kind of check after
+ * data-movement-heavy kernels.
+ */
+
+#ifndef UNINTT_UNINTT_VERIFY_HH
+#define UNINTT_UNINTT_VERIFY_HH
+
+#include <vector>
+
+#include "field/field_traits.hh"
+#include "util/bitops.hh"
+#include "util/logging.hh"
+#include "util/random.hh"
+
+namespace unintt {
+
+/**
+ * Spot-check a forward transform: @p input in natural order,
+ * @p output in the engine's bit-reversed order. Verifies
+ * @p checks random positions k by comparing output against the Horner
+ * evaluation of the input polynomial at w^k.
+ *
+ * @return true iff every sampled position matches.
+ */
+template <NttField F>
+bool
+spotCheckForward(const std::vector<F> &input, const std::vector<F> &output,
+                 unsigned checks, uint64_t seed = 99)
+{
+    UNINTT_ASSERT(input.size() == output.size(), "size mismatch");
+    const size_t n = input.size();
+    UNINTT_ASSERT(isPow2(n), "size must be a power of two");
+    const unsigned log_n = log2Exact(n);
+    const F w = F::rootOfUnity(log_n);
+
+    Rng rng(seed);
+    for (unsigned c = 0; c < checks; ++c) {
+        uint64_t k = rng.below(n);
+        F x = w.pow(k);
+        // Horner from the highest coefficient down.
+        F acc = F::zero();
+        for (size_t i = n; i-- > 0;)
+            acc = acc * x + input[i];
+        if (!(output[bitReverse(k, log_n)] == acc))
+            return false;
+    }
+    return true;
+}
+
+/**
+ * Spot-check a coset forward transform (see
+ * UniNttEngine::forwardCoset): output position k should hold
+ * P(shift * w^k).
+ */
+template <NttField F>
+bool
+spotCheckCoset(const std::vector<F> &input, const std::vector<F> &output,
+               F shift, unsigned checks, uint64_t seed = 99)
+{
+    UNINTT_ASSERT(input.size() == output.size(), "size mismatch");
+    const size_t n = input.size();
+    const unsigned log_n = log2Exact(n);
+    const F w = F::rootOfUnity(log_n);
+
+    Rng rng(seed);
+    for (unsigned c = 0; c < checks; ++c) {
+        uint64_t k = rng.below(n);
+        F x = shift * w.pow(k);
+        F acc = F::zero();
+        for (size_t i = n; i-- > 0;)
+            acc = acc * x + input[i];
+        if (!(output[bitReverse(k, log_n)] == acc))
+            return false;
+    }
+    return true;
+}
+
+} // namespace unintt
+
+#endif // UNINTT_UNINTT_VERIFY_HH

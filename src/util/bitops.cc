@@ -1,0 +1,25 @@
+#include "util/bitops.hh"
+
+#include "util/logging.hh"
+
+namespace unintt {
+
+uint64_t
+mixedRadixReverse(uint64_t x, const std::vector<uint64_t> &radices)
+{
+    // Decompose x into digits, least significant first.
+    std::vector<uint64_t> digits(radices.size());
+    for (size_t i = 0; i < radices.size(); ++i) {
+        digits[i] = x % radices[i];
+        x /= radices[i];
+    }
+    UNINTT_ASSERT(x == 0, "value out of range for given radices");
+
+    // Reassemble with digit order and radix order reversed.
+    uint64_t r = 0;
+    for (size_t i = 0; i < radices.size(); ++i)
+        r = r * radices[i] + digits[i];
+    return r;
+}
+
+} // namespace unintt

@@ -1,0 +1,134 @@
+#include "util/cli.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/logging.hh"
+
+namespace unintt {
+
+CliParser::CliParser(std::string description)
+    : description_(std::move(description))
+{
+}
+
+void
+CliParser::addInt(const std::string &name, int64_t def,
+                  const std::string &help)
+{
+    flags_[name] = Flag{Kind::Int, help, std::to_string(def)};
+    order_.push_back(name);
+}
+
+void
+CliParser::addString(const std::string &name, const std::string &def,
+                     const std::string &help)
+{
+    flags_[name] = Flag{Kind::String, help, def};
+    order_.push_back(name);
+}
+
+void
+CliParser::addBool(const std::string &name, bool def,
+                   const std::string &help)
+{
+    flags_[name] = Flag{Kind::Bool, help, def ? "1" : "0"};
+    order_.push_back(name);
+}
+
+void
+CliParser::parse(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            usage();
+            std::exit(0);
+        }
+        if (arg.rfind("--", 0) != 0)
+            fatal("unexpected positional argument '%s'", arg.c_str());
+
+        std::string name, value;
+        auto eq = arg.find('=');
+        if (eq != std::string::npos) {
+            name = arg.substr(2, eq - 2);
+            value = arg.substr(eq + 1);
+        } else {
+            name = arg.substr(2);
+        }
+
+        auto it = flags_.find(name);
+        if (it == flags_.end())
+            fatal("unknown flag '--%s' (try --help)", name.c_str());
+
+        Flag &flag = it->second;
+        if (eq == std::string::npos) {
+            if (flag.kind == Kind::Bool) {
+                value = "1";
+            } else {
+                if (i + 1 >= argc)
+                    fatal("flag '--%s' needs a value", name.c_str());
+                value = argv[++i];
+            }
+        }
+        if (flag.kind == Kind::Bool) {
+            if (value == "true")
+                value = "1";
+            else if (value == "false")
+                value = "0";
+            if (value != "0" && value != "1")
+                fatal("flag '--%s' expects a boolean, got '%s'",
+                      name.c_str(), value.c_str());
+        }
+        if (flag.kind == Kind::Int) {
+            char *end = nullptr;
+            std::strtoll(value.c_str(), &end, 0);
+            if (end == value.c_str() || *end != '\0')
+                fatal("flag '--%s' expects an integer, got '%s'",
+                      name.c_str(), value.c_str());
+        }
+        flag.value = value;
+    }
+}
+
+const CliParser::Flag &
+CliParser::find(const std::string &name, Kind kind) const
+{
+    auto it = flags_.find(name);
+    if (it == flags_.end())
+        panic("lookup of unregistered flag '%s'", name.c_str());
+    if (it->second.kind != kind)
+        panic("flag '%s' looked up with the wrong type", name.c_str());
+    return it->second;
+}
+
+int64_t
+CliParser::getInt(const std::string &name) const
+{
+    return std::strtoll(find(name, Kind::Int).value.c_str(), nullptr, 0);
+}
+
+std::string
+CliParser::getString(const std::string &name) const
+{
+    return find(name, Kind::String).value;
+}
+
+bool
+CliParser::getBool(const std::string &name) const
+{
+    return find(name, Kind::Bool).value == "1";
+}
+
+void
+CliParser::usage() const
+{
+    std::printf("%s\n\nflags:\n", description_.c_str());
+    for (const auto &name : order_) {
+        const Flag &flag = flags_.at(name);
+        std::printf("  --%-20s %s (default: %s)\n", name.c_str(),
+                    flag.help.c_str(), flag.value.c_str());
+    }
+}
+
+} // namespace unintt

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Minimal command-line flag parsing for the examples and benches.
+ * Flags take the form --name=value or --name value; unknown flags are a
+ * fatal user error so typos do not silently fall back to defaults.
+ */
+
+#ifndef UNINTT_UTIL_CLI_HH
+#define UNINTT_UTIL_CLI_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace unintt {
+
+/**
+ * Declarative flag parser. Register flags with defaults, then parse();
+ * lookups after parsing return the user value or the default.
+ */
+class CliParser
+{
+  public:
+    /** @param description one-line program description for --help. */
+    explicit CliParser(std::string description);
+
+    /** Register an integer flag. */
+    void addInt(const std::string &name, int64_t def,
+                const std::string &help);
+
+    /** Register a string flag. */
+    void addString(const std::string &name, const std::string &def,
+                   const std::string &help);
+
+    /** Register a boolean flag (--name or --name=0/1/true/false). */
+    void addBool(const std::string &name, bool def, const std::string &help);
+
+    /**
+     * Parse argv. Handles --help by printing usage and exiting 0.
+     * Unknown or malformed flags are fatal().
+     */
+    void parse(int argc, char **argv);
+
+    /** Value of an integer flag. */
+    int64_t getInt(const std::string &name) const;
+
+    /** Value of a string flag. */
+    std::string getString(const std::string &name) const;
+
+    /** Value of a boolean flag. */
+    bool getBool(const std::string &name) const;
+
+  private:
+    enum class Kind { Int, String, Bool };
+
+    struct Flag
+    {
+        Kind kind;
+        std::string help;
+        std::string value; // textual representation
+    };
+
+    const Flag &find(const std::string &name, Kind kind) const;
+    void usage() const;
+
+    std::string description_;
+    std::map<std::string, Flag> flags_;
+    std::vector<std::string> order_;
+};
+
+} // namespace unintt
+
+#endif // UNINTT_UTIL_CLI_HH

@@ -1,0 +1,103 @@
+#include "util/logging.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace unintt {
+
+Logger &
+Logger::instance()
+{
+    static Logger logger;
+    return logger;
+}
+
+void
+Logger::emit(LogLevel level, const char *tag, const std::string &msg)
+{
+    if (static_cast<int>(level) > static_cast<int>(level_))
+        return;
+    std::fprintf(stderr, "%s: %s\n", tag, msg.c_str());
+}
+
+namespace detail {
+
+std::string
+vformat(const char *fmt, std::va_list args)
+{
+    std::va_list args_copy;
+    va_copy(args_copy, args);
+    int len = std::vsnprintf(nullptr, 0, fmt, args_copy);
+    va_end(args_copy);
+    if (len < 0)
+        return "<format error>";
+    std::string out(static_cast<size_t>(len), '\0');
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args);
+    return out;
+}
+
+std::string
+format(const char *fmt, ...)
+{
+    std::va_list args;
+    va_start(args, fmt);
+    std::string out = vformat(fmt, args);
+    va_end(args);
+    return out;
+}
+
+} // namespace detail
+
+void
+inform(const char *fmt, ...)
+{
+    std::va_list args;
+    va_start(args, fmt);
+    Logger::instance().emit(LogLevel::Inform, "info",
+                            detail::vformat(fmt, args));
+    va_end(args);
+}
+
+void
+warn(const char *fmt, ...)
+{
+    std::va_list args;
+    va_start(args, fmt);
+    Logger::instance().emit(LogLevel::Warn, "warn",
+                            detail::vformat(fmt, args));
+    va_end(args);
+}
+
+void
+debugLog(const char *fmt, ...)
+{
+    std::va_list args;
+    va_start(args, fmt);
+    Logger::instance().emit(LogLevel::Debug, "debug",
+                            detail::vformat(fmt, args));
+    va_end(args);
+}
+
+void
+fatal(const char *fmt, ...)
+{
+    std::va_list args;
+    va_start(args, fmt);
+    std::string msg = detail::vformat(fmt, args);
+    va_end(args);
+    std::fprintf(stderr, "fatal: %s\n", msg.c_str());
+    std::exit(1);
+}
+
+void
+panic(const char *fmt, ...)
+{
+    std::va_list args;
+    va_start(args, fmt);
+    std::string msg = detail::vformat(fmt, args);
+    va_end(args);
+    std::fprintf(stderr, "panic: %s\n", msg.c_str());
+    std::abort();
+}
+
+} // namespace unintt

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Status-message and error-reporting helpers.
+ *
+ * Follows the gem5 convention: fatal() reports user errors (bad
+ * configuration, invalid arguments) and exits cleanly; panic() reports
+ * internal invariant violations (library bugs) and aborts. inform() and
+ * warn() print status without terminating.
+ */
+
+#ifndef UNINTT_UTIL_LOGGING_HH
+#define UNINTT_UTIL_LOGGING_HH
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace unintt {
+
+/** Verbosity levels for status messages. */
+enum class LogLevel { Quiet = 0, Warn = 1, Inform = 2, Debug = 3 };
+
+/**
+ * Global logging configuration. Benches lower the level to keep the
+ * emitted tables clean; tests raise it when diagnosing failures.
+ */
+class Logger
+{
+  public:
+    /** Access the process-wide logger. */
+    static Logger &instance();
+
+    /** Current verbosity threshold. */
+    LogLevel level() const { return level_; }
+
+    /** Change the verbosity threshold. */
+    void setLevel(LogLevel level) { level_ = level; }
+
+    /**
+     * Emit one formatted message if @p level passes the threshold.
+     *
+     * @param level Severity of this message.
+     * @param tag   Short prefix such as "info" or "warn".
+     * @param msg   Fully formatted message body.
+     */
+    void emit(LogLevel level, const char *tag, const std::string &msg);
+
+  private:
+    Logger() = default;
+
+    LogLevel level_ = LogLevel::Inform;
+};
+
+namespace detail {
+
+/** printf-style formatting into a std::string. */
+std::string vformat(const char *fmt, std::va_list args);
+
+/** printf-style formatting into a std::string. */
+std::string format(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace detail
+
+/** Informative status message; users should not worry about it. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Something may not behave as well as it should, but can continue. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Debug-level message, suppressed unless LogLevel::Debug is active. */
+void debugLog(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/**
+ * Unrecoverable *user* error (bad configuration, invalid argument).
+ * Prints the message and exits with status 1.
+ */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Unrecoverable *internal* error (a library bug). Prints the message
+ * and aborts so a core dump / debugger can catch it.
+ */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** panic() unless @p cond holds; used for internal invariants. */
+#define UNINTT_ASSERT(cond, msg)                                          \
+    do {                                                                  \
+        if (!(cond)) {                                                    \
+            ::unintt::panic("assertion '%s' failed: %s", #cond, (msg));   \
+        }                                                                 \
+    } while (0)
+
+} // namespace unintt
+
+#endif // UNINTT_UTIL_LOGGING_HH

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for tests and workload
+ * generators. A small xoshiro256** implementation is used so benchmark
+ * inputs are reproducible across platforms and standard-library versions.
+ */
+
+#ifndef UNINTT_UTIL_RANDOM_HH
+#define UNINTT_UTIL_RANDOM_HH
+
+#include <cstdint>
+
+namespace unintt {
+
+/**
+ * xoshiro256** 1.0 generator (public-domain algorithm by Blackman and
+ * Vigna). Deterministic given a seed, unlike std::mt19937 whose
+ * distributions vary across standard libraries.
+ */
+class Rng
+{
+  public:
+    /** Seed with splitmix64 expansion of @p seed. */
+    explicit Rng(uint64_t seed = 0x5eed1234abcd9876ULL) { reseed(seed); }
+
+    /** Re-seed the generator. */
+    void
+    reseed(uint64_t seed)
+    {
+        uint64_t x = seed;
+        for (auto &word : state_)
+            word = splitmix64(x);
+    }
+
+    /** Next raw 64-bit value. */
+    uint64_t
+    next()
+    {
+        uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform value in [0, bound) via rejection-free multiply-shift. */
+    uint64_t
+    below(uint64_t bound)
+    {
+        // 128-bit multiply keeps the bias below 2^-64, negligible here.
+        return static_cast<uint64_t>(
+            (static_cast<__uint128_t>(next()) * bound) >> 64);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+  private:
+    static uint64_t
+    rotl(uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    static uint64_t
+    splitmix64(uint64_t &x)
+    {
+        uint64_t z = (x += 0x9e3779b97f4a7c15ULL);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+
+    uint64_t state_[4];
+};
+
+} // namespace unintt
+
+#endif // UNINTT_UTIL_RANDOM_HH

@@ -1,0 +1,136 @@
+#include "util/stats.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace unintt {
+
+void
+StatSet::add(const std::string &name, double delta)
+{
+    auto it = values_.find(name);
+    if (it == values_.end()) {
+        values_.emplace(name, delta);
+        order_.push_back(name);
+    } else {
+        it->second += delta;
+    }
+}
+
+void
+StatSet::set(const std::string &name, double value)
+{
+    auto it = values_.find(name);
+    if (it == values_.end()) {
+        values_.emplace(name, value);
+        order_.push_back(name);
+    } else {
+        it->second = value;
+    }
+}
+
+double
+StatSet::get(const std::string &name) const
+{
+    auto it = values_.find(name);
+    return it == values_.end() ? 0.0 : it->second;
+}
+
+bool
+StatSet::has(const std::string &name) const
+{
+    return values_.count(name) != 0;
+}
+
+void
+StatSet::merge(const StatSet &other)
+{
+    for (const auto &name : other.order_)
+        add(name, other.get(name));
+}
+
+void
+StatSet::clear()
+{
+    for (auto &kv : values_)
+        kv.second = 0.0;
+}
+
+std::string
+StatSet::toString() const
+{
+    std::ostringstream os;
+    for (const auto &name : order_)
+        os << name << " = " << get(name) << "\n";
+    return os.str();
+}
+
+double
+mean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double x : xs)
+        sum += x;
+    return sum / static_cast<double>(xs.size());
+}
+
+double
+geomean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double x : xs) {
+        UNINTT_ASSERT(x > 0.0, "geomean requires positive inputs");
+        log_sum += std::log(x);
+    }
+    return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+namespace {
+
+std::string
+formatWithUnits(double value, const char *const *units, int nunits,
+                double step)
+{
+    int u = 0;
+    while (value >= step && u + 1 < nunits) {
+        value /= step;
+        ++u;
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.2f %s", value, units[u]);
+    return buf;
+}
+
+} // namespace
+
+std::string
+formatBytes(double bytes)
+{
+    static const char *const units[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+    return formatWithUnits(bytes, units, 5, 1024.0);
+}
+
+std::string
+formatRate(double per_second)
+{
+    static const char *const units[] = {"elem/s", "Kelem/s", "Melem/s",
+                                        "Gelem/s", "Telem/s"};
+    return formatWithUnits(per_second, units, 5, 1000.0);
+}
+
+std::string
+formatSeconds(double seconds)
+{
+    static const char *const units[] = {"ns", "us", "ms", "s"};
+    double ns = seconds * 1e9;
+    return formatWithUnits(ns, units, 4, 1000.0);
+}
+
+} // namespace unintt

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Lightweight named-counter statistics and summary helpers (mean,
+ * geometric mean) used by the simulator and the benchmark harness.
+ */
+
+#ifndef UNINTT_UTIL_STATS_HH
+#define UNINTT_UTIL_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace unintt {
+
+/**
+ * A set of named scalar statistics. Insertion order is preserved for
+ * deterministic dumps.
+ */
+class StatSet
+{
+  public:
+    /** Add @p delta to the counter called @p name (created at zero). */
+    void add(const std::string &name, double delta);
+
+    /** Overwrite the counter called @p name. */
+    void set(const std::string &name, double value);
+
+    /** Read a counter; returns 0 for unknown names. */
+    double get(const std::string &name) const;
+
+    /** True iff the counter exists. */
+    bool has(const std::string &name) const;
+
+    /** Merge all counters of @p other into this set (summing). */
+    void merge(const StatSet &other);
+
+    /** Reset all counters to zero (names are kept). */
+    void clear();
+
+    /** Names in insertion order. */
+    const std::vector<std::string> &names() const { return order_; }
+
+    /** Render as "name = value" lines. */
+    std::string toString() const;
+
+  private:
+    std::map<std::string, double> values_;
+    std::vector<std::string> order_;
+};
+
+/** Arithmetic mean of @p xs; 0 for an empty vector. */
+double mean(const std::vector<double> &xs);
+
+/** Geometric mean of @p xs; all entries must be positive. */
+double geomean(const std::vector<double> &xs);
+
+/** Human-readable byte count ("1.50 GiB"). */
+std::string formatBytes(double bytes);
+
+/** Human-readable element-per-second rate ("3.2 Gelem/s"). */
+std::string formatRate(double per_second);
+
+/** Human-readable duration from seconds ("12.3 ms"). */
+std::string formatSeconds(double seconds);
+
+} // namespace unintt
+
+#endif // UNINTT_UTIL_STATS_HH

@@ -1,0 +1,104 @@
+#include "util/table.hh"
+
+#include <cstdint>
+#include <cstdio>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace unintt {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    UNINTT_ASSERT(!headers_.empty(), "table needs at least one column");
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    UNINTT_ASSERT(cells.size() == headers_.size(),
+                  "row width must match header width");
+    rows_.push_back(std::move(cells));
+}
+
+void
+Table::addSeparator()
+{
+    rows_.emplace_back();
+}
+
+std::string
+Table::toString() const
+{
+    std::vector<size_t> widths(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_) {
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    auto rule = [&] {
+        std::string line = "+";
+        for (size_t w : widths)
+            line += std::string(w + 2, '-') + "+";
+        return line + "\n";
+    };
+    auto renderRow = [&](const std::vector<std::string> &cells) {
+        std::string line = "|";
+        for (size_t c = 0; c < widths.size(); ++c) {
+            const std::string &cell = c < cells.size() ? cells[c] : "";
+            line += " " + cell + std::string(widths[c] - cell.size(), ' ')
+                    + " |";
+        }
+        return line + "\n";
+    };
+
+    std::string out = rule() + renderRow(headers_) + rule();
+    for (const auto &row : rows_) {
+        if (row.empty())
+            out += rule();
+        else
+            out += renderRow(row);
+    }
+    out += rule();
+    return out;
+}
+
+void
+Table::print() const
+{
+    std::fputs(toString().c_str(), stdout);
+}
+
+std::string
+fmtF(double value, int digits)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", digits, value);
+    return buf;
+}
+
+std::string
+fmtI(uint64_t value)
+{
+    std::string digits = std::to_string(value);
+    std::string out;
+    int count = 0;
+    for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+        if (count && count % 3 == 0)
+            out.push_back(',');
+        out.push_back(*it);
+        ++count;
+    }
+    return std::string(out.rbegin(), out.rend());
+}
+
+std::string
+fmtX(double ratio, int digits)
+{
+    return fmtF(ratio, digits) + "x";
+}
+
+} // namespace unintt

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * ASCII table rendering for the benchmark harness. Every figure/table
+ * bench prints its rows through this printer so the output format matches
+ * across experiments.
+ */
+
+#ifndef UNINTT_UTIL_TABLE_HH
+#define UNINTT_UTIL_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace unintt {
+
+/**
+ * A simple column-aligned ASCII table. Columns are sized to the widest
+ * cell; numeric cells should be pre-formatted by the caller.
+ */
+class Table
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit Table(std::vector<std::string> headers);
+
+    /** Append one row; must have exactly as many cells as headers. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Append a horizontal separator line. */
+    void addSeparator();
+
+    /** Render the table, including a header rule. */
+    std::string toString() const;
+
+    /** Render and write to stdout. */
+    void print() const;
+
+    /** Number of data rows added so far. */
+    size_t numRows() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> headers_;
+    // A row with no cells encodes a separator.
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format a double with @p digits significant decimals. */
+std::string fmtF(double value, int digits = 2);
+
+/** Format an integer with thousands separators ("1,048,576"). */
+std::string fmtI(uint64_t value);
+
+/** Format a ratio as "3.41x". */
+std::string fmtX(double ratio, int digits = 2);
+
+} // namespace unintt
+
+#endif // UNINTT_UTIL_TABLE_HH

@@ -1,0 +1,356 @@
+#include "zkp/air.hh"
+
+#include "field/field_traits.hh"
+#include "ntt/radix2.hh"
+#include "util/bitops.hh"
+#include "util/logging.hh"
+
+namespace unintt {
+
+namespace {
+
+using F = Goldilocks;
+
+F
+ldeShift()
+{
+    return F::multiplicativeGenerator();
+}
+
+std::vector<F>
+cosetInterpolate(std::vector<F> codeword, F shift)
+{
+    nttInverseInPlace(codeword);
+    F shift_inv = shift.inverse();
+    F power = F::one();
+    for (auto &v : codeword) {
+        v *= power;
+        power *= shift_inv;
+    }
+    return codeword;
+}
+
+/** Truncate to n coefficients, asserting the tail vanished. */
+std::vector<F>
+truncateExact(std::vector<F> coeffs, size_t n, const char *what)
+{
+    for (size_t i = n; i < coeffs.size(); ++i) {
+        if (!coeffs[i].isZero())
+            fatal("%s exceeds its degree bound (trace invalid?)", what);
+    }
+    coeffs.resize(n);
+    return coeffs;
+}
+
+} // namespace
+
+Air
+fibonacciAir(F a0, F b0)
+{
+    Air air;
+    air.name = "fibonacci";
+    air.columns = 2;
+    air.constraintDegree = 1;
+    air.transitions = {
+        [](const std::vector<F> &cur, const std::vector<F> &next) {
+            return next[0] - cur[1]; // a' = b
+        },
+        [](const std::vector<F> &cur, const std::vector<F> &next) {
+            return next[1] - cur[0] - cur[1]; // b' = a + b
+        },
+    };
+    air.boundaries = {{0, a0}, {1, b0}};
+    return air;
+}
+
+std::vector<std::vector<F>>
+fibonacciTrace(F a0, F b0, unsigned log_rows)
+{
+    size_t n = 1ULL << log_rows;
+    std::vector<std::vector<F>> trace(2, std::vector<F>(n));
+    trace[0][0] = a0;
+    trace[1][0] = b0;
+    for (size_t i = 1; i < n; ++i) {
+        trace[0][i] = trace[1][i - 1];
+        trace[1][i] = trace[0][i - 1] + trace[1][i - 1];
+    }
+    return trace;
+}
+
+AirStark::AirStark(Air air) : AirStark(std::move(air), Params{}) {}
+
+AirStark::AirStark(Air air, Params params)
+    : air_(std::move(air)), params_(params)
+{
+    UNINTT_ASSERT(air_.columns >= 1 && !air_.transitions.empty(),
+                  "AIR needs at least one column and one transition");
+    UNINTT_ASSERT((1u << params_.logBlowup) > air_.constraintDegree,
+                  "blowup must exceed the constraint degree");
+}
+
+bool
+AirStark::traceSatisfies(const std::vector<std::vector<F>> &trace) const
+{
+    if (trace.size() != air_.columns || trace.empty())
+        return false;
+    size_t n = trace[0].size();
+    for (const auto &col : trace)
+        if (col.size() != n)
+            return false;
+    for (const auto &b : air_.boundaries)
+        if (b.column >= air_.columns || !(trace[b.column][0] == b.value))
+            return false;
+
+    std::vector<F> cur(air_.columns), next(air_.columns);
+    for (size_t i = 0; i + 1 < n; ++i) {
+        for (unsigned c = 0; c < air_.columns; ++c) {
+            cur[c] = trace[c][i];
+            next[c] = trace[c][i + 1];
+        }
+        for (const auto &t : air_.transitions)
+            if (!t(cur, next).isZero())
+                return false;
+    }
+    return true;
+}
+
+AirProof
+AirStark::prove(const std::vector<std::vector<F>> &trace) const
+{
+    if (!traceSatisfies(trace))
+        fatal("trace does not satisfy the AIR '%s'", air_.name.c_str());
+    const size_t n = trace[0].size();
+    UNINTT_ASSERT(isPow2(n), "trace length must be a power of two");
+    UNINTT_ASSERT(n > 2 * params_.friFinalTerms,
+                  "trace too short for the FRI parameters");
+    const unsigned log_trace = log2Exact(n);
+    const size_t d = n << params_.logBlowup;
+    const size_t step = d / n;
+    const F shift = ldeShift();
+
+    FriParams fri;
+    fri.logBlowup = params_.logBlowup;
+    fri.finalPolyTerms = params_.friFinalTerms;
+    fri.numQueries = params_.numQueries;
+    fri.cosetShift = shift;
+
+    AirProof proof;
+    proof.logTrace = log_trace;
+    proof.boundaries = air_.boundaries;
+
+    Transcript transcript("unintt-air-" + air_.name);
+    transcript.absorbU64(log_trace);
+    for (const auto &b : air_.boundaries) {
+        transcript.absorbU64(b.column);
+        transcript.absorb(b.value);
+    }
+
+    // Commit every trace column.
+    std::vector<FriProverArtifacts> col_arts(air_.columns);
+    for (unsigned c = 0; c < air_.columns; ++c) {
+        std::vector<F> coeffs = trace[c];
+        nttInverseInPlace(coeffs);
+        proof.columnFris.push_back(
+            friProve(coeffs, fri, transcript, &col_arts[c]));
+    }
+
+    // Random combination coefficients, drawn after the commitments.
+    std::vector<F> alphas(air_.transitions.size());
+    for (auto &a : alphas)
+        a = transcript.challengeGoldilocks();
+    std::vector<F> betas(air_.boundaries.size());
+    for (auto &b : betas)
+        b = transcript.challengeGoldilocks();
+
+    // Domain machinery shared by both quotients.
+    const F w_d = F::rootOfUnity(log2Exact(d));
+    const F last_row = F::rootOfUnity(log_trace).inverse();
+    std::vector<F> xs(d);
+    {
+        F x = shift;
+        for (size_t i = 0; i < d; ++i) {
+            xs[i] = x;
+            x *= w_d;
+        }
+    }
+    std::vector<F> zh(step);
+    {
+        F cur = shift.pow(n);
+        F w_step = w_d.pow(n);
+        for (size_t i = 0; i < step; ++i) {
+            zh[i] = cur - F::one();
+            UNINTT_ASSERT(!zh[i].isZero(), "Z_H vanished on the coset");
+            cur *= w_step;
+        }
+    }
+    auto zh_inv = batchInverse(zh);
+
+    // Composition quotient on the LDE domain.
+    std::vector<F> q_code(d);
+    std::vector<F> cur(air_.columns), nxt(air_.columns);
+    for (size_t i = 0; i < d; ++i) {
+        for (unsigned c = 0; c < air_.columns; ++c) {
+            cur[c] = col_arts[c].codeword[i];
+            nxt[c] = col_arts[c].codeword[(i + step) % d];
+        }
+        F acc = F::zero();
+        for (size_t t = 0; t < air_.transitions.size(); ++t)
+            acc += alphas[t] * air_.transitions[t](cur, nxt);
+        q_code[i] = acc * (xs[i] - last_row) * zh_inv[i % step];
+    }
+    auto q_coeffs = truncateExact(cosetInterpolate(q_code, shift), n,
+                                  "composition quotient");
+    FriProverArtifacts q_art;
+    proof.quotientFri = friProve(q_coeffs, fri, transcript, &q_art);
+
+    // Combined boundary quotient.
+    std::vector<F> denom(d);
+    for (size_t i = 0; i < d; ++i)
+        denom[i] = xs[i] - F::one();
+    auto denom_inv = batchInverse(denom);
+    std::vector<F> b_code(d);
+    for (size_t i = 0; i < d; ++i) {
+        F acc = F::zero();
+        for (size_t j = 0; j < air_.boundaries.size(); ++j) {
+            const auto &b = air_.boundaries[j];
+            acc += betas[j] *
+                   (col_arts[b.column].codeword[i] - b.value);
+        }
+        b_code[i] = acc * denom_inv[i];
+    }
+    auto b_coeffs = truncateExact(cosetInterpolate(b_code, shift), n,
+                                  "boundary quotient");
+    FriProverArtifacts b_art;
+    proof.boundaryFri = friProve(b_coeffs, fri, transcript, &b_art);
+
+    // Spot checks.
+    for (unsigned q = 0; q < params_.numQueries; ++q) {
+        size_t idx = transcript.challengeU64() % d;
+        size_t next_idx = (idx + step) % d;
+        AirProof::Query query;
+        for (unsigned c = 0; c < air_.columns; ++c) {
+            query.cur.push_back(col_arts[c].codeword[idx]);
+            query.next.push_back(col_arts[c].codeword[next_idx]);
+            query.curPaths.push_back(col_arts[c].tree->open(idx));
+            query.nextPaths.push_back(col_arts[c].tree->open(next_idx));
+        }
+        query.quotient = q_art.codeword[idx];
+        query.boundary = b_art.codeword[idx];
+        query.quotientPath = q_art.tree->open(idx);
+        query.boundaryPath = b_art.tree->open(idx);
+        proof.queries.push_back(std::move(query));
+    }
+    return proof;
+}
+
+bool
+AirStark::verify(const AirProof &proof) const
+{
+    const size_t n = 1ULL << proof.logTrace;
+    const size_t d = n << params_.logBlowup;
+    const size_t step = d / n;
+    const F shift = ldeShift();
+
+    FriParams fri;
+    fri.logBlowup = params_.logBlowup;
+    fri.finalPolyTerms = params_.friFinalTerms;
+    fri.numQueries = params_.numQueries;
+    fri.cosetShift = shift;
+
+    // Structure: a commitment per column, the claimed public inputs
+    // must match the AIR's boundary template.
+    if (proof.columnFris.size() != air_.columns)
+        return false;
+    if (proof.boundaries.size() != air_.boundaries.size())
+        return false;
+    for (size_t j = 0; j < air_.boundaries.size(); ++j) {
+        if (proof.boundaries[j].column != air_.boundaries[j].column ||
+            !(proof.boundaries[j].value == air_.boundaries[j].value))
+            return false;
+    }
+    for (const auto &f : proof.columnFris)
+        if (f.logDegreeBound != proof.logTrace || f.roots.empty())
+            return false;
+    if (proof.quotientFri.logDegreeBound != proof.logTrace ||
+        proof.boundaryFri.logDegreeBound != proof.logTrace ||
+        proof.quotientFri.roots.empty() ||
+        proof.boundaryFri.roots.empty())
+        return false;
+    if (proof.queries.size() != params_.numQueries)
+        return false;
+
+    Transcript transcript("unintt-air-" + air_.name);
+    transcript.absorbU64(proof.logTrace);
+    for (const auto &b : air_.boundaries) {
+        transcript.absorbU64(b.column);
+        transcript.absorb(b.value);
+    }
+
+    for (const auto &f : proof.columnFris)
+        if (!friVerify(f, fri, transcript))
+            return false;
+
+    std::vector<F> alphas(air_.transitions.size());
+    for (auto &a : alphas)
+        a = transcript.challengeGoldilocks();
+    std::vector<F> betas(air_.boundaries.size());
+    for (auto &b : betas)
+        b = transcript.challengeGoldilocks();
+
+    if (!friVerify(proof.quotientFri, fri, transcript))
+        return false;
+    if (!friVerify(proof.boundaryFri, fri, transcript))
+        return false;
+
+    const F w_d = F::rootOfUnity(log2Exact(d));
+    const F last_row = F::rootOfUnity(proof.logTrace).inverse();
+
+    for (const auto &query : proof.queries) {
+        size_t idx = transcript.challengeU64() % d;
+        size_t next_idx = (idx + step) % d;
+
+        if (query.cur.size() != air_.columns ||
+            query.next.size() != air_.columns ||
+            query.curPaths.size() != air_.columns ||
+            query.nextPaths.size() != air_.columns)
+            return false;
+        for (unsigned c = 0; c < air_.columns; ++c) {
+            if (query.curPaths[c].index != idx ||
+                query.nextPaths[c].index != next_idx)
+                return false;
+            const Digest &root = proof.columnFris[c].roots[0];
+            if (!MerkleTree::verify(root, query.curPaths[c],
+                                    {query.cur[c]}) ||
+                !MerkleTree::verify(root, query.nextPaths[c],
+                                    {query.next[c]}))
+                return false;
+        }
+        if (query.quotientPath.index != idx ||
+            query.boundaryPath.index != idx)
+            return false;
+        if (!MerkleTree::verify(proof.quotientFri.roots[0],
+                                query.quotientPath, {query.quotient}) ||
+            !MerkleTree::verify(proof.boundaryFri.roots[0],
+                                query.boundaryPath, {query.boundary}))
+            return false;
+
+        F x = shift * w_d.pow(idx);
+        F zh = x.pow(n) - F::one();
+        F acc = F::zero();
+        for (size_t t = 0; t < air_.transitions.size(); ++t)
+            acc += alphas[t] * air_.transitions[t](query.cur, query.next);
+        if (!(acc * (x - last_row) == query.quotient * zh))
+            return false;
+
+        F bacc = F::zero();
+        for (size_t j = 0; j < air_.boundaries.size(); ++j) {
+            const auto &b = air_.boundaries[j];
+            bacc += betas[j] * (query.cur[b.column] - b.value);
+        }
+        if (!(bacc == query.boundary * (x - F::one())))
+            return false;
+    }
+    return true;
+}
+
+} // namespace unintt

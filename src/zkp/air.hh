@@ -1,0 +1,131 @@
+/**
+ * @file
+ * A generic STARK engine over algebraic intermediate representations
+ * (AIRs): multi-column traces, arbitrary transition constraints
+ * between consecutive rows, and first-row boundary constraints. This
+ * generalizes the single-column SquareStark (zkp/stark.hh, kept as the
+ * pedagogical special case) with the standard composition trick:
+ * after the trace columns are committed, the verifier's random
+ * coefficients combine all transition constraints into ONE quotient
+ * polynomial and all boundary constraints into one boundary quotient,
+ * so the proof size is independent of the constraint count.
+ *
+ *   Q(x) = [sum_i alpha_i C_i(row(x), row(gx))] (x - g^(n-1)) / Z_H(x)
+ *   B(x) = [sum_j beta_j (T_cj(x) - v_j)] / (x - 1)
+ *
+ * Same scope caveats as zkp/stark.hh (no ZK blinding, no DEEP, toy
+ * sponge).
+ */
+
+#ifndef UNINTT_ZKP_AIR_HH
+#define UNINTT_ZKP_AIR_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "field/goldilocks.hh"
+#include "zkp/fri.hh"
+
+namespace unintt {
+
+/** An algebraic intermediate representation. */
+struct Air
+{
+    /** Constraint: must vanish on (row_i, row_{i+1}) for i < n-1. */
+    using Transition = std::function<Goldilocks(
+        const std::vector<Goldilocks> &cur,
+        const std::vector<Goldilocks> &next)>;
+
+    /** Pin trace column @p column to @p value at the first row. */
+    struct Boundary
+    {
+        unsigned column;
+        Goldilocks value;
+    };
+
+    /** Protocol label (domain separation between different AIRs). */
+    std::string name;
+    /** Trace width. */
+    unsigned columns = 1;
+    /** Max total degree of any transition in the trace values. */
+    unsigned constraintDegree = 2;
+    std::vector<Transition> transitions;
+    std::vector<Boundary> boundaries;
+};
+
+/** A proof of correct execution of an AIR. */
+struct AirProof
+{
+    unsigned logTrace = 0;
+    /** Boundary values are public inputs; echoed in the proof. */
+    std::vector<Air::Boundary> boundaries;
+    /** One commitment per trace column. */
+    std::vector<FriProof> columnFris;
+    FriProof quotientFri;
+    FriProof boundaryFri;
+
+    /** One spot check: all columns at x and g*x, plus Q and B at x. */
+    struct Query
+    {
+        std::vector<Goldilocks> cur;  ///< column values at x
+        std::vector<Goldilocks> next; ///< column values at g*x
+        Goldilocks quotient;
+        Goldilocks boundary;
+        std::vector<MerklePath> curPaths;
+        std::vector<MerklePath> nextPaths;
+        MerklePath quotientPath;
+        MerklePath boundaryPath;
+    };
+    std::vector<Query> queries;
+};
+
+/** Prover/verifier engine for a fixed AIR. */
+class AirStark
+{
+  public:
+    /** Parameters shared with the simple STARK. */
+    struct Params
+    {
+        unsigned logBlowup = 2;
+        unsigned numQueries = 24;
+        unsigned friFinalTerms = 8;
+    };
+
+    /** Engine with default parameters. */
+    explicit AirStark(Air air);
+
+    AirStark(Air air, Params params);
+
+    /**
+     * Prove that @p trace (columns-major: trace[c][i] is column c,
+     * row i; all columns 2^log_trace rows) satisfies the AIR. Fatal if
+     * it does not.
+     */
+    AirProof prove(const std::vector<std::vector<Goldilocks>> &trace) const;
+
+    /** Verify a proof against this AIR. */
+    bool verify(const AirProof &proof) const;
+
+    /** True iff the trace satisfies every constraint (prover check). */
+    bool traceSatisfies(
+        const std::vector<std::vector<Goldilocks>> &trace) const;
+
+    const Air &air() const { return air_; }
+
+  private:
+    Air air_;
+    Params params_;
+};
+
+/** The Fibonacci AIR: columns (a, b), step (a,b) -> (b, a+b). */
+Air fibonacciAir(Goldilocks a0, Goldilocks b0);
+
+/** Honest Fibonacci trace of 2^log_rows rows. */
+std::vector<std::vector<Goldilocks>> fibonacciTrace(Goldilocks a0,
+                                                    Goldilocks b0,
+                                                    unsigned log_rows);
+
+} // namespace unintt
+
+#endif // UNINTT_ZKP_AIR_HH

@@ -1,0 +1,78 @@
+#include "zkp/commitment.hh"
+
+#include "util/logging.hh"
+#include "util/random.hh"
+
+namespace unintt {
+
+KzgCommitter::KzgCommitter(size_t max_terms, uint64_t seed)
+{
+    UNINTT_ASSERT(max_terms > 0, "empty setup");
+    // Derive the secret from the seed; 256 bits of entropy.
+    Rng rng(seed);
+    secret_ = Bn254Fr::fromU64(rng.next()) +
+              Bn254Fr::fromU64(rng.next()) *
+                  Bn254Fr::fromU64(rng.next() | 1);
+
+    // Power basis G_i = s^i * G.
+    basis_.reserve(max_terms);
+    G1Jacobian g = G1Jacobian::generator();
+    Bn254Fr power = Bn254Fr::one();
+    for (size_t i = 0; i < max_terms; ++i) {
+        basis_.push_back(g.scalarMul(power.value()).toAffine());
+        power *= secret_;
+    }
+}
+
+G1Jacobian
+KzgCommitter::commit(const Polynomial<Bn254Fr> &p) const
+{
+    const auto &coeffs = p.coeffs();
+    UNINTT_ASSERT(coeffs.size() <= basis_.size(),
+                  "polynomial exceeds the setup size");
+    std::vector<G1Affine> points(basis_.begin(),
+                                 basis_.begin() + coeffs.size());
+    std::vector<U256> scalars;
+    scalars.reserve(coeffs.size());
+    for (const auto &c : coeffs)
+        scalars.push_back(c.value());
+    return pippengerMsm(points, scalars);
+}
+
+Polynomial<Bn254Fr>
+KzgCommitter::divideByLinear(const Polynomial<Bn254Fr> &p, Bn254Fr z)
+{
+    const auto &c = p.coeffs();
+    if (c.size() <= 1)
+        return Polynomial<Bn254Fr>(); // constant: quotient is zero
+    // Synthetic division: q_i = c_{i+1} + z * q_{i+1}, top down.
+    std::vector<Bn254Fr> q(c.size() - 1);
+    Bn254Fr carry = Bn254Fr::zero();
+    for (size_t i = c.size() - 1; i >= 1; --i) {
+        carry = c[i] + z * carry;
+        q[i - 1] = carry;
+    }
+    return Polynomial<Bn254Fr>(std::move(q));
+}
+
+OpeningProof
+KzgCommitter::open(const Polynomial<Bn254Fr> &p, Bn254Fr z) const
+{
+    OpeningProof proof;
+    proof.value = p.evaluate(z);
+    proof.witness = commit(divideByLinear(p, z));
+    return proof;
+}
+
+bool
+KzgCommitter::verify(const G1Jacobian &commitment, Bn254Fr z,
+                     const OpeningProof &proof) const
+{
+    // Check p(s) - y == (s - z) * q(s) in the exponent.
+    G1Jacobian lhs = commitment.add(
+        G1Jacobian::generator().scalarMul(proof.value.value()).neg());
+    G1Jacobian rhs = proof.witness.scalarMul((secret_ - z).value());
+    return lhs == rhs;
+}
+
+} // namespace unintt

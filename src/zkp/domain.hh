@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Evaluation domains: the multiplicative subgroup machinery PLONK-
+ * style provers manipulate constantly. Wraps a size-2^k subgroup H
+ * with its generator, vanishing polynomial, Lagrange-basis evaluation
+ * (via the barycentric formula) and forward/inverse transforms
+ * between coefficient and evaluation representations.
+ */
+
+#ifndef UNINTT_ZKP_DOMAIN_HH
+#define UNINTT_ZKP_DOMAIN_HH
+
+#include <vector>
+
+#include "field/field_traits.hh"
+#include "ntt/radix2.hh"
+#include "util/bitops.hh"
+#include "util/logging.hh"
+
+namespace unintt {
+
+/** The multiplicative subgroup of size 2^logN and its toolbox. */
+template <NttField F>
+class EvaluationDomain
+{
+  public:
+    /** Build the domain of size 2^log_n. */
+    explicit EvaluationDomain(unsigned log_n)
+        : logN_(log_n), size_(1ULL << log_n),
+          generator_(F::rootOfUnity(log_n))
+    {
+        UNINTT_ASSERT(log_n <= F::kTwoAdicity,
+                      "field lacks this two-adic domain");
+    }
+
+    /** Domain size. */
+    size_t size() const { return size_; }
+
+    /** log2 of the domain size. */
+    unsigned logSize() const { return logN_; }
+
+    /** The subgroup generator w. */
+    F generator() const { return generator_; }
+
+    /** The i-th domain element w^i. */
+    F
+    element(size_t i) const
+    {
+        return generator_.pow(i % size_);
+    }
+
+    /** All domain elements in natural order. */
+    std::vector<F>
+    elements() const
+    {
+        std::vector<F> out(size_);
+        F acc = F::one();
+        for (size_t i = 0; i < size_; ++i) {
+            out[i] = acc;
+            acc *= generator_;
+        }
+        return out;
+    }
+
+    /** The vanishing polynomial Z_H(x) = x^n - 1 evaluated at x. */
+    F
+    vanishingAt(F x) const
+    {
+        return x.pow(size_) - F::one();
+    }
+
+    /** True iff x lies in the domain (Z_H(x) == 0). */
+    bool
+    contains(F x) const
+    {
+        return vanishingAt(x).isZero();
+    }
+
+    /**
+     * All Lagrange basis polynomials evaluated at an off-domain point:
+     * L_i(x) = (Z_H(x) / n) * (w^i / (x - w^i)). One inversion via the
+     * batch trick.
+     */
+    std::vector<F>
+    lagrangeAt(F x) const
+    {
+        UNINTT_ASSERT(!contains(x),
+                      "barycentric form needs an off-domain point");
+        std::vector<F> denoms(size_);
+        F wi = F::one();
+        for (size_t i = 0; i < size_; ++i) {
+            denoms[i] = x - wi;
+            wi *= generator_;
+        }
+        auto inv = batchInverse(denoms);
+        F scale = vanishingAt(x) * inverseScale<F>(size_);
+        std::vector<F> out(size_);
+        wi = F::one();
+        for (size_t i = 0; i < size_; ++i) {
+            out[i] = scale * wi * inv[i];
+            wi *= generator_;
+        }
+        return out;
+    }
+
+    /**
+     * Barycentric evaluation: given evaluations on the domain, compute
+     * the interpolating polynomial's value at @p x in O(n) without any
+     * transform.
+     */
+    F
+    evaluateFromValues(const std::vector<F> &evals, F x) const
+    {
+        UNINTT_ASSERT(evals.size() == size_, "evaluation count mismatch");
+        if (contains(x)) {
+            // x = w^i: the value is just evals[i].
+            F wi = F::one();
+            for (size_t i = 0; i < size_; ++i) {
+                if (wi == x)
+                    return evals[i];
+                wi *= generator_;
+            }
+            panic("domain membership check inconsistent");
+        }
+        auto lagrange = lagrangeAt(x);
+        F acc = F::zero();
+        for (size_t i = 0; i < size_; ++i)
+            acc += lagrange[i] * evals[i];
+        return acc;
+    }
+
+    /** Coefficients -> natural-order evaluations (forward NTT). */
+    std::vector<F>
+    evaluate(std::vector<F> coeffs) const
+    {
+        UNINTT_ASSERT(coeffs.size() <= size_, "domain too small");
+        coeffs.resize(size_, F::zero());
+        nttForwardInPlace(coeffs);
+        return coeffs;
+    }
+
+    /** Natural-order evaluations -> coefficients (inverse NTT). */
+    std::vector<F>
+    interpolate(std::vector<F> evals) const
+    {
+        UNINTT_ASSERT(evals.size() == size_, "evaluation count mismatch");
+        nttInverseInPlace(evals);
+        return evals;
+    }
+
+  private:
+    unsigned logN_;
+    size_t size_;
+    F generator_;
+};
+
+} // namespace unintt
+
+#endif // UNINTT_ZKP_DOMAIN_HH

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * FRI (Fast Reed-Solomon IOP of Proximity) — the low-degree commitment
+ * of hash-based proof systems (STARKs, Plonky2), and the reason small
+ * fields like Goldilocks need fast huge NTTs at all. A complete,
+ * functionally executable prover/verifier pair built on the repo's
+ * substrates: the codeword is the polynomial's NTT evaluation on a
+ * blown-up domain, every folding round commits through the Merkle
+ * layer (zkp/merkle.hh), and all challenges and query positions come
+ * from the Fiat-Shamir transcript.
+ *
+ * Folding rule (factor 2): from f on the size-D domain <w> to f' on
+ * the size-D/2 domain <w^2>,
+ *
+ *   f'(x^2) = (f(x) + f(-x))/2 + c * (f(x) - f(-x))/(2x),
+ *
+ * which halves the degree bound; after enough rounds the prover sends
+ * the final polynomial's coefficients in the clear and the verifier
+ * spot-checks random evaluation chains through all rounds.
+ *
+ * Same scope caveat as the rest of the protocol layer: structurally
+ * faithful, parameter choices and the sponge are not production-
+ * hardened.
+ */
+
+#ifndef UNINTT_ZKP_FRI_HH
+#define UNINTT_ZKP_FRI_HH
+
+#include <optional>
+#include <vector>
+
+#include "field/goldilocks.hh"
+#include "zkp/merkle.hh"
+#include "zkp/transcript.hh"
+
+namespace unintt {
+
+/** FRI parameters. */
+struct FriParams
+{
+    /** log2 of the rate inverse: domain = degree bound << logBlowup. */
+    unsigned logBlowup = 2;
+    /** Folding stops once the degree bound reaches this. */
+    unsigned finalPolyTerms = 8;
+    /** Number of spot-check query chains. */
+    unsigned numQueries = 24;
+    /**
+     * Evaluation-domain coset shift. The default (1) is the plain
+     * subgroup; STARK-style users evaluate on a coset so quotient
+     * divisions by Z_H never hit a domain point (zkp/stark.hh).
+     */
+    Goldilocks cosetShift = Goldilocks::fromU64(1);
+};
+
+/**
+ * Prover-side artifacts callers may capture: the round-0 codeword and
+ * its Merkle tree, so outer protocols (STARKs) can open additional
+ * positions against the same commitment proof.roots[0].
+ */
+struct FriProverArtifacts
+{
+    std::vector<Goldilocks> codeword;
+    std::optional<MerkleTree> tree;
+};
+
+/** One round's openings for one query chain. */
+struct FriQueryRound
+{
+    /** f_r at the queried index (the "low" half position). */
+    Goldilocks lo;
+    /** f_r at index + D_r/2 (the "high" half position). */
+    Goldilocks hi;
+    MerklePath loPath;
+    MerklePath hiPath;
+};
+
+/** One query chain through all rounds. */
+struct FriQuery
+{
+    std::vector<FriQueryRound> rounds;
+};
+
+/** A complete FRI proof. */
+struct FriProof
+{
+    /** log2 of the claimed degree bound. */
+    unsigned logDegreeBound = 0;
+    /** Merkle roots of every folding round's codeword. */
+    std::vector<Digest> roots;
+    /** The final polynomial, in the clear. */
+    std::vector<Goldilocks> finalPoly;
+    /** Spot-check chains. */
+    std::vector<FriQuery> queries;
+};
+
+/**
+ * Prove that @p coeffs (size 2^logDegreeBound, low-order first) is a
+ * polynomial of degree < 2^logDegreeBound by committing its Reed-
+ * Solomon codeword and folding.
+ *
+ * @param transcript Fiat-Shamir transcript shared with the verifier.
+ */
+FriProof friProve(const std::vector<Goldilocks> &coeffs,
+                  const FriParams &params, Transcript &transcript,
+                  FriProverArtifacts *artifacts = nullptr);
+
+/**
+ * Verify a FRI proof against a transcript in the prover's initial
+ * state. Checks every Merkle opening, every fold equation, and the
+ * final polynomial's evaluations and size.
+ */
+bool friVerify(const FriProof &proof, const FriParams &params,
+               Transcript &transcript);
+
+} // namespace unintt
+
+#endif // UNINTT_ZKP_FRI_HH

@@ -1,0 +1,89 @@
+#include "zkp/merkle.hh"
+
+#include "util/bitops.hh"
+#include "util/logging.hh"
+#include "zkp/transcript.hh"
+
+namespace unintt {
+
+Digest
+hashLeaf(const std::vector<Goldilocks> &leaf)
+{
+    std::array<Goldilocks, Transcript::kWidth> state{};
+    // Length-prefix for injectivity across leaf sizes.
+    state[0] = Goldilocks::fromU64(leaf.size());
+    unsigned pos = 1;
+    for (const auto &v : leaf) {
+        state[pos] += v;
+        if (++pos == Transcript::kRate) {
+            Transcript::permute(state);
+            pos = 0;
+        }
+    }
+    // Pad marker, final permutation, squeeze 4.
+    state[pos] += Goldilocks::one();
+    Transcript::permute(state);
+    return Digest{state[0], state[1], state[2], state[3]};
+}
+
+Digest
+compressDigests(const Digest &left, const Digest &right)
+{
+    std::array<Goldilocks, Transcript::kWidth> state{};
+    for (int i = 0; i < 4; ++i) {
+        state[i] = left[i];
+        state[4 + i] = right[i];
+    }
+    // Domain-separate interior nodes from leaves via the capacity.
+    state[Transcript::kWidth - 1] = Goldilocks::fromU64(2);
+    Transcript::permute(state);
+    return Digest{state[0], state[1], state[2], state[3]};
+}
+
+MerkleTree::MerkleTree(std::vector<std::vector<Goldilocks>> leaves)
+    : leaves_(std::move(leaves))
+{
+    UNINTT_ASSERT(isPow2(leaves_.size()) && !leaves_.empty(),
+                  "leaf count must be a power of two");
+    std::vector<Digest> level(leaves_.size());
+    for (size_t i = 0; i < leaves_.size(); ++i)
+        level[i] = hashLeaf(leaves_[i]);
+    levels_.push_back(std::move(level));
+    while (levels_.back().size() > 1) {
+        const auto &prev = levels_.back();
+        std::vector<Digest> next(prev.size() / 2);
+        for (size_t i = 0; i < next.size(); ++i)
+            next[i] = compressDigests(prev[2 * i], prev[2 * i + 1]);
+        levels_.push_back(std::move(next));
+    }
+}
+
+MerklePath
+MerkleTree::open(size_t index) const
+{
+    UNINTT_ASSERT(index < leaves_.size(), "leaf index out of range");
+    MerklePath path;
+    path.index = index;
+    size_t i = index;
+    for (size_t lvl = 0; lvl + 1 < levels_.size(); ++lvl) {
+        path.siblings.push_back(levels_[lvl][i ^ 1]);
+        i >>= 1;
+    }
+    return path;
+}
+
+bool
+MerkleTree::verify(const Digest &root, const MerklePath &path,
+                   const std::vector<Goldilocks> &leaf)
+{
+    Digest cur = hashLeaf(leaf);
+    size_t i = path.index;
+    for (const auto &sibling : path.siblings) {
+        cur = (i & 1) ? compressDigests(sibling, cur)
+                      : compressDigests(cur, sibling);
+        i >>= 1;
+    }
+    return cur == root;
+}
+
+} // namespace unintt

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Merkle commitments over Goldilocks vectors, hashed with the same
+ * algebraic sponge permutation the Fiat-Shamir transcript uses
+ * (zkp/transcript.hh; same security caveat — structurally faithful,
+ * not cryptanalyzed). This is the vector-commitment layer of
+ * hash-based proof systems: FRI (zkp/fri.hh) commits every folding
+ * round's codeword through it.
+ */
+
+#ifndef UNINTT_ZKP_MERKLE_HH
+#define UNINTT_ZKP_MERKLE_HH
+
+#include <array>
+#include <vector>
+
+#include "field/goldilocks.hh"
+
+namespace unintt {
+
+/** A 4-element (256-bit-class) sponge digest. */
+using Digest = std::array<Goldilocks, 4>;
+
+/** Hash an arbitrary-length leaf (sponge absorb + squeeze). */
+Digest hashLeaf(const std::vector<Goldilocks> &leaf);
+
+/** Two-to-one compression for interior nodes. */
+Digest compressDigests(const Digest &left, const Digest &right);
+
+/** A Merkle authentication path. */
+struct MerklePath
+{
+    /** Leaf index the path authenticates. */
+    size_t index = 0;
+    /** Sibling digests, leaf level first. */
+    std::vector<Digest> siblings;
+};
+
+/**
+ * A Merkle tree over a power-of-two number of leaves, each leaf an
+ * arbitrary-length Goldilocks vector.
+ */
+class MerkleTree
+{
+  public:
+    /** Build the tree (stores all levels; O(n) digests). */
+    explicit MerkleTree(std::vector<std::vector<Goldilocks>> leaves);
+
+    /** The root commitment. */
+    const Digest &root() const { return levels_.back()[0]; }
+
+    /** Number of leaves. */
+    size_t numLeaves() const { return leaves_.size(); }
+
+    /** The leaf data at @p index (prover-side convenience). */
+    const std::vector<Goldilocks> &
+    leaf(size_t index) const
+    {
+        return leaves_[index];
+    }
+
+    /** Authentication path for leaf @p index. */
+    MerklePath open(size_t index) const;
+
+    /**
+     * Verify that @p leaf sits at @p path.index under @p root.
+     */
+    static bool verify(const Digest &root, const MerklePath &path,
+                       const std::vector<Goldilocks> &leaf);
+
+  private:
+    std::vector<std::vector<Goldilocks>> leaves_;
+    /** levels_[0] = leaf digests, levels_.back() = {root}. */
+    std::vector<std::vector<Digest>> levels_;
+};
+
+} // namespace unintt
+
+#endif // UNINTT_ZKP_MERKLE_HH

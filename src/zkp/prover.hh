@@ -1,0 +1,143 @@
+/**
+ * @file
+ * End-to-end prover pipeline models. A ZKP prover is a fixed schedule
+ * of NTTs, MSMs and pointwise passes over circuit-sized domains; this
+ * module encodes the schedules of a Groth16-style and a PLONK-style
+ * prover and prices every stage with the same simulated engines the
+ * NTT benches use.
+ *
+ * This reproduces the paper's motivation: MSM scales near-linearly
+ * across GPUs (it partitions trivially), so once MSM is multi-GPU
+ * accelerated, proof-generation time is dominated by NTT unless the
+ * NTT is distributed too — and distributing it well is UniNTT's
+ * contribution.
+ */
+
+#ifndef UNINTT_ZKP_PROVER_HH
+#define UNINTT_ZKP_PROVER_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/multi_gpu.hh"
+
+namespace unintt {
+
+/** Which multi-GPU NTT implementation the prover uses. */
+enum class NttBackend
+{
+    /** UniNTT hierarchical engine (this paper). */
+    UniNtt,
+    /** Four-step with all-to-all transposes (conventional). */
+    FourStep,
+    /**
+     * No distribution: every NTT runs on one GPU (Icicle-style
+     * library), the other GPUs idle through the NTT stages.
+     */
+    SingleGpu,
+};
+
+/** Printable backend name. */
+const char *toString(NttBackend backend);
+
+/** One stage of a prover schedule. */
+struct ProverStage
+{
+    enum class Kind { Ntt, MsmG1, MsmG2, Pointwise, Hash };
+
+    std::string name;
+    Kind kind;
+    /** log2 of the stage's domain / point count. */
+    unsigned logSize;
+    /** How many identical instances of this stage run. */
+    unsigned count = 1;
+};
+
+/** Simulated time of a full prover run, split by stage kind. */
+struct ProverBreakdown
+{
+    double nttSeconds = 0;
+    double msmSeconds = 0;
+    double otherSeconds = 0;
+
+    double
+    total() const
+    {
+        return nttSeconds + msmSeconds + otherSeconds;
+    }
+
+    /** Fraction of total time spent in NTT stages. */
+    double
+    nttShare() const
+    {
+        double t = total();
+        return t > 0 ? nttSeconds / t : 0;
+    }
+};
+
+/**
+ * Prices prover schedules on a simulated machine with a chosen NTT
+ * backend. All NTT stages use BN254-Fr (the pairing-based setting the
+ * motivation targets); MSMs run over BN254 G1/G2.
+ */
+class ZkpPipeline
+{
+  public:
+    ZkpPipeline(MultiGpuSystem sys, NttBackend backend);
+
+    /**
+     * Groth16 prover schedule for 2^log_constraints constraints:
+     * witness interpolations, coset evaluations, the quotient, and the
+     * four proof MSMs.
+     */
+    static std::vector<ProverStage> groth16Stages(unsigned log_constraints);
+
+    /**
+     * PLONK prover schedule for 2^log_constraints gates: wire/permu-
+     * tation polynomial transforms on the 4x quotient domain and the
+     * seven commitment MSMs.
+     */
+    static std::vector<ProverStage> plonkStages(unsigned log_constraints);
+
+    /**
+     * Hash-based (STARK/Plonky2-style) prover schedule for a
+     * 2^log_trace-row, @p columns-column trace over Goldilocks:
+     * interpolations, coset LDEs on the 4x domain, Merkle hashing of
+     * the committed codewords, and the FRI folding rounds. Hash work
+     * is modeled as Pointwise stages (sponge permutations are
+     * arithmetic over the same field).
+     */
+    static std::vector<ProverStage> starkStages(unsigned log_trace,
+                                                unsigned columns = 3);
+
+    /** Price a schedule on this pipeline's machine and backend. */
+    ProverBreakdown estimate(const std::vector<ProverStage> &stages) const;
+
+    /**
+     * Price a hash-based schedule: NTT stages run over Goldilocks
+     * (not BN254-Fr) and there are no MSMs.
+     */
+    ProverBreakdown estimateHashBased(
+        const std::vector<ProverStage> &stages) const;
+
+    /** The machine being modeled. */
+    const MultiGpuSystem &system() const { return sys_; }
+
+    /** The NTT backend in use. */
+    NttBackend backend() const { return backend_; }
+
+  private:
+    double nttSeconds(unsigned log_size) const;
+    double nttSecondsGoldilocks(unsigned log_size) const;
+    double msmSeconds(unsigned log_size, bool g2) const;
+    double pointwiseSeconds(unsigned log_size,
+                            bool goldilocks = false) const;
+    double hashSeconds(unsigned log_size) const;
+
+    MultiGpuSystem sys_;
+    NttBackend backend_;
+};
+
+} // namespace unintt
+
+#endif // UNINTT_ZKP_PROVER_HH

@@ -1,0 +1,97 @@
+#include "zkp/qap_argument.hh"
+
+#include "util/bitops.hh"
+#include "util/logging.hh"
+#include "zkp/quotient.hh"
+#include "zkp/transcript.hh"
+
+namespace unintt {
+
+QapArgument::QapArgument(size_t max_constraints, uint64_t setup_seed)
+    : kzg_(nextPow2(std::max<size_t>(2, max_constraints)), setup_seed)
+{
+}
+
+size_t
+QapArgument::domainSize(const R1cs<Bn254Fr> &cs)
+{
+    return nextPow2(std::max<size_t>(2, cs.constraints().size()));
+}
+
+QapProof
+QapArgument::prove(const R1cs<Bn254Fr> &cs,
+                   const std::vector<Bn254Fr> &witness) const
+{
+    if (!cs.isSatisfied(witness))
+        fatal("witness does not satisfy the constraint system");
+    const size_t n = domainSize(cs);
+    UNINTT_ASSERT(n <= kzg_.basis().size(), "setup too small for circuit");
+
+    // Per-constraint evaluations, zero-padded to the domain.
+    std::vector<Bn254Fr> a_evals(n, Bn254Fr::zero());
+    std::vector<Bn254Fr> b_evals(n, Bn254Fr::zero());
+    std::vector<Bn254Fr> c_evals(n, Bn254Fr::zero());
+    for (size_t i = 0; i < cs.constraints().size(); ++i) {
+        const auto &cons = cs.constraints()[i];
+        a_evals[i] = cons.a.evaluate(witness);
+        b_evals[i] = cons.b.evaluate(witness);
+        c_evals[i] = cons.c.evaluate(witness);
+    }
+
+    // Interpolate and compute the quotient (7 NTTs inside).
+    auto h = computeQuotient(a_evals, b_evals, c_evals);
+    auto a = Polynomial<Bn254Fr>::interpolate(a_evals);
+    auto b = Polynomial<Bn254Fr>::interpolate(b_evals);
+    auto c = Polynomial<Bn254Fr>::interpolate(c_evals);
+
+    QapProof proof;
+    proof.commitA = kzg_.commit(a);
+    proof.commitB = kzg_.commit(b);
+    proof.commitC = kzg_.commit(c);
+    proof.commitH = kzg_.commit(h);
+
+    Bn254Fr r = challengeFor(proof);
+    proof.openA = kzg_.open(a, r);
+    proof.openB = kzg_.open(b, r);
+    proof.openC = kzg_.open(c, r);
+    proof.openH = kzg_.open(h, r);
+    return proof;
+}
+
+Bn254Fr
+QapArgument::challengeFor(const QapProof &proof) const
+{
+    Transcript t("unintt-qap-argument");
+    for (const auto *commit :
+         {&proof.commitA, &proof.commitB, &proof.commitC,
+          &proof.commitH}) {
+        auto affine = commit->toAffine();
+        t.absorbU256(affine.x.value());
+        t.absorbU256(affine.y.value());
+    }
+    return t.challengeFr();
+}
+
+bool
+QapArgument::verify(const R1cs<Bn254Fr> &cs, const QapProof &proof) const
+{
+    const size_t n = domainSize(cs);
+    Bn254Fr r = challengeFor(proof);
+
+    // 1. Every opening must be consistent with its commitment.
+    if (!kzg_.verify(proof.commitA, r, proof.openA) ||
+        !kzg_.verify(proof.commitB, r, proof.openB) ||
+        !kzg_.verify(proof.commitC, r, proof.openC) ||
+        !kzg_.verify(proof.commitH, r, proof.openH))
+        return false;
+
+    // 2. The divisibility identity at the challenge point:
+    //    a(r) b(r) - c(r) == h(r) (r^n - 1).
+    Bn254Fr lhs =
+        proof.openA.value * proof.openB.value - proof.openC.value;
+    U256 n_exp(static_cast<uint64_t>(n));
+    Bn254Fr zr = r.pow(n_exp) - Bn254Fr::one();
+    return lhs == proof.openH.value * zr;
+}
+
+} // namespace unintt

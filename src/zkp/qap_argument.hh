@@ -1,0 +1,86 @@
+/**
+ * @file
+ * The QAP divisibility argument — the core of a Groth16-style prover,
+ * assembled end to end from this repo's substrates and functionally
+ * executable:
+ *
+ *   R1CS + witness
+ *     -> per-constraint evaluations a, b, c         (sparse dot
+ *        products)
+ *     -> quotient h with ab - c = h * Z_H           (NTT-based,
+ *        zkp/quotient.hh)
+ *     -> KZG commitments to a, b, c, h              (MSM,
+ *        zkp/commitment.hh)
+ *     -> Fiat-Shamir challenge r                    (zkp/transcript.hh)
+ *     -> openings of all four at r
+ *
+ * The verifier checks the four openings against the commitments and
+ * the field identity a(r) b(r) - c(r) == h(r) (r^n - 1).
+ *
+ * Scope (stated honestly): this argument proves the prover knows
+ * polynomials satisfying the QAP divisibility relation under binding
+ * commitments — the algebraic heart of Groth16. It does NOT include
+ * Groth16's structured-CRS layer that additionally binds a, b, c to
+ * the circuit's matrices and the public inputs, nor blinding for
+ * zero knowledge; and verification is designated-verifier (see
+ * zkp/commitment.hh). Those layers change what is proven, not the
+ * prover's computational profile, which is what this repo studies.
+ */
+
+#ifndef UNINTT_ZKP_QAP_ARGUMENT_HH
+#define UNINTT_ZKP_QAP_ARGUMENT_HH
+
+#include <vector>
+
+#include "zkp/commitment.hh"
+#include "zkp/r1cs.hh"
+
+namespace unintt {
+
+/** A QAP divisibility proof. */
+struct QapProof
+{
+    G1Jacobian commitA;
+    G1Jacobian commitB;
+    G1Jacobian commitC;
+    G1Jacobian commitH;
+    OpeningProof openA;
+    OpeningProof openB;
+    OpeningProof openC;
+    OpeningProof openH;
+};
+
+/** Prover/verifier pair for the QAP divisibility argument. */
+class QapArgument
+{
+  public:
+    /**
+     * @param max_constraints upper bound on constraint count (sizes
+     *        the commitment setup).
+     * @param setup_seed      trusted-setup seed (designated verifier).
+     */
+    explicit QapArgument(size_t max_constraints, uint64_t setup_seed = 7);
+
+    /**
+     * Produce a proof that @p witness satisfies @p cs. Fatal if it
+     * does not (an honest prover checks before proving).
+     */
+    QapProof prove(const R1cs<Bn254Fr> &cs,
+                   const std::vector<Bn254Fr> &witness) const;
+
+    /** Verify a proof against the constraint system's domain size. */
+    bool verify(const R1cs<Bn254Fr> &cs, const QapProof &proof) const;
+
+    /** Domain size (power of two covering the constraints). */
+    static size_t domainSize(const R1cs<Bn254Fr> &cs);
+
+  private:
+    /** Re-derive the Fiat-Shamir challenge from the commitments. */
+    Bn254Fr challengeFor(const QapProof &proof) const;
+
+    KzgCommitter kzg_;
+};
+
+} // namespace unintt
+
+#endif // UNINTT_ZKP_QAP_ARGUMENT_HH

@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Rank-1 constraint systems — the circuit format Groth16-style provers
+ * consume. A constraint is (a . w)(b . w) = (c . w) for sparse linear
+ * combinations a, b, c over the witness vector w (w[0] is the constant
+ * 1). Includes a tiny builder API for assembling circuits in tests and
+ * examples.
+ */
+
+#ifndef UNINTT_ZKP_R1CS_HH
+#define UNINTT_ZKP_R1CS_HH
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "field/field_traits.hh"
+#include "util/logging.hh"
+
+namespace unintt {
+
+/** A sparse linear combination sum_i coeff_i * w[var_i]. */
+template <NttField F>
+struct LinearCombination
+{
+    std::vector<std::pair<size_t, F>> terms;
+
+    /** Add coeff * w[var]. */
+    LinearCombination &
+    add(size_t var, F coeff)
+    {
+        terms.emplace_back(var, coeff);
+        return *this;
+    }
+
+    /** Single-variable combination 1 * w[var]. */
+    static LinearCombination
+    of(size_t var)
+    {
+        LinearCombination lc;
+        lc.add(var, F::one());
+        return lc;
+    }
+
+    /** Constant combination k * w[0]. */
+    static LinearCombination
+    constant(F k)
+    {
+        LinearCombination lc;
+        lc.add(0, k);
+        return lc;
+    }
+
+    /** Evaluate against a witness vector. */
+    F
+    evaluate(const std::vector<F> &witness) const
+    {
+        F acc = F::zero();
+        for (const auto &[var, coeff] : terms) {
+            UNINTT_ASSERT(var < witness.size(), "variable out of range");
+            acc += coeff * witness[var];
+        }
+        return acc;
+    }
+};
+
+/** One rank-1 constraint (a . w)(b . w) = (c . w). */
+template <NttField F>
+struct R1csConstraint
+{
+    LinearCombination<F> a;
+    LinearCombination<F> b;
+    LinearCombination<F> c;
+};
+
+/** A rank-1 constraint system plus a variable allocator. */
+template <NttField F>
+class R1cs
+{
+  public:
+    /** Creates the system with w[0] = 1 already allocated. */
+    R1cs() : numVars_(1) {}
+
+    /** Allocate a fresh variable; returns its index. */
+    size_t allocVar() { return numVars_++; }
+
+    /** Number of variables including the constant. */
+    size_t numVars() const { return numVars_; }
+
+    /** Append a constraint. */
+    void
+    addConstraint(LinearCombination<F> a, LinearCombination<F> b,
+                  LinearCombination<F> c)
+    {
+        constraints_.push_back(R1csConstraint<F>{std::move(a),
+                                                 std::move(b),
+                                                 std::move(c)});
+    }
+
+    /** Convenience: enforce w[x] * w[y] = w[out]. */
+    void
+    addMulGate(size_t x, size_t y, size_t out)
+    {
+        addConstraint(LinearCombination<F>::of(x),
+                      LinearCombination<F>::of(y),
+                      LinearCombination<F>::of(out));
+    }
+
+    /** Convenience: enforce w[x] + w[y] = w[out]. */
+    void
+    addAddGate(size_t x, size_t y, size_t out)
+    {
+        LinearCombination<F> sum;
+        sum.add(x, F::one()).add(y, F::one());
+        addConstraint(sum, LinearCombination<F>::constant(F::one()),
+                      LinearCombination<F>::of(out));
+    }
+
+    /** Convenience: pin w[x] to the constant k. */
+    void
+    addConstantConstraint(size_t x, F k)
+    {
+        addConstraint(LinearCombination<F>::of(x),
+                      LinearCombination<F>::constant(F::one()),
+                      LinearCombination<F>::constant(k));
+    }
+
+    /** The constraints. */
+    const std::vector<R1csConstraint<F>> &
+    constraints() const
+    {
+        return constraints_;
+    }
+
+    /** True iff @p witness satisfies every constraint. */
+    bool
+    isSatisfied(const std::vector<F> &witness) const
+    {
+        if (witness.size() != numVars_ || witness.empty() ||
+            !(witness[0] == F::one()))
+            return false;
+        for (const auto &cons : constraints_) {
+            if (!(cons.a.evaluate(witness) * cons.b.evaluate(witness) ==
+                  cons.c.evaluate(witness)))
+                return false;
+        }
+        return true;
+    }
+
+  private:
+    size_t numVars_;
+    std::vector<R1csConstraint<F>> constraints_;
+};
+
+/**
+ * The classic toy circuit: prove knowledge of x with
+ * x^3 + x + 5 == out. Returns the system; @p x_var and @p out_var
+ * receive the variable indices for witness construction.
+ */
+template <NttField F>
+R1cs<F>
+cubicDemoCircuit(size_t &x_var, size_t &out_var)
+{
+    R1cs<F> cs;
+    x_var = cs.allocVar();           // x
+    size_t x2 = cs.allocVar();       // x^2
+    size_t x3 = cs.allocVar();       // x^3
+    size_t x3_x = cs.allocVar();     // x^3 + x
+    out_var = cs.allocVar();         // x^3 + x + 5
+
+    cs.addMulGate(x_var, x_var, x2);
+    cs.addMulGate(x2, x_var, x3);
+    cs.addAddGate(x3, x_var, x3_x);
+    LinearCombination<F> plus5;
+    plus5.add(x3_x, F::one()).add(0, F::fromU64(5));
+    cs.addConstraint(plus5, LinearCombination<F>::constant(F::one()),
+                     LinearCombination<F>::of(out_var));
+    return cs;
+}
+
+/** Witness for cubicDemoCircuit given x. */
+template <NttField F>
+std::vector<F>
+cubicDemoWitness(F x)
+{
+    F x2 = x * x;
+    F x3 = x2 * x;
+    F x3_x = x3 + x;
+    return {F::one(), x, x2, x3, x3_x, x3_x + F::fromU64(5)};
+}
+
+} // namespace unintt
+
+#endif // UNINTT_ZKP_R1CS_HH

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Wire format for proofs. Proof systems are only useful if proofs
+ * survive a network hop; this module provides a small length-checked
+ * little-endian binary codec (ByteWriter/ByteReader) and encoders/
+ * decoders for the proof types shipped in this repo (FRI, STARK, QAP
+ * openings). Decoding is defensive: malformed or truncated buffers
+ * yield decode failure, never undefined behavior.
+ */
+
+#ifndef UNINTT_ZKP_SERIALIZE_HH
+#define UNINTT_ZKP_SERIALIZE_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "zkp/air.hh"
+#include "zkp/fri.hh"
+#include "zkp/qap_argument.hh"
+#include "zkp/stark.hh"
+
+namespace unintt {
+
+/** Append-only little-endian byte buffer. */
+class ByteWriter
+{
+  public:
+    /** Append one 64-bit word. */
+    void writeU64(uint64_t v);
+
+    /** Append a field element (canonical form). */
+    void writeGoldilocks(Goldilocks v) { writeU64(v.value()); }
+
+    /** Append a 256-bit value. */
+    void writeU256(const U256 &v);
+
+    /** Append a digest. */
+    void writeDigest(const Digest &d);
+
+    /** The serialized bytes. */
+    const std::vector<uint8_t> &bytes() const { return bytes_; }
+
+  private:
+    std::vector<uint8_t> bytes_;
+};
+
+/** Bounds-checked reader over a byte buffer. */
+class ByteReader
+{
+  public:
+    explicit ByteReader(const std::vector<uint8_t> &bytes)
+        : bytes_(bytes)
+    {
+    }
+
+    /** Read one 64-bit word; nullopt past the end. */
+    std::optional<uint64_t> readU64();
+
+    /** Read a canonical field element; nullopt if out of range. */
+    std::optional<Goldilocks> readGoldilocks();
+
+    /** Read a 256-bit value. */
+    std::optional<U256> readU256();
+
+    /** Read a digest. */
+    std::optional<Digest> readDigest();
+
+    /** True iff every byte has been consumed. */
+    bool exhausted() const { return pos_ == bytes_.size(); }
+
+  private:
+    const std::vector<uint8_t> &bytes_;
+    size_t pos_ = 0;
+};
+
+/** Serialize a FRI proof. */
+std::vector<uint8_t> serializeFriProof(const FriProof &proof);
+
+/** Deserialize a FRI proof; nullopt on any malformation. */
+std::optional<FriProof> deserializeFriProof(
+    const std::vector<uint8_t> &bytes);
+
+/** Serialize a STARK proof. */
+std::vector<uint8_t> serializeStarkProof(const StarkProof &proof);
+
+/** Serialize a generic-AIR proof. */
+std::vector<uint8_t> serializeAirProof(const AirProof &proof);
+
+/** Deserialize a generic-AIR proof; nullopt on any malformation. */
+std::optional<AirProof> deserializeAirProof(
+    const std::vector<uint8_t> &bytes);
+
+/** Serialize a QAP-argument proof (BN254 group elements in affine). */
+std::vector<uint8_t> serializeQapProof(const QapProof &proof);
+
+/** Deserialize a QAP-argument proof; nullopt on any malformation. */
+std::optional<QapProof> deserializeQapProof(
+    const std::vector<uint8_t> &bytes);
+
+/** Deserialize a STARK proof; nullopt on any malformation. */
+std::optional<StarkProof> deserializeStarkProof(
+    const std::vector<uint8_t> &bytes);
+
+} // namespace unintt
+
+#endif // UNINTT_ZKP_SERIALIZE_HH

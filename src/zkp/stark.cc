@@ -1,0 +1,242 @@
+#include "zkp/stark.hh"
+
+#include "field/field_traits.hh"
+#include "ntt/radix2.hh"
+#include "util/bitops.hh"
+#include "util/logging.hh"
+
+namespace unintt {
+
+namespace {
+
+using F = Goldilocks;
+
+/** The coset the LDEs live on (any nonsubgroup shift works). */
+F
+ldeShift()
+{
+    return F::multiplicativeGenerator();
+}
+
+/** Interpolate a coset codeword back to coefficients. */
+std::vector<F>
+cosetInterpolate(std::vector<F> codeword, F shift)
+{
+    nttInverseInPlace(codeword);
+    F shift_inv = shift.inverse();
+    F power = F::one();
+    for (auto &v : codeword) {
+        v *= power;
+        power *= shift_inv;
+    }
+    return codeword;
+}
+
+} // namespace
+
+SquareStark::SquareStark(StarkParams params) : params_(params)
+{
+    UNINTT_ASSERT(params_.logBlowup >= 2,
+                  "degree-2 constraint needs blowup >= 4");
+}
+
+std::vector<F>
+SquareStark::runMachine(F t0, size_t steps)
+{
+    std::vector<F> trace(steps + 1);
+    trace[0] = t0;
+    for (size_t i = 1; i <= steps; ++i)
+        trace[i] = trace[i - 1] * trace[i - 1] + F::one();
+    return trace;
+}
+
+StarkProof
+SquareStark::prove(F t0, unsigned log_trace) const
+{
+    const size_t n = 1ULL << log_trace;
+    UNINTT_ASSERT(n > 2 * params_.friFinalTerms,
+                  "trace too short for the FRI parameters");
+    const size_t d = n << params_.logBlowup; // LDE domain size
+    const size_t step = d / n;               // index shift for g*x
+    const F shift = ldeShift();
+
+    FriParams fri;
+    fri.logBlowup = params_.logBlowup;
+    fri.finalPolyTerms = params_.friFinalTerms;
+    fri.numQueries = params_.numQueries;
+    fri.cosetShift = shift;
+
+    StarkProof proof;
+    proof.logTrace = log_trace;
+    proof.publicStart = t0;
+
+    Transcript transcript("unintt-stark-v1");
+    transcript.absorb(t0);
+    transcript.absorbU64(log_trace);
+
+    // Trace polynomial from the honest execution.
+    auto trace = runMachine(t0, n - 1);
+    std::vector<F> t_coeffs(trace);
+    nttInverseInPlace(t_coeffs);
+
+    FriProverArtifacts t_art;
+    proof.traceFri = friProve(t_coeffs, fri, transcript, &t_art);
+    const auto &t_code = t_art.codeword; // T on the coset LDE domain
+
+    // Domain points x_i = shift * w_d^i, plus the constants the
+    // quotients need.
+    const F w_d = F::rootOfUnity(log2Exact(d));
+    const F last_row = F::rootOfUnity(log_trace).inverse(); // g^(n-1)
+    std::vector<F> xs(d);
+    {
+        F x = shift;
+        for (size_t i = 0; i < d; ++i) {
+            xs[i] = x;
+            x *= w_d;
+        }
+    }
+
+    // Transition quotient on the LDE domain:
+    // Q = (T(gx) - T(x)^2 - 1)(x - last) / (x^n - 1).
+    // x^n cycles with period `step`, so batch-invert one period.
+    std::vector<F> zh(step);
+    {
+        F gamma_n = shift.pow(n);
+        F w_step = w_d.pow(n); // order `step`
+        F cur = gamma_n;
+        for (size_t i = 0; i < step; ++i) {
+            zh[i] = cur - F::one();
+            UNINTT_ASSERT(!zh[i].isZero(), "Z_H vanished on the coset");
+            cur *= w_step;
+        }
+    }
+    auto zh_inv = batchInverse(zh);
+
+    std::vector<F> q_code(d);
+    for (size_t i = 0; i < d; ++i) {
+        F c = t_code[(i + step) % d] - t_code[i] * t_code[i] - F::one();
+        q_code[i] = c * (xs[i] - last_row) * zh_inv[i % step];
+    }
+    auto q_coeffs = cosetInterpolate(q_code, shift);
+    for (size_t i = n; i < q_coeffs.size(); ++i)
+        UNINTT_ASSERT(q_coeffs[i].isZero(),
+                      "transition quotient exceeds the degree bound");
+    q_coeffs.resize(n);
+
+    FriProverArtifacts q_art;
+    proof.quotientFri = friProve(q_coeffs, fri, transcript, &q_art);
+    UNINTT_ASSERT(q_art.codeword == q_code,
+                  "quotient codeword mismatch (internal)");
+
+    // Boundary quotient B = (T - t0) / (x - 1).
+    std::vector<F> denom(d);
+    for (size_t i = 0; i < d; ++i)
+        denom[i] = xs[i] - F::one();
+    auto denom_inv = batchInverse(denom);
+    std::vector<F> b_code(d);
+    for (size_t i = 0; i < d; ++i)
+        b_code[i] = (t_code[i] - t0) * denom_inv[i];
+    auto b_coeffs = cosetInterpolate(b_code, shift);
+    for (size_t i = n; i < b_coeffs.size(); ++i)
+        UNINTT_ASSERT(b_coeffs[i].isZero(),
+                      "boundary quotient exceeds the degree bound");
+    b_coeffs.resize(n);
+
+    FriProverArtifacts b_art;
+    proof.boundaryFri = friProve(b_coeffs, fri, transcript, &b_art);
+
+    // Spot checks tying the three commitments together.
+    for (unsigned q = 0; q < params_.numQueries; ++q) {
+        size_t idx = transcript.challengeU64() % d;
+        size_t next_idx = (idx + step) % d;
+        StarkQuery query;
+        query.traceCur = t_code[idx];
+        query.traceNext = t_code[next_idx];
+        query.quotient = q_art.codeword[idx];
+        query.boundary = b_art.codeword[idx];
+        query.traceCurPath = t_art.tree->open(idx);
+        query.traceNextPath = t_art.tree->open(next_idx);
+        query.quotientPath = q_art.tree->open(idx);
+        query.boundaryPath = b_art.tree->open(idx);
+        proof.queries.push_back(std::move(query));
+    }
+    return proof;
+}
+
+bool
+SquareStark::verify(const StarkProof &proof) const
+{
+    const size_t n = 1ULL << proof.logTrace;
+    const size_t d = n << params_.logBlowup;
+    const size_t step = d / n;
+    const F shift = ldeShift();
+
+    FriParams fri;
+    fri.logBlowup = params_.logBlowup;
+    fri.finalPolyTerms = params_.friFinalTerms;
+    fri.numQueries = params_.numQueries;
+    fri.cosetShift = shift;
+
+    // All three commitments must claim the trace-length degree bound.
+    if (proof.traceFri.logDegreeBound != proof.logTrace ||
+        proof.quotientFri.logDegreeBound != proof.logTrace ||
+        proof.boundaryFri.logDegreeBound != proof.logTrace)
+        return false;
+    if (proof.traceFri.roots.empty() || proof.quotientFri.roots.empty() ||
+        proof.boundaryFri.roots.empty())
+        return false;
+    if (proof.queries.size() != params_.numQueries)
+        return false;
+
+    Transcript transcript("unintt-stark-v1");
+    transcript.absorb(proof.publicStart);
+    transcript.absorbU64(proof.logTrace);
+
+    if (!friVerify(proof.traceFri, fri, transcript))
+        return false;
+    if (!friVerify(proof.quotientFri, fri, transcript))
+        return false;
+    if (!friVerify(proof.boundaryFri, fri, transcript))
+        return false;
+
+    const F w_d = F::rootOfUnity(log2Exact(d));
+    const F last_row = F::rootOfUnity(proof.logTrace).inverse();
+    const Digest &t_root = proof.traceFri.roots[0];
+    const Digest &q_root = proof.quotientFri.roots[0];
+    const Digest &b_root = proof.boundaryFri.roots[0];
+
+    for (const auto &query : proof.queries) {
+        size_t idx = transcript.challengeU64() % d;
+        size_t next_idx = (idx + step) % d;
+
+        if (query.traceCurPath.index != idx ||
+            query.traceNextPath.index != next_idx ||
+            query.quotientPath.index != idx ||
+            query.boundaryPath.index != idx)
+            return false;
+        if (!MerkleTree::verify(t_root, query.traceCurPath,
+                                {query.traceCur}) ||
+            !MerkleTree::verify(t_root, query.traceNextPath,
+                                {query.traceNext}) ||
+            !MerkleTree::verify(q_root, query.quotientPath,
+                                {query.quotient}) ||
+            !MerkleTree::verify(b_root, query.boundaryPath,
+                                {query.boundary}))
+            return false;
+
+        F x = shift * w_d.pow(idx);
+        // Transition: (T(gx) - T(x)^2 - 1)(x - last) == Q(x) Z_H(x).
+        F c = query.traceNext - query.traceCur * query.traceCur -
+              F::one();
+        F zh = x.pow(n) - F::one();
+        if (!(c * (x - last_row) == query.quotient * zh))
+            return false;
+        // Boundary: T(x) - t0 == B(x) (x - 1).
+        if (!(query.traceCur - proof.publicStart ==
+              query.boundary * (x - F::one())))
+            return false;
+    }
+    return true;
+}
+
+} // namespace unintt

@@ -1,0 +1,108 @@
+#include "zkp/sumcheck.hh"
+
+#include "util/bitops.hh"
+#include "util/logging.hh"
+
+namespace unintt {
+
+Goldilocks
+multilinearEval(const std::vector<Goldilocks> &table,
+                const std::vector<Goldilocks> &point)
+{
+    UNINTT_ASSERT(isPow2(table.size()), "table must be 2^m entries");
+    UNINTT_ASSERT(table.size() == 1ULL << point.size(),
+                  "dimension mismatch");
+    // Fold one variable at a time: f(r, x') = (1-r) f(0, x') +
+    // r f(1, x'). Variable i is bit i of the table index.
+    std::vector<Goldilocks> cur = table;
+    for (size_t v = 0; v < point.size(); ++v) {
+        size_t half = cur.size() / 2;
+        std::vector<Goldilocks> next(half);
+        for (size_t i = 0; i < half; ++i) {
+            // Entries with bit v = 0 and 1 sit 1 apart after earlier
+            // folds: index 2i has x_v = 0, index 2i+1 has x_v = 1.
+            Goldilocks f0 = cur[2 * i];
+            Goldilocks f1 = cur[2 * i + 1];
+            next[i] = f0 + point[v] * (f1 - f0);
+        }
+        cur = std::move(next);
+    }
+    return cur[0];
+}
+
+Goldilocks
+hypercubeSum(const std::vector<Goldilocks> &table)
+{
+    Goldilocks acc;
+    for (const auto &v : table)
+        acc += v;
+    return acc;
+}
+
+SumcheckProof
+sumcheckProve(std::vector<Goldilocks> table, Transcript &transcript)
+{
+    UNINTT_ASSERT(isPow2(table.size()) && !table.empty(),
+                  "table must be 2^m entries");
+    unsigned m = log2Exact(table.size());
+
+    SumcheckProof proof;
+    proof.claimedSum = hypercubeSum(table);
+    transcript.absorb(proof.claimedSum);
+
+    for (unsigned round = 0; round < m; ++round) {
+        // g(X) = sum over the remaining cube of f with the current
+        // variable fixed to X; for multilinear f this is degree 1, so
+        // g(0) and g(1) determine it.
+        size_t half = table.size() / 2;
+        SumcheckRound msg;
+        for (size_t i = 0; i < half; ++i) {
+            msg.at0 += table[2 * i];     // variable = 0 entries
+            msg.at1 += table[2 * i + 1]; // variable = 1 entries
+        }
+        proof.rounds.push_back(msg);
+        transcript.absorb(msg.at0);
+        transcript.absorb(msg.at1);
+
+        Goldilocks r = transcript.challengeGoldilocks();
+        // Fold the bound variable out of the table.
+        std::vector<Goldilocks> next(half);
+        for (size_t i = 0; i < half; ++i) {
+            Goldilocks f0 = table[2 * i];
+            Goldilocks f1 = table[2 * i + 1];
+            next[i] = f0 + r * (f1 - f0);
+        }
+        table = std::move(next);
+    }
+    return proof;
+}
+
+bool
+sumcheckVerify(
+    const SumcheckProof &proof, unsigned num_vars, Transcript &transcript,
+    const std::function<Goldilocks(const std::vector<Goldilocks> &)>
+        &oracle)
+{
+    if (proof.rounds.size() != num_vars)
+        return false;
+    transcript.absorb(proof.claimedSum);
+
+    Goldilocks claim = proof.claimedSum;
+    std::vector<Goldilocks> challenges;
+    for (const auto &msg : proof.rounds) {
+        // Round consistency: g(0) + g(1) must equal the running claim.
+        if (!(msg.at0 + msg.at1 == claim))
+            return false;
+        transcript.absorb(msg.at0);
+        transcript.absorb(msg.at1);
+        Goldilocks r = transcript.challengeGoldilocks();
+        challenges.push_back(r);
+        // New claim: g(r) for the degree-1 g through (0, g0), (1, g1).
+        claim = msg.at0 + r * (msg.at1 - msg.at0);
+    }
+
+    // Final oracle check at the random point.
+    return oracle(challenges) == claim;
+}
+
+} // namespace unintt

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * The sumcheck protocol for multilinear polynomials over Goldilocks —
+ * the interactive-proof workhorse of hash-based ZKP systems (and the
+ * companion primitive to NTT/MSM in modern provers). The prover
+ * convinces the verifier that sum over the Boolean hypercube of a
+ * multilinear polynomial f equals a claimed value, in m rounds of
+ * degree-1 univariate messages, made non-interactive with the
+ * Fiat-Shamir transcript.
+ *
+ * The final step of sumcheck reduces the claim to one evaluation
+ * f(r_1, ..., r_m); the verifier obtains that value through an oracle
+ * callback (a commitment opening in a deployed system, the evaluation
+ * table in tests).
+ */
+
+#ifndef UNINTT_ZKP_SUMCHECK_HH
+#define UNINTT_ZKP_SUMCHECK_HH
+
+#include <functional>
+#include <vector>
+
+#include "field/goldilocks.hh"
+#include "zkp/transcript.hh"
+
+namespace unintt {
+
+/** One sumcheck round message: the degree-1 polynomial g(0), g(1). */
+struct SumcheckRound
+{
+    Goldilocks at0;
+    Goldilocks at1;
+};
+
+/** A complete sumcheck transcript. */
+struct SumcheckProof
+{
+    /** The claimed hypercube sum. */
+    Goldilocks claimedSum;
+    /** One message per variable. */
+    std::vector<SumcheckRound> rounds;
+};
+
+/**
+ * Multilinear extension evaluation: given the table of f on the
+ * hypercube (index bit i = variable i), evaluate the extension at an
+ * arbitrary point, in O(2^m).
+ */
+Goldilocks multilinearEval(const std::vector<Goldilocks> &table,
+                           const std::vector<Goldilocks> &point);
+
+/** Sum of the table (the statement being proven). */
+Goldilocks hypercubeSum(const std::vector<Goldilocks> &table);
+
+/**
+ * Run the sumcheck prover over @p table (size 2^m).
+ * @param transcript Fiat-Shamir transcript shared with the verifier.
+ */
+SumcheckProof sumcheckProve(std::vector<Goldilocks> table,
+                            Transcript &transcript);
+
+/**
+ * Verify a sumcheck proof.
+ *
+ * @param proof       the prover's messages.
+ * @param num_vars    m, the hypercube dimension.
+ * @param transcript  a transcript in the same state the prover's was.
+ * @param oracle      evaluates f at the final random point.
+ * @return true iff every round is consistent and the final claim
+ *         matches the oracle.
+ */
+bool sumcheckVerify(
+    const SumcheckProof &proof, unsigned num_vars, Transcript &transcript,
+    const std::function<Goldilocks(const std::vector<Goldilocks> &)>
+        &oracle);
+
+} // namespace unintt
+
+#endif // UNINTT_ZKP_SUMCHECK_HH

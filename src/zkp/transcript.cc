@@ -1,0 +1,152 @@
+#include "zkp/transcript.hh"
+
+namespace unintt {
+
+namespace {
+
+/** Deterministic round constants via splitmix64 expansion. */
+Goldilocks
+roundConstant(unsigned round, unsigned lane)
+{
+    uint64_t x = 0x5bd1e995u + static_cast<uint64_t>(round) * 131 + lane;
+    x += 0x9e3779b97f4a7c15ULL;
+    uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return Goldilocks::fromU64(z ^ (z >> 31));
+}
+
+/** x^7, a bijection on Goldilocks (gcd(7, p-1) = 1). */
+Goldilocks
+sbox(Goldilocks x)
+{
+    Goldilocks x2 = x * x;
+    Goldilocks x4 = x2 * x2;
+    return x4 * x2 * x;
+}
+
+} // namespace
+
+void
+Transcript::permute(std::array<Goldilocks, kWidth> &state)
+{
+    // Circulant diffusion coefficients (dense, invertible; see header
+    // for the security caveat).
+    static const uint64_t kCirculant[kWidth] = {7,  23, 8,  26, 13, 10,
+                                                9,  3,  16, 2,  12, 5};
+    for (unsigned r = 0; r < kRounds; ++r) {
+        // Add round constants, then the S-box layer.
+        for (unsigned i = 0; i < kWidth; ++i)
+            state[i] = sbox(state[i] + roundConstant(r, i));
+        // Circulant matrix-vector product.
+        std::array<Goldilocks, kWidth> mixed{};
+        for (unsigned i = 0; i < kWidth; ++i) {
+            Goldilocks acc;
+            for (unsigned j = 0; j < kWidth; ++j) {
+                acc += Goldilocks::fromU64(
+                           kCirculant[(j + kWidth - i) % kWidth]) *
+                       state[j];
+            }
+            mixed[i] = acc;
+        }
+        state = mixed;
+    }
+}
+
+Transcript::Transcript(const std::string &domain)
+{
+    absorbLabel("unintt-transcript-v1");
+    absorbLabel(domain);
+}
+
+void
+Transcript::absorbLabel(const std::string &label)
+{
+    // Length-prefixed so distinct label sequences cannot collide.
+    absorbU64(label.size());
+    uint64_t word = 0;
+    unsigned filled = 0;
+    for (char c : label) {
+        word |= static_cast<uint64_t>(static_cast<unsigned char>(c))
+                << (8 * filled);
+        if (++filled == 8) {
+            absorbU64(word);
+            word = 0;
+            filled = 0;
+        }
+    }
+    if (filled)
+        absorbU64(word);
+}
+
+void
+Transcript::absorbU64(uint64_t x)
+{
+    // Split into two 32-bit halves so every word embeds injectively
+    // into the field (p > 2^63 would also work, but this is simplest
+    // to reason about).
+    absorbElement(Goldilocks::fromU64(x & 0xffffffffULL));
+    absorbElement(Goldilocks::fromU64(x >> 32));
+}
+
+void
+Transcript::absorbU256(const U256 &x)
+{
+    for (int i = 0; i < 4; ++i)
+        absorbU64(x.limb[i]);
+}
+
+void
+Transcript::absorbElement(Goldilocks x)
+{
+    if (squeezing_) {
+        // Interleaving absorb into a squeeze phase re-keys the sponge.
+        squeezing_ = false;
+        position_ = 0;
+    }
+    state_[position_] += x;
+    if (++position_ == kRate) {
+        permute(state_);
+        position_ = 0;
+    }
+}
+
+void
+Transcript::ensureSqueezing()
+{
+    if (!squeezing_) {
+        // Pad: domain-separate the phase switch, then permute.
+        state_[position_] += Goldilocks::one();
+        permute(state_);
+        squeezing_ = true;
+        position_ = 0;
+    }
+}
+
+uint64_t
+Transcript::challengeU64()
+{
+    ensureSqueezing();
+    if (position_ == kRate) {
+        permute(state_);
+        position_ = 0;
+    }
+    return state_[position_++].value();
+}
+
+Goldilocks
+Transcript::challengeGoldilocks()
+{
+    return Goldilocks::fromU64(challengeU64());
+}
+
+Bn254Fr
+Transcript::challengeFr()
+{
+    // 253 bits < r, so the masked value embeds directly.
+    U256 v(challengeU64(), challengeU64(), challengeU64(),
+           challengeU64() >> 3);
+    return Bn254Fr::fromU256(v);
+}
+
+} // namespace unintt

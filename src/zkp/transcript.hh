@@ -1,0 +1,82 @@
+/**
+ * @file
+ * A Fiat–Shamir transcript: the prover/verifier-shared sponge that
+ * turns interactive protocols (like the commitment openings in
+ * zkp/commitment.hh) into non-interactive ones. Absorb public data,
+ * squeeze field challenges; both sides replay the same sequence.
+ *
+ * The permutation is an algebraic sponge in the Rescue/Poseidon style
+ * over Goldilocks: width-12 state, x^7 S-box (a bijection since
+ * gcd(7, p-1) = 1), a dense circulant diffusion layer, and
+ * deterministic round constants. The *structure* matches what
+ * ZKP-friendly hashes use; the concrete matrix and constants here are
+ * NOT cryptanalyzed — this is a protocol-plumbing component, not a
+ * vetted hash (see the security note in README).
+ */
+
+#ifndef UNINTT_ZKP_TRANSCRIPT_HH
+#define UNINTT_ZKP_TRANSCRIPT_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "field/bn254.hh"
+#include "field/goldilocks.hh"
+
+namespace unintt {
+
+/** Sponge-based Fiat–Shamir transcript. */
+class Transcript
+{
+  public:
+    /** State width in Goldilocks elements. */
+    static constexpr unsigned kWidth = 12;
+    /** Absorb/squeeze rate (capacity is kWidth - kRate). */
+    static constexpr unsigned kRate = 8;
+    /** Permutation rounds. */
+    static constexpr unsigned kRounds = 8;
+
+    /** @param domain domain-separation label for this protocol run. */
+    explicit Transcript(const std::string &domain);
+
+    /** Absorb a label (bytes) into the transcript. */
+    void absorbLabel(const std::string &label);
+
+    /** Absorb one 64-bit word. */
+    void absorbU64(uint64_t x);
+
+    /** Absorb a Goldilocks element. */
+    void absorb(Goldilocks x) { absorbU64(x.value()); }
+
+    /** Absorb a 256-bit value (e.g. a commitment coordinate). */
+    void absorbU256(const U256 &x);
+
+    /** Squeeze one Goldilocks challenge. */
+    Goldilocks challengeGoldilocks();
+
+    /** Squeeze one uniform-ish BN254-Fr challenge (253 bits). */
+    Bn254Fr challengeFr();
+
+    /** Squeeze a raw 64-bit word. */
+    uint64_t challengeU64();
+
+    /** The sponge permutation, exposed for tests. */
+    static void permute(std::array<Goldilocks, kWidth> &state);
+
+  private:
+    /** Absorb one element at the current rate position. */
+    void absorbElement(Goldilocks x);
+
+    /** Switch to squeezing (pad and permute once). */
+    void ensureSqueezing();
+
+    std::array<Goldilocks, kWidth> state_{};
+    unsigned position_ = 0;
+    bool squeezing_ = false;
+};
+
+} // namespace unintt
+
+#endif // UNINTT_ZKP_TRANSCRIPT_HH

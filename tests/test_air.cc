@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Tests for the generic AIR STARK engine: the Fibonacci instance, a
+ * square-machine instance re-expressed as an AIR, trace satisfiability
+ * checking, completeness, and the usual battery of tampering
+ * rejections (wrong public inputs, forged openings, spliced
+ * commitments, degree lies).
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/random.hh"
+#include "zkp/air.hh"
+
+namespace unintt {
+namespace {
+
+using F = Goldilocks;
+
+Air
+squareAir(F t0)
+{
+    Air air;
+    air.name = "square";
+    air.columns = 1;
+    air.constraintDegree = 2;
+    air.transitions = {
+        [](const std::vector<F> &cur, const std::vector<F> &next) {
+            return next[0] - cur[0] * cur[0] - F::one();
+        },
+    };
+    air.boundaries = {{0, t0}};
+    return air;
+}
+
+std::vector<std::vector<F>>
+squareTrace(F t0, unsigned log_rows)
+{
+    size_t n = 1ULL << log_rows;
+    std::vector<std::vector<F>> trace(1, std::vector<F>(n));
+    trace[0][0] = t0;
+    for (size_t i = 1; i < n; ++i)
+        trace[0][i] = trace[0][i - 1] * trace[0][i - 1] + F::one();
+    return trace;
+}
+
+TEST(FibonacciAir, TraceAndSatisfiability)
+{
+    auto trace = fibonacciTrace(F::one(), F::one(), 4);
+    ASSERT_EQ(trace.size(), 2u);
+    EXPECT_EQ(trace[1][1], F::fromU64(2));
+    EXPECT_EQ(trace[1][2], F::fromU64(3));
+    EXPECT_EQ(trace[1][3], F::fromU64(5));
+    EXPECT_EQ(trace[1][10], F::fromU64(144));
+
+    AirStark stark(fibonacciAir(F::one(), F::one()));
+    EXPECT_TRUE(stark.traceSatisfies(trace));
+
+    auto bad = trace;
+    bad[1][7] += F::one();
+    EXPECT_FALSE(stark.traceSatisfies(bad));
+
+    auto wrong_start = trace;
+    wrong_start[0][0] = F::fromU64(9);
+    EXPECT_FALSE(stark.traceSatisfies(wrong_start));
+}
+
+TEST(FibonacciAir, ProveAndVerify)
+{
+    AirStark stark(fibonacciAir(F::one(), F::one()));
+    for (unsigned log_rows : {5u, 7u}) {
+        auto proof =
+            stark.prove(fibonacciTrace(F::one(), F::one(), log_rows));
+        EXPECT_TRUE(stark.verify(proof)) << log_rows;
+        EXPECT_EQ(proof.columnFris.size(), 2u);
+    }
+}
+
+TEST(FibonacciAir, DifferentStartValues)
+{
+    AirStark stark(fibonacciAir(F::fromU64(3), F::fromU64(4)));
+    auto proof =
+        stark.prove(fibonacciTrace(F::fromU64(3), F::fromU64(4), 6));
+    EXPECT_TRUE(stark.verify(proof));
+    // A verifier expecting different public inputs rejects.
+    AirStark other(fibonacciAir(F::fromU64(3), F::fromU64(5)));
+    EXPECT_FALSE(other.verify(proof));
+}
+
+TEST(SquareAir, MatchesDedicatedStarkSemantics)
+{
+    AirStark stark(squareAir(F::fromU64(42)));
+    auto proof = stark.prove(squareTrace(F::fromU64(42), 7));
+    EXPECT_TRUE(stark.verify(proof));
+}
+
+TEST(AirTamper, ForgedOpeningsRejected)
+{
+    AirStark stark(fibonacciAir(F::one(), F::one()));
+    auto proof = stark.prove(fibonacciTrace(F::one(), F::one(), 7));
+
+    auto t1 = proof;
+    t1.queries[0].cur[0] += F::one();
+    EXPECT_FALSE(stark.verify(t1));
+
+    auto t2 = proof;
+    t2.queries[1].next[1] += F::one();
+    EXPECT_FALSE(stark.verify(t2));
+
+    auto t3 = proof;
+    t3.queries[2].quotient += F::one();
+    EXPECT_FALSE(stark.verify(t3));
+
+    auto t4 = proof;
+    t4.queries[3].boundary += F::one();
+    EXPECT_FALSE(stark.verify(t4));
+}
+
+TEST(AirTamper, SplicedColumnCommitmentRejected)
+{
+    AirStark stark(fibonacciAir(F::one(), F::one()));
+    auto p1 = stark.prove(fibonacciTrace(F::one(), F::one(), 6));
+
+    AirStark stark2(fibonacciAir(F::one(), F::one()));
+    auto p2 = stark2.prove(fibonacciTrace(F::one(), F::one(), 6));
+    // Same statement, so p2 verifies; but mixing p2's column into p1
+    // breaks the Fiat-Shamir binding of the spot checks... the proofs
+    // are identical for identical inputs (deterministic prover), so
+    // tamper a root instead.
+    EXPECT_TRUE(stark.verify(p2));
+    auto spliced = p1;
+    spliced.columnFris[0].roots[0][0] += F::one();
+    EXPECT_FALSE(stark.verify(spliced));
+}
+
+TEST(AirTamper, WrongTraceLengthRejected)
+{
+    AirStark stark(fibonacciAir(F::one(), F::one()));
+    auto proof = stark.prove(fibonacciTrace(F::one(), F::one(), 7));
+    proof.logTrace = 8;
+    EXPECT_FALSE(stark.verify(proof));
+}
+
+TEST(AirTamper, EchoedBoundaryMustMatchAir)
+{
+    AirStark stark(fibonacciAir(F::one(), F::one()));
+    auto proof = stark.prove(fibonacciTrace(F::one(), F::one(), 6));
+    proof.boundaries[0].value = F::fromU64(2);
+    EXPECT_FALSE(stark.verify(proof));
+}
+
+TEST(AirDeath, UnsatisfiedTraceIsFatal)
+{
+    AirStark stark(fibonacciAir(F::one(), F::one()));
+    auto trace = fibonacciTrace(F::one(), F::one(), 6);
+    trace[0][5] += F::one();
+    EXPECT_EXIT(stark.prove(trace), ::testing::ExitedWithCode(1),
+                "does not satisfy the AIR");
+}
+
+TEST(AirDeath, BlowupMustExceedConstraintDegree)
+{
+    Air air = squareAir(F::one());
+    air.constraintDegree = 4;
+    AirStark::Params p;
+    p.logBlowup = 2; // 4 == degree, not >
+    EXPECT_DEATH(AirStark(air, p), "blowup must exceed");
+}
+
+} // namespace
+} // namespace unintt

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Tests for the collectives library and the device-memory model:
+ * cost-model identities (ring algorithm volumes, trivial single-GPU
+ * cases), ordering relations between collectives, memory capacity
+ * enforcement and peak tracking, and the multi-node system plumbing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/collectives.hh"
+#include "sim/memory.hh"
+#include "sim/multi_gpu.hh"
+
+namespace unintt {
+namespace {
+
+TEST(CollectivesTest, SingleGpuIsFree)
+{
+    Collectives c(makeNvSwitchFabric(), 1);
+    EXPECT_DOUBLE_EQ(c.allToAll(1 << 20).seconds, 0.0);
+    EXPECT_DOUBLE_EQ(c.allGather(1 << 20).seconds, 0.0);
+    EXPECT_DOUBLE_EQ(c.reduceScatter(1 << 20).seconds, 0.0);
+    EXPECT_DOUBLE_EQ(c.broadcast(1 << 20).seconds, 0.0);
+    EXPECT_DOUBLE_EQ(c.butterflyExchange(1 << 20, 1).seconds, 0.0);
+}
+
+TEST(CollectivesTest, WireVolumes)
+{
+    unsigned gpus = 8;
+    uint64_t bytes = 8 << 20;
+    Collectives c(makeNvSwitchFabric(), gpus);
+    // All-to-all keeps 1/G locally.
+    EXPECT_EQ(c.allToAll(bytes).stats.bytesPerGpu,
+              bytes * (gpus - 1) / gpus);
+    // All-gather forwards G-1 buffers.
+    EXPECT_EQ(c.allGather(bytes).stats.bytesPerGpu, bytes * (gpus - 1));
+    // Reduce-scatter moves G-1 shares.
+    EXPECT_EQ(c.reduceScatter(bytes).stats.bytesPerGpu,
+              bytes / gpus * (gpus - 1));
+    // Butterfly moves the full payload once.
+    EXPECT_EQ(c.butterflyExchange(bytes, 2).stats.bytesPerGpu, bytes);
+}
+
+TEST(CollectivesTest, AllReduceIsReduceScatterPlusAllGather)
+{
+    Collectives c(makeNvSwitchFabric(), 4);
+    uint64_t bytes = 4 << 20;
+    auto ar = c.allReduce(bytes);
+    auto rs = c.reduceScatter(bytes);
+    auto ag = c.allGather(bytes / 4);
+    EXPECT_DOUBLE_EQ(ar.seconds, rs.seconds + ag.seconds);
+    EXPECT_EQ(ar.stats.bytesPerGpu,
+              rs.stats.bytesPerGpu + ag.stats.bytesPerGpu);
+}
+
+TEST(CollectivesTest, BroadcastScalesWithLog)
+{
+    Collectives c2(makeNvSwitchFabric(), 2);
+    Collectives c8(makeNvSwitchFabric(), 8);
+    uint64_t bytes = 1 << 20;
+    EXPECT_LT(c2.broadcast(bytes).seconds, c8.broadcast(bytes).seconds);
+    EXPECT_EQ(c8.broadcast(bytes).stats.messages, 3u);
+}
+
+TEST(CollectivesTest, MoreBytesCostMore)
+{
+    Collectives c(makePcieFabric(), 4);
+    EXPECT_LT(c.allToAll(1 << 18).seconds, c.allToAll(1 << 24).seconds);
+    EXPECT_LT(c.allGather(1 << 18).seconds, c.allGather(1 << 24).seconds);
+}
+
+TEST(MemoryModel, TracksUsageAndPeak)
+{
+    DeviceMemoryModel mem(makeA100(), 2);
+    mem.alloc(0, 1000, "a");
+    mem.alloc(0, 500, "b");
+    EXPECT_EQ(mem.usedBytes(0), 1500u);
+    EXPECT_EQ(mem.usedBytes(1), 0u);
+    mem.free(0, 1000);
+    EXPECT_EQ(mem.usedBytes(0), 500u);
+    EXPECT_EQ(mem.peakBytes(0), 1500u);
+    EXPECT_EQ(mem.maxPeakBytes(), 1500u);
+}
+
+TEST(MemoryModel, AllocAllHitsEveryGpu)
+{
+    DeviceMemoryModel mem(makeA100(), 4);
+    mem.allocAll(42, "x");
+    for (unsigned g = 0; g < 4; ++g)
+        EXPECT_EQ(mem.usedBytes(g), 42u);
+    mem.freeAll(42);
+    EXPECT_EQ(mem.maxPeakBytes(), 42u);
+}
+
+TEST(MemoryModelDeath, OutOfMemoryIsFatal)
+{
+    DeviceMemoryModel mem(makeA100(), 1);
+    EXPECT_EXIT(mem.alloc(0, mem.capacityBytes() + 1, "huge"),
+                ::testing::ExitedWithCode(1), "out of memory");
+}
+
+TEST(MultiNode, TopologyAccessors)
+{
+    auto sys = makeA100Cluster(4, 8);
+    EXPECT_EQ(sys.numGpus, 32u);
+    EXPECT_EQ(sys.numNodes(), 4u);
+    EXPECT_FALSE(sys.crossesNodes(4));
+    EXPECT_TRUE(sys.crossesNodes(8));
+    EXPECT_TRUE(sys.crossesNodes(16));
+    EXPECT_NE(sys.description().find("4 nodes"), std::string::npos);
+
+    unsigned eff = 0;
+    EXPECT_EQ(&sys.fabricFor(4, eff), &sys.fabric);
+    EXPECT_EQ(eff, 4u);
+    EXPECT_EQ(&sys.fabricFor(16, eff), &sys.nodeFabric);
+    EXPECT_EQ(eff, 2u);
+}
+
+TEST(MultiNode, SingleNodeClusterBehavesLikeDgx)
+{
+    auto sys = makeA100Cluster(1, 8);
+    EXPECT_EQ(sys.numNodes(), 1u);
+    EXPECT_FALSE(sys.crossesNodes(4));
+    EXPECT_EQ(sys.description(), makeDgxA100(8).description());
+}
+
+TEST(MultiNode, InterNodeFabricIsSlower)
+{
+    auto ib = makeInfinibandFabric();
+    auto nv = makeNvSwitchFabric();
+    EXPECT_LT(ib.linkBandwidth, nv.linkBandwidth);
+    EXPECT_GT(ib.pairwiseExchangeTime(64 << 20, 1),
+              nv.pairwiseExchangeTime(64 << 20, 1));
+}
+
+} // namespace
+} // namespace unintt

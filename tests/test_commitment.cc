@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Tests for the designated-verifier KZG commitment: synthetic
+ * division, commitment homomorphism, opening completeness, and
+ * binding-style negative cases (tampered value, witness, or point must
+ * be rejected).
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/random.hh"
+#include "zkp/commitment.hh"
+
+namespace unintt {
+namespace {
+
+using Poly = Polynomial<Bn254Fr>;
+
+Poly
+randomPoly(size_t n, uint64_t seed)
+{
+    return Poly::random(n, seed);
+}
+
+TEST(SyntheticDivision, ExactOnKnownFactorization)
+{
+    // p = (X - 3)(X + 5) = X^2 + 2X - 15; dividing by (X - 3) at z=3
+    // must give q = X + 5.
+    Bn254Fr three = Bn254Fr::fromU64(3);
+    Poly p({-Bn254Fr::fromU64(15), Bn254Fr::fromU64(2), Bn254Fr::one()});
+    auto q = KzgCommitter::divideByLinear(p, three);
+    ASSERT_EQ(q.coeffs().size(), 2u);
+    EXPECT_EQ(q.coeffs()[0], Bn254Fr::fromU64(5));
+    EXPECT_EQ(q.coeffs()[1], Bn254Fr::one());
+}
+
+TEST(SyntheticDivision, IdentityHoldsForRandomPolys)
+{
+    // p(X) - p(z) == (X - z) * q(X) as polynomials.
+    for (uint64_t seed : {1u, 2u, 3u}) {
+        auto p = randomPoly(20, seed);
+        Bn254Fr z = Bn254Fr::fromU64(777 + seed);
+        auto q = KzgCommitter::divideByLinear(p, z);
+        // rhs = (X - z) * q + p(z)
+        Poly x_minus_z({-z, Bn254Fr::one()});
+        auto rhs = Poly::multiply(x_minus_z, q) +
+                   Poly({p.evaluate(z)});
+        EXPECT_EQ(rhs, p);
+    }
+}
+
+TEST(SyntheticDivision, ConstantPolynomialGivesZeroQuotient)
+{
+    Poly p({Bn254Fr::fromU64(9)});
+    auto q = KzgCommitter::divideByLinear(p, Bn254Fr::fromU64(4));
+    EXPECT_EQ(q, Poly());
+}
+
+class KzgTest : public ::testing::Test
+{
+  protected:
+    KzgTest() : kzg_(32, 42) {}
+    KzgCommitter kzg_;
+};
+
+TEST_F(KzgTest, BasisIsOnCurve)
+{
+    ASSERT_EQ(kzg_.basis().size(), 32u);
+    for (const auto &g : kzg_.basis())
+        EXPECT_TRUE(g.isOnCurve());
+    // G_0 is the plain generator (s^0 = 1).
+    EXPECT_TRUE(kzg_.basis()[0] == G1Affine::generator());
+}
+
+TEST_F(KzgTest, CommitmentIsHomomorphic)
+{
+    auto a = randomPoly(16, 5);
+    auto b = randomPoly(16, 6);
+    auto ca = kzg_.commit(a);
+    auto cb = kzg_.commit(b);
+    EXPECT_TRUE(kzg_.commit(a + b) == ca.add(cb));
+    Bn254Fr s = Bn254Fr::fromU64(33);
+    EXPECT_TRUE(kzg_.commit(a.scaled(s)) == ca.scalarMul(s.value()));
+}
+
+TEST_F(KzgTest, HonestOpeningVerifies)
+{
+    auto p = randomPoly(24, 7);
+    auto commitment = kzg_.commit(p);
+    for (uint64_t zv : {0ULL, 1ULL, 123456789ULL}) {
+        Bn254Fr z = Bn254Fr::fromU64(zv);
+        auto proof = kzg_.open(p, z);
+        EXPECT_EQ(proof.value, p.evaluate(z));
+        EXPECT_TRUE(kzg_.verify(commitment, z, proof)) << zv;
+    }
+}
+
+TEST_F(KzgTest, TamperedValueRejected)
+{
+    auto p = randomPoly(24, 8);
+    auto commitment = kzg_.commit(p);
+    Bn254Fr z = Bn254Fr::fromU64(99);
+    auto proof = kzg_.open(p, z);
+    proof.value += Bn254Fr::one();
+    EXPECT_FALSE(kzg_.verify(commitment, z, proof));
+}
+
+TEST_F(KzgTest, TamperedWitnessRejected)
+{
+    auto p = randomPoly(24, 9);
+    auto commitment = kzg_.commit(p);
+    Bn254Fr z = Bn254Fr::fromU64(100);
+    auto proof = kzg_.open(p, z);
+    proof.witness = proof.witness.add(G1Jacobian::generator());
+    EXPECT_FALSE(kzg_.verify(commitment, z, proof));
+}
+
+TEST_F(KzgTest, WrongPointRejected)
+{
+    auto p = randomPoly(24, 10);
+    auto commitment = kzg_.commit(p);
+    auto proof = kzg_.open(p, Bn254Fr::fromU64(101));
+    EXPECT_FALSE(kzg_.verify(commitment, Bn254Fr::fromU64(102), proof));
+}
+
+TEST_F(KzgTest, WrongCommitmentRejected)
+{
+    auto p = randomPoly(24, 11);
+    auto other = randomPoly(24, 12);
+    Bn254Fr z = Bn254Fr::fromU64(103);
+    auto proof = kzg_.open(p, z);
+    EXPECT_FALSE(kzg_.verify(kzg_.commit(other), z, proof));
+}
+
+TEST_F(KzgTest, ZeroPolynomialOpensEverywhere)
+{
+    Poly zero;
+    auto commitment = kzg_.commit(zero);
+    EXPECT_TRUE(commitment.isInfinity());
+    auto proof = kzg_.open(zero, Bn254Fr::fromU64(7));
+    EXPECT_TRUE(proof.value.isZero());
+    EXPECT_TRUE(kzg_.verify(commitment, Bn254Fr::fromU64(7), proof));
+}
+
+} // namespace
+} // namespace unintt

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Error-path and degenerate-input tests: every fatal() in the public
+ * API fires with a clear message (user errors exit rather than corrupt
+ * state), and boundary inputs behave.
+ */
+
+#include <gtest/gtest.h>
+
+#include "field/babybear.hh"
+#include "field/goldilocks.hh"
+#include "msm/pippenger.hh"
+#include "ntt/radix2.hh"
+#include "sim/multi_gpu.hh"
+#include "unintt/engine.hh"
+#include "util/cli.hh"
+
+namespace unintt {
+namespace {
+
+using F = Goldilocks;
+
+TEST(ErrorPaths, UnknownGpuModelIsFatal)
+{
+    EXPECT_EXIT(gpuModelByName("tpu"), ::testing::ExitedWithCode(1),
+                "unknown GPU model");
+}
+
+TEST(ErrorPaths, UnknownFabricIsFatal)
+{
+    EXPECT_EXIT(fabricByName("ethernet"), ::testing::ExitedWithCode(1),
+                "unknown fabric");
+}
+
+TEST(ErrorPaths, NonPowerOfTwoGpusIsFatal)
+{
+    auto sys = makeDgxA100(3);
+    EXPECT_EXIT(planNtt(20, sys, 8), ::testing::ExitedWithCode(1),
+                "power-of-two GPU count");
+}
+
+TEST(ErrorPaths, RootOfUnityBeyondTwoAdicityIsFatal)
+{
+    EXPECT_EXIT(Goldilocks::rootOfUnity(33),
+                ::testing::ExitedWithCode(1), "two-adicity");
+    EXPECT_EXIT(BabyBear::rootOfUnity(28), ::testing::ExitedWithCode(1),
+                "two-adicity");
+}
+
+TEST(ErrorPaths, InverseOfZeroPanics)
+{
+    EXPECT_DEATH((void)Goldilocks::zero().inverse(), "inverse of zero");
+}
+
+TEST(ErrorPaths, CliRejectsUnknownFlag)
+{
+    CliParser cli("t");
+    cli.addInt("size", 1, "x");
+    const char *argv[] = {"prog", "--nope=1"};
+    EXPECT_EXIT(cli.parse(2, const_cast<char **>(argv)),
+                ::testing::ExitedWithCode(1), "unknown flag");
+}
+
+TEST(ErrorPaths, CliRejectsBadInteger)
+{
+    CliParser cli("t");
+    cli.addInt("size", 1, "x");
+    const char *argv[] = {"prog", "--size=abc"};
+    EXPECT_EXIT(cli.parse(2, const_cast<char **>(argv)),
+                ::testing::ExitedWithCode(1), "expects an integer");
+}
+
+TEST(ErrorPaths, CliRejectsBadBool)
+{
+    CliParser cli("t");
+    cli.addBool("flag", false, "x");
+    const char *argv[] = {"prog", "--flag=maybe"};
+    EXPECT_EXIT(cli.parse(2, const_cast<char **>(argv)),
+                ::testing::ExitedWithCode(1), "expects a boolean");
+}
+
+TEST(ErrorPaths, CliRejectsMissingValue)
+{
+    CliParser cli("t");
+    cli.addString("name", "", "x");
+    const char *argv[] = {"prog", "--name"};
+    EXPECT_EXIT(cli.parse(2, const_cast<char **>(argv)),
+                ::testing::ExitedWithCode(1), "needs a value");
+}
+
+TEST(ErrorPaths, DistributedVectorRejectsUnevenShard)
+{
+    std::vector<F> v(10);
+    EXPECT_DEATH(DistributedVector<F>::fromGlobal(v, 4),
+                 "divide evenly");
+}
+
+TEST(ErrorPaths, MsmSizeMismatchPanics)
+{
+    std::vector<G1Affine> points{G1Affine::generator()};
+    std::vector<U256> scalars;
+    EXPECT_DEATH(pippengerMsm(points, scalars), "size mismatch");
+}
+
+TEST(Degenerate, SizeTwoTransformEverywhere)
+{
+    // The smallest legal transform runs through the whole engine.
+    std::vector<F> x{F::fromU64(3), F::fromU64(5)};
+    UniNttEngine<F> engine(makeDgxA100(1));
+    auto dist = DistributedVector<F>::fromGlobal(x, 1);
+    engine.forward(dist);
+    auto out = dist.toGlobal();
+    EXPECT_EQ(out[0], F::fromU64(8));
+    EXPECT_EQ(out[1], -F::fromU64(2));
+    engine.inverse(dist);
+    EXPECT_EQ(dist.toGlobal(), x);
+}
+
+TEST(Degenerate, MinimumPerGpuChunk)
+{
+    // One element per GPU after the cross phase is still legal as
+    // long as there is at least one local bit... and the planner
+    // rejects anything smaller.
+    auto sys = makeDgxA100(8);
+    auto pl = planNtt(4, sys, 8); // chunk of 2 elements
+    EXPECT_EQ(pl.chunkElems(), 2u);
+
+    std::vector<F> x(16);
+    for (size_t i = 0; i < 16; ++i)
+        x[i] = F::fromU64(i + 1);
+    auto expect = x;
+    nttNoPermute(expect, NttDirection::Forward);
+    UniNttEngine<F> engine(sys);
+    auto dist = DistributedVector<F>::fromGlobal(x, 8);
+    engine.forward(dist);
+    EXPECT_EQ(dist.toGlobal(), expect);
+}
+
+TEST(Degenerate, BatchOfOneEqualsSingle)
+{
+    auto sys = makeDgxA100(2);
+    UniNttEngine<F> engine(sys);
+    auto a = engine.analyticRun(16, NttDirection::Forward, 1);
+    std::vector<F> x(1 << 16);
+    for (size_t i = 0; i < x.size(); ++i)
+        x[i] = F::fromU64(i * 7 + 1);
+    std::vector<DistributedVector<F>> batch{
+        DistributedVector<F>::fromGlobal(x, 2)};
+    auto b = engine.forwardBatch(batch);
+    EXPECT_DOUBLE_EQ(a.totalSeconds(), b.totalSeconds());
+}
+
+} // namespace
+} // namespace unintt

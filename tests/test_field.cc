@@ -1,0 +1,405 @@
+/**
+ * @file
+ * Unit and property tests for the field substrate: Goldilocks, BabyBear,
+ * the raw 256-bit integer layer, and the BN254 Montgomery fields.
+ * A typed test suite checks the field axioms once for every field.
+ */
+
+#include <gtest/gtest.h>
+
+#include "field/babybear.hh"
+#include "field/bn254.hh"
+#include "field/field_traits.hh"
+#include "field/goldilocks.hh"
+#include "field/u256.hh"
+#include "util/random.hh"
+
+namespace unintt {
+namespace {
+
+static_assert(NttField<Goldilocks>);
+static_assert(NttField<BabyBear>);
+static_assert(NttField<Bn254Fr>);
+
+// ---------------------------------------------------------------------
+// Typed field-axiom tests run for every field.
+// ---------------------------------------------------------------------
+
+template <typename F>
+class FieldAxioms : public ::testing::Test
+{
+};
+
+using AllFields = ::testing::Types<Goldilocks, BabyBear, Bn254Fr, Bn254Fq>;
+TYPED_TEST_SUITE(FieldAxioms, AllFields);
+
+TYPED_TEST(FieldAxioms, AdditiveIdentity)
+{
+    using F = TypeParam;
+    Rng rng(11);
+    for (int i = 0; i < 50; ++i) {
+        F a = F::fromU64(rng.next());
+        EXPECT_EQ(a + F::zero(), a);
+        EXPECT_EQ(F::zero() + a, a);
+    }
+}
+
+TYPED_TEST(FieldAxioms, MultiplicativeIdentity)
+{
+    using F = TypeParam;
+    Rng rng(12);
+    for (int i = 0; i < 50; ++i) {
+        F a = F::fromU64(rng.next());
+        EXPECT_EQ(a * F::one(), a);
+        EXPECT_EQ(F::one() * a, a);
+    }
+}
+
+TYPED_TEST(FieldAxioms, AdditionCommutesAndAssociates)
+{
+    using F = TypeParam;
+    Rng rng(13);
+    for (int i = 0; i < 50; ++i) {
+        F a = F::fromU64(rng.next());
+        F b = F::fromU64(rng.next());
+        F c = F::fromU64(rng.next());
+        EXPECT_EQ(a + b, b + a);
+        EXPECT_EQ((a + b) + c, a + (b + c));
+    }
+}
+
+TYPED_TEST(FieldAxioms, MultiplicationCommutesAndAssociates)
+{
+    using F = TypeParam;
+    Rng rng(14);
+    for (int i = 0; i < 50; ++i) {
+        F a = F::fromU64(rng.next());
+        F b = F::fromU64(rng.next());
+        F c = F::fromU64(rng.next());
+        EXPECT_EQ(a * b, b * a);
+        EXPECT_EQ((a * b) * c, a * (b * c));
+    }
+}
+
+TYPED_TEST(FieldAxioms, Distributivity)
+{
+    using F = TypeParam;
+    Rng rng(15);
+    for (int i = 0; i < 50; ++i) {
+        F a = F::fromU64(rng.next());
+        F b = F::fromU64(rng.next());
+        F c = F::fromU64(rng.next());
+        EXPECT_EQ(a * (b + c), a * b + a * c);
+    }
+}
+
+TYPED_TEST(FieldAxioms, SubtractionAndNegation)
+{
+    using F = TypeParam;
+    Rng rng(16);
+    for (int i = 0; i < 50; ++i) {
+        F a = F::fromU64(rng.next());
+        F b = F::fromU64(rng.next());
+        EXPECT_EQ(a - a, F::zero());
+        EXPECT_EQ(a + (-a), F::zero());
+        EXPECT_EQ(a - b, a + (-b));
+        EXPECT_EQ(-(-a), a);
+    }
+}
+
+TYPED_TEST(FieldAxioms, InverseIsMultiplicativeInverse)
+{
+    using F = TypeParam;
+    Rng rng(17);
+    for (int i = 0; i < 20; ++i) {
+        F a = F::fromU64(rng.next() | 1); // avoid zero-ish inputs
+        if (a.isZero())
+            continue;
+        EXPECT_EQ(a * a.inverse(), F::one());
+    }
+}
+
+TYPED_TEST(FieldAxioms, PowMatchesRepeatedMultiplication)
+{
+    using F = TypeParam;
+    F a = F::fromU64(987654321);
+    F acc = F::one();
+    for (uint64_t e = 0; e < 20; ++e) {
+        EXPECT_EQ(a.pow(e), acc);
+        acc *= a;
+    }
+}
+
+TYPED_TEST(FieldAxioms, GeneratorIsNonResidue)
+{
+    using F = TypeParam;
+    // g^((p-1)/2) must be -1: this is exactly what rootOfUnity() relies
+    // on for the two-adic subgroup construction.
+    if (F::kTwoAdicity < 1)
+        GTEST_SKIP();
+    F g = F::multiplicativeGenerator();
+    F half = F::rootOfUnity(1); // g^((p-1)/2)
+    EXPECT_EQ(half, -F::one());
+    EXPECT_NE(g, F::zero());
+}
+
+TYPED_TEST(FieldAxioms, RootOfUnityHasExactOrder)
+{
+    using F = TypeParam;
+    unsigned max_log = std::min<unsigned>(F::kTwoAdicity, 20);
+    for (unsigned log_n = 1; log_n <= max_log; log_n += 3) {
+        F w = F::rootOfUnity(log_n);
+        // w^(2^log_n) == 1
+        F acc = w;
+        for (unsigned i = 0; i < log_n; ++i)
+            acc *= acc;
+        EXPECT_EQ(acc, F::one()) << "log_n=" << log_n;
+        // w^(2^(log_n-1)) == -1 (exact order)
+        acc = w;
+        for (unsigned i = 0; i + 1 < log_n; ++i)
+            acc *= acc;
+        EXPECT_EQ(acc, -F::one()) << "log_n=" << log_n;
+    }
+}
+
+TYPED_TEST(FieldAxioms, FromU64RoundTripSmall)
+{
+    using F = TypeParam;
+    for (uint64_t v = 0; v < 100; ++v) {
+        F a = F::fromU64(v);
+        F sum = F::zero();
+        for (uint64_t i = 0; i < v; ++i)
+            sum += F::one();
+        EXPECT_EQ(a, sum);
+    }
+}
+
+TYPED_TEST(FieldAxioms, BatchInverseMatchesIndividual)
+{
+    using F = TypeParam;
+    Rng rng(18);
+    std::vector<F> xs;
+    for (int i = 0; i < 32; ++i)
+        xs.push_back(F::fromU64(rng.next() | 1));
+    auto inv = batchInverse(xs);
+    for (size_t i = 0; i < xs.size(); ++i)
+        EXPECT_EQ(inv[i], xs[i].inverse());
+}
+
+// ---------------------------------------------------------------------
+// Goldilocks-specific reduction edge cases.
+// ---------------------------------------------------------------------
+
+TEST(GoldilocksField, CanonicalValueRange)
+{
+    EXPECT_EQ(Goldilocks::fromU64(Goldilocks::kModulus).value(), 0u);
+    EXPECT_EQ(Goldilocks::fromU64(Goldilocks::kModulus - 1).value(),
+              Goldilocks::kModulus - 1);
+    EXPECT_EQ(Goldilocks::fromU64(~0ULL).value(),
+              ~0ULL - Goldilocks::kModulus);
+}
+
+TEST(GoldilocksField, AdditionWrapsCorrectly)
+{
+    Goldilocks a = Goldilocks::fromU64(Goldilocks::kModulus - 1);
+    EXPECT_EQ((a + Goldilocks::one()).value(), 0u);
+    EXPECT_EQ((a + a).value(), Goldilocks::kModulus - 2);
+}
+
+TEST(GoldilocksField, MulEdgeCases)
+{
+    Goldilocks pm1 = Goldilocks::fromU64(Goldilocks::kModulus - 1);
+    // (p-1)^2 = p^2 - 2p + 1 == 1 (mod p)
+    EXPECT_EQ(pm1 * pm1, Goldilocks::one());
+    // 2^32 * 2^32 = 2^64 == 2^32 - 1 (mod p)
+    Goldilocks t = Goldilocks::fromU64(1ULL << 32);
+    EXPECT_EQ((t * t).value(), (1ULL << 32) - 1);
+    // 2^48 * 2^48 = 2^96 == -1 (mod p)
+    Goldilocks s = Goldilocks::fromU64(1ULL << 48);
+    EXPECT_EQ(s * s, -Goldilocks::one());
+}
+
+TEST(GoldilocksField, MulMatchesNaiveBigint)
+{
+    Rng rng(19);
+    for (int i = 0; i < 200; ++i) {
+        uint64_t a = rng.next() % Goldilocks::kModulus;
+        uint64_t b = rng.next() % Goldilocks::kModulus;
+        unsigned __int128 prod =
+            static_cast<unsigned __int128>(a) * b;
+        uint64_t expected =
+            static_cast<uint64_t>(prod % Goldilocks::kModulus);
+        EXPECT_EQ((Goldilocks::fromU64(a) * Goldilocks::fromU64(b)).value(),
+                  expected);
+    }
+}
+
+TEST(GoldilocksField, TwoAdicRootKnownValue)
+{
+    // The canonical 2^32-th root from g=7: 7^((p-1)/2^32).
+    Goldilocks w = Goldilocks::rootOfUnity(32);
+    Goldilocks expect =
+        Goldilocks::fromU64(7).pow((Goldilocks::kModulus - 1) >> 32);
+    EXPECT_EQ(w, expect);
+}
+
+// ---------------------------------------------------------------------
+// BabyBear-specific checks.
+// ---------------------------------------------------------------------
+
+TEST(BabyBearField, MulMatchesNaive)
+{
+    Rng rng(20);
+    for (int i = 0; i < 200; ++i) {
+        uint64_t a = rng.next() % BabyBear::kModulus;
+        uint64_t b = rng.next() % BabyBear::kModulus;
+        uint64_t expected = a * b % BabyBear::kModulus;
+        EXPECT_EQ((BabyBear::fromU64(a) * BabyBear::fromU64(b)).value(),
+                  expected);
+    }
+}
+
+TEST(BabyBearField, ValueRoundTrip)
+{
+    for (uint64_t v : {0ULL, 1ULL, 2ULL, 2013265920ULL, 2013265921ULL}) {
+        EXPECT_EQ(BabyBear::fromU64(v).value(), v % BabyBear::kModulus);
+    }
+}
+
+// ---------------------------------------------------------------------
+// U256 limb layer.
+// ---------------------------------------------------------------------
+
+TEST(U256Int, AddSubRoundTrip)
+{
+    Rng rng(21);
+    for (int i = 0; i < 100; ++i) {
+        U256 a(rng.next(), rng.next(), rng.next(), rng.next());
+        U256 b(rng.next(), rng.next(), rng.next(), rng.next());
+        U256 sum, back;
+        uint64_t carry = addCarry(a, b, sum);
+        uint64_t borrow = subBorrow(sum, b, back);
+        // carry and borrow cancel: (a+b)-b == a mod 2^256
+        EXPECT_EQ(back, a);
+        EXPECT_EQ(carry, borrow);
+    }
+}
+
+TEST(U256Int, CompareOrders)
+{
+    U256 small(1);
+    U256 big(0, 0, 0, 1);
+    EXPECT_LT(cmp(small, big), 0);
+    EXPECT_GT(cmp(big, small), 0);
+    EXPECT_EQ(cmp(big, big), 0);
+    EXPECT_TRUE(geq(big, small));
+    EXPECT_TRUE(geq(big, big));
+    EXPECT_FALSE(geq(small, big));
+}
+
+TEST(U256Int, MulWideMatches128BitCases)
+{
+    // (2^64 - 1)^2 = 2^128 - 2^65 + 1
+    U256 a(~0ULL);
+    auto t = mulWide(a, a);
+    EXPECT_EQ(t[0], 1ULL);
+    EXPECT_EQ(t[1], ~0ULL - 1);
+    for (int i = 2; i < 8; ++i)
+        EXPECT_EQ(t[i], 0ULL);
+}
+
+TEST(U256Int, MulWideShiftStructure)
+{
+    // (x * 2^64) * (y * 2^64) has the product of x*y shifted 2 limbs up.
+    U256 x(0, 123456789ULL, 0, 0);
+    U256 y(0, 987654321ULL, 0, 0);
+    auto t = mulWide(x, y);
+    unsigned __int128 xy =
+        static_cast<unsigned __int128>(123456789ULL) * 987654321ULL;
+    EXPECT_EQ(t[2], static_cast<uint64_t>(xy));
+    EXPECT_EQ(t[3], static_cast<uint64_t>(xy >> 64));
+}
+
+TEST(U256Int, BitAccessors)
+{
+    U256 v(0b1010);
+    EXPECT_FALSE(v.bit(0));
+    EXPECT_TRUE(v.bit(1));
+    EXPECT_FALSE(v.bit(2));
+    EXPECT_TRUE(v.bit(3));
+    EXPECT_EQ(v.highestBit(), 3);
+    EXPECT_EQ(U256().highestBit(), -1);
+    U256 top(0, 0, 0, 1ULL << 63);
+    EXPECT_EQ(top.highestBit(), 255);
+}
+
+TEST(U256Int, HexString)
+{
+    U256 v(0xdeadbeefULL);
+    EXPECT_EQ(v.toHexString(),
+              "0x00000000000000000000000000000000000000000000000000000000"
+              "deadbeef");
+}
+
+// ---------------------------------------------------------------------
+// BN254 Montgomery fields.
+// ---------------------------------------------------------------------
+
+TEST(Bn254Field, ValueRoundTrip)
+{
+    Rng rng(22);
+    for (int i = 0; i < 50; ++i) {
+        uint64_t v = rng.next();
+        EXPECT_EQ(Bn254Fr::fromU64(v).value(), U256(v));
+    }
+}
+
+TEST(Bn254Field, FromU256ModulusIsNotAccepted)
+{
+    // p - 1 round-trips; the canonical embedding of small values holds.
+    U256 pm1;
+    subBorrow(Bn254FrParams::kModulus, U256(1), pm1);
+    Bn254Fr a = Bn254Fr::fromU256(pm1);
+    EXPECT_EQ(a, -Bn254Fr::one());
+}
+
+TEST(Bn254Field, KnownSquare)
+{
+    // 3^2 = 9 in canonical form.
+    EXPECT_EQ((Bn254Fr::fromU64(3) * Bn254Fr::fromU64(3)).value(), U256(9));
+}
+
+TEST(Bn254Field, FermatLittleTheorem)
+{
+    // a^(p-1) == 1 for random a != 0.
+    Rng rng(23);
+    U256 pm1;
+    subBorrow(Bn254FrParams::kModulus, U256(1), pm1);
+    for (int i = 0; i < 5; ++i) {
+        Bn254Fr a = Bn254Fr::fromU64(rng.next() | 1);
+        EXPECT_EQ(a.pow(pm1), Bn254Fr::one());
+    }
+}
+
+TEST(Bn254Field, TwoAdicityIs28)
+{
+    // (p-1) / 2^28 must be odd: root of order 2^28 exists and is exact.
+    Bn254Fr w = Bn254Fr::rootOfUnity(28);
+    Bn254Fr acc = w;
+    for (int i = 0; i < 27; ++i)
+        acc *= acc;
+    EXPECT_EQ(acc, -Bn254Fr::one());
+}
+
+TEST(Bn254Field, FqArithmetic)
+{
+    // Smoke check: the Fq instantiation is consistent too.
+    Bn254Fq a = Bn254Fq::fromU64(123456789);
+    Bn254Fq b = Bn254Fq::fromU64(987654321);
+    EXPECT_EQ((a * b).value(),
+              U256(123456789ULL * 987654321ULL));
+    EXPECT_EQ(a * a.inverse(), Bn254Fq::one());
+}
+
+} // namespace
+} // namespace unintt

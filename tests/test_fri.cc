@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Tests for the Merkle commitment layer and the FRI low-degree
+ * argument: completeness across sizes and parameters, and rejection
+ * of tampered roots, openings, fold values, final polynomials and
+ * degree claims.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/random.hh"
+#include "zkp/fri.hh"
+#include "zkp/merkle.hh"
+
+namespace unintt {
+namespace {
+
+using F = Goldilocks;
+
+std::vector<F>
+randomVector(size_t n, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<F> v(n);
+    for (auto &e : v)
+        e = F::fromU64(rng.next());
+    return v;
+}
+
+// ---------------------------------------------------------------------
+// Merkle layer.
+// ---------------------------------------------------------------------
+
+TEST(Merkle, HashIsDeterministicAndInputSensitive)
+{
+    auto a = hashLeaf({F::fromU64(1), F::fromU64(2)});
+    auto b = hashLeaf({F::fromU64(1), F::fromU64(2)});
+    auto c = hashLeaf({F::fromU64(1), F::fromU64(3)});
+    auto d = hashLeaf({F::fromU64(1)});
+    EXPECT_EQ(a, b);
+    EXPECT_NE(a, c);
+    EXPECT_NE(a, d); // length-prefixed
+    EXPECT_NE(compressDigests(a, c), compressDigests(c, a));
+}
+
+TEST(Merkle, OpenVerifyRoundTrip)
+{
+    std::vector<std::vector<F>> leaves;
+    for (int i = 0; i < 32; ++i)
+        leaves.push_back(randomVector(3, 100 + i));
+    MerkleTree tree(leaves);
+    EXPECT_EQ(tree.numLeaves(), 32u);
+    for (size_t i = 0; i < 32; ++i) {
+        auto path = tree.open(i);
+        EXPECT_EQ(path.siblings.size(), 5u);
+        EXPECT_TRUE(MerkleTree::verify(tree.root(), path, leaves[i]));
+    }
+}
+
+TEST(Merkle, WrongLeafOrPositionRejected)
+{
+    std::vector<std::vector<F>> leaves;
+    for (int i = 0; i < 16; ++i)
+        leaves.push_back(randomVector(2, 200 + i));
+    MerkleTree tree(leaves);
+    auto path = tree.open(5);
+    EXPECT_FALSE(MerkleTree::verify(tree.root(), path, leaves[6]));
+    auto moved = path;
+    moved.index = 6;
+    EXPECT_FALSE(MerkleTree::verify(tree.root(), moved, leaves[5]));
+    auto tampered = path;
+    tampered.siblings[2][0] += F::one();
+    EXPECT_FALSE(MerkleTree::verify(tree.root(), tampered, leaves[5]));
+}
+
+TEST(Merkle, SingleLeafTree)
+{
+    MerkleTree tree({{F::fromU64(7)}});
+    auto path = tree.open(0);
+    EXPECT_TRUE(path.siblings.empty());
+    EXPECT_TRUE(MerkleTree::verify(tree.root(), path, {F::fromU64(7)}));
+}
+
+// ---------------------------------------------------------------------
+// FRI.
+// ---------------------------------------------------------------------
+
+class FriTest : public ::testing::Test
+{
+  protected:
+    FriParams params_;
+};
+
+TEST_F(FriTest, CompletenessAcrossSizes)
+{
+    for (unsigned log_d : {4u, 6u, 8u, 10u}) {
+        auto coeffs = randomVector(1ULL << log_d, 300 + log_d);
+        Transcript pt("fri-test");
+        auto proof = friProve(coeffs, params_, pt);
+        EXPECT_EQ(proof.logDegreeBound, log_d);
+
+        Transcript vt("fri-test");
+        EXPECT_TRUE(friVerify(proof, params_, vt)) << log_d;
+    }
+}
+
+TEST_F(FriTest, CompletenessAcrossParams)
+{
+    auto coeffs = randomVector(1 << 7, 310);
+    for (unsigned blowup : {1u, 2u, 3u}) {
+        for (unsigned final_terms : {2u, 8u, 16u}) {
+            FriParams p;
+            p.logBlowup = blowup;
+            p.finalPolyTerms = final_terms;
+            p.numQueries = 10;
+            Transcript pt("fri-test");
+            auto proof = friProve(coeffs, p, pt);
+            Transcript vt("fri-test");
+            EXPECT_TRUE(friVerify(proof, p, vt))
+                << blowup << "/" << final_terms;
+        }
+    }
+}
+
+TEST_F(FriTest, RoundStructure)
+{
+    auto coeffs = randomVector(1 << 8, 320);
+    Transcript pt("fri-test");
+    auto proof = friProve(coeffs, params_, pt);
+    // 2^8 -> 8 terms means 5 committed rounds.
+    EXPECT_EQ(proof.roots.size(), 5u);
+    EXPECT_EQ(proof.finalPoly.size(), params_.finalPolyTerms);
+    EXPECT_EQ(proof.queries.size(), params_.numQueries);
+    for (const auto &q : proof.queries)
+        EXPECT_EQ(q.rounds.size(), 5u);
+}
+
+TEST_F(FriTest, TamperedFinalPolyRejected)
+{
+    auto coeffs = randomVector(1 << 8, 330);
+    Transcript pt("fri-test");
+    auto proof = friProve(coeffs, params_, pt);
+    proof.finalPoly[0] += F::one();
+    Transcript vt("fri-test");
+    EXPECT_FALSE(friVerify(proof, params_, vt));
+}
+
+TEST_F(FriTest, TruncatedFinalPolyRejected)
+{
+    // Claiming a lower degree than the data has must fail the chains.
+    auto coeffs = randomVector(1 << 8, 340);
+    Transcript pt("fri-test");
+    auto proof = friProve(coeffs, params_, pt);
+    proof.finalPoly.resize(2);
+    Transcript vt("fri-test");
+    EXPECT_FALSE(friVerify(proof, params_, vt));
+}
+
+TEST_F(FriTest, TamperedRootRejected)
+{
+    auto coeffs = randomVector(1 << 8, 350);
+    Transcript pt("fri-test");
+    auto proof = friProve(coeffs, params_, pt);
+    proof.roots[1][0] += F::one();
+    Transcript vt("fri-test");
+    EXPECT_FALSE(friVerify(proof, params_, vt));
+}
+
+TEST_F(FriTest, TamperedQueryValueRejected)
+{
+    auto coeffs = randomVector(1 << 8, 360);
+    Transcript pt("fri-test");
+    auto proof = friProve(coeffs, params_, pt);
+    proof.queries[3].rounds[2].lo += F::one();
+    Transcript vt("fri-test");
+    EXPECT_FALSE(friVerify(proof, params_, vt));
+}
+
+TEST_F(FriTest, WrongDegreeClaimRejected)
+{
+    // Prove at bound 2^8 but present the proof as bound 2^7: the
+    // round count no longer matches.
+    auto coeffs = randomVector(1 << 8, 370);
+    Transcript pt("fri-test");
+    auto proof = friProve(coeffs, params_, pt);
+    proof.logDegreeBound = 7;
+    Transcript vt("fri-test");
+    EXPECT_FALSE(friVerify(proof, params_, vt));
+}
+
+TEST_F(FriTest, NotLowDegreeCodewordRejected)
+{
+    // A malicious prover who folds a codeword that is NOT low-degree
+    // cannot produce a consistent final polynomial: emulate by proving
+    // honestly for g but splicing in f's first-round openings.
+    auto f = randomVector(1 << 8, 380);
+    auto g = randomVector(1 << 8, 381);
+    Transcript pf("fri-test");
+    auto proof_f = friProve(f, params_, pf);
+    Transcript pg("fri-test");
+    auto proof_g = friProve(g, params_, pg);
+    auto spliced = proof_g;
+    spliced.roots[0] = proof_f.roots[0];
+    for (size_t q = 0; q < spliced.queries.size(); ++q)
+        spliced.queries[q].rounds[0] = proof_f.queries[q].rounds[0];
+    Transcript vt("fri-test");
+    EXPECT_FALSE(friVerify(spliced, params_, vt));
+}
+
+TEST_F(FriTest, DifferentDomainsGiveDifferentTranscripts)
+{
+    auto coeffs = randomVector(1 << 6, 390);
+    Transcript pt("fri-test");
+    auto proof = friProve(coeffs, params_, pt);
+    Transcript vt("other-domain");
+    EXPECT_FALSE(friVerify(proof, params_, vt));
+}
+
+} // namespace
+} // namespace unintt

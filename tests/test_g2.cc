@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Tests for the Fq2 extension field (axioms, conjugation/norm
+ * identities, the complex-method square root) and the BN254 G2 twist
+ * (group laws, templated Pippenger MSM, and the cost relation the
+ * prover pipeline relies on).
+ */
+
+#include <gtest/gtest.h>
+
+#include "field/fq2.hh"
+#include "msm/g2.hh"
+#include "msm/pippenger.hh"
+#include "util/random.hh"
+
+namespace unintt {
+namespace {
+
+Fq2
+randomFq2(Rng &rng)
+{
+    return Fq2(Bn254Fq::fromU64(rng.next()), Bn254Fq::fromU64(rng.next()));
+}
+
+TEST(Fq2Field, RingAxioms)
+{
+    Rng rng(1);
+    for (int i = 0; i < 30; ++i) {
+        Fq2 a = randomFq2(rng);
+        Fq2 b = randomFq2(rng);
+        Fq2 c = randomFq2(rng);
+        EXPECT_EQ(a + b, b + a);
+        EXPECT_EQ((a + b) + c, a + (b + c));
+        EXPECT_EQ(a * b, b * a);
+        EXPECT_EQ((a * b) * c, a * (b * c));
+        EXPECT_EQ(a * (b + c), a * b + a * c);
+        EXPECT_EQ(a + Fq2::zero(), a);
+        EXPECT_EQ(a * Fq2::one(), a);
+        EXPECT_EQ(a - a, Fq2::zero());
+        EXPECT_EQ(-(-a), a);
+    }
+}
+
+TEST(Fq2Field, USquaredIsMinusOne)
+{
+    Fq2 u(Bn254Fq::zero(), Bn254Fq::one());
+    EXPECT_EQ(u * u, -Fq2::one());
+}
+
+TEST(Fq2Field, InverseAndNorm)
+{
+    Rng rng(2);
+    for (int i = 0; i < 20; ++i) {
+        Fq2 a = randomFq2(rng);
+        if (a.isZero())
+            continue;
+        EXPECT_EQ(a * a.inverse(), Fq2::one());
+        // norm(a) = a * conj(a) as a base-field element.
+        Fq2 n = a * a.conjugate();
+        EXPECT_EQ(n.c0(), a.norm());
+        EXPECT_TRUE(n.c1().isZero());
+    }
+}
+
+TEST(Fq2Field, NormIsMultiplicative)
+{
+    Rng rng(3);
+    for (int i = 0; i < 20; ++i) {
+        Fq2 a = randomFq2(rng);
+        Fq2 b = randomFq2(rng);
+        EXPECT_EQ((a * b).norm(), a.norm() * b.norm());
+    }
+}
+
+TEST(Fq2Field, PowMatchesRepeatedMul)
+{
+    Fq2 a(Bn254Fq::fromU64(12345), Bn254Fq::fromU64(678));
+    Fq2 acc = Fq2::one();
+    for (uint64_t e = 0; e < 16; ++e) {
+        EXPECT_EQ(a.pow(U256(e)), acc);
+        acc *= a;
+    }
+}
+
+TEST(Fq2Field, BaseSqrtRoundTrips)
+{
+    Rng rng(4);
+    for (int i = 0; i < 20; ++i) {
+        Bn254Fq a = Bn254Fq::fromU64(rng.next());
+        Bn254Fq sq = a * a;
+        auto r = fqSqrt(sq);
+        ASSERT_TRUE(r.has_value());
+        EXPECT_TRUE(*r == a || *r == -a);
+    }
+}
+
+TEST(Fq2Field, SqrtOfSquaresRoundTrips)
+{
+    Rng rng(5);
+    int found = 0;
+    for (int i = 0; i < 30; ++i) {
+        Fq2 a = randomFq2(rng);
+        Fq2 sq = a * a;
+        auto r = sq.sqrt();
+        ASSERT_TRUE(r.has_value()) << i;
+        EXPECT_EQ(*r * *r, sq);
+        ++found;
+    }
+    EXPECT_EQ(found, 30);
+}
+
+TEST(Fq2Field, SqrtRejectsNonResidues)
+{
+    // Exactly half the nonzero elements are squares; scanning a few
+    // candidates must find at least one nonresidue.
+    Rng rng(6);
+    int rejected = 0;
+    for (int i = 0; i < 20; ++i) {
+        Fq2 a = randomFq2(rng);
+        if (!a.sqrt())
+            ++rejected;
+    }
+    EXPECT_GT(rejected, 0);
+}
+
+TEST(G2Curve, BasePointOnCurve)
+{
+    auto p = G2Affine::generator();
+    EXPECT_TRUE(p.isOnCurve());
+    EXPECT_FALSE(p.isInfinity());
+    // The twist constant is 3/(9+u).
+    EXPECT_EQ(G2Params::b() * Fq2(Bn254Fq::fromU64(9), Bn254Fq::one()),
+              Fq2::fromU64(3));
+}
+
+TEST(G2Curve, GroupLaws)
+{
+    Rng rng(7);
+    auto base = G2Jacobian::generator();
+    auto p = base.scalarMul(U256(rng.next()));
+    auto q = base.scalarMul(U256(rng.next()));
+    auto r = base.scalarMul(U256(rng.next()));
+    EXPECT_TRUE(p.add(q) == q.add(p));
+    EXPECT_TRUE(p.add(q).add(r) == p.add(q.add(r)));
+    EXPECT_TRUE(p.dbl() == p.add(p));
+    EXPECT_TRUE(p.add(G2Jacobian::infinity()) == p);
+    EXPECT_TRUE(p.add(p.neg()).isInfinity());
+    EXPECT_TRUE(p.toAffine().isOnCurve());
+}
+
+TEST(G2Curve, MixedAddMatchesFull)
+{
+    Rng rng(8);
+    auto base = G2Jacobian::generator();
+    auto p = base.scalarMul(U256(rng.next()));
+    auto q = base.scalarMul(U256(rng.next()));
+    EXPECT_TRUE(p.addAffine(q.toAffine()) == p.add(q));
+    EXPECT_TRUE(p.addAffine(p.toAffine()) == p.dbl());
+}
+
+TEST(G2Curve, ScalarMulDistributes)
+{
+    auto g = G2Jacobian::generator();
+    uint64_t a = 123456789, b = 987654321;
+    EXPECT_TRUE(g.scalarMul(U256(a + b)) ==
+                g.scalarMul(U256(a)).add(g.scalarMul(U256(b))));
+}
+
+TEST(G2Msm, PippengerMatchesNaive)
+{
+    Rng rng(9);
+    std::vector<G2Affine> points;
+    std::vector<U256> scalars;
+    auto base = G2Jacobian::generator();
+    for (int i = 0; i < 20; ++i) {
+        points.push_back(base.scalarMul(U256(rng.next())).toAffine());
+        scalars.push_back(
+            U256(rng.next(), rng.next(), rng.next(), rng.next() >> 4));
+    }
+    EXPECT_TRUE(pippengerMsmG2(points, scalars) ==
+                naiveMsmOf<G2Jacobian>(points, scalars));
+}
+
+TEST(G2Msm, EngineG2CostsMoreThanG1)
+{
+    MsmEngine engine(makeDgxA100(4));
+    double g1 = engine.analyticRun(1 << 20, false).totalSeconds();
+    double g2 = engine.analyticRun(1 << 20, true).totalSeconds();
+    EXPECT_GT(g2, g1 * 1.5);
+    EXPECT_LT(g2, g1 * 5.0);
+}
+
+} // namespace
+} // namespace unintt

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Tests for the remaining substrate pieces: the Goldilocks quadratic
+ * extension (challenge field), the hash-based prover schedule, the
+ * forced-tile planner path, and the logging verbosity plumbing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "field/goldilocks_ext.hh"
+#include "ntt/radix2.hh"
+#include "unintt/engine.hh"
+#include "util/logging.hh"
+#include "util/random.hh"
+#include "zkp/prover.hh"
+
+namespace unintt {
+namespace {
+
+GoldilocksExt
+randomExt(Rng &rng)
+{
+    return GoldilocksExt(Goldilocks::fromU64(rng.next()),
+                         Goldilocks::fromU64(rng.next()));
+}
+
+TEST(GoldilocksExtField, FieldAxioms)
+{
+    Rng rng(1);
+    for (int i = 0; i < 30; ++i) {
+        auto a = randomExt(rng);
+        auto b = randomExt(rng);
+        auto c = randomExt(rng);
+        EXPECT_EQ(a + b, b + a);
+        EXPECT_EQ((a + b) + c, a + (b + c));
+        EXPECT_EQ(a * b, b * a);
+        EXPECT_EQ((a * b) * c, a * (b * c));
+        EXPECT_EQ(a * (b + c), a * b + a * c);
+        EXPECT_EQ(a + GoldilocksExt::zero(), a);
+        EXPECT_EQ(a * GoldilocksExt::one(), a);
+        EXPECT_EQ(a - a, GoldilocksExt::zero());
+    }
+}
+
+TEST(GoldilocksExtField, XSquaredIsNonResidue)
+{
+    GoldilocksExt x(Goldilocks::zero(), Goldilocks::one());
+    EXPECT_EQ(x * x, GoldilocksExt::fromU64(GoldilocksExt::kNonResidue));
+}
+
+TEST(GoldilocksExtField, InverseAndNorm)
+{
+    Rng rng(2);
+    for (int i = 0; i < 20; ++i) {
+        auto a = randomExt(rng);
+        if (a.isZero())
+            continue;
+        EXPECT_EQ(a * a.inverse(), GoldilocksExt::one());
+        auto n = a * a.conjugate();
+        EXPECT_EQ(n.c0(), a.norm());
+        EXPECT_TRUE(n.c1().isZero());
+        EXPECT_EQ((a * a).norm(), a.norm() * a.norm());
+    }
+}
+
+TEST(GoldilocksExtField, PowMatchesRepeatedMul)
+{
+    GoldilocksExt a(Goldilocks::fromU64(3), Goldilocks::fromU64(4));
+    GoldilocksExt acc = GoldilocksExt::one();
+    for (uint64_t e = 0; e < 12; ++e) {
+        EXPECT_EQ(a.pow(e), acc);
+        acc *= a;
+    }
+}
+
+TEST(GoldilocksExtField, ExtensionIsLargerThanBase)
+{
+    // The norm map is surjective-ish: random elements rarely land in
+    // the base field, so the extension genuinely adds entropy.
+    Rng rng(3);
+    int in_base = 0;
+    for (int i = 0; i < 50; ++i)
+        if (randomExt(rng).c1().isZero())
+            ++in_base;
+    EXPECT_EQ(in_base, 0);
+}
+
+TEST(StarkPipeline, ScheduleHasNoMsm)
+{
+    auto stages = ZkpPipeline::starkStages(20);
+    for (const auto &s : stages) {
+        EXPECT_NE(s.kind, ProverStage::Kind::MsmG1);
+        EXPECT_NE(s.kind, ProverStage::Kind::MsmG2);
+    }
+}
+
+TEST(StarkPipeline, BreakdownAndScaling)
+{
+    auto stages = ZkpPipeline::starkStages(22);
+    ZkpPipeline one(makeDgxA100(1), NttBackend::UniNtt);
+    ZkpPipeline eight(makeDgxA100(8), NttBackend::UniNtt);
+    auto b1 = one.estimateHashBased(stages);
+    auto b8 = eight.estimateHashBased(stages);
+    EXPECT_GT(b1.nttSeconds, 0.0);
+    EXPECT_GT(b1.otherSeconds, 0.0);
+    EXPECT_DOUBLE_EQ(b1.msmSeconds, 0.0);
+    EXPECT_LT(b8.total(), b1.total());
+}
+
+TEST(StarkPipeline, UniNttBeatsSingleGpuBackend)
+{
+    auto stages = ZkpPipeline::starkStages(24);
+    auto total = [&](NttBackend b) {
+        return ZkpPipeline(makeDgxA100(8), b)
+            .estimateHashBased(stages)
+            .total();
+    };
+    EXPECT_LT(total(NttBackend::UniNtt), total(NttBackend::SingleGpu));
+    EXPECT_LT(total(NttBackend::UniNtt), total(NttBackend::FourStep));
+}
+
+TEST(ForcedTile, PlannerHonorsOverrideAndBalances)
+{
+    auto sys = makeDgxA100(4);
+    auto pl = planNttWithTile(26, sys, 8, 8);
+    EXPECT_EQ(pl.logBlockTile, 8u);
+    unsigned total = 0;
+    for (const auto &p : pl.passes) {
+        EXPECT_LE(p.bits, 8u);
+        total += p.bits;
+    }
+    EXPECT_EQ(total, 24u);
+    // Balanced: widths differ by at most one bit.
+    unsigned min_b = 99, max_b = 0;
+    for (const auto &p : pl.passes) {
+        min_b = std::min(min_b, p.bits);
+        max_b = std::max(max_b, p.bits);
+    }
+    EXPECT_LE(max_b - min_b, 1u);
+}
+
+TEST(ForcedTileDeath, RejectsOversizedTile)
+{
+    auto sys = makeDgxA100(1);
+    EXPECT_EXIT(planNttWithTile(26, sys, 8, 30),
+                ::testing::ExitedWithCode(1), "does not fit");
+}
+
+TEST(ForcedTile, EngineConfigPlumbing)
+{
+    UniNttConfig cfg;
+    cfg.forceLogBlockTile = 7;
+    UniNttEngine<Goldilocks> engine(makeDgxA100(1), cfg);
+    EXPECT_EQ(engine.plan(20).logBlockTile, 7u);
+
+    // Functional correctness is tile-independent.
+    Rng rng(4);
+    std::vector<Goldilocks> x(1 << 10);
+    for (auto &v : x)
+        v = Goldilocks::fromU64(rng.next());
+    auto expect = x;
+    nttNoPermute(expect, NttDirection::Forward);
+    auto dist = DistributedVector<Goldilocks>::fromGlobal(x, 1);
+    engine.forward(dist);
+    EXPECT_EQ(dist.toGlobal(), expect);
+}
+
+TEST(Logging, VerbosityThresholds)
+{
+    Logger &log = Logger::instance();
+    LogLevel original = log.level();
+    log.setLevel(LogLevel::Quiet);
+    EXPECT_EQ(log.level(), LogLevel::Quiet);
+    // Suppressed emits must not crash.
+    inform("suppressed %d", 1);
+    warn("suppressed %d", 2);
+    debugLog("suppressed %d", 3);
+    log.setLevel(LogLevel::Debug);
+    EXPECT_EQ(log.level(), LogLevel::Debug);
+    log.setLevel(original);
+}
+
+} // namespace
+} // namespace unintt

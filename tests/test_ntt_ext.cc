@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Tests for the additional transform variants: the six-step
+ * cache-blocked NTT and the multithreaded host NTT, both validated
+ * against the reference implementations across sizes and splits.
+ */
+
+#include <gtest/gtest.h>
+
+#include "field/babybear.hh"
+#include "field/goldilocks.hh"
+#include "ntt/fourstep.hh"
+#include "ntt/parallel.hh"
+#include "ntt/radix4.hh"
+#include "ntt/reference.hh"
+#include "ntt/sixstep.hh"
+#include "util/random.hh"
+
+namespace unintt {
+namespace {
+
+template <NttField F>
+std::vector<F>
+randomVector(size_t n, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<F> v(n);
+    for (auto &e : v)
+        e = F::fromU64(rng.next());
+    return v;
+}
+
+TEST(SixStep, MatchesNaiveForAllSplits)
+{
+    using F = Goldilocks;
+    size_t n = 256;
+    auto x = randomVector<F>(n, 1);
+    auto expect = naiveDft(x, NttDirection::Forward);
+    for (size_t n1 = 1; n1 <= n; n1 *= 2)
+        EXPECT_EQ(sixStepNtt(x, n1, NttDirection::Forward), expect)
+            << "n1=" << n1;
+}
+
+TEST(SixStep, MatchesFourStep)
+{
+    using F = Goldilocks;
+    auto x = randomVector<F>(1 << 10, 2);
+    EXPECT_EQ(sixStepNtt(x, 32, NttDirection::Forward),
+              fourStepNtt(x, 32, NttDirection::Forward));
+}
+
+TEST(SixStep, InverseRoundTrip)
+{
+    using F = BabyBear;
+    auto x = randomVector<F>(1 << 9, 3);
+    auto fwd = sixStepNtt(x, 16, NttDirection::Forward);
+    auto back = sixStepNtt(fwd, 32, NttDirection::Inverse);
+    EXPECT_EQ(back, x);
+}
+
+TEST(SixStep, TransposeHelper)
+{
+    std::vector<int> m{1, 2, 3, 4, 5, 6}; // 2x3
+    auto t = detail::transposeMatrix(m, 2, 3);
+    EXPECT_EQ(t, (std::vector<int>{1, 4, 2, 5, 3, 6}));
+    auto back = detail::transposeMatrix(t, 3, 2);
+    EXPECT_EQ(back, m);
+}
+
+class ParallelNtt : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(ParallelNtt, MatchesSequentialForward)
+{
+    using F = Goldilocks;
+    unsigned threads = GetParam();
+    for (size_t n : {1u << 8, 1u << 13, 1u << 15}) {
+        auto x = randomVector<F>(n, 10 + n + threads);
+        auto expect = x;
+        nttNoPermute(expect, NttDirection::Forward);
+        auto got = x;
+        nttParallel(got, NttDirection::Forward, threads);
+        EXPECT_EQ(got, expect) << "n=" << n << " threads=" << threads;
+    }
+}
+
+TEST_P(ParallelNtt, RoundTrip)
+{
+    using F = Goldilocks;
+    unsigned threads = GetParam();
+    auto x = randomVector<F>(1 << 14, 20 + threads);
+    auto y = x;
+    nttParallel(y, NttDirection::Forward, threads);
+    nttParallel(y, NttDirection::Inverse, threads);
+    EXPECT_EQ(y, x);
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadCounts, ParallelNtt,
+                         ::testing::Values(0u, 1u, 2u, 3u, 8u));
+
+TEST(Radix4, MatchesNaiveAcrossSizes)
+{
+    using F = Goldilocks;
+    for (size_t n : {4u, 16u, 256u, 1024u}) {
+        auto x = randomVector<F>(n, 40 + n);
+        auto expect = naiveDft(x, NttDirection::Forward);
+        auto got = x;
+        nttRadix4ForwardInPlace(got);
+        EXPECT_EQ(got, expect) << n;
+    }
+}
+
+TEST(Radix4, MatchesRadix2BitReversedCore)
+{
+    // The DIF cores produce identical (bit-reversed) outputs.
+    using F = Goldilocks;
+    size_t n = 256;
+    auto x = randomVector<F>(n, 50);
+    auto a = x, b = x;
+    TwiddleTable<F> tw(n, NttDirection::Forward);
+    nttDifRadix4(a.data(), n, tw);
+    nttDif(b.data(), n, tw);
+    EXPECT_EQ(a, b);
+}
+
+TEST(Radix4, WorksOnBabyBear)
+{
+    using F = BabyBear;
+    auto x = randomVector<F>(64, 60);
+    auto expect = naiveDft(x, NttDirection::Forward);
+    nttRadix4ForwardInPlace(x);
+    EXPECT_EQ(x, expect);
+}
+
+TEST(Radix4, Pow4Predicate)
+{
+    EXPECT_TRUE(isPow4(1));
+    EXPECT_TRUE(isPow4(4));
+    EXPECT_TRUE(isPow4(64));
+    EXPECT_FALSE(isPow4(2));
+    EXPECT_FALSE(isPow4(8));
+    EXPECT_FALSE(isPow4(0));
+}
+
+TEST(ParallelNttSmall, FallsBackBelowThreshold)
+{
+    using F = Goldilocks;
+    auto x = randomVector<F>(64, 30);
+    auto expect = x;
+    nttNoPermute(expect, NttDirection::Forward);
+    nttParallel(x, NttDirection::Forward, 8);
+    EXPECT_EQ(x, expect);
+}
+
+} // namespace
+} // namespace unintt

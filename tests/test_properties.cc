@@ -1,0 +1,335 @@
+/**
+ * @file
+ * Parameterized property sweeps (TEST_P / INSTANTIATE_TEST_SUITE_P)
+ * across the engine, planner, performance model and fabrics: the
+ * grid-style invariants that single-example tests cannot cover.
+ */
+
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "baselines/fourstep_multigpu.hh"
+#include "field/goldilocks.hh"
+#include "ntt/radix2.hh"
+#include "unintt/engine.hh"
+#include "unintt/verify.hh"
+#include "util/random.hh"
+
+namespace unintt {
+namespace {
+
+using F = Goldilocks;
+
+std::vector<F>
+randomVector(size_t n, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<F> v(n);
+    for (auto &e : v)
+        e = F::fromU64(rng.next());
+    return v;
+}
+
+// ---------------------------------------------------------------------
+// Engine equivalence over the full (logN, gpus) grid.
+// ---------------------------------------------------------------------
+
+class EngineGrid
+    : public ::testing::TestWithParam<std::tuple<unsigned, unsigned>>
+{
+  protected:
+    unsigned logN() const { return std::get<0>(GetParam()); }
+    unsigned gpus() const { return std::get<1>(GetParam()); }
+    bool
+    valid() const
+    {
+        return logN() > log2Exact(gpus());
+    }
+};
+
+TEST_P(EngineGrid, ForwardMatchesReference)
+{
+    if (!valid())
+        GTEST_SKIP();
+    auto x = randomVector(1ULL << logN(), 1000 + logN() * 16 + gpus());
+    auto expect = x;
+    nttNoPermute(expect, NttDirection::Forward);
+
+    UniNttEngine<F> engine(makeDgxA100(gpus()));
+    auto dist = DistributedVector<F>::fromGlobal(x, gpus());
+    engine.forward(dist);
+    EXPECT_EQ(dist.toGlobal(), expect);
+}
+
+TEST_P(EngineGrid, RoundTripIsIdentity)
+{
+    if (!valid())
+        GTEST_SKIP();
+    auto x = randomVector(1ULL << logN(), 2000 + logN() * 16 + gpus());
+    UniNttEngine<F> engine(makeDgxA100(gpus()));
+    auto dist = DistributedVector<F>::fromGlobal(x, gpus());
+    engine.forward(dist);
+    engine.inverse(dist);
+    EXPECT_EQ(dist.toGlobal(), x);
+}
+
+TEST_P(EngineGrid, SpotCheckAcceptsEngineOutput)
+{
+    if (!valid())
+        GTEST_SKIP();
+    auto x = randomVector(1ULL << logN(), 3000 + logN() * 16 + gpus());
+    UniNttEngine<F> engine(makeDgxA100(gpus()));
+    auto dist = DistributedVector<F>::fromGlobal(x, gpus());
+    engine.forward(dist);
+    EXPECT_TRUE(spotCheckForward(x, dist.toGlobal(), 4));
+}
+
+TEST_P(EngineGrid, TransformIsLinear)
+{
+    if (!valid())
+        GTEST_SKIP();
+    size_t n = 1ULL << logN();
+    auto a = randomVector(n, 4000 + logN());
+    auto b = randomVector(n, 4001 + logN());
+    F c = F::fromU64(31337);
+
+    std::vector<F> combo(n);
+    for (size_t i = 0; i < n; ++i)
+        combo[i] = a[i] * c + b[i];
+
+    UniNttEngine<F> engine(makeDgxA100(gpus()));
+    auto da = DistributedVector<F>::fromGlobal(a, gpus());
+    auto db = DistributedVector<F>::fromGlobal(b, gpus());
+    auto dc = DistributedVector<F>::fromGlobal(combo, gpus());
+    engine.forward(da);
+    engine.forward(db);
+    engine.forward(dc);
+    auto fa = da.toGlobal(), fb = db.toGlobal(), fc = dc.toGlobal();
+    for (size_t i = 0; i < n; ++i)
+        ASSERT_EQ(fc[i], fa[i] * c + fb[i]) << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, EngineGrid,
+    ::testing::Combine(::testing::Values(4u, 5u, 6u, 8u, 10u, 12u),
+                       ::testing::Values(1u, 2u, 4u, 8u, 16u)),
+    [](const auto &info) {
+        return "logN" + std::to_string(std::get<0>(info.param)) + "gpus" +
+               std::to_string(std::get<1>(info.param));
+    });
+
+// ---------------------------------------------------------------------
+// Config fuzz: random toggle combinations stay bit-exact and the
+// fully-optimized configuration is never slower.
+// ---------------------------------------------------------------------
+
+class ConfigFuzz : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(ConfigFuzz, RandomConfigsBitExactAndNoFasterThanFull)
+{
+    Rng rng(GetParam());
+    UniNttConfig cfg;
+    cfg.fuseTwiddles = rng.below(2);
+    cfg.onTheFlyTwiddles = rng.below(2);
+    cfg.autoTuneTwiddles = false;
+    cfg.paddedSmem = rng.below(2);
+    cfg.warpShuffle = rng.below(2);
+    cfg.overlapComm = rng.below(2);
+    unsigned gpus = 1u << rng.below(4);
+    unsigned logN = 8 + rng.below(4);
+
+    auto x = randomVector(1ULL << logN, GetParam());
+    auto expect = x;
+    nttNoPermute(expect, NttDirection::Forward);
+
+    UniNttEngine<F> engine(makeDgxA100(gpus), cfg);
+    auto dist = DistributedVector<F>::fromGlobal(x, gpus);
+    auto rep = engine.forward(dist);
+    EXPECT_EQ(dist.toGlobal(), expect) << cfg.toString();
+
+    UniNttEngine<F> full(makeDgxA100(gpus));
+    auto full_rep = full.analyticRun(logN, NttDirection::Forward);
+    EXPECT_LE(full_rep.totalSeconds(), rep.totalSeconds() * 1.0001)
+        << cfg.toString();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ConfigFuzz, ::testing::Range(1u, 21u));
+
+// ---------------------------------------------------------------------
+// Planner invariants over a wide size range.
+// ---------------------------------------------------------------------
+
+class PlanSweep
+    : public ::testing::TestWithParam<std::tuple<unsigned, unsigned>>
+{
+};
+
+TEST_P(PlanSweep, StructureInvariants)
+{
+    auto [logN, gpus] = GetParam();
+    if (logN <= log2Exact(gpus))
+        GTEST_SKIP();
+    auto sys = makeDgxA100(gpus);
+    auto pl = planNtt(logN, sys, 8);
+    EXPECT_EQ(pl.logN, logN);
+    EXPECT_EQ(pl.logMg + pl.localBits(), logN);
+    unsigned sum = 0;
+    for (const auto &p : pl.passes) {
+        EXPECT_GE(p.bits, 1u);
+        EXPECT_LE(p.bits, pl.logBlockTile);
+        sum += p.bits;
+    }
+    EXPECT_EQ(sum, pl.localBits());
+    // Pass count is the minimum possible for the tile size.
+    unsigned min_passes =
+        (pl.localBits() + pl.logBlockTile - 1) / pl.logBlockTile;
+    EXPECT_EQ(pl.passes.size(), min_passes);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, PlanSweep,
+    ::testing::Combine(::testing::Range(4u, 31u, 3u),
+                       ::testing::Values(1u, 2u, 8u)));
+
+// ---------------------------------------------------------------------
+// Timing monotonicity: larger transforms never get faster; more GPUs
+// never increase the kernel-side work per GPU.
+// ---------------------------------------------------------------------
+
+class TimingMonotonic : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(TimingMonotonic, TimeGrowsWithSize)
+{
+    unsigned gpus = GetParam();
+    UniNttEngine<F> engine(makeDgxA100(gpus));
+    double prev = 0;
+    for (unsigned logN = 14; logN <= 28; logN += 2) {
+        double t = engine.analyticRun(logN, NttDirection::Forward)
+                       .totalSeconds();
+        EXPECT_GT(t, prev) << "logN=" << logN;
+        prev = t;
+    }
+}
+
+TEST_P(TimingMonotonic, InverseCostsNoLessThanForward)
+{
+    unsigned gpus = GetParam();
+    UniNttEngine<F> engine(makeDgxA100(gpus));
+    for (unsigned logN : {16u, 22u}) {
+        double fwd = engine.analyticRun(logN, NttDirection::Forward)
+                         .totalSeconds();
+        double inv = engine.analyticRun(logN, NttDirection::Inverse)
+                         .totalSeconds();
+        EXPECT_GE(inv, fwd); // the n^-1 scaling is extra work
+        EXPECT_LT(inv, fwd * 1.5);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Gpus, TimingMonotonic,
+                         ::testing::Values(1u, 2u, 4u, 8u));
+
+// ---------------------------------------------------------------------
+// Fabric cost properties across all fabrics.
+// ---------------------------------------------------------------------
+
+class FabricProps : public ::testing::TestWithParam<FabricKind>
+{
+  protected:
+    Interconnect
+    fabric() const
+    {
+        switch (GetParam()) {
+          case FabricKind::NvSwitch:
+            return makeNvSwitchFabric();
+          case FabricKind::Ring:
+            return makeRingFabric();
+          case FabricKind::Pcie:
+            return makePcieFabric();
+        }
+        return makeNvSwitchFabric();
+    }
+};
+
+TEST_P(FabricProps, CostsAreMonotonicInBytes)
+{
+    auto f = fabric();
+    double prev_p = 0, prev_a = 0;
+    for (uint64_t bytes = 1 << 10; bytes <= 1 << 28; bytes <<= 4) {
+        double p = f.pairwiseExchangeTime(bytes, 1);
+        double a = f.allToAllTime(bytes, 8);
+        EXPECT_GT(p, prev_p);
+        EXPECT_GT(a, prev_a);
+        prev_p = p;
+        prev_a = a;
+    }
+}
+
+TEST_P(FabricProps, LatencyFloorsHold)
+{
+    auto f = fabric();
+    EXPECT_GE(f.pairwiseExchangeTime(1, 1), f.linkLatency);
+    EXPECT_GE(f.allToAllTime(1, 2), f.linkLatency);
+    EXPECT_GE(f.hostTransferTime(1), f.linkLatency);
+}
+
+TEST_P(FabricProps, AllToAllGrowsWithGpuCountAtFixedChunk)
+{
+    auto f = fabric();
+    // Fixed per-GPU chunk in flight: more peers means more rounds.
+    uint64_t bytes = 16 << 20;
+    EXPECT_LE(f.allToAllTime(bytes, 2), f.allToAllTime(bytes, 16));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFabrics, FabricProps,
+                         ::testing::Values(FabricKind::NvSwitch,
+                                           FabricKind::Ring,
+                                           FabricKind::Pcie));
+
+// ---------------------------------------------------------------------
+// Four-step baseline stays correct over the grid too.
+// ---------------------------------------------------------------------
+
+class FourStepGrid : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(FourStepGrid, MatchesReferenceNaturalOrder)
+{
+    unsigned gpus = GetParam();
+    size_t n = 1 << 8;
+    auto x = randomVector(n, 5000 + gpus);
+    auto expect = x;
+    nttForwardInPlace(expect);
+    FourStepMultiGpuNtt<F> ntt(makeDgxA100(gpus));
+    auto dist = DistributedVector<F>::fromGlobal(x, gpus);
+    ntt.forward(dist);
+    EXPECT_EQ(dist.toGlobal(), expect);
+}
+
+TEST_P(FourStepGrid, PriorArtVariantIsSlowerButCorrect)
+{
+    unsigned gpus = GetParam();
+    auto sys = makeDgxA100(gpus);
+    FourStepMultiGpuNtt<F> tuned(sys, FourStepOptions::tuned());
+    FourStepMultiGpuNtt<F> prior(sys, FourStepOptions::priorArt());
+    EXPECT_LE(tuned.analyticRun(24, NttDirection::Forward).totalSeconds(),
+              prior.analyticRun(24, NttDirection::Forward).totalSeconds());
+
+    auto x = randomVector(1 << 8, 6000 + gpus);
+    auto expect = x;
+    nttForwardInPlace(expect);
+    auto dist = DistributedVector<F>::fromGlobal(x, gpus);
+    prior.forward(dist);
+    EXPECT_EQ(dist.toGlobal(), expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(Gpus, FourStepGrid,
+                         ::testing::Values(1u, 2u, 4u, 8u, 16u));
+
+} // namespace
+} // namespace unintt

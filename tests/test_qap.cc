@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Tests for the R1CS layer and the end-to-end QAP divisibility
+ * argument: circuit satisfiability, completeness of honest proofs,
+ * and rejection of every tampering avenue (wrong witness, forged
+ * openings, mismatched commitments, replayed challenges).
+ */
+
+#include <gtest/gtest.h>
+
+#include "field/goldilocks.hh"
+#include "util/random.hh"
+#include "zkp/qap_argument.hh"
+#include "zkp/r1cs.hh"
+
+namespace unintt {
+namespace {
+
+TEST(R1csTest, CubicCircuitSatisfiability)
+{
+    using F = Goldilocks;
+    size_t x_var = 0, out_var = 0;
+    auto cs = cubicDemoCircuit<F>(x_var, out_var);
+    EXPECT_EQ(cs.constraints().size(), 4u);
+
+    // x = 3: 27 + 3 + 5 = 35.
+    auto witness = cubicDemoWitness(F::fromU64(3));
+    EXPECT_TRUE(cs.isSatisfied(witness));
+    EXPECT_EQ(witness[out_var], F::fromU64(35));
+
+    // Corrupt an intermediate: no longer satisfied.
+    witness[2] += F::one();
+    EXPECT_FALSE(cs.isSatisfied(witness));
+
+    // Wrong constant slot: rejected outright.
+    auto bad = cubicDemoWitness(F::fromU64(3));
+    bad[0] = F::fromU64(2);
+    EXPECT_FALSE(cs.isSatisfied(bad));
+}
+
+TEST(R1csTest, GateHelpers)
+{
+    using F = Goldilocks;
+    R1cs<F> cs;
+    size_t x = cs.allocVar();
+    size_t y = cs.allocVar();
+    size_t p = cs.allocVar();
+    size_t s = cs.allocVar();
+    cs.addMulGate(x, y, p);
+    cs.addAddGate(x, y, s);
+    cs.addConstantConstraint(x, F::fromU64(6));
+
+    std::vector<F> w{F::one(), F::fromU64(6), F::fromU64(7),
+                     F::fromU64(42), F::fromU64(13)};
+    EXPECT_TRUE(cs.isSatisfied(w));
+    w[3] = F::fromU64(41);
+    EXPECT_FALSE(cs.isSatisfied(w));
+}
+
+TEST(R1csTest, LinearCombinationEvaluation)
+{
+    using F = Goldilocks;
+    LinearCombination<F> lc;
+    lc.add(0, F::fromU64(10)).add(1, F::fromU64(3));
+    std::vector<F> w{F::one(), F::fromU64(4)};
+    EXPECT_EQ(lc.evaluate(w), F::fromU64(22));
+}
+
+class QapArgumentTest : public ::testing::Test
+{
+  protected:
+    QapArgumentTest() : argument_(16)
+    {
+        cs_ = cubicDemoCircuit<Bn254Fr>(xVar_, outVar_);
+        witness_ = cubicDemoWitness(Bn254Fr::fromU64(3));
+    }
+
+    size_t xVar_ = 0, outVar_ = 0;
+    R1cs<Bn254Fr> cs_;
+    std::vector<Bn254Fr> witness_;
+    QapArgument argument_;
+};
+
+TEST_F(QapArgumentTest, HonestProofVerifies)
+{
+    auto proof = argument_.prove(cs_, witness_);
+    EXPECT_TRUE(argument_.verify(cs_, proof));
+}
+
+TEST_F(QapArgumentTest, DifferentWitnessesBothProve)
+{
+    // Any satisfying witness proves; the argument is about the
+    // relation, not one fixed assignment.
+    for (uint64_t x : {1ULL, 9ULL, 123456ULL}) {
+        auto w = cubicDemoWitness(Bn254Fr::fromU64(x));
+        ASSERT_TRUE(cs_.isSatisfied(w));
+        auto proof = argument_.prove(cs_, w);
+        EXPECT_TRUE(argument_.verify(cs_, proof)) << x;
+    }
+}
+
+TEST_F(QapArgumentTest, TamperedOpeningValueRejected)
+{
+    auto proof = argument_.prove(cs_, witness_);
+    proof.openA.value += Bn254Fr::one();
+    EXPECT_FALSE(argument_.verify(cs_, proof));
+}
+
+TEST_F(QapArgumentTest, TamperedQuotientRejected)
+{
+    auto proof = argument_.prove(cs_, witness_);
+    proof.openH.value += Bn254Fr::one();
+    EXPECT_FALSE(argument_.verify(cs_, proof));
+}
+
+TEST_F(QapArgumentTest, SwappedCommitmentRejected)
+{
+    auto proof = argument_.prove(cs_, witness_);
+    std::swap(proof.commitA, proof.commitB);
+    // The challenge changes and the openings no longer match.
+    EXPECT_FALSE(argument_.verify(cs_, proof));
+}
+
+TEST_F(QapArgumentTest, MixedProofsRejected)
+{
+    // Splicing openings from a different proof run must fail because
+    // the Fiat-Shamir challenge binds openings to the commitments.
+    auto proof1 = argument_.prove(cs_, witness_);
+    auto w2 = cubicDemoWitness(Bn254Fr::fromU64(4));
+    auto proof2 = argument_.prove(cs_, w2);
+    proof1.openA = proof2.openA;
+    EXPECT_FALSE(argument_.verify(cs_, proof1));
+}
+
+TEST_F(QapArgumentTest, UnsatisfiedWitnessIsFatalAtProve)
+{
+    auto bad = witness_;
+    bad[2] += Bn254Fr::one();
+    EXPECT_EXIT(argument_.prove(cs_, bad), ::testing::ExitedWithCode(1),
+                "does not satisfy");
+}
+
+TEST(QapArgumentSizes, LargerRandomSystems)
+{
+    // A chain of multiplication gates: w[i+1] = w[i] * w[1].
+    Rng rng(5);
+    R1cs<Bn254Fr> cs;
+    size_t base = cs.allocVar();
+    std::vector<Bn254Fr> witness{Bn254Fr::one(),
+                                 Bn254Fr::fromU64(rng.next() | 1)};
+    size_t prev = base;
+    for (int i = 0; i < 20; ++i) {
+        size_t next = cs.allocVar();
+        cs.addMulGate(prev, base, next);
+        witness.push_back(witness[prev] * witness[base]);
+        prev = next;
+    }
+    ASSERT_TRUE(cs.isSatisfied(witness));
+
+    QapArgument argument(32);
+    auto proof = argument.prove(cs, witness);
+    EXPECT_TRUE(argument.verify(cs, proof));
+
+    proof.openC.value += Bn254Fr::one();
+    EXPECT_FALSE(argument.verify(cs, proof));
+}
+
+} // namespace
+} // namespace unintt

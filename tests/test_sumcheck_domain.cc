@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Tests for the evaluation-domain toolbox (vanishing polynomial,
+ * barycentric Lagrange evaluation) and the sumcheck protocol
+ * (completeness, every cheating avenue rejected, transcript binding).
+ */
+
+#include <gtest/gtest.h>
+
+#include "field/goldilocks.hh"
+#include "util/random.hh"
+#include "zkp/domain.hh"
+#include "zkp/polynomial.hh"
+#include "zkp/sumcheck.hh"
+
+namespace unintt {
+namespace {
+
+using F = Goldilocks;
+
+std::vector<F>
+randomVector(size_t n, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<F> v(n);
+    for (auto &e : v)
+        e = F::fromU64(rng.next());
+    return v;
+}
+
+// ---------------------------------------------------------------------
+// Evaluation domain.
+// ---------------------------------------------------------------------
+
+TEST(Domain, ElementsAndMembership)
+{
+    EvaluationDomain<F> domain(4);
+    EXPECT_EQ(domain.size(), 16u);
+    auto elems = domain.elements();
+    ASSERT_EQ(elems.size(), 16u);
+    EXPECT_EQ(elems[0], F::one());
+    for (const auto &e : elems) {
+        EXPECT_TRUE(domain.contains(e));
+        EXPECT_TRUE(domain.vanishingAt(e).isZero());
+    }
+    EXPECT_FALSE(domain.contains(F::fromU64(12345678901ULL)));
+    EXPECT_EQ(domain.element(5), elems[5]);
+    EXPECT_EQ(domain.element(21), elems[5]); // wraps mod n
+}
+
+TEST(Domain, LagrangeBasisIsKroneckerOnDomainPolynomials)
+{
+    EvaluationDomain<F> domain(3);
+    // For any evals vector, barycentric evaluation at off-domain x
+    // must match evaluating the interpolated polynomial.
+    auto evals = randomVector(8, 1);
+    auto coeffs = domain.interpolate(evals);
+    Polynomial<F> p(coeffs);
+    Rng rng(2);
+    for (int i = 0; i < 5; ++i) {
+        F x = F::fromU64(rng.next());
+        EXPECT_EQ(domain.evaluateFromValues(evals, x), p.evaluate(x));
+    }
+}
+
+TEST(Domain, BarycentricOnDomainReturnsTableEntry)
+{
+    EvaluationDomain<F> domain(3);
+    auto evals = randomVector(8, 3);
+    auto elems = domain.elements();
+    for (size_t i = 0; i < elems.size(); ++i)
+        EXPECT_EQ(domain.evaluateFromValues(evals, elems[i]), evals[i]);
+}
+
+TEST(Domain, LagrangeSumsToOne)
+{
+    // sum_i L_i(x) == 1 for every x (partition of unity).
+    EvaluationDomain<F> domain(4);
+    Rng rng(4);
+    for (int t = 0; t < 3; ++t) {
+        F x = F::fromU64(rng.next());
+        auto lagrange = domain.lagrangeAt(x);
+        F sum;
+        for (const auto &l : lagrange)
+            sum += l;
+        EXPECT_EQ(sum, F::one());
+    }
+}
+
+TEST(Domain, EvaluateInterpolateRoundTrip)
+{
+    EvaluationDomain<F> domain(5);
+    auto coeffs = randomVector(32, 5);
+    auto evals = domain.evaluate(coeffs);
+    EXPECT_EQ(domain.interpolate(evals), coeffs);
+}
+
+// ---------------------------------------------------------------------
+// Sumcheck.
+// ---------------------------------------------------------------------
+
+TEST(Sumcheck, MultilinearEvalAgreesOnHypercubeCorners)
+{
+    auto table = randomVector(16, 10);
+    for (size_t idx = 0; idx < 16; ++idx) {
+        std::vector<F> corner(4);
+        for (unsigned b = 0; b < 4; ++b)
+            corner[b] = (idx >> b) & 1 ? F::one() : F::zero();
+        EXPECT_EQ(multilinearEval(table, corner), table[idx]) << idx;
+    }
+}
+
+TEST(Sumcheck, MultilinearEvalIsMultilinear)
+{
+    // Linear in each variable: f(.., r, ..) interpolates f(.., 0, ..)
+    // and f(.., 1, ..).
+    auto table = randomVector(8, 11);
+    Rng rng(12);
+    std::vector<F> p{F::fromU64(rng.next()), F::fromU64(rng.next()),
+                     F::fromU64(rng.next())};
+    for (unsigned v = 0; v < 3; ++v) {
+        auto p0 = p, p1 = p;
+        p0[v] = F::zero();
+        p1[v] = F::one();
+        F f0 = multilinearEval(table, p0);
+        F f1 = multilinearEval(table, p1);
+        EXPECT_EQ(multilinearEval(table, p), f0 + p[v] * (f1 - f0));
+    }
+}
+
+TEST(Sumcheck, CompletenessAcrossSizes)
+{
+    for (unsigned m : {1u, 3u, 6u, 10u}) {
+        auto table = randomVector(1ULL << m, 20 + m);
+        Transcript pt("sumcheck-test");
+        auto proof = sumcheckProve(table, pt);
+        EXPECT_EQ(proof.claimedSum, hypercubeSum(table));
+
+        Transcript vt("sumcheck-test");
+        bool ok = sumcheckVerify(
+            proof, m, vt,
+            [&](const std::vector<F> &r) {
+                return multilinearEval(table, r);
+            });
+        EXPECT_TRUE(ok) << "m=" << m;
+    }
+}
+
+TEST(Sumcheck, FalseClaimRejected)
+{
+    auto table = randomVector(32, 30);
+    Transcript pt("sumcheck-test");
+    auto proof = sumcheckProve(table, pt);
+    proof.claimedSum += F::one();
+
+    Transcript vt("sumcheck-test");
+    EXPECT_FALSE(sumcheckVerify(proof, 5, vt,
+                                [&](const std::vector<F> &r) {
+                                    return multilinearEval(table, r);
+                                }));
+}
+
+TEST(Sumcheck, TamperedRoundRejected)
+{
+    auto table = randomVector(32, 31);
+    Transcript pt("sumcheck-test");
+    auto proof = sumcheckProve(table, pt);
+    proof.rounds[2].at0 += F::one();
+
+    Transcript vt("sumcheck-test");
+    EXPECT_FALSE(sumcheckVerify(proof, 5, vt,
+                                [&](const std::vector<F> &r) {
+                                    return multilinearEval(table, r);
+                                }));
+}
+
+TEST(Sumcheck, WrongTableCaughtByOracle)
+{
+    // A prover who proves over a different polynomial than the oracle
+    // fails the final check with overwhelming probability.
+    auto table = randomVector(32, 32);
+    auto other = randomVector(32, 33);
+    Transcript pt("sumcheck-test");
+    auto proof = sumcheckProve(other, pt);
+
+    Transcript vt("sumcheck-test");
+    EXPECT_FALSE(sumcheckVerify(proof, 5, vt,
+                                [&](const std::vector<F> &r) {
+                                    return multilinearEval(table, r);
+                                }));
+}
+
+TEST(Sumcheck, WrongRoundCountRejected)
+{
+    auto table = randomVector(16, 34);
+    Transcript pt("sumcheck-test");
+    auto proof = sumcheckProve(table, pt);
+    Transcript vt("sumcheck-test");
+    EXPECT_FALSE(sumcheckVerify(proof, 5, vt,
+                                [&](const std::vector<F> &r) {
+                                    return multilinearEval(table, r);
+                                }));
+}
+
+} // namespace
+} // namespace unintt

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Tests for the Chrome trace-event export: structural validity of the
+ * emitted JSON, track assignment, and the file-writing path.
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "field/goldilocks.hh"
+#include "sim/trace.hh"
+#include "unintt/engine.hh"
+#include "util/random.hh"
+
+namespace unintt {
+namespace {
+
+SimReport
+sampleReport()
+{
+    UniNttEngine<Goldilocks> engine(makeDgxA100(4));
+    return engine.analyticRun(16, NttDirection::Forward);
+}
+
+size_t
+countOccurrences(const std::string &haystack, const std::string &needle)
+{
+    size_t count = 0, pos = 0;
+    while ((pos = haystack.find(needle, pos)) != std::string::npos) {
+        ++count;
+        pos += needle.size();
+    }
+    return count;
+}
+
+TEST(Trace, EmitsOneEventPerPhase)
+{
+    auto report = sampleReport();
+    auto json = toChromeTrace(report, "test");
+    // One complete event per phase plus metadata; hidden comm adds
+    // overlap events.
+    size_t hidden = 0;
+    for (const auto &p : report.phases())
+        if (p.hiddenSeconds > 0)
+            ++hidden;
+    EXPECT_EQ(countOccurrences(json, "\"ph\": \"X\""),
+              report.phases().size() + hidden);
+    EXPECT_EQ(countOccurrences(json, "\"ph\": \"M\""), 1u);
+}
+
+TEST(Trace, BalancedBracketsAndTracks)
+{
+    auto json = toChromeTrace(sampleReport(), "proc \"x\"");
+    EXPECT_EQ(countOccurrences(json, "{"), countOccurrences(json, "}"));
+    EXPECT_EQ(json.front(), '[');
+    EXPECT_EQ(json[json.size() - 2], ']'); // trailing newline
+    EXPECT_GT(countOccurrences(json, "\"tid\": \"kernel\""), 0u);
+    EXPECT_GT(countOccurrences(json, "\"tid\": \"comm\""), 0u);
+    // The quote in the process name is escaped.
+    EXPECT_NE(json.find("proc \\\"x\\\""), std::string::npos);
+}
+
+TEST(Trace, EventsAreTimeOrdered)
+{
+    auto json = toChromeTrace(sampleReport(), "test");
+    // Extract "ts": values on the kernel track and check monotonicity.
+    std::istringstream is(json);
+    std::string line;
+    double prev = -1;
+    while (std::getline(is, line)) {
+        auto kpos = line.find("\"tid\": \"kernel\"");
+        auto tpos = line.find("\"ts\": ");
+        if (kpos == std::string::npos || tpos == std::string::npos)
+            continue;
+        double ts = std::strtod(line.c_str() + tpos + 6, nullptr);
+        EXPECT_GE(ts, prev);
+        prev = ts;
+    }
+    EXPECT_GE(prev, 0.0);
+}
+
+TEST(Trace, WritesFile)
+{
+    std::string path = "/tmp/unintt_trace_test.json";
+    writeChromeTrace(sampleReport(), "test", path);
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::stringstream buf;
+    buf << in.rdbuf();
+    EXPECT_EQ(buf.str(), toChromeTrace(sampleReport(), "test"));
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace unintt

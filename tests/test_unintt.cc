@@ -1,0 +1,328 @@
+/**
+ * @file
+ * Tests for the UniNTT core: planner invariants, bit-exact equivalence
+ * of the hierarchical engine with the reference transforms across GPU
+ * counts, fields and optimization configurations, and the directional
+ * properties of the simulated timings.
+ */
+
+#include <gtest/gtest.h>
+
+#include "field/babybear.hh"
+#include "field/bn254.hh"
+#include "field/goldilocks.hh"
+#include "ntt/radix2.hh"
+#include "ntt/reference.hh"
+#include "unintt/engine.hh"
+#include "util/random.hh"
+
+namespace unintt {
+namespace {
+
+template <NttField F>
+std::vector<F>
+randomVector(size_t n, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<F> v(n);
+    for (auto &e : v)
+        e = F::fromU64(rng.next());
+    return v;
+}
+
+// ---------------------------------------------------------------------
+// Planner.
+// ---------------------------------------------------------------------
+
+TEST(Plan, BitsCoverTransform)
+{
+    for (unsigned gpus : {1u, 2u, 4u, 8u}) {
+        auto sys = makeDgxA100(gpus);
+        for (unsigned logN : {10u, 16u, 20u, 24u, 28u}) {
+            auto pl = planNtt(logN, sys, 8);
+            EXPECT_EQ(pl.logMg, log2Exact(gpus));
+            unsigned local = 0;
+            for (const auto &p : pl.passes) {
+                EXPECT_GE(p.bits, 1u);
+                EXPECT_LE(p.bits, pl.logBlockTile);
+                EXPECT_EQ(p.warpRounds,
+                          (p.bits + pl.logWarp - 1) / pl.logWarp);
+                local += p.bits;
+            }
+            EXPECT_EQ(local + pl.logMg, logN);
+            EXPECT_EQ(pl.chunkElems(), (1ULL << logN) / gpus);
+        }
+    }
+}
+
+TEST(Plan, AvoidsTinyTrailingPass)
+{
+    auto sys = makeDgxA100(1);
+    auto pl = planNtt(23, sys, 8); // 23 = 11 + 11 + 1 naively
+    for (const auto &p : pl.passes)
+        EXPECT_GE(p.bits, 2u) << pl.toString();
+}
+
+TEST(Plan, ToStringMentionsStructure)
+{
+    auto pl = planNtt(20, makeDgxA100(4), 8);
+    auto s = pl.toString();
+    EXPECT_NE(s.find("2^20"), std::string::npos);
+    EXPECT_NE(s.find("mgpu(2)"), std::string::npos);
+    EXPECT_NE(s.find("pass("), std::string::npos);
+}
+
+TEST(PlanDeath, RejectsOversizedTransform)
+{
+    auto sys = makeDgxA100(1);
+    EXPECT_EXIT(planNtt(40, sys, 8), ::testing::ExitedWithCode(1),
+                "does not fit");
+}
+
+TEST(PlanDeath, RejectsTooManyGpusForSize)
+{
+    auto sys = makeDgxA100(8);
+    EXPECT_EXIT(planNtt(3, sys, 8), ::testing::ExitedWithCode(1),
+                "too small");
+}
+
+// ---------------------------------------------------------------------
+// Functional equivalence with the reference transforms.
+// ---------------------------------------------------------------------
+
+template <typename F>
+class EngineEquivalence : public ::testing::Test
+{
+};
+
+using EngineFields = ::testing::Types<Goldilocks, BabyBear, Bn254Fr>;
+TYPED_TEST_SUITE(EngineEquivalence, EngineFields);
+
+TYPED_TEST(EngineEquivalence, ForwardMatchesReferenceAcrossGpuCounts)
+{
+    using F = TypeParam;
+    for (unsigned gpus : {1u, 2u, 4u, 8u}) {
+        for (unsigned logN : {4u, 7u, 10u}) {
+            if (logN <= log2Exact(gpus))
+                continue;
+            auto x = randomVector<F>(1ULL << logN, 40 + logN + gpus);
+            auto expect = x;
+            nttNoPermute(expect, NttDirection::Forward);
+
+            UniNttEngine<F> engine(makeDgxA100(gpus));
+            auto dist = DistributedVector<F>::fromGlobal(x, gpus);
+            engine.forward(dist);
+            EXPECT_EQ(dist.toGlobal(), expect)
+                << "gpus=" << gpus << " logN=" << logN;
+        }
+    }
+}
+
+TYPED_TEST(EngineEquivalence, InverseMatchesReference)
+{
+    using F = TypeParam;
+    for (unsigned gpus : {1u, 4u}) {
+        unsigned logN = 9;
+        auto x = randomVector<F>(1ULL << logN, 50 + gpus);
+        auto expect = x;
+        nttNoPermute(expect, NttDirection::Inverse);
+
+        UniNttEngine<F> engine(makeDgxA100(gpus));
+        auto dist = DistributedVector<F>::fromGlobal(x, gpus);
+        engine.inverse(dist);
+        EXPECT_EQ(dist.toGlobal(), expect) << "gpus=" << gpus;
+    }
+}
+
+TYPED_TEST(EngineEquivalence, RoundTripRestoresInput)
+{
+    using F = TypeParam;
+    for (unsigned gpus : {2u, 8u}) {
+        auto x = randomVector<F>(1 << 10, 60 + gpus);
+        UniNttEngine<F> engine(makeDgxA100(gpus));
+        auto dist = DistributedVector<F>::fromGlobal(x, gpus);
+        engine.forward(dist);
+        engine.inverse(dist);
+        EXPECT_EQ(dist.toGlobal(), x) << "gpus=" << gpus;
+    }
+}
+
+TYPED_TEST(EngineEquivalence, MatchesNaiveDftUpToBitReversal)
+{
+    using F = TypeParam;
+    unsigned logN = 6;
+    size_t n = 1ULL << logN;
+    auto x = randomVector<F>(n, 70);
+    auto natural = naiveDft(x, NttDirection::Forward);
+
+    UniNttEngine<F> engine(makeDgxA100(4));
+    auto dist = DistributedVector<F>::fromGlobal(x, 4);
+    engine.forward(dist);
+    auto got = dist.toGlobal();
+    for (size_t i = 0; i < n; ++i)
+        EXPECT_EQ(got[i], natural[bitReverse(i, logN)]);
+}
+
+TEST(EngineConfig, AllToggleCombinationsAreBitExact)
+{
+    using F = Goldilocks;
+    auto x = randomVector<F>(1 << 9, 80);
+    auto expect = x;
+    nttNoPermute(expect, NttDirection::Forward);
+
+    for (int mask = 0; mask < 32; ++mask) {
+        UniNttConfig cfg;
+        cfg.fuseTwiddles = mask & 1;
+        cfg.onTheFlyTwiddles = mask & 2;
+        cfg.autoTuneTwiddles = false;
+        cfg.paddedSmem = mask & 4;
+        cfg.warpShuffle = mask & 8;
+        cfg.overlapComm = mask & 16;
+        UniNttEngine<F> engine(makeDgxA100(4), cfg);
+        auto dist = DistributedVector<F>::fromGlobal(x, 4);
+        engine.forward(dist);
+        EXPECT_EQ(dist.toGlobal(), expect) << cfg.toString();
+    }
+}
+
+TEST(EngineBatch, BatchEntriesTransformIndependently)
+{
+    using F = Goldilocks;
+    unsigned gpus = 4;
+    std::vector<DistributedVector<F>> batch;
+    std::vector<std::vector<F>> expects;
+    for (int i = 0; i < 5; ++i) {
+        auto x = randomVector<F>(1 << 8, 90 + i);
+        auto e = x;
+        nttNoPermute(e, NttDirection::Forward);
+        expects.push_back(e);
+        batch.push_back(DistributedVector<F>::fromGlobal(x, gpus));
+    }
+    UniNttEngine<F> engine(makeDgxA100(gpus));
+    engine.forwardBatch(batch);
+    for (int i = 0; i < 5; ++i)
+        EXPECT_EQ(batch[i].toGlobal(), expects[i]) << i;
+}
+
+// ---------------------------------------------------------------------
+// Distributed vector plumbing.
+// ---------------------------------------------------------------------
+
+TEST(Distributed, ShardAndGatherRoundTrip)
+{
+    auto x = randomVector<Goldilocks>(64, 95);
+    auto d = DistributedVector<Goldilocks>::fromGlobal(x, 4);
+    EXPECT_EQ(d.numGpus(), 4u);
+    EXPECT_EQ(d.size(), 64u);
+    EXPECT_EQ(d.chunkSize(), 16u);
+    EXPECT_EQ(d.chunk(1)[0], x[16]);
+    EXPECT_EQ(d.toGlobal(), x);
+}
+
+// ---------------------------------------------------------------------
+// Timing-model properties of the engine.
+// ---------------------------------------------------------------------
+
+TEST(EngineTiming, AnalyticMatchesFunctionalTimeline)
+{
+    using F = Goldilocks;
+    unsigned gpus = 4, logN = 12;
+    UniNttEngine<F> engine(makeDgxA100(gpus));
+    auto x = randomVector<F>(1ULL << logN, 96);
+    auto dist = DistributedVector<F>::fromGlobal(x, gpus);
+    auto functional = engine.forward(dist);
+    auto analytic = engine.analyticRun(logN, NttDirection::Forward);
+    EXPECT_DOUBLE_EQ(functional.totalSeconds(), analytic.totalSeconds());
+    EXPECT_EQ(functional.phases().size(), analytic.phases().size());
+}
+
+TEST(EngineTiming, FusionRemovesPasses)
+{
+    using F = Goldilocks;
+    UniNttConfig off = UniNttConfig::allOn();
+    off.fuseTwiddles = false;
+    UniNttEngine<F> fused(makeDgxA100(4));
+    UniNttEngine<F> unfused(makeDgxA100(4), off);
+    auto a = fused.analyticRun(22, NttDirection::Forward);
+    auto b = unfused.analyticRun(22, NttDirection::Forward);
+    EXPECT_LT(a.totalSeconds(), b.totalSeconds());
+    EXPECT_LT(a.phases().size(), b.phases().size());
+    // The un-fused variant moves strictly more DRAM bytes.
+    EXPECT_LT(a.totalKernelStats().globalBytes(),
+              b.totalKernelStats().globalBytes());
+}
+
+TEST(EngineTiming, OverlapHidesCommunication)
+{
+    using F = Goldilocks;
+    UniNttConfig no_overlap = UniNttConfig::allOn();
+    no_overlap.overlapComm = false;
+    UniNttEngine<F> with(makeDgxA100(8));
+    UniNttEngine<F> without(makeDgxA100(8), no_overlap);
+    auto a = with.analyticRun(24, NttDirection::Forward);
+    auto b = without.analyticRun(24, NttDirection::Forward);
+    EXPECT_LT(a.commSeconds(), b.commSeconds());
+    EXPECT_LT(a.totalSeconds(), b.totalSeconds());
+    // Same bytes cross the fabric either way.
+    EXPECT_EQ(a.totalCommStats().bytesPerGpu,
+              b.totalCommStats().bytesPerGpu);
+}
+
+TEST(EngineTiming, UnpaddedSmemIsSlower)
+{
+    using F = Goldilocks;
+    UniNttConfig unpadded = UniNttConfig::allOn();
+    unpadded.paddedSmem = false;
+    unpadded.warpShuffle = false; // exercise the smem path heavily
+    UniNttConfig padded = unpadded;
+    padded.paddedSmem = true;
+    UniNttEngine<F> a(makeDgxA100(1), padded);
+    UniNttEngine<F> b(makeDgxA100(1), unpadded);
+    EXPECT_LE(a.analyticRun(22, NttDirection::Forward).totalSeconds(),
+              b.analyticRun(22, NttDirection::Forward).totalSeconds());
+    EXPECT_GT(b.analyticRun(22, NttDirection::Forward)
+                  .totalKernelStats()
+                  .smemBankConflicts,
+              0u);
+}
+
+TEST(EngineTiming, CommBytesScaleWithStages)
+{
+    using F = Goldilocks;
+    unsigned logN = 24;
+    for (unsigned gpus : {2u, 4u, 8u}) {
+        UniNttEngine<F> engine(makeDgxA100(gpus));
+        auto rep = engine.analyticRun(logN, NttDirection::Forward);
+        uint64_t chunk_bytes = ((1ULL << logN) / gpus) * sizeof(F);
+        // log2(G) pairwise stages, each moving one chunk per GPU.
+        EXPECT_EQ(rep.totalCommStats().bytesPerGpu,
+                  chunk_bytes * log2Exact(gpus));
+    }
+}
+
+TEST(EngineTiming, BatchAmortizesLaunches)
+{
+    using F = Goldilocks;
+    UniNttEngine<F> engine(makeDgxA100(1));
+    auto one = engine.analyticRun(16, NttDirection::Forward, 1);
+    auto many = engine.analyticRun(16, NttDirection::Forward, 64);
+    EXPECT_EQ(one.totalKernelStats().kernelLaunches,
+              many.totalKernelStats().kernelLaunches);
+    EXPECT_EQ(many.totalKernelStats().butterflies,
+              64 * one.totalKernelStats().butterflies);
+    EXPECT_LT(many.totalSeconds(), 64 * one.totalSeconds());
+}
+
+TEST(EngineTiming, InverseCommunicatesAtTheEnd)
+{
+    using F = Goldilocks;
+    UniNttEngine<F> engine(makeDgxA100(4));
+    auto fwd = engine.analyticRun(20, NttDirection::Forward);
+    auto inv = engine.analyticRun(20, NttDirection::Inverse);
+    ASSERT_FALSE(fwd.phases().empty());
+    EXPECT_NE(fwd.phases().front().name.find("mgpu"), std::string::npos);
+    EXPECT_NE(inv.phases().front().name.find("grid"), std::string::npos);
+}
+
+} // namespace
+} // namespace unintt

