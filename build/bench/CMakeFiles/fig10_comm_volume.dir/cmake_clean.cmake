@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_comm_volume.dir/fig10_comm_volume.cc.o"
+  "CMakeFiles/fig10_comm_volume.dir/fig10_comm_volume.cc.o.d"
+  "fig10_comm_volume"
+  "fig10_comm_volume.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_comm_volume.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

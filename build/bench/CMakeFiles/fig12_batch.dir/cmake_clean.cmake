@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_batch.dir/fig12_batch.cc.o"
+  "CMakeFiles/fig12_batch.dir/fig12_batch.cc.o.d"
+  "fig12_batch"
+  "fig12_batch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_batch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

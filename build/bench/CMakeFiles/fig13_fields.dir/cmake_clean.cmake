@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_fields.dir/fig13_fields.cc.o"
+  "CMakeFiles/fig13_fields.dir/fig13_fields.cc.o.d"
+  "fig13_fields"
+  "fig13_fields.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_fields.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_multinode.dir/fig14_multinode.cc.o"
+  "CMakeFiles/fig14_multinode.dir/fig14_multinode.cc.o.d"
+  "fig14_multinode"
+  "fig14_multinode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_multinode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_field.dir/micro_field.cc.o"
+  "CMakeFiles/micro_field.dir/micro_field.cc.o.d"
+  "micro_field"
+  "micro_field.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_field.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab01_hw_config.dir/tab01_hw_config.cc.o"
+  "CMakeFiles/tab01_hw_config.dir/tab01_hw_config.cc.o.d"
+  "tab01_hw_config"
+  "tab01_hw_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab01_hw_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab02_zkp_e2e.dir/tab02_zkp_e2e.cc.o"
+  "CMakeFiles/tab02_zkp_e2e.dir/tab02_zkp_e2e.cc.o.d"
+  "tab02_zkp_e2e"
+  "tab02_zkp_e2e.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab02_zkp_e2e.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

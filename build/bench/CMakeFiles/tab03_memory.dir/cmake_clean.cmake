@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab03_memory.dir/tab03_memory.cc.o"
+  "CMakeFiles/tab03_memory.dir/tab03_memory.cc.o.d"
+  "tab03_memory"
+  "tab03_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab03_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

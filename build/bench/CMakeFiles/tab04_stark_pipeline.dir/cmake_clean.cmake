@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab04_stark_pipeline.dir/tab04_stark_pipeline.cc.o"
+  "CMakeFiles/tab04_stark_pipeline.dir/tab04_stark_pipeline.cc.o.d"
+  "tab04_stark_pipeline"
+  "tab04_stark_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab04_stark_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

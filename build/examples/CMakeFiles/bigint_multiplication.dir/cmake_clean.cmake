@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bigint_multiplication.dir/bigint_multiplication.cpp.o"
+  "CMakeFiles/bigint_multiplication.dir/bigint_multiplication.cpp.o.d"
+  "bigint_multiplication"
+  "bigint_multiplication.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bigint_multiplication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

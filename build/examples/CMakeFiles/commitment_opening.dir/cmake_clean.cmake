@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/commitment_opening.dir/commitment_opening.cpp.o"
+  "CMakeFiles/commitment_opening.dir/commitment_opening.cpp.o.d"
+  "commitment_opening"
+  "commitment_opening.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/commitment_opening.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fibonacci_air.dir/fibonacci_air.cpp.o"
+  "CMakeFiles/fibonacci_air.dir/fibonacci_air.cpp.o.d"
+  "fibonacci_air"
+  "fibonacci_air.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fibonacci_air.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fri_low_degree.dir/fri_low_degree.cpp.o"
+  "CMakeFiles/fri_low_degree.dir/fri_low_degree.cpp.o.d"
+  "fri_low_degree"
+  "fri_low_degree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fri_low_degree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fri_low_degree.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/polynomial_multiplication.dir/polynomial_multiplication.cpp.o"
+  "CMakeFiles/polynomial_multiplication.dir/polynomial_multiplication.cpp.o.d"
+  "polynomial_multiplication"
+  "polynomial_multiplication.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/polynomial_multiplication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prove_r1cs.dir/prove_r1cs.cpp.o"
+  "CMakeFiles/prove_r1cs.dir/prove_r1cs.cpp.o.d"
+  "prove_r1cs"
+  "prove_r1cs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prove_r1cs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stark_execution.dir/stark_execution.cpp.o"
+  "CMakeFiles/stark_execution.dir/stark_execution.cpp.o.d"
+  "stark_execution"
+  "stark_execution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stark_execution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

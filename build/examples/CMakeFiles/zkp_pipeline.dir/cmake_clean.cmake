@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zkp_pipeline.dir/zkp_pipeline.cpp.o"
+  "CMakeFiles/zkp_pipeline.dir/zkp_pipeline.cpp.o.d"
+  "zkp_pipeline"
+  "zkp_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zkp_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

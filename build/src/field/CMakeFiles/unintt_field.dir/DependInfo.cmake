@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/field/babybear.cc" "src/field/CMakeFiles/unintt_field.dir/babybear.cc.o" "gcc" "src/field/CMakeFiles/unintt_field.dir/babybear.cc.o.d"
+  "/root/repo/src/field/fq2.cc" "src/field/CMakeFiles/unintt_field.dir/fq2.cc.o" "gcc" "src/field/CMakeFiles/unintt_field.dir/fq2.cc.o.d"
+  "/root/repo/src/field/goldilocks.cc" "src/field/CMakeFiles/unintt_field.dir/goldilocks.cc.o" "gcc" "src/field/CMakeFiles/unintt_field.dir/goldilocks.cc.o.d"
+  "/root/repo/src/field/u256.cc" "src/field/CMakeFiles/unintt_field.dir/u256.cc.o" "gcc" "src/field/CMakeFiles/unintt_field.dir/u256.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/unintt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unintt_field.dir/babybear.cc.o"
+  "CMakeFiles/unintt_field.dir/babybear.cc.o.d"
+  "CMakeFiles/unintt_field.dir/fq2.cc.o"
+  "CMakeFiles/unintt_field.dir/fq2.cc.o.d"
+  "CMakeFiles/unintt_field.dir/goldilocks.cc.o"
+  "CMakeFiles/unintt_field.dir/goldilocks.cc.o.d"
+  "CMakeFiles/unintt_field.dir/u256.cc.o"
+  "CMakeFiles/unintt_field.dir/u256.cc.o.d"
+  "libunintt_field.a"
+  "libunintt_field.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unintt_field.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unintt_msm.dir/g2.cc.o"
+  "CMakeFiles/unintt_msm.dir/g2.cc.o.d"
+  "CMakeFiles/unintt_msm.dir/pippenger.cc.o"
+  "CMakeFiles/unintt_msm.dir/pippenger.cc.o.d"
+  "libunintt_msm.a"
+  "libunintt_msm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unintt_msm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

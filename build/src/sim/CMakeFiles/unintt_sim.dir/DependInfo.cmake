@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/collectives.cc" "src/sim/CMakeFiles/unintt_sim.dir/collectives.cc.o" "gcc" "src/sim/CMakeFiles/unintt_sim.dir/collectives.cc.o.d"
+  "/root/repo/src/sim/hw_model.cc" "src/sim/CMakeFiles/unintt_sim.dir/hw_model.cc.o" "gcc" "src/sim/CMakeFiles/unintt_sim.dir/hw_model.cc.o.d"
+  "/root/repo/src/sim/interconnect.cc" "src/sim/CMakeFiles/unintt_sim.dir/interconnect.cc.o" "gcc" "src/sim/CMakeFiles/unintt_sim.dir/interconnect.cc.o.d"
+  "/root/repo/src/sim/kernel_stats.cc" "src/sim/CMakeFiles/unintt_sim.dir/kernel_stats.cc.o" "gcc" "src/sim/CMakeFiles/unintt_sim.dir/kernel_stats.cc.o.d"
+  "/root/repo/src/sim/memory.cc" "src/sim/CMakeFiles/unintt_sim.dir/memory.cc.o" "gcc" "src/sim/CMakeFiles/unintt_sim.dir/memory.cc.o.d"
+  "/root/repo/src/sim/multi_gpu.cc" "src/sim/CMakeFiles/unintt_sim.dir/multi_gpu.cc.o" "gcc" "src/sim/CMakeFiles/unintt_sim.dir/multi_gpu.cc.o.d"
+  "/root/repo/src/sim/perf_model.cc" "src/sim/CMakeFiles/unintt_sim.dir/perf_model.cc.o" "gcc" "src/sim/CMakeFiles/unintt_sim.dir/perf_model.cc.o.d"
+  "/root/repo/src/sim/report.cc" "src/sim/CMakeFiles/unintt_sim.dir/report.cc.o" "gcc" "src/sim/CMakeFiles/unintt_sim.dir/report.cc.o.d"
+  "/root/repo/src/sim/trace.cc" "src/sim/CMakeFiles/unintt_sim.dir/trace.cc.o" "gcc" "src/sim/CMakeFiles/unintt_sim.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/field/CMakeFiles/unintt_field.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/unintt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

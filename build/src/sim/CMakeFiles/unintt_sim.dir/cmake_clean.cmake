@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unintt_sim.dir/collectives.cc.o"
+  "CMakeFiles/unintt_sim.dir/collectives.cc.o.d"
+  "CMakeFiles/unintt_sim.dir/hw_model.cc.o"
+  "CMakeFiles/unintt_sim.dir/hw_model.cc.o.d"
+  "CMakeFiles/unintt_sim.dir/interconnect.cc.o"
+  "CMakeFiles/unintt_sim.dir/interconnect.cc.o.d"
+  "CMakeFiles/unintt_sim.dir/kernel_stats.cc.o"
+  "CMakeFiles/unintt_sim.dir/kernel_stats.cc.o.d"
+  "CMakeFiles/unintt_sim.dir/memory.cc.o"
+  "CMakeFiles/unintt_sim.dir/memory.cc.o.d"
+  "CMakeFiles/unintt_sim.dir/multi_gpu.cc.o"
+  "CMakeFiles/unintt_sim.dir/multi_gpu.cc.o.d"
+  "CMakeFiles/unintt_sim.dir/perf_model.cc.o"
+  "CMakeFiles/unintt_sim.dir/perf_model.cc.o.d"
+  "CMakeFiles/unintt_sim.dir/report.cc.o"
+  "CMakeFiles/unintt_sim.dir/report.cc.o.d"
+  "CMakeFiles/unintt_sim.dir/trace.cc.o"
+  "CMakeFiles/unintt_sim.dir/trace.cc.o.d"
+  "libunintt_sim.a"
+  "libunintt_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unintt_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

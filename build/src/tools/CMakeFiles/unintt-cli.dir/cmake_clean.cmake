@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unintt-cli.dir/unintt_cli.cc.o"
+  "CMakeFiles/unintt-cli.dir/unintt_cli.cc.o.d"
+  "unintt-cli"
+  "unintt-cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unintt-cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unintt_core.dir/config.cc.o"
+  "CMakeFiles/unintt_core.dir/config.cc.o.d"
+  "CMakeFiles/unintt_core.dir/plan.cc.o"
+  "CMakeFiles/unintt_core.dir/plan.cc.o.d"
+  "libunintt_core.a"
+  "libunintt_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unintt_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

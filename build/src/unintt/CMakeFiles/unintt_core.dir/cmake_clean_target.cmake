@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libunintt_core.a"
+)

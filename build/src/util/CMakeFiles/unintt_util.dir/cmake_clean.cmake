@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unintt_util.dir/bitops.cc.o"
+  "CMakeFiles/unintt_util.dir/bitops.cc.o.d"
+  "CMakeFiles/unintt_util.dir/cli.cc.o"
+  "CMakeFiles/unintt_util.dir/cli.cc.o.d"
+  "CMakeFiles/unintt_util.dir/logging.cc.o"
+  "CMakeFiles/unintt_util.dir/logging.cc.o.d"
+  "CMakeFiles/unintt_util.dir/stats.cc.o"
+  "CMakeFiles/unintt_util.dir/stats.cc.o.d"
+  "CMakeFiles/unintt_util.dir/table.cc.o"
+  "CMakeFiles/unintt_util.dir/table.cc.o.d"
+  "libunintt_util.a"
+  "libunintt_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unintt_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

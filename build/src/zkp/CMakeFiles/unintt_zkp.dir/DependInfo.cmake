@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/zkp/air.cc" "src/zkp/CMakeFiles/unintt_zkp.dir/air.cc.o" "gcc" "src/zkp/CMakeFiles/unintt_zkp.dir/air.cc.o.d"
+  "/root/repo/src/zkp/commitment.cc" "src/zkp/CMakeFiles/unintt_zkp.dir/commitment.cc.o" "gcc" "src/zkp/CMakeFiles/unintt_zkp.dir/commitment.cc.o.d"
+  "/root/repo/src/zkp/fri.cc" "src/zkp/CMakeFiles/unintt_zkp.dir/fri.cc.o" "gcc" "src/zkp/CMakeFiles/unintt_zkp.dir/fri.cc.o.d"
+  "/root/repo/src/zkp/merkle.cc" "src/zkp/CMakeFiles/unintt_zkp.dir/merkle.cc.o" "gcc" "src/zkp/CMakeFiles/unintt_zkp.dir/merkle.cc.o.d"
+  "/root/repo/src/zkp/prover.cc" "src/zkp/CMakeFiles/unintt_zkp.dir/prover.cc.o" "gcc" "src/zkp/CMakeFiles/unintt_zkp.dir/prover.cc.o.d"
+  "/root/repo/src/zkp/qap_argument.cc" "src/zkp/CMakeFiles/unintt_zkp.dir/qap_argument.cc.o" "gcc" "src/zkp/CMakeFiles/unintt_zkp.dir/qap_argument.cc.o.d"
+  "/root/repo/src/zkp/serialize.cc" "src/zkp/CMakeFiles/unintt_zkp.dir/serialize.cc.o" "gcc" "src/zkp/CMakeFiles/unintt_zkp.dir/serialize.cc.o.d"
+  "/root/repo/src/zkp/stark.cc" "src/zkp/CMakeFiles/unintt_zkp.dir/stark.cc.o" "gcc" "src/zkp/CMakeFiles/unintt_zkp.dir/stark.cc.o.d"
+  "/root/repo/src/zkp/sumcheck.cc" "src/zkp/CMakeFiles/unintt_zkp.dir/sumcheck.cc.o" "gcc" "src/zkp/CMakeFiles/unintt_zkp.dir/sumcheck.cc.o.d"
+  "/root/repo/src/zkp/transcript.cc" "src/zkp/CMakeFiles/unintt_zkp.dir/transcript.cc.o" "gcc" "src/zkp/CMakeFiles/unintt_zkp.dir/transcript.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/msm/CMakeFiles/unintt_msm.dir/DependInfo.cmake"
+  "/root/repo/build/src/unintt/CMakeFiles/unintt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/unintt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/field/CMakeFiles/unintt_field.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/unintt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

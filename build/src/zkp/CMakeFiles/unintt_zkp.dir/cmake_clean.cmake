@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unintt_zkp.dir/air.cc.o"
+  "CMakeFiles/unintt_zkp.dir/air.cc.o.d"
+  "CMakeFiles/unintt_zkp.dir/commitment.cc.o"
+  "CMakeFiles/unintt_zkp.dir/commitment.cc.o.d"
+  "CMakeFiles/unintt_zkp.dir/fri.cc.o"
+  "CMakeFiles/unintt_zkp.dir/fri.cc.o.d"
+  "CMakeFiles/unintt_zkp.dir/merkle.cc.o"
+  "CMakeFiles/unintt_zkp.dir/merkle.cc.o.d"
+  "CMakeFiles/unintt_zkp.dir/prover.cc.o"
+  "CMakeFiles/unintt_zkp.dir/prover.cc.o.d"
+  "CMakeFiles/unintt_zkp.dir/qap_argument.cc.o"
+  "CMakeFiles/unintt_zkp.dir/qap_argument.cc.o.d"
+  "CMakeFiles/unintt_zkp.dir/serialize.cc.o"
+  "CMakeFiles/unintt_zkp.dir/serialize.cc.o.d"
+  "CMakeFiles/unintt_zkp.dir/stark.cc.o"
+  "CMakeFiles/unintt_zkp.dir/stark.cc.o.d"
+  "CMakeFiles/unintt_zkp.dir/sumcheck.cc.o"
+  "CMakeFiles/unintt_zkp.dir/sumcheck.cc.o.d"
+  "CMakeFiles/unintt_zkp.dir/transcript.cc.o"
+  "CMakeFiles/unintt_zkp.dir/transcript.cc.o.d"
+  "libunintt_zkp.a"
+  "libunintt_zkp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unintt_zkp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

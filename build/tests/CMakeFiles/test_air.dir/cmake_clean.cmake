@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_air.dir/test_air.cc.o"
+  "CMakeFiles/test_air.dir/test_air.cc.o.d"
+  "test_air"
+  "test_air.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_air.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

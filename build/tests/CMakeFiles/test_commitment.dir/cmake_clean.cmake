@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_commitment.dir/test_commitment.cc.o"
+  "CMakeFiles/test_commitment.dir/test_commitment.cc.o.d"
+  "test_commitment"
+  "test_commitment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_commitment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

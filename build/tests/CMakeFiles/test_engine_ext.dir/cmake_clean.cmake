@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_engine_ext.dir/test_engine_ext.cc.o"
+  "CMakeFiles/test_engine_ext.dir/test_engine_ext.cc.o.d"
+  "test_engine_ext"
+  "test_engine_ext.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_engine_ext.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

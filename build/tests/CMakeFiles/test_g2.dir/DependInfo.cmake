@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_g2.cc" "tests/CMakeFiles/test_g2.dir/test_g2.cc.o" "gcc" "tests/CMakeFiles/test_g2.dir/test_g2.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/msm/CMakeFiles/unintt_msm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/unintt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/field/CMakeFiles/unintt_field.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/unintt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ntt_ext.dir/test_ntt_ext.cc.o"
+  "CMakeFiles/test_ntt_ext.dir/test_ntt_ext.cc.o.d"
+  "test_ntt_ext"
+  "test_ntt_ext.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ntt_ext.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

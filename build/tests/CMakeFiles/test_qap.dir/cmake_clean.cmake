@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_qap.dir/test_qap.cc.o"
+  "CMakeFiles/test_qap.dir/test_qap.cc.o.d"
+  "test_qap"
+  "test_qap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_qap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

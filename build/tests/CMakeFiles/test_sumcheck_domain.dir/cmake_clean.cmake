@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sumcheck_domain.dir/test_sumcheck_domain.cc.o"
+  "CMakeFiles/test_sumcheck_domain.dir/test_sumcheck_domain.cc.o.d"
+  "test_sumcheck_domain"
+  "test_sumcheck_domain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sumcheck_domain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

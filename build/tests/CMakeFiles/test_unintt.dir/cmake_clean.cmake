@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_unintt.dir/test_unintt.cc.o"
+  "CMakeFiles/test_unintt.dir/test_unintt.cc.o.d"
+  "test_unintt"
+  "test_unintt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_unintt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_zkp.dir/test_zkp.cc.o"
+  "CMakeFiles/test_zkp.dir/test_zkp.cc.o.d"
+  "test_zkp"
+  "test_zkp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_zkp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

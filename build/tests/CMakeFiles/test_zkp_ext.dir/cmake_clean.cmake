@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_zkp_ext.dir/test_zkp_ext.cc.o"
+  "CMakeFiles/test_zkp_ext.dir/test_zkp_ext.cc.o.d"
+  "test_zkp_ext"
+  "test_zkp_ext.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_zkp_ext.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
