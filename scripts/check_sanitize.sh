@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Build and run the full test suite under ASan + UBSan
+# (the -DUNINTT_SANITIZE=ON CMake option). Intended as a CI step and as
+# a local pre-merge check; uses a separate build tree so it never
+# disturbs the regular build.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${BUILD_DIR:-build-sanitize}"
+JOBS="${JOBS:-$(nproc)}"
+
+cmake -B "$BUILD_DIR" -S . -DUNINTT_SANITIZE=ON \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$BUILD_DIR" -j"$JOBS"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$JOBS"

@@ -11,6 +11,44 @@ Collectives::Collectives(Interconnect fabric, unsigned num_gpus)
     UNINTT_ASSERT(num_gpus >= 1, "need at least one GPU");
 }
 
+void
+Collectives::attachFaults(FaultInjector *injector, RetryPolicy retry)
+{
+    faults_ = injector;
+    retry_ = retry;
+}
+
+void
+Collectives::applyFaults(CollectiveCost &c, double retransmit_seconds) const
+{
+    if (faults_ == nullptr || numGpus_ <= 1)
+        return;
+    ExchangeOutcome out = faults_->nextExchange(retry_.maxRetries);
+    if (out.lostGpu >= 0) {
+        c.completed = false;
+        return;
+    }
+    if (out.stragglerFactor > 1.0)
+        c.seconds *= out.stragglerFactor;
+    // Failed attempts beyond the first each cost a backoff delay plus a
+    // retransmission (the initial transmission is in the base price).
+    unsigned retransmissions = out.exhausted ? out.transientFailures - 1
+                                             : out.transientFailures;
+    for (unsigned i = 0; i < retransmissions; ++i)
+        c.seconds += retry_.backoffSeconds(i) + retransmit_seconds;
+    c.stats.retries += retransmissions;
+    if (out.exhausted) {
+        c.completed = false;
+        return;
+    }
+    if (out.corrupted) {
+        // Collectives carry no checksum machinery of their own; model
+        // the caller-side detection as one clean retransmission.
+        c.seconds += retransmit_seconds;
+        c.stats.retries += 1;
+    }
+}
+
 CollectiveCost
 Collectives::butterflyExchange(uint64_t bytes_per_gpu,
                                unsigned distance) const
@@ -20,6 +58,7 @@ Collectives::butterflyExchange(uint64_t bytes_per_gpu,
         return c;
     c.seconds = fabric_.pairwiseExchangeTime(bytes_per_gpu, distance);
     c.stats = CommStats{bytes_per_gpu, 1};
+    applyFaults(c, c.seconds);
     return c;
 }
 
@@ -32,6 +71,7 @@ Collectives::allToAll(uint64_t bytes_per_gpu) const
     uint64_t wire = bytes_per_gpu * (numGpus_ - 1) / numGpus_;
     c.seconds = fabric_.allToAllTime(wire, numGpus_);
     c.stats = CommStats{wire, numGpus_ - 1};
+    applyFaults(c, c.seconds);
     return c;
 }
 
@@ -47,6 +87,8 @@ Collectives::allGather(uint64_t bytes_per_gpu) const
     c.seconds = (numGpus_ - 1) *
                 fabric_.pairwiseExchangeTime(bytes_per_gpu, 1);
     c.stats = CommStats{wire, numGpus_ - 1};
+    // Retrying re-sends one round's buffer, not the whole collective.
+    applyFaults(c, fabric_.pairwiseExchangeTime(bytes_per_gpu, 1));
     return c;
 }
 
@@ -62,6 +104,7 @@ Collectives::reduceScatter(uint64_t bytes_per_gpu) const
     c.seconds =
         (numGpus_ - 1) * fabric_.pairwiseExchangeTime(share, 1);
     c.stats = CommStats{wire, numGpus_ - 1};
+    applyFaults(c, fabric_.pairwiseExchangeTime(share, 1));
     return c;
 }
 
@@ -74,6 +117,7 @@ Collectives::allReduce(uint64_t bytes_per_gpu) const
     c.seconds = rs.seconds + ag.seconds;
     c.stats = rs.stats;
     c.stats += ag.stats;
+    c.completed = rs.completed && ag.completed;
     return c;
 }
 
@@ -90,6 +134,7 @@ Collectives::broadcast(uint64_t bytes) const
         ++rounds;
     c.seconds = rounds * fabric_.pairwiseExchangeTime(bytes, 1);
     c.stats = CommStats{bytes, rounds};
+    applyFaults(c, fabric_.pairwiseExchangeTime(bytes, 1));
     return c;
 }
 

@@ -18,6 +18,7 @@
 
 #include <cstdint>
 
+#include "sim/fault.hh"
 #include "sim/interconnect.hh"
 #include "sim/kernel_stats.hh"
 
@@ -26,10 +27,16 @@ namespace unintt {
 /** Result of pricing one collective. */
 struct CollectiveCost
 {
-    /** Simulated seconds on the critical path. */
+    /** Simulated seconds on the critical path (retries included). */
     double seconds = 0;
     /** Wire traffic attributable to each GPU. */
     CommStats stats;
+    /**
+     * False when an attached fault injector made the collective fail
+     * permanently (retry budget exhausted or a device dropped out);
+     * the caller must re-plan or surface the failure.
+     */
+    bool completed = true;
 };
 
 /** Collective operations over a set of GPUs on one fabric. */
@@ -73,9 +80,23 @@ class Collectives
     /** One GPU sends @p bytes to all others (binomial tree). */
     CollectiveCost broadcast(uint64_t bytes) const;
 
+    /**
+     * Route every collective through @p injector: transient failures
+     * are retried under @p retry (priced into the returned seconds),
+     * stragglers stretch the collective, corruption forces one
+     * retransmission, and dropout/exhaustion mark the cost incomplete.
+     * Pass nullptr to detach and return to a perfect fabric.
+     */
+    void attachFaults(FaultInjector *injector, RetryPolicy retry = {});
+
   private:
+    /** Apply the injector's verdict on one priced collective. */
+    void applyFaults(CollectiveCost &c, double retransmit_seconds) const;
+
     Interconnect fabric_;
     unsigned numGpus_;
+    FaultInjector *faults_ = nullptr;
+    RetryPolicy retry_;
 };
 
 } // namespace unintt

@@ -1,0 +1,86 @@
+#include "sim/fault.hh"
+
+#include "util/logging.hh"
+
+namespace unintt {
+
+bool
+FaultModel::anyEnabled() const
+{
+    return transientExchangeRate > 0 || bitFlipRate > 0 ||
+           stragglerRate > 0 || !dropouts.empty();
+}
+
+FaultInjector::FaultInjector(FaultModel model)
+    : model_(std::move(model)),
+      rng_(model_.seed),
+      dropoutFired_(model_.dropouts.size(), false)
+{
+    UNINTT_ASSERT(model_.transientExchangeRate <= 1.0 &&
+                      model_.bitFlipRate <= 1.0 &&
+                      model_.stragglerRate <= 1.0,
+                  "fault rates are probabilities");
+}
+
+ExchangeOutcome
+FaultInjector::nextExchange(unsigned max_attempts)
+{
+    ExchangeOutcome out;
+    const uint64_t index = exchangeIndex_++;
+    injected_.exchanges++;
+
+    // A scheduled dropout preempts the exchange entirely.
+    for (size_t d = 0; d < model_.dropouts.size(); ++d) {
+        if (!dropoutFired_[d] && model_.dropouts[d].atExchange == index) {
+            dropoutFired_[d] = true;
+            injected_.dropouts++;
+            out.lostGpu = static_cast<int>(model_.dropouts[d].gpu);
+            return out;
+        }
+    }
+
+    // Transient transit failures: independent per attempt, over the
+    // initial transmission plus max_attempts retransmissions.
+    const unsigned attempts = max_attempts + 1;
+    while (out.transientFailures < attempts &&
+           rng_.uniform() < model_.transientExchangeRate)
+        out.transientFailures++;
+    injected_.transients += out.transientFailures;
+    if (out.transientFailures == attempts) {
+        out.exhausted = true;
+        return out;
+    }
+
+    if (rng_.uniform() < model_.bitFlipRate) {
+        out.corrupted = true;
+        out.corruptBit = rng_.next();
+        injected_.corruptions++;
+    }
+
+    if (rng_.uniform() < model_.stragglerRate) {
+        out.stragglerFactor = model_.stragglerSlowdown;
+        injected_.stragglers++;
+    }
+    return out;
+}
+
+bool
+FaultInjector::retransmitCorrupted()
+{
+    if (rng_.uniform() < model_.bitFlipRate) {
+        injected_.corruptions++;
+        return true;
+    }
+    return false;
+}
+
+void
+FaultInjector::reset()
+{
+    rng_.reseed(model_.seed);
+    exchangeIndex_ = 0;
+    dropoutFired_.assign(model_.dropouts.size(), false);
+    injected_ = InjectedFaults{};
+}
+
+} // namespace unintt

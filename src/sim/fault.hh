@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Seeded, deterministic fault injection for the simulated machine.
+ *
+ * A FaultModel describes an unreliable fabric: per-collective rates for
+ * transient exchange failures, payload bit-flips and straggler
+ * slowdowns, plus a schedule of permanent device dropouts. A
+ * FaultInjector draws from the model with its own xoshiro stream, so a
+ * given seed reproduces the exact same event sequence — injected
+ * events, counters and priced recovery times are bit-identical across
+ * runs, which is what makes fault campaigns regression-testable.
+ *
+ * Injection is per collective: every exchange-shaped operation (an
+ * engine butterfly exchange, a Collectives call) consults the injector
+ * once and receives the full fate of that operation — how many
+ * transmission attempts failed in transit, whether the payload arrived
+ * corrupted, whether a straggler stretched it, or whether a device died
+ * before it completed. The consumer decides how to respond (retry,
+ * retransmit, re-plan); the injector only decides what the hardware
+ * did.
+ */
+
+#ifndef UNINTT_SIM_FAULT_HH
+#define UNINTT_SIM_FAULT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/kernel_stats.hh"
+#include "util/random.hh"
+
+namespace unintt {
+
+/** A scheduled permanent device loss. */
+struct DeviceDropout
+{
+    /** Device that dies. */
+    unsigned gpu = 0;
+    /** Global exchange index at which it dies (0 = first exchange). */
+    uint64_t atExchange = 0;
+};
+
+/** Bounded-exponential-backoff retry policy for transient faults. */
+struct RetryPolicy
+{
+    /** Maximum retransmissions before an exchange is abandoned. */
+    unsigned maxRetries = 4;
+    /** Backoff before the first retransmission; doubles per attempt. */
+    double backoffBaseSeconds = 100e-6;
+
+    /** Backoff delay preceding retransmission number @p attempt. */
+    double
+    backoffSeconds(unsigned attempt) const
+    {
+        return backoffBaseSeconds * static_cast<double>(1u << attempt);
+    }
+};
+
+/** Description of an unreliable machine. All rates default to zero. */
+struct FaultModel
+{
+    /** Seed of the injector's random stream. */
+    uint64_t seed = 0xfa017u;
+    /** P(one transmission attempt of an exchange fails in transit). */
+    double transientExchangeRate = 0.0;
+    /** P(an exchange's payload arrives with a flipped bit). */
+    double bitFlipRate = 0.0;
+    /** P(an exchange is stretched by a straggling device). */
+    double stragglerRate = 0.0;
+    /** Slowdown factor a straggler applies to the exchange. */
+    double stragglerSlowdown = 4.0;
+    /** Scheduled permanent dropouts, matched by exchange index. */
+    std::vector<DeviceDropout> dropouts;
+
+    /** True iff this model can inject anything at all. */
+    bool anyEnabled() const;
+
+    /** A perfectly reliable machine. */
+    static FaultModel none() { return FaultModel{}; }
+};
+
+/** The fate of one collective exchange, decided by the injector. */
+struct ExchangeOutcome
+{
+    /** Transmission attempts that failed in transit before success. */
+    unsigned transientFailures = 0;
+    /** All allowed attempts failed; the exchange never completed. */
+    bool exhausted = false;
+    /** The (first successful) transmission arrived corrupted. */
+    bool corrupted = false;
+    /** Raw 64-bit draw selecting which payload bit flipped. */
+    uint64_t corruptBit = 0;
+    /** 1.0, or the straggler slowdown applied to this exchange. */
+    double stragglerFactor = 1.0;
+    /** Device that died before this exchange (-1: none). */
+    int lostGpu = -1;
+};
+
+/** Running totals of what an injector has inflicted. */
+struct InjectedFaults
+{
+    uint64_t exchanges = 0;
+    uint64_t transients = 0;
+    uint64_t corruptions = 0;
+    uint64_t stragglers = 0;
+    uint64_t dropouts = 0;
+};
+
+/** Deterministic source of fault events drawn from a FaultModel. */
+class FaultInjector
+{
+  public:
+    explicit FaultInjector(FaultModel model);
+
+    /** The model this injector draws from. */
+    const FaultModel &model() const { return model_; }
+
+    /**
+     * Decide the fate of the next exchange. @p max_attempts is the
+     * retransmission bound: when the initial transmission and all
+     * max_attempts retransmissions fail, the outcome is exhausted and
+     * the caller must abandon the exchange.
+     */
+    ExchangeOutcome nextExchange(unsigned max_attempts);
+
+    /**
+     * Corruption draw for the retransmission that follows a detected
+     * corruption (checksums force a fresh transmission, which the model
+     * may corrupt again).
+     */
+    bool retransmitCorrupted();
+
+    /** Totals of everything injected so far. */
+    const InjectedFaults &injected() const { return injected_; }
+
+    /** Exchanges decided so far (the dropout-schedule clock). */
+    uint64_t exchangesSeen() const { return exchangeIndex_; }
+
+    /** Rewind to the initial seeded state (reproduce a campaign). */
+    void reset();
+
+  private:
+    FaultModel model_;
+    Rng rng_;
+    uint64_t exchangeIndex_ = 0;
+    std::vector<bool> dropoutFired_;
+    InjectedFaults injected_;
+};
+
+} // namespace unintt
+
+#endif // UNINTT_SIM_FAULT_HH

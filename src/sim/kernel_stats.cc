@@ -25,6 +25,49 @@ operator+(KernelStats a, const KernelStats &b)
     return a;
 }
 
+bool
+FaultStats::any() const
+{
+    return exchanges || transientRetries || corruptionsDetected ||
+           stragglerEvents || devicesLost || degradedReplans ||
+           spotChecks || spotCheckFailures || checksummedBytes;
+}
+
+FaultStats &
+FaultStats::operator+=(const FaultStats &o)
+{
+    exchanges += o.exchanges;
+    transientRetries += o.transientRetries;
+    corruptionsDetected += o.corruptionsDetected;
+    stragglerEvents += o.stragglerEvents;
+    devicesLost += o.devicesLost;
+    degradedReplans += o.degradedReplans;
+    spotChecks += o.spotChecks;
+    spotCheckFailures += o.spotCheckFailures;
+    checksummedBytes += o.checksummedBytes;
+    return *this;
+}
+
+void
+FaultStats::exportTo(StatSet &out, const std::string &prefix) const
+{
+    out.add(prefix + ".exchanges", static_cast<double>(exchanges));
+    out.add(prefix + ".transientRetries",
+            static_cast<double>(transientRetries));
+    out.add(prefix + ".corruptionsDetected",
+            static_cast<double>(corruptionsDetected));
+    out.add(prefix + ".stragglerEvents",
+            static_cast<double>(stragglerEvents));
+    out.add(prefix + ".devicesLost", static_cast<double>(devicesLost));
+    out.add(prefix + ".degradedReplans",
+            static_cast<double>(degradedReplans));
+    out.add(prefix + ".spotChecks", static_cast<double>(spotChecks));
+    out.add(prefix + ".spotCheckFailures",
+            static_cast<double>(spotCheckFailures));
+    out.add(prefix + ".checksummedBytes",
+            static_cast<double>(checksummedBytes));
+}
+
 void
 KernelStats::exportTo(StatSet &out, const std::string &prefix) const
 {

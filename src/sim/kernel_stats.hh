@@ -62,14 +62,53 @@ struct CommStats
     uint64_t bytesPerGpu = 0;
     /** Number of exchange operations (stages or message rounds). */
     uint64_t messages = 0;
+    /** Retransmissions caused by injected faults (0 on a clean fabric). */
+    uint64_t retries = 0;
 
     CommStats &
     operator+=(const CommStats &o)
     {
         bytesPerGpu += o.bytesPerGpu;
         messages += o.messages;
+        retries += o.retries;
         return *this;
     }
+};
+
+/**
+ * Counters of injected faults and of the resilience machinery's
+ * responses to them (retries, checksum detections, degraded re-plans).
+ * All zero on a fault-free run.
+ */
+struct FaultStats
+{
+    /** Exchange events that consulted a fault injector. */
+    uint64_t exchanges = 0;
+    /** Retransmissions after transient link failures. */
+    uint64_t transientRetries = 0;
+    /** Payload corruptions caught by the exchange checksums. */
+    uint64_t corruptionsDetected = 0;
+    /** Exchanges stretched by a straggling device. */
+    uint64_t stragglerEvents = 0;
+    /** Permanent device dropouts absorbed. */
+    uint64_t devicesLost = 0;
+    /** Degraded-mode re-shard + re-plan events. */
+    uint64_t degradedReplans = 0;
+    /** Post-transform spot-check samples evaluated. */
+    uint64_t spotChecks = 0;
+    /** Spot-check samples that exposed a wrong output. */
+    uint64_t spotCheckFailures = 0;
+    /** Payload bytes covered by exchange checksums. */
+    uint64_t checksummedBytes = 0;
+
+    /** True iff any counter is nonzero. */
+    bool any() const;
+
+    /** Accumulate another phase's counters. */
+    FaultStats &operator+=(const FaultStats &o);
+
+    /** Export to a named StatSet with the given prefix. */
+    void exportTo(StatSet &out, const std::string &prefix) const;
 };
 
 } // namespace unintt

@@ -87,6 +87,7 @@ SimReport::append(const SimReport &other)
     phases_.insert(phases_.end(), other.phases_.begin(),
                    other.phases_.end());
     setPeakDeviceBytes(other.peakDeviceBytes());
+    faults_ += other.faults_;
 }
 
 std::string
@@ -103,6 +104,15 @@ SimReport::toString() const
     os << "total: " << formatSeconds(totalSeconds())
        << " (kernel " << formatSeconds(kernelSeconds()) << ", comm "
        << formatSeconds(commSeconds()) << ")\n";
+    if (faults_.any()) {
+        os << "faults: " << faults_.transientRetries << " retries, "
+           << faults_.corruptionsDetected << " corruptions detected, "
+           << faults_.stragglerEvents << " stragglers, "
+           << faults_.devicesLost << " devices lost ("
+           << faults_.degradedReplans << " degraded re-plans), "
+           << faults_.spotChecks << " spot checks ("
+           << faults_.spotCheckFailures << " failed)\n";
+    }
     return os.str();
 }
 

@@ -69,6 +69,12 @@ class SimReport
     /** Merge (append) another report's phases into this one. */
     void append(const SimReport &other);
 
+    /** Merge resilience counters observed during the run. */
+    void addFaultStats(const FaultStats &f) { faults_ += f; }
+
+    /** Fault/resilience counters (all zero on a fault-free run). */
+    const FaultStats &faultStats() const { return faults_; }
+
     /** Record the per-GPU peak device-memory footprint. */
     void
     setPeakDeviceBytes(uint64_t bytes)
@@ -85,6 +91,7 @@ class SimReport
   private:
     std::vector<SimPhase> phases_;
     uint64_t peakDeviceBytes_ = 0;
+    FaultStats faults_;
 };
 
 } // namespace unintt

@@ -11,7 +11,10 @@
 #ifndef UNINTT_UNINTT_CONFIG_HH
 #define UNINTT_UNINTT_CONFIG_HH
 
+#include <cstdint>
 #include <string>
+
+#include "sim/fault.hh"
 
 namespace unintt {
 
@@ -92,6 +95,41 @@ struct UniNttConfig
         c.overlapComm = false;
         return c;
     }
+};
+
+/**
+ * Policy of the resilient execution paths
+ * (UniNttEngine::forwardResilient / inverseResilient): how hard to
+ * retry transient faults, how device loss is detected, and how much
+ * post-transform spot checking to pay for. Orthogonal to UniNttConfig —
+ * the optimization set is unchanged by resilience.
+ */
+struct ResilienceConfig
+{
+    /** Bounded exponential backoff for transient exchange faults. */
+    RetryPolicy retry;
+
+    /**
+     * Time to declare a device permanently lost (heartbeat timeout)
+     * before degraded-mode recovery starts.
+     */
+    double detectionSeconds = 1e-3;
+
+    /**
+     * Random output positions verified against a direct evaluation
+     * after the transform (unintt/verify.hh). 0 disables the check.
+     */
+    unsigned spotChecks = 4;
+
+    /** Seed of the spot-check position sampling. */
+    uint64_t spotCheckSeed = 99;
+
+    /**
+     * Allow re-sharding onto the surviving power-of-two GPU subset
+     * after a permanent device loss. When false, device loss is a
+     * non-recoverable (but still non-fatal) DeviceLost status.
+     */
+    bool allowDegraded = true;
 };
 
 /**

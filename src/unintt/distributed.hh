@@ -56,7 +56,11 @@ class DistributedVector
     }
 
     /** Number of devices. */
-    unsigned numGpus() const { return chunks_.size(); }
+    unsigned
+    numGpus() const
+    {
+        return static_cast<unsigned>(chunks_.size());
+    }
 
     /** Total element count. */
     size_t
@@ -72,10 +76,33 @@ class DistributedVector
     size_t chunkSize() const { return chunks_.empty() ? 0 : chunks_[0].size(); }
 
     /** Mutable chunk of GPU @p g. */
-    std::vector<F> &chunk(unsigned g) { return chunks_[g]; }
+    std::vector<F> &
+    chunk(unsigned g)
+    {
+        UNINTT_ASSERT(g < chunks_.size(), "GPU index out of range");
+        return chunks_[g];
+    }
 
     /** Read-only chunk of GPU @p g. */
-    const std::vector<F> &chunk(unsigned g) const { return chunks_[g]; }
+    const std::vector<F> &
+    chunk(unsigned g) const
+    {
+        UNINTT_ASSERT(g < chunks_.size(), "GPU index out of range");
+        return chunks_[g];
+    }
+
+    /**
+     * Redistribute the elements over @p new_num_gpus devices, keeping
+     * the global order (degraded-mode re-planning after device loss).
+     */
+    void
+    reshard(unsigned new_num_gpus)
+    {
+        UNINTT_ASSERT(new_num_gpus > 0, "need at least one GPU");
+        UNINTT_ASSERT(size() % new_num_gpus == 0,
+                      "size must divide evenly across GPUs");
+        *this = fromGlobal(toGlobal(), new_num_gpus);
+    }
 
   private:
     std::vector<std::vector<F>> chunks_;

@@ -39,6 +39,7 @@
 #include "field/field_traits.hh"
 #include "ntt/ntt.hh"
 #include "ntt/twiddle.hh"
+#include "sim/fault.hh"
 #include "sim/memory.hh"
 #include "sim/multi_gpu.hh"
 #include "sim/perf_model.hh"
@@ -46,8 +47,11 @@
 #include "unintt/config.hh"
 #include "unintt/distributed.hh"
 #include "unintt/plan.hh"
+#include "unintt/verify.hh"
 #include "util/bitops.hh"
+#include "util/checksum.hh"
 #include "util/logging.hh"
+#include "util/status.hh"
 
 namespace unintt {
 
@@ -121,6 +125,37 @@ class UniNttEngine
     {
         std::vector<DistributedVector<F> *> batch{&data};
         return run(log2Exact(data.size()), NttDirection::Inverse, batch);
+    }
+
+    /**
+     * Forward NTT with the resilience machinery engaged, on a machine
+     * whose faults @p faults injects: every cross-GPU exchange is
+     * checksummed, transient faults are retried with bounded
+     * exponential backoff, a permanent device loss re-shards the data
+     * onto the surviving power-of-two subset and re-plans the rest of
+     * the transform, and the output is spot-checked against a direct
+     * evaluation. All recovery time and traffic is priced into the
+     * returned report, and the injected/handled events appear in its
+     * faultStats(). Runtime faults that exceed the configured budgets
+     * come back as a non-ok Status, never as a process exit.
+     *
+     * On success @p data may be sharded over fewer GPUs than it
+     * started with (degraded mode); the plain forward()/inverse()
+     * paths are untouched by all of this and pay zero overhead.
+     */
+    Result<SimReport>
+    forwardResilient(DistributedVector<F> &data, FaultInjector &faults,
+                     const ResilienceConfig &rc = ResilienceConfig{}) const
+    {
+        return runResilient(NttDirection::Forward, data, faults, rc);
+    }
+
+    /** Resilient inverse NTT; see forwardResilient. */
+    Result<SimReport>
+    inverseResilient(DistributedVector<F> &data, FaultInjector &faults,
+                     const ResilienceConfig &rc = ResilienceConfig{}) const
+    {
+        return runResilient(NttDirection::Inverse, data, faults, rc);
     }
 
     /**
@@ -231,6 +266,12 @@ class UniNttEngine
     SimReport run(unsigned logN, NttDirection dir,
                   std::vector<DistributedVector<F> *> &batch,
                   size_t analytic_batch = 1) const;
+
+    /** Shared implementation of the resilient transforms. */
+    Result<SimReport> runResilient(NttDirection dir,
+                                   DistributedVector<F> &data,
+                                   FaultInjector &faults,
+                                   const ResilienceConfig &rc) const;
 
     /** Functional butterflies of one cross-GPU stage. */
     void crossStageCompute(DistributedVector<F> &data, unsigned s,
@@ -566,6 +607,300 @@ UniNttEngine<F>::run(unsigned logN, NttDirection dir,
         }
     }
 
+    return report;
+}
+
+template <NttField F>
+Result<SimReport>
+UniNttEngine<F>::runResilient(NttDirection dir, DistributedVector<F> &data,
+                              FaultInjector &faults,
+                              const ResilienceConfig &rc) const
+{
+    if (data.numGpus() != sys_.numGpus)
+        return Status::error(
+            StatusCode::InvalidArgument,
+            "data is sharded over " + std::to_string(data.numGpus()) +
+                " GPUs but the machine has " +
+                std::to_string(sys_.numGpus));
+
+    const unsigned logN = log2Exact(data.size());
+    const uint64_t n = 1ULL << logN;
+
+    // Input snapshot for the post-transform spot check.
+    const std::vector<F> input = data.toGlobal();
+    const TwiddleTable<F> tw(n, dir);
+
+    SimReport report;
+    FaultStats fs;
+    MultiGpuSystem sys = sys_; // shrinks when devices drop out
+    NttPlan pl = plan(logN);
+    const unsigned logMg0 = pl.logMg;
+
+    auto account_memory = [&] {
+        DeviceMemoryModel mem(sys.gpu, sys.numGpus);
+        mem.allocAll(pl.chunkElems() * sizeof(F), "data");
+        if (pl.logMg > 0)
+            mem.allocAll(pl.chunkElems() * sizeof(F), "exchange-buffer");
+        if (!cfg_.onTheFlyTwiddles)
+            mem.allocAll(n / 2 * sizeof(F), "twiddle-table");
+        report.setPeakDeviceBytes(mem.maxPeakBytes());
+    };
+    account_memory();
+
+    auto add_twiddle_pass = [&](const std::string &why) {
+        KernelStats k = twiddlePassStats(pl.chunkElems(), 1);
+        report.addKernelPhase("twiddle-pass-" + why, k, perf_);
+    };
+
+    // Permanent device loss: re-shard the data onto the surviving
+    // power-of-two subset, re-plan, and price the recovery — the
+    // detection timeout, pulling the lost chunk's replica from its
+    // last exchange partner, and the all-to-all reshard.
+    auto degrade = [&](int lost_gpu) -> Status {
+        if (!rc.allowDegraded)
+            return Status::error(
+                StatusCode::DeviceLost,
+                detail::format(
+                    "GPU %d lost and degraded mode is disabled",
+                    lost_gpu));
+        if (sys.numGpus <= 1)
+            return Status::error(
+                StatusCode::DeviceLost,
+                "GPU lost with no surviving devices to re-plan onto");
+        const unsigned newG = sys.numGpus / 2;
+        const uint64_t lost_chunk_bytes = pl.chunkElems() * sizeof(F);
+        const uint64_t reshard_bytes = (n / newG) * sizeof(F);
+        double t = rc.detectionSeconds;
+        t += sys.fabric.pairwiseExchangeTime(lost_chunk_bytes, 1);
+        t += sys.fabric.allToAllTime(reshard_bytes, newG);
+        CommStats comm;
+        comm.bytesPerGpu = reshard_bytes + lost_chunk_bytes;
+        comm.messages = newG;
+        report.addCommPhase(
+            "degrade-to-" + std::to_string(newG) + "gpu-reshard", t,
+            comm);
+        data.reshard(newG);
+        sys.numGpus = newG;
+        if (sys.gpusPerNode != 0 && sys.numGpus <= sys.gpusPerNode)
+            sys.gpusPerNode = 0; // survivors fit inside one node
+        pl = planNttWithTile(logN, sys, sizeof(F),
+                             cfg_.forceLogBlockTile);
+        fs.devicesLost++;
+        fs.degradedReplans++;
+        account_memory();
+        return Status();
+    };
+
+    // One cross-GPU stage, executed resiliently. Restarts on device
+    // loss — under the degraded sharding the stage may have become
+    // GPU-local, in which case it runs as a one-bit grid pass.
+    auto resilient_cross_stage = [&](unsigned s) -> Status {
+        while (true) {
+            if (s >= pl.logMg) {
+                localStagesCompute(data, s, s + 1, logN, tw, dir);
+                GridPassPlan one{1, 1};
+                KernelStats k = gridPassStats(pl.chunkElems(), one, 1);
+                report.addKernelPhase(
+                    "degraded-local-stage-" + std::to_string(s), k,
+                    perf_);
+                return Status();
+            }
+            ExchangeOutcome out =
+                faults.nextExchange(rc.retry.maxRetries);
+            fs.exchanges++;
+            if (out.lostGpu >= 0) {
+                Status st = degrade(out.lostGpu);
+                if (!st.ok())
+                    return st;
+                continue;
+            }
+            if (out.exhausted)
+                return Status::error(
+                    StatusCode::TransientFault,
+                    detail::format("cross-GPU exchange at stage %u "
+                                   "still failing after %u retries",
+                                   s, rc.retry.maxRetries));
+
+            const uint64_t C = pl.chunkElems();
+            const uint64_t bytes = C * sizeof(F);
+            KernelStats k = crossStageStats(C, 1);
+            // Checksum generation on send, verification on arrival.
+            k.fieldAdds += 2 * C;
+            fs.checksummedBytes += 2 * bytes;
+            const double kernel_t = perf_.kernelSeconds(k);
+
+            unsigned distance = 1u << (pl.logMg - s - 1);
+            unsigned effective = distance;
+            const Interconnect &fabric =
+                sys.fabricFor(distance, effective);
+            const double once =
+                fabric.pairwiseExchangeTime(bytes, effective);
+            double comm_t = once * out.stragglerFactor;
+            if (out.stragglerFactor > 1.0)
+                fs.stragglerEvents++;
+            CommStats comm{bytes, 1};
+            for (unsigned i = 0; i < out.transientFailures; ++i)
+                comm_t += rc.retry.backoffSeconds(i) + once;
+            comm.retries += out.transientFailures;
+            fs.transientRetries += out.transientFailures;
+
+            // Corrupted payload: the checksum catches the flip (shown
+            // functionally on the first exchanging pair), forcing
+            // retransmissions until a clean copy lands.
+            bool corrupted = out.corrupted;
+            unsigned tries = 0;
+            while (corrupted) {
+                const std::vector<F> &payload = data.chunk(distance);
+                const uint64_t good =
+                    checksumBytes(payload.data(), bytes);
+                std::vector<F> received = payload;
+                auto *raw =
+                    reinterpret_cast<unsigned char *>(received.data());
+                const uint64_t bit = out.corruptBit % (bytes * 8);
+                raw[bit / 8] ^=
+                    static_cast<unsigned char>(1u << (bit % 8));
+                const uint64_t seen =
+                    checksumBytes(received.data(), bytes);
+                UNINTT_ASSERT(
+                    seen != good,
+                    "single-bit corruption must change the checksum");
+                fs.corruptionsDetected++;
+                comm_t += once;
+                comm.retries += 1;
+                if (++tries > rc.retry.maxRetries)
+                    return Status::error(
+                        StatusCode::DataCorruption,
+                        detail::format(
+                            "payload checksum mismatch at stage %u "
+                            "persisted across %u retransmissions",
+                            s, rc.retry.maxRetries));
+                corrupted = faults.retransmitCorrupted();
+            }
+
+            crossStageCompute(data, s, logN, tw, dir);
+            std::string name = (sys.crossesNodes(distance)
+                                    ? "node-stage-"
+                                    : "mgpu-stage-") +
+                               std::to_string(s) + "/x" +
+                               std::to_string(distance);
+            report.addKernelPhase(name + "-compute", k, perf_);
+            if (cfg_.overlapComm) {
+                double visible = std::max(0.0, comm_t - kernel_t);
+                report.addCommPhase(name + "-exchange", visible, comm,
+                                    comm_t - visible);
+            } else {
+                report.addCommPhase(name + "-exchange", comm_t, comm);
+            }
+            return Status();
+        }
+    };
+
+    // Group local stages [from, logN) into balanced passes with the
+    // planner's policy. Rebuilt rather than read from pl.passes
+    // because degradation can leave the first local stage above
+    // pl.logMg (a cross stage executed under the old sharding).
+    auto local_ranges_from = [&](unsigned from) {
+        std::vector<std::pair<unsigned, GridPassPlan>> ranges;
+        unsigned remaining = logN - from;
+        if (remaining == 0)
+            return ranges;
+        unsigned num_passes =
+            (remaining + pl.logBlockTile - 1) / pl.logBlockTile;
+        unsigned s = from;
+        for (unsigned i = 0; i < num_passes; ++i) {
+            unsigned left = num_passes - i;
+            unsigned bits = (remaining + left - 1) / left;
+            GridPassPlan pass;
+            pass.bits = bits;
+            pass.warpRounds = (bits + pl.logWarp - 1) / pl.logWarp;
+            ranges.emplace_back(s, pass);
+            s += bits;
+            remaining -= bits;
+        }
+        return ranges;
+    };
+
+    auto run_local_phase = [&](unsigned from) {
+        auto ranges = local_ranges_from(from);
+        if (dir == NttDirection::Inverse)
+            std::reverse(ranges.begin(), ranges.end());
+        for (size_t i = 0; i < ranges.size(); ++i) {
+            const auto &[s_begin, pass] = ranges[i];
+            localStagesCompute(data, s_begin, s_begin + pass.bits,
+                               logN, tw, dir);
+            KernelStats k = gridPassStats(pl.chunkElems(), pass, 1);
+            report.addKernelPhase("grid-pass-" + std::to_string(i) +
+                                      "/b" + std::to_string(pass.bits),
+                                  k, perf_);
+            if (!cfg_.fuseTwiddles && i + 1 < ranges.size())
+                add_twiddle_pass("pass" + std::to_string(i));
+        }
+    };
+
+    if (dir == NttDirection::Forward) {
+        unsigned s = 0;
+        while (s < pl.logMg) {
+            Status st = resilient_cross_stage(s);
+            if (!st.ok())
+                return st;
+            ++s;
+        }
+        if (!cfg_.fuseTwiddles && logMg0 > 0)
+            add_twiddle_pass("mgpu");
+        run_local_phase(s);
+    } else {
+        run_local_phase(pl.logMg);
+        for (int s = static_cast<int>(pl.logMg) - 1; s >= 0; --s) {
+            Status st =
+                resilient_cross_stage(static_cast<unsigned>(s));
+            if (!st.ok())
+                return st;
+        }
+        if (!cfg_.fuseTwiddles && logMg0 > 0)
+            add_twiddle_pass("mgpu");
+
+        // n^-1 scaling, exactly as in run().
+        F scale = inverseScale<F>(n);
+        for (unsigned g = 0; g < data.numGpus(); ++g)
+            for (auto &v : data.chunk(g))
+                v *= scale;
+        if (cfg_.fuseTwiddles) {
+            KernelStats k;
+            k.fieldMuls = pl.chunkElems();
+            report.addKernelPhase("inverse-scale-fused", k, perf_);
+        } else {
+            add_twiddle_pass("inverse-scale");
+        }
+    }
+
+    // Post-transform spot check against a direct evaluation
+    // (unintt/verify.hh): the backstop that catches whatever the
+    // exchange checksums cannot see.
+    if (rc.spotChecks > 0) {
+        const std::vector<F> out_global = data.toGlobal();
+        KernelStats k;
+        k.fieldMuls = static_cast<uint64_t>(rc.spotChecks) * n;
+        k.fieldAdds = static_cast<uint64_t>(rc.spotChecks) * n;
+        k.kernelLaunches = 1;
+        report.addKernelPhase("spot-check", k, perf_);
+        fs.spotChecks += rc.spotChecks;
+        const bool good =
+            dir == NttDirection::Forward
+                ? spotCheckForward(input, out_global, rc.spotChecks,
+                                   rc.spotCheckSeed)
+                : spotCheckInverse(input, out_global, rc.spotChecks,
+                                   rc.spotCheckSeed);
+        if (!good) {
+            fs.spotCheckFailures++;
+            report.addFaultStats(fs);
+            return Status::error(
+                StatusCode::DataCorruption,
+                "post-transform spot check failed: output does not "
+                "match a direct evaluation of the input");
+        }
+    }
+
+    report.addFaultStats(fs);
     return report;
 }
 

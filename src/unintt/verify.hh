@@ -58,6 +58,38 @@ spotCheckForward(const std::vector<F> &input, const std::vector<F> &output,
 }
 
 /**
+ * Spot-check an inverse transform: @p input the bit-reversed-order
+ * evaluations the inverse NTT consumed, @p output the natural-order
+ * coefficients it produced (n^-1 scaling included). Verifies @p checks
+ * random positions k by re-evaluating the output polynomial at w^k
+ * (Horner) and comparing against the original evaluation
+ * input[bitReverse(k)].
+ */
+template <NttField F>
+bool
+spotCheckInverse(const std::vector<F> &input, const std::vector<F> &output,
+                 unsigned checks, uint64_t seed = 99)
+{
+    UNINTT_ASSERT(input.size() == output.size(), "size mismatch");
+    const size_t n = input.size();
+    UNINTT_ASSERT(isPow2(n), "size must be a power of two");
+    const unsigned log_n = log2Exact(n);
+    const F w = F::rootOfUnity(log_n);
+
+    Rng rng(seed);
+    for (unsigned c = 0; c < checks; ++c) {
+        uint64_t k = rng.below(n);
+        F x = w.pow(k);
+        F acc = F::zero();
+        for (size_t i = n; i-- > 0;)
+            acc = acc * x + output[i];
+        if (!(input[bitReverse(k, log_n)] == acc))
+            return false;
+    }
+    return true;
+}
+
+/**
  * Spot-check a coset forward transform (see
  * UniNttEngine::forwardCoset): output position k should hold
  * P(shift * w^k).

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Payload checksums for exchange verification. The resilient exchange
+ * paths checksum every chunk before it is sent and after it lands, so
+ * in-flight corruption is detected before the data is consumed.
+ *
+ * The checksum XORs a bijectively mixed value per 64-bit word
+ * (position-salted so reordered words do not cancel). Because the mixer
+ * is a bijection, changing any single word — in particular flipping any
+ * single bit — always changes that word's contribution and therefore
+ * the checksum: single-bit-flip detection is guaranteed, not
+ * probabilistic. Multi-word corruptions are caught with probability
+ * 1 - 2^-64 per independent event.
+ */
+
+#ifndef UNINTT_UTIL_CHECKSUM_HH
+#define UNINTT_UTIL_CHECKSUM_HH
+
+#include <cstdint>
+#include <cstring>
+
+namespace unintt {
+
+/** splitmix64 finalizer: a cheap bijective 64-bit mixer. */
+inline uint64_t
+mix64(uint64_t z)
+{
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+/** Checksum @p bytes bytes at @p data (position-mixed XOR; see above). */
+inline uint64_t
+checksumBytes(const void *data, size_t bytes)
+{
+    const auto *p = static_cast<const unsigned char *>(data);
+    const uint64_t salt = 0x9e3779b97f4a7c15ULL;
+    uint64_t h = salt ^ static_cast<uint64_t>(bytes);
+    size_t i = 0;
+    uint64_t word_index = 1;
+    for (; i + 8 <= bytes; i += 8, ++word_index) {
+        uint64_t w;
+        std::memcpy(&w, p + i, 8);
+        h ^= mix64(w + salt * word_index);
+    }
+    if (i < bytes) {
+        uint64_t w = 0;
+        std::memcpy(&w, p + i, bytes - i);
+        h ^= mix64(w + salt * word_index);
+    }
+    return h;
+}
+
+} // namespace unintt
+
+#endif // UNINTT_UTIL_CHECKSUM_HH

@@ -1,0 +1,31 @@
+#include "util/status.hh"
+
+namespace unintt {
+
+const char *
+toString(StatusCode code)
+{
+    switch (code) {
+      case StatusCode::Ok:
+        return "OK";
+      case StatusCode::InvalidArgument:
+        return "INVALID_ARGUMENT";
+      case StatusCode::TransientFault:
+        return "TRANSIENT_FAULT";
+      case StatusCode::DataCorruption:
+        return "DATA_CORRUPTION";
+      case StatusCode::DeviceLost:
+        return "DEVICE_LOST";
+    }
+    return "?";
+}
+
+std::string
+Status::toString() const
+{
+    if (ok())
+        return "OK";
+    return std::string(unintt::toString(code_)) + ": " + message_;
+}
+
+} // namespace unintt

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Recoverable-error reporting.
+ *
+ * logging.hh's fatal()/panic() remain the right tool for unrecoverable
+ * *user* errors (bad configuration, invalid CLI arguments) and internal
+ * invariant violations. Runtime faults of a simulated machine — a
+ * failed exchange, a corrupted payload, a lost device — are a different
+ * category: callers can retry, re-plan onto fewer devices, or surface
+ * the failure to their own caller. Status and Result<T> carry those
+ * outcomes without exiting the process.
+ */
+
+#ifndef UNINTT_UTIL_STATUS_HH
+#define UNINTT_UTIL_STATUS_HH
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "util/logging.hh"
+
+namespace unintt {
+
+/** Category of a recoverable runtime outcome. */
+enum class StatusCode {
+    Ok = 0,
+    /** The request itself was malformed (recoverable user error). */
+    InvalidArgument,
+    /** A transient fault (link glitch) persisted past the retry bound. */
+    TransientFault,
+    /** Payload corruption that could not be repaired by retransmission. */
+    DataCorruption,
+    /** A device dropped out and no degraded plan could absorb it. */
+    DeviceLost,
+};
+
+/** Printable name of a status code ("DEVICE_LOST" style). */
+const char *toString(StatusCode code);
+
+/** Outcome of an operation that may fail recoverably. */
+class Status
+{
+  public:
+    /** Success. */
+    Status() = default;
+
+    /** Failure of category @p code with a human-readable message. */
+    static Status
+    error(StatusCode code, std::string message)
+    {
+        UNINTT_ASSERT(code != StatusCode::Ok,
+                      "error status needs a non-ok code");
+        Status s;
+        s.code_ = code;
+        s.message_ = std::move(message);
+        return s;
+    }
+
+    /** True iff the operation succeeded. */
+    bool ok() const { return code_ == StatusCode::Ok; }
+
+    /** Failure category (Ok when ok()). */
+    StatusCode code() const { return code_; }
+
+    /** Human-readable failure description (empty when ok()). */
+    const std::string &message() const { return message_; }
+
+    /** "DEVICE_LOST: <message>" (or "OK") for logs and tests. */
+    std::string toString() const;
+
+  private:
+    StatusCode code_ = StatusCode::Ok;
+    std::string message_;
+};
+
+/** Either a value of type T or the Status explaining its absence. */
+template <typename T>
+class Result
+{
+  public:
+    /** Success carrying @p value. */
+    Result(T value)
+        : value_(std::move(value))
+    {
+    }
+
+    /** Failure; @p status must be non-ok. */
+    Result(Status status)
+        : status_(std::move(status))
+    {
+        UNINTT_ASSERT(!status_.ok(), "an ok Result needs a value");
+    }
+
+    /** True iff a value is present. */
+    bool ok() const { return status_.ok(); }
+
+    /** The status (Ok when a value is present). */
+    const Status &status() const { return status_; }
+
+    /** The value; asserts ok(). */
+    T &
+    value()
+    {
+        UNINTT_ASSERT(value_.has_value(), "value() on an error Result");
+        return *value_;
+    }
+
+    /** The value; asserts ok(). */
+    const T &
+    value() const
+    {
+        UNINTT_ASSERT(value_.has_value(), "value() on an error Result");
+        return *value_;
+    }
+
+    T &operator*() { return value(); }
+    const T &operator*() const { return value(); }
+
+  private:
+    Status status_;
+    std::optional<T> value_;
+};
+
+} // namespace unintt
+
+#endif // UNINTT_UTIL_STATUS_HH

@@ -11,9 +11,11 @@
 #include "field/goldilocks.hh"
 #include "msm/pippenger.hh"
 #include "ntt/radix2.hh"
+#include "sim/fault.hh"
 #include "sim/multi_gpu.hh"
 #include "unintt/engine.hh"
 #include "util/cli.hh"
+#include "util/status.hh"
 
 namespace unintt {
 namespace {
@@ -100,6 +102,112 @@ TEST(ErrorPaths, MsmSizeMismatchPanics)
     std::vector<G1Affine> points{G1Affine::generator()};
     std::vector<U256> scalars;
     EXPECT_DEATH(pippengerMsm(points, scalars), "size mismatch");
+}
+
+TEST(ErrorPaths, DistributedVectorChunkOutOfRangePanics)
+{
+    std::vector<F> v(8);
+    auto dist = DistributedVector<F>::fromGlobal(v, 4);
+    EXPECT_DEATH((void)dist.chunk(4), "out of range");
+}
+
+TEST(StatusType, DefaultIsOk)
+{
+    Status s;
+    EXPECT_TRUE(s.ok());
+    EXPECT_EQ(s.code(), StatusCode::Ok);
+    EXPECT_EQ(s.toString(), "OK");
+}
+
+TEST(StatusType, ErrorCarriesCodeAndMessage)
+{
+    Status s = Status::error(StatusCode::DeviceLost, "GPU 3 vanished");
+    EXPECT_FALSE(s.ok());
+    EXPECT_EQ(s.code(), StatusCode::DeviceLost);
+    EXPECT_EQ(s.message(), "GPU 3 vanished");
+    EXPECT_EQ(s.toString(), "DEVICE_LOST: GPU 3 vanished");
+    EXPECT_STREQ(toString(StatusCode::TransientFault),
+                 "TRANSIENT_FAULT");
+}
+
+TEST(StatusType, ResultHoldsValueOrStatus)
+{
+    Result<int> good(7);
+    EXPECT_TRUE(good.ok());
+    EXPECT_EQ(*good, 7);
+
+    Result<int> bad(Status::error(StatusCode::DataCorruption, "flip"));
+    EXPECT_FALSE(bad.ok());
+    EXPECT_EQ(bad.status().code(), StatusCode::DataCorruption);
+    EXPECT_DEATH((void)bad.value(), "value\\(\\) on an error Result");
+}
+
+// The resilient engine paths report runtime faults as Status values
+// with actionable messages — they must never exit the process.
+TEST(RecoverablePaths, GpuCountMismatchIsStatusNotExit)
+{
+    UniNttEngine<F> engine(makeDgxA100(8));
+    std::vector<F> x(1 << 10);
+    auto dist = DistributedVector<F>::fromGlobal(x, 4);
+    FaultInjector inj(FaultModel::none());
+    auto r = engine.forwardResilient(dist, inj);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::InvalidArgument);
+    EXPECT_NE(r.status().message().find("GPUs"), std::string::npos);
+}
+
+TEST(RecoverablePaths, ExhaustedRetriesIsStatusNotExit)
+{
+    UniNttEngine<F> engine(makeDgxA100(4));
+    std::vector<F> x(1 << 10);
+    auto dist = DistributedVector<F>::fromGlobal(x, 4);
+    FaultModel m;
+    m.transientExchangeRate = 1.0;
+    FaultInjector inj(m);
+    auto r = engine.forwardResilient(dist, inj);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::TransientFault);
+    EXPECT_NE(r.status().message().find("retries"), std::string::npos);
+}
+
+TEST(RecoverablePaths, PersistentCorruptionIsStatusNotExit)
+{
+    UniNttEngine<F> engine(makeDgxA100(4));
+    std::vector<F> x(1 << 10);
+    auto dist = DistributedVector<F>::fromGlobal(x, 4);
+    FaultModel m;
+    m.bitFlipRate = 1.0;
+    FaultInjector inj(m);
+    auto r = engine.forwardResilient(dist, inj);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::DataCorruption);
+    EXPECT_NE(r.status().message().find("retransmissions"),
+              std::string::npos);
+}
+
+TEST(RecoverablePaths, DeviceLossWithDegradationDisabledIsStatus)
+{
+    UniNttEngine<F> engine(makeDgxA100(4));
+    std::vector<F> x(1 << 10);
+    auto dist = DistributedVector<F>::fromGlobal(x, 4);
+    FaultModel m;
+    m.dropouts.push_back({1, 0});
+    FaultInjector inj(m);
+    ResilienceConfig rc;
+    rc.allowDegraded = false;
+    auto r = engine.forwardResilient(dist, inj, rc);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::DeviceLost);
+    EXPECT_NE(r.status().message().find("disabled"), std::string::npos);
+}
+
+TEST(RecoverablePaths, FatalPathsAreStillFatal)
+{
+    // The recoverable layer must not have softened user errors: bad
+    // configuration still exits with a message.
+    auto sys = makeDgxA100(3);
+    EXPECT_EXIT(planNtt(20, sys, 8), ::testing::ExitedWithCode(1),
+                "power-of-two GPU count");
 }
 
 TEST(Degenerate, SizeTwoTransformEverywhere)

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Spot-check verification tests (unintt/verify.hh): clean transforms
+ * always pass, systematic corruptions are always caught, and a single
+ * corrupted output is caught with the predicted probability — measured
+ * across seeds against the binomial expectation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "field/goldilocks.hh"
+#include "ntt/radix2.hh"
+#include "unintt/verify.hh"
+#include "util/random.hh"
+
+namespace unintt {
+namespace {
+
+using F = Goldilocks;
+
+std::vector<F>
+coefficients(size_t n, uint64_t salt = 0)
+{
+    std::vector<F> x(n);
+    for (size_t i = 0; i < n; ++i)
+        x[i] = F::fromU64(i * 6364136223846793005ULL + salt + 1);
+    return x;
+}
+
+TEST(SpotCheckForward, CleanTransformPassesForEverySeed)
+{
+    std::vector<F> input = coefficients(1 << 8);
+    std::vector<F> output = input;
+    nttNoPermute(output, NttDirection::Forward);
+    for (uint64_t seed = 0; seed < 50; ++seed)
+        EXPECT_TRUE(spotCheckForward(input, output, 8, seed));
+}
+
+TEST(SpotCheckForward, SystematicCorruptionIsAlwaysCaught)
+{
+    // A wrong twiddle table or a mis-routed exchange corrupts a large
+    // fraction of positions; here every position is off, so any sampled
+    // check must see it.
+    std::vector<F> input = coefficients(1 << 8);
+    std::vector<F> output = input;
+    nttNoPermute(output, NttDirection::Forward);
+    for (auto &v : output)
+        v += F::one();
+    for (uint64_t seed = 0; seed < 50; ++seed)
+        EXPECT_FALSE(spotCheckForward(input, output, 8, seed));
+}
+
+TEST(SpotCheckForward, SingleCorruptionCaughtAtTheExpectedRate)
+{
+    // One corrupted output among n=256; a set of c=32 random checks
+    // catches it with p = 1 - (1 - 1/n)^c ~ 11.8%. Across 400 seeds the
+    // detection count is binomial; accept a generous +-5 sigma band
+    // (~[6.2%, 19.4%]) so the test is sharp enough to catch a broken
+    // sampler but never flakes.
+    const size_t n = 1 << 8;
+    const unsigned checks = 32;
+    std::vector<F> input = coefficients(n);
+    std::vector<F> output = input;
+    nttNoPermute(output, NttDirection::Forward);
+    output[137] += F::one();
+
+    const int trials = 400;
+    int caught = 0;
+    for (int seed = 0; seed < trials; ++seed)
+        if (!spotCheckForward(input, output, checks,
+                              static_cast<uint64_t>(seed)))
+            caught++;
+
+    const double p =
+        1.0 - std::pow(1.0 - 1.0 / static_cast<double>(n), checks);
+    const double sigma = std::sqrt(p * (1.0 - p) * trials);
+    EXPECT_GT(caught, p * trials - 5 * sigma);
+    EXPECT_LT(caught, p * trials + 5 * sigma);
+}
+
+TEST(SpotCheckInverse, CleanInversePassesForEverySeed)
+{
+    // Forward DIF maps coefficients to bit-reversed evaluations; the
+    // inverse transform's (input, output) pair is exactly
+    // (evaluations, coefficients).
+    std::vector<F> coeffs = coefficients(1 << 8, 7);
+    std::vector<F> evals = coeffs;
+    nttNoPermute(evals, NttDirection::Forward);
+    for (uint64_t seed = 0; seed < 50; ++seed)
+        EXPECT_TRUE(spotCheckInverse(evals, coeffs, 8, seed));
+}
+
+TEST(SpotCheckInverse, RoundTripThroughTheReferencePasses)
+{
+    std::vector<F> evals = coefficients(1 << 8, 13);
+    std::vector<F> coeffs = evals;
+    nttNoPermute(coeffs, NttDirection::Inverse);
+    for (uint64_t seed = 0; seed < 50; ++seed)
+        EXPECT_TRUE(spotCheckInverse(evals, coeffs, 8, seed));
+}
+
+TEST(SpotCheckInverse, SystematicCorruptionIsAlwaysCaught)
+{
+    std::vector<F> coeffs = coefficients(1 << 8, 7);
+    std::vector<F> evals = coeffs;
+    nttNoPermute(evals, NttDirection::Forward);
+    // A corrupted low coefficient shifts every evaluation.
+    std::vector<F> bad = coeffs;
+    bad[0] += F::one();
+    for (uint64_t seed = 0; seed < 50; ++seed)
+        EXPECT_FALSE(spotCheckInverse(evals, bad, 8, seed));
+}
+
+TEST(SpotCheckInverse, MissingScaleIsCaught)
+{
+    // Forgetting the n^-1 factor is the classic inverse-NTT bug.
+    std::vector<F> coeffs = coefficients(1 << 8, 3);
+    std::vector<F> evals = coeffs;
+    nttNoPermute(evals, NttDirection::Forward);
+    std::vector<F> unscaled = coeffs;
+    F n = F::fromU64(coeffs.size());
+    for (auto &v : unscaled)
+        v *= n; // what the output looks like without the scaling pass
+    EXPECT_FALSE(spotCheckInverse(evals, unscaled, 8, 1));
+}
+
+} // namespace
+} // namespace unintt
