@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# The full CI pipeline: build the regular tree and run the complete
+# test suite, then do the same under ASan + UBSan via
+# scripts/check_sanitize.sh (separate build tree). Both steps must pass
+# for a change to merge. Local usage is identical: ./scripts/ci.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${BUILD_DIR:-build}"
+JOBS="${JOBS:-$(nproc)}"
+
+echo "==> regular build + tests ($BUILD_DIR)"
+cmake -B "$BUILD_DIR" -S .
+cmake --build "$BUILD_DIR" -j"$JOBS"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$JOBS"
+
+echo "==> sanitizer build + tests"
+./scripts/check_sanitize.sh
+
+echo "==> CI OK"

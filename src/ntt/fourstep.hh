@@ -20,6 +20,7 @@
 #include "ntt/ntt.hh"
 #include "ntt/radix2.hh"
 #include "ntt/twiddle.hh"
+#include "ntt/twiddle_cache.hh"
 #include "util/bitops.hh"
 #include "util/logging.hh"
 
@@ -52,12 +53,12 @@ fourStepNtt(const std::vector<F> &x, size_t n1, NttDirection dir)
 
     // Step 1: size-n1 NTT down each column (stride n2).
     if (n1 > 1) {
-        TwiddleTable<F> tw1(n1, dir);
+        auto tw1 = cachedTwiddles<F>(n1, dir);
         std::vector<F> col(n1);
         for (size_t c = 0; c < n2; ++c) {
             for (size_t r = 0; r < n1; ++r)
                 col[r] = a[r * n2 + c];
-            nttDif(col.data(), n1, tw1);
+            nttDif(col.data(), n1, *tw1);
             bitReversePermute(col.data(), n1);
             for (size_t r = 0; r < n1; ++r)
                 a[r * n2 + c] = col[r];
@@ -76,9 +77,9 @@ fourStepNtt(const std::vector<F> &x, size_t n1, NttDirection dir)
 
     // Step 3: size-n2 NTT along each row (contiguous).
     if (n2 > 1) {
-        TwiddleTable<F> tw2(n2, dir);
+        auto tw2 = cachedTwiddles<F>(n2, dir);
         for (size_t r = 0; r < n1; ++r) {
-            nttDif(a.data() + r * n2, n2, tw2);
+            nttDif(a.data() + r * n2, n2, *tw2);
             bitReversePermute(a.data() + r * n2, n2);
         }
     }

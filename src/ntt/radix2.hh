@@ -21,6 +21,7 @@
 #include "field/field_traits.hh"
 #include "ntt/ntt.hh"
 #include "ntt/twiddle.hh"
+#include "ntt/twiddle_cache.hh"
 #include "util/bitops.hh"
 #include "util/logging.hh"
 
@@ -74,13 +75,15 @@ nttDit(F *a, size_t n, const TwiddleTable<F> &tw)
 
 /**
  * Forward NTT, natural order in and out (adds the bit-reversal pass).
+ * Twiddles come from the per-field TwiddleCache, so repeated transforms
+ * of one size (prover loops) skip the root-of-unity regeneration.
  */
 template <NttField F>
 void
 nttForwardInPlace(std::vector<F> &a)
 {
-    TwiddleTable<F> tw(a.size(), NttDirection::Forward);
-    nttDif(a.data(), a.size(), tw);
+    auto tw = cachedTwiddles<F>(a.size(), NttDirection::Forward);
+    nttDif(a.data(), a.size(), *tw);
     bitReversePermute(a.data(), a.size());
 }
 
@@ -91,9 +94,9 @@ template <NttField F>
 void
 nttInverseInPlace(std::vector<F> &a)
 {
-    TwiddleTable<F> tw(a.size(), NttDirection::Inverse);
+    auto tw = cachedTwiddles<F>(a.size(), NttDirection::Inverse);
     bitReversePermute(a.data(), a.size());
-    nttDit(a.data(), a.size(), tw);
+    nttDit(a.data(), a.size(), *tw);
     F scale = inverseScale<F>(a.size());
     for (auto &v : a)
         v *= scale;
@@ -108,11 +111,11 @@ template <NttField F>
 void
 nttNoPermute(std::vector<F> &a, NttDirection dir)
 {
-    TwiddleTable<F> tw(a.size(), dir);
+    auto tw = cachedTwiddles<F>(a.size(), dir);
     if (dir == NttDirection::Forward) {
-        nttDif(a.data(), a.size(), tw);
+        nttDif(a.data(), a.size(), *tw);
     } else {
-        nttDit(a.data(), a.size(), tw);
+        nttDit(a.data(), a.size(), *tw);
         F scale = inverseScale<F>(a.size());
         for (auto &v : a)
             v *= scale;

@@ -19,6 +19,7 @@
 #include "ntt/ntt.hh"
 #include "ntt/radix2.hh"
 #include "ntt/twiddle.hh"
+#include "ntt/twiddle_cache.hh"
 #include "util/bitops.hh"
 #include "util/logging.hh"
 
@@ -66,9 +67,9 @@ sixStepNtt(const std::vector<F> &x, size_t n1, NttDirection dir)
 
     // Step 2: n2 contiguous NTTs of size n1.
     if (n1 > 1) {
-        TwiddleTable<F> tw1(n1, dir);
+        auto tw1 = cachedTwiddles<F>(n1, dir);
         for (size_t r = 0; r < n2; ++r) {
-            nttDif(a.data() + r * n1, n1, tw1);
+            nttDif(a.data() + r * n1, n1, *tw1);
             bitReversePermute(a.data() + r * n1, n1);
         }
     }
@@ -89,9 +90,9 @@ sixStepNtt(const std::vector<F> &x, size_t n1, NttDirection dir)
 
     // Step 5: n1 contiguous NTTs of size n2.
     if (n2 > 1) {
-        TwiddleTable<F> tw2(n2, dir);
+        auto tw2 = cachedTwiddles<F>(n2, dir);
         for (size_t r = 0; r < n1; ++r) {
-            nttDif(a.data() + r * n2, n2, tw2);
+            nttDif(a.data() + r * n2, n2, *tw2);
             bitReversePermute(a.data() + r * n2, n2);
         }
     }

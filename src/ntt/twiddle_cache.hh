@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Process-wide cache of precomputed twiddle tables, one instance per
+ * field (the template parameter is the key's field component). ZKP
+ * provers transform the same domain sizes over and over — STARK trace /
+ * LDE / FRI folding loops, batched polynomial multiplication — and
+ * regenerating the powers of the root of unity on every call is pure
+ * waste. The cache hands out shared_ptr<const TwiddleTable> so hits are
+ * one mutex acquisition plus a refcount, safe to use from the host
+ * thread pool.
+ *
+ * Eviction is LRU, bounded both by entry count and by total bytes so a
+ * sweep over many sizes cannot pin unbounded memory (a 2^24 BN254 table
+ * alone is 256 MiB).
+ */
+
+#ifndef UNINTT_NTT_TWIDDLE_CACHE_HH
+#define UNINTT_NTT_TWIDDLE_CACHE_HH
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <utility>
+
+#include "field/field_traits.hh"
+#include "ntt/ntt.hh"
+#include "ntt/twiddle.hh"
+
+namespace unintt {
+
+/** Hit/miss counters of one cache; monotone over the process. */
+struct CacheCounters
+{
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+};
+
+/** Thread-safe LRU cache of TwiddleTable<F> keyed by (size, direction). */
+template <NttField F>
+class TwiddleCache
+{
+  public:
+    /**
+     * @param max_entries LRU bound on cached tables.
+     * @param max_bytes   LRU bound on the summed table footprint.
+     */
+    explicit TwiddleCache(size_t max_entries = 32,
+                          size_t max_bytes = 256ULL << 20)
+        : maxEntries_(max_entries), maxBytes_(max_bytes)
+    {
+    }
+
+    /**
+     * The table for size-@p n transforms in direction @p dir, built on
+     * the first request and shared afterwards. @p hit_out (optional)
+     * reports whether this call was served from the cache.
+     */
+    std::shared_ptr<const TwiddleTable<F>>
+    get(size_t n, NttDirection dir, bool *hit_out = nullptr)
+    {
+        std::lock_guard<std::mutex> lk(mutex_);
+        for (auto it = lru_.begin(); it != lru_.end(); ++it) {
+            if (it->n == n && it->dir == dir) {
+                counters_.hits++;
+                if (hit_out)
+                    *hit_out = true;
+                lru_.splice(lru_.begin(), lru_, it); // refresh recency
+                return lru_.front().table;
+            }
+        }
+        counters_.misses++;
+        if (hit_out)
+            *hit_out = false;
+        Entry e;
+        e.n = n;
+        e.dir = dir;
+        e.table = std::make_shared<const TwiddleTable<F>>(n, dir);
+        bytes_ += e.table->sizeBytes();
+        lru_.push_front(std::move(e));
+        while (lru_.size() > maxEntries_ ||
+               (bytes_ > maxBytes_ && lru_.size() > 1)) {
+            bytes_ -= lru_.back().table->sizeBytes();
+            lru_.pop_back(); // outstanding shared_ptrs stay valid
+        }
+        return lru_.front().table;
+    }
+
+    /** Drop every cached table (cold-cache tests). Counters persist. */
+    void
+    clear()
+    {
+        std::lock_guard<std::mutex> lk(mutex_);
+        lru_.clear();
+        bytes_ = 0;
+    }
+
+    /** Lifetime hit/miss counters. */
+    CacheCounters
+    counters() const
+    {
+        std::lock_guard<std::mutex> lk(mutex_);
+        return counters_;
+    }
+
+    /** Cached tables currently resident. */
+    size_t
+    size() const
+    {
+        std::lock_guard<std::mutex> lk(mutex_);
+        return lru_.size();
+    }
+
+    /** The process-wide instance for field F. */
+    static TwiddleCache &
+    global()
+    {
+        static TwiddleCache cache;
+        return cache;
+    }
+
+  private:
+    struct Entry
+    {
+        size_t n;
+        NttDirection dir;
+        std::shared_ptr<const TwiddleTable<F>> table;
+    };
+
+    mutable std::mutex mutex_;
+    std::list<Entry> lru_; // front = most recently used
+    size_t maxEntries_;
+    size_t maxBytes_;
+    size_t bytes_ = 0;
+    CacheCounters counters_;
+};
+
+/** Cached lookup on the field's global cache. */
+template <NttField F>
+std::shared_ptr<const TwiddleTable<F>>
+cachedTwiddles(size_t n, NttDirection dir, bool *hit_out = nullptr)
+{
+    return TwiddleCache<F>::global().get(n, dir, hit_out);
+}
+
+} // namespace unintt
+
+#endif // UNINTT_NTT_TWIDDLE_CACHE_HH

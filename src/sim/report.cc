@@ -88,6 +88,7 @@ SimReport::append(const SimReport &other)
                    other.phases_.end());
     setPeakDeviceBytes(other.peakDeviceBytes());
     faults_ += other.faults_;
+    hostExec_ += other.hostExec_;
 }
 
 std::string
@@ -104,6 +105,14 @@ SimReport::toString() const
     os << "total: " << formatSeconds(totalSeconds())
        << " (kernel " << formatSeconds(kernelSeconds()) << ", comm "
        << formatSeconds(commSeconds()) << ")\n";
+    if (hostExec_.any()) {
+        os << "host: " << hostExec_.hostThreads << " thread"
+           << (hostExec_.hostThreads == 1 ? "" : "s") << ", plan cache "
+           << hostExec_.planCacheHits << " hit/"
+           << hostExec_.planCacheMisses << " miss, twiddle cache "
+           << hostExec_.twiddleCacheHits << " hit/"
+           << hostExec_.twiddleCacheMisses << " miss\n";
+    }
     if (faults_.any()) {
         os << "faults: " << faults_.transientRetries << " retries, "
            << faults_.corruptionsDetected << " corruptions detected, "

@@ -36,6 +36,42 @@ struct SimPhase
     CommStats comm;
 };
 
+/**
+ * Host-side execution facts of one run: how many host threads executed
+ * the functional work and how the plan/twiddle caches behaved. Purely
+ * informational — the simulated timeline and every simulated counter
+ * are identical across thread counts and cache temperatures.
+ */
+struct HostExecStats
+{
+    /** Host lanes the functional work was allowed to use (0 = unset). */
+    unsigned hostThreads = 0;
+    uint64_t planCacheHits = 0;
+    uint64_t planCacheMisses = 0;
+    uint64_t twiddleCacheHits = 0;
+    uint64_t twiddleCacheMisses = 0;
+
+    /** True iff anything was recorded. */
+    bool
+    any() const
+    {
+        return hostThreads != 0 || planCacheHits || planCacheMisses ||
+               twiddleCacheHits || twiddleCacheMisses;
+    }
+
+    /** Combine with another run's host facts (report append). */
+    HostExecStats &
+    operator+=(const HostExecStats &o)
+    {
+        hostThreads = std::max(hostThreads, o.hostThreads);
+        planCacheHits += o.planCacheHits;
+        planCacheMisses += o.planCacheMisses;
+        twiddleCacheHits += o.twiddleCacheHits;
+        twiddleCacheMisses += o.twiddleCacheMisses;
+        return *this;
+    }
+};
+
 /** Accumulated timeline and counters of one simulated run. */
 class SimReport
 {
@@ -75,6 +111,12 @@ class SimReport
     /** Fault/resilience counters (all zero on a fault-free run). */
     const FaultStats &faultStats() const { return faults_; }
 
+    /** Merge host-side execution facts (threads, cache hits). */
+    void addHostExecStats(const HostExecStats &h) { hostExec_ += h; }
+
+    /** Host-side execution facts (zero when never recorded). */
+    const HostExecStats &hostExecStats() const { return hostExec_; }
+
     /** Record the per-GPU peak device-memory footprint. */
     void
     setPeakDeviceBytes(uint64_t bytes)
@@ -92,6 +134,7 @@ class SimReport
     std::vector<SimPhase> phases_;
     uint64_t peakDeviceBytes_ = 0;
     FaultStats faults_;
+    HostExecStats hostExec_;
 };
 
 } // namespace unintt

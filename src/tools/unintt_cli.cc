@@ -6,6 +6,7 @@
  *   unintt-cli ntt    --log-n=24 --gpus=4 [--fabric=nvswitch]
  *                     [--field=goldilocks] [--batch=1] [--inverse]
  *                     [--trace=out.json] [--baseline=fourstep]
+ *                     [--functional] [--threads=N]
  *   unintt-cli msm    --log-n=20 --gpus=4 [--g2]
  *   unintt-cli prover --log-constraints=22 --gpus=8 [--proto=plonk]
  *   unintt-cli levels --gpus=8
@@ -14,9 +15,11 @@
  * engines the benches use.
  */
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "baselines/fourstep_multigpu.hh"
 #include "field/babybear.hh"
@@ -26,8 +29,10 @@
 #include "sim/trace.hh"
 #include "unintt/engine.hh"
 #include "util/cli.hh"
+#include "util/random.hh"
 #include "util/stats.hh"
 #include "util/table.hh"
+#include "util/thread_pool.hh"
 #include "zkp/prover.hh"
 #include "zkp/serialize.hh"
 #include "zkp/stark.hh"
@@ -81,8 +86,50 @@ runNtt(const CliParser &cli)
                 sys.description().c_str(), toString(dir), logN, batch,
                 F::kName);
 
+    unsigned threads = static_cast<unsigned>(cli.getInt("threads"));
+    if (threads > 0)
+        ThreadPool::setGlobalThreads(threads);
+
     SimReport report;
-    if (cli.getString("baseline") == "fourstep") {
+    if (cli.getBool("functional")) {
+        if (!cli.getString("baseline").empty())
+            fatal("--functional only runs the UniNTT engine "
+                  "(drop --baseline)");
+        uint64_t bytes =
+            (static_cast<uint64_t>(batch) << logN) * sizeof(F);
+        if (bytes > (4ULL << 30))
+            fatal("--functional needs %s of host memory; "
+                  "use --log-n/--batch totalling <= 4 GiB",
+                  formatBytes(static_cast<double>(bytes)).c_str());
+
+        UniNttConfig cfg;
+        cfg.hostThreads = threads; // 0 = every pool lane
+        UniNttEngine<F> engine(sys, cfg);
+        Rng rng(2024);
+        std::vector<DistributedVector<F>> batch_data;
+        batch_data.reserve(batch);
+        for (size_t b = 0; b < batch; ++b) {
+            std::vector<F> x(size_t{1} << logN);
+            for (auto &v : x)
+                v = F::fromU64(rng.next());
+            batch_data.push_back(
+                DistributedVector<F>::fromGlobal(x, sys.numGpus));
+        }
+
+        auto t0 = std::chrono::steady_clock::now();
+        if (dir == NttDirection::Forward) {
+            report = engine.forwardBatch(batch_data);
+        } else {
+            report = engine.inverse(batch_data[0]);
+            for (size_t b = 1; b < batch_data.size(); ++b)
+                report.append(engine.inverse(batch_data[b]));
+        }
+        auto t1 = std::chrono::steady_clock::now();
+        double wall = std::chrono::duration<double>(t1 - t0).count();
+        std::printf("host wall clock: %s (%u host thread%s)\n",
+                    formatSeconds(wall).c_str(), engine.hostLanes(),
+                    engine.hostLanes() == 1 ? "" : "s");
+    } else if (cli.getString("baseline") == "fourstep") {
         FourStepMultiGpuNtt<F> engine(sys);
         report = engine.analyticRun(logN, dir, batch);
     } else if (cli.getString("baseline").empty()) {
@@ -117,6 +164,11 @@ cmdNtt(int argc, char **argv)
     cli.addString("field", "goldilocks",
                   "field: goldilocks, babybear, bn254");
     cli.addString("baseline", "", "run a baseline instead: fourstep");
+    cli.addBool("functional", false,
+                "execute the transform bit-exactly on the host "
+                "(in addition to the simulated timeline)");
+    cli.addInt("threads", 0,
+               "host threads for --functional: 0 = all cores, 1 = serial");
     cli.addString("trace", "", "write a chrome://tracing JSON here");
     addCommonFlags(cli);
     cli.parse(argc, argv);

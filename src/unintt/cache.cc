@@ -1,0 +1,75 @@
+#include "unintt/cache.hh"
+
+namespace unintt {
+
+NttPlan
+PlanCache::get(unsigned logN, const MultiGpuSystem &sys,
+               size_t element_bytes, unsigned force_log_tile,
+               bool *hit_out)
+{
+    Key key{logN,
+            sys.numGpus,
+            element_bytes,
+            force_log_tile,
+            sys.gpu.maxThreadsPerBlock,
+            sys.gpu.smemBytesPerBlock,
+            sys.gpu.warpSize,
+            sys.gpu.dramCapacityBytes};
+
+    {
+        std::lock_guard<std::mutex> lk(mutex_);
+        for (auto it = lru_.begin(); it != lru_.end(); ++it) {
+            if (it->key == key) {
+                counters_.hits++;
+                if (hit_out)
+                    *hit_out = true;
+                lru_.splice(lru_.begin(), lru_, it);
+                return lru_.front().plan;
+            }
+        }
+    }
+
+    // Plan outside the lock: the planner may fatal() on user error and
+    // concurrent misses of the same key are merely redundant work.
+    NttPlan plan = planNttWithTile(logN, sys, element_bytes,
+                                   force_log_tile);
+
+    std::lock_guard<std::mutex> lk(mutex_);
+    counters_.misses++;
+    if (hit_out)
+        *hit_out = false;
+    lru_.push_front(Entry{key, plan});
+    while (lru_.size() > maxEntries_)
+        lru_.pop_back();
+    return plan;
+}
+
+void
+PlanCache::clear()
+{
+    std::lock_guard<std::mutex> lk(mutex_);
+    lru_.clear();
+}
+
+CacheCounters
+PlanCache::counters() const
+{
+    std::lock_guard<std::mutex> lk(mutex_);
+    return counters_;
+}
+
+size_t
+PlanCache::size() const
+{
+    std::lock_guard<std::mutex> lk(mutex_);
+    return lru_.size();
+}
+
+PlanCache &
+PlanCache::global()
+{
+    static PlanCache cache;
+    return cache;
+}
+
+} // namespace unintt

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Host-side result caches of the UniNTT front end.
+ *
+ * PlanCache memoizes the decomposition planner: batch benches and
+ * prover loops run thousands of transforms of identical shape, and
+ * while one planNtt call is cheap, re-deriving the plan (and, on the
+ * engine's functional path, the twiddle table — see
+ * ntt/twiddle_cache.hh for that half) on every transform adds a
+ * constant per-call tax the paper's real GPU runtimes do not pay.
+ *
+ * The cache key is everything the planner reads: the transform size,
+ * the GPU count, the element footprint (the field), the forced tile
+ * override, and the per-GPU limits of the hardware model. Entries are
+ * LRU-evicted beyond a fixed bound; lookups are mutex-protected so the
+ * cache can be shared by concurrent host threads.
+ */
+
+#ifndef UNINTT_UNINTT_CACHE_HH
+#define UNINTT_UNINTT_CACHE_HH
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+
+#include "ntt/twiddle_cache.hh"
+#include "sim/multi_gpu.hh"
+#include "unintt/plan.hh"
+
+namespace unintt {
+
+/** Thread-safe LRU memo of planNttWithTile results. */
+class PlanCache
+{
+  public:
+    explicit PlanCache(size_t max_entries = 64)
+        : maxEntries_(max_entries)
+    {
+    }
+
+    /**
+     * The plan for a 2^logN transform on @p sys, computed on the first
+     * request with planNttWithTile and replayed afterwards. @p hit_out
+     * (optional) reports whether this call was served from the cache.
+     * Invalid sizes are fatal exactly as in planNttWithTile (the
+     * planner runs before anything is inserted).
+     */
+    NttPlan get(unsigned logN, const MultiGpuSystem &sys,
+                size_t element_bytes, unsigned force_log_tile,
+                bool *hit_out = nullptr);
+
+    /** Drop every cached plan (cold-cache tests). Counters persist. */
+    void clear();
+
+    /** Lifetime hit/miss counters. */
+    CacheCounters counters() const;
+
+    /** Cached plans currently resident. */
+    size_t size() const;
+
+    /** The process-wide instance. */
+    static PlanCache &global();
+
+  private:
+    /** Exactly the planner inputs; equality means the plans match. */
+    struct Key
+    {
+        unsigned logN;
+        unsigned numGpus;
+        size_t elementBytes;
+        unsigned forceLogTile;
+        unsigned maxThreadsPerBlock;
+        uint64_t smemBytesPerBlock;
+        unsigned warpSize;
+        uint64_t dramCapacityBytes;
+
+        bool operator==(const Key &) const = default;
+    };
+
+    struct Entry
+    {
+        Key key;
+        NttPlan plan;
+    };
+
+    mutable std::mutex mutex_;
+    std::list<Entry> lru_; // front = most recently used
+    size_t maxEntries_;
+    CacheCounters counters_;
+};
+
+} // namespace unintt
+
+#endif // UNINTT_UNINTT_CACHE_HH

@@ -13,7 +13,13 @@ UniNttConfig::toString() const
        << " otf-twiddle=" << onoff(onTheFlyTwiddles)
        << " pad-smem=" << onoff(paddedSmem)
        << " warp-shfl=" << onoff(warpShuffle)
-       << " overlap=" << onoff(overlapComm);
+       << " overlap=" << onoff(overlapComm)
+       << " host-caches=" << onoff(useHostCaches)
+       << " host-threads=";
+    if (hostThreads == 0)
+        os << "auto";
+    else
+        os << hostThreads;
     return os.str();
 }
 

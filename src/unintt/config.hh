@@ -76,6 +76,24 @@ struct UniNttConfig
      */
     unsigned forceLogBlockTile = 0;
 
+    /**
+     * Host threads allowed to execute the functional (bit-exact)
+     * butterfly work of a transform. 0 = use every lane of the shared
+     * pool (util/thread_pool.hh), 1 = serial. Purely a host-side knob:
+     * outputs and every simulated counter are identical for all values
+     * (simulated GPUs write disjoint chunks and every cross-GPU
+     * exchange is a barrier).
+     */
+    unsigned hostThreads = 0;
+
+    /**
+     * Consult the process-wide PlanCache / TwiddleCache (unintt/
+     * cache.hh) instead of re-planning and regenerating roots of unity
+     * per transform. Off forces cold-path behavior (determinism
+     * tests); results are bit-identical either way.
+     */
+    bool useHostCaches = true;
+
     /** Human-readable on/off summary for reports. */
     std::string toString() const;
 

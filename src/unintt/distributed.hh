@@ -10,11 +10,13 @@
 #ifndef UNINTT_UNINTT_DISTRIBUTED_HH
 #define UNINTT_UNINTT_DISTRIBUTED_HH
 
+#include <algorithm>
 #include <vector>
 
 #include "field/field_traits.hh"
 #include "util/bitops.hh"
 #include "util/logging.hh"
+#include "util/thread_pool.hh"
 
 namespace unintt {
 
@@ -38,9 +40,11 @@ class DistributedVector
                       "size must divide evenly across GPUs");
         DistributedVector out(num_gpus);
         size_t chunk = global.size() / num_gpus;
-        for (unsigned g = 0; g < num_gpus; ++g)
+        // Chunks are disjoint, so sharding copies concurrently.
+        hostParallelFor(num_gpus, chunk, 0, [&](size_t g) {
             out.chunks_[g].assign(global.begin() + g * chunk,
                                   global.begin() + (g + 1) * chunk);
+        });
         return out;
     }
 
@@ -48,10 +52,16 @@ class DistributedVector
     std::vector<F>
     toGlobal() const
     {
-        std::vector<F> out;
-        out.reserve(size());
-        for (const auto &c : chunks_)
-            out.insert(out.end(), c.begin(), c.end());
+        std::vector<size_t> offsets(chunks_.size() + 1, 0);
+        for (size_t g = 0; g < chunks_.size(); ++g)
+            offsets[g + 1] = offsets[g] + chunks_[g].size();
+        std::vector<F> out(offsets.back());
+        const size_t avg =
+            chunks_.empty() ? 0 : offsets.back() / chunks_.size();
+        hostParallelFor(chunks_.size(), avg, 0, [&](size_t g) {
+            std::copy(chunks_[g].begin(), chunks_[g].end(),
+                      out.begin() + offsets[g]);
+        });
         return out;
     }
 

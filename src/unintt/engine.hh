@@ -31,7 +31,7 @@
 #define UNINTT_UNINTT_ENGINE_HH
 
 #include <algorithm>
-#include <optional>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -44,6 +44,7 @@
 #include "sim/multi_gpu.hh"
 #include "sim/perf_model.hh"
 #include "sim/report.hh"
+#include "unintt/cache.hh"
 #include "unintt/config.hh"
 #include "unintt/distributed.hh"
 #include "unintt/plan.hh"
@@ -52,6 +53,7 @@
 #include "util/checksum.hh"
 #include "util/logging.hh"
 #include "util/status.hh"
+#include "util/thread_pool.hh"
 
 namespace unintt {
 
@@ -104,8 +106,18 @@ class UniNttEngine
     NttPlan
     plan(unsigned logN) const
     {
-        return planNttWithTile(logN, sys_, sizeof(F),
-                               cfg_.forceLogBlockTile);
+        return planCached(logN, sys_, nullptr);
+    }
+
+    /**
+     * Host lanes the functional execution may use: the configured
+     * count, or every lane of the shared pool when the config says 0.
+     */
+    unsigned
+    hostLanes() const
+    {
+        return cfg_.hostThreads != 0 ? cfg_.hostThreads
+                                     : ThreadPool::defaultLanes();
     }
 
     /**
@@ -294,6 +306,32 @@ class UniNttEngine
     /** Event counters of one explicit twiddle pass (fusion off). */
     KernelStats twiddlePassStats(uint64_t chunk, size_t batch) const;
 
+    /** Plan via the shared PlanCache (or directly when caching is off). */
+    NttPlan
+    planCached(unsigned logN, const MultiGpuSystem &sys,
+               bool *hit_out) const
+    {
+        if (cfg_.useHostCaches)
+            return PlanCache::global().get(logN, sys, sizeof(F),
+                                           cfg_.forceLogBlockTile,
+                                           hit_out);
+        if (hit_out)
+            *hit_out = false;
+        return planNttWithTile(logN, sys, sizeof(F),
+                               cfg_.forceLogBlockTile);
+    }
+
+    /** Twiddle table via the shared cache (or freshly built). */
+    std::shared_ptr<const TwiddleTable<F>>
+    twiddlesCached(uint64_t n, NttDirection dir, bool *hit_out) const
+    {
+        if (cfg_.useHostCaches)
+            return cachedTwiddles<F>(n, dir, hit_out);
+        if (hit_out)
+            *hit_out = false;
+        return std::make_shared<const TwiddleTable<F>>(n, dir);
+    }
+
     MultiGpuSystem sys_;
     UniNttConfig cfg_;
     CostConstants costs_;
@@ -317,28 +355,49 @@ UniNttEngine<F>::crossStageCompute(DistributedVector<F> &data, unsigned s,
     const uint64_t C = n / G;
     const unsigned partner_gap = 1u << (logMg - s - 1); // in GPU indices
 
-    for (unsigned g = 0; g < G; ++g) {
-        if ((g / partner_gap) % 2 != 0)
-            continue; // g is the upper element of its pair
-        unsigned p = g + partner_gap;
-        auto &lo = data.chunk(g);
-        auto &hi = data.chunk(p);
-        // Position of this GPU's chunk inside the half-block.
-        uint64_t j0 = static_cast<uint64_t>(g % partner_gap) * C;
-        for (uint64_t c = 0; c < C; ++c) {
-            uint64_t j = j0 + c;
-            F u = lo[c];
-            F v = hi[c];
-            if (dir == NttDirection::Forward) {
-                lo[c] = u + v;
-                hi[c] = (u - v) * tw[j << s];
-            } else {
-                v = v * tw[j << s];
-                lo[c] = u + v;
-                hi[c] = u - v;
+    // Lower-half GPUs of the exchanging pairs. Every pair touches only
+    // its own two chunks, so the pairs — further sliced along the chunk
+    // when there are fewer pairs than host lanes — execute concurrently
+    // on the pool; writes are disjoint across work units, so the result
+    // is bit-identical for every thread count.
+    std::vector<unsigned> lows;
+    lows.reserve(G / 2);
+    for (unsigned g = 0; g < G; ++g)
+        if ((g / partner_gap) % 2 == 0)
+            lows.push_back(g);
+
+    const unsigned lanes = hostLanes();
+    uint64_t slices = 1;
+    if (lanes > 1 && lows.size() < lanes)
+        slices = std::min<uint64_t>(
+            C, (2ULL * lanes + lows.size() - 1) / lows.size());
+
+    hostParallelFor(
+        lows.size() * slices, (C / slices) * 3, lanes,
+        [&](size_t unit) {
+            const unsigned g = lows[unit / slices];
+            const uint64_t slice = unit % slices;
+            const uint64_t c0 = C * slice / slices;
+            const uint64_t c1 = C * (slice + 1) / slices;
+            auto &lo = data.chunk(g);
+            auto &hi = data.chunk(g + partner_gap);
+            // Position of this GPU's chunk inside the half-block.
+            const uint64_t j0 =
+                static_cast<uint64_t>(g % partner_gap) * C;
+            for (uint64_t c = c0; c < c1; ++c) {
+                uint64_t j = j0 + c;
+                F u = lo[c];
+                F v = hi[c];
+                if (dir == NttDirection::Forward) {
+                    lo[c] = u + v;
+                    hi[c] = (u - v) * tw[j << s];
+                } else {
+                    v = v * tw[j << s];
+                    lo[c] = u + v;
+                    hi[c] = u - v;
+                }
             }
-        }
-    }
+        });
 }
 
 template <NttField F>
@@ -350,6 +409,8 @@ UniNttEngine<F>::localStagesCompute(DistributedVector<F> &data,
                                     NttDirection dir) const
 {
     const uint64_t n = 1ULL << logN;
+    const unsigned G = data.numGpus();
+    const uint64_t C = data.chunkSize();
 
     // Stage order: DIF descends (strides shrink), DIT ascends.
     std::vector<unsigned> stages;
@@ -358,27 +419,49 @@ UniNttEngine<F>::localStagesCompute(DistributedVector<F> &data,
     if (dir == NttDirection::Inverse)
         std::reverse(stages.begin(), stages.end());
 
-    for (unsigned g = 0; g < data.numGpus(); ++g) {
-        auto &chunk = data.chunk(g);
-        const uint64_t C = chunk.size();
-        for (unsigned s : stages) {
-            const uint64_t half = n >> (s + 1);
-            UNINTT_ASSERT(2 * half <= C, "stage is not GPU-local");
-            for (uint64_t start = 0; start < C; start += 2 * half) {
-                for (uint64_t j = 0; j < half; ++j) {
-                    F u = chunk[start + j];
-                    F v = chunk[start + j + half];
+    // One fork/join per stage: within a stage every butterfly block is
+    // independent, so (gpu, block, j-slice) tuples fan out over the
+    // pool and the join is the barrier the next stage needs. Work units
+    // write disjoint element ranges, which keeps the output
+    // bit-identical for every thread count.
+    const unsigned lanes = hostLanes();
+    for (unsigned s : stages) {
+        const uint64_t half = n >> (s + 1);
+        UNINTT_ASSERT(2 * half <= C, "stage is not GPU-local");
+        const uint64_t block = 2 * half;
+        const uint64_t blocks_per_gpu = C / block;
+        const uint64_t units =
+            static_cast<uint64_t>(G) * blocks_per_gpu;
+        uint64_t jslices = 1;
+        if (lanes > 1 && units < lanes)
+            jslices = std::min<uint64_t>(
+                half, (2ULL * lanes + units - 1) / units);
+
+        hostParallelFor(
+            units * jslices, (half / jslices) * 3, lanes,
+            [&](size_t u) {
+                const uint64_t unit = u / jslices;
+                const uint64_t slice = u % jslices;
+                const unsigned g =
+                    static_cast<unsigned>(unit / blocks_per_gpu);
+                const uint64_t start =
+                    (unit % blocks_per_gpu) * block;
+                const uint64_t jb = half * slice / jslices;
+                const uint64_t je = half * (slice + 1) / jslices;
+                auto &chunk = data.chunk(g);
+                for (uint64_t j = jb; j < je; ++j) {
+                    F a = chunk[start + j];
+                    F b = chunk[start + j + half];
                     if (dir == NttDirection::Forward) {
-                        chunk[start + j] = u + v;
-                        chunk[start + j + half] = (u - v) * tw[j << s];
+                        chunk[start + j] = a + b;
+                        chunk[start + j + half] = (a - b) * tw[j << s];
                     } else {
-                        v = v * tw[j << s];
-                        chunk[start + j] = u + v;
-                        chunk[start + j + half] = u - v;
+                        b = b * tw[j << s];
+                        chunk[start + j] = a + b;
+                        chunk[start + j + half] = a - b;
                     }
                 }
-            }
-        }
+            });
     }
 }
 
@@ -470,7 +553,8 @@ UniNttEngine<F>::run(unsigned logN, NttDirection dir,
                      std::vector<DistributedVector<F> *> &batch,
                      size_t analytic_batch) const
 {
-    const NttPlan pl = plan(logN);
+    bool plan_hit = false;
+    const NttPlan pl = planCached(logN, sys_, &plan_hit);
     const uint64_t n = 1ULL << logN;
     const uint64_t C = pl.chunkElems();
     const size_t nbatch = batch.empty() ? analytic_batch : batch.size();
@@ -481,13 +565,29 @@ UniNttEngine<F>::run(unsigned logN, NttDirection dir,
         UNINTT_ASSERT(d->numGpus() == sys_.numGpus, "GPU count mismatch");
     }
 
-    // Twiddle table shared by the functional execution. The simulated
-    // twiddle strategy (table vs on-the-fly) only affects accounting.
-    std::optional<TwiddleTable<F>> tw;
+    // Twiddle table shared by the functional execution (served from
+    // the per-field cache so repeated transforms skip the root-of-unity
+    // regeneration). The simulated twiddle strategy (table vs
+    // on-the-fly) only affects accounting.
+    std::shared_ptr<const TwiddleTable<F>> tw;
+    bool tw_hit = false;
     if (functional)
-        tw.emplace(n, dir);
+        tw = twiddlesCached(n, dir, &tw_hit);
 
     SimReport report;
+    {
+        HostExecStats hx;
+        hx.hostThreads = hostLanes();
+        // A bypass run (useHostCaches off) consults no cache, so it
+        // records no hit or miss.
+        if (cfg_.useHostCaches) {
+            (plan_hit ? hx.planCacheHits : hx.planCacheMisses) = 1;
+            if (functional)
+                (tw_hit ? hx.twiddleCacheHits : hx.twiddleCacheMisses) =
+                    1;
+        }
+        report.addHostExecStats(hx);
+    }
 
     // Device-memory footprint: the data chunk, one exchange buffer for
     // the cross-GPU phase, and the twiddle table when it is not
@@ -593,10 +693,14 @@ UniNttEngine<F>::run(unsigned logN, NttDirection dir,
         // fusion is on (extra muls only); a separate pass otherwise.
         if (functional) {
             F scale = inverseScale<F>(n);
-            for (auto *d : batch)
-                for (unsigned g = 0; g < d->numGpus(); ++g)
-                    for (auto &v : d->chunk(g))
+            const unsigned G = sys_.numGpus;
+            hostParallelFor(
+                batch.size() * G, C, hostLanes(), [&](size_t u) {
+                    auto &chunk = batch[u / G]->chunk(
+                        static_cast<unsigned>(u % G));
+                    for (auto &v : chunk)
                         v *= scale;
+                });
         }
         if (cfg_.fuseTwiddles) {
             KernelStats k;
@@ -628,13 +732,25 @@ UniNttEngine<F>::runResilient(NttDirection dir, DistributedVector<F> &data,
 
     // Input snapshot for the post-transform spot check.
     const std::vector<F> input = data.toGlobal();
-    const TwiddleTable<F> tw(n, dir);
+    bool tw_hit = false;
+    const auto tw_ptr = twiddlesCached(n, dir, &tw_hit);
+    const TwiddleTable<F> &tw = *tw_ptr;
 
     SimReport report;
     FaultStats fs;
     MultiGpuSystem sys = sys_; // shrinks when devices drop out
-    NttPlan pl = plan(logN);
+    bool plan_hit = false;
+    NttPlan pl = planCached(logN, sys, &plan_hit);
     const unsigned logMg0 = pl.logMg;
+    {
+        HostExecStats hx;
+        hx.hostThreads = hostLanes();
+        if (cfg_.useHostCaches) {
+            (plan_hit ? hx.planCacheHits : hx.planCacheMisses) = 1;
+            (tw_hit ? hx.twiddleCacheHits : hx.twiddleCacheMisses) = 1;
+        }
+        report.addHostExecStats(hx);
+    }
 
     auto account_memory = [&] {
         DeviceMemoryModel mem(sys.gpu, sys.numGpus);
@@ -683,8 +799,7 @@ UniNttEngine<F>::runResilient(NttDirection dir, DistributedVector<F> &data,
         sys.numGpus = newG;
         if (sys.gpusPerNode != 0 && sys.numGpus <= sys.gpusPerNode)
             sys.gpusPerNode = 0; // survivors fit inside one node
-        pl = planNttWithTile(logN, sys, sizeof(F),
-                             cfg_.forceLogBlockTile);
+        pl = planCached(logN, sys, nullptr);
         fs.devicesLost++;
         fs.degradedReplans++;
         account_memory();

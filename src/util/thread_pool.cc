@@ -1,0 +1,190 @@
+#include "util/thread_pool.hh"
+
+#include <algorithm>
+#include <chrono>
+
+#include "util/logging.hh"
+
+namespace unintt {
+
+ThreadPool::ThreadPool(unsigned workers)
+{
+    queues_.reserve(workers);
+    for (unsigned i = 0; i < workers; ++i)
+        queues_.push_back(std::make_unique<WorkQueue>());
+    threads_.reserve(workers);
+    for (unsigned i = 0; i < workers; ++i)
+        threads_.emplace_back([this, i] { workerLoop(i); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    stop_.store(true);
+    sleepCv_.notify_all();
+    for (auto &t : threads_)
+        t.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    const size_t w = queues_.size();
+    UNINTT_ASSERT(w > 0, "submit on a worker-less pool");
+    WorkQueue &q = *queues_[nextQueue_.fetch_add(1) % w];
+    {
+        std::lock_guard<std::mutex> lk(q.mutex);
+        q.tasks.push_back(std::move(task));
+    }
+    pending_.fetch_add(1);
+    sleepCv_.notify_one();
+}
+
+bool
+ThreadPool::tryRunOne(unsigned self)
+{
+    std::function<void()> task;
+    // Own queue first, newest work (LIFO keeps caches warm)...
+    {
+        WorkQueue &q = *queues_[self];
+        std::lock_guard<std::mutex> lk(q.mutex);
+        if (!q.tasks.empty()) {
+            task = std::move(q.tasks.back());
+            q.tasks.pop_back();
+        }
+    }
+    // ...then steal the oldest work of the next non-empty victim.
+    if (!task) {
+        const size_t w = queues_.size();
+        for (size_t k = 1; k < w && !task; ++k) {
+            WorkQueue &q = *queues_[(self + k) % w];
+            std::lock_guard<std::mutex> lk(q.mutex);
+            if (!q.tasks.empty()) {
+                task = std::move(q.tasks.front());
+                q.tasks.pop_front();
+            }
+        }
+    }
+    if (!task)
+        return false;
+    pending_.fetch_sub(1);
+    task();
+    return true;
+}
+
+bool
+ThreadPool::tryRunOneExternal()
+{
+    std::function<void()> task;
+    for (auto &qp : queues_) {
+        std::lock_guard<std::mutex> lk(qp->mutex);
+        if (!qp->tasks.empty()) {
+            task = std::move(qp->tasks.front());
+            qp->tasks.pop_front();
+            break;
+        }
+    }
+    if (!task)
+        return false;
+    pending_.fetch_sub(1);
+    task();
+    return true;
+}
+
+void
+ThreadPool::workerLoop(unsigned self)
+{
+    while (!stop_.load()) {
+        if (tryRunOne(self))
+            continue;
+        std::unique_lock<std::mutex> lk(sleepMutex_);
+        sleepCv_.wait(lk, [this] {
+            return stop_.load() || pending_.load() > 0;
+        });
+    }
+}
+
+void
+ThreadPool::parallelFor(size_t count, unsigned max_lanes,
+                        const std::function<void(size_t, size_t)> &range_fn)
+{
+    if (count == 0)
+        return;
+    unsigned lanes_avail = lanes();
+    unsigned L = max_lanes == 0 ? lanes_avail
+                                : std::min(max_lanes, lanes_avail);
+    if (L <= 1 || count == 1 || queues_.empty()) {
+        range_fn(0, count);
+        return;
+    }
+
+    // Oversplit so the stealing can rebalance ranges of uneven cost.
+    const size_t ntasks =
+        std::min(count, static_cast<size_t>(L) * 4);
+
+    struct Join
+    {
+        std::atomic<size_t> remaining;
+        std::mutex mutex;
+        std::condition_variable done;
+    };
+    auto join = std::make_shared<Join>();
+    join->remaining.store(ntasks);
+
+    auto run_range = [&range_fn, join](size_t begin, size_t end) {
+        range_fn(begin, end);
+        if (join->remaining.fetch_sub(1) == 1) {
+            std::lock_guard<std::mutex> lk(join->mutex);
+            join->done.notify_all();
+        }
+    };
+
+    for (size_t t = 1; t < ntasks; ++t) {
+        size_t begin = count * t / ntasks;
+        size_t end = count * (t + 1) / ntasks;
+        submit([run_range, begin, end] { run_range(begin, end); });
+    }
+    // The calling thread takes the first range, then helps drain the
+    // queues until every range of this loop has completed.
+    run_range(0, count * 1 / ntasks);
+    while (join->remaining.load() > 0) {
+        if (tryRunOneExternal())
+            continue;
+        std::unique_lock<std::mutex> lk(join->mutex);
+        join->done.wait_for(lk, std::chrono::milliseconds(1), [&] {
+            return join->remaining.load() == 0;
+        });
+    }
+}
+
+namespace {
+std::mutex g_pool_mutex;
+std::unique_ptr<ThreadPool> g_pool;
+} // namespace
+
+unsigned
+ThreadPool::defaultLanes()
+{
+    unsigned hw = std::thread::hardware_concurrency();
+    if (hw == 0)
+        hw = 4;
+    return std::clamp(hw, 1u, 16u);
+}
+
+ThreadPool &
+ThreadPool::global()
+{
+    std::lock_guard<std::mutex> lk(g_pool_mutex);
+    if (!g_pool)
+        g_pool = std::make_unique<ThreadPool>(defaultLanes() - 1);
+    return *g_pool;
+}
+
+void
+ThreadPool::setGlobalThreads(unsigned lanes)
+{
+    UNINTT_ASSERT(lanes >= 1, "need at least one lane");
+    std::lock_guard<std::mutex> lk(g_pool_mutex);
+    g_pool = std::make_unique<ThreadPool>(lanes - 1);
+}
+
+} // namespace unintt

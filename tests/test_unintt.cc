@@ -87,6 +87,93 @@ TEST(PlanDeath, RejectsTooManyGpusForSize)
 }
 
 // ---------------------------------------------------------------------
+// Planner invariants as properties over the hardware-model space.
+// ---------------------------------------------------------------------
+
+std::vector<MultiGpuSystem>
+propertySystems()
+{
+    std::vector<MultiGpuSystem> out;
+    for (unsigned gpus : {1u, 2u, 4u, 8u}) {
+        out.push_back(makeDgxA100(gpus));
+        out.push_back(makeHgxH100(gpus));
+        out.push_back(makePcieWorkstation(gpus));
+    }
+    out.push_back(makeA100Cluster(2, 4));
+    // Synthetic variants stress each tile bound in isolation.
+    MultiGpuSystem tiny = makeDgxA100(4);
+    tiny.gpu.name = "tiny-smem";
+    tiny.gpu.smemBytesPerBlock = 8 << 10;
+    out.push_back(tiny);
+    MultiGpuSystem narrow = makeDgxA100(4);
+    narrow.gpu.name = "small-blocks";
+    narrow.gpu.maxThreadsPerBlock = 128;
+    out.push_back(narrow);
+    MultiGpuSystem wide = makeDgxA100(2);
+    wide.gpu.name = "wide-warp";
+    wide.gpu.warpSize = 64;
+    out.push_back(wide);
+    return out;
+}
+
+TEST(PlanProperty, InvariantsHoldAcrossHardwareModels)
+{
+    for (const auto &sys : propertySystems()) {
+        const unsigned logMg = log2Exact(sys.numGpus);
+        for (size_t eb : {size_t{4}, size_t{8}, size_t{32}}) {
+            for (unsigned logN = logMg + 1; logN <= 26; logN += 3) {
+                SCOPED_TRACE(sys.gpu.name + " gpus=" +
+                             std::to_string(sys.numGpus) + " eb=" +
+                             std::to_string(eb) + " logN=" +
+                             std::to_string(logN));
+                auto pl = planNtt(logN, sys, eb);
+                EXPECT_EQ(pl.logN, logN);
+                EXPECT_EQ(pl.numGpus, sys.numGpus);
+                EXPECT_EQ(pl.logMg, logMg);
+                EXPECT_EQ(pl.logWarp, log2Exact(sys.gpu.warpSize));
+
+                // The grid passes cover exactly the local bits, each
+                // within the tile, each with the minimal warp rounds.
+                unsigned local = 0;
+                for (const auto &p : pl.passes) {
+                    EXPECT_GE(p.bits, 1u);
+                    EXPECT_LE(p.bits, pl.logBlockTile);
+                    EXPECT_EQ(p.warpRounds,
+                              (p.bits + pl.logWarp - 1) / pl.logWarp);
+                    local += p.bits;
+                }
+                EXPECT_EQ(local, logN - logMg);
+                EXPECT_EQ(pl.passes.size(),
+                          (pl.localBits() + pl.logBlockTile - 1) /
+                              pl.logBlockTile);
+
+                // The tile respects two elements per thread and the
+                // double-buffered shared-memory budget.
+                EXPECT_LE(1ULL << pl.logBlockTile,
+                          2ULL * sys.gpu.maxThreadsPerBlock);
+                EXPECT_LE((1ULL << pl.logBlockTile) * 2 * eb,
+                          sys.gpu.smemBytesPerBlock);
+            }
+        }
+    }
+}
+
+TEST(PlanProperty, ForcedTileIsHonoredAndStillCoversAllBits)
+{
+    auto sys = makeDgxA100(4);
+    for (unsigned force : {6u, 8u, 10u}) {
+        auto pl = planNttWithTile(20, sys, 8, force);
+        EXPECT_EQ(pl.logBlockTile, force);
+        unsigned local = 0;
+        for (const auto &p : pl.passes) {
+            EXPECT_LE(p.bits, force);
+            local += p.bits;
+        }
+        EXPECT_EQ(local, 20u - pl.logMg);
+    }
+}
+
+// ---------------------------------------------------------------------
 // Functional equivalence with the reference transforms.
 // ---------------------------------------------------------------------
 
