@@ -14,6 +14,9 @@ cmake -B "$BUILD_DIR" -S .
 cmake --build "$BUILD_DIR" -j"$JOBS"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$JOBS"
 
+echo "==> chaos soak (checkpointed pipeline + resilient NTT)"
+"$BUILD_DIR"/src/tools/unintt-cli soak --campaigns 8 --small
+
 echo "==> sanitizer build + tests"
 ./scripts/check_sanitize.sh
 

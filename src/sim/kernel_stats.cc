@@ -30,7 +30,8 @@ FaultStats::any() const
 {
     return exchanges || transientRetries || corruptionsDetected ||
            stragglerEvents || devicesLost || degradedReplans ||
-           spotChecks || spotCheckFailures || checksummedBytes;
+           spotChecks || spotCheckFailures || checksummedBytes ||
+           watchdogTimeouts || devicesExcluded;
 }
 
 FaultStats &
@@ -45,6 +46,8 @@ FaultStats::operator+=(const FaultStats &o)
     spotChecks += o.spotChecks;
     spotCheckFailures += o.spotCheckFailures;
     checksummedBytes += o.checksummedBytes;
+    watchdogTimeouts += o.watchdogTimeouts;
+    devicesExcluded += o.devicesExcluded;
     return *this;
 }
 
@@ -66,6 +69,10 @@ FaultStats::exportTo(StatSet &out, const std::string &prefix) const
             static_cast<double>(spotCheckFailures));
     out.add(prefix + ".checksummedBytes",
             static_cast<double>(checksummedBytes));
+    out.add(prefix + ".watchdogTimeouts",
+            static_cast<double>(watchdogTimeouts));
+    out.add(prefix + ".devicesExcluded",
+            static_cast<double>(devicesExcluded));
 }
 
 void

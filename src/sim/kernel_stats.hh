@@ -100,6 +100,10 @@ struct FaultStats
     uint64_t spotCheckFailures = 0;
     /** Payload bytes covered by exchange checksums. */
     uint64_t checksummedBytes = 0;
+    /** Exchanges aborted at the straggler watchdog deadline. */
+    uint64_t watchdogTimeouts = 0;
+    /** Devices excluded up front by the health tracker. */
+    uint64_t devicesExcluded = 0;
 
     /** True iff any counter is nonzero. */
     bool any() const;

@@ -116,9 +116,11 @@ SimReport::toString() const
     if (faults_.any()) {
         os << "faults: " << faults_.transientRetries << " retries, "
            << faults_.corruptionsDetected << " corruptions detected, "
-           << faults_.stragglerEvents << " stragglers, "
+           << faults_.stragglerEvents << " stragglers ("
+           << faults_.watchdogTimeouts << " watchdog timeouts), "
            << faults_.devicesLost << " devices lost ("
-           << faults_.degradedReplans << " degraded re-plans), "
+           << faults_.degradedReplans << " degraded re-plans, "
+           << faults_.devicesExcluded << " health-excluded), "
            << faults_.spotChecks << " spot checks ("
            << faults_.spotCheckFailures << " failed)\n";
     }

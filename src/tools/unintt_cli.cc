@@ -33,9 +33,12 @@
 #include "util/stats.hh"
 #include "util/table.hh"
 #include "util/thread_pool.hh"
+#include "zkp/chaos.hh"
 #include "zkp/prover.hh"
 #include "zkp/serialize.hh"
 #include "zkp/stark.hh"
+
+#include <iostream>
 
 namespace unintt {
 namespace {
@@ -268,6 +271,58 @@ cmdStark(int argc, char **argv)
 }
 
 int
+cmdSoak(int argc, char **argv)
+{
+    CliParser cli("seeded chaos soak over the checkpointed proof "
+                  "pipeline and the resilient NTT engine");
+    cli.addInt("campaigns", 8, "proof pipelines per grid intensity");
+    cli.addInt("seed", 0xc405, "master seed of every campaign");
+    cli.addInt("gpus", 8, "simulated GPUs running the NTT workload");
+    cli.addInt("log-n", 14, "log2 transform size of the NTT workload");
+    cli.addInt("log-trace", 8, "log2 trace length of each proof");
+    cli.addBool("small", false,
+                "shrink the workload for CI (log-trace=6, log-n=10, "
+                "gpus=4)");
+    cli.parse(argc, argv);
+
+    ChaosConfig cfg;
+    cfg.seed = static_cast<uint64_t>(cli.getInt("seed"));
+    cfg.campaigns = static_cast<unsigned>(cli.getInt("campaigns"));
+    cfg.gpus = static_cast<unsigned>(cli.getInt("gpus"));
+    cfg.logN = static_cast<unsigned>(cli.getInt("log-n"));
+    cfg.logTrace = static_cast<unsigned>(cli.getInt("log-trace"));
+    if (cli.getBool("small")) {
+        cfg.logTrace = 6;
+        cfg.logN = 10;
+        cfg.gpus = 4;
+    }
+
+    std::printf("chaos soak: %u campaigns/intensity, proofs 2^%u, "
+                "NTT 2^%u on %u GPUs, seed 0x%llx\n\n",
+                cfg.campaigns, cfg.logTrace, cfg.logN, cfg.gpus,
+                static_cast<unsigned long long>(cfg.seed));
+
+    std::vector<ChaosCampaignStats> rows;
+    uint64_t silent = 0;
+    for (const auto &intensity : defaultChaosGrid()) {
+        rows.push_back(runChaosCampaigns(cfg, intensity));
+        silent += rows.back().silentCorruptions;
+    }
+    printChaosTable(std::cout, rows);
+
+    if (silent != 0) {
+        std::fprintf(stderr,
+                     "\nFAIL: %llu silent corruption(s) — a run "
+                     "completed with wrong bytes\n",
+                     static_cast<unsigned long long>(silent));
+        return 1;
+    }
+    std::printf("\nOK: every run completed bit-identically or failed "
+                "with a clean status\n");
+    return 0;
+}
+
+int
 cmdLevels(int argc, char **argv)
 {
     CliParser cli("print the abstract hardware model");
@@ -296,6 +351,8 @@ usage()
         "  ntt     simulate one (batched) NTT and print the timeline\n"
         "  msm     simulate one multi-GPU MSM\n"
         "  prover  simulate an end-to-end ZKP prover\n"
+        "  stark   run a functional STARK prove/verify cycle\n"
+        "  soak    run seeded chaos campaigns over the proof pipeline\n"
         "  levels  print the abstract hardware model of a machine\n\n"
         "run 'unintt-cli <command> --help' for the command's flags\n");
 }
@@ -322,6 +379,8 @@ main(int argc, char **argv)
         return cmdProver(argc - 1, argv + 1);
     if (cmd == "stark")
         return cmdStark(argc - 1, argv + 1);
+    if (cmd == "soak")
+        return cmdSoak(argc - 1, argv + 1);
     if (cmd == "levels")
         return cmdLevels(argc - 1, argv + 1);
     if (cmd == "--help" || cmd == "-h") {

@@ -139,8 +139,25 @@ struct ResilienceConfig
      */
     unsigned spotChecks = 4;
 
-    /** Seed of the spot-check position sampling. */
+    /**
+     * Base seed of the spot-check position sampling. The engine
+     * derives a fresh per-check seed from this base and a per-engine
+     * check counter (util/checksum.hh mix64), so repeated checks of
+     * the same transform sample fresh positions while the sequence
+     * stays deterministic for a given engine and base seed.
+     */
     uint64_t spotCheckSeed = 99;
+
+    /**
+     * Straggler watchdog: an exchange stretched beyond
+     * watchdogDeadlineFactor x its fault-free time is aborted at the
+     * deadline and retried once, converting an unbounded straggler
+     * into a bounded, priced recovery (deadline + one clean
+     * retransmission) counted in FaultStats::watchdogTimeouts.
+     * 0 disables the watchdog (stragglers stretch exchanges without
+     * bound, the pre-watchdog behavior).
+     */
+    double watchdogDeadlineFactor = 8.0;
 
     /**
      * Allow re-sharding onto the surviving power-of-two GPU subset

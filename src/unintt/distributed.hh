@@ -16,6 +16,7 @@
 #include "field/field_traits.hh"
 #include "util/bitops.hh"
 #include "util/logging.hh"
+#include "util/status.hh"
 #include "util/thread_pool.hh"
 
 namespace unintt {
@@ -30,6 +31,28 @@ class DistributedVector
         : chunks_(num_gpus)
     {
         UNINTT_ASSERT(num_gpus > 0, "need at least one GPU");
+    }
+
+    /**
+     * Shard a host vector, validating the collective shape instead of
+     * asserting: a size that does not divide evenly over the devices
+     * is a recoverable InvalidArgument, not a process exit, so the
+     * resilient paths can surface it as a clean failure.
+     */
+    static Result<DistributedVector>
+    fromGlobalChecked(const std::vector<F> &global, unsigned num_gpus)
+    {
+        if (num_gpus == 0)
+            return Status::error(StatusCode::InvalidArgument,
+                                 "cannot shard over zero GPUs");
+        if (global.size() % num_gpus != 0)
+            return Status::error(
+                StatusCode::InvalidArgument,
+                "incomplete collective shape: " +
+                    std::to_string(global.size()) +
+                    " elements do not divide over " +
+                    std::to_string(num_gpus) + " GPUs");
+        return fromGlobal(global, num_gpus);
     }
 
     /** Shard a host vector; size must be divisible by the GPU count. */
@@ -112,6 +135,29 @@ class DistributedVector
         UNINTT_ASSERT(size() % new_num_gpus == 0,
                       "size must divide evenly across GPUs");
         *this = fromGlobal(toGlobal(), new_num_gpus);
+    }
+
+    /**
+     * reshard() with the shape validated rather than asserted — the
+     * degraded-mode and health-exclusion paths run mid-recovery, where
+     * an impossible target shape must come back as a Status the run
+     * can report, never as an exit.
+     */
+    Status
+    reshardChecked(unsigned new_num_gpus)
+    {
+        if (new_num_gpus == 0)
+            return Status::error(StatusCode::InvalidArgument,
+                                 "cannot reshard onto zero GPUs");
+        if (size() % new_num_gpus != 0)
+            return Status::error(
+                StatusCode::InvalidArgument,
+                "incomplete collective shape: " +
+                    std::to_string(size()) +
+                    " elements do not reshard onto " +
+                    std::to_string(new_num_gpus) + " GPUs");
+        *this = fromGlobal(toGlobal(), new_num_gpus);
+        return Status();
     }
 
   private:

@@ -47,6 +47,7 @@
 #include "unintt/cache.hh"
 #include "unintt/config.hh"
 #include "unintt/distributed.hh"
+#include "unintt/health.hh"
 #include "unintt/plan.hh"
 #include "unintt/verify.hh"
 #include "util/bitops.hh"
@@ -154,20 +155,32 @@ class UniNttEngine
      * On success @p data may be sharded over fewer GPUs than it
      * started with (degraded mode); the plain forward()/inverse()
      * paths are untouched by all of this and pay zero overhead.
+     *
+     * When a DeviceHealthTracker is supplied, devices it has
+     * quarantined are excluded from the plan up front (the data is
+     * resharded onto the largest healthy power-of-two subset before
+     * the transform starts), every fault this run observes is
+     * attributed back to the tracker, and the tracker's run clock is
+     * advanced on every exit path — so flakiness discovered in one
+     * transform shapes the plan of the next.
      */
     Result<SimReport>
     forwardResilient(DistributedVector<F> &data, FaultInjector &faults,
-                     const ResilienceConfig &rc = ResilienceConfig{}) const
+                     const ResilienceConfig &rc = ResilienceConfig{},
+                     DeviceHealthTracker *health = nullptr) const
     {
-        return runResilient(NttDirection::Forward, data, faults, rc);
+        return runResilient(NttDirection::Forward, data, faults, rc,
+                            health);
     }
 
     /** Resilient inverse NTT; see forwardResilient. */
     Result<SimReport>
     inverseResilient(DistributedVector<F> &data, FaultInjector &faults,
-                     const ResilienceConfig &rc = ResilienceConfig{}) const
+                     const ResilienceConfig &rc = ResilienceConfig{},
+                     DeviceHealthTracker *health = nullptr) const
     {
-        return runResilient(NttDirection::Inverse, data, faults, rc);
+        return runResilient(NttDirection::Inverse, data, faults, rc,
+                            health);
     }
 
     /**
@@ -283,7 +296,26 @@ class UniNttEngine
     Result<SimReport> runResilient(NttDirection dir,
                                    DistributedVector<F> &data,
                                    FaultInjector &faults,
-                                   const ResilienceConfig &rc) const;
+                                   const ResilienceConfig &rc,
+                                   DeviceHealthTracker *health) const;
+
+    /** runResilient minus the tracker's end-of-run bookkeeping. */
+    Result<SimReport> runResilientImpl(NttDirection dir,
+                                       DistributedVector<F> &data,
+                                       FaultInjector &faults,
+                                       const ResilienceConfig &rc,
+                                       DeviceHealthTracker *health) const;
+
+    /**
+     * Fresh spot-check seed: the configured base mixed with a
+     * per-engine counter, so repeated checks sample fresh positions
+     * while a given engine's sequence stays deterministic.
+     */
+    uint64_t
+    nextSpotSeed(uint64_t base) const
+    {
+        return mix64(base ^ mix64(++spotCheckEpoch_));
+    }
 
     /** Functional butterflies of one cross-GPU stage. */
     void crossStageCompute(DistributedVector<F> &data, unsigned s,
@@ -336,6 +368,8 @@ class UniNttEngine
     UniNttConfig cfg_;
     CostConstants costs_;
     PerfModel perf_;
+    /** Spot-check seed derivation counter (see nextSpotSeed). */
+    mutable uint64_t spotCheckEpoch_ = 0;
 };
 
 // ---------------------------------------------------------------------
@@ -718,7 +752,22 @@ template <NttField F>
 Result<SimReport>
 UniNttEngine<F>::runResilient(NttDirection dir, DistributedVector<F> &data,
                               FaultInjector &faults,
-                              const ResilienceConfig &rc) const
+                              const ResilienceConfig &rc,
+                              DeviceHealthTracker *health) const
+{
+    Result<SimReport> r = runResilientImpl(dir, data, faults, rc, health);
+    if (health != nullptr)
+        health->endRun(); // the run clock ticks on every exit path
+    return r;
+}
+
+template <NttField F>
+Result<SimReport>
+UniNttEngine<F>::runResilientImpl(NttDirection dir,
+                                  DistributedVector<F> &data,
+                                  FaultInjector &faults,
+                                  const ResilienceConfig &rc,
+                                  DeviceHealthTracker *health) const
 {
     if (data.numGpus() != sys_.numGpus)
         return Status::error(
@@ -726,6 +775,11 @@ UniNttEngine<F>::runResilient(NttDirection dir, DistributedVector<F> &data,
             "data is sharded over " + std::to_string(data.numGpus()) +
                 " GPUs but the machine has " +
                 std::to_string(sys_.numGpus));
+    if (data.size() == 0 || !isPow2(data.size()))
+        return Status::error(
+            StatusCode::InvalidArgument,
+            "transform size " + std::to_string(data.size()) +
+                " is not a power of two");
 
     const unsigned logN = log2Exact(data.size());
     const uint64_t n = 1ULL << logN;
@@ -739,6 +793,38 @@ UniNttEngine<F>::runResilient(NttDirection dir, DistributedVector<F> &data,
     SimReport report;
     FaultStats fs;
     MultiGpuSystem sys = sys_; // shrinks when devices drop out
+
+    // Consult the health tracker before planning: quarantined devices
+    // never enter the plan. The data is resharded onto the largest
+    // healthy power-of-two subset, priced as one all-to-all.
+    if (health != nullptr) {
+        UNINTT_ASSERT(health->numDevices() == sys_.numGpus,
+                      "health tracker sized for a different machine");
+        const unsigned usable =
+            std::min(health->usablePowerOfTwo(), sys.numGpus);
+        if (usable == 0)
+            return Status::error(
+                StatusCode::DeviceLost,
+                "every device is quarantined; no plan is possible");
+        if (usable < sys.numGpus) {
+            Status st = data.reshardChecked(usable);
+            if (!st.ok())
+                return st;
+            const uint64_t reshard_bytes = (n / usable) * sizeof(F);
+            CommStats comm;
+            comm.bytesPerGpu = reshard_bytes;
+            comm.messages = usable;
+            report.addCommPhase(
+                "health-exclude-to-" + std::to_string(usable) +
+                    "gpu-reshard",
+                sys.fabric.allToAllTime(reshard_bytes, usable), comm);
+            fs.devicesExcluded += sys.numGpus - usable;
+            sys.numGpus = usable;
+            if (sys.gpusPerNode != 0 && sys.numGpus <= sys.gpusPerNode)
+                sys.gpusPerNode = 0; // survivors fit inside one node
+        }
+    }
+
     bool plan_hit = false;
     NttPlan pl = planCached(logN, sys, &plan_hit);
     const unsigned logMg0 = pl.logMg;
@@ -773,6 +859,11 @@ UniNttEngine<F>::runResilient(NttDirection dir, DistributedVector<F> &data,
     // detection timeout, pulling the lost chunk's replica from its
     // last exchange partner, and the all-to-all reshard.
     auto degrade = [&](int lost_gpu) -> Status {
+        // The loss is attributed whether or not the recovery below is
+        // allowed to absorb it — the next run must know either way.
+        if (health != nullptr && lost_gpu >= 0 &&
+            static_cast<unsigned>(lost_gpu) < health->numDevices())
+            health->recordDeviceLost(static_cast<unsigned>(lost_gpu));
         if (!rc.allowDegraded)
             return Status::error(
                 StatusCode::DeviceLost,
@@ -795,7 +886,9 @@ UniNttEngine<F>::runResilient(NttDirection dir, DistributedVector<F> &data,
         report.addCommPhase(
             "degrade-to-" + std::to_string(newG) + "gpu-reshard", t,
             comm);
-        data.reshard(newG);
+        Status reshard_st = data.reshardChecked(newG);
+        if (!reshard_st.ok())
+            return reshard_st;
         sys.numGpus = newG;
         if (sys.gpusPerNode != 0 && sys.numGpus <= sys.gpusPerNode)
             sys.gpusPerNode = 0; // survivors fit inside one node
@@ -850,14 +943,37 @@ UniNttEngine<F>::runResilient(NttDirection dir, DistributedVector<F> &data,
                 sys.fabricFor(distance, effective);
             const double once =
                 fabric.pairwiseExchangeTime(bytes, effective);
-            double comm_t = once * out.stragglerFactor;
-            if (out.stragglerFactor > 1.0)
-                fs.stragglerEvents++;
             CommStats comm{bytes, 1};
+            // Faults at this stage are attributed to gpu 0's exchange
+            // partner — the same device whose chunk demonstrates the
+            // corruption below. An approximation (every pair faults
+            // identically in the simulation), but a deterministic one,
+            // so the health tracker sees a reproducible history.
+            const unsigned suspect = distance;
+            double comm_t = once * out.stragglerFactor;
+            if (out.stragglerFactor > 1.0) {
+                fs.stragglerEvents++;
+                if (health != nullptr &&
+                    suspect < health->numDevices())
+                    health->recordFault(suspect);
+                if (rc.watchdogDeadlineFactor > 0.0 &&
+                    out.stragglerFactor > rc.watchdogDeadlineFactor) {
+                    // Watchdog: the exchange is aborted at the
+                    // deadline and retried once on a clean link,
+                    // bounding an arbitrarily slow straggler at
+                    // deadline + one retransmission.
+                    comm_t = once * rc.watchdogDeadlineFactor + once;
+                    comm.retries += 1;
+                    fs.watchdogTimeouts++;
+                }
+            }
             for (unsigned i = 0; i < out.transientFailures; ++i)
                 comm_t += rc.retry.backoffSeconds(i) + once;
             comm.retries += out.transientFailures;
             fs.transientRetries += out.transientFailures;
+            if (health != nullptr && out.transientFailures > 0 &&
+                suspect < health->numDevices())
+                health->recordFault(suspect);
 
             // Corrupted payload: the checksum catches the flip (shown
             // functionally on the first exchanging pair), forcing
@@ -880,6 +996,8 @@ UniNttEngine<F>::runResilient(NttDirection dir, DistributedVector<F> &data,
                     seen != good,
                     "single-bit corruption must change the checksum");
                 fs.corruptionsDetected++;
+                if (health != nullptr && suspect < health->numDevices())
+                    health->recordFault(suspect);
                 comm_t += once;
                 comm.retries += 1;
                 if (++tries > rc.retry.maxRetries)
@@ -999,12 +1117,16 @@ UniNttEngine<F>::runResilient(NttDirection dir, DistributedVector<F> &data,
         k.kernelLaunches = 1;
         report.addKernelPhase("spot-check", k, perf_);
         fs.spotChecks += rc.spotChecks;
+        // Derived seed: repeated checks of the same transform sample
+        // fresh positions (the config seed alone would re-sample the
+        // same ones every run).
+        const uint64_t spot_seed = nextSpotSeed(rc.spotCheckSeed);
         const bool good =
             dir == NttDirection::Forward
                 ? spotCheckForward(input, out_global, rc.spotChecks,
-                                   rc.spotCheckSeed)
+                                   spot_seed)
                 : spotCheckInverse(input, out_global, rc.spotChecks,
-                                   rc.spotCheckSeed);
+                                   spot_seed);
         if (!good) {
             fs.spotCheckFailures++;
             report.addFaultStats(fs);

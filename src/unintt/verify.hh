@@ -10,6 +10,12 @@
  * (a wrong twiddle table, a mis-routed exchange) with overwhelming
  * probability. Production provers run exactly this kind of check after
  * data-movement-heavy kernels.
+ *
+ * The seed is deliberately caller-supplied with no default: a fixed
+ * default made every call sample the same positions, so repeated
+ * checks of the same transform added no coverage. Callers that check
+ * repeatedly must derive a fresh seed per call (the resilient engine
+ * mixes a per-engine counter into ResilienceConfig::spotCheckSeed).
  */
 
 #ifndef UNINTT_UNINTT_VERIFY_HH
@@ -35,7 +41,7 @@ namespace unintt {
 template <NttField F>
 bool
 spotCheckForward(const std::vector<F> &input, const std::vector<F> &output,
-                 unsigned checks, uint64_t seed = 99)
+                 unsigned checks, uint64_t seed)
 {
     UNINTT_ASSERT(input.size() == output.size(), "size mismatch");
     const size_t n = input.size();
@@ -68,7 +74,7 @@ spotCheckForward(const std::vector<F> &input, const std::vector<F> &output,
 template <NttField F>
 bool
 spotCheckInverse(const std::vector<F> &input, const std::vector<F> &output,
-                 unsigned checks, uint64_t seed = 99)
+                 unsigned checks, uint64_t seed)
 {
     UNINTT_ASSERT(input.size() == output.size(), "size mismatch");
     const size_t n = input.size();
@@ -97,7 +103,7 @@ spotCheckInverse(const std::vector<F> &input, const std::vector<F> &output,
 template <NttField F>
 bool
 spotCheckCoset(const std::vector<F> &input, const std::vector<F> &output,
-               F shift, unsigned checks, uint64_t seed = 99)
+               F shift, unsigned checks, uint64_t seed)
 {
     UNINTT_ASSERT(input.size() == output.size(), "size mismatch");
     const size_t n = input.size();

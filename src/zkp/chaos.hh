@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Seeded chaos campaigns over the full proof pipeline.
+ *
+ * A campaign runs one STARK proof through the checkpointed prover
+ * (zkp/checkpoint.hh) while a seeded adversary kills stages and FRI
+ * rounds and flips bytes in stored checkpoints between resume
+ * attempts, and runs the accompanying NTT workload through the
+ * resilient engine (unintt/engine.hh) under an injected fault model
+ * with a shared cross-transform DeviceHealthTracker. The harness
+ * asserts the robustness contract end to end:
+ *
+ *   every run either completes BIT-IDENTICALLY to the fault-free
+ *   reference, or fails with a clean non-OK Status — never silent
+ *   corruption.
+ *
+ * Everything is derived from one seed, so a failing campaign is a
+ * reproducible regression test, and the per-intensity stats feed the
+ * MTBF / recovery-cost table of `unintt-cli soak` and Figure 19.
+ */
+
+#ifndef UNINTT_ZKP_CHAOS_HH
+#define UNINTT_ZKP_CHAOS_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace unintt {
+
+/** One cell of the chaos grid: how hostile the run is. */
+struct ChaosIntensity
+{
+    /** Row label ("off", "light", ...). */
+    std::string label;
+    /** P(a pipeline stage attempt is killed at its gate). */
+    double stageFailRate = 0.0;
+    /** P(a FRI fold round is killed at its gate). */
+    double roundFailRate = 0.0;
+    /** P(one stored checkpoint byte is flipped between attempts). */
+    double checkpointCorruptRate = 0.0;
+    /** NTT fabric: per-attempt transient exchange failure rate. */
+    double transientRate = 0.0;
+    /** NTT fabric: per-exchange payload bit-flip rate. */
+    double bitFlipRate = 0.0;
+    /** NTT fabric: per-exchange straggler rate. */
+    double stragglerRate = 0.0;
+    /** P(a transform schedules a permanent device dropout). */
+    double dropoutRate = 0.0;
+};
+
+/** Campaign-count and workload-shape knobs. */
+struct ChaosConfig
+{
+    /** Master seed; every draw in every campaign derives from it. */
+    uint64_t seed = 0xc405;
+    /** Proof pipelines per intensity. */
+    unsigned campaigns = 8;
+    /** log2 trace length of each proof (n must exceed 2*friFinalTerms). */
+    unsigned logTrace = 8;
+    /** Resume attempts before a campaign counts as failed-clean. */
+    unsigned maxResumes = 16;
+    /** GPUs of the simulated machine running the NTT workload. */
+    unsigned gpus = 8;
+    /** log2 transform size of the NTT workload. */
+    unsigned logN = 14;
+    /** Resilient transforms per campaign (shared health tracker). */
+    unsigned transformsPerCampaign = 2;
+};
+
+/** Outcome of one intensity's campaigns. */
+struct ChaosCampaignStats
+{
+    std::string label;
+    unsigned campaigns = 0;
+
+    /** Proofs that completed byte-identically to the reference. */
+    unsigned proofsCompleted = 0;
+    /** Proofs that exhausted the resume budget with a clean Status. */
+    unsigned proofsFailedClean = 0;
+    /** Transforms whose output matched the fault-free reference. */
+    unsigned transformsCompleted = 0;
+    /** Transforms that returned a clean non-OK Status. */
+    unsigned transformsFailedClean = 0;
+
+    /** Gate-induced proof interruptions (stage + round). */
+    uint64_t interruptions = 0;
+    /** Resume attempts after an interruption. */
+    uint64_t resumes = 0;
+    /** Checkpoint bytes the adversary flipped. */
+    uint64_t checkpointCorruptions = 0;
+    /** Corrupted/stale checkpoint reads the seals rejected. */
+    uint64_t checksumDetections = 0;
+    /** Completions whose bytes differed from the reference. MUST be 0. */
+    uint64_t silentCorruptions = 0;
+
+    /** NTT-side injected events (transients + flips + stragglers +
+     * dropouts) across all transforms. */
+    uint64_t injectedFaults = 0;
+    /** Health-tracker quarantine transitions observed. */
+    uint64_t quarantines = 0;
+    /** Total priced NTT time across all resilient transforms. */
+    double simulatedSeconds = 0.0;
+
+    /** Checkpoint store writes across all proof attempts. */
+    uint64_t checkpointPuts = 0;
+    /** Checkpoint bytes written across all proof attempts. */
+    uint64_t checkpointBytes = 0;
+
+    /** Simulated seconds per injected NTT fault (inf when clean). */
+    double mtbfSeconds() const;
+    /** Resume attempts per completed proof (the recovery cost). */
+    double resumesPerProof() const;
+};
+
+/** The default grid: off / light / medium / heavy. */
+std::vector<ChaosIntensity> defaultChaosGrid();
+
+/** Run @p cfg.campaigns campaigns at intensity @p intensity. */
+ChaosCampaignStats runChaosCampaigns(const ChaosConfig &cfg,
+                                     const ChaosIntensity &intensity);
+
+/** Print the MTBF / recovery-cost table for a sweep of the grid. */
+void printChaosTable(std::ostream &os,
+                     const std::vector<ChaosCampaignStats> &rows);
+
+} // namespace unintt
+
+#endif // UNINTT_ZKP_CHAOS_HH

@@ -35,40 +35,71 @@ evalPoly(const std::vector<F> &coeffs, F x)
     return acc;
 }
 
-} // namespace
-
-FriProof
-friProve(const std::vector<F> &coeffs, const FriParams &params,
-         Transcript &transcript, FriProverArtifacts *artifacts)
+/**
+ * Shared prover: friProve with ckpt == nullptr, friProveResumable
+ * otherwise. The transcript schedule and every computed value are
+ * identical in both modes (restored rounds replace recomputation with
+ * the stored state, which a prior identical run produced), so resumed
+ * proofs serialize byte-identically.
+ */
+Result<FriProof>
+friProveImpl(const std::vector<F> &coeffs, const FriParams &params,
+             Transcript &transcript, FriProverArtifacts *artifacts,
+             FriRoundCheckpointer *ckpt)
 {
     UNINTT_ASSERT(isPow2(coeffs.size()) && !coeffs.empty(),
                   "coefficient count must be a power of two");
     const unsigned log_degree = log2Exact(coeffs.size());
     const F two_inv = F::fromU64(2).inverse();
+    const size_t d0 = coeffs.size() << params.logBlowup;
 
     FriProof proof;
     proof.logDegreeBound = log_degree;
 
-    // Reed-Solomon codeword: evaluate on the (possibly coset-shifted)
-    // blown-up domain.
-    std::vector<F> codeword(coeffs);
-    codeword.resize(coeffs.size() << params.logBlowup, F::zero());
-    {
+    // Longest consecutive prefix of stored round codewords. Round r's
+    // state must be exactly d0 >> r elements; anything else reads as
+    // a miss from that round on.
+    std::vector<std::vector<F>> restored;
+    if (ckpt != nullptr) {
+        for (unsigned r = 0;; ++r) {
+            auto cw = ckpt->loadRound(r);
+            if (!cw || cw->size() != (d0 >> r))
+                break;
+            restored.push_back(std::move(*cw));
+        }
+    }
+
+    std::vector<F> codeword;
+    if (!restored.empty()) {
+        codeword = restored[0];
+    } else {
+        // Reed-Solomon codeword: evaluate on the (possibly coset-
+        // shifted) blown-up domain.
+        codeword = coeffs;
+        codeword.resize(d0, F::zero());
         F power = F::one();
         for (size_t i = 0; i < coeffs.size(); ++i) {
             codeword[i] *= power;
             power *= params.cosetShift;
         }
+        nttForwardInPlace(codeword);
     }
-    nttForwardInPlace(codeword);
     F shift = params.cosetShift;
 
     // Commit/fold phase.
     std::vector<MerkleTree> trees;
     std::vector<std::vector<F>> codewords;
     std::vector<F> challenges;
+    unsigned r = 0;
     while ((codeword.size() >> params.logBlowup) >
            params.finalPolyTerms) {
+        if (ckpt != nullptr) {
+            Status gate = ckpt->roundGate(r);
+            if (!gate.ok())
+                return gate; // saved rounds persist for the resume
+            if (r >= restored.size())
+                ckpt->saveRound(r, codeword);
+        }
         std::vector<std::vector<F>> leaves(codeword.size());
         for (size_t i = 0; i < codeword.size(); ++i)
             leaves[i] = {codeword[i]};
@@ -79,18 +110,27 @@ friProve(const std::vector<F> &coeffs, const FriParams &params,
         challenges.push_back(c);
         codewords.push_back(codeword);
 
-        // Fold onto the squared domain (the coset shift squares too).
-        const size_t half = codeword.size() / 2;
-        F w_inv = F::rootOfUnity(log2Exact(codeword.size())).inverse();
-        std::vector<F> next(half);
-        F x_inv = shift.inverse();
-        for (size_t j = 0; j < half; ++j) {
-            next[j] = foldPair(codeword[j], codeword[j + half], c, x_inv,
-                               two_inv);
-            x_inv *= w_inv;
+        if (r + 1 < restored.size()) {
+            // The fold's result is already on record from the
+            // interrupted run.
+            codeword = restored[r + 1];
+        } else {
+            // Fold onto the squared domain (the coset shift squares
+            // too).
+            const size_t half = codeword.size() / 2;
+            F w_inv =
+                F::rootOfUnity(log2Exact(codeword.size())).inverse();
+            std::vector<F> next(half);
+            F x_inv = shift.inverse();
+            for (size_t j = 0; j < half; ++j) {
+                next[j] = foldPair(codeword[j], codeword[j + half], c,
+                                   x_inv, two_inv);
+                x_inv *= w_inv;
+            }
+            codeword = std::move(next);
         }
-        codeword = std::move(next);
         shift *= shift;
+        ++r;
     }
 
     // Final polynomial in the clear (undo the residual coset shift).
@@ -114,8 +154,6 @@ friProve(const std::vector<F> &coeffs, const FriParams &params,
         transcript.absorb(v);
 
     // Query phase: spot-check chains at transcript-derived positions.
-    const size_t d0 = codewords.empty() ? codeword.size()
-                                        : codewords[0].size();
     for (unsigned q = 0; q < params.numQueries; ++q) {
         size_t j = transcript.challengeU64() % d0;
         FriQuery query;
@@ -137,6 +175,39 @@ friProve(const std::vector<F> &coeffs, const FriParams &params,
         artifacts->tree = trees[0];
     }
     return proof;
+}
+
+} // namespace
+
+FriProof
+friProve(const std::vector<F> &coeffs, const FriParams &params,
+         Transcript &transcript, FriProverArtifacts *artifacts)
+{
+    Result<FriProof> r =
+        friProveImpl(coeffs, params, transcript, artifacts, nullptr);
+    UNINTT_ASSERT(r.ok(), "ungated prove cannot fail");
+    return std::move(r.value());
+}
+
+Result<FriProof>
+friProveResumable(const std::vector<F> &coeffs, const FriParams &params,
+                  Transcript &transcript, FriProverArtifacts *artifacts,
+                  FriRoundCheckpointer &ckpt)
+{
+    return friProveImpl(coeffs, params, transcript, artifacts, &ckpt);
+}
+
+void
+friReplayTranscript(const FriProof &proof, Transcript &transcript)
+{
+    for (const auto &root : proof.roots) {
+        absorbDigest(transcript, root);
+        (void)transcript.challengeGoldilocks();
+    }
+    for (const auto &v : proof.finalPoly)
+        transcript.absorb(v);
+    for (size_t q = 0; q < proof.queries.size(); ++q)
+        (void)transcript.challengeU64();
 }
 
 bool

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "field/goldilocks.hh"
+#include "util/status.hh"
 #include "zkp/merkle.hh"
 #include "zkp/transcript.hh"
 
@@ -94,6 +95,37 @@ struct FriProof
 };
 
 /**
+ * Per-round checkpoint hook of the resumable FRI prover. Round r's
+ * state is the codeword *entering* round r (round 0 is the full LDE
+ * codeword); everything else — trees, roots, challenges, queries — is
+ * recomputed deterministically from it, which is what keeps a resumed
+ * proof byte-identical to an uninterrupted one.
+ */
+class FriRoundCheckpointer
+{
+  public:
+    virtual ~FriRoundCheckpointer() = default;
+
+    /**
+     * The stored codeword entering round @p round, or nullopt when
+     * absent or invalid (a checksum mismatch reads as absence: the
+     * round is recomputed, never trusted).
+     */
+    virtual std::optional<std::vector<Goldilocks>>
+    loadRound(unsigned round) = 0;
+
+    /** Persist the codeword entering round @p round. */
+    virtual void saveRound(unsigned round,
+                           const std::vector<Goldilocks> &codeword) = 0;
+
+    /**
+     * Consulted before round @p round executes; a non-ok Status
+     * aborts the prove there (saved rounds persist for the resume).
+     */
+    virtual Status roundGate(unsigned round) { return Status(); }
+};
+
+/**
  * Prove that @p coeffs (size 2^logDegreeBound, low-order first) is a
  * polynomial of degree < 2^logDegreeBound by committing its Reed-
  * Solomon codeword and folding.
@@ -103,6 +135,30 @@ struct FriProof
 FriProof friProve(const std::vector<Goldilocks> &coeffs,
                   const FriParams &params, Transcript &transcript,
                   FriProverArtifacts *artifacts = nullptr);
+
+/**
+ * friProve with per-round checkpointing: stored round codewords are
+ * restored instead of recomputed (skipping the LDE NTT and the folds
+ * they cover), newly computed rounds are saved through @p ckpt, and
+ * ckpt.roundGate may abort the prove between rounds with a clean
+ * Status. The produced proof — resumed or not — is byte-identical to
+ * friProve's on the same inputs.
+ */
+Result<FriProof> friProveResumable(const std::vector<Goldilocks> &coeffs,
+                                   const FriParams &params,
+                                   Transcript &transcript,
+                                   FriProverArtifacts *artifacts,
+                                   FriRoundCheckpointer &ckpt);
+
+/**
+ * Advance @p transcript past a completed FRI proof without re-proving:
+ * absorb the roots (discarding the per-round challenge draws), absorb
+ * the final polynomial, and discard one query-position draw per query
+ * — exactly the prover's transcript schedule. Used by the checkpointed
+ * STARK pipeline to rebuild transcript state when a commit stage is
+ * restored from its checkpoint.
+ */
+void friReplayTranscript(const FriProof &proof, Transcript &transcript);
 
 /**
  * Verify a FRI proof against a transcript in the prover's initial

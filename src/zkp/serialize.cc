@@ -188,6 +188,18 @@ readFriFrom(ByteReader &r)
 
 } // namespace
 
+void
+writeFriProof(ByteWriter &w, const FriProof &proof)
+{
+    writeFriInto(w, proof);
+}
+
+std::optional<FriProof>
+readFriProof(ByteReader &r)
+{
+    return readFriFrom(r);
+}
+
 std::vector<uint8_t>
 serializeFriProof(const FriProof &proof)
 {

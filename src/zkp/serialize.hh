@@ -74,6 +74,20 @@ class ByteReader
     size_t pos_ = 0;
 };
 
+/**
+ * Append a FRI proof to an open writer. Exposed (unlike the other
+ * per-type internals) so composite payloads — e.g. the checkpoint
+ * store's commit-stage entries (zkp/checkpoint.hh) — can embed a FRI
+ * proof next to other fields in one buffer.
+ */
+void writeFriProof(ByteWriter &w, const FriProof &proof);
+
+/**
+ * Read a FRI proof from an open reader; nullopt on any malformation
+ * (the reader position is unspecified after a failure).
+ */
+std::optional<FriProof> readFriProof(ByteReader &r);
+
 /** Serialize a FRI proof. */
 std::vector<uint8_t> serializeFriProof(const FriProof &proof);
 

@@ -25,9 +25,13 @@
 #ifndef UNINTT_ZKP_STARK_HH
 #define UNINTT_ZKP_STARK_HH
 
+#include <functional>
+#include <string>
 #include <vector>
 
 #include "field/goldilocks.hh"
+#include "util/status.hh"
+#include "zkp/checkpoint.hh"
 #include "zkp/fri.hh"
 
 namespace unintt {
@@ -81,6 +85,50 @@ class SquareStark
      * log2(friFinalTerms) + 1 so FRI has at least one round.
      */
     StarkProof prove(Goldilocks t0, unsigned log_trace) const;
+
+    /**
+     * Gate consulted before a pipeline stage executes; a non-ok
+     * Status aborts the prove there with every earlier stage's
+     * checkpoint already persisted. Used by tests and the chaos soak
+     * to simulate a crash at an exact stage boundary.
+     */
+    using StageGate =
+        std::function<Status(unsigned stage, const std::string &name)>;
+
+    /** Pipeline stage indices of proveCheckpointed, in order. */
+    enum Stage : unsigned {
+        StageTraceLde = 0,
+        StageTraceCommit = 1,
+        StageQuotient = 2,
+        StageQuotientCommit = 3,
+        StageBoundary = 4,
+        StageBoundaryCommit = 5,
+        StageQueries = 6,
+        NumStages = 7,
+    };
+
+    /**
+     * prove() with per-stage (and per-FRI-round) checkpointing into
+     * @p store. Each stage's output is persisted as it completes,
+     * sealed with a position-salted checksum; a rerun after an
+     * interruption restores every valid checkpoint and recomputes
+     * only from the first missing (or corrupted — a failed seal reads
+     * as missing) stage onward. The produced proof is byte-identical
+     * to prove()'s on the same inputs regardless of how many times
+     * the pipeline was interrupted and resumed.
+     *
+     * Checkpoint keys are namespaced by (t0, log_trace), so one store
+     * can serve many proof instances without cross-talk.
+     *
+     * @param gate Optional per-stage interruption hook (see
+     *     StageGate); consulted only before stages that actually run.
+     * @param round_gate Optional per-FRI-round interruption hook,
+     *     forwarded to the commit stages' round checkpointer.
+     */
+    Result<StarkProof> proveCheckpointed(
+        Goldilocks t0, unsigned log_trace, CheckpointStore &store,
+        const StageGate &gate = {},
+        const FriRoundGate &round_gate = {}) const;
 
     /** Verify a proof. */
     bool verify(const StarkProof &proof) const;

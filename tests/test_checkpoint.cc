@@ -1,0 +1,283 @@
+/**
+ * @file
+ * Checkpoint-store and checkpointed-prover tests: the position-salted
+ * seals catch every single-byte flip and any cross-position replay,
+ * and a proof pipeline killed at any stage (or any FRI round) resumes
+ * to a byte-identical proof while skipping the completed stages.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "zkp/checkpoint.hh"
+#include "zkp/serialize.hh"
+#include "zkp/stark.hh"
+
+namespace unintt {
+namespace {
+
+using F = Goldilocks;
+
+std::vector<uint8_t>
+somePayload(size_t n)
+{
+    std::vector<uint8_t> p(n);
+    for (size_t i = 0; i < n; ++i)
+        p[i] = static_cast<uint8_t>(i * 37 + 11);
+    return p;
+}
+
+// ---------------------------------------------------------------------
+// CheckpointStore.
+// ---------------------------------------------------------------------
+
+TEST(CheckpointStore, RoundTripAndStats)
+{
+    CheckpointStore store;
+    auto p = somePayload(100);
+    store.put(2, "a/b", p);
+    EXPECT_EQ(store.entries(), 1u);
+    EXPECT_TRUE(store.has("a/b"));
+    EXPECT_EQ(store.payloadBytes(), 100u);
+
+    auto got = store.get(2, "a/b");
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got, p);
+    EXPECT_FALSE(store.get(2, "absent").has_value());
+
+    EXPECT_EQ(store.stats().puts, 1u);
+    EXPECT_EQ(store.stats().hits, 1u);
+    EXPECT_EQ(store.stats().misses, 1u);
+    EXPECT_EQ(store.stats().checksumFailures, 0u);
+    EXPECT_EQ(store.stats().bytesWritten, 100u);
+}
+
+TEST(CheckpointStore, EveryByteFlipIsDetected)
+{
+    // The seal must catch a flip at any offset with any mask — the
+    // checksum's single-bit guarantee, exercised byte by byte.
+    auto p = somePayload(64);
+    for (size_t off = 0; off < p.size(); ++off) {
+        CheckpointStore store;
+        store.put(0, "k", p);
+        ASSERT_TRUE(store.corrupt("k", off, 0x01));
+        EXPECT_FALSE(store.get(0, "k").has_value())
+            << "flip at byte " << off << " went undetected";
+        EXPECT_EQ(store.stats().checksumFailures, 1u);
+    }
+}
+
+TEST(CheckpointStore, SealIsPositionSalted)
+{
+    // The same bytes under a different stage index read as invalid —
+    // a checkpoint can never be replayed into another pipeline slot.
+    CheckpointStore store;
+    store.put(3, "k", somePayload(32));
+    EXPECT_FALSE(store.get(4, "k").has_value());
+    EXPECT_EQ(store.stats().checksumFailures, 1u);
+    EXPECT_TRUE(store.get(3, "k").has_value());
+}
+
+TEST(CheckpointStore, CorruptEdgeCases)
+{
+    CheckpointStore store;
+    EXPECT_FALSE(store.corrupt("absent", 0, 0xff));
+    store.put(0, "empty", {});
+    EXPECT_FALSE(store.corrupt("empty", 0, 0xff));
+    store.put(0, "k", somePayload(8));
+    EXPECT_FALSE(store.corrupt("k", 0, 0x00));
+    // Offsets wrap rather than reject: any draw lands in range.
+    EXPECT_TRUE(store.corrupt("k", 8 * 7 + 3, 0x10));
+    EXPECT_FALSE(store.get(0, "k").has_value());
+}
+
+TEST(CheckpointStore, ErasePrefix)
+{
+    CheckpointStore store;
+    store.put(0, "s/round-0", somePayload(8));
+    store.put(0, "s/round-1", somePayload(8));
+    store.put(0, "s", somePayload(8));
+    store.put(0, "t/round-0", somePayload(8));
+    store.erasePrefix("s/round-");
+    EXPECT_EQ(store.keys(),
+              (std::vector<std::string>{"s", "t/round-0"}));
+}
+
+// ---------------------------------------------------------------------
+// Checkpointed STARK pipeline.
+// ---------------------------------------------------------------------
+
+constexpr unsigned kLogTrace = 6;
+
+F
+start()
+{
+    return F::fromU64(7);
+}
+
+TEST(CheckpointedStark, UninterruptedRunMatchesPlainProve)
+{
+    SquareStark stark;
+    auto ref = serializeStarkProof(stark.prove(start(), kLogTrace));
+
+    CheckpointStore store;
+    auto r = stark.proveCheckpointed(start(), kLogTrace, store);
+    ASSERT_TRUE(r.ok()) << r.status().toString();
+    EXPECT_EQ(serializeStarkProof(r.value()), ref);
+    EXPECT_TRUE(stark.verify(r.value()));
+
+    // Completed commit stages drop their round sub-entries.
+    for (const auto &k : store.keys())
+        EXPECT_EQ(k.find("/round-"), std::string::npos) << k;
+}
+
+TEST(CheckpointedStark, CrashAtEveryStageResumesByteIdentical)
+{
+    SquareStark stark;
+    auto ref = serializeStarkProof(stark.prove(start(), kLogTrace));
+
+    for (unsigned k = 0; k < SquareStark::NumStages; ++k) {
+        CheckpointStore store;
+        auto crash_at_k = [&](unsigned stage,
+                              const std::string &) -> Status {
+            if (stage == k)
+                return Status::error(StatusCode::TransientFault,
+                                     "killed at stage " +
+                                         std::to_string(stage));
+            return Status();
+        };
+        auto r1 = stark.proveCheckpointed(start(), kLogTrace, store,
+                                          crash_at_k);
+        ASSERT_FALSE(r1.ok()) << "stage " << k;
+        EXPECT_EQ(r1.status().code(), StatusCode::TransientFault);
+
+        // The resume must execute exactly the stages from k on.
+        std::set<unsigned> executed;
+        auto record = [&](unsigned stage, const std::string &) {
+            executed.insert(stage);
+            return Status();
+        };
+        auto r2 = stark.proveCheckpointed(start(), kLogTrace, store,
+                                          record);
+        ASSERT_TRUE(r2.ok()) << "stage " << k << ": "
+                             << r2.status().toString();
+        EXPECT_EQ(serializeStarkProof(r2.value()), ref)
+            << "resume after a crash at stage " << k
+            << " diverged from the uninterrupted proof";
+        std::set<unsigned> expected;
+        for (unsigned s = k; s < SquareStark::NumStages; ++s)
+            expected.insert(s);
+        EXPECT_EQ(executed, expected) << "stage " << k;
+    }
+}
+
+TEST(CheckpointedStark, CompletedPipelineShortCircuits)
+{
+    SquareStark stark;
+    CheckpointStore store;
+    auto r1 = stark.proveCheckpointed(start(), kLogTrace, store);
+    ASSERT_TRUE(r1.ok());
+
+    // With the final checkpoint in place not even a gate that kills
+    // everything is consulted.
+    auto kill_all = [](unsigned, const std::string &) {
+        return Status::error(StatusCode::TransientFault, "kill");
+    };
+    auto r2 = stark.proveCheckpointed(start(), kLogTrace, store,
+                                      kill_all);
+    ASSERT_TRUE(r2.ok());
+    EXPECT_EQ(serializeStarkProof(r2.value()),
+              serializeStarkProof(r1.value()));
+}
+
+TEST(CheckpointedStark, FriRoundInterruptionResumesByteIdentical)
+{
+    SquareStark stark;
+    auto ref = serializeStarkProof(stark.prove(start(), kLogTrace));
+
+    CheckpointStore store;
+    bool fired = false;
+    auto kill_round = [&](const std::string &stage,
+                          unsigned round) -> Status {
+        if (!fired && stage.find("quotient-commit") !=
+                          std::string::npos && round == 2) {
+            fired = true;
+            return Status::error(StatusCode::TransientFault,
+                                 "killed mid-FRI");
+        }
+        return Status();
+    };
+    auto r1 = stark.proveCheckpointed(start(), kLogTrace, store, {},
+                                      kill_round);
+    ASSERT_FALSE(r1.ok());
+    ASSERT_TRUE(fired);
+
+    // Rounds before the kill survived as checkpoints.
+    bool saw_round = false;
+    for (const auto &k : store.keys())
+        saw_round |= k.find("quotient-commit/round-") !=
+                     std::string::npos;
+    EXPECT_TRUE(saw_round);
+
+    auto r2 = stark.proveCheckpointed(start(), kLogTrace, store, {},
+                                      kill_round);
+    ASSERT_TRUE(r2.ok()) << r2.status().toString();
+    EXPECT_EQ(serializeStarkProof(r2.value()), ref);
+}
+
+TEST(CheckpointedStark, CorruptedCheckpointIsRecomputedNotTrusted)
+{
+    SquareStark stark;
+    auto ref = serializeStarkProof(stark.prove(start(), kLogTrace));
+
+    CheckpointStore store;
+    auto crash_late = [](unsigned stage, const std::string &) -> Status {
+        if (stage == SquareStark::StageBoundaryCommit)
+            return Status::error(StatusCode::TransientFault, "kill");
+        return Status();
+    };
+    ASSERT_FALSE(stark.proveCheckpointed(start(), kLogTrace, store,
+                                         crash_late)
+                     .ok());
+
+    // Flip one byte in every surviving stage checkpoint; each seal
+    // must reject its entry and the resume recomputes from scratch —
+    // still landing on the reference bytes.
+    for (const auto &k : store.keys())
+        ASSERT_TRUE(store.corrupt(k, 13, 0x40)) << k;
+    auto r = stark.proveCheckpointed(start(), kLogTrace, store);
+    ASSERT_TRUE(r.ok()) << r.status().toString();
+    EXPECT_EQ(serializeStarkProof(r.value()), ref);
+    EXPECT_GE(store.stats().checksumFailures,
+              static_cast<uint64_t>(SquareStark::StageBoundaryCommit));
+}
+
+TEST(CheckpointedStark, InstancesDoNotCrossTalk)
+{
+    // Two proofs sharing one store: each resumes from its own
+    // namespace, neither sees the other's checkpoints.
+    SquareStark stark;
+    CheckpointStore store;
+    auto a = stark.proveCheckpointed(F::fromU64(5), kLogTrace, store);
+    auto b = stark.proveCheckpointed(F::fromU64(6), kLogTrace, store);
+    ASSERT_TRUE(a.ok() && b.ok());
+    EXPECT_EQ(serializeStarkProof(a.value()),
+              serializeStarkProof(stark.prove(F::fromU64(5),
+                                              kLogTrace)));
+    EXPECT_EQ(serializeStarkProof(b.value()),
+              serializeStarkProof(stark.prove(F::fromU64(6),
+                                              kLogTrace)));
+}
+
+TEST(CheckpointedStark, TooShortTraceIsInvalidArgument)
+{
+    SquareStark stark;
+    CheckpointStore store;
+    auto r = stark.proveCheckpointed(start(), 3, store);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::InvalidArgument);
+}
+
+} // namespace
+} // namespace unintt

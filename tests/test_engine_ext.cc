@@ -90,7 +90,7 @@ TEST(SpotCheck, AcceptsCorrectTransform)
     auto input = randomVector(n, 5);
     auto output = input;
     nttNoPermute(output, NttDirection::Forward);
-    EXPECT_TRUE(spotCheckForward(input, output, 8));
+    EXPECT_TRUE(spotCheckForward(input, output, 8, 99));
 }
 
 TEST(SpotCheck, DetectsInjectedCorruption)
@@ -104,7 +104,7 @@ TEST(SpotCheck, DetectsInjectedCorruption)
     // must be caught.
     for (size_t i = 0; i < 64; ++i)
         std::swap(output[i], output[512 + i]);
-    EXPECT_FALSE(spotCheckForward(input, output, 16));
+    EXPECT_FALSE(spotCheckForward(input, output, 16, 99));
 }
 
 TEST(SpotCheck, DetectsWrongTwiddleDirection)
@@ -113,7 +113,7 @@ TEST(SpotCheck, DetectsWrongTwiddleDirection)
     auto input = randomVector(n, 7);
     auto output = input;
     nttNoPermute(output, NttDirection::Inverse); // wrong direction
-    EXPECT_FALSE(spotCheckForward(input, output, 8));
+    EXPECT_FALSE(spotCheckForward(input, output, 8, 99));
 }
 
 TEST(SpotCheck, CosetVariantAccepts)
@@ -124,9 +124,10 @@ TEST(SpotCheck, CosetVariantAccepts)
     UniNttEngine<F> engine(makeDgxA100(2));
     auto dist = DistributedVector<F>::fromGlobal(coeffs, 2);
     engine.forwardCoset(dist, shift);
-    EXPECT_TRUE(spotCheckCoset(coeffs, dist.toGlobal(), shift, 8));
+    EXPECT_TRUE(spotCheckCoset(coeffs, dist.toGlobal(), shift, 8,
+                               99));
     EXPECT_FALSE(spotCheckCoset(coeffs, dist.toGlobal(),
-                                shift * shift, 8));
+                                shift * shift, 8, 99));
 }
 
 TEST(MultiNodeEngine, BitExactAcrossNodes)

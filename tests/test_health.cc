@@ -1,0 +1,322 @@
+/**
+ * @file
+ * Device-health tests: the circuit-breaker state machine (healthy →
+ * suspect → quarantined → probation → healthy, with lost devices
+ * pinned in quarantine), and its integration with the resilient
+ * engine — quarantined devices are excluded from the next plan, the
+ * straggler watchdog bounds slow exchanges, and everything stays
+ * bit-exact throughout.
+ */
+
+#include <gtest/gtest.h>
+
+#include "field/goldilocks.hh"
+#include "sim/fault.hh"
+#include "sim/multi_gpu.hh"
+#include "unintt/engine.hh"
+#include "unintt/health.hh"
+
+namespace unintt {
+namespace {
+
+using F = Goldilocks;
+
+std::vector<F>
+testVector(size_t n)
+{
+    std::vector<F> x(n);
+    for (size_t i = 0; i < n; ++i)
+        x[i] = F::fromU64(i * 2654435761u + 17);
+    return x;
+}
+
+// ---------------------------------------------------------------------
+// DeviceHealthTracker state machine.
+// ---------------------------------------------------------------------
+
+TEST(DeviceHealth, FaultsEscalateToSuspectThenQuarantine)
+{
+    DeviceHealthTracker t(4);
+    EXPECT_EQ(t.state(1), DeviceHealth::Healthy);
+    t.recordFault(1);
+    EXPECT_EQ(t.state(1), DeviceHealth::Healthy);
+    t.recordFault(1);
+    EXPECT_EQ(t.state(1), DeviceHealth::Suspect);
+    EXPECT_TRUE(t.usable(1));
+    t.recordFault(1);
+    t.recordFault(1);
+    t.recordFault(1);
+    EXPECT_EQ(t.state(1), DeviceHealth::Quarantined);
+    EXPECT_FALSE(t.usable(1));
+    EXPECT_EQ(t.quarantineEvents(), 1u);
+    // The other devices are untouched.
+    EXPECT_EQ(t.state(0), DeviceHealth::Healthy);
+    EXPECT_EQ(t.usableDevices(),
+              (std::vector<unsigned>{0, 2, 3}));
+}
+
+TEST(DeviceHealth, SuspectDecaysAfterCleanRuns)
+{
+    DeviceHealthTracker t(2);
+    t.recordFault(0);
+    t.recordFault(0);
+    t.endRun(); // the faulting run itself does not count as clean
+    ASSERT_EQ(t.state(0), DeviceHealth::Suspect);
+    for (unsigned i = 0; i < t.policy().suspectDecayRuns; ++i)
+        t.endRun();
+    EXPECT_EQ(t.state(0), DeviceHealth::Healthy);
+    // The score was reset: one new fault does not re-promote.
+    t.recordFault(0);
+    EXPECT_EQ(t.state(0), DeviceHealth::Healthy);
+}
+
+TEST(DeviceHealth, QuarantineCoolsDownToProbationThenReadmits)
+{
+    DeviceHealthTracker t(2);
+    for (unsigned i = 0; i < t.policy().quarantineAfterFaults; ++i)
+        t.recordFault(0);
+    ASSERT_EQ(t.state(0), DeviceHealth::Quarantined);
+    for (unsigned i = 0; i < t.policy().probationAfterRuns; ++i)
+        t.endRun();
+    ASSERT_EQ(t.state(0), DeviceHealth::Probation);
+    EXPECT_TRUE(t.usable(0)) << "probation devices re-enter the plan";
+    for (unsigned i = 0; i < t.policy().probationCleanRuns; ++i)
+        t.endRun();
+    EXPECT_EQ(t.state(0), DeviceHealth::Healthy);
+}
+
+TEST(DeviceHealth, ProbationFaultRequarantinesImmediately)
+{
+    DeviceHealthTracker t(2);
+    for (unsigned i = 0; i < t.policy().quarantineAfterFaults; ++i)
+        t.recordFault(0);
+    for (unsigned i = 0; i < t.policy().probationAfterRuns; ++i)
+        t.endRun();
+    ASSERT_EQ(t.state(0), DeviceHealth::Probation);
+    t.recordFault(0);
+    EXPECT_EQ(t.state(0), DeviceHealth::Quarantined);
+    EXPECT_EQ(t.quarantineEvents(), 2u);
+}
+
+TEST(DeviceHealth, LostDevicesNeverLeaveQuarantine)
+{
+    DeviceHealthTracker t(4);
+    t.recordDeviceLost(2);
+    EXPECT_EQ(t.state(2), DeviceHealth::Quarantined);
+    for (unsigned i = 0; i < 20; ++i)
+        t.endRun();
+    EXPECT_EQ(t.state(2), DeviceHealth::Quarantined);
+    EXPECT_FALSE(t.usable(2));
+}
+
+TEST(DeviceHealth, ReadmitLostDevicesPolicy)
+{
+    HealthPolicy policy;
+    policy.readmitLostDevices = true;
+    DeviceHealthTracker t(4, policy);
+    t.recordDeviceLost(2);
+    for (unsigned i = 0; i < policy.probationAfterRuns; ++i)
+        t.endRun();
+    EXPECT_EQ(t.state(2), DeviceHealth::Probation);
+}
+
+TEST(DeviceHealth, UsablePowerOfTwo)
+{
+    DeviceHealthTracker t(8);
+    EXPECT_EQ(t.usablePowerOfTwo(), 8u);
+    t.recordDeviceLost(5);
+    EXPECT_EQ(t.usableCount(), 7u);
+    EXPECT_EQ(t.usablePowerOfTwo(), 4u);
+    t.recordDeviceLost(0);
+    t.recordDeviceLost(1);
+    t.recordDeviceLost(2);
+    EXPECT_EQ(t.usableCount(), 4u);
+    EXPECT_EQ(t.usablePowerOfTwo(), 4u);
+    t.recordDeviceLost(3);
+    EXPECT_EQ(t.usablePowerOfTwo(), 2u);
+
+    DeviceHealthTracker one(1);
+    EXPECT_EQ(one.usablePowerOfTwo(), 1u);
+    one.recordDeviceLost(0);
+    EXPECT_EQ(one.usablePowerOfTwo(), 0u);
+}
+
+// ---------------------------------------------------------------------
+// Engine integration.
+// ---------------------------------------------------------------------
+
+TEST(HealthEngine, QuarantinedDeviceExcludedFromPlanBitExact)
+{
+    auto sys = makeDgxA100(8);
+    UniNttEngine<F> engine(sys);
+    auto x = testVector(1ULL << 12);
+
+    auto ref = DistributedVector<F>::fromGlobal(x, 8);
+    engine.forward(ref);
+
+    DeviceHealthTracker health(8);
+    health.recordDeviceLost(5); // 7 usable -> largest pow2 subset is 4
+    auto data = DistributedVector<F>::fromGlobal(x, 8);
+    FaultInjector inj(FaultModel::none());
+    auto r = engine.forwardResilient(data, inj, ResilienceConfig{},
+                                     &health);
+    ASSERT_TRUE(r.ok()) << r.status().toString();
+    EXPECT_EQ(data.numGpus(), 4u);
+    EXPECT_EQ(r.value().faultStats().devicesExcluded, 4u);
+    EXPECT_EQ(data.toGlobal(), ref.toGlobal())
+        << "health-excluded plan changed the transform output";
+}
+
+TEST(HealthEngine, AllQuarantinedIsDeviceLostStatus)
+{
+    auto sys = makeDgxA100(2);
+    UniNttEngine<F> engine(sys);
+    DeviceHealthTracker health(2);
+    health.recordDeviceLost(0);
+    health.recordDeviceLost(1);
+    auto data = DistributedVector<F>::fromGlobal(testVector(256), 2);
+    FaultInjector inj(FaultModel::none());
+    auto r = engine.forwardResilient(data, inj, ResilienceConfig{},
+                                     &health);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::DeviceLost);
+}
+
+TEST(HealthEngine, DropoutInOneRunShapesTheNextPlan)
+{
+    auto sys = makeDgxA100(8);
+    UniNttEngine<F> engine(sys);
+    auto x = testVector(1ULL << 12);
+
+    auto ref = DistributedVector<F>::fromGlobal(x, 8);
+    engine.forward(ref);
+
+    DeviceHealthTracker health(8);
+    {
+        FaultModel m;
+        m.dropouts.push_back({3, 0});
+        FaultInjector inj(m);
+        auto data = DistributedVector<F>::fromGlobal(x, 8);
+        auto r = engine.forwardResilient(data, inj, ResilienceConfig{},
+                                         &health);
+        ASSERT_TRUE(r.ok()) << r.status().toString();
+        EXPECT_EQ(r.value().faultStats().devicesLost, 1u);
+        EXPECT_EQ(data.toGlobal(), ref.toGlobal());
+    }
+    ASSERT_EQ(health.state(3), DeviceHealth::Quarantined);
+
+    // The next run excludes the lost device up front: no degraded
+    // re-plan mid-transform, just a smaller plan from the start.
+    {
+        FaultInjector inj(FaultModel::none());
+        auto data = DistributedVector<F>::fromGlobal(x, 8);
+        auto r = engine.forwardResilient(data, inj, ResilienceConfig{},
+                                         &health);
+        ASSERT_TRUE(r.ok()) << r.status().toString();
+        EXPECT_EQ(r.value().faultStats().devicesExcluded, 4u);
+        EXPECT_EQ(r.value().faultStats().devicesLost, 0u);
+        EXPECT_EQ(data.numGpus(), 4u);
+        EXPECT_EQ(data.toGlobal(), ref.toGlobal());
+    }
+}
+
+TEST(HealthEngine, StragglerFaultsAreAttributedAndDecay)
+{
+    auto sys = makeDgxA100(4);
+    UniNttEngine<F> engine(sys);
+    auto x = testVector(1ULL << 10);
+
+    DeviceHealthTracker health(4);
+    FaultModel m;
+    m.stragglerRate = 1.0; // every cross exchange straggles
+    // Two flaky runs: each cross stage attributes one fault to its
+    // exchange partner, so after the second run the partners cross
+    // the suspect threshold.
+    for (int run = 0; run < 2; ++run) {
+        FaultInjector inj(m);
+        auto data = DistributedVector<F>::fromGlobal(x, 4);
+        auto r = engine.forwardResilient(data, inj, ResilienceConfig{},
+                                         &health);
+        ASSERT_TRUE(r.ok()) << r.status().toString();
+        EXPECT_GT(r.value().faultStats().stragglerEvents, 0u);
+    }
+    bool any_suspect = false;
+    for (unsigned d = 0; d < 4; ++d)
+        any_suspect |= health.state(d) == DeviceHealth::Suspect;
+    EXPECT_TRUE(any_suspect);
+
+    // Suspicion decays: enough clean runs restore full health
+    // without ever quarantining anyone.
+    for (unsigned i = 0; i < health.policy().suspectDecayRuns; ++i) {
+        FaultInjector inj(FaultModel::none());
+        auto data = DistributedVector<F>::fromGlobal(x, 4);
+        ASSERT_TRUE(engine
+                        .forwardResilient(data, inj,
+                                          ResilienceConfig{}, &health)
+                        .ok());
+    }
+    for (unsigned d = 0; d < 4; ++d)
+        EXPECT_EQ(health.state(d), DeviceHealth::Healthy) << d;
+    EXPECT_EQ(health.quarantineEvents(), 0u);
+}
+
+TEST(HealthEngine, WatchdogBoundsExtremeStragglers)
+{
+    auto sys = makeDgxA100(4);
+    UniNttEngine<F> engine(sys);
+    auto x = testVector(1ULL << 10);
+
+    FaultModel m;
+    m.stragglerRate = 1.0;
+    m.stragglerSlowdown = 64.0; // far beyond the deadline factor
+
+    // With the watchdog: every straggled exchange is cut off at the
+    // deadline and counted.
+    {
+        FaultInjector inj(m);
+        auto data = DistributedVector<F>::fromGlobal(x, 4);
+        ResilienceConfig rc;
+        ASSERT_GT(rc.watchdogDeadlineFactor, 0.0);
+        auto r = engine.forwardResilient(data, inj, rc);
+        ASSERT_TRUE(r.ok());
+        const auto &fs = r.value().faultStats();
+        EXPECT_GT(fs.watchdogTimeouts, 0u);
+        EXPECT_EQ(fs.watchdogTimeouts, fs.stragglerEvents);
+    }
+
+    // Watchdog disabled: same faults, no timeouts, and the unbounded
+    // straggler makes the run strictly slower.
+    double bounded, unbounded;
+    {
+        FaultInjector inj(m);
+        auto data = DistributedVector<F>::fromGlobal(x, 4);
+        auto r = engine.forwardResilient(data, inj, ResilienceConfig{});
+        ASSERT_TRUE(r.ok());
+        bounded = r.value().totalSeconds();
+    }
+    {
+        FaultInjector inj(m);
+        auto data = DistributedVector<F>::fromGlobal(x, 4);
+        ResilienceConfig rc;
+        rc.watchdogDeadlineFactor = 0.0;
+        auto r = engine.forwardResilient(data, inj, rc);
+        ASSERT_TRUE(r.ok());
+        EXPECT_EQ(r.value().faultStats().watchdogTimeouts, 0u);
+        unbounded = r.value().totalSeconds();
+    }
+    EXPECT_LT(bounded, unbounded);
+}
+
+TEST(HealthEngine, NonPowerOfTwoSizeIsInvalidArgument)
+{
+    auto sys = makeDgxA100(4);
+    UniNttEngine<F> engine(sys);
+    auto data = DistributedVector<F>::fromGlobal(testVector(768), 4);
+    FaultInjector inj(FaultModel::none());
+    auto r = engine.forwardResilient(data, inj);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::InvalidArgument);
+}
+
+} // namespace
+} // namespace unintt
