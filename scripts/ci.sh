@@ -17,6 +17,13 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$JOBS"
 echo "==> chaos soak (checkpointed pipeline + resilient NTT)"
 "$BUILD_DIR"/src/tools/unintt-cli soak --campaigns 8 --small
 
+echo "==> schedule IR smoke (table + JSON)"
+"$BUILD_DIR"/src/tools/unintt-cli schedule --log-n=20 --gpus=4
+if command -v python3 >/dev/null 2>&1; then
+    "$BUILD_DIR"/src/tools/unintt-cli schedule --log-n=20 --gpus=4 --json \
+        | python3 -m json.tool >/dev/null
+fi
+
 echo "==> sanitizer build + tests"
 ./scripts/check_sanitize.sh
 

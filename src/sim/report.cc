@@ -32,6 +32,15 @@ SimReport::addCommPhase(const std::string &name, double seconds,
     phases_.push_back(phase);
 }
 
+void
+SimReport::tagLastPhase(const char *step, const char *level)
+{
+    if (phases_.empty())
+        return;
+    phases_.back().step = step;
+    phases_.back().level = level;
+}
+
 double
 SimReport::totalSeconds() const
 {
@@ -111,7 +120,9 @@ SimReport::toString() const
            << hostExec_.planCacheHits << " hit/"
            << hostExec_.planCacheMisses << " miss, twiddle cache "
            << hostExec_.twiddleCacheHits << " hit/"
-           << hostExec_.twiddleCacheMisses << " miss\n";
+           << hostExec_.twiddleCacheMisses << " miss, schedule cache "
+           << hostExec_.scheduleCacheHits << " hit/"
+           << hostExec_.scheduleCacheMisses << " miss\n";
     }
     if (faults_.any()) {
         os << "faults: " << faults_.transientRetries << " retries, "

@@ -34,6 +34,13 @@ struct SimPhase
     double hiddenSeconds = 0;
     KernelStats kernel;
     CommStats comm;
+    /**
+     * IR attribution (unintt/schedule.hh): the step kind and hierarchy
+     * level this phase was dispatched from. Empty for phases emitted
+     * outside the schedule interpreter (baselines, prover passes).
+     */
+    std::string step;
+    std::string level;
 };
 
 /**
@@ -50,13 +57,16 @@ struct HostExecStats
     uint64_t planCacheMisses = 0;
     uint64_t twiddleCacheHits = 0;
     uint64_t twiddleCacheMisses = 0;
+    uint64_t scheduleCacheHits = 0;
+    uint64_t scheduleCacheMisses = 0;
 
     /** True iff anything was recorded. */
     bool
     any() const
     {
         return hostThreads != 0 || planCacheHits || planCacheMisses ||
-               twiddleCacheHits || twiddleCacheMisses;
+               twiddleCacheHits || twiddleCacheMisses ||
+               scheduleCacheHits || scheduleCacheMisses;
     }
 
     /** Combine with another run's host facts (report append). */
@@ -68,6 +78,8 @@ struct HostExecStats
         planCacheMisses += o.planCacheMisses;
         twiddleCacheHits += o.twiddleCacheHits;
         twiddleCacheMisses += o.twiddleCacheMisses;
+        scheduleCacheHits += o.scheduleCacheHits;
+        scheduleCacheMisses += o.scheduleCacheMisses;
         return *this;
     }
 };
@@ -83,6 +95,12 @@ class SimReport
     /** Append a communication phase with externally computed time. */
     void addCommPhase(const std::string &name, double seconds,
                       const CommStats &stats, double hidden_seconds = 0);
+
+    /**
+     * Attribute the most recently added phase to a schedule step
+     * (step kind + hierarchy level); no-op on an empty report.
+     */
+    void tagLastPhase(const char *step, const char *level);
 
     /** All phases in execution order. */
     const std::vector<SimPhase> &phases() const { return phases_; }

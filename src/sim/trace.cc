@@ -25,14 +25,22 @@ jsonEscape(const std::string &s)
 /** One complete-event record ("ph":"X"). */
 void
 emitEvent(std::ostringstream &os, bool &first, const std::string &name,
-          const char *track, double ts_us, double dur_us)
+          const char *track, double ts_us, double dur_us,
+          const std::string &step = std::string(),
+          const std::string &level = std::string())
 {
     if (!first)
         os << ",\n";
     first = false;
     os << "  {\"name\": \"" << jsonEscape(name) << "\", \"ph\": \"X\", "
        << "\"pid\": 1, \"tid\": \"" << track << "\", "
-       << "\"ts\": " << ts_us << ", \"dur\": " << dur_us << "}";
+       << "\"ts\": " << ts_us << ", \"dur\": " << dur_us;
+    if (!step.empty()) {
+        // Per-step IR attribution (unintt/schedule.hh).
+        os << ", \"args\": {\"step\": \"" << jsonEscape(step)
+           << "\", \"level\": \"" << jsonEscape(level) << "\"}";
+    }
+    os << "}";
 }
 
 } // namespace
@@ -54,7 +62,8 @@ toChromeTrace(const SimReport &report, const std::string &process)
         double dur_us = p.seconds * 1e6;
         const char *track =
             p.kind == SimPhase::Kind::Kernel ? "kernel" : "comm";
-        emitEvent(os, first, p.name, track, now_us, dur_us);
+        emitEvent(os, first, p.name, track, now_us, dur_us, p.step,
+                  p.level);
         if (p.hiddenSeconds > 0) {
             // Overlapped communication: show it under the preceding
             // compute on its own track.

@@ -2,14 +2,15 @@
  * @file
  * unintt-cli: command-line front end over the simulation library.
  *
- *   unintt-cli plan   --log-n=24 --gpus=4 [--gpu=a100]
- *   unintt-cli ntt    --log-n=24 --gpus=4 [--fabric=nvswitch]
- *                     [--field=goldilocks] [--batch=1] [--inverse]
- *                     [--trace=out.json] [--baseline=fourstep]
- *                     [--functional] [--threads=N]
- *   unintt-cli msm    --log-n=20 --gpus=4 [--g2]
- *   unintt-cli prover --log-constraints=22 --gpus=8 [--proto=plonk]
- *   unintt-cli levels --gpus=8
+ *   unintt-cli plan     --log-n=24 --gpus=4 [--gpu=a100]
+ *   unintt-cli schedule --log-n=24 --gpus=4 [--inverse] [--json]
+ *   unintt-cli ntt      --log-n=24 --gpus=4 [--fabric=nvswitch]
+ *                       [--field=goldilocks] [--batch=1] [--inverse]
+ *                       [--trace=out.json] [--baseline=fourstep]
+ *                       [--functional] [--threads=N]
+ *   unintt-cli msm      --log-n=20 --gpus=4 [--g2]
+ *   unintt-cli prover   --log-constraints=22 --gpus=8 [--proto=plonk]
+ *   unintt-cli levels   --gpus=8
  *
  * Every subcommand prints simulated timelines built from the same
  * engines the benches use.
@@ -73,6 +74,94 @@ cmdPlan(int argc, char **argv)
     std::printf("chunk:   %s elements per GPU\n",
                 fmtI(pl.chunkElems()).c_str());
     return 0;
+}
+
+template <NttField F>
+int
+runSchedule(const CliParser &cli)
+{
+    auto sys = systemFromFlags(cli);
+    unsigned logN = static_cast<unsigned>(cli.getInt("log-n"));
+    size_t batch = static_cast<size_t>(cli.getInt("batch"));
+    NttDirection dir = cli.getBool("inverse") ? NttDirection::Inverse
+                                              : NttDirection::Forward;
+
+    UniNttEngine<F> engine(sys);
+    bool plan_hit = false, sched_hit = false;
+    auto sched = engine.schedule(logN, dir, batch, &plan_hit, &sched_hit);
+
+    if (cli.getBool("json")) {
+        std::printf("{\n");
+        std::printf("  \"logN\": %u,\n", sched->logN);
+        std::printf("  \"dir\": \"%s\",\n", toString(sched->dir));
+        std::printf("  \"batch\": %zu,\n", sched->batch);
+        std::printf("  \"field\": \"%s\",\n", F::kName);
+        std::printf("  \"gpus\": %u,\n", sys.numGpus);
+        std::printf("  \"planCacheHit\": %s,\n",
+                    plan_hit ? "true" : "false");
+        std::printf("  \"scheduleCacheHit\": %s,\n",
+                    sched_hit ? "true" : "false");
+        std::printf("  \"peakDeviceBytes\": %llu,\n",
+                    static_cast<unsigned long long>(
+                        sched->peakDeviceBytes));
+        std::printf("  \"steps\": [\n");
+        for (size_t i = 0; i < sched->steps.size(); ++i) {
+            const auto &st = sched->steps[i];
+            std::printf(
+                "    {\"index\": %zu, \"kind\": \"%s\", "
+                "\"level\": \"%s\", \"name\": \"%s\", "
+                "\"sBegin\": %u, \"sEnd\": %u, \"distance\": %u, "
+                "\"fieldMuls\": %llu, \"fieldAdds\": %llu, "
+                "\"dramReadBytes\": %llu, \"dramWriteBytes\": %llu, "
+                "\"commBytesPerGpu\": %llu}%s\n",
+                i, toString(st.kind), toString(st.level),
+                st.name.c_str(), st.sBegin, st.sEnd, st.distance,
+                static_cast<unsigned long long>(st.stats.fieldMuls),
+                static_cast<unsigned long long>(st.stats.fieldAdds),
+                static_cast<unsigned long long>(
+                    st.stats.globalReadBytes),
+                static_cast<unsigned long long>(
+                    st.stats.globalWriteBytes),
+                static_cast<unsigned long long>(st.comm.bytesPerGpu),
+                i + 1 < sched->steps.size() ? "," : "");
+        }
+        std::printf("  ]\n}\n");
+        return 0;
+    }
+
+    std::printf("machine:  %s\n", sys.description().c_str());
+    std::printf("plan:     %s\n", sched->plan.toString().c_str());
+    std::printf("caches:   plan %s, schedule %s\n",
+                plan_hit ? "hit" : "miss", sched_hit ? "hit" : "miss");
+    std::printf("\n%s", sched->toString().c_str());
+    std::printf("\npeak device memory: %s/GPU\n",
+                formatBytes(
+                    static_cast<double>(sched->peakDeviceBytes))
+                    .c_str());
+    return 0;
+}
+
+int
+cmdSchedule(int argc, char **argv)
+{
+    CliParser cli("print the compiled stage schedule of one transform");
+    cli.addInt("log-n", 24, "log2 of the transform size");
+    cli.addInt("batch", 1, "number of independent transforms");
+    cli.addBool("inverse", false, "compile the inverse transform");
+    cli.addString("field", "goldilocks",
+                  "field: goldilocks, babybear, bn254");
+    cli.addBool("json", false, "emit the schedule as JSON");
+    addCommonFlags(cli);
+    cli.parse(argc, argv);
+
+    std::string field = cli.getString("field");
+    if (field == "goldilocks")
+        return runSchedule<Goldilocks>(cli);
+    if (field == "babybear")
+        return runSchedule<BabyBear>(cli);
+    if (field == "bn254")
+        return runSchedule<Bn254Fr>(cli);
+    fatal("unknown field '%s'", field.c_str());
 }
 
 template <NttField F>
@@ -347,13 +436,17 @@ usage()
     std::printf(
         "unintt-cli <command> [flags]\n\n"
         "commands:\n"
-        "  plan    print the hierarchical decomposition for a size\n"
-        "  ntt     simulate one (batched) NTT and print the timeline\n"
-        "  msm     simulate one multi-GPU MSM\n"
-        "  prover  simulate an end-to-end ZKP prover\n"
-        "  stark   run a functional STARK prove/verify cycle\n"
-        "  soak    run seeded chaos campaigns over the proof pipeline\n"
-        "  levels  print the abstract hardware model of a machine\n\n"
+        "  plan      print the hierarchical decomposition for a size\n"
+        "  schedule  print the compiled stage schedule (--json for "
+        "machines)\n"
+        "  ntt       simulate one (batched) NTT and print the "
+        "timeline\n"
+        "  msm       simulate one multi-GPU MSM\n"
+        "  prover    simulate an end-to-end ZKP prover\n"
+        "  stark     run a functional STARK prove/verify cycle\n"
+        "  soak      run seeded chaos campaigns over the proof "
+        "pipeline\n"
+        "  levels    print the abstract hardware model of a machine\n\n"
         "run 'unintt-cli <command> --help' for the command's flags\n");
 }
 
@@ -371,6 +464,8 @@ main(int argc, char **argv)
     std::string cmd = argv[1];
     if (cmd == "plan")
         return cmdPlan(argc - 1, argv + 1);
+    if (cmd == "schedule")
+        return cmdSchedule(argc - 1, argv + 1);
     if (cmd == "ntt")
         return cmdNtt(argc - 1, argv + 1);
     if (cmd == "msm")

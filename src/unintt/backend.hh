@@ -1,0 +1,415 @@
+/**
+ * @file
+ * The unified NTT backend interface and its registry.
+ *
+ * Every multi-GPU NTT implementation in the repo — the UniNTT engine,
+ * the four-step baseline (tuned and prior-art), the no-distribution
+ * single-GPU fallback, and the naive stage-per-kernel baseline — is
+ * exposed behind one polymorphic interface so consumers (the ZKP
+ * prover pipeline, benches, the CLI) select an implementation by name
+ * instead of hard-coding per-backend switch ladders.
+ *
+ * The registry maps a stable string name to a factory; backends are
+ * registered per field (the interface is templated on the field like
+ * the engines themselves). Built-in names:
+ *
+ *   "unintt"          UniNTT hierarchical engine (this paper)
+ *   "fourstep"        four-step with all-to-all transposes, tuned
+ *   "fourstep-prior"  four-step in the straightforward-port config
+ *   "single-gpu"      UniNTT pinned to one device, other GPUs idle
+ *   "naive"           stage-per-kernel single-GPU baseline
+ */
+
+#ifndef UNINTT_UNINTT_BACKEND_HH
+#define UNINTT_UNINTT_BACKEND_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "baselines/fourstep_multigpu.hh"
+#include "baselines/naive_gpu.hh"
+#include "field/field_traits.hh"
+#include "ntt/ntt.hh"
+#include "sim/multi_gpu.hh"
+#include "sim/report.hh"
+#include "unintt/distributed.hh"
+#include "unintt/engine.hh"
+#include "util/logging.hh"
+
+namespace unintt {
+
+/**
+ * A multi-GPU NTT implementation behind a uniform interface. Ordering
+ * conventions are the backend's own (UniNTT emits bit-reversed
+ * forward output, four-step natural) — callers that mix backends
+ * functionally must account for that, exactly as they did against the
+ * concrete classes.
+ */
+template <NttField F>
+class INttBackend
+{
+  public:
+    virtual ~INttBackend() = default;
+
+    /** The registry name this backend was constructed under. */
+    virtual const char *name() const = 0;
+
+    /** The machine the backend models. */
+    virtual const MultiGpuSystem &system() const = 0;
+
+    /** Forward NTT in place. */
+    virtual SimReport forward(DistributedVector<F> &data) const = 0;
+
+    /** Inverse NTT in place (including the n^-1 scaling). */
+    virtual SimReport inverse(DistributedVector<F> &data) const = 0;
+
+    /** Batched forward transform over independent equal-size inputs. */
+    virtual SimReport
+    forwardBatch(std::vector<DistributedVector<F>> &batch) const = 0;
+
+    /** Batched inverse transform. */
+    virtual SimReport
+    inverseBatch(std::vector<DistributedVector<F>> &batch) const = 0;
+
+    /** Simulated timeline without functional execution. */
+    virtual SimReport analyticRun(unsigned logN, NttDirection dir,
+                                  size_t batch = 1) const = 0;
+};
+
+namespace detail_backend {
+
+/** The UniNTT engine as a backend. */
+template <NttField F>
+class UniNttBackend final : public INttBackend<F>
+{
+  public:
+    UniNttBackend(MultiGpuSystem sys, UniNttConfig cfg)
+        : engine_(std::move(sys), cfg)
+    {
+    }
+
+    const char *name() const override { return "unintt"; }
+    const MultiGpuSystem &system() const override
+    {
+        return engine_.system();
+    }
+    SimReport
+    forward(DistributedVector<F> &data) const override
+    {
+        return engine_.forward(data);
+    }
+    SimReport
+    inverse(DistributedVector<F> &data) const override
+    {
+        return engine_.inverse(data);
+    }
+    SimReport
+    forwardBatch(std::vector<DistributedVector<F>> &batch) const override
+    {
+        return engine_.forwardBatch(batch);
+    }
+    SimReport
+    inverseBatch(std::vector<DistributedVector<F>> &batch) const override
+    {
+        return engine_.inverseBatch(batch);
+    }
+    SimReport
+    analyticRun(unsigned logN, NttDirection dir,
+                size_t batch) const override
+    {
+        return engine_.analyticRun(logN, dir, batch);
+    }
+
+    /** The wrapped engine (schedule inspection, resilient paths). */
+    const UniNttEngine<F> &engine() const { return engine_; }
+
+  private:
+    UniNttEngine<F> engine_;
+};
+
+/**
+ * UniNTT pinned to a single device: the no-distribution comparison
+ * point where every NTT runs on one GPU and the others idle. The
+ * modeled machine keeps the original node fabric parameters but a
+ * single device.
+ */
+template <NttField F>
+class SingleGpuBackend final : public INttBackend<F>
+{
+  public:
+    explicit SingleGpuBackend(MultiGpuSystem sys) : engine_(solo(sys)) {}
+
+    const char *name() const override { return "single-gpu"; }
+    const MultiGpuSystem &system() const override
+    {
+        return engine_.system();
+    }
+    SimReport
+    forward(DistributedVector<F> &data) const override
+    {
+        return engine_.forward(data);
+    }
+    SimReport
+    inverse(DistributedVector<F> &data) const override
+    {
+        return engine_.inverse(data);
+    }
+    SimReport
+    forwardBatch(std::vector<DistributedVector<F>> &batch) const override
+    {
+        return engine_.forwardBatch(batch);
+    }
+    SimReport
+    inverseBatch(std::vector<DistributedVector<F>> &batch) const override
+    {
+        return engine_.inverseBatch(batch);
+    }
+    SimReport
+    analyticRun(unsigned logN, NttDirection dir,
+                size_t batch) const override
+    {
+        return engine_.analyticRun(logN, dir, batch);
+    }
+
+  private:
+    static MultiGpuSystem
+    solo(MultiGpuSystem sys)
+    {
+        sys.numGpus = 1;
+        return sys;
+    }
+
+    UniNttEngine<F> engine_;
+};
+
+/** The four-step baseline as a backend (tuned or prior-art). */
+template <NttField F>
+class FourStepBackend final : public INttBackend<F>
+{
+  public:
+    FourStepBackend(MultiGpuSystem sys, FourStepOptions opts,
+                    const char *name)
+        : engine_(std::move(sys), opts), name_(name)
+    {
+    }
+
+    const char *name() const override { return name_; }
+    const MultiGpuSystem &system() const override
+    {
+        return engine_.system();
+    }
+    SimReport
+    forward(DistributedVector<F> &data) const override
+    {
+        return engine_.forward(data);
+    }
+    SimReport
+    inverse(DistributedVector<F> &data) const override
+    {
+        return engine_.inverse(data);
+    }
+    SimReport
+    forwardBatch(std::vector<DistributedVector<F>> &batch) const override
+    {
+        // The four-step baseline has no amortized batch path; the
+        // batch is the sum of its members.
+        SimReport report;
+        for (auto &d : batch)
+            report.append(engine_.forward(d));
+        return report;
+    }
+    SimReport
+    inverseBatch(std::vector<DistributedVector<F>> &batch) const override
+    {
+        SimReport report;
+        for (auto &d : batch)
+            report.append(engine_.inverse(d));
+        return report;
+    }
+    SimReport
+    analyticRun(unsigned logN, NttDirection dir,
+                size_t batch) const override
+    {
+        return engine_.analyticRun(logN, dir, batch);
+    }
+
+  private:
+    FourStepMultiGpuNtt<F> engine_;
+    const char *name_;
+};
+
+/** The naive stage-per-kernel single-GPU baseline as a backend. */
+template <NttField F>
+class NaiveBackend final : public INttBackend<F>
+{
+  public:
+    explicit NaiveBackend(MultiGpuSystem sys)
+        : sys_(std::move(sys)), engine_(sys_.gpu)
+    {
+        sys_.numGpus = 1; // the baseline models exactly one device
+    }
+
+    const char *name() const override { return "naive"; }
+    const MultiGpuSystem &system() const override { return sys_; }
+    SimReport
+    forward(DistributedVector<F> &data) const override
+    {
+        std::vector<F> global = data.toGlobal();
+        SimReport report = engine_.forward(global);
+        scatter(global, data);
+        return report;
+    }
+    SimReport
+    inverse(DistributedVector<F> &data) const override
+    {
+        std::vector<F> global = data.toGlobal();
+        SimReport report = engine_.inverse(global);
+        scatter(global, data);
+        return report;
+    }
+    SimReport
+    forwardBatch(std::vector<DistributedVector<F>> &batch) const override
+    {
+        SimReport report;
+        for (auto &d : batch)
+            report.append(forward(d));
+        return report;
+    }
+    SimReport
+    inverseBatch(std::vector<DistributedVector<F>> &batch) const override
+    {
+        SimReport report;
+        for (auto &d : batch)
+            report.append(inverse(d));
+        return report;
+    }
+    SimReport
+    analyticRun(unsigned logN, NttDirection dir,
+                size_t batch) const override
+    {
+        return engine_.analyticRun(logN, dir, batch);
+    }
+
+  private:
+    static void
+    scatter(const std::vector<F> &global, DistributedVector<F> &data)
+    {
+        auto redistributed =
+            DistributedVector<F>::fromGlobal(global, data.numGpus());
+        for (unsigned g = 0; g < data.numGpus(); ++g)
+            data.chunk(g) = redistributed.chunk(g);
+    }
+
+    MultiGpuSystem sys_;
+    NaiveGpuNtt<F> engine_;
+};
+
+} // namespace detail_backend
+
+/**
+ * Per-field, string-keyed backend factory registry. The global()
+ * instance comes pre-seeded with the built-in backends; callers may
+ * register additional ones (experimental implementations slot into the
+ * prover and benches without touching them).
+ */
+template <NttField F>
+class NttBackendRegistry
+{
+  public:
+    using Factory = std::function<std::unique_ptr<INttBackend<F>>(
+        const MultiGpuSystem &sys)>;
+
+    /** Register (or replace) the factory behind @p name. */
+    void
+    registerFactory(const std::string &name, Factory factory)
+    {
+        for (auto &e : entries_) {
+            if (e.name == name) {
+                e.factory = std::move(factory);
+                return;
+            }
+        }
+        entries_.push_back(Entry{name, std::move(factory)});
+    }
+
+    /** Construct @p name for @p sys, or nullptr if unknown. */
+    std::unique_ptr<INttBackend<F>>
+    tryMake(const std::string &name, const MultiGpuSystem &sys) const
+    {
+        for (const auto &e : entries_)
+            if (e.name == name)
+                return e.factory(sys);
+        return nullptr;
+    }
+
+    /** Construct @p name for @p sys; unknown names are fatal. */
+    std::unique_ptr<INttBackend<F>>
+    make(const std::string &name, const MultiGpuSystem &sys) const
+    {
+        auto be = tryMake(name, sys);
+        if (!be)
+            fatal("unknown NTT backend '%s'", name.c_str());
+        return be;
+    }
+
+    /** Registered names, in registration order. */
+    std::vector<std::string>
+    names() const
+    {
+        std::vector<std::string> out;
+        for (const auto &e : entries_)
+            out.push_back(e.name);
+        return out;
+    }
+
+    /** The process-wide instance, pre-seeded with the built-ins. */
+    static NttBackendRegistry &
+    global()
+    {
+        static NttBackendRegistry reg = builtins();
+        return reg;
+    }
+
+  private:
+    struct Entry
+    {
+        std::string name;
+        Factory factory;
+    };
+
+    static NttBackendRegistry
+    builtins()
+    {
+        using namespace detail_backend;
+        NttBackendRegistry reg;
+        reg.registerFactory("unintt", [](const MultiGpuSystem &sys) {
+            return std::make_unique<UniNttBackend<F>>(
+                sys, UniNttConfig::allOn());
+        });
+        reg.registerFactory("fourstep", [](const MultiGpuSystem &sys) {
+            return std::make_unique<FourStepBackend<F>>(
+                sys, FourStepOptions::tuned(), "fourstep");
+        });
+        reg.registerFactory(
+            "fourstep-prior", [](const MultiGpuSystem &sys) {
+                return std::make_unique<FourStepBackend<F>>(
+                    sys, FourStepOptions::priorArt(), "fourstep-prior");
+            });
+        reg.registerFactory("single-gpu", [](const MultiGpuSystem &sys) {
+            return std::make_unique<SingleGpuBackend<F>>(sys);
+        });
+        reg.registerFactory("naive", [](const MultiGpuSystem &sys) {
+            return std::make_unique<NaiveBackend<F>>(sys);
+        });
+        return reg;
+    }
+
+    std::vector<Entry> entries_;
+};
+
+} // namespace unintt
+
+#endif // UNINTT_UNINTT_BACKEND_HH

@@ -72,4 +72,89 @@ PlanCache::global()
     return cache;
 }
 
+std::shared_ptr<const StageSchedule>
+ScheduleCache::get(const NttPlan &pl, const MultiGpuSystem &sys,
+                   NttDirection dir, size_t element_bytes,
+                   const UniNttConfig &cfg, const CostConstants &costs,
+                   size_t batch, bool *hit_out)
+{
+    Key key{pl.logN,
+            sys.numGpus,
+            sys.gpusPerNode,
+            static_cast<int>(dir),
+            element_bytes,
+            batch,
+            cfg.forceLogBlockTile,
+            cfg.fuseTwiddles,
+            cfg.onTheFlyTwiddles,
+            cfg.paddedSmem,
+            cfg.warpShuffle,
+            cfg.naturalOrderOutput,
+            costs.twiddleTableDramFraction,
+            costs.onTheFlyExtraMuls,
+            costs.unpaddedConflictReplays,
+            sys.gpu.maxThreadsPerBlock,
+            sys.gpu.smemBytesPerBlock,
+            sys.gpu.warpSize,
+            sys.gpu.dramCapacityBytes,
+            sys.gpu.dramSectorBytes};
+
+    {
+        std::lock_guard<std::mutex> lk(mutex_);
+        for (auto it = lru_.begin(); it != lru_.end(); ++it) {
+            if (it->key == key) {
+                counters_.hits++;
+                if (hit_out)
+                    *hit_out = true;
+                lru_.splice(lru_.begin(), lru_, it);
+                return lru_.front().schedule;
+            }
+        }
+    }
+
+    // Compile outside the lock; concurrent misses of the same key are
+    // merely redundant work.
+    ScheduleOptions opts;
+    opts.batch = batch;
+    auto sched = std::make_shared<const StageSchedule>(
+        compileSchedule(pl, sys, dir, element_bytes, cfg, costs, opts));
+
+    std::lock_guard<std::mutex> lk(mutex_);
+    counters_.misses++;
+    if (hit_out)
+        *hit_out = false;
+    lru_.push_front(Entry{key, sched});
+    while (lru_.size() > maxEntries_)
+        lru_.pop_back();
+    return sched;
+}
+
+void
+ScheduleCache::clear()
+{
+    std::lock_guard<std::mutex> lk(mutex_);
+    lru_.clear();
+}
+
+CacheCounters
+ScheduleCache::counters() const
+{
+    std::lock_guard<std::mutex> lk(mutex_);
+    return counters_;
+}
+
+size_t
+ScheduleCache::size() const
+{
+    std::lock_guard<std::mutex> lk(mutex_);
+    return lru_.size();
+}
+
+ScheduleCache &
+ScheduleCache::global()
+{
+    static ScheduleCache cache;
+    return cache;
+}
+
 } // namespace unintt

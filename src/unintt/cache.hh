@@ -21,11 +21,13 @@
 
 #include <cstdint>
 #include <list>
+#include <memory>
 #include <mutex>
 
 #include "ntt/twiddle_cache.hh"
 #include "sim/multi_gpu.hh"
 #include "unintt/plan.hh"
+#include "unintt/schedule.hh"
 
 namespace unintt {
 
@@ -81,6 +83,88 @@ class PlanCache
     {
         Key key;
         NttPlan plan;
+    };
+
+    mutable std::mutex mutex_;
+    std::list<Entry> lru_; // front = most recently used
+    size_t maxEntries_;
+    CacheCounters counters_;
+};
+
+/**
+ * Thread-safe LRU memo of compiled stage schedules (schedule.hh).
+ *
+ * A schedule stores unpriced event counters, so it is a pure function
+ * of the plan inputs plus the optimization toggles, the cost constants
+ * and the batch size — GPU clock and fabric parameters price the steps
+ * at dispatch time and stay out of the key. Only plain (non-resilient,
+ * non-resume) schedules are cached; resilient runs recompile after
+ * every degradation and are the cold path by definition.
+ */
+class ScheduleCache
+{
+  public:
+    explicit ScheduleCache(size_t max_entries = 64)
+        : maxEntries_(max_entries)
+    {
+    }
+
+    /**
+     * The compiled schedule of @p pl for one direction and batch size,
+     * compiled on the first request and replayed afterwards. The plan
+     * must come from the same inputs (PlanCache guarantees this on the
+     * engine path). @p hit_out (optional) reports cache service.
+     */
+    std::shared_ptr<const StageSchedule>
+    get(const NttPlan &pl, const MultiGpuSystem &sys, NttDirection dir,
+        size_t element_bytes, const UniNttConfig &cfg,
+        const CostConstants &costs, size_t batch,
+        bool *hit_out = nullptr);
+
+    /** Drop every cached schedule. Counters persist. */
+    void clear();
+
+    /** Lifetime hit/miss counters. */
+    CacheCounters counters() const;
+
+    /** Cached schedules currently resident. */
+    size_t size() const;
+
+    /** The process-wide instance. */
+    static ScheduleCache &global();
+
+  private:
+    /** Everything compileSchedule reads (for the plain variant). */
+    struct Key
+    {
+        unsigned logN;
+        unsigned numGpus;
+        unsigned gpusPerNode;
+        int dir;
+        size_t elementBytes;
+        size_t batch;
+        unsigned forceLogTile;
+        bool fuseTwiddles;
+        bool onTheFlyTwiddles;
+        bool paddedSmem;
+        bool warpShuffle;
+        bool naturalOrderOutput;
+        double twiddleTableDramFraction;
+        double onTheFlyExtraMuls;
+        double unpaddedConflictReplays;
+        unsigned maxThreadsPerBlock;
+        uint64_t smemBytesPerBlock;
+        unsigned warpSize;
+        uint64_t dramCapacityBytes;
+        unsigned dramSectorBytes;
+
+        bool operator==(const Key &) const = default;
+    };
+
+    struct Entry
+    {
+        Key key;
+        std::shared_ptr<const StageSchedule> schedule;
     };
 
     mutable std::mutex mutex_;

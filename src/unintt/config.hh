@@ -77,6 +77,17 @@ struct UniNttConfig
     unsigned forceLogBlockTile = 0;
 
     /**
+     * Append a global bit-reversal gather to forward schedules so the
+     * output lands in natural order instead of the transform-native
+     * globally bit-reversed order. Costs one extra pass (scattered
+     * DRAM writes) plus an all-to-all when the data is sharded over
+     * more than one GPU. Plain forward paths only — the resilient
+     * path's spot check verifies the transform-native ordering and
+     * ignores this flag.
+     */
+    bool naturalOrderOutput = false;
+
+    /**
      * Host threads allowed to execute the functional (bit-exact)
      * butterfly work of a transform. 0 = use every lane of the shared
      * pool (util/thread_pool.hh), 1 = serial. Purely a host-side knob:

@@ -20,11 +20,15 @@
  * disabled (in which case the engine emulates the four-step-style
  * explicit passes for the ablation study).
  *
- * The transform is executed functionally (bit-exact field arithmetic on
- * host memory) while every phase's events are tallied and priced by the
- * simulator (src/sim). Orderings: Forward maps natural input to
- * globally bit-reversed output; Inverse maps bit-reversed input back to
- * natural order, including the n^-1 scaling.
+ * The plan is lowered once into a stage-schedule IR (schedule.hh,
+ * cached process-wide by ScheduleCache) and every entry point —
+ * forward/inverse, the batched variants, analyticRun, and the
+ * resilient paths — is a thin dispatch of that one schedule through an
+ * executor (executors.hh): analytic pricing, bit-exact host-parallel
+ * execution, or the resilient decorator with the checksum/retry/
+ * health/watchdog machinery. Orderings: Forward maps natural input to
+ * globally bit-reversed output; Inverse maps bit-reversed input back
+ * to natural order, including the n^-1 scaling.
  */
 
 #ifndef UNINTT_UNINTT_ENGINE_HH
@@ -40,15 +44,16 @@
 #include "ntt/ntt.hh"
 #include "ntt/twiddle.hh"
 #include "sim/fault.hh"
-#include "sim/memory.hh"
 #include "sim/multi_gpu.hh"
 #include "sim/perf_model.hh"
 #include "sim/report.hh"
 #include "unintt/cache.hh"
 #include "unintt/config.hh"
 #include "unintt/distributed.hh"
+#include "unintt/executors.hh"
 #include "unintt/health.hh"
 #include "unintt/plan.hh"
+#include "unintt/schedule.hh"
 #include "unintt/verify.hh"
 #include "util/bitops.hh"
 #include "util/checksum.hh"
@@ -111,6 +116,21 @@ class UniNttEngine
     }
 
     /**
+     * The compiled stage schedule for a 2^logN x batch transform — the
+     * IR every entry point dispatches (served from the process-wide
+     * ScheduleCache unless host caches are off). @p plan_hit_out and
+     * @p sched_hit_out (optional) report how the caches behaved.
+     */
+    std::shared_ptr<const StageSchedule>
+    schedule(unsigned logN, NttDirection dir, size_t batch = 1,
+             bool *plan_hit_out = nullptr,
+             bool *sched_hit_out = nullptr) const
+    {
+        const NttPlan pl = planCached(logN, sys_, plan_hit_out);
+        return scheduleCached(pl, dir, batch, sched_hit_out);
+    }
+
+    /**
      * Host lanes the functional execution may use: the configured
      * count, or every lane of the shared pool when the config says 0.
      */
@@ -123,7 +143,8 @@ class UniNttEngine
 
     /**
      * Forward NTT in place: natural order in, globally bit-reversed
-     * order out. Returns the simulated timeline.
+     * order out (natural order when cfg.naturalOrderOutput is on).
+     * Returns the simulated timeline.
      */
     SimReport
     forward(DistributedVector<F> &data) const
@@ -184,9 +205,9 @@ class UniNttEngine
     }
 
     /**
-     * Batched transform over independent equal-size inputs. Kernel
-     * launches are amortized over the batch (one launch per pass), the
-     * data-proportional costs scale with the batch size.
+     * Batched forward transform over independent equal-size inputs.
+     * Kernel launches are amortized over the batch (one launch per
+     * pass), the data-proportional costs scale with the batch size.
      */
     SimReport
     forwardBatch(std::vector<DistributedVector<F>> &batch) const
@@ -196,6 +217,18 @@ class UniNttEngine
         for (auto &b : batch)
             ptrs.push_back(&b);
         return run(log2Exact(batch[0].size()), NttDirection::Forward,
+                   ptrs);
+    }
+
+    /** Batched inverse transform; see forwardBatch. */
+    SimReport
+    inverseBatch(std::vector<DistributedVector<F>> &batch) const
+    {
+        UNINTT_ASSERT(!batch.empty(), "empty batch");
+        std::vector<DistributedVector<F> *> ptrs;
+        for (auto &b : batch)
+            ptrs.push_back(&b);
+        return run(log2Exact(batch[0].size()), NttDirection::Inverse,
                    ptrs);
     }
 
@@ -284,9 +317,11 @@ class UniNttEngine
 
   private:
     /**
-     * Shared implementation. @p batch holds the functional data (may
-     * be empty for analytic runs, in which case @p analytic_batch
-     * supplies the batch multiplier).
+     * Shared implementation: compile (or fetch) the schedule and
+     * dispatch it through the analytic or functional executor.
+     * @p batch holds the functional data (may be empty for analytic
+     * runs, in which case @p analytic_batch supplies the batch
+     * multiplier).
      */
     SimReport run(unsigned logN, NttDirection dir,
                   std::vector<DistributedVector<F> *> &batch,
@@ -317,27 +352,6 @@ class UniNttEngine
         return mix64(base ^ mix64(++spotCheckEpoch_));
     }
 
-    /** Functional butterflies of one cross-GPU stage. */
-    void crossStageCompute(DistributedVector<F> &data, unsigned s,
-                           unsigned logN, const TwiddleTable<F> &tw,
-                           NttDirection dir) const;
-
-    /** Functional butterflies of local stages [s_begin, s_end). */
-    void localStagesCompute(DistributedVector<F> &data, unsigned s_begin,
-                            unsigned s_end, unsigned logN,
-                            const TwiddleTable<F> &tw,
-                            NttDirection dir) const;
-
-    /** Event counters of one cross-GPU stage (per GPU). */
-    KernelStats crossStageStats(uint64_t chunk, size_t batch) const;
-
-    /** Event counters of one grid pass (per GPU). */
-    KernelStats gridPassStats(uint64_t chunk, const GridPassPlan &pass,
-                              size_t batch) const;
-
-    /** Event counters of one explicit twiddle pass (fusion off). */
-    KernelStats twiddlePassStats(uint64_t chunk, size_t batch) const;
-
     /** Plan via the shared PlanCache (or directly when caching is off). */
     NttPlan
     planCached(unsigned logN, const MultiGpuSystem &sys,
@@ -351,6 +365,23 @@ class UniNttEngine
             *hit_out = false;
         return planNttWithTile(logN, sys, sizeof(F),
                                cfg_.forceLogBlockTile);
+    }
+
+    /** Schedule via the shared ScheduleCache (or freshly compiled). */
+    std::shared_ptr<const StageSchedule>
+    scheduleCached(const NttPlan &pl, NttDirection dir, size_t batch,
+                   bool *hit_out) const
+    {
+        if (cfg_.useHostCaches)
+            return ScheduleCache::global().get(pl, sys_, dir, sizeof(F),
+                                               cfg_, costs_, batch,
+                                               hit_out);
+        if (hit_out)
+            *hit_out = false;
+        ScheduleOptions opts;
+        opts.batch = batch;
+        return std::make_shared<const StageSchedule>(compileSchedule(
+            pl, sys_, dir, sizeof(F), cfg_, costs_, opts));
     }
 
     /** Twiddle table via the shared cache (or freshly built). */
@@ -377,211 +408,6 @@ class UniNttEngine
 // ---------------------------------------------------------------------
 
 template <NttField F>
-void
-UniNttEngine<F>::crossStageCompute(DistributedVector<F> &data, unsigned s,
-                                   unsigned logN,
-                                   const TwiddleTable<F> &tw,
-                                   NttDirection dir) const
-{
-    const unsigned G = data.numGpus();
-    const unsigned logMg = log2Exact(G);
-    const uint64_t n = 1ULL << logN;
-    const uint64_t C = n / G;
-    const unsigned partner_gap = 1u << (logMg - s - 1); // in GPU indices
-
-    // Lower-half GPUs of the exchanging pairs. Every pair touches only
-    // its own two chunks, so the pairs — further sliced along the chunk
-    // when there are fewer pairs than host lanes — execute concurrently
-    // on the pool; writes are disjoint across work units, so the result
-    // is bit-identical for every thread count.
-    std::vector<unsigned> lows;
-    lows.reserve(G / 2);
-    for (unsigned g = 0; g < G; ++g)
-        if ((g / partner_gap) % 2 == 0)
-            lows.push_back(g);
-
-    const unsigned lanes = hostLanes();
-    uint64_t slices = 1;
-    if (lanes > 1 && lows.size() < lanes)
-        slices = std::min<uint64_t>(
-            C, (2ULL * lanes + lows.size() - 1) / lows.size());
-
-    hostParallelFor(
-        lows.size() * slices, (C / slices) * 3, lanes,
-        [&](size_t unit) {
-            const unsigned g = lows[unit / slices];
-            const uint64_t slice = unit % slices;
-            const uint64_t c0 = C * slice / slices;
-            const uint64_t c1 = C * (slice + 1) / slices;
-            auto &lo = data.chunk(g);
-            auto &hi = data.chunk(g + partner_gap);
-            // Position of this GPU's chunk inside the half-block.
-            const uint64_t j0 =
-                static_cast<uint64_t>(g % partner_gap) * C;
-            for (uint64_t c = c0; c < c1; ++c) {
-                uint64_t j = j0 + c;
-                F u = lo[c];
-                F v = hi[c];
-                if (dir == NttDirection::Forward) {
-                    lo[c] = u + v;
-                    hi[c] = (u - v) * tw[j << s];
-                } else {
-                    v = v * tw[j << s];
-                    lo[c] = u + v;
-                    hi[c] = u - v;
-                }
-            }
-        });
-}
-
-template <NttField F>
-void
-UniNttEngine<F>::localStagesCompute(DistributedVector<F> &data,
-                                    unsigned s_begin, unsigned s_end,
-                                    unsigned logN,
-                                    const TwiddleTable<F> &tw,
-                                    NttDirection dir) const
-{
-    const uint64_t n = 1ULL << logN;
-    const unsigned G = data.numGpus();
-    const uint64_t C = data.chunkSize();
-
-    // Stage order: DIF descends (strides shrink), DIT ascends.
-    std::vector<unsigned> stages;
-    for (unsigned s = s_begin; s < s_end; ++s)
-        stages.push_back(s);
-    if (dir == NttDirection::Inverse)
-        std::reverse(stages.begin(), stages.end());
-
-    // One fork/join per stage: within a stage every butterfly block is
-    // independent, so (gpu, block, j-slice) tuples fan out over the
-    // pool and the join is the barrier the next stage needs. Work units
-    // write disjoint element ranges, which keeps the output
-    // bit-identical for every thread count.
-    const unsigned lanes = hostLanes();
-    for (unsigned s : stages) {
-        const uint64_t half = n >> (s + 1);
-        UNINTT_ASSERT(2 * half <= C, "stage is not GPU-local");
-        const uint64_t block = 2 * half;
-        const uint64_t blocks_per_gpu = C / block;
-        const uint64_t units =
-            static_cast<uint64_t>(G) * blocks_per_gpu;
-        uint64_t jslices = 1;
-        if (lanes > 1 && units < lanes)
-            jslices = std::min<uint64_t>(
-                half, (2ULL * lanes + units - 1) / units);
-
-        hostParallelFor(
-            units * jslices, (half / jslices) * 3, lanes,
-            [&](size_t u) {
-                const uint64_t unit = u / jslices;
-                const uint64_t slice = u % jslices;
-                const unsigned g =
-                    static_cast<unsigned>(unit / blocks_per_gpu);
-                const uint64_t start =
-                    (unit % blocks_per_gpu) * block;
-                const uint64_t jb = half * slice / jslices;
-                const uint64_t je = half * (slice + 1) / jslices;
-                auto &chunk = data.chunk(g);
-                for (uint64_t j = jb; j < je; ++j) {
-                    F a = chunk[start + j];
-                    F b = chunk[start + j + half];
-                    if (dir == NttDirection::Forward) {
-                        chunk[start + j] = a + b;
-                        chunk[start + j + half] = (a - b) * tw[j << s];
-                    } else {
-                        b = b * tw[j << s];
-                        chunk[start + j] = a + b;
-                        chunk[start + j + half] = a - b;
-                    }
-                }
-            });
-    }
-}
-
-template <NttField F>
-KernelStats
-UniNttEngine<F>::crossStageStats(uint64_t chunk, size_t batch) const
-{
-    const size_t b = sizeof(F);
-    KernelStats k;
-    k.fieldAdds = chunk * batch;     // one add or sub per output element
-    k.fieldMuls = chunk / 2 * batch; // twiddle on the upper half outputs
-    k.butterflies = chunk / 2 * batch;
-    if (cfg_.onTheFlyTwiddles) {
-        k.fieldMuls += static_cast<uint64_t>(
-            static_cast<double>(k.butterflies) * costs_.onTheFlyExtraMuls);
-    } else {
-        k.globalReadBytes += static_cast<uint64_t>(
-            static_cast<double>(k.butterflies) * b *
-            costs_.twiddleTableDramFraction);
-    }
-    // Read own chunk + received chunk, write result + link landing.
-    k.globalReadBytes += 2 * chunk * b * batch;
-    k.globalWriteBytes += 2 * chunk * b * batch;
-    k.kernelLaunches = 1;
-    return k;
-}
-
-template <NttField F>
-KernelStats
-UniNttEngine<F>::gridPassStats(uint64_t chunk, const GridPassPlan &pass,
-                               size_t batch) const
-{
-    const size_t b = sizeof(F);
-    KernelStats k;
-    k.butterflies = chunk / 2 * pass.bits * batch;
-    k.fieldMuls = k.butterflies;
-    k.fieldAdds = 2 * k.butterflies;
-    if (cfg_.onTheFlyTwiddles) {
-        k.fieldMuls += static_cast<uint64_t>(
-            static_cast<double>(k.butterflies) * costs_.onTheFlyExtraMuls);
-    } else {
-        k.globalReadBytes += static_cast<uint64_t>(
-            static_cast<double>(k.butterflies) * b *
-            costs_.twiddleTableDramFraction);
-    }
-    // One coalesced read and write of the chunk per pass.
-    k.globalReadBytes += chunk * b * batch;
-    k.globalWriteBytes += chunk * b * batch;
-
-    if (cfg_.warpShuffle) {
-        // Warp-resident stages exchange via the shuffle network; only
-        // round boundaries cross shared memory.
-        k.shuffles = chunk * pass.bits * batch;
-        k.smemBytes = 2 * chunk * b * (pass.warpRounds - 1) * batch;
-    } else {
-        // Every stage round-trips through shared memory.
-        k.smemBytes = 2 * chunk * b * pass.bits * batch;
-    }
-    if (!cfg_.paddedSmem) {
-        uint64_t accesses = k.smemBytes / b;
-        k.smemBankConflicts = static_cast<uint64_t>(
-            static_cast<double>(accesses) * costs_.unpaddedConflictReplays);
-    }
-    uint64_t tiles = std::max<uint64_t>(1, chunk >> pass.bits);
-    // The shuffle path only barriers at round boundaries; the pure smem
-    // path barriers after every stage.
-    k.syncs = tiles * (cfg_.warpShuffle ? pass.warpRounds : pass.bits) *
-              batch;
-    k.kernelLaunches = 1;
-    return k;
-}
-
-template <NttField F>
-KernelStats
-UniNttEngine<F>::twiddlePassStats(uint64_t chunk, size_t batch) const
-{
-    const size_t b = sizeof(F);
-    KernelStats k;
-    k.fieldMuls = chunk * batch;
-    k.globalReadBytes = chunk * b * batch;
-    k.globalWriteBytes = chunk * b * batch;
-    k.kernelLaunches = 1;
-    return k;
-}
-
-template <NttField F>
 SimReport
 UniNttEngine<F>::run(unsigned logN, NttDirection dir,
                      std::vector<DistributedVector<F> *> &batch,
@@ -590,7 +416,6 @@ UniNttEngine<F>::run(unsigned logN, NttDirection dir,
     bool plan_hit = false;
     const NttPlan pl = planCached(logN, sys_, &plan_hit);
     const uint64_t n = 1ULL << logN;
-    const uint64_t C = pl.chunkElems();
     const size_t nbatch = batch.empty() ? analytic_batch : batch.size();
     const bool functional = !batch.empty();
 
@@ -598,6 +423,10 @@ UniNttEngine<F>::run(unsigned logN, NttDirection dir,
         UNINTT_ASSERT(d->size() == n, "batch entry size mismatch");
         UNINTT_ASSERT(d->numGpus() == sys_.numGpus, "GPU count mismatch");
     }
+
+    bool sched_hit = false;
+    std::shared_ptr<const StageSchedule> sched =
+        scheduleCached(pl, dir, nbatch, &sched_hit);
 
     // Twiddle table shared by the functional execution (served from
     // the per-field cache so repeated transforms skip the root-of-unity
@@ -616,135 +445,27 @@ UniNttEngine<F>::run(unsigned logN, NttDirection dir,
         // records no hit or miss.
         if (cfg_.useHostCaches) {
             (plan_hit ? hx.planCacheHits : hx.planCacheMisses) = 1;
+            (sched_hit ? hx.scheduleCacheHits : hx.scheduleCacheMisses) =
+                1;
             if (functional)
                 (tw_hit ? hx.twiddleCacheHits : hx.twiddleCacheMisses) =
                     1;
         }
         report.addHostExecStats(hx);
     }
+    report.setPeakDeviceBytes(sched->peakDeviceBytes);
 
-    // Device-memory footprint: the data chunk, one exchange buffer for
-    // the cross-GPU phase, and the twiddle table when it is not
-    // generated on the fly.
-    {
-        DeviceMemoryModel mem(sys_.gpu, sys_.numGpus);
-        mem.allocAll(C * sizeof(F) * nbatch, "data");
-        if (pl.logMg > 0)
-            mem.allocAll(C * sizeof(F) * nbatch, "exchange-buffer");
-        if (!cfg_.onTheFlyTwiddles)
-            mem.allocAll(n / 2 * sizeof(F), "twiddle-table");
-        report.setPeakDeviceBytes(mem.maxPeakBytes());
-    }
-
-    auto add_cross_stage = [&](unsigned s) {
-        KernelStats k = crossStageStats(C, nbatch);
-        double kernel_t = perf_.kernelSeconds(k);
-        CommStats comm{C * sizeof(F) * nbatch, 1};
-        unsigned distance = 1u << (pl.logMg - s - 1);
-        unsigned effective = distance;
-        const Interconnect &fabric = sys_.fabricFor(distance, effective);
-        double comm_t =
-            fabric.pairwiseExchangeTime(comm.bytesPerGpu, effective);
-        std::string name =
-            (sys_.crossesNodes(distance) ? "node-stage-" : "mgpu-stage-") +
-            std::to_string(s) + "/x" + std::to_string(distance);
-        if (functional) {
-            for (auto *d : batch)
-                crossStageCompute(*d, s, logN, *tw, dir);
-        }
-        if (cfg_.overlapComm) {
-            // Segmented pipeline: transfer overlaps butterflies; the
-            // longer of the two dominates.
-            double visible = std::max(0.0, comm_t - kernel_t);
-            report.addKernelPhase(name + "-compute", k, perf_);
-            report.addCommPhase(name + "-exchange", visible, comm,
-                                comm_t - visible);
-        } else {
-            report.addKernelPhase(name + "-compute", k, perf_);
-            report.addCommPhase(name + "-exchange", comm_t, comm);
-        }
-    };
-
-    auto add_twiddle_pass = [&](const std::string &why) {
-        KernelStats k = twiddlePassStats(C, nbatch);
-        report.addKernelPhase("twiddle-pass-" + why, k, perf_);
-        // Functionally a no-op: the fused execution already applied
-        // the factors; this models the un-fused algorithm's extra
-        // memory round trip.
-    };
-
-    // ----- Forward: cross-GPU phase first, then local passes. -----
-    // ----- Inverse: local passes first, cross-GPU phase last.  -----
-
-    auto run_cross_phase = [&] {
-        for (unsigned i = 0; i < pl.logMg; ++i) {
-            unsigned s = dir == NttDirection::Forward
-                             ? i
-                             : pl.logMg - 1 - i; // DIT ascends strides
-            add_cross_stage(s);
-        }
-        if (!cfg_.fuseTwiddles && pl.logMg > 0)
-            add_twiddle_pass("mgpu");
-    };
-
-    auto run_local_phase = [&] {
-        // Grid passes cover stage ranges [s, s + bits). Forward order:
-        // outermost (largest strides) first; inverse reversed.
-        std::vector<std::pair<unsigned, GridPassPlan>> ranges;
-        unsigned s = pl.logMg;
-        for (const auto &pass : pl.passes) {
-            ranges.emplace_back(s, pass);
-            s += pass.bits;
-        }
-        UNINTT_ASSERT(s == logN, "plan does not cover all stages");
-        if (dir == NttDirection::Inverse)
-            std::reverse(ranges.begin(), ranges.end());
-
-        for (size_t i = 0; i < ranges.size(); ++i) {
-            const auto &[s_begin, pass] = ranges[i];
-            if (functional) {
-                for (auto *d : batch)
-                    localStagesCompute(*d, s_begin, s_begin + pass.bits,
-                                       logN, *tw, dir);
-            }
-            KernelStats k = gridPassStats(C, pass, nbatch);
-            report.addKernelPhase("grid-pass-" + std::to_string(i) + "/b" +
-                                      std::to_string(pass.bits),
-                                  k, perf_);
-            if (!cfg_.fuseTwiddles && i + 1 < ranges.size())
-                add_twiddle_pass("pass" + std::to_string(i));
-        }
-    };
-
-    if (dir == NttDirection::Forward) {
-        run_cross_phase();
-        run_local_phase();
+    if (functional) {
+        FunctionalStepExecutor<F> exec(sys_, perf_, cfg_.overlapComm,
+                                       report, batch, *tw, logN, dir,
+                                       hostLanes());
+        Status st = dispatchSchedule(sched, exec);
+        UNINTT_ASSERT(st.ok(), "functional execution cannot fail");
     } else {
-        run_local_phase();
-        run_cross_phase();
-
-        // n^-1 scaling. Fused into the last stage's butterflies when
-        // fusion is on (extra muls only); a separate pass otherwise.
-        if (functional) {
-            F scale = inverseScale<F>(n);
-            const unsigned G = sys_.numGpus;
-            hostParallelFor(
-                batch.size() * G, C, hostLanes(), [&](size_t u) {
-                    auto &chunk = batch[u / G]->chunk(
-                        static_cast<unsigned>(u % G));
-                    for (auto &v : chunk)
-                        v *= scale;
-                });
-        }
-        if (cfg_.fuseTwiddles) {
-            KernelStats k;
-            k.fieldMuls = C * nbatch;
-            report.addKernelPhase("inverse-scale-fused", k, perf_);
-        } else {
-            add_twiddle_pass("inverse-scale");
-        }
+        AnalyticStepExecutor exec(sys_, perf_, cfg_.overlapComm, report);
+        Status st = dispatchSchedule(sched, exec);
+        UNINTT_ASSERT(st.ok(), "analytic execution cannot fail");
     }
-
     return report;
 }
 
@@ -838,304 +559,43 @@ UniNttEngine<F>::runResilientImpl(NttDirection dir,
         report.addHostExecStats(hx);
     }
 
-    auto account_memory = [&] {
-        DeviceMemoryModel mem(sys.gpu, sys.numGpus);
-        mem.allocAll(pl.chunkElems() * sizeof(F), "data");
-        if (pl.logMg > 0)
-            mem.allocAll(pl.chunkElems() * sizeof(F), "exchange-buffer");
-        if (!cfg_.onTheFlyTwiddles)
-            mem.allocAll(n / 2 * sizeof(F), "twiddle-table");
-        report.setPeakDeviceBytes(mem.maxPeakBytes());
-    };
-    account_memory();
+    // Resilient schedules are compiled fresh (never cached): they
+    // carry the checksum additions and may be recompiled mid-run after
+    // a degradation, which would poison a shared cache.
+    ScheduleOptions opts;
+    opts.resilient = true;
+    opts.spotChecks = rc.spotChecks;
+    auto sched = std::make_shared<const StageSchedule>(compileSchedule(
+        pl, sys, dir, sizeof(F), cfg_, costs_, opts));
+    report.setPeakDeviceBytes(sched->peakDeviceBytes);
 
-    auto add_twiddle_pass = [&](const std::string &why) {
-        KernelStats k = twiddlePassStats(pl.chunkElems(), 1);
-        report.addKernelPhase("twiddle-pass-" + why, k, perf_);
+    ResilientHooks hooks;
+    hooks.replan = [this](unsigned lg, const MultiGpuSystem &s) {
+        return planCached(lg, s, nullptr);
     };
-
-    // Permanent device loss: re-shard the data onto the surviving
-    // power-of-two subset, re-plan, and price the recovery — the
-    // detection timeout, pulling the lost chunk's replica from its
-    // last exchange partner, and the all-to-all reshard.
-    auto degrade = [&](int lost_gpu) -> Status {
-        // The loss is attributed whether or not the recovery below is
-        // allowed to absorb it — the next run must know either way.
-        if (health != nullptr && lost_gpu >= 0 &&
-            static_cast<unsigned>(lost_gpu) < health->numDevices())
-            health->recordDeviceLost(static_cast<unsigned>(lost_gpu));
-        if (!rc.allowDegraded)
-            return Status::error(
-                StatusCode::DeviceLost,
-                detail::format(
-                    "GPU %d lost and degraded mode is disabled",
-                    lost_gpu));
-        if (sys.numGpus <= 1)
-            return Status::error(
-                StatusCode::DeviceLost,
-                "GPU lost with no surviving devices to re-plan onto");
-        const unsigned newG = sys.numGpus / 2;
-        const uint64_t lost_chunk_bytes = pl.chunkElems() * sizeof(F);
-        const uint64_t reshard_bytes = (n / newG) * sizeof(F);
-        double t = rc.detectionSeconds;
-        t += sys.fabric.pairwiseExchangeTime(lost_chunk_bytes, 1);
-        t += sys.fabric.allToAllTime(reshard_bytes, newG);
-        CommStats comm;
-        comm.bytesPerGpu = reshard_bytes + lost_chunk_bytes;
-        comm.messages = newG;
-        report.addCommPhase(
-            "degrade-to-" + std::to_string(newG) + "gpu-reshard", t,
-            comm);
-        Status reshard_st = data.reshardChecked(newG);
-        if (!reshard_st.ok())
-            return reshard_st;
-        sys.numGpus = newG;
-        if (sys.gpusPerNode != 0 && sys.numGpus <= sys.gpusPerNode)
-            sys.gpusPerNode = 0; // survivors fit inside one node
-        pl = planCached(logN, sys, nullptr);
-        fs.devicesLost++;
-        fs.degradedReplans++;
-        account_memory();
-        return Status();
+    hooks.recompile = [this, spot_checks = rc.spotChecks](
+                          const NttPlan &p, const MultiGpuSystem &s,
+                          NttDirection d, unsigned resume_stage,
+                          unsigned orig_log_mg) {
+        ScheduleOptions o;
+        o.resilient = true;
+        o.spotChecks = spot_checks;
+        o.resume = true;
+        o.resumeStage = resume_stage;
+        o.origLogMg = orig_log_mg;
+        return std::make_shared<const StageSchedule>(
+            compileSchedule(p, s, d, sizeof(F), cfg_, costs_, o));
+    };
+    hooks.nextSpotSeed = [this](uint64_t base) {
+        return nextSpotSeed(base);
     };
 
-    // One cross-GPU stage, executed resiliently. Restarts on device
-    // loss — under the degraded sharding the stage may have become
-    // GPU-local, in which case it runs as a one-bit grid pass.
-    auto resilient_cross_stage = [&](unsigned s) -> Status {
-        while (true) {
-            if (s >= pl.logMg) {
-                localStagesCompute(data, s, s + 1, logN, tw, dir);
-                GridPassPlan one{1, 1};
-                KernelStats k = gridPassStats(pl.chunkElems(), one, 1);
-                report.addKernelPhase(
-                    "degraded-local-stage-" + std::to_string(s), k,
-                    perf_);
-                return Status();
-            }
-            ExchangeOutcome out =
-                faults.nextExchange(rc.retry.maxRetries);
-            fs.exchanges++;
-            if (out.lostGpu >= 0) {
-                Status st = degrade(out.lostGpu);
-                if (!st.ok())
-                    return st;
-                continue;
-            }
-            if (out.exhausted)
-                return Status::error(
-                    StatusCode::TransientFault,
-                    detail::format("cross-GPU exchange at stage %u "
-                                   "still failing after %u retries",
-                                   s, rc.retry.maxRetries));
-
-            const uint64_t C = pl.chunkElems();
-            const uint64_t bytes = C * sizeof(F);
-            KernelStats k = crossStageStats(C, 1);
-            // Checksum generation on send, verification on arrival.
-            k.fieldAdds += 2 * C;
-            fs.checksummedBytes += 2 * bytes;
-            const double kernel_t = perf_.kernelSeconds(k);
-
-            unsigned distance = 1u << (pl.logMg - s - 1);
-            unsigned effective = distance;
-            const Interconnect &fabric =
-                sys.fabricFor(distance, effective);
-            const double once =
-                fabric.pairwiseExchangeTime(bytes, effective);
-            CommStats comm{bytes, 1};
-            // Faults at this stage are attributed to gpu 0's exchange
-            // partner — the same device whose chunk demonstrates the
-            // corruption below. An approximation (every pair faults
-            // identically in the simulation), but a deterministic one,
-            // so the health tracker sees a reproducible history.
-            const unsigned suspect = distance;
-            double comm_t = once * out.stragglerFactor;
-            if (out.stragglerFactor > 1.0) {
-                fs.stragglerEvents++;
-                if (health != nullptr &&
-                    suspect < health->numDevices())
-                    health->recordFault(suspect);
-                if (rc.watchdogDeadlineFactor > 0.0 &&
-                    out.stragglerFactor > rc.watchdogDeadlineFactor) {
-                    // Watchdog: the exchange is aborted at the
-                    // deadline and retried once on a clean link,
-                    // bounding an arbitrarily slow straggler at
-                    // deadline + one retransmission.
-                    comm_t = once * rc.watchdogDeadlineFactor + once;
-                    comm.retries += 1;
-                    fs.watchdogTimeouts++;
-                }
-            }
-            for (unsigned i = 0; i < out.transientFailures; ++i)
-                comm_t += rc.retry.backoffSeconds(i) + once;
-            comm.retries += out.transientFailures;
-            fs.transientRetries += out.transientFailures;
-            if (health != nullptr && out.transientFailures > 0 &&
-                suspect < health->numDevices())
-                health->recordFault(suspect);
-
-            // Corrupted payload: the checksum catches the flip (shown
-            // functionally on the first exchanging pair), forcing
-            // retransmissions until a clean copy lands.
-            bool corrupted = out.corrupted;
-            unsigned tries = 0;
-            while (corrupted) {
-                const std::vector<F> &payload = data.chunk(distance);
-                const uint64_t good =
-                    checksumBytes(payload.data(), bytes);
-                std::vector<F> received = payload;
-                auto *raw =
-                    reinterpret_cast<unsigned char *>(received.data());
-                const uint64_t bit = out.corruptBit % (bytes * 8);
-                raw[bit / 8] ^=
-                    static_cast<unsigned char>(1u << (bit % 8));
-                const uint64_t seen =
-                    checksumBytes(received.data(), bytes);
-                UNINTT_ASSERT(
-                    seen != good,
-                    "single-bit corruption must change the checksum");
-                fs.corruptionsDetected++;
-                if (health != nullptr && suspect < health->numDevices())
-                    health->recordFault(suspect);
-                comm_t += once;
-                comm.retries += 1;
-                if (++tries > rc.retry.maxRetries)
-                    return Status::error(
-                        StatusCode::DataCorruption,
-                        detail::format(
-                            "payload checksum mismatch at stage %u "
-                            "persisted across %u retransmissions",
-                            s, rc.retry.maxRetries));
-                corrupted = faults.retransmitCorrupted();
-            }
-
-            crossStageCompute(data, s, logN, tw, dir);
-            std::string name = (sys.crossesNodes(distance)
-                                    ? "node-stage-"
-                                    : "mgpu-stage-") +
-                               std::to_string(s) + "/x" +
-                               std::to_string(distance);
-            report.addKernelPhase(name + "-compute", k, perf_);
-            if (cfg_.overlapComm) {
-                double visible = std::max(0.0, comm_t - kernel_t);
-                report.addCommPhase(name + "-exchange", visible, comm,
-                                    comm_t - visible);
-            } else {
-                report.addCommPhase(name + "-exchange", comm_t, comm);
-            }
-            return Status();
-        }
-    };
-
-    // Group local stages [from, logN) into balanced passes with the
-    // planner's policy. Rebuilt rather than read from pl.passes
-    // because degradation can leave the first local stage above
-    // pl.logMg (a cross stage executed under the old sharding).
-    auto local_ranges_from = [&](unsigned from) {
-        std::vector<std::pair<unsigned, GridPassPlan>> ranges;
-        unsigned remaining = logN - from;
-        if (remaining == 0)
-            return ranges;
-        unsigned num_passes =
-            (remaining + pl.logBlockTile - 1) / pl.logBlockTile;
-        unsigned s = from;
-        for (unsigned i = 0; i < num_passes; ++i) {
-            unsigned left = num_passes - i;
-            unsigned bits = (remaining + left - 1) / left;
-            GridPassPlan pass;
-            pass.bits = bits;
-            pass.warpRounds = (bits + pl.logWarp - 1) / pl.logWarp;
-            ranges.emplace_back(s, pass);
-            s += bits;
-            remaining -= bits;
-        }
-        return ranges;
-    };
-
-    auto run_local_phase = [&](unsigned from) {
-        auto ranges = local_ranges_from(from);
-        if (dir == NttDirection::Inverse)
-            std::reverse(ranges.begin(), ranges.end());
-        for (size_t i = 0; i < ranges.size(); ++i) {
-            const auto &[s_begin, pass] = ranges[i];
-            localStagesCompute(data, s_begin, s_begin + pass.bits,
-                               logN, tw, dir);
-            KernelStats k = gridPassStats(pl.chunkElems(), pass, 1);
-            report.addKernelPhase("grid-pass-" + std::to_string(i) +
-                                      "/b" + std::to_string(pass.bits),
-                                  k, perf_);
-            if (!cfg_.fuseTwiddles && i + 1 < ranges.size())
-                add_twiddle_pass("pass" + std::to_string(i));
-        }
-    };
-
-    if (dir == NttDirection::Forward) {
-        unsigned s = 0;
-        while (s < pl.logMg) {
-            Status st = resilient_cross_stage(s);
-            if (!st.ok())
-                return st;
-            ++s;
-        }
-        if (!cfg_.fuseTwiddles && logMg0 > 0)
-            add_twiddle_pass("mgpu");
-        run_local_phase(s);
-    } else {
-        run_local_phase(pl.logMg);
-        for (int s = static_cast<int>(pl.logMg) - 1; s >= 0; --s) {
-            Status st =
-                resilient_cross_stage(static_cast<unsigned>(s));
-            if (!st.ok())
-                return st;
-        }
-        if (!cfg_.fuseTwiddles && logMg0 > 0)
-            add_twiddle_pass("mgpu");
-
-        // n^-1 scaling, exactly as in run().
-        F scale = inverseScale<F>(n);
-        for (unsigned g = 0; g < data.numGpus(); ++g)
-            for (auto &v : data.chunk(g))
-                v *= scale;
-        if (cfg_.fuseTwiddles) {
-            KernelStats k;
-            k.fieldMuls = pl.chunkElems();
-            report.addKernelPhase("inverse-scale-fused", k, perf_);
-        } else {
-            add_twiddle_pass("inverse-scale");
-        }
-    }
-
-    // Post-transform spot check against a direct evaluation
-    // (unintt/verify.hh): the backstop that catches whatever the
-    // exchange checksums cannot see.
-    if (rc.spotChecks > 0) {
-        const std::vector<F> out_global = data.toGlobal();
-        KernelStats k;
-        k.fieldMuls = static_cast<uint64_t>(rc.spotChecks) * n;
-        k.fieldAdds = static_cast<uint64_t>(rc.spotChecks) * n;
-        k.kernelLaunches = 1;
-        report.addKernelPhase("spot-check", k, perf_);
-        fs.spotChecks += rc.spotChecks;
-        // Derived seed: repeated checks of the same transform sample
-        // fresh positions (the config seed alone would re-sample the
-        // same ones every run).
-        const uint64_t spot_seed = nextSpotSeed(rc.spotCheckSeed);
-        const bool good =
-            dir == NttDirection::Forward
-                ? spotCheckForward(input, out_global, rc.spotChecks,
-                                   spot_seed)
-                : spotCheckInverse(input, out_global, rc.spotChecks,
-                                   spot_seed);
-        if (!good) {
-            fs.spotCheckFailures++;
-            report.addFaultStats(fs);
-            return Status::error(
-                StatusCode::DataCorruption,
-                "post-transform spot check failed: output does not "
-                "match a direct evaluation of the input");
-        }
-    }
+    ResilientStepExecutor<F> exec(sys, perf_, cfg_, report, data, input,
+                                  faults, rc, health, tw, pl, logMg0, dir,
+                                  hostLanes(), std::move(hooks), fs);
+    Status st = dispatchSchedule(std::move(sched), exec);
+    if (!st.ok())
+        return st;
 
     report.addFaultStats(fs);
     return report;

@@ -1,0 +1,754 @@
+/**
+ * @file
+ * Step executors: the interpreters of the stage-schedule IR
+ * (schedule.hh).
+ *
+ * The executor contract: an executor consumes ScheduleSteps in order
+ * via onStep() and appends the step's phases to a SimReport. It may
+ * return a non-ok Status (aborting the run) or request a reschedule
+ * (the dispatch loop swaps in the executor's recompiled schedule and
+ * restarts from its first step — how mid-run degradation re-plans the
+ * remaining stages).
+ *
+ *  - AnalyticStepExecutor prices each step's precomputed counters
+ *    without touching data (analyticRun).
+ *  - FunctionalStepExecutor additionally executes the bit-exact field
+ *    arithmetic on the host pool, then defers to the analytic pricing
+ *    — the timeline is identical by construction.
+ *  - ResilientStepExecutor decorates the functional execution of a
+ *    single transform with the fault machinery: checksummed exchanges,
+ *    bounded-backoff retries, the straggler watchdog, degraded-mode
+ *    re-plans, and the post-transform spot check. Resilience decorates
+ *    the step dispatch; it does not fork the stage loops.
+ *
+ * Phase-order note: the IR lists an Exchange before the CrossStage
+ * that consumes it (dataflow order), while the report historically
+ * shows compute first and the exchange second (with the overlap split
+ * computed against that compute). Executors therefore hold the pending
+ * Exchange and emit its comm phase right after pricing the paired
+ * CrossStage.
+ */
+
+#ifndef UNINTT_UNINTT_EXECUTORS_HH
+#define UNINTT_UNINTT_EXECUTORS_HH
+
+#include <algorithm>
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "field/field_traits.hh"
+#include "ntt/ntt.hh"
+#include "ntt/twiddle.hh"
+#include "sim/fault.hh"
+#include "sim/multi_gpu.hh"
+#include "sim/perf_model.hh"
+#include "sim/report.hh"
+#include "unintt/config.hh"
+#include "unintt/distributed.hh"
+#include "unintt/health.hh"
+#include "unintt/schedule.hh"
+#include "unintt/verify.hh"
+#include "util/bitops.hh"
+#include "util/checksum.hh"
+#include "util/logging.hh"
+#include "util/status.hh"
+#include "util/thread_pool.hh"
+
+namespace unintt {
+
+/** Outcome of executing one step. */
+struct StepAction
+{
+    Status status;
+    /**
+     * When true, the dispatch loop replaces the schedule with the
+     * executor's recompiled one and restarts at its first step.
+     */
+    bool reschedule = false;
+};
+
+/**
+ * Run @p sched through @p exec step by step. The single interpreter
+ * loop shared by run(), analyticRun() and runResilient().
+ */
+template <typename Exec>
+Status
+dispatchSchedule(std::shared_ptr<const StageSchedule> sched, Exec &exec)
+{
+    for (size_t i = 0; i < sched->steps.size();) {
+        StepAction act = exec.onStep(sched->steps[i]);
+        if (!act.status.ok())
+            return act.status;
+        if (act.reschedule) {
+            sched = exec.reschedule();
+            UNINTT_ASSERT(sched != nullptr, "reschedule returned nothing");
+            i = 0;
+            continue;
+        }
+        ++i;
+    }
+    return Status();
+}
+
+// ---------------------------------------------------------------------
+// Shared functional kernels (bit-exact host execution).
+// ---------------------------------------------------------------------
+
+/** Functional butterflies of one cross-GPU stage. */
+template <NttField F>
+void
+crossStageCompute(DistributedVector<F> &data, unsigned s, unsigned logN,
+                  const TwiddleTable<F> &tw, NttDirection dir,
+                  unsigned lanes)
+{
+    const unsigned G = data.numGpus();
+    const unsigned logMg = log2Exact(G);
+    const uint64_t n = 1ULL << logN;
+    const uint64_t C = n / G;
+    const unsigned partner_gap = 1u << (logMg - s - 1); // in GPU indices
+
+    // Lower-half GPUs of the exchanging pairs. Every pair touches only
+    // its own two chunks, so the pairs — further sliced along the chunk
+    // when there are fewer pairs than host lanes — execute concurrently
+    // on the pool; writes are disjoint across work units, so the result
+    // is bit-identical for every thread count.
+    std::vector<unsigned> lows;
+    lows.reserve(G / 2);
+    for (unsigned g = 0; g < G; ++g)
+        if ((g / partner_gap) % 2 == 0)
+            lows.push_back(g);
+
+    uint64_t slices = 1;
+    if (lanes > 1 && lows.size() < lanes)
+        slices = std::min<uint64_t>(
+            C, (2ULL * lanes + lows.size() - 1) / lows.size());
+
+    hostParallelFor(
+        lows.size() * slices, (C / slices) * 3, lanes,
+        [&](size_t unit) {
+            const unsigned g = lows[unit / slices];
+            const uint64_t slice = unit % slices;
+            const uint64_t c0 = C * slice / slices;
+            const uint64_t c1 = C * (slice + 1) / slices;
+            auto &lo = data.chunk(g);
+            auto &hi = data.chunk(g + partner_gap);
+            // Position of this GPU's chunk inside the half-block.
+            const uint64_t j0 =
+                static_cast<uint64_t>(g % partner_gap) * C;
+            for (uint64_t c = c0; c < c1; ++c) {
+                uint64_t j = j0 + c;
+                F u = lo[c];
+                F v = hi[c];
+                if (dir == NttDirection::Forward) {
+                    lo[c] = u + v;
+                    hi[c] = (u - v) * tw[j << s];
+                } else {
+                    v = v * tw[j << s];
+                    lo[c] = u + v;
+                    hi[c] = u - v;
+                }
+            }
+        });
+}
+
+/** Functional butterflies of local stages [s_begin, s_end). */
+template <NttField F>
+void
+localStagesCompute(DistributedVector<F> &data, unsigned s_begin,
+                   unsigned s_end, unsigned logN,
+                   const TwiddleTable<F> &tw, NttDirection dir,
+                   unsigned lanes)
+{
+    const uint64_t n = 1ULL << logN;
+    const unsigned G = data.numGpus();
+    const uint64_t C = data.chunkSize();
+
+    // Stage order: DIF descends (strides shrink), DIT ascends.
+    std::vector<unsigned> stages;
+    for (unsigned s = s_begin; s < s_end; ++s)
+        stages.push_back(s);
+    if (dir == NttDirection::Inverse)
+        std::reverse(stages.begin(), stages.end());
+
+    // One fork/join per stage: within a stage every butterfly block is
+    // independent, so (gpu, block, j-slice) tuples fan out over the
+    // pool and the join is the barrier the next stage needs. Work units
+    // write disjoint element ranges, which keeps the output
+    // bit-identical for every thread count.
+    for (unsigned s : stages) {
+        const uint64_t half = n >> (s + 1);
+        UNINTT_ASSERT(2 * half <= C, "stage is not GPU-local");
+        const uint64_t block = 2 * half;
+        const uint64_t blocks_per_gpu = C / block;
+        const uint64_t units =
+            static_cast<uint64_t>(G) * blocks_per_gpu;
+        uint64_t jslices = 1;
+        if (lanes > 1 && units < lanes)
+            jslices = std::min<uint64_t>(
+                half, (2ULL * lanes + units - 1) / units);
+
+        hostParallelFor(
+            units * jslices, (half / jslices) * 3, lanes,
+            [&](size_t u) {
+                const uint64_t unit = u / jslices;
+                const uint64_t slice = u % jslices;
+                const unsigned g =
+                    static_cast<unsigned>(unit / blocks_per_gpu);
+                const uint64_t start =
+                    (unit % blocks_per_gpu) * block;
+                const uint64_t jb = half * slice / jslices;
+                const uint64_t je = half * (slice + 1) / jslices;
+                auto &chunk = data.chunk(g);
+                for (uint64_t j = jb; j < je; ++j) {
+                    F a = chunk[start + j];
+                    F b = chunk[start + j + half];
+                    if (dir == NttDirection::Forward) {
+                        chunk[start + j] = a + b;
+                        chunk[start + j + half] = (a - b) * tw[j << s];
+                    } else {
+                        b = b * tw[j << s];
+                        chunk[start + j] = a + b;
+                        chunk[start + j + half] = a - b;
+                    }
+                }
+            });
+    }
+}
+
+/** Functional n^-1 scaling of every chunk of every batch entry. */
+template <NttField F>
+void
+inverseScaleCompute(std::vector<DistributedVector<F> *> &batch,
+                    uint64_t n, unsigned lanes)
+{
+    F scale = inverseScale<F>(n);
+    const unsigned G = batch.empty() ? 1 : batch[0]->numGpus();
+    hostParallelFor(batch.size() * G, batch.empty() ? 0 : batch[0]->chunkSize(),
+                    lanes, [&](size_t u) {
+                        auto &chunk = batch[u / G]->chunk(
+                            static_cast<unsigned>(u % G));
+                        for (auto &v : chunk)
+                            v *= scale;
+                    });
+}
+
+/**
+ * Functional bit-reversal gather: redistribute the forward transform's
+ * globally bit-reversed output into natural order.
+ */
+template <NttField F>
+void
+bitRevGatherCompute(DistributedVector<F> &data, unsigned logN)
+{
+    const std::vector<F> got = data.toGlobal();
+    std::vector<F> natural(got.size());
+    for (uint64_t i = 0; i < got.size(); ++i)
+        natural[i] = got[bitReverse(i, logN)];
+    data = DistributedVector<F>::fromGlobal(natural, data.numGpus());
+}
+
+// ---------------------------------------------------------------------
+// Analytic executor: price the precomputed counters, touch no data.
+// ---------------------------------------------------------------------
+
+class AnalyticStepExecutor
+{
+  public:
+    AnalyticStepExecutor(const MultiGpuSystem &sys, const PerfModel &perf,
+                         bool overlap_comm, SimReport &report)
+        : sys_(sys), perf_(perf), overlap_(overlap_comm), report_(report)
+    {
+    }
+
+    StepAction
+    onStep(const ScheduleStep &st)
+    {
+        execute(st);
+        return StepAction{};
+    }
+
+    /** Plain executors never request a reschedule. */
+    std::shared_ptr<const StageSchedule>
+    reschedule()
+    {
+        panic("plain executors cannot reschedule");
+    }
+
+  protected:
+    void
+    execute(const ScheduleStep &st)
+    {
+        switch (st.kind) {
+          case StepKind::Exchange:
+            pendingExchange_ = &st;
+            return;
+          case StepKind::CrossStage: {
+            double kernel_t = report_.addKernelPhase(st.name, st.stats,
+                                                     perf_);
+            tagPhase(st);
+            UNINTT_ASSERT(pendingExchange_ != nullptr,
+                          "cross stage without a pending exchange");
+            emitExchange(*pendingExchange_, kernel_t);
+            pendingExchange_ = nullptr;
+            return;
+          }
+          case StepKind::LocalPass:
+          case StepKind::Scale:
+          case StepKind::SpotCheck:
+            report_.addKernelPhase(st.name, st.stats, perf_);
+            tagPhase(st);
+            return;
+          case StepKind::BitRevGather: {
+            report_.addKernelPhase(st.name, st.stats, perf_);
+            tagPhase(st);
+            if (st.comm.bytesPerGpu > 0) {
+                double t = sys_.fabric.allToAllTime(
+                    st.comm.bytesPerGpu, sys_.numGpus);
+                report_.addCommPhase(st.name + "-alltoall", t, st.comm);
+                tagPhase(st);
+            }
+            return;
+          }
+        }
+    }
+
+    /**
+     * Price and emit the held Exchange, splitting visible/hidden time
+     * against the paired compute when overlap is on.
+     */
+    void
+    emitExchange(const ScheduleStep &ex, double kernel_t)
+    {
+        const Interconnect &fabric =
+            ex.crossesNodes ? sys_.nodeFabric : sys_.fabric;
+        double comm_t = fabric.pairwiseExchangeTime(ex.comm.bytesPerGpu,
+                                                    ex.effectiveDistance);
+        if (overlap_) {
+            // Segmented pipeline: transfer overlaps butterflies; the
+            // longer of the two dominates.
+            double visible = std::max(0.0, comm_t - kernel_t);
+            report_.addCommPhase(ex.name, visible, ex.comm,
+                                 comm_t - visible);
+        } else {
+            report_.addCommPhase(ex.name, comm_t, ex.comm);
+        }
+        tagPhase(ex);
+    }
+
+    /** Attribute the just-added phase to its IR step. */
+    void
+    tagPhase(const ScheduleStep &st)
+    {
+        report_.tagLastPhase(toString(st.kind), toString(st.level));
+    }
+
+    const MultiGpuSystem &sys_;
+    const PerfModel &perf_;
+    const bool overlap_;
+    SimReport &report_;
+    const ScheduleStep *pendingExchange_ = nullptr;
+};
+
+// ---------------------------------------------------------------------
+// Functional executor: bit-exact host execution + analytic pricing.
+// ---------------------------------------------------------------------
+
+template <NttField F>
+class FunctionalStepExecutor : public AnalyticStepExecutor
+{
+  public:
+    FunctionalStepExecutor(const MultiGpuSystem &sys, const PerfModel &perf,
+                           bool overlap_comm, SimReport &report,
+                           std::vector<DistributedVector<F> *> &batch,
+                           const TwiddleTable<F> &tw, unsigned logN,
+                           NttDirection dir, unsigned lanes)
+        : AnalyticStepExecutor(sys, perf, overlap_comm, report),
+          batch_(batch),
+          tw_(tw),
+          logN_(logN),
+          dir_(dir),
+          lanes_(lanes)
+    {
+    }
+
+    StepAction
+    onStep(const ScheduleStep &st)
+    {
+        switch (st.kind) {
+          case StepKind::CrossStage:
+            for (auto *d : batch_)
+                crossStageCompute(*d, st.sBegin, logN_, tw_, dir_, lanes_);
+            break;
+          case StepKind::LocalPass:
+            for (auto *d : batch_)
+                localStagesCompute(*d, st.sBegin, st.sEnd, logN_, tw_,
+                                   dir_, lanes_);
+            break;
+          case StepKind::Scale:
+            // Explicit twiddle passes are functionally no-ops (the
+            // fused execution already applied the factors); only the
+            // inverse n^-1 scaling does real work.
+            if (st.applyInverseScale)
+                inverseScaleCompute(batch_, 1ULL << logN_, lanes_);
+            break;
+          case StepKind::BitRevGather:
+            for (auto *d : batch_)
+                bitRevGatherCompute(*d, logN_);
+            break;
+          case StepKind::Exchange:
+          case StepKind::SpotCheck:
+            break;
+        }
+        execute(st);
+        return StepAction{};
+    }
+
+  private:
+    std::vector<DistributedVector<F> *> &batch_;
+    const TwiddleTable<F> &tw_;
+    const unsigned logN_;
+    const NttDirection dir_;
+    const unsigned lanes_;
+};
+
+// ---------------------------------------------------------------------
+// Resilient executor: the fault machinery as a step decorator.
+// ---------------------------------------------------------------------
+
+/**
+ * Everything the resilient executor needs from the engine besides the
+ * data itself: re-planning and re-compiling after a degradation, and
+ * the per-engine spot-check seed sequence.
+ */
+struct ResilientHooks
+{
+    /** Plan for the (possibly shrunk) machine, via the plan cache. */
+    std::function<NttPlan(unsigned logN, const MultiGpuSystem &sys)> replan;
+    /** Compile a resume schedule for the current plan/machine. */
+    std::function<std::shared_ptr<const StageSchedule>(
+        const NttPlan &pl, const MultiGpuSystem &sys, NttDirection dir,
+        unsigned resume_stage, unsigned orig_log_mg)>
+        recompile;
+    /** Derive the next spot-check seed from the configured base. */
+    std::function<uint64_t(uint64_t base)> nextSpotSeed;
+};
+
+template <NttField F>
+class ResilientStepExecutor
+{
+  public:
+    ResilientStepExecutor(MultiGpuSystem sys, const PerfModel &perf,
+                          const UniNttConfig &cfg, SimReport &report,
+                          DistributedVector<F> &data,
+                          const std::vector<F> &input,
+                          FaultInjector &faults,
+                          const ResilienceConfig &rc,
+                          DeviceHealthTracker *health,
+                          const TwiddleTable<F> &tw, NttPlan pl,
+                          unsigned logMg0, NttDirection dir,
+                          unsigned lanes, ResilientHooks hooks,
+                          FaultStats &fs)
+        : sys_(std::move(sys)),
+          perf_(perf),
+          cfg_(cfg),
+          report_(report),
+          data_(data),
+          input_(input),
+          faults_(faults),
+          rc_(rc),
+          health_(health),
+          tw_(tw),
+          pl_(std::move(pl)),
+          logMg0_(logMg0),
+          dir_(dir),
+          lanes_(lanes),
+          hooks_(std::move(hooks)),
+          fs_(fs)
+    {
+    }
+
+    StepAction
+    onStep(const ScheduleStep &st)
+    {
+        switch (st.kind) {
+          case StepKind::Exchange:
+            pendingExchange_ = &st;
+            return StepAction{};
+          case StepKind::CrossStage:
+            return crossStep(st);
+          case StepKind::LocalPass:
+            localStagesCompute(data_, st.sBegin, st.sEnd, pl_.logN, tw_,
+                               dir_, lanes_);
+            report_.addKernelPhase(st.name, st.stats, perf_);
+            tagPhase(st);
+            return StepAction{};
+          case StepKind::Scale:
+            if (st.applyInverseScale) {
+                std::vector<DistributedVector<F> *> batch{&data_};
+                inverseScaleCompute(batch, 1ULL << pl_.logN, lanes_);
+            }
+            report_.addKernelPhase(st.name, st.stats, perf_);
+            tagPhase(st);
+            return StepAction{};
+          case StepKind::SpotCheck:
+            return spotCheckStep(st);
+          case StepKind::BitRevGather:
+            panic("resilient schedules do not reorder output");
+        }
+        return StepAction{};
+    }
+
+    /** Recompile the remaining stages for the degraded machine. */
+    std::shared_ptr<const StageSchedule>
+    reschedule()
+    {
+        pendingExchange_ = nullptr;
+        auto sched = hooks_.recompile(pl_, sys_, dir_, resumeStage_,
+                                      logMg0_);
+        report_.setPeakDeviceBytes(sched->peakDeviceBytes);
+        return sched;
+    }
+
+    /** Resilience counters observed so far. */
+    const FaultStats &faultStats() const { return fs_; }
+
+  private:
+    /** One cross-GPU stage under the full fault machinery. */
+    StepAction
+    crossStep(const ScheduleStep &st)
+    {
+        const unsigned s = st.sBegin;
+        ExchangeOutcome out = faults_.nextExchange(rc_.retry.maxRetries);
+        fs_.exchanges++;
+        if (out.lostGpu >= 0) {
+            Status dst = degrade(out.lostGpu, s);
+            if (!dst.ok())
+                return StepAction{dst, false};
+            return StepAction{Status(), /*reschedule=*/true};
+        }
+        if (out.exhausted)
+            return StepAction{
+                Status::error(
+                    StatusCode::TransientFault,
+                    detail::format("cross-GPU exchange at stage %u "
+                                   "still failing after %u retries",
+                                   s, rc_.retry.maxRetries)),
+                false};
+
+        const uint64_t C = pl_.chunkElems();
+        const uint64_t bytes = C * sizeof(F);
+        // The step's counters already include the checksum generation
+        // and verification adds (compiled with resilient=true).
+        fs_.checksummedBytes += 2 * bytes;
+        const double kernel_t = perf_.kernelSeconds(st.stats);
+
+        const unsigned distance = st.distance;
+        const Interconnect &fabric =
+            st.crossesNodes ? sys_.nodeFabric : sys_.fabric;
+        const double once =
+            fabric.pairwiseExchangeTime(bytes, st.effectiveDistance);
+        CommStats comm{bytes, 1};
+        // Faults at this stage are attributed to gpu 0's exchange
+        // partner — the same device whose chunk demonstrates the
+        // corruption below. An approximation (every pair faults
+        // identically in the simulation), but a deterministic one,
+        // so the health tracker sees a reproducible history.
+        const unsigned suspect = distance;
+        double comm_t = once * out.stragglerFactor;
+        if (out.stragglerFactor > 1.0) {
+            fs_.stragglerEvents++;
+            if (health_ != nullptr && suspect < health_->numDevices())
+                health_->recordFault(suspect);
+            if (rc_.watchdogDeadlineFactor > 0.0 &&
+                out.stragglerFactor > rc_.watchdogDeadlineFactor) {
+                // Watchdog: the exchange is aborted at the deadline
+                // and retried once on a clean link, bounding an
+                // arbitrarily slow straggler at deadline + one
+                // retransmission.
+                comm_t = once * rc_.watchdogDeadlineFactor + once;
+                comm.retries += 1;
+                fs_.watchdogTimeouts++;
+            }
+        }
+        for (unsigned i = 0; i < out.transientFailures; ++i)
+            comm_t += rc_.retry.backoffSeconds(i) + once;
+        comm.retries += out.transientFailures;
+        fs_.transientRetries += out.transientFailures;
+        if (health_ != nullptr && out.transientFailures > 0 &&
+            suspect < health_->numDevices())
+            health_->recordFault(suspect);
+
+        // Corrupted payload: the checksum catches the flip (shown
+        // functionally on the first exchanging pair), forcing
+        // retransmissions until a clean copy lands.
+        bool corrupted = out.corrupted;
+        unsigned tries = 0;
+        while (corrupted) {
+            const std::vector<F> &payload = data_.chunk(distance);
+            const uint64_t good = checksumBytes(payload.data(), bytes);
+            std::vector<F> received = payload;
+            auto *raw =
+                reinterpret_cast<unsigned char *>(received.data());
+            const uint64_t bit = out.corruptBit % (bytes * 8);
+            raw[bit / 8] ^=
+                static_cast<unsigned char>(1u << (bit % 8));
+            const uint64_t seen = checksumBytes(received.data(), bytes);
+            UNINTT_ASSERT(
+                seen != good,
+                "single-bit corruption must change the checksum");
+            fs_.corruptionsDetected++;
+            if (health_ != nullptr && suspect < health_->numDevices())
+                health_->recordFault(suspect);
+            comm_t += once;
+            comm.retries += 1;
+            if (++tries > rc_.retry.maxRetries)
+                return StepAction{
+                    Status::error(
+                        StatusCode::DataCorruption,
+                        detail::format(
+                            "payload checksum mismatch at stage %u "
+                            "persisted across %u retransmissions",
+                            s, rc_.retry.maxRetries)),
+                    false};
+            corrupted = faults_.retransmitCorrupted();
+        }
+
+        crossStageCompute(data_, s, pl_.logN, tw_, dir_, lanes_);
+        report_.addKernelPhase(st.name, st.stats, perf_);
+        tagPhase(st);
+        UNINTT_ASSERT(pendingExchange_ != nullptr,
+                      "cross stage without a pending exchange");
+        const std::string &exchange_name = pendingExchange_->name;
+        if (cfg_.overlapComm) {
+            double visible = std::max(0.0, comm_t - kernel_t);
+            report_.addCommPhase(exchange_name, visible, comm,
+                                 comm_t - visible);
+        } else {
+            report_.addCommPhase(exchange_name, comm_t, comm);
+        }
+        tagPhase(*pendingExchange_);
+        pendingExchange_ = nullptr;
+        return StepAction{};
+    }
+
+    /**
+     * Permanent device loss: re-shard the data onto the surviving
+     * power-of-two subset, re-plan, and price the recovery — the
+     * detection timeout, pulling the lost chunk's replica from its
+     * last exchange partner, and the all-to-all reshard. The caller
+     * then requests a reschedule from stage @p s.
+     */
+    Status
+    degrade(int lost_gpu, unsigned s)
+    {
+        // The loss is attributed whether or not the recovery below is
+        // allowed to absorb it — the next run must know either way.
+        if (health_ != nullptr && lost_gpu >= 0 &&
+            static_cast<unsigned>(lost_gpu) < health_->numDevices())
+            health_->recordDeviceLost(static_cast<unsigned>(lost_gpu));
+        if (!rc_.allowDegraded)
+            return Status::error(
+                StatusCode::DeviceLost,
+                detail::format(
+                    "GPU %d lost and degraded mode is disabled",
+                    lost_gpu));
+        if (sys_.numGpus <= 1)
+            return Status::error(
+                StatusCode::DeviceLost,
+                "GPU lost with no surviving devices to re-plan onto");
+        const uint64_t n = 1ULL << pl_.logN;
+        const unsigned newG = sys_.numGpus / 2;
+        const uint64_t lost_chunk_bytes = pl_.chunkElems() * sizeof(F);
+        const uint64_t reshard_bytes = (n / newG) * sizeof(F);
+        double t = rc_.detectionSeconds;
+        t += sys_.fabric.pairwiseExchangeTime(lost_chunk_bytes, 1);
+        t += sys_.fabric.allToAllTime(reshard_bytes, newG);
+        CommStats comm;
+        comm.bytesPerGpu = reshard_bytes + lost_chunk_bytes;
+        comm.messages = newG;
+        report_.addCommPhase(
+            "degrade-to-" + std::to_string(newG) + "gpu-reshard", t,
+            comm);
+        Status reshard_st = data_.reshardChecked(newG);
+        if (!reshard_st.ok())
+            return reshard_st;
+        sys_.numGpus = newG;
+        if (sys_.gpusPerNode != 0 && sys_.numGpus <= sys_.gpusPerNode)
+            sys_.gpusPerNode = 0; // survivors fit inside one node
+        pl_ = hooks_.replan(pl_.logN, sys_);
+        fs_.devicesLost++;
+        fs_.degradedReplans++;
+        resumeStage_ = s;
+        return Status();
+    }
+
+    /**
+     * Post-transform spot check against a direct evaluation
+     * (unintt/verify.hh): the backstop that catches whatever the
+     * exchange checksums cannot see.
+     */
+    StepAction
+    spotCheckStep(const ScheduleStep &st)
+    {
+        const std::vector<F> out_global = data_.toGlobal();
+        report_.addKernelPhase(st.name, st.stats, perf_);
+        tagPhase(st);
+        fs_.spotChecks += rc_.spotChecks;
+        // Derived seed: repeated checks of the same transform sample
+        // fresh positions (the config seed alone would re-sample the
+        // same ones every run). Drawn only when the check actually
+        // executes, so earlier-failing runs do not advance the
+        // engine's seed sequence.
+        const uint64_t spot_seed = hooks_.nextSpotSeed(rc_.spotCheckSeed);
+        const bool good =
+            dir_ == NttDirection::Forward
+                ? spotCheckForward(input_, out_global, rc_.spotChecks,
+                                   spot_seed)
+                : spotCheckInverse(input_, out_global, rc_.spotChecks,
+                                   spot_seed);
+        if (!good) {
+            fs_.spotCheckFailures++;
+            report_.addFaultStats(fs_);
+            return StepAction{
+                Status::error(
+                    StatusCode::DataCorruption,
+                    "post-transform spot check failed: output does not "
+                    "match a direct evaluation of the input"),
+                false};
+        }
+        return StepAction{};
+    }
+
+    void
+    tagPhase(const ScheduleStep &st)
+    {
+        report_.tagLastPhase(toString(st.kind), toString(st.level));
+    }
+
+    MultiGpuSystem sys_; // shrinks when devices drop out
+    const PerfModel &perf_;
+    const UniNttConfig &cfg_;
+    SimReport &report_;
+    DistributedVector<F> &data_;
+    const std::vector<F> &input_;
+    FaultInjector &faults_;
+    const ResilienceConfig &rc_;
+    DeviceHealthTracker *health_;
+    const TwiddleTable<F> &tw_;
+    NttPlan pl_;
+    const unsigned logMg0_;
+    const NttDirection dir_;
+    const unsigned lanes_;
+    ResilientHooks hooks_;
+    /** The caller's counters (may already hold health exclusions). */
+    FaultStats &fs_;
+    const ScheduleStep *pendingExchange_ = nullptr;
+    unsigned resumeStage_ = 0;
+};
+
+} // namespace unintt
+
+#endif // UNINTT_UNINTT_EXECUTORS_HH

@@ -1,12 +1,11 @@
 #include "zkp/prover.hh"
 
-#include "baselines/fourstep_multigpu.hh"
 #include "field/bn254.hh"
 #include "field/goldilocks.hh"
 #include "msm/pippenger.hh"
 #include "ntt/ntt.hh"
 #include "sim/perf_model.hh"
-#include "unintt/engine.hh"
+#include "unintt/backend.hh"
 #include "util/logging.hh"
 
 namespace unintt {
@@ -137,26 +136,12 @@ ZkpPipeline::estimateHashBased(const std::vector<ProverStage> &stages) const
 double
 ZkpPipeline::nttSecondsGoldilocks(unsigned log_size) const
 {
-    switch (backend_) {
-      case NttBackend::UniNtt: {
-        UniNttEngine<Goldilocks> engine(sys_);
-        return engine.analyticRun(log_size, NttDirection::Forward)
-            .totalSeconds();
-      }
-      case NttBackend::FourStep: {
-        FourStepMultiGpuNtt<Goldilocks> engine(sys_);
-        return engine.analyticRun(log_size, NttDirection::Forward)
-            .totalSeconds();
-      }
-      case NttBackend::SingleGpu: {
-        MultiGpuSystem solo = sys_;
-        solo.numGpus = 1;
-        UniNttEngine<Goldilocks> engine(solo);
-        return engine.analyticRun(log_size, NttDirection::Forward)
-            .totalSeconds();
-      }
-    }
-    panic("unreachable backend");
+    // The backend registry replaces the old per-field switch ladder:
+    // the enum's printable name doubles as the registry key.
+    auto be = NttBackendRegistry<Goldilocks>::global().make(
+        toString(backend_), sys_);
+    return be->analyticRun(log_size, NttDirection::Forward)
+        .totalSeconds();
 }
 
 double
@@ -180,26 +165,10 @@ ZkpPipeline::hashSeconds(unsigned log_size) const
 double
 ZkpPipeline::nttSeconds(unsigned log_size) const
 {
-    switch (backend_) {
-      case NttBackend::UniNtt: {
-        UniNttEngine<Bn254Fr> engine(sys_);
-        return engine.analyticRun(log_size, NttDirection::Forward)
-            .totalSeconds();
-      }
-      case NttBackend::FourStep: {
-        FourStepMultiGpuNtt<Bn254Fr> engine(sys_);
-        return engine.analyticRun(log_size, NttDirection::Forward)
-            .totalSeconds();
-      }
-      case NttBackend::SingleGpu: {
-        MultiGpuSystem solo = sys_;
-        solo.numGpus = 1;
-        UniNttEngine<Bn254Fr> engine(solo);
-        return engine.analyticRun(log_size, NttDirection::Forward)
-            .totalSeconds();
-      }
-    }
-    panic("unreachable backend");
+    auto be = NttBackendRegistry<Bn254Fr>::global().make(
+        toString(backend_), sys_);
+    return be->analyticRun(log_size, NttDirection::Forward)
+        .totalSeconds();
 }
 
 double

@@ -26,6 +26,7 @@
 #include "ntt/radix2.hh"
 #include "ntt/reference.hh"
 #include "ntt/sixstep.hh"
+#include "sim/fault.hh"
 #include "unintt/engine.hh"
 #include "util/bitops.hh"
 #include "util/random.hh"
@@ -124,6 +125,109 @@ TEST(Differential, SeededDrawsAgainstAllReferences)
             break;
         default:
             runDraw<Bn254Fr>(d);
+            break;
+        }
+        if (::testing::Test::HasFatalFailure())
+            return;
+    }
+}
+
+/**
+ * Every schedule executor must tell the same story: identical phase
+ * timelines between the analytic and functional interpreters, and
+ * bit-identical data between serial, threaded and (fault-free)
+ * resilient execution.
+ */
+void
+expectPhasesIdentical(const SimReport &a, const SimReport &b)
+{
+    ASSERT_EQ(a.phases().size(), b.phases().size());
+    for (size_t i = 0; i < a.phases().size(); ++i) {
+        const auto &pa = a.phases()[i];
+        const auto &pb = b.phases()[i];
+        SCOPED_TRACE("phase " + std::to_string(i) + " '" + pa.name +
+                     "'");
+        EXPECT_EQ(pa.name, pb.name);
+        EXPECT_EQ(pa.kind, pb.kind);
+        EXPECT_EQ(pa.seconds, pb.seconds); // bitwise
+        EXPECT_EQ(pa.hiddenSeconds, pb.hiddenSeconds);
+        EXPECT_EQ(pa.step, pb.step);
+        EXPECT_EQ(pa.level, pb.level);
+    }
+    EXPECT_EQ(a.peakDeviceBytes(), b.peakDeviceBytes());
+}
+
+template <NttField F>
+void
+runExecutorDraw(const Draw &d)
+{
+    SCOPED_TRACE("draw " + std::to_string(d.index) + ": " +
+                 std::string(F::kName) + " logN=" +
+                 std::to_string(d.logN) + " gpus=" +
+                 std::to_string(d.gpus));
+
+    const size_t n = size_t{1} << d.logN;
+    Rng rng(d.dataSeed);
+    std::vector<F> input(n);
+    for (auto &v : input)
+        v = F::fromU64(rng.next());
+    auto sys = makeDgxA100(d.gpus);
+
+    UniNttConfig serial_cfg = UniNttConfig::allOn();
+    serial_cfg.hostThreads = 1;
+    UniNttEngine<F> serial(sys, serial_cfg);
+    UniNttConfig threaded_cfg = UniNttConfig::allOn();
+    threaded_cfg.hostThreads = 8;
+    UniNttEngine<F> threaded(sys, threaded_cfg);
+
+    // Functional serial vs functional threaded: bit-identical data and
+    // identical simulated timelines.
+    auto data_serial = DistributedVector<F>::fromGlobal(input, d.gpus);
+    const SimReport rep_serial = serial.forward(data_serial);
+    auto data_threaded =
+        DistributedVector<F>::fromGlobal(input, d.gpus);
+    const SimReport rep_threaded = threaded.forward(data_threaded);
+    ASSERT_EQ(data_serial.toGlobal(), data_threaded.toGlobal());
+    expectPhasesIdentical(rep_serial, rep_threaded);
+
+    // Analytic vs functional: same schedule, same pricing, no data.
+    const SimReport rep_analytic =
+        serial.analyticRun(d.logN, NttDirection::Forward);
+    expectPhasesIdentical(rep_analytic, rep_serial);
+
+    // Resilient with a quiet injector: the decorator must be a
+    // functional no-op (spot check included).
+    FaultInjector quiet{FaultModel{}};
+    auto data_resilient =
+        DistributedVector<F>::fromGlobal(input, d.gpus);
+    Result<SimReport> r = serial.forwardResilient(data_resilient, quiet);
+    ASSERT_TRUE(r.ok());
+    ASSERT_EQ(data_resilient.toGlobal(), data_serial.toGlobal());
+}
+
+TEST(Differential, ExecutorsAgreeOnSeededDraws)
+{
+    // The same draw sequence as SeededDrawsAgainstAllReferences, so a
+    // failure here cross-references the same (field, logN, gpus) draw.
+    Rng draw_rng(0xd1ffe7e57ULL);
+    for (int i = 0; i < kDraws; ++i) {
+        Draw d;
+        d.index = i;
+        d.field = static_cast<unsigned>(draw_rng.below(3));
+        d.logN = kMinLogN + static_cast<unsigned>(
+                                draw_rng.below(kMaxLogN - kMinLogN + 1));
+        d.gpus = 1u << draw_rng.below(4);
+        d.dataSeed = draw_rng.next();
+
+        switch (d.field) {
+        case 0:
+            runExecutorDraw<Goldilocks>(d);
+            break;
+        case 1:
+            runExecutorDraw<BabyBear>(d);
+            break;
+        default:
+            runExecutorDraw<Bn254Fr>(d);
             break;
         }
         if (::testing::Test::HasFatalFailure())

@@ -1,0 +1,311 @@
+/**
+ * @file
+ * Stage-schedule IR tests: structural invariants of compiled schedules
+ * across hardware models, schedule-cache behavior, a golden snapshot
+ * of one canonical configuration, the natural-order output gather, and
+ * the batched inverse round trip (engine and backend API).
+ */
+
+#include <gtest/gtest.h>
+
+#include "field/babybear.hh"
+#include "field/bn254.hh"
+#include "field/goldilocks.hh"
+#include "ntt/fourstep.hh"
+#include "unintt/backend.hh"
+#include "unintt/cache.hh"
+#include "unintt/engine.hh"
+#include "unintt/schedule.hh"
+#include "util/bitops.hh"
+#include "util/random.hh"
+
+namespace unintt {
+namespace {
+
+/** Same hardware-model sweep the plan property tests use. */
+std::vector<MultiGpuSystem>
+scheduleSystems()
+{
+    std::vector<MultiGpuSystem> out;
+    for (unsigned gpus : {1u, 2u, 4u, 8u}) {
+        out.push_back(makeDgxA100(gpus));
+        out.push_back(makeHgxH100(gpus));
+        out.push_back(makePcieWorkstation(gpus));
+    }
+    out.push_back(makeA100Cluster(2, 4));
+    MultiGpuSystem tiny = makeDgxA100(4);
+    tiny.gpu.name = "tiny-smem";
+    tiny.gpu.smemBytesPerBlock = 8 << 10;
+    out.push_back(tiny);
+    MultiGpuSystem narrow = makeDgxA100(4);
+    narrow.gpu.name = "small-blocks";
+    narrow.gpu.maxThreadsPerBlock = 128;
+    out.push_back(narrow);
+    MultiGpuSystem wide = makeDgxA100(2);
+    wide.gpu.name = "wide-warp";
+    wide.gpu.warpSize = 64;
+    out.push_back(wide);
+    return out;
+}
+
+/** Hierarchy rank: larger = closer to the fabric. */
+int
+levelRank(ExecLevel level)
+{
+    switch (level) {
+      case ExecLevel::Warp:
+        return 0;
+      case ExecLevel::Block:
+        return 1;
+      case ExecLevel::Gpu:
+        return 2;
+      case ExecLevel::MultiGpu:
+        return 3;
+      case ExecLevel::Node:
+        return 4;
+    }
+    return -1;
+}
+
+bool
+isButterflyStep(const ScheduleStep &st)
+{
+    return st.kind == StepKind::CrossStage ||
+           st.kind == StepKind::LocalPass;
+}
+
+TEST(ScheduleProperty, InvariantsHoldAcrossHardwareModels)
+{
+    const UniNttConfig cfg = UniNttConfig::allOn();
+    const CostConstants costs;
+    for (const auto &sys : scheduleSystems()) {
+        ASSERT_TRUE(isPow2(sys.numGpus));
+        const unsigned logMg = log2Exact(sys.numGpus);
+        for (NttDirection dir :
+             {NttDirection::Forward, NttDirection::Inverse}) {
+            for (unsigned logN = logMg + 2; logN <= 24; logN += 5) {
+                SCOPED_TRACE(sys.gpu.name + " gpus=" +
+                             std::to_string(sys.numGpus) + " logN=" +
+                             std::to_string(logN) + " " +
+                             std::string(toString(dir)));
+                const auto pl = planNtt(logN, sys, 8);
+                const auto sched =
+                    compileSchedule(pl, sys, dir, 8, cfg, costs);
+
+                // Power-of-two sharding: the chunks tile the
+                // transform exactly.
+                EXPECT_EQ(pl.chunkElems() * sys.numGpus,
+                          uint64_t{1} << logN);
+
+                // Butterfly coverage: cross stages and local passes
+                // together resolve exactly logN bits, and the
+                // cross-GPU portion is exactly logMg stages.
+                unsigned covered = 0, cross = 0, exchanges = 0;
+                for (size_t i = 0; i < sched.steps.size(); ++i) {
+                    const auto &st = sched.steps[i];
+                    EXPECT_FALSE(st.name.empty());
+                    if (isButterflyStep(st))
+                        covered += st.sEnd - st.sBegin;
+                    if (st.kind == StepKind::CrossStage) {
+                        ++cross;
+                        // Pairwise exchange distance is a power of
+                        // two inside the GPU index space.
+                        EXPECT_TRUE(isPow2(st.distance));
+                        EXPECT_LT(st.distance, sys.numGpus);
+                    }
+                    if (st.kind == StepKind::Exchange) {
+                        ++exchanges;
+                        // Dataflow order: the consuming CrossStage
+                        // follows immediately.
+                        ASSERT_LT(i + 1, sched.steps.size());
+                        EXPECT_EQ(sched.steps[i + 1].kind,
+                                  StepKind::CrossStage);
+                        EXPECT_EQ(sched.steps[i + 1].sBegin,
+                                  st.sBegin);
+                        EXPECT_GT(st.comm.bytesPerGpu, 0u);
+                    }
+                }
+                EXPECT_EQ(covered, logN);
+                EXPECT_EQ(cross, logMg);
+                EXPECT_EQ(exchanges, logMg);
+                EXPECT_GT(sched.peakDeviceBytes, 0u);
+
+                // Level monotonicity over the butterfly steps: the
+                // forward transform descends the hierarchy
+                // (node/multi-GPU exchanges first, block-level grid
+                // passes last); the inverse ascends it.
+                int prev = dir == NttDirection::Forward ? 100 : -1;
+                for (const auto &st : sched.steps) {
+                    if (!isButterflyStep(st))
+                        continue;
+                    const int rank = levelRank(st.level);
+                    if (dir == NttDirection::Forward)
+                        EXPECT_LE(rank, prev);
+                    else
+                        EXPECT_GE(rank, prev);
+                    prev = rank;
+                }
+            }
+        }
+    }
+}
+
+TEST(ScheduleCacheTest, SecondCompileIsServedFromTheCache)
+{
+    PlanCache::global().clear();
+    ScheduleCache::global().clear();
+    UniNttEngine<Goldilocks> engine(makeDgxA100(4));
+
+    bool plan_hit = true, sched_hit = true;
+    auto cold = engine.schedule(18, NttDirection::Forward, 1, &plan_hit,
+                                &sched_hit);
+    EXPECT_FALSE(plan_hit);
+    EXPECT_FALSE(sched_hit);
+
+    auto warm = engine.schedule(18, NttDirection::Forward, 1, &plan_hit,
+                                &sched_hit);
+    EXPECT_TRUE(plan_hit);
+    EXPECT_TRUE(sched_hit);
+    // Identical schedule object, not merely an equal one.
+    EXPECT_EQ(cold.get(), warm.get());
+
+    // A different direction or batch is a different schedule.
+    auto inv = engine.schedule(18, NttDirection::Inverse, 1, &plan_hit,
+                               &sched_hit);
+    EXPECT_FALSE(sched_hit);
+    EXPECT_NE(cold.get(), inv.get());
+    auto batched = engine.schedule(18, NttDirection::Forward, 4,
+                                   &plan_hit, &sched_hit);
+    EXPECT_FALSE(sched_hit);
+    EXPECT_NE(cold.get(), batched.get());
+}
+
+TEST(ScheduleGolden, CanonicalConfigSnapshot)
+{
+    // Goldilocks 2^20 on a 4-GPU DGX-A100: the canonical configuration
+    // pins the exact step sequence the compiler emits. A change here is
+    // a deliberate IR change and must update this snapshot.
+    UniNttEngine<Goldilocks> engine(makeDgxA100(4));
+    auto sched = engine.schedule(20, NttDirection::Forward);
+
+    const std::vector<std::pair<StepKind, std::string>> expect = {
+        {StepKind::Exchange, "mgpu-stage-0/x2-exchange"},
+        {StepKind::CrossStage, "mgpu-stage-0/x2-compute"},
+        {StepKind::Exchange, "mgpu-stage-1/x1-exchange"},
+        {StepKind::CrossStage, "mgpu-stage-1/x1-compute"},
+        {StepKind::LocalPass, "grid-pass-0/b9"},
+        {StepKind::LocalPass, "grid-pass-1/b9"},
+    };
+    ASSERT_EQ(sched->steps.size(), expect.size());
+    for (size_t i = 0; i < expect.size(); ++i) {
+        EXPECT_EQ(sched->steps[i].kind, expect[i].first) << "step " << i;
+        EXPECT_EQ(sched->steps[i].name, expect[i].second)
+            << "step " << i;
+    }
+    EXPECT_EQ(sched->steps[0].level, ExecLevel::MultiGpu);
+    EXPECT_EQ(sched->steps[4].level, ExecLevel::Block);
+    EXPECT_EQ(sched->peakDeviceBytes, uint64_t{4} << 20);
+    EXPECT_EQ(sched->plan.toString(),
+              "2^20 = mgpu(2) * pass(9) * pass(9)");
+}
+
+TEST(NaturalOrderOutput, GatherProducesTheNaturalOrderSpectrum)
+{
+    const unsigned logN = 12;
+    const size_t n = size_t{1} << logN;
+    Rng rng(77);
+    std::vector<Goldilocks> input(n);
+    for (auto &v : input)
+        v = Goldilocks::fromU64(rng.next());
+
+    UniNttConfig cfg = UniNttConfig::allOn();
+    cfg.naturalOrderOutput = true;
+    UniNttEngine<Goldilocks> engine(makeDgxA100(4), cfg);
+
+    // The compiled schedule ends in the gather step.
+    auto sched = engine.schedule(logN, NttDirection::Forward);
+    ASSERT_FALSE(sched->steps.empty());
+    EXPECT_EQ(sched->steps.back().kind, StepKind::BitRevGather);
+
+    auto dist = DistributedVector<Goldilocks>::fromGlobal(input, 4);
+    engine.forward(dist);
+    // Four-step emits the natural-order spectrum directly.
+    const auto want =
+        fourStepNtt(input, size_t{1} << (logN / 2),
+                    NttDirection::Forward);
+    EXPECT_EQ(dist.toGlobal(), want);
+}
+
+TEST(BatchApi, ForwardBatchThenInverseBatchRestoresEveryEntry)
+{
+    const unsigned logN = 10;
+    const size_t n = size_t{1} << logN;
+    Rng rng(123);
+    std::vector<std::vector<BabyBear>> inputs(3);
+    std::vector<DistributedVector<BabyBear>> batch;
+    for (auto &in : inputs) {
+        in.resize(n);
+        for (auto &v : in)
+            v = BabyBear::fromU64(rng.next());
+        batch.push_back(DistributedVector<BabyBear>::fromGlobal(in, 4));
+    }
+
+    UniNttEngine<BabyBear> engine(makeDgxA100(4));
+    engine.forwardBatch(batch);
+    SimReport inv = engine.inverseBatch(batch);
+    for (size_t b = 0; b < batch.size(); ++b)
+        EXPECT_EQ(batch[b].toGlobal(), inputs[b]) << "entry " << b;
+    // One amortized timeline, not one per entry: a single
+    // inverse-scale phase for the whole batch.
+    unsigned scales = 0;
+    for (const auto &p : inv.phases())
+        if (p.name == "inverse-scale-fused")
+            ++scales;
+    EXPECT_EQ(scales, 1u);
+}
+
+TEST(BackendApi, RegistryExposesTheBuiltinsAndBatchRoundTrips)
+{
+    auto &reg = NttBackendRegistry<Goldilocks>::global();
+    const auto names = reg.names();
+    for (const char *want :
+         {"unintt", "fourstep", "fourstep-prior", "single-gpu",
+          "naive"})
+        EXPECT_NE(std::find(names.begin(), names.end(), want),
+                  names.end())
+            << want;
+    EXPECT_EQ(reg.tryMake("no-such-backend", makeDgxA100(4)), nullptr);
+
+    auto sys = makeDgxA100(4);
+    auto be = reg.make("unintt", sys);
+    EXPECT_STREQ(be->name(), "unintt");
+
+    // The backend prices exactly like the concrete engine.
+    UniNttEngine<Goldilocks> engine(sys);
+    EXPECT_EQ(be->analyticRun(20, NttDirection::Forward).totalSeconds(),
+              engine.analyticRun(20, NttDirection::Forward)
+                  .totalSeconds());
+
+    // Batched round trip through the polymorphic interface.
+    const size_t n = size_t{1} << 10;
+    Rng rng(55);
+    std::vector<std::vector<Goldilocks>> inputs(2);
+    std::vector<DistributedVector<Goldilocks>> batch;
+    for (auto &in : inputs) {
+        in.resize(n);
+        for (auto &v : in)
+            v = Goldilocks::fromU64(rng.next());
+        batch.push_back(
+            DistributedVector<Goldilocks>::fromGlobal(in, 4));
+    }
+    be->forwardBatch(batch);
+    be->inverseBatch(batch);
+    for (size_t b = 0; b < batch.size(); ++b)
+        EXPECT_EQ(batch[b].toGlobal(), inputs[b]) << "entry " << b;
+
+    // The single-GPU backend really is pinned to one device.
+    EXPECT_EQ(reg.make("single-gpu", sys)->system().numGpus, 1u);
+}
+
+} // namespace
+} // namespace unintt
