@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Perf-trajectory harness for the host butterfly kernels.
+ *
+ * Times the fused tile-resident local passes (unintt/executors.hh,
+ * fusedLocalStagesCompute) against the per-stage path on one pinned
+ * configuration — Goldilocks, one GPU chunk, one host thread — so the
+ * number tracks kernel quality, not scheduling luck. Both paths are
+ * first checked bit-identical on the same input; the harness then
+ * reports ns per butterfly, elements per second, and the fused
+ * speedup, and writes the machine-readable BENCH_host_ntt.json that
+ * scripts/bench.sh (and CI in --smoke mode) diff across commits.
+ *
+ * Flags:
+ *   --smoke      tiny sizes for CI; exits non-zero if the fused path
+ *                is more than 10% slower than the per-stage path.
+ *   --out=PATH   where to write the JSON (default BENCH_host_ntt.json).
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.hh"
+#include "field/goldilocks.hh"
+#include "unintt/engine.hh"
+#include "util/stats.hh"
+#include "util/table.hh"
+
+using namespace unintt;
+
+namespace {
+
+using F = Goldilocks;
+
+constexpr unsigned kGpus = 1;
+
+double
+nsPerButterfly(double seconds, unsigned logN)
+{
+    const double butterflies =
+        static_cast<double>(logN) *
+        static_cast<double>(1ULL << logN) / 2.0;
+    return seconds * 1e9 / butterflies;
+}
+
+/** Best-of-reps wall seconds of one forward transform. */
+double
+timeForward(UniNttEngine<F> &engine, const std::vector<F> &input,
+            int reps)
+{
+    auto dist = DistributedVector<F>::fromGlobal(input, kGpus);
+    engine.forward(dist); // warm plan/schedule/twiddle caches
+    return bestWallSeconds(reps, [&] { engine.forward(dist); });
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool smoke = false;
+    std::string out_path = "BENCH_host_ntt.json";
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") == 0)
+            smoke = true;
+        else if (std::strncmp(argv[i], "--out=", 6) == 0)
+            out_path = argv[i] + 6;
+        else
+            fatal("unknown flag '%s' (--smoke, --out=PATH)", argv[i]);
+    }
+
+    benchHeader("BENCH host NTT",
+                "fused tile-resident vs per-stage host butterflies");
+    auto sys = makeDgxA100(kGpus);
+    verifyOrDie<F>(sys);
+
+    const std::vector<unsigned> log_ns =
+        smoke ? std::vector<unsigned>{14, 16}
+              : std::vector<unsigned>{20, 22, 24};
+    const int reps = smoke ? 2 : 5;
+
+    UniNttConfig fused_cfg;
+    fused_cfg.hostThreads = 1;
+    UniNttConfig unfused_cfg = fused_cfg;
+    unfused_cfg.fuseLocalPasses = false;
+    UniNttEngine<F> fused(sys, fused_cfg);
+    UniNttEngine<F> unfused(sys, unfused_cfg);
+
+    std::printf("pinned: %s, %u host thread, best of %d reps\n\n",
+                sys.description().c_str(), fused_cfg.hostThreads, reps);
+
+    JsonWriter jw;
+    jw.field("bench", "host_ntt")
+        .field("field", F::kName)
+        .field("gpus", kGpus)
+        .field("hostThreads", fused_cfg.hostThreads)
+        .field("smoke", smoke)
+        .beginArray("points");
+
+    Table t({"logN", "tile", "fused ns/bfly", "per-stage ns/bfly",
+             "fused elem/s", "speedup"});
+    bool smoke_ok = true;
+    double min_large_speedup = 1e300;
+    for (unsigned logN : log_ns) {
+        Rng rng(4040 + logN);
+        std::vector<F> input(1ULL << logN);
+        for (auto &v : input)
+            v = F::fromU64(rng.next());
+
+        // The fused path must be bit-identical to the per-stage path
+        // before any timing is worth reporting.
+        auto df = DistributedVector<F>::fromGlobal(input, kGpus);
+        auto du = DistributedVector<F>::fromGlobal(input, kGpus);
+        fused.forward(df);
+        unfused.forward(du);
+        if (df.toGlobal() != du.toGlobal())
+            fatal("fused output differs from per-stage at 2^%u", logN);
+
+        unsigned tile_log2 = 0;
+        for (const auto &st :
+             fused.schedule(logN, NttDirection::Forward)->steps)
+            if (st.kind == StepKind::FusedLocalPass)
+                tile_log2 = st.tileLog2;
+
+        const double fsec = timeForward(fused, input, reps);
+        const double usec = timeForward(unfused, input, reps);
+        const double fns = nsPerButterfly(fsec, logN);
+        const double uns = nsPerButterfly(usec, logN);
+        const double elems = static_cast<double>(1ULL << logN);
+        const double speedup = uns / fns;
+        if (smoke && fns > 1.10 * uns)
+            smoke_ok = false;
+        if (logN >= 20)
+            min_large_speedup = std::min(min_large_speedup, speedup);
+
+        t.addRow({std::to_string(logN), "2^" + std::to_string(tile_log2),
+                  fmtF(fns, 3), fmtF(uns, 3),
+                  formatRate(elems / fsec), fmtF(speedup, 2) + "x"});
+
+        jw.beginObject()
+            .field("logN", logN)
+            .field("tileLog2", tile_log2)
+            .field("fusedNsPerButterfly", fns)
+            .field("unfusedNsPerButterfly", uns)
+            .field("fusedElementsPerSec", elems / fsec)
+            .field("unfusedElementsPerSec", elems / usec)
+            .field("speedup", speedup)
+            .endObject();
+    }
+    jw.endArray();
+    t.print();
+
+    writeTextFile(out_path, jw.str());
+    std::printf("\nwrote %s\n", out_path.c_str());
+
+    if (!smoke && min_large_speedup < 1e300)
+        std::printf("fused speedup at logN >= 20: %.2fx "
+                    "(target >= 1.5x)\n", min_large_speedup);
+    if (smoke && !smoke_ok) {
+        std::fprintf(stderr, "\nFAIL: fused path more than 10%% slower "
+                             "than per-stage in smoke mode\n");
+        return 1;
+    }
+    return 0;
+}

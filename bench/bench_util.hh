@@ -9,8 +9,12 @@
 #ifndef UNINTT_BENCH_BENCH_UTIL_HH
 #define UNINTT_BENCH_BENCH_UTIL_HH
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "field/field_traits.hh"
 #include "ntt/radix2.hh"
@@ -62,6 +66,179 @@ verifyOrDie(const MultiGpuSystem &sys, unsigned logN = 12)
               sys.description().c_str());
     std::printf("functional verification (2^%u on %s): OK\n\n", logN,
                 sys.description().c_str());
+}
+
+/**
+ * Wall-clock @p fn for @p reps repetitions and return the best (not
+ * mean) seconds of one run — the standard perf-harness statistic,
+ * robust against scheduler noise on a shared machine.
+ */
+template <typename Fn>
+double
+bestWallSeconds(int reps, Fn &&fn)
+{
+    double best = 1e300;
+    for (int r = 0; r < reps; ++r) {
+        auto t0 = std::chrono::steady_clock::now();
+        fn();
+        auto t1 = std::chrono::steady_clock::now();
+        best = std::min(
+            best, std::chrono::duration<double>(t1 - t0).count());
+    }
+    return best;
+}
+
+/**
+ * Minimal JSON emitter for the machine-readable BENCH_*.json
+ * artifacts the perf-trajectory harness diffs across commits. Scalar
+ * values only (string/number/bool), two-space indentation, keys
+ * emitted in insertion order.
+ */
+class JsonWriter
+{
+  public:
+    JsonWriter() { os_ << "{"; stack_.push_back(0); }
+
+    JsonWriter &
+    field(const std::string &key, const std::string &v)
+    {
+        keyPrefix(key);
+        os_ << '"' << v << '"';
+        return *this;
+    }
+
+    JsonWriter &
+    field(const std::string &key, const char *v)
+    {
+        return field(key, std::string(v));
+    }
+
+    JsonWriter &
+    field(const std::string &key, double v)
+    {
+        keyPrefix(key);
+        char buf[64];
+        std::snprintf(buf, sizeof buf, "%.6g", v);
+        os_ << buf;
+        return *this;
+    }
+
+    JsonWriter &
+    field(const std::string &key, uint64_t v)
+    {
+        keyPrefix(key);
+        os_ << v;
+        return *this;
+    }
+
+    JsonWriter &
+    field(const std::string &key, unsigned v)
+    {
+        return field(key, static_cast<uint64_t>(v));
+    }
+
+    JsonWriter &
+    field(const std::string &key, bool v)
+    {
+        keyPrefix(key);
+        os_ << (v ? "true" : "false");
+        return *this;
+    }
+
+    JsonWriter &
+    beginArray(const std::string &key)
+    {
+        keyPrefix(key);
+        os_ << "[";
+        stack_.push_back(0);
+        return *this;
+    }
+
+    JsonWriter &
+    endArray()
+    {
+        popLevel();
+        os_ << "]";
+        return *this;
+    }
+
+    JsonWriter &
+    beginObject()
+    {
+        valuePrefix();
+        os_ << "{";
+        stack_.push_back(0);
+        return *this;
+    }
+
+    JsonWriter &
+    endObject()
+    {
+        popLevel();
+        os_ << "}";
+        return *this;
+    }
+
+    /**
+     * Close the root object and return the document. Nested arrays
+     * and objects must already be closed by the caller.
+     */
+    std::string
+    str()
+    {
+        popLevel();
+        os_ << "}\n";
+        return os_.str();
+    }
+
+  private:
+    void
+    indent()
+    {
+        os_ << "\n";
+        for (size_t i = 0; i < stack_.size(); ++i)
+            os_ << "  ";
+    }
+
+    void
+    keyPrefix(const std::string &key)
+    {
+        if (stack_.back()++)
+            os_ << ",";
+        indent();
+        os_ << '"' << key << "\": ";
+    }
+
+    void
+    valuePrefix()
+    {
+        if (stack_.back()++)
+            os_ << ",";
+        indent();
+    }
+
+    void
+    popLevel()
+    {
+        stack_.pop_back();
+        os_ << "\n";
+        for (size_t i = 0; i < stack_.size(); ++i)
+            os_ << "  ";
+    }
+
+    std::ostringstream os_;
+    std::vector<int> stack_;
+};
+
+/** Write @p text to @p path, fatally on I/O failure. */
+inline void
+writeTextFile(const std::string &path, const std::string &text)
+{
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f)
+        fatal("cannot open '%s' for writing", path.c_str());
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fclose(f);
 }
 
 } // namespace unintt

@@ -62,5 +62,33 @@ main()
         t.print();
         std::printf("\n");
     }
+
+    // Host-tile fusion moves butterflies between kernels, not between
+    // GPUs: the fused schedule touches DRAM less (one round trip per
+    // fused group instead of per stage) while the fabric sees exactly
+    // the same bytes and message count. This is the claim behind
+    // fig16's tile sweep, shown here against the comm ledger.
+    std::printf("fused local passes vs per-stage (NVSwitch, 2^26):\n");
+    Table tf({"GPUs", "schedule", "DRAM bytes", "kernel launches",
+              "bytes/GPU", "messages"});
+    for (unsigned gpus : {2u, 4u, 8u}) {
+        MultiGpuSystem sys{makeA100(), makeNvSwitchFabric(), gpus};
+        for (bool fuse : {true, false}) {
+            UniNttConfig cfg;
+            cfg.fuseLocalPasses = fuse;
+            UniNttEngine<F> engine(sys, cfg);
+            auto r = engine.analyticRun(26, NttDirection::Forward);
+            auto k = r.totalKernelStats();
+            auto c = r.totalCommStats();
+            tf.addRow({std::to_string(gpus),
+                       fuse ? "fused" : "per-stage",
+                       formatBytes(static_cast<double>(k.globalBytes())),
+                       std::to_string(k.kernelLaunches),
+                       formatBytes(static_cast<double>(c.bytesPerGpu)),
+                       std::to_string(c.messages)});
+        }
+        tf.addSeparator();
+    }
+    tf.print();
     return 0;
 }

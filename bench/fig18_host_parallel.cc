@@ -161,9 +161,13 @@ main()
                     "the target applies to >= 4-core machines\n",
                     ThreadPool::defaultLanes());
 
-    // Cache effect: identical transform, cold vs warm caches.
+    // Cache effect: identical transform, cold vs warm caches. The
+    // slab cache fills from the twiddle-table cache, so a cold run
+    // misses both; a warm run hits the slab and never consults the
+    // table.
     PlanCache::global().clear();
     TwiddleCache<F>::global().clear();
+    TwiddleSlabCache<F>::global().clear();
     RunResult cold = runOnce(sys, input, 0, 1);
     RunResult warm = runOnce(sys, input, 0, 1);
     if (cold.output != warm.output)
@@ -172,7 +176,8 @@ main()
     const auto &cold_hx = cold.report.hostExecStats();
     const auto &warm_hx = warm.report.hostExecStats();
     std::printf("\ncache effect (single run each):\n");
-    Table c({"caches", "plan", "twiddle", "wall clock"});
+    Table c({"caches", "plan", "twiddle", "twiddle slabs",
+             "wall clock"});
     auto hitmiss = [](uint64_t h, uint64_t m) {
         return std::to_string(h) + " hit/" + std::to_string(m) + " miss";
     };
@@ -180,11 +185,15 @@ main()
               hitmiss(cold_hx.planCacheHits, cold_hx.planCacheMisses),
               hitmiss(cold_hx.twiddleCacheHits,
                       cold_hx.twiddleCacheMisses),
+              hitmiss(cold_hx.twiddleSlabHits,
+                      cold_hx.twiddleSlabMisses),
               formatSeconds(cold.bestWallSeconds)});
     c.addRow({"warm",
               hitmiss(warm_hx.planCacheHits, warm_hx.planCacheMisses),
               hitmiss(warm_hx.twiddleCacheHits,
                       warm_hx.twiddleCacheMisses),
+              hitmiss(warm_hx.twiddleSlabHits,
+                      warm_hx.twiddleSlabMisses),
               formatSeconds(warm.bestWallSeconds)});
     c.print();
     return 0;

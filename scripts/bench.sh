@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Perf-trajectory runner: builds (if needed) and runs the host NTT
+# kernel harness, validates its JSON artifact, and in full mode also
+# runs the micro/host benches that put the number in context.
+#
+#   ./scripts/bench.sh           full run (logN 20/22/24, best-of-5)
+#   ./scripts/bench.sh --smoke   CI mode: tiny sizes, fails if the
+#                                fused path is >10% slower than the
+#                                per-stage path
+#
+# The artifact BENCH_host_ntt.json lands in the repo root so commits
+# can be diffed against each other; see EXPERIMENTS.md for the schema.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${BUILD_DIR:-build}"
+JOBS="${JOBS:-$(nproc)}"
+OUT="${OUT:-BENCH_host_ntt.json}"
+
+SMOKE=""
+for arg in "$@"; do
+    case "$arg" in
+    --smoke) SMOKE="--smoke" ;;
+    *)
+        echo "usage: $0 [--smoke]" >&2
+        exit 2
+        ;;
+    esac
+done
+
+cmake -B "$BUILD_DIR" -S . >/dev/null
+cmake --build "$BUILD_DIR" -j"$JOBS" --target bench_host_ntt \
+    micro_ntt micro_field fig18_host_parallel
+
+echo "==> host NTT kernel harness"
+"$BUILD_DIR"/bench/bench_host_ntt $SMOKE --out="$OUT"
+
+if command -v python3 >/dev/null 2>&1; then
+    python3 -m json.tool "$OUT" >/dev/null
+    echo "==> $OUT parses"
+fi
+
+if [ -z "$SMOKE" ]; then
+    echo "==> context benches"
+    "$BUILD_DIR"/bench/micro_field --benchmark_min_time=0.05s
+    "$BUILD_DIR"/bench/micro_ntt --benchmark_min_time=0.05s
+    "$BUILD_DIR"/bench/fig18_host_parallel
+fi
+
+echo "==> bench OK"

@@ -17,12 +17,17 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$JOBS"
 echo "==> chaos soak (checkpointed pipeline + resilient NTT)"
 "$BUILD_DIR"/src/tools/unintt-cli soak --campaigns 8 --small
 
-echo "==> schedule IR smoke (table + JSON)"
-"$BUILD_DIR"/src/tools/unintt-cli schedule --log-n=20 --gpus=4
+echo "==> schedule IR smoke (table + JSON + fused groups)"
+"$BUILD_DIR"/src/tools/unintt-cli schedule --log-n=20 --gpus=4 \
+    | tee /tmp/ci_schedule.txt
+grep -q "fused-pass" /tmp/ci_schedule.txt
 if command -v python3 >/dev/null 2>&1; then
     "$BUILD_DIR"/src/tools/unintt-cli schedule --log-n=20 --gpus=4 --json \
         | python3 -m json.tool >/dev/null
 fi
+
+echo "==> host kernel perf smoke (fused vs per-stage)"
+./scripts/bench.sh --smoke
 
 echo "==> sanitizer build + tests"
 ./scripts/check_sanitize.sh

@@ -61,11 +61,14 @@ class Goldilocks
     constexpr Goldilocks
     operator+(Goldilocks o) const
     {
+        // Carry out of 64 bits: 2^64 == epsilon (mod p). The
+        // corrections use mask arithmetic instead of branches: the
+        // carry/overflow predicates depend on field data, so in the
+        // butterfly kernels they are coin-flip branches the predictor
+        // cannot learn.
         uint64_t s = value_ + o.value_;
-        if (s < value_) // carry out of 64 bits: 2^64 == epsilon (mod p)
-            s += kEpsilon;
-        if (s >= kModulus)
-            s -= kModulus;
+        s += kEpsilon & maskIf(s < value_);
+        s -= kModulus & maskIf(s >= kModulus);
         Goldilocks r;
         r.value_ = s;
         return r;
@@ -76,8 +79,7 @@ class Goldilocks
     operator-(Goldilocks o) const
     {
         uint64_t d = value_ - o.value_;
-        if (value_ < o.value_) // borrow: -2^64 == -epsilon (mod p)
-            d -= kEpsilon;
+        d -= kEpsilon & maskIf(value_ < o.value_); // -2^64 == -epsilon
         Goldilocks r;
         r.value_ = d;
         return r;
@@ -140,9 +142,17 @@ class Goldilocks
     std::string toString() const { return std::to_string(value_); }
 
   private:
+    /** All-ones when cond, zero otherwise — a branch-free `if`. */
+    static constexpr uint64_t
+    maskIf(bool cond)
+    {
+        return 0ULL - static_cast<uint64_t>(cond);
+    }
+
     /**
      * Reduce a 128-bit product modulo p using
-     * 2^64 == 2^32 - 1 and 2^96 == -1 (mod p).
+     * 2^64 == 2^32 - 1 and 2^96 == -1 (mod p). Carry/borrow
+     * corrections are masked, not branched (see operator+).
      */
     static constexpr uint64_t
     reduce128(unsigned __int128 x)
@@ -154,17 +164,14 @@ class Goldilocks
 
         // t0 = x_lo - x_hi_hi  (the 2^96 == -1 term)
         uint64_t t0 = x_lo - x_hi_hi;
-        if (x_lo < x_hi_hi)
-            t0 -= kEpsilon; // borrow: -2^64 == -epsilon
+        t0 -= kEpsilon & maskIf(x_lo < x_hi_hi); // -2^64 == -epsilon
 
         // t1 = x_hi_lo * (2^32 - 1)  (the 2^64 == epsilon term)
         uint64_t t1 = (x_hi_lo << 32) - x_hi_lo;
 
         uint64_t res = t0 + t1;
-        if (res < t0) // carry
-            res += kEpsilon;
-        if (res >= kModulus)
-            res -= kModulus;
+        res += kEpsilon & maskIf(res < t0); // carry
+        res -= kModulus & maskIf(res >= kModulus);
         return res;
     }
 

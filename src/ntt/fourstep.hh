@@ -53,7 +53,7 @@ fourStepNtt(const std::vector<F> &x, size_t n1, NttDirection dir)
 
     // Step 1: size-n1 NTT down each column (stride n2).
     if (n1 > 1) {
-        auto tw1 = cachedTwiddles<F>(n1, dir);
+        auto tw1 = cachedTwiddleSlabs<F>(n1, dir);
         std::vector<F> col(n1);
         for (size_t c = 0; c < n2; ++c) {
             for (size_t r = 0; r < n1; ++r)
@@ -77,7 +77,7 @@ fourStepNtt(const std::vector<F> &x, size_t n1, NttDirection dir)
 
     // Step 3: size-n2 NTT along each row (contiguous).
     if (n2 > 1) {
-        auto tw2 = cachedTwiddles<F>(n2, dir);
+        auto tw2 = cachedTwiddleSlabs<F>(n2, dir);
         for (size_t r = 0; r < n1; ++r) {
             nttDif(a.data() + r * n2, n2, *tw2);
             bitReversePermute(a.data() + r * n2, n2);

@@ -52,6 +52,31 @@ nttDif(F *a, size_t n, const TwiddleTable<F> &tw)
 }
 
 /**
+ * nttDif over per-stage compacted twiddle slabs (twiddle_cache.hh):
+ * stage s reads sl.slab(s)[j] — the unit-stride image of tw[j << s] —
+ * so the inner loop walks the twiddles contiguously instead of at
+ * stride 1 << s. Bit-identical to the table overload.
+ */
+template <NttField F>
+void
+nttDif(F *a, size_t n, const TwiddleSlabs<F> &sl)
+{
+    UNINTT_ASSERT(sl.n() == n, "twiddle slab size mismatch");
+    unsigned s = 0;
+    for (size_t half = n / 2; half >= 1; half /= 2, ++s) {
+        const F *tw = sl.slab(s);
+        for (size_t start = 0; start < n; start += 2 * half) {
+            for (size_t j = 0; j < half; ++j) {
+                F u = a[start + j];
+                F v = a[start + j + half];
+                a[start + j] = u + v;
+                a[start + j + half] = (u - v) * tw[j];
+            }
+        }
+    }
+}
+
+/**
  * Decimation-in-time butterflies over @p a (size n, bit-reversed order).
  * Output is in natural order.
  */
@@ -73,17 +98,38 @@ nttDit(F *a, size_t n, const TwiddleTable<F> &tw)
     }
 }
 
+/** nttDit over compacted twiddle slabs; see the nttDif slab overload. */
+template <NttField F>
+void
+nttDit(F *a, size_t n, const TwiddleSlabs<F> &sl)
+{
+    UNINTT_ASSERT(sl.n() == n, "twiddle slab size mismatch");
+    unsigned s = log2Exact(n);
+    for (size_t half = 1; half < n; half *= 2) {
+        const F *tw = sl.slab(--s);
+        for (size_t start = 0; start < n; start += 2 * half) {
+            for (size_t j = 0; j < half; ++j) {
+                F u = a[start + j];
+                F v = a[start + j + half] * tw[j];
+                a[start + j] = u + v;
+                a[start + j + half] = u - v;
+            }
+        }
+    }
+}
+
 /**
  * Forward NTT, natural order in and out (adds the bit-reversal pass).
- * Twiddles come from the per-field TwiddleCache, so repeated transforms
- * of one size (prover loops) skip the root-of-unity regeneration.
+ * Twiddles come from the per-field slab cache (backed by the
+ * TwiddleCache), so repeated transforms of one size (prover loops) skip
+ * the root-of-unity regeneration and read contiguously.
  */
 template <NttField F>
 void
 nttForwardInPlace(std::vector<F> &a)
 {
-    auto tw = cachedTwiddles<F>(a.size(), NttDirection::Forward);
-    nttDif(a.data(), a.size(), *tw);
+    auto sl = cachedTwiddleSlabs<F>(a.size(), NttDirection::Forward);
+    nttDif(a.data(), a.size(), *sl);
     bitReversePermute(a.data(), a.size());
 }
 
@@ -94,9 +140,9 @@ template <NttField F>
 void
 nttInverseInPlace(std::vector<F> &a)
 {
-    auto tw = cachedTwiddles<F>(a.size(), NttDirection::Inverse);
+    auto sl = cachedTwiddleSlabs<F>(a.size(), NttDirection::Inverse);
     bitReversePermute(a.data(), a.size());
-    nttDit(a.data(), a.size(), *tw);
+    nttDit(a.data(), a.size(), *sl);
     F scale = inverseScale<F>(a.size());
     for (auto &v : a)
         v *= scale;
@@ -111,11 +157,11 @@ template <NttField F>
 void
 nttNoPermute(std::vector<F> &a, NttDirection dir)
 {
-    auto tw = cachedTwiddles<F>(a.size(), dir);
+    auto sl = cachedTwiddleSlabs<F>(a.size(), dir);
     if (dir == NttDirection::Forward) {
-        nttDif(a.data(), a.size(), *tw);
+        nttDif(a.data(), a.size(), *sl);
     } else {
-        nttDit(a.data(), a.size(), *tw);
+        nttDit(a.data(), a.size(), *sl);
         F scale = inverseScale<F>(a.size());
         for (auto &v : a)
             v *= scale;

@@ -67,7 +67,7 @@ sixStepNtt(const std::vector<F> &x, size_t n1, NttDirection dir)
 
     // Step 2: n2 contiguous NTTs of size n1.
     if (n1 > 1) {
-        auto tw1 = cachedTwiddles<F>(n1, dir);
+        auto tw1 = cachedTwiddleSlabs<F>(n1, dir);
         for (size_t r = 0; r < n2; ++r) {
             nttDif(a.data() + r * n1, n1, *tw1);
             bitReversePermute(a.data() + r * n1, n1);
@@ -90,7 +90,7 @@ sixStepNtt(const std::vector<F> &x, size_t n1, NttDirection dir)
 
     // Step 5: n1 contiguous NTTs of size n2.
     if (n2 > 1) {
-        auto tw2 = cachedTwiddles<F>(n2, dir);
+        auto tw2 = cachedTwiddleSlabs<F>(n2, dir);
         for (size_t r = 0; r < n1; ++r) {
             nttDif(a.data() + r * n2, n2, *tw2);
             bitReversePermute(a.data() + r * n2, n2);

@@ -22,12 +22,74 @@
 #include <memory>
 #include <mutex>
 #include <utility>
+#include <vector>
 
 #include "field/field_traits.hh"
 #include "ntt/ntt.hh"
 #include "ntt/twiddle.hh"
+#include "util/bitops.hh"
 
 namespace unintt {
+
+/**
+ * Per-stage compacted twiddle slabs. A radix-2 stage s of a size-n
+ * transform reads tw[j << s] for j in [0, n >> (s+1)) — a strided walk
+ * over the flat table that wastes most of every cache line at the
+ * outer stages. The slabs store each stage's twiddles contiguously:
+ * slab(s)[j] == tw[j << s] (equivalently, the full table of the
+ * size-(n >> s) sub-transform), so every inner loop becomes a unit
+ * stride read. Total footprint is sum_s n >> (s+1) = n - 1 elements,
+ * twice the flat table.
+ */
+template <NttField F>
+class TwiddleSlabs
+{
+  public:
+    /** Compact @p table (powers of the size-n root) into slabs. */
+    explicit TwiddleSlabs(const TwiddleTable<F> &table)
+        : n_(table.n()), root_(table.root())
+    {
+        const unsigned log_n = log2Exact(n_);
+        offsets_.resize(log_n + 1);
+        flat_.reserve(n_ - 1);
+        for (unsigned s = 0; s < log_n; ++s) {
+            offsets_[s] = flat_.size();
+            const size_t cnt = n_ >> (s + 1);
+            const size_t stride = size_t{1} << s;
+            for (size_t j = 0; j < cnt; ++j)
+                flat_.push_back(table[j * stride]);
+        }
+        offsets_[log_n] = flat_.size();
+    }
+
+    /** Transform size the slabs were built for. */
+    size_t n() const { return n_; }
+
+    /** The primitive size-n root (or its inverse). */
+    F root() const { return root_; }
+
+    /** root^(n/4), the 4th root the radix-4 butterfly needs (n >= 4). */
+    F fourthRoot() const { return root_.pow(n_ / 4); }
+
+    /** Stage-s twiddles, count(s) contiguous entries. */
+    const F *
+    slab(unsigned s) const
+    {
+        return flat_.data() + offsets_[s];
+    }
+
+    /** Entries in slab(s): n >> (s+1). */
+    size_t count(unsigned s) const { return n_ >> (s + 1); }
+
+    /** Bytes the slabs occupy (cache budget accounting). */
+    size_t sizeBytes() const { return flat_.size() * sizeof(F); }
+
+  private:
+    size_t n_;
+    F root_;
+    std::vector<size_t> offsets_;
+    std::vector<F> flat_;
+};
 
 /** Hit/miss counters of one cache; monotone over the process. */
 struct CacheCounters
@@ -141,6 +203,124 @@ std::shared_ptr<const TwiddleTable<F>>
 cachedTwiddles(size_t n, NttDirection dir, bool *hit_out = nullptr)
 {
     return TwiddleCache<F>::global().get(n, dir, hit_out);
+}
+
+/**
+ * Thread-safe LRU cache of TwiddleSlabs<F> keyed by (size, direction).
+ * A slab miss builds from the table cache (cachedTwiddles), so the flat
+ * table stays shared with the callers that still want strided access
+ * and the table cache's counters keep describing root-of-unity
+ * regeneration.
+ */
+template <NttField F>
+class TwiddleSlabCache
+{
+  public:
+    /** Bounds mirror TwiddleCache; slabs are ~2x a table. */
+    explicit TwiddleSlabCache(size_t max_entries = 32,
+                              size_t max_bytes = 512ULL << 20)
+        : maxEntries_(max_entries), maxBytes_(max_bytes)
+    {
+    }
+
+    /**
+     * The slabs for size-@p n transforms in direction @p dir.
+     * @p hit_out (optional) reports slab-cache service; on a miss,
+     * @p table_hit_out (optional) reports how the underlying table
+     * lookup behaved (untouched on a slab hit).
+     */
+    std::shared_ptr<const TwiddleSlabs<F>>
+    get(size_t n, NttDirection dir, bool *hit_out = nullptr,
+        bool *table_hit_out = nullptr)
+    {
+        {
+            std::lock_guard<std::mutex> lk(mutex_);
+            for (auto it = lru_.begin(); it != lru_.end(); ++it) {
+                if (it->n == n && it->dir == dir) {
+                    counters_.hits++;
+                    if (hit_out)
+                        *hit_out = true;
+                    lru_.splice(lru_.begin(), lru_, it);
+                    return lru_.front().slabs;
+                }
+            }
+        }
+        // Build outside the lock (concurrent misses of one key are
+        // merely redundant work); the table comes from the table cache.
+        auto table = cachedTwiddles<F>(n, dir, table_hit_out);
+        auto slabs = std::make_shared<const TwiddleSlabs<F>>(*table);
+
+        std::lock_guard<std::mutex> lk(mutex_);
+        counters_.misses++;
+        if (hit_out)
+            *hit_out = false;
+        bytes_ += slabs->sizeBytes();
+        lru_.push_front(Entry{n, dir, slabs});
+        while (lru_.size() > maxEntries_ ||
+               (bytes_ > maxBytes_ && lru_.size() > 1)) {
+            bytes_ -= lru_.back().slabs->sizeBytes();
+            lru_.pop_back(); // outstanding shared_ptrs stay valid
+        }
+        return lru_.front().slabs;
+    }
+
+    /** Drop every cached slab set (cold-cache tests). */
+    void
+    clear()
+    {
+        std::lock_guard<std::mutex> lk(mutex_);
+        lru_.clear();
+        bytes_ = 0;
+    }
+
+    /** Lifetime hit/miss counters. */
+    CacheCounters
+    counters() const
+    {
+        std::lock_guard<std::mutex> lk(mutex_);
+        return counters_;
+    }
+
+    /** Cached slab sets currently resident. */
+    size_t
+    size() const
+    {
+        std::lock_guard<std::mutex> lk(mutex_);
+        return lru_.size();
+    }
+
+    /** The process-wide instance for field F. */
+    static TwiddleSlabCache &
+    global()
+    {
+        static TwiddleSlabCache cache;
+        return cache;
+    }
+
+  private:
+    struct Entry
+    {
+        size_t n;
+        NttDirection dir;
+        std::shared_ptr<const TwiddleSlabs<F>> slabs;
+    };
+
+    mutable std::mutex mutex_;
+    std::list<Entry> lru_; // front = most recently used
+    size_t maxEntries_;
+    size_t maxBytes_;
+    size_t bytes_ = 0;
+    CacheCounters counters_;
+};
+
+/** Cached slab lookup on the field's global slab cache. */
+template <NttField F>
+std::shared_ptr<const TwiddleSlabs<F>>
+cachedTwiddleSlabs(size_t n, NttDirection dir, bool *hit_out = nullptr,
+                   bool *table_hit_out = nullptr)
+{
+    return TwiddleSlabCache<F>::global().get(n, dir, hit_out,
+                                             table_hit_out);
 }
 
 } // namespace unintt

@@ -120,9 +120,12 @@ SimReport::toString() const
            << hostExec_.planCacheHits << " hit/"
            << hostExec_.planCacheMisses << " miss, twiddle cache "
            << hostExec_.twiddleCacheHits << " hit/"
-           << hostExec_.twiddleCacheMisses << " miss, schedule cache "
+           << hostExec_.twiddleCacheMisses << " miss, twiddle slabs "
+           << hostExec_.twiddleSlabHits << " hit/"
+           << hostExec_.twiddleSlabMisses << " miss, schedule cache "
            << hostExec_.scheduleCacheHits << " hit/"
-           << hostExec_.scheduleCacheMisses << " miss\n";
+           << hostExec_.scheduleCacheMisses << " miss, fused groups "
+           << hostExec_.fusedGroups << "\n";
     }
     if (faults_.any()) {
         os << "faults: " << faults_.transientRetries << " retries, "

@@ -57,8 +57,12 @@ struct HostExecStats
     uint64_t planCacheMisses = 0;
     uint64_t twiddleCacheHits = 0;
     uint64_t twiddleCacheMisses = 0;
+    uint64_t twiddleSlabHits = 0;
+    uint64_t twiddleSlabMisses = 0;
     uint64_t scheduleCacheHits = 0;
     uint64_t scheduleCacheMisses = 0;
+    /** FusedLocalPass steps the dispatched schedule contained. */
+    uint64_t fusedGroups = 0;
 
     /** True iff anything was recorded. */
     bool
@@ -66,7 +70,8 @@ struct HostExecStats
     {
         return hostThreads != 0 || planCacheHits || planCacheMisses ||
                twiddleCacheHits || twiddleCacheMisses ||
-               scheduleCacheHits || scheduleCacheMisses;
+               twiddleSlabHits || twiddleSlabMisses ||
+               scheduleCacheHits || scheduleCacheMisses || fusedGroups;
     }
 
     /** Combine with another run's host facts (report append). */
@@ -78,8 +83,11 @@ struct HostExecStats
         planCacheMisses += o.planCacheMisses;
         twiddleCacheHits += o.twiddleCacheHits;
         twiddleCacheMisses += o.twiddleCacheMisses;
+        twiddleSlabHits += o.twiddleSlabHits;
+        twiddleSlabMisses += o.twiddleSlabMisses;
         scheduleCacheHits += o.scheduleCacheHits;
         scheduleCacheMisses += o.scheduleCacheMisses;
+        fusedGroups += o.fusedGroups;
         return *this;
     }
 };

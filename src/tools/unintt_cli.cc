@@ -52,6 +52,24 @@ systemFromFlags(const CliParser &cli)
                           static_cast<unsigned>(cli.getInt("gpus"))};
 }
 
+/** Shared --tile-log2 flag (schedule and ntt subcommands). */
+void
+addTileFlag(CliParser &cli)
+{
+    cli.addInt("tile-log2", 0,
+               "log2 of the host-resident tile for fused local "
+               "passes (0 = auto from the cache model)");
+}
+
+UniNttConfig
+configFromFlags(const CliParser &cli)
+{
+    UniNttConfig cfg;
+    cfg.hostTileLog2 =
+        static_cast<unsigned>(cli.getInt("tile-log2"));
+    return cfg;
+}
+
 void
 addCommonFlags(CliParser &cli)
 {
@@ -86,9 +104,17 @@ runSchedule(const CliParser &cli)
     NttDirection dir = cli.getBool("inverse") ? NttDirection::Inverse
                                               : NttDirection::Forward;
 
-    UniNttEngine<F> engine(sys);
+    UniNttEngine<F> engine(sys, configFromFlags(cli));
     bool plan_hit = false, sched_hit = false;
     auto sched = engine.schedule(logN, dir, batch, &plan_hit, &sched_hit);
+
+    unsigned fused_groups = 0, tile_log2 = 0;
+    for (const auto &st : sched->steps) {
+        if (st.kind != StepKind::FusedLocalPass)
+            continue;
+        ++fused_groups;
+        tile_log2 = st.tileLog2;
+    }
 
     if (cli.getBool("json")) {
         std::printf("{\n");
@@ -101,6 +127,8 @@ runSchedule(const CliParser &cli)
                     plan_hit ? "true" : "false");
         std::printf("  \"scheduleCacheHit\": %s,\n",
                     sched_hit ? "true" : "false");
+        std::printf("  \"fusedGroups\": %u,\n", fused_groups);
+        std::printf("  \"tileLog2\": %u,\n", tile_log2);
         std::printf("  \"peakDeviceBytes\": %llu,\n",
                     static_cast<unsigned long long>(
                         sched->peakDeviceBytes));
@@ -133,6 +161,10 @@ runSchedule(const CliParser &cli)
     std::printf("plan:     %s\n", sched->plan.toString().c_str());
     std::printf("caches:   plan %s, schedule %s\n",
                 plan_hit ? "hit" : "miss", sched_hit ? "hit" : "miss");
+    if (fused_groups > 0)
+        std::printf("fusion:   %u fused group%s, 2^%u-element tiles\n",
+                    fused_groups, fused_groups == 1 ? "" : "s",
+                    tile_log2);
     std::printf("\n%s", sched->toString().c_str());
     std::printf("\npeak device memory: %s/GPU\n",
                 formatBytes(
@@ -151,6 +183,7 @@ cmdSchedule(int argc, char **argv)
     cli.addString("field", "goldilocks",
                   "field: goldilocks, babybear, bn254");
     cli.addBool("json", false, "emit the schedule as JSON");
+    addTileFlag(cli);
     addCommonFlags(cli);
     cli.parse(argc, argv);
 
@@ -194,7 +227,7 @@ runNtt(const CliParser &cli)
                   "use --log-n/--batch totalling <= 4 GiB",
                   formatBytes(static_cast<double>(bytes)).c_str());
 
-        UniNttConfig cfg;
+        UniNttConfig cfg = configFromFlags(cli);
         cfg.hostThreads = threads; // 0 = every pool lane
         UniNttEngine<F> engine(sys, cfg);
         Rng rng(2024);
@@ -225,7 +258,7 @@ runNtt(const CliParser &cli)
         FourStepMultiGpuNtt<F> engine(sys);
         report = engine.analyticRun(logN, dir, batch);
     } else if (cli.getString("baseline").empty()) {
-        UniNttEngine<F> engine(sys);
+        UniNttEngine<F> engine(sys, configFromFlags(cli));
         report = engine.analyticRun(logN, dir, batch);
     } else {
         fatal("unknown --baseline '%s' (only 'fourstep')",
@@ -262,6 +295,7 @@ cmdNtt(int argc, char **argv)
     cli.addInt("threads", 0,
                "host threads for --functional: 0 = all cores, 1 = serial");
     cli.addString("trace", "", "write a chrome://tracing JSON here");
+    addTileFlag(cli);
     addCommonFlags(cli);
     cli.parse(argc, argv);
 

@@ -90,6 +90,8 @@ ScheduleCache::get(const NttPlan &pl, const MultiGpuSystem &sys,
             cfg.paddedSmem,
             cfg.warpShuffle,
             cfg.naturalOrderOutput,
+            cfg.fuseLocalPasses,
+            cfg.hostTileLog2,
             costs.twiddleTableDramFraction,
             costs.onTheFlyExtraMuls,
             costs.unpaddedConflictReplays,

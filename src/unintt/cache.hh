@@ -149,6 +149,8 @@ class ScheduleCache
         bool paddedSmem;
         bool warpShuffle;
         bool naturalOrderOutput;
+        bool fuseLocalPasses;
+        unsigned hostTileLog2;
         double twiddleTableDramFraction;
         double onTheFlyExtraMuls;
         double unpaddedConflictReplays;

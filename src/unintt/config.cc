@@ -1,8 +1,34 @@
 #include "unintt/config.hh"
 
+#include <algorithm>
 #include <sstream>
 
+#include "util/bitops.hh"
+
 namespace unintt {
+
+namespace {
+
+/**
+ * Per-core fast-memory budget of the host cache model used to derive
+ * the fused tile size: 256 KiB, the common private L2 slice. The host
+ * analogue of sizing block tiles from the GPU's smem capacity.
+ */
+constexpr size_t kHostTileCacheBytes = 256ULL << 10;
+
+constexpr unsigned kMinHostTileLog2 = 4;
+constexpr unsigned kMaxHostTileLog2 = 20;
+
+} // namespace
+
+unsigned
+UniNttConfig::resolvedHostTileLog2(size_t element_bytes) const
+{
+    unsigned t = hostTileLog2;
+    if (t == 0)
+        t = log2Floor(kHostTileCacheBytes / std::max<size_t>(element_bytes, 1));
+    return std::clamp(t, kMinHostTileLog2, kMaxHostTileLog2);
+}
 
 std::string
 UniNttConfig::toString() const
@@ -14,7 +40,13 @@ UniNttConfig::toString() const
        << " pad-smem=" << onoff(paddedSmem)
        << " warp-shfl=" << onoff(warpShuffle)
        << " overlap=" << onoff(overlapComm)
-       << " host-caches=" << onoff(useHostCaches)
+       << " fuse-local=" << onoff(fuseLocalPasses)
+       << " host-tile=";
+    if (hostTileLog2 == 0)
+        os << "auto";
+    else
+        os << hostTileLog2;
+    os << " host-caches=" << onoff(useHostCaches)
        << " host-threads=";
     if (hostThreads == 0)
         os << "auto";

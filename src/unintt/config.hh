@@ -88,6 +88,35 @@ struct UniNttConfig
     bool naturalOrderOutput = false;
 
     /**
+     * Fuse consecutive local butterfly stages into cache-resident tile
+     * groups on the host functional path (and FusedLocalPass steps in
+     * the schedule IR): each 2^hostTileLog2-element tile is loaded
+     * once, all stages of the group run in-tile, and the tile is
+     * written back once — one fork/join and one DRAM round trip per
+     * group instead of per stage. The host-level analogue of the
+     * paper's shared-memory stage fusion. Off reproduces the one-pass-
+     * per-stage walk (ablation / differential baseline).
+     */
+    bool fuseLocalPasses = true;
+
+    /**
+     * log2 of the host tile used by fused local passes. 0 = derive
+     * from a host cache model (a 256 KiB per-core budget, the common
+     * L2 slice size); explicit values are clamped to [4, 20]. Purely a
+     * host performance knob: outputs are bit-identical for every
+     * value.
+     */
+    unsigned hostTileLog2 = 0;
+
+    /**
+     * The tile log2 fused kernels actually use for elements of
+     * @p element_bytes: the explicit hostTileLog2 when set, otherwise
+     * the largest tile fitting the per-core cache budget, both clamped
+     * to [4, 20].
+     */
+    unsigned resolvedHostTileLog2(size_t element_bytes) const;
+
+    /**
      * Host threads allowed to execute the functional (bit-exact)
      * butterfly work of a transform. 0 = use every lane of the shared
      * pool (util/thread_pool.hh), 1 = serial. Purely a host-side knob:
@@ -122,6 +151,7 @@ struct UniNttConfig
         c.paddedSmem = false;
         c.warpShuffle = false;
         c.overlapComm = false;
+        c.fuseLocalPasses = false;
         return c;
     }
 };

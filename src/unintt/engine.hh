@@ -395,6 +395,27 @@ class UniNttEngine
         return std::make_shared<const TwiddleTable<F>>(n, dir);
     }
 
+    /**
+     * Per-stage compacted twiddle slabs via the shared slab cache (or
+     * freshly built). On a slab miss @p table_hit_out reports how the
+     * underlying table lookup behaved; on a slab hit the table cache
+     * is never touched and @p table_hit_out is left unchanged.
+     */
+    std::shared_ptr<const TwiddleSlabs<F>>
+    twiddleSlabsCached(uint64_t n, NttDirection dir, bool *slab_hit_out,
+                       bool *table_hit_out) const
+    {
+        if (cfg_.useHostCaches)
+            return cachedTwiddleSlabs<F>(n, dir, slab_hit_out,
+                                         table_hit_out);
+        if (slab_hit_out)
+            *slab_hit_out = false;
+        if (table_hit_out)
+            *table_hit_out = false;
+        const TwiddleTable<F> table(n, dir);
+        return std::make_shared<const TwiddleSlabs<F>>(table);
+    }
+
     MultiGpuSystem sys_;
     UniNttConfig cfg_;
     CostConstants costs_;
@@ -428,28 +449,38 @@ UniNttEngine<F>::run(unsigned logN, NttDirection dir,
     std::shared_ptr<const StageSchedule> sched =
         scheduleCached(pl, dir, nbatch, &sched_hit);
 
-    // Twiddle table shared by the functional execution (served from
-    // the per-field cache so repeated transforms skip the root-of-unity
-    // regeneration). The simulated twiddle strategy (table vs
-    // on-the-fly) only affects accounting.
-    std::shared_ptr<const TwiddleTable<F>> tw;
+    // Compacted twiddle slabs shared by the functional execution
+    // (served from the per-field slab cache; a slab miss pulls the flat
+    // table through the table cache, so repeated transforms skip the
+    // root-of-unity regeneration). The simulated twiddle strategy
+    // (table vs on-the-fly) only affects accounting.
+    std::shared_ptr<const TwiddleSlabs<F>> slabs;
+    bool slab_hit = false;
     bool tw_hit = false;
     if (functional)
-        tw = twiddlesCached(n, dir, &tw_hit);
+        slabs = twiddleSlabsCached(n, dir, &slab_hit, &tw_hit);
 
     SimReport report;
     {
         HostExecStats hx;
         hx.hostThreads = hostLanes();
+        for (const auto &st : sched->steps)
+            if (st.kind == StepKind::FusedLocalPass)
+                hx.fusedGroups++;
         // A bypass run (useHostCaches off) consults no cache, so it
         // records no hit or miss.
         if (cfg_.useHostCaches) {
             (plan_hit ? hx.planCacheHits : hx.planCacheMisses) = 1;
             (sched_hit ? hx.scheduleCacheHits : hx.scheduleCacheMisses) =
                 1;
-            if (functional)
-                (tw_hit ? hx.twiddleCacheHits : hx.twiddleCacheMisses) =
+            if (functional) {
+                (slab_hit ? hx.twiddleSlabHits : hx.twiddleSlabMisses) =
                     1;
+                // The flat table is only consulted on a slab miss.
+                if (!slab_hit)
+                    (tw_hit ? hx.twiddleCacheHits
+                            : hx.twiddleCacheMisses) = 1;
+            }
         }
         report.addHostExecStats(hx);
     }
@@ -457,7 +488,7 @@ UniNttEngine<F>::run(unsigned logN, NttDirection dir,
 
     if (functional) {
         FunctionalStepExecutor<F> exec(sys_, perf_, cfg_.overlapComm,
-                                       report, batch, *tw, logN, dir,
+                                       report, batch, *slabs, logN, dir,
                                        hostLanes());
         Status st = dispatchSchedule(sched, exec);
         UNINTT_ASSERT(st.ok(), "functional execution cannot fail");
@@ -507,9 +538,10 @@ UniNttEngine<F>::runResilientImpl(NttDirection dir,
 
     // Input snapshot for the post-transform spot check.
     const std::vector<F> input = data.toGlobal();
+    bool slab_hit = false;
     bool tw_hit = false;
-    const auto tw_ptr = twiddlesCached(n, dir, &tw_hit);
-    const TwiddleTable<F> &tw = *tw_ptr;
+    const auto slabs_ptr = twiddleSlabsCached(n, dir, &slab_hit, &tw_hit);
+    const TwiddleSlabs<F> &slabs = *slabs_ptr;
 
     SimReport report;
     FaultStats fs;
@@ -554,7 +586,10 @@ UniNttEngine<F>::runResilientImpl(NttDirection dir,
         hx.hostThreads = hostLanes();
         if (cfg_.useHostCaches) {
             (plan_hit ? hx.planCacheHits : hx.planCacheMisses) = 1;
-            (tw_hit ? hx.twiddleCacheHits : hx.twiddleCacheMisses) = 1;
+            (slab_hit ? hx.twiddleSlabHits : hx.twiddleSlabMisses) = 1;
+            if (!slab_hit)
+                (tw_hit ? hx.twiddleCacheHits : hx.twiddleCacheMisses) =
+                    1;
         }
         report.addHostExecStats(hx);
     }
@@ -568,6 +603,14 @@ UniNttEngine<F>::runResilientImpl(NttDirection dir,
     auto sched = std::make_shared<const StageSchedule>(compileSchedule(
         pl, sys, dir, sizeof(F), cfg_, costs_, opts));
     report.setPeakDeviceBytes(sched->peakDeviceBytes);
+    {
+        HostExecStats hx;
+        for (const auto &st : sched->steps)
+            if (st.kind == StepKind::FusedLocalPass)
+                hx.fusedGroups++;
+        if (hx.fusedGroups > 0)
+            report.addHostExecStats(hx);
+    }
 
     ResilientHooks hooks;
     hooks.replan = [this](unsigned lg, const MultiGpuSystem &s) {
@@ -591,8 +634,8 @@ UniNttEngine<F>::runResilientImpl(NttDirection dir,
     };
 
     ResilientStepExecutor<F> exec(sys, perf_, cfg_, report, data, input,
-                                  faults, rc, health, tw, pl, logMg0, dir,
-                                  hostLanes(), std::move(hooks), fs);
+                                  faults, rc, health, slabs, pl, logMg0,
+                                  dir, hostLanes(), std::move(hooks), fs);
     Status st = dispatchSchedule(std::move(sched), exec);
     if (!st.ok())
         return st;

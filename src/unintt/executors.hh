@@ -42,6 +42,7 @@
 #include "field/field_traits.hh"
 #include "ntt/ntt.hh"
 #include "ntt/twiddle.hh"
+#include "ntt/twiddle_cache.hh"
 #include "sim/fault.hh"
 #include "sim/multi_gpu.hh"
 #include "sim/perf_model.hh"
@@ -97,11 +98,24 @@ dispatchSchedule(std::shared_ptr<const StageSchedule> sched, Exec &exec)
 // Shared functional kernels (bit-exact host execution).
 // ---------------------------------------------------------------------
 
+/**
+ * hostParallelFor cost hint of @p butterflies radix-2 butterflies:
+ * a forward butterfly is 2 adds + 1 mul (~3 unit ops), an inverse one
+ * pays an extra mul for the pre-multiplied twiddle (~4). Unified here
+ * so every kernel reports the same units and the pool's serial
+ * threshold splits work consistently in both directions.
+ */
+constexpr uint64_t
+kernelCost(uint64_t butterflies, NttDirection dir)
+{
+    return butterflies * (dir == NttDirection::Forward ? 3 : 4);
+}
+
 /** Functional butterflies of one cross-GPU stage. */
 template <NttField F>
 void
 crossStageCompute(DistributedVector<F> &data, unsigned s, unsigned logN,
-                  const TwiddleTable<F> &tw, NttDirection dir,
+                  const TwiddleSlabs<F> &slabs, NttDirection dir,
                   unsigned lanes)
 {
     const unsigned G = data.numGpus();
@@ -126,8 +140,10 @@ crossStageCompute(DistributedVector<F> &data, unsigned s, unsigned logN,
         slices = std::min<uint64_t>(
             C, (2ULL * lanes + lows.size() - 1) / lows.size());
 
+    // Compacted stage slab: tws[j] == full_table[j << s], unit stride.
+    const F *tws = slabs.slab(s);
     hostParallelFor(
-        lows.size() * slices, (C / slices) * 3, lanes,
+        lows.size() * slices, kernelCost(C / slices, dir), lanes,
         [&](size_t unit) {
             const unsigned g = lows[unit / slices];
             const uint64_t slice = unit % slices;
@@ -144,9 +160,9 @@ crossStageCompute(DistributedVector<F> &data, unsigned s, unsigned logN,
                 F v = hi[c];
                 if (dir == NttDirection::Forward) {
                     lo[c] = u + v;
-                    hi[c] = (u - v) * tw[j << s];
+                    hi[c] = (u - v) * tws[j];
                 } else {
-                    v = v * tw[j << s];
+                    v = v * tws[j];
                     lo[c] = u + v;
                     hi[c] = u - v;
                 }
@@ -159,7 +175,7 @@ template <NttField F>
 void
 localStagesCompute(DistributedVector<F> &data, unsigned s_begin,
                    unsigned s_end, unsigned logN,
-                   const TwiddleTable<F> &tw, NttDirection dir,
+                   const TwiddleSlabs<F> &slabs, NttDirection dir,
                    unsigned lanes)
 {
     const uint64_t n = 1ULL << logN;
@@ -190,8 +206,9 @@ localStagesCompute(DistributedVector<F> &data, unsigned s_begin,
             jslices = std::min<uint64_t>(
                 half, (2ULL * lanes + units - 1) / units);
 
+        const F *tws = slabs.slab(s); // tws[j] == full_table[j << s]
         hostParallelFor(
-            units * jslices, (half / jslices) * 3, lanes,
+            units * jslices, kernelCost(half / jslices, dir), lanes,
             [&](size_t u) {
                 const uint64_t unit = u / jslices;
                 const uint64_t slice = u % jslices;
@@ -207,15 +224,381 @@ localStagesCompute(DistributedVector<F> &data, unsigned s_begin,
                     F b = chunk[start + j + half];
                     if (dir == NttDirection::Forward) {
                         chunk[start + j] = a + b;
-                        chunk[start + j + half] = (a - b) * tw[j << s];
+                        chunk[start + j + half] = (a - b) * tws[j];
                     } else {
-                        b = b * tw[j << s];
+                        b = b * tws[j];
                         chunk[start + j] = a + b;
                         chunk[start + j + half] = a - b;
                     }
                 }
             });
     }
+}
+
+/**
+ * Run butterfly stages [s0, s1) of a size-n transform over one column
+ * slab of a stage-coupled super-block held in @p buf:
+ * buf[r * row_stride + w] is the element at row r, column col0 + w of
+ * the (2^(s1-s0) x h1) super-block matrix, h1 = n >> s1. Stage s pairs
+ * rows at distance 2^(s1-s-1); its twiddle for (row r, column c) is
+ * slab(s)[(r mod 2^(s1-s)) * h1 + c], the row residue being below the
+ * pair distance. Forward fuses stage pairs into the radix-4 butterfly
+ * of radix4.hh rewritten onto the compacted slabs (the tw[2e]/tw[3e]
+ * reads become slab(s+1)[j] and the sign-folded slab(s)[3j]), plus a
+ * trailing radix-2 stage when the group has an odd stage count; the
+ * inverse runs radix-2 DIT with the stage order reversed. Exact field
+ * arithmetic on canonical representations makes both bit-identical to
+ * running the stages separately.
+ */
+template <NttField F>
+void
+fusedTileStages(F *buf, size_t row_stride, size_t cols, size_t col0,
+                size_t h1, unsigned s0, unsigned s1,
+                const TwiddleSlabs<F> &slabs, NttDirection dir)
+{
+    const size_t rows = size_t{1} << (s1 - s0);
+    if (dir == NttDirection::Forward) {
+        const F im = slabs.fourthRoot(); // root^(n/4) of the radix-4 step
+        unsigned s = s0;
+        for (; s + 2 <= s1; s += 2) {
+            const size_t d = size_t{1} << (s1 - s - 2);
+            const F *tw0 = slabs.slab(s);
+            const F *tw1 = slabs.slab(s + 1);
+            const size_t hs = slabs.count(s);
+            for (size_t q = 0; q < rows; q += 4 * d) {
+                for (size_t rq = 0; rq < d; ++rq) {
+                    F *r0 = buf + (q + rq) * row_stride;
+                    F *r1 = r0 + d * row_stride;
+                    F *r2 = r1 + d * row_stride;
+                    F *r3 = r2 + d * row_stride;
+                    const size_t jrow = rq * h1 + col0;
+                    for (size_t w = 0; w < cols; ++w) {
+                        const size_t j = jrow + w;
+                        const F a0 = r0[w], a1 = r1[w];
+                        const F a2 = r2[w], a3 = r3[w];
+                        const F t02p = a0 + a2, t02m = a0 - a2;
+                        const F t13p = a1 + a3;
+                        const F t13m = (a1 - a3) * im;
+                        r0[w] = t02p + t13p;
+                        r1[w] = (t02p - t13p) * tw1[j];
+                        r2[w] = (t02m + t13m) * tw0[j];
+                        const size_t j3 = 3 * j;
+                        // tw[3j] wraps past hs as -tw[3j - hs]
+                        // (w^(hs<<s) = w^(n/2) = -1); j < hs/2 keeps
+                        // the folded index in range.
+                        r3[w] = (t02m - t13m) *
+                                (j3 < hs ? tw0[j3] : -tw0[j3 - hs]);
+                    }
+                }
+            }
+        }
+        if (s < s1) {
+            // Trailing radix-2 stage of an odd group: s == s1 - 1, so
+            // the pair distance is one row and the slab index is the
+            // column alone.
+            const F *tws = slabs.slab(s);
+            for (size_t q = 0; q < rows; q += 2) {
+                F *r0 = buf + q * row_stride;
+                F *r1 = r0 + row_stride;
+                for (size_t w = 0; w < cols; ++w) {
+                    const F a = r0[w];
+                    const F b = r1[w];
+                    r0[w] = a + b;
+                    r1[w] = (a - b) * tws[col0 + w];
+                }
+            }
+        }
+    } else {
+        for (unsigned s = s1; s-- > s0;) {
+            const size_t d = size_t{1} << (s1 - s - 1);
+            const F *tws = slabs.slab(s);
+            for (size_t q = 0; q < rows; q += 2 * d) {
+                for (size_t rq = 0; rq < d; ++rq) {
+                    F *r0 = buf + (q + rq) * row_stride;
+                    F *r1 = r0 + d * row_stride;
+                    const size_t jrow = rq * h1 + col0;
+                    for (size_t w = 0; w < cols; ++w) {
+                        const F a = r0[w];
+                        const F b = r1[w] * tws[jrow + w];
+                        r0[w] = a + b;
+                        r1[w] = a - b;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/**
+ * fusedTileStages specialized to a full contiguous super-block
+ * (row_stride == h1, cols == h1, col0 == 0). The row/column loops
+ * collapse: at stage s the butterfly half-span is SB >> (s-s0+1)
+ * contiguous elements and the twiddle index equals the flat offset
+ * within the block, so every inner loop walks both data and slab at
+ * unit stride with no per-row pointer arithmetic. Same butterflies,
+ * same exact arithmetic — bit-identical to the general form; this is
+ * the shape the in-place (unsliced) dispatch uses because the general
+ * form's inner width collapses to h1 (often 1) for late-stage groups.
+ */
+template <NttField F>
+void
+fusedSpanStages(F *buf, size_t sb_elems, unsigned s0, unsigned s1,
+                const TwiddleSlabs<F> &slabs, NttDirection dir)
+{
+    if (dir == NttDirection::Forward) {
+        const F im = slabs.fourthRoot();
+        unsigned s = s0;
+        size_t span = sb_elems; // independent block span at stage s
+        // Radix-8 primary loop: three stages per sweep, applied in
+        // registers exactly as the per-stage path would (stage s,
+        // then s+1, then s+2), so the result is bit-identical by
+        // construction. Every twiddle index is a plain block-local
+        // offset and stays inside its slab — no wrap handling. One
+        // load+store per element per *three* stages is what moves
+        // the streamed head groups from 2 sweeps per pair to 1 per
+        // triple.
+        for (; s + 3 <= s1; s += 3, span /= 8) {
+            const size_t q8 = span / 8;
+            const F *twa = slabs.slab(s);
+            const F *twb = slabs.slab(s + 1);
+            const F *twc = slabs.slab(s + 2);
+            if (q8 == 1) {
+                // span == 8: every block sees the same seven
+                // twiddles, and the ones at slab index 0 are w^0 == 1
+                // — multiplying by one is the exact identity, so
+                // those five multiplies are skipped outright and the
+                // remaining twiddles are hoisted out of the block
+                // loop. This is the pass with the most blocks, so
+                // the per-block pointer setup matters too.
+                const F wa1 = twa[1], wa2 = twa[2], wa3 = twa[3];
+                const F wb1 = twb[1];
+                for (size_t start = 0; start < sb_elems; start += 8) {
+                    F *p = buf + start;
+                    const F a0 = p[0], a1 = p[1];
+                    const F a2 = p[2], a3 = p[3];
+                    const F a4 = p[4], a5 = p[5];
+                    const F a6 = p[6], a7 = p[7];
+                    const F u0 = a0 + a4, u4 = a0 - a4;
+                    const F u1 = a1 + a5, u5 = (a1 - a5) * wa1;
+                    const F u2 = a2 + a6, u6 = (a2 - a6) * wa2;
+                    const F u3 = a3 + a7, u7 = (a3 - a7) * wa3;
+                    const F v0 = u0 + u2, v2 = u0 - u2;
+                    const F v1 = u1 + u3, v3 = (u1 - u3) * wb1;
+                    const F v4 = u4 + u6, v6 = u4 - u6;
+                    const F v5 = u5 + u7, v7 = (u5 - u7) * wb1;
+                    p[0] = v0 + v1;
+                    p[1] = v0 - v1;
+                    p[2] = v2 + v3;
+                    p[3] = v2 - v3;
+                    p[4] = v4 + v5;
+                    p[5] = v4 - v5;
+                    p[6] = v6 + v7;
+                    p[7] = v6 - v7;
+                }
+                continue;
+            }
+            for (size_t start = 0; start < sb_elems; start += span) {
+                F *p0 = buf + start;
+                F *p1 = p0 + q8;
+                F *p2 = p1 + q8;
+                F *p3 = p2 + q8;
+                F *p4 = p3 + q8;
+                F *p5 = p4 + q8;
+                F *p6 = p5 + q8;
+                F *p7 = p6 + q8;
+                for (size_t j = 0; j < q8; ++j) {
+                    const F a0 = p0[j], a1 = p1[j];
+                    const F a2 = p2[j], a3 = p3[j];
+                    const F a4 = p4[j], a5 = p5[j];
+                    const F a6 = p6[j], a7 = p7[j];
+                    const F u0 = a0 + a4;
+                    const F u4 = (a0 - a4) * twa[j];
+                    const F u1 = a1 + a5;
+                    const F u5 = (a1 - a5) * twa[q8 + j];
+                    const F u2 = a2 + a6;
+                    const F u6 = (a2 - a6) * twa[2 * q8 + j];
+                    const F u3 = a3 + a7;
+                    const F u7 = (a3 - a7) * twa[3 * q8 + j];
+                    const F wb0 = twb[j], wb1 = twb[q8 + j];
+                    const F v0 = u0 + u2;
+                    const F v2 = (u0 - u2) * wb0;
+                    const F v1 = u1 + u3;
+                    const F v3 = (u1 - u3) * wb1;
+                    const F v4 = u4 + u6;
+                    const F v6 = (u4 - u6) * wb0;
+                    const F v5 = u5 + u7;
+                    const F v7 = (u5 - u7) * wb1;
+                    const F wc = twc[j];
+                    p0[j] = v0 + v1;
+                    p1[j] = (v0 - v1) * wc;
+                    p2[j] = v2 + v3;
+                    p3[j] = (v2 - v3) * wc;
+                    p4[j] = v4 + v5;
+                    p5[j] = (v4 - v5) * wc;
+                    p6[j] = v6 + v7;
+                    p7[j] = (v6 - v7) * wc;
+                }
+            }
+        }
+        for (; s + 2 <= s1; s += 2, span /= 4) {
+            const size_t quarter = span / 4;
+            const F *tw0 = slabs.slab(s);
+            const F *tw1 = slabs.slab(s + 1);
+            const size_t hs = slabs.count(s);
+            // tw[3j] wraps past hs with a sign flip (w^(hs<<s) =
+            // w^(n/2) = -1); folding the sign into the butterfly as
+            // (b-a)*w instead of (a-b)*(-w) keeps the wrap free, and
+            // splitting the loop at the wrap point keeps the hot
+            // loop branchless. Exact arithmetic: bit-identical.
+            const size_t jsplit =
+                std::min(quarter, (hs + 2) / 3);
+            if (quarter == 1) {
+                // span == 4: all three stage twiddles sit at slab
+                // index 0 and equal one; only the fourth-root factor
+                // survives (see the span == 8 case above).
+                for (size_t start = 0; start < sb_elems; start += 4) {
+                    F *p = buf + start;
+                    const F a0 = p[0], a1 = p[1];
+                    const F a2 = p[2], a3 = p[3];
+                    const F t02p = a0 + a2, t02m = a0 - a2;
+                    const F t13p = a1 + a3;
+                    const F t13m = (a1 - a3) * im;
+                    p[0] = t02p + t13p;
+                    p[1] = t02p - t13p;
+                    p[2] = t02m + t13m;
+                    p[3] = t02m - t13m;
+                }
+                continue;
+            }
+            for (size_t start = 0; start < sb_elems; start += span) {
+                F *p0 = buf + start;
+                F *p1 = p0 + quarter;
+                F *p2 = p1 + quarter;
+                F *p3 = p2 + quarter;
+                for (size_t j = 0; j < jsplit; ++j) {
+                    const F a0 = p0[j], a1 = p1[j];
+                    const F a2 = p2[j], a3 = p3[j];
+                    const F t02p = a0 + a2, t02m = a0 - a2;
+                    const F t13p = a1 + a3;
+                    const F t13m = (a1 - a3) * im;
+                    p0[j] = t02p + t13p;
+                    p1[j] = (t02p - t13p) * tw1[j];
+                    p2[j] = (t02m + t13m) * tw0[j];
+                    p3[j] = (t02m - t13m) * tw0[3 * j];
+                }
+                for (size_t j = jsplit; j < quarter; ++j) {
+                    const F a0 = p0[j], a1 = p1[j];
+                    const F a2 = p2[j], a3 = p3[j];
+                    const F t02p = a0 + a2, t02m = a0 - a2;
+                    const F t13p = a1 + a3;
+                    const F t13m = (a1 - a3) * im;
+                    p0[j] = t02p + t13p;
+                    p1[j] = (t02p - t13p) * tw1[j];
+                    p2[j] = (t02m + t13m) * tw0[j];
+                    p3[j] = (t13m - t02m) * tw0[3 * j - hs];
+                }
+            }
+        }
+        if (s < s1) {
+            const size_t half = span / 2;
+            const F *tws = slabs.slab(s);
+            if (half == 1) {
+                // span == 2: the only twiddle is w^0 == 1.
+                for (size_t start = 0; start < sb_elems; start += 2) {
+                    const F a = buf[start];
+                    const F b = buf[start + 1];
+                    buf[start] = a + b;
+                    buf[start + 1] = a - b;
+                }
+            } else {
+                for (size_t start = 0; start < sb_elems;
+                     start += span) {
+                    F *p0 = buf + start;
+                    F *p1 = p0 + half;
+                    for (size_t j = 0; j < half; ++j) {
+                        const F a = p0[j];
+                        const F b = p1[j];
+                        p0[j] = a + b;
+                        p1[j] = (a - b) * tws[j];
+                    }
+                }
+            }
+        }
+    } else {
+        size_t half = sb_elems >> (s1 - s0);
+        for (unsigned s = s1; s-- > s0; half *= 2) {
+            const F *tws = slabs.slab(s);
+            for (size_t start = 0; start < sb_elems;
+                 start += 2 * half) {
+                F *p0 = buf + start;
+                F *p1 = p0 + half;
+                for (size_t j = 0; j < half; ++j) {
+                    const F a = p0[j];
+                    const F b = p1[j] * tws[j];
+                    p0[j] = a + b;
+                    p1[j] = a - b;
+                }
+            }
+        }
+    }
+}
+
+/**
+ * Tile-fused functional butterflies of local stages [s_begin, s_end):
+ * one fork/join per *group* instead of per stage, with every stage of
+ * the group running before the data leaves the unit. The schedule's
+ * tail group is sized to the resolved host tile (SB == 2^tileLog2),
+ * so its flat sweep is cache-resident end to end; head groups whose
+ * super-block exceeds the tile stream the same fused sweep over the
+ * block — still one radix-4 pass per stage *pair* where the per-stage
+ * path pays a full pass per stage. When whole super-blocks are
+ * scarcer than lanes, units split into column slices (columns of the
+ * super-block never couple, so any column subset is independent).
+ * Work units write disjoint element ranges, which keeps the output
+ * bit-identical to localStagesCompute for every thread count, tile
+ * size, and slicing.
+ */
+template <NttField F>
+void
+fusedLocalStagesCompute(DistributedVector<F> &data, unsigned s_begin,
+                        unsigned s_end, unsigned logN, unsigned tile_log2,
+                        const TwiddleSlabs<F> &slabs, NttDirection dir,
+                        unsigned lanes)
+{
+    (void)tile_log2; // geometry lives in the schedule's group sizes
+    const uint64_t n = 1ULL << logN;
+    const unsigned G = data.numGpus();
+    const uint64_t C = data.chunkSize();
+    const unsigned t = s_end - s_begin;
+    const uint64_t SB = n >> s_begin; // stage-coupled super-block
+    const uint64_t h1 = n >> s_end;   // its column count
+    UNINTT_ASSERT(SB <= C, "fused group is not GPU-local");
+    const uint64_t sbs_per_gpu = C / SB;
+
+    const uint64_t units = static_cast<uint64_t>(G) * sbs_per_gpu;
+    uint64_t csl = 1;
+    if (lanes > 1 && units < lanes)
+        csl = std::min<uint64_t>(h1,
+                                 (2ULL * lanes + units - 1) / units);
+    hostParallelFor(
+        units * csl, kernelCost(SB / 2 * t / csl, dir), lanes,
+        [&](size_t u) {
+            const uint64_t unit = u / csl;
+            const uint64_t slice = u % csl;
+            const unsigned g =
+                static_cast<unsigned>(unit / sbs_per_gpu);
+            const uint64_t sb = unit % sbs_per_gpu;
+            F *base = data.chunk(g).data() + sb * SB;
+            if (csl == 1) {
+                // Whole super-block in one unit: flat sweep.
+                fusedSpanStages(base, SB, s_begin, s_end, slabs, dir);
+                return;
+            }
+            const uint64_t c0 = h1 * slice / csl;
+            const uint64_t c1 = h1 * (slice + 1) / csl;
+            fusedTileStages(base + c0, h1, c1 - c0, c0, h1, s_begin,
+                            s_end, slabs, dir);
+        });
 }
 
 /** Functional n^-1 scaling of every chunk of every batch entry. */
@@ -296,6 +679,7 @@ class AnalyticStepExecutor
             return;
           }
           case StepKind::LocalPass:
+          case StepKind::FusedLocalPass:
           case StepKind::Scale:
           case StepKind::SpotCheck:
             report_.addKernelPhase(st.name, st.stats, perf_);
@@ -363,11 +747,11 @@ class FunctionalStepExecutor : public AnalyticStepExecutor
     FunctionalStepExecutor(const MultiGpuSystem &sys, const PerfModel &perf,
                            bool overlap_comm, SimReport &report,
                            std::vector<DistributedVector<F> *> &batch,
-                           const TwiddleTable<F> &tw, unsigned logN,
+                           const TwiddleSlabs<F> &slabs, unsigned logN,
                            NttDirection dir, unsigned lanes)
         : AnalyticStepExecutor(sys, perf, overlap_comm, report),
           batch_(batch),
-          tw_(tw),
+          slabs_(slabs),
           logN_(logN),
           dir_(dir),
           lanes_(lanes)
@@ -380,12 +764,18 @@ class FunctionalStepExecutor : public AnalyticStepExecutor
         switch (st.kind) {
           case StepKind::CrossStage:
             for (auto *d : batch_)
-                crossStageCompute(*d, st.sBegin, logN_, tw_, dir_, lanes_);
+                crossStageCompute(*d, st.sBegin, logN_, slabs_, dir_,
+                                  lanes_);
             break;
           case StepKind::LocalPass:
             for (auto *d : batch_)
-                localStagesCompute(*d, st.sBegin, st.sEnd, logN_, tw_,
+                localStagesCompute(*d, st.sBegin, st.sEnd, logN_, slabs_,
                                    dir_, lanes_);
+            break;
+          case StepKind::FusedLocalPass:
+            for (auto *d : batch_)
+                fusedLocalStagesCompute(*d, st.sBegin, st.sEnd, logN_,
+                                        st.tileLog2, slabs_, dir_, lanes_);
             break;
           case StepKind::Scale:
             // Explicit twiddle passes are functionally no-ops (the
@@ -408,7 +798,7 @@ class FunctionalStepExecutor : public AnalyticStepExecutor
 
   private:
     std::vector<DistributedVector<F> *> &batch_;
-    const TwiddleTable<F> &tw_;
+    const TwiddleSlabs<F> &slabs_;
     const unsigned logN_;
     const NttDirection dir_;
     const unsigned lanes_;
@@ -447,7 +837,7 @@ class ResilientStepExecutor
                           FaultInjector &faults,
                           const ResilienceConfig &rc,
                           DeviceHealthTracker *health,
-                          const TwiddleTable<F> &tw, NttPlan pl,
+                          const TwiddleSlabs<F> &slabs, NttPlan pl,
                           unsigned logMg0, NttDirection dir,
                           unsigned lanes, ResilientHooks hooks,
                           FaultStats &fs)
@@ -460,7 +850,7 @@ class ResilientStepExecutor
           faults_(faults),
           rc_(rc),
           health_(health),
-          tw_(tw),
+          slabs_(slabs),
           pl_(std::move(pl)),
           logMg0_(logMg0),
           dir_(dir),
@@ -480,8 +870,16 @@ class ResilientStepExecutor
           case StepKind::CrossStage:
             return crossStep(st);
           case StepKind::LocalPass:
-            localStagesCompute(data_, st.sBegin, st.sEnd, pl_.logN, tw_,
-                               dir_, lanes_);
+            localStagesCompute(data_, st.sBegin, st.sEnd, pl_.logN,
+                               slabs_, dir_, lanes_);
+            report_.addKernelPhase(st.name, st.stats, perf_);
+            tagPhase(st);
+            return StepAction{};
+          case StepKind::FusedLocalPass:
+            // Fused groups flow through the same decorator as any
+            // other step: the group is one phase, one watchdog unit.
+            fusedLocalStagesCompute(data_, st.sBegin, st.sEnd, pl_.logN,
+                                    st.tileLog2, slabs_, dir_, lanes_);
             report_.addKernelPhase(st.name, st.stats, perf_);
             tagPhase(st);
             return StepAction{};
@@ -616,7 +1014,7 @@ class ResilientStepExecutor
             corrupted = faults_.retransmitCorrupted();
         }
 
-        crossStageCompute(data_, s, pl_.logN, tw_, dir_, lanes_);
+        crossStageCompute(data_, s, pl_.logN, slabs_, dir_, lanes_);
         report_.addKernelPhase(st.name, st.stats, perf_);
         tagPhase(st);
         UNINTT_ASSERT(pendingExchange_ != nullptr,
@@ -737,7 +1135,7 @@ class ResilientStepExecutor
     FaultInjector &faults_;
     const ResilienceConfig &rc_;
     DeviceHealthTracker *health_;
-    const TwiddleTable<F> &tw_;
+    const TwiddleSlabs<F> &slabs_;
     NttPlan pl_;
     const unsigned logMg0_;
     const NttDirection dir_;

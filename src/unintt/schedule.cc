@@ -20,6 +20,8 @@ toString(StepKind kind)
         return "cross-stage";
       case StepKind::LocalPass:
         return "local-pass";
+      case StepKind::FusedLocalPass:
+        return "fused-local";
       case StepKind::Scale:
         return "scale";
       case StepKind::SpotCheck:
@@ -132,21 +134,37 @@ twiddlePassEventStats(uint64_t chunk, size_t batch, size_t element_bytes)
 namespace {
 
 /**
- * Group local stages [from, logN) into balanced passes with the
- * planner's policy. Rebuilt from the plan's tile size rather than read
- * from pl.passes because a resume may start above pl.logMg (a cross
- * stage executed under the pre-degradation sharding); for from ==
- * pl.logMg this reproduces pl.passes exactly.
+ * Group local stages [from, logN) into balanced passes of at most
+ * @p tile_bits stages each, with the planner's ceil-division policy.
+ * Rebuilt from the tile size rather than read from pl.passes because a
+ * resume may start above pl.logMg (a cross stage executed under the
+ * pre-degradation sharding); for from == pl.logMg and tile_bits ==
+ * pl.logBlockTile this reproduces pl.passes exactly. Fused schedules
+ * call it with the resolved host tile instead, which is what shrinks
+ * the pass count.
+ *
+ * With @p pin_tail (fused schedules) the final group is pinned to
+ * exactly tile_bits stages: that group's stage-coupled super-block is
+ * then exactly one tile, so it runs as the fast in-place contiguous
+ * sweep, and the remaining head groups — which must stream through
+ * per-thread tile buffers anyway — are as few and as shallow as
+ * possible, which widens their column slabs and keeps the
+ * gather/scatter copies contiguous. The pass count is unchanged.
  */
 std::vector<std::pair<unsigned, GridPassPlan>>
-localRangesFrom(const NttPlan &pl, unsigned logN, unsigned from)
+localRangesFrom(const NttPlan &pl, unsigned logN, unsigned from,
+                unsigned tile_bits, bool pin_tail)
 {
     std::vector<std::pair<unsigned, GridPassPlan>> ranges;
     unsigned remaining = logN - from;
     if (remaining == 0)
         return ranges;
-    unsigned num_passes =
-        (remaining + pl.logBlockTile - 1) / pl.logBlockTile;
+    unsigned tail = 0;
+    if (pin_tail && remaining > tile_bits) {
+        tail = tile_bits;
+        remaining -= tail;
+    }
+    unsigned num_passes = (remaining + tile_bits - 1) / tile_bits;
     unsigned s = from;
     for (unsigned i = 0; i < num_passes; ++i) {
         unsigned left = num_passes - i;
@@ -157,6 +175,12 @@ localRangesFrom(const NttPlan &pl, unsigned logN, unsigned from)
         ranges.emplace_back(s, pass);
         s += bits;
         remaining -= bits;
+    }
+    if (tail != 0) {
+        GridPassPlan pass;
+        pass.bits = tail;
+        pass.warpRounds = (tail + pl.logWarp - 1) / pl.logWarp;
+        ranges.emplace_back(s, pass);
     }
     return ranges;
 }
@@ -258,26 +282,35 @@ class ScheduleBuilder
     }
 
     /**
-     * Grid passes covering [from, logN), in execution order (forward:
-     * outermost strides first; inverse: reversed), with the un-fused
-     * algorithm's inter-pass twiddle passes interleaved.
+     * The GPU-local stage phase covering [from, logN), in execution
+     * order (forward: outermost strides first; inverse: reversed),
+     * with the un-fused algorithm's inter-pass twiddle passes
+     * interleaved. Emits tile-fused groups (FusedLocalPass) when
+     * cfg.fuseLocalPasses is set, one-DRAM-round-trip-per-stage-range
+     * grid passes (LocalPass) otherwise; butterfly coverage is
+     * identical either way.
      */
     void
     localPhase(unsigned from, NttDirection dir)
     {
-        auto ranges = localRangesFrom(pl_, pl_.logN, from);
+        const bool fused = cfg_.fuseLocalPasses;
+        const unsigned tile_bits =
+            fused ? cfg_.resolvedHostTileLog2(eb_) : pl_.logBlockTile;
+        auto ranges =
+            localRangesFrom(pl_, pl_.logN, from, tile_bits, fused);
         if (dir == NttDirection::Inverse)
             std::reverse(ranges.begin(), ranges.end());
         for (size_t i = 0; i < ranges.size(); ++i) {
             const auto &[s_begin, pass] = ranges[i];
             ScheduleStep st;
-            st.kind = StepKind::LocalPass;
+            st.kind = fused ? StepKind::FusedLocalPass : StepKind::LocalPass;
             st.level = ExecLevel::Block;
-            st.name = "grid-pass-" + std::to_string(i) + "/b" +
-                      std::to_string(pass.bits);
+            st.name = (fused ? "fused-pass-" : "grid-pass-") +
+                      std::to_string(i) + "/b" + std::to_string(pass.bits);
             st.sBegin = s_begin;
             st.sEnd = s_begin + pass.bits;
             st.pass = pass;
+            st.tileLog2 = fused ? tile_bits : 0;
             st.twiddleStride = 1ULL << s_begin;
             st.twiddleCount = n_ >> (s_begin + 1);
             st.stats =

@@ -51,6 +51,14 @@ enum class StepKind
     /** One grid pass: butterflies of a GPU-local stage range. */
     LocalPass,
     /**
+     * A tile-fused group of consecutive local stages: each
+     * 2^tileLog2-element tile is loaded once, every stage of the group
+     * runs in-tile, and the tile is written back once. Same butterfly
+     * coverage as the LocalPass steps it replaces, fewer global round
+     * trips.
+     */
+    FusedLocalPass,
+    /**
      * Elementwise pass: an explicit twiddle pass (fusion off) or the
      * inverse n^-1 scaling.
      */
@@ -85,8 +93,10 @@ struct ScheduleStep
     /** Stage range [sBegin, sEnd) covered (butterfly steps). */
     unsigned sBegin = 0;
     unsigned sEnd = 0;
-    /** Grid-pass shape (LocalPass only). */
+    /** Grid-pass shape (LocalPass / FusedLocalPass). */
     GridPassPlan pass{0, 0};
+    /** log2 of the resident tile (FusedLocalPass only). */
+    unsigned tileLog2 = 0;
     /** Partner gap in GPU indices (Exchange/CrossStage). */
     unsigned distance = 0;
     /** Hop distance on the fabric actually used. */

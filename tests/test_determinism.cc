@@ -135,16 +135,23 @@ TYPED_TEST(Determinism, ColdAndWarmCachesAgree)
 
     PlanCache::global().clear();
     TwiddleCache<F>::global().clear();
+    TwiddleSlabCache<F>::global().clear();
 
+    // Cold: the slab cache misses and fills from the (also cold)
+    // twiddle-table cache. Warm: the slab hit short-circuits the
+    // table lookup entirely, so the table counters stay untouched.
     const auto cold = runWith<F>(input, 2);
     const auto &cold_hx = cold.forwardReport.hostExecStats();
     EXPECT_EQ(cold_hx.planCacheMisses, 1u);
+    EXPECT_EQ(cold_hx.twiddleSlabMisses, 1u);
     EXPECT_EQ(cold_hx.twiddleCacheMisses, 1u);
 
     const auto warm = runWith<F>(input, 2);
     const auto &warm_hx = warm.forwardReport.hostExecStats();
     EXPECT_EQ(warm_hx.planCacheHits, 1u);
-    EXPECT_EQ(warm_hx.twiddleCacheHits, 1u);
+    EXPECT_EQ(warm_hx.twiddleSlabHits, 1u);
+    EXPECT_EQ(warm_hx.twiddleCacheHits + warm_hx.twiddleCacheMisses,
+              0u);
 
     EXPECT_EQ(warm.forward, cold.forward);
     EXPECT_EQ(warm.roundTrip, input);
@@ -166,6 +173,7 @@ TYPED_TEST(Determinism, CacheBypassIsBitExact)
     const auto &hx = bypass.forwardReport.hostExecStats();
     EXPECT_EQ(hx.planCacheHits + hx.planCacheMisses, 0u);
     EXPECT_EQ(hx.twiddleCacheHits + hx.twiddleCacheMisses, 0u);
+    EXPECT_EQ(hx.twiddleSlabHits + hx.twiddleSlabMisses, 0u);
 }
 
 } // namespace

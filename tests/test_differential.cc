@@ -19,6 +19,8 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+
 #include "field/babybear.hh"
 #include "field/bn254.hh"
 #include "field/goldilocks.hh"
@@ -203,6 +205,145 @@ runExecutorDraw(const Draw &d)
     Result<SimReport> r = serial.forwardResilient(data_resilient, quiet);
     ASSERT_TRUE(r.ok());
     ASSERT_EQ(data_resilient.toGlobal(), data_serial.toGlobal());
+}
+
+/**
+ * Fused tile kernels against the per-stage path: for one seeded draw,
+ * every combination of direction, thread count and tile size must
+ * produce output byte-identical to the unfused serial engine. This is
+ * the contract that lets the schedule fuse stages freely: fusion is a
+ * memory-traffic optimization, never an arithmetic one.
+ */
+template <NttField F>
+void
+runFusionDraw(const Draw &d)
+{
+    SCOPED_TRACE("draw " + std::to_string(d.index) + ": " +
+                 std::string(F::kName) + " logN=" +
+                 std::to_string(d.logN) + " gpus=" +
+                 std::to_string(d.gpus));
+
+    const size_t n = size_t{1} << d.logN;
+    Rng rng(d.dataSeed);
+    std::vector<F> input(n);
+    for (auto &v : input)
+        v = F::fromU64(rng.next());
+    auto sys = makeDgxA100(d.gpus);
+
+    for (auto dir : {NttDirection::Forward, NttDirection::Inverse}) {
+        SCOPED_TRACE(dir == NttDirection::Forward ? "forward"
+                                                  : "inverse");
+        UniNttConfig base_cfg;
+        base_cfg.fuseLocalPasses = false;
+        base_cfg.hostThreads = 1;
+        UniNttEngine<F> baseline(sys, base_cfg);
+        auto base = DistributedVector<F>::fromGlobal(input, d.gpus);
+        if (dir == NttDirection::Forward)
+            baseline.forward(base);
+        else
+            baseline.inverse(base);
+        const std::vector<F> want = base.toGlobal();
+
+        // hostTileLog2 = 0 derives the tile from the cache model; 4
+        // and 20 clamp to the extremes, forcing many tiny groups and
+        // one maximal group respectively.
+        for (unsigned tile : {0u, 4u, 20u}) {
+            for (unsigned threads : {1u, 4u, 16u}) {
+                SCOPED_TRACE("tile=" + std::to_string(tile) +
+                             " threads=" + std::to_string(threads));
+                UniNttConfig cfg;
+                cfg.hostTileLog2 = tile;
+                cfg.hostThreads = threads;
+                UniNttEngine<F> fused(sys, cfg);
+                auto data =
+                    DistributedVector<F>::fromGlobal(input, d.gpus);
+                if (dir == NttDirection::Forward)
+                    fused.forward(data);
+                else
+                    fused.inverse(data);
+                ASSERT_EQ(data.toGlobal(), want);
+            }
+        }
+    }
+}
+
+TEST(Differential, FusedMatchesPerStageAcrossTilesAndThreads)
+{
+    // Same draw sequence as the other differential tests; the matrix
+    // per draw (2 directions x 3 tiles x 3 thread counts) is the
+    // expensive part, so the draw count is reduced while keeping the
+    // (field, logN, gpus) marginals.
+    Rng draw_rng(0xd1ffe7e57ULL);
+    for (int i = 0; i < kDraws; ++i) {
+        Draw d;
+        d.index = i;
+        d.field = static_cast<unsigned>(draw_rng.below(3));
+        d.logN = kMinLogN + static_cast<unsigned>(
+                                draw_rng.below(kMaxLogN - kMinLogN + 1));
+        d.gpus = 1u << draw_rng.below(4);
+        d.dataSeed = draw_rng.next();
+        if (i % 4 != 0)
+            continue;
+
+        switch (d.field) {
+        case 0:
+            runFusionDraw<Goldilocks>(d);
+            break;
+        case 1:
+            runFusionDraw<BabyBear>(d);
+            break;
+        default:
+            runFusionDraw<Bn254Fr>(d);
+            break;
+        }
+        if (::testing::Test::HasFatalFailure())
+            return;
+    }
+}
+
+TEST(Differential, KernelCostMatchesButterflyWeights)
+{
+    // The shared cost hint that sizes hostParallelFor work chunks:
+    // forward butterflies price at 3 (add, sub, mul), inverse at 4
+    // (the twiddle multiply feeds both outputs plus the final scale).
+    EXPECT_EQ(kernelCost(0, NttDirection::Forward), 0u);
+    EXPECT_EQ(kernelCost(100, NttDirection::Forward), 300u);
+    EXPECT_EQ(kernelCost(100, NttDirection::Inverse), 400u);
+    EXPECT_EQ(kernelCost(1, NttDirection::Forward), 3u);
+    EXPECT_EQ(kernelCost(1, NttDirection::Inverse), 4u);
+}
+
+TEST(Differential, ThreadSweepStaysWithinCostEnvelope)
+{
+    // Not a perf assertion, a regression tripwire: threading a 2^16
+    // transform on however many cores CI has must never be
+    // catastrophically slower than serial (e.g. per-element fork/join
+    // or lost cost hints). The bound is deliberately generous.
+    using F = Goldilocks;
+    auto sys = makeDgxA100(1);
+    Rng rng(0x7157eedULL);
+    std::vector<F> input(1ULL << 16);
+    for (auto &v : input)
+        v = F::fromU64(rng.next());
+
+    auto timeWith = [&](unsigned threads) {
+        UniNttConfig cfg;
+        cfg.hostThreads = threads;
+        UniNttEngine<F> engine(sys, cfg);
+        auto data = DistributedVector<F>::fromGlobal(input, 1);
+        engine.forward(data); // warm caches
+        const auto t0 = std::chrono::steady_clock::now();
+        engine.forward(data);
+        const auto t1 = std::chrono::steady_clock::now();
+        return std::chrono::duration<double>(t1 - t0).count();
+    };
+
+    const double serial = timeWith(1);
+    for (unsigned threads : {2u, 4u, 16u}) {
+        const double threaded = timeWith(threads);
+        EXPECT_LT(threaded, serial * 10 + 0.05)
+            << "threads=" << threads;
+    }
 }
 
 TEST(Differential, ExecutorsAgreeOnSeededDraws)

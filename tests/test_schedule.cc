@@ -71,7 +71,8 @@ bool
 isButterflyStep(const ScheduleStep &st)
 {
     return st.kind == StepKind::CrossStage ||
-           st.kind == StepKind::LocalPass;
+           st.kind == StepKind::LocalPass ||
+           st.kind == StepKind::FusedLocalPass;
 }
 
 TEST(ScheduleProperty, InvariantsHoldAcrossHardwareModels)
@@ -193,8 +194,11 @@ TEST(ScheduleGolden, CanonicalConfigSnapshot)
         {StepKind::CrossStage, "mgpu-stage-0/x2-compute"},
         {StepKind::Exchange, "mgpu-stage-1/x1-exchange"},
         {StepKind::CrossStage, "mgpu-stage-1/x1-compute"},
-        {StepKind::LocalPass, "grid-pass-0/b9"},
-        {StepKind::LocalPass, "grid-pass-1/b9"},
+        // The tail group is pinned to the full 2^15-element tile so
+        // it runs the in-place contiguous sweep; the 3-stage head
+        // streams through buffered column slabs.
+        {StepKind::FusedLocalPass, "fused-pass-0/b3"},
+        {StepKind::FusedLocalPass, "fused-pass-1/b15"},
     };
     ASSERT_EQ(sched->steps.size(), expect.size());
     for (size_t i = 0; i < expect.size(); ++i) {
@@ -204,9 +208,123 @@ TEST(ScheduleGolden, CanonicalConfigSnapshot)
     }
     EXPECT_EQ(sched->steps[0].level, ExecLevel::MultiGpu);
     EXPECT_EQ(sched->steps[4].level, ExecLevel::Block);
+    // Goldilocks is 8 bytes: the 256 KiB cache model resolves to
+    // 2^15-element tiles.
+    EXPECT_EQ(sched->steps[4].tileLog2, 15u);
+    EXPECT_EQ(sched->steps[5].tileLog2, 15u);
     EXPECT_EQ(sched->peakDeviceBytes, uint64_t{4} << 20);
     EXPECT_EQ(sched->plan.toString(),
               "2^20 = mgpu(2) * pass(9) * pass(9)");
+}
+
+TEST(FusedScheduleInvariants, GroupsRespectChunkAndTileBounds)
+{
+    const CostConstants costs;
+    for (const auto &sys : scheduleSystems()) {
+        const unsigned logMg = log2Exact(sys.numGpus);
+        for (unsigned tile : {0u, 4u, 11u, 20u}) {
+            UniNttConfig cfg = UniNttConfig::allOn();
+            cfg.hostTileLog2 = tile;
+            const unsigned resolved =
+                cfg.resolvedHostTileLog2(sizeof(Goldilocks));
+            for (unsigned logN = logMg + 2; logN <= 24; logN += 6) {
+                SCOPED_TRACE(sys.gpu.name + " gpus=" +
+                             std::to_string(sys.numGpus) + " logN=" +
+                             std::to_string(logN) + " tile=" +
+                             std::to_string(tile));
+                const auto pl =
+                    planNtt(logN, sys, sizeof(Goldilocks));
+                const auto sched = compileSchedule(
+                    pl, sys, NttDirection::Forward,
+                    sizeof(Goldilocks), cfg, costs);
+                unsigned covered = 0;
+                for (const auto &st : sched.steps) {
+                    if (st.kind != StepKind::FusedLocalPass)
+                        continue;
+                    covered += st.sEnd - st.sBegin;
+                    // Groups stay GPU-local: the super-block
+                    // n >> sBegin fits inside one chunk.
+                    EXPECT_GE(st.sBegin, logMg);
+                    // A group never spans more stages than the
+                    // resident tile can hold.
+                    EXPECT_LE(st.sEnd - st.sBegin, resolved);
+                    EXPECT_EQ(st.tileLog2, resolved);
+                }
+                // Fusion replaces every LocalPass, covering all
+                // GPU-local stages.
+                EXPECT_EQ(covered, logN - logMg);
+                for (const auto &st : sched.steps)
+                    EXPECT_NE(st.kind, StepKind::LocalPass);
+            }
+        }
+    }
+}
+
+TEST(FusedScheduleInvariants, FusionReducesDramNotComm)
+{
+    // At 2^26 on 4 GPUs the unfused walk needs several block-tile
+    // grid passes where fusion needs two host-tile groups: fewer
+    // DRAM round trips and launches, identical arithmetic and
+    // identical communication volume.
+    const CostConstants costs;
+    const auto sys = makeDgxA100(4);
+    const auto pl = planNtt(26, sys, sizeof(Goldilocks));
+
+    UniNttConfig fused = UniNttConfig::allOn();
+    UniNttConfig unfused = fused;
+    unfused.fuseLocalPasses = false;
+
+    const auto sf = compileSchedule(pl, sys, NttDirection::Forward,
+                                    sizeof(Goldilocks), fused, costs);
+    const auto su = compileSchedule(pl, sys, NttDirection::Forward,
+                                    sizeof(Goldilocks), unfused, costs);
+
+    KernelStats kf, ku;
+    CommStats cf, cu;
+    for (const auto &st : sf.steps) {
+        kf += st.stats;
+        cf += st.comm;
+    }
+    for (const auto &st : su.steps) {
+        ku += st.stats;
+        cu += st.comm;
+    }
+    EXPECT_EQ(kf.butterflies, ku.butterflies);
+    EXPECT_EQ(kf.fieldMuls, ku.fieldMuls);
+    EXPECT_LT(kf.globalBytes(), ku.globalBytes());
+    EXPECT_LT(kf.kernelLaunches, ku.kernelLaunches);
+    EXPECT_EQ(cf.bytesPerGpu, cu.bytesPerGpu);
+    EXPECT_EQ(cf.messages, cu.messages);
+}
+
+TEST(ScheduleCacheTest, TileConfigIsPartOfTheKey)
+{
+    PlanCache::global().clear();
+    ScheduleCache::global().clear();
+    const auto sys = makeDgxA100(4);
+
+    UniNttConfig auto_tile = UniNttConfig::allOn();
+    UniNttConfig tile7 = auto_tile;
+    tile7.hostTileLog2 = 7;
+    UniNttConfig tile8 = auto_tile;
+    tile8.hostTileLog2 = 8;
+    UniNttConfig off = auto_tile;
+    off.fuseLocalPasses = false;
+
+    std::vector<std::shared_ptr<const StageSchedule>> scheds;
+    for (const auto &cfg : {auto_tile, tile7, tile8, off}) {
+        UniNttEngine<Goldilocks> engine(sys, cfg);
+        bool plan_hit = false, sched_hit = true;
+        scheds.push_back(engine.schedule(18, NttDirection::Forward, 1,
+                                         &plan_hit, &sched_hit));
+        // Tile configuration is part of the schedule key, so none of
+        // these compilations can be served from another's entry.
+        EXPECT_FALSE(sched_hit);
+    }
+    for (size_t i = 0; i < scheds.size(); ++i)
+        for (size_t j = i + 1; j < scheds.size(); ++j)
+            EXPECT_NE(scheds[i].get(), scheds[j].get())
+                << i << " vs " << j;
 }
 
 TEST(NaturalOrderOutput, GatherProducesTheNaturalOrderSpectrum)

@@ -408,7 +408,7 @@ TEST(EngineTiming, InverseCommunicatesAtTheEnd)
     auto inv = engine.analyticRun(20, NttDirection::Inverse);
     ASSERT_FALSE(fwd.phases().empty());
     EXPECT_NE(fwd.phases().front().name.find("mgpu"), std::string::npos);
-    EXPECT_NE(inv.phases().front().name.find("grid"), std::string::npos);
+    EXPECT_NE(inv.phases().front().name.find("pass"), std::string::npos);
 }
 
 } // namespace
