@@ -17,6 +17,13 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$JOBS"
 echo "==> chaos soak (checkpointed pipeline + resilient NTT)"
 "$BUILD_DIR"/src/tools/unintt-cli soak --campaigns 8 --small
 
+echo "==> service chaos soak (multi-tenant load + seeded device kills)"
+# Exits non-zero on silent corruption, unaccounted jobs, or a healthy
+# tenant's p99 blowing past 2x its fault-free baseline. The same gate
+# also runs as the service_soak_smoke ctest (including the sanitizer
+# tree, which covers the concurrency stress test too).
+"$BUILD_DIR"/src/tools/unintt-cli soak --service --small
+
 echo "==> schedule IR smoke (table + JSON + fused groups)"
 "$BUILD_DIR"/src/tools/unintt-cli schedule --log-n=20 --gpus=4 \
     | tee /tmp/ci_schedule.txt

@@ -1,0 +1,274 @@
+#include "service/loadgen.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <sstream>
+
+#include "util/checksum.hh"
+#include "util/logging.hh"
+#include "util/random.hh"
+#include "util/stats.hh"
+#include "util/table.hh"
+
+namespace unintt {
+
+std::vector<TenantProfile>
+LoadScenario::defaultTenants(unsigned logN)
+{
+    UNINTT_ASSERT(logN >= 8, "default tenant mix needs logN >= 8");
+    std::vector<TenantProfile> tenants(3);
+    tenants[0].name = "premium";
+    tenants[0].sla = SlaClass::Premium;
+    tenants[0].kind = JobKind::NttForward;
+    tenants[0].logN = logN;
+    tenants[0].weight = 1.0;
+    tenants[0].deadlineFactor = 64;
+    tenants[1].name = "standard";
+    tenants[1].sla = SlaClass::Standard;
+    tenants[1].kind = JobKind::NttInverse;
+    tenants[1].logN = logN;
+    tenants[1].weight = 1.5;
+    tenants[2].name = "bulk";
+    tenants[2].sla = SlaClass::Batch;
+    tenants[2].kind = JobKind::NttForward;
+    tenants[2].logN = logN - 2;
+    tenants[2].weight = 1.5;
+    tenants[2].seedPool = 2;
+    return tenants;
+}
+
+const TenantLoadStats *
+LoadResult::find(const std::string &name) const
+{
+    for (const auto &t : tenants)
+        if (t.name == name)
+            return &t;
+    return nullptr;
+}
+
+namespace {
+
+/** Seed base of tenant @p i's input-data pool. */
+uint64_t
+tenantSeedBase(uint64_t scenario_seed, size_t i)
+{
+    return mix64(scenario_seed ^ (0x51abful + i * 0x9e3779b97f4a7c15ULL));
+}
+
+JobSpec
+makeSpec(uint64_t id, size_t tenant, const TenantProfile &profile,
+         double estimate_seconds, Rng &rng)
+{
+    JobSpec spec;
+    spec.id = id;
+    spec.tenant = static_cast<unsigned>(tenant);
+    spec.sla = profile.sla;
+    spec.kind = profile.kind;
+    spec.logN = profile.logN;
+    spec.deadlineSeconds = profile.deadlineFactor > 0
+                               ? profile.deadlineFactor * estimate_seconds
+                               : 0;
+    const unsigned pool = profile.seedPool == 0 ? 1 : profile.seedPool;
+    spec.seed = tenantSeedBase(0, tenant) + rng.below(pool);
+    return spec;
+}
+
+LoadResult
+collectStats(ProvingService &service,
+             const std::vector<TenantProfile> &tenants)
+{
+    LoadResult res;
+    res.report = service.report();
+    res.corruptResults = service.corruptResults();
+    res.coalescedLaunches = service.coalescedLaunches();
+    res.totals = service.totals();
+
+    res.tenants.resize(tenants.size());
+    for (size_t i = 0; i < tenants.size(); ++i) {
+        res.tenants[i].name = tenants[i].name;
+        res.tenants[i].tenant = static_cast<unsigned>(i);
+        res.tenants[i].sla = tenants[i].sla;
+        auto it = service.tenantCounters().find(
+            static_cast<unsigned>(i));
+        if (it != service.tenantCounters().end())
+            res.tenants[i].counters = it->second;
+    }
+
+    res.outcomes = service.outcomes();
+    double last_finish = 0;
+    for (const JobOutcome &out : service.outcomes()) {
+        last_finish = std::max(last_finish, out.finish);
+        if (!out.status.ok())
+            continue;
+        res.completed++;
+        const double latency = out.latency();
+        res.allLatencies.push_back(latency);
+        if (out.tenant < res.tenants.size())
+            res.tenants[out.tenant].latencies.push_back(latency);
+    }
+    res.makespanSeconds = last_finish;
+    res.throughputRate =
+        last_finish > 0 ? static_cast<double>(res.completed) / last_finish
+                        : 0;
+    res.p50 = percentile(res.allLatencies, 50);
+    res.p95 = percentile(res.allLatencies, 95);
+    res.p99 = percentile(res.allLatencies, 99);
+    for (auto &t : res.tenants) {
+        t.p50 = percentile(t.latencies, 50);
+        t.p95 = percentile(t.latencies, 95);
+        t.p99 = percentile(t.latencies, 99);
+    }
+    return res;
+}
+
+} // namespace
+
+LoadResult
+runLoadScenario(const MultiGpuSystem &fleet, const ServiceConfig &cfg,
+                const LoadScenario &scenario, const ServiceChaos &chaos)
+{
+    const std::vector<TenantProfile> tenants =
+        scenario.tenants.empty()
+            ? LoadScenario::defaultTenants(12)
+            : scenario.tenants;
+
+    ProvingService service(fleet, cfg, chaos);
+
+    double weight_sum = 0;
+    std::vector<double> estimate(tenants.size());
+    for (size_t i = 0; i < tenants.size(); ++i) {
+        weight_sum += tenants[i].weight;
+        estimate[i] = service.estimateServiceSeconds(tenants[i].kind,
+                                                     tenants[i].logN);
+    }
+    UNINTT_ASSERT(weight_sum > 0, "tenant weights must be positive");
+
+    Rng rng(scenario.seed);
+    uint64_t next_id = 1;
+
+    if (!scenario.closedLoop) {
+        double mean_service = 0;
+        for (size_t i = 0; i < tenants.size(); ++i)
+            mean_service += tenants[i].weight / weight_sum * estimate[i];
+        const unsigned slots =
+            std::max(1u, fleet.numGpus / cfg.jobGpus);
+        const double capacity =
+            static_cast<double>(slots) / mean_service;
+        const double rate = scenario.offeredLoad * capacity;
+        UNINTT_ASSERT(rate > 0, "open loop needs a positive load");
+
+        double t = 0;
+        for (unsigned j = 0; j < scenario.jobsTarget; ++j) {
+            t += -std::log(1.0 - rng.uniform()) / rate;
+            double u = rng.uniform() * weight_sum;
+            size_t pick = 0;
+            for (; pick + 1 < tenants.size(); ++pick) {
+                if (u < tenants[pick].weight)
+                    break;
+                u -= tenants[pick].weight;
+            }
+            service.submit(makeSpec(next_id++, pick, tenants[pick],
+                                    estimate[pick], rng),
+                           t);
+        }
+        service.drain();
+
+        LoadResult res = collectStats(service, tenants);
+        res.offeredLoad = scenario.offeredLoad;
+        res.offeredRate = rate;
+        res.capacityRate = capacity;
+        return res;
+    }
+
+    // Closed loop: every completion (or rejection) re-arms its client
+    // after the think time, until the horizon.
+    using Arrival = std::pair<double, size_t>; // (time, tenant)
+    auto after = [](const Arrival &a, const Arrival &b) {
+        return a.first > b.first;
+    };
+    std::priority_queue<Arrival, std::vector<Arrival>, decltype(after)>
+        arrivals(after);
+    std::map<uint64_t, size_t> job_tenant;
+
+    service.setCompletionHook([&](const JobOutcome &out) {
+        auto it = job_tenant.find(out.id);
+        if (it == job_tenant.end())
+            return;
+        arrivals.emplace(out.finish + scenario.thinkSeconds, it->second);
+        job_tenant.erase(it);
+    });
+
+    for (size_t i = 0; i < tenants.size(); ++i)
+        for (unsigned c = 0; c < scenario.clientsPerTenant; ++c)
+            arrivals.emplace(rng.uniform() * scenario.thinkSeconds,
+                             i);
+
+    while (true) {
+        if (arrivals.empty()) {
+            // No client is ready to submit, but in-flight completions
+            // re-arm their clients through the hook: advance virtual
+            // time event by event until one does or the service
+            // drains.
+            if (service.idle() ||
+                !std::isfinite(service.nextEventTime()))
+                break;
+            service.runUntil(service.nextEventTime());
+            continue;
+        }
+        Arrival a = arrivals.top();
+        arrivals.pop();
+        if (a.first > scenario.durationSeconds)
+            continue; // this client chain ends
+        const size_t i = a.second;
+        JobSpec spec =
+            makeSpec(next_id++, i, tenants[i], estimate[i], rng);
+        job_tenant.emplace(spec.id, i);
+        Status st = service.submit(spec, std::max(a.first, service.now()));
+        if (!st.ok()) {
+            // Rejected: the client backs off half a service time and
+            // tries again.
+            job_tenant.erase(spec.id);
+            arrivals.emplace(service.now() + estimate[i] / 2, i);
+        }
+    }
+    service.setCompletionHook({});
+    service.drain();
+
+    LoadResult res = collectStats(service, tenants);
+    res.capacityRate = 0;
+    return res;
+}
+
+std::string
+formatLoadResult(const LoadResult &res)
+{
+    Table table({"tenant", "class", "submit", "admit", "shed", "quota",
+                 "done", "fail", "retry", "degr", "miss", "coal", "p50",
+                 "p95", "p99"});
+    auto row = [&](const std::string &name, const char *cls,
+                   const ServiceCounters &c, double p50, double p95,
+                   double p99) {
+        table.addRow({name, cls, fmtI(c.submitted), fmtI(c.admitted),
+                      fmtI(c.shed), fmtI(c.quotaRejected),
+                      fmtI(c.completed), fmtI(c.failed), fmtI(c.retried),
+                      fmtI(c.degraded), fmtI(c.deadlineMissed),
+                      fmtI(c.coalesced), formatSeconds(p50),
+                      formatSeconds(p95), formatSeconds(p99)});
+    };
+    for (const auto &t : res.tenants)
+        row(t.name, toString(t.sla), t.counters, t.p50, t.p95, t.p99);
+    table.addSeparator();
+    row("all", "-", res.totals, res.p50, res.p95, res.p99);
+
+    std::ostringstream os;
+    os << table.toString();
+    os << "completed " << res.completed << " jobs in "
+       << formatSeconds(res.makespanSeconds) << " simulated ("
+       << fmtF(res.throughputRate, 1) << " jobs/s, "
+       << res.coalescedLaunches << " coalesced launches, "
+       << res.corruptResults << " corrupt results)\n";
+    return os.str();
+}
+
+} // namespace unintt

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Load generators for the proving service: drive a tenant mix
+ * against one ProvingService instance in virtual time and collect
+ * per-tenant latency/throughput statistics.
+ *
+ * Two drive modes:
+ *
+ *  - open loop: Poisson arrivals at a fixed fraction of the fleet's
+ *    estimated capacity (the classic offered-load sweep of the
+ *    latency/throughput figures). Arrival times are independent of
+ *    completions, so queueing delay shows up honestly.
+ *  - closed loop: a fixed number of clients per tenant, each
+ *    submitting the next job when the previous one completes (plus
+ *    think time) — self-throttling, models interactive provers.
+ *
+ * Everything is seeded and runs in simulated time, so a scenario's
+ * percentiles are reproducible to the bit.
+ */
+
+#ifndef UNINTT_SERVICE_LOADGEN_HH
+#define UNINTT_SERVICE_LOADGEN_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "service/service.hh"
+#include "service/types.hh"
+#include "sim/multi_gpu.hh"
+
+namespace unintt {
+
+/** One tenant's traffic description. */
+struct TenantProfile
+{
+    std::string name = "tenant";
+    SlaClass sla = SlaClass::Standard;
+    JobKind kind = JobKind::NttForward;
+    unsigned logN = 12;
+    /** Share of the arrival stream (open loop). */
+    double weight = 1.0;
+    /**
+     * Per-job deadline as a multiple of the estimated service time;
+     * 0 disables the deadline.
+     */
+    double deadlineFactor = 0;
+    /** Distinct input seeds cycled through (bounds reference work). */
+    unsigned seedPool = 4;
+};
+
+/** A load scenario against one fleet. */
+struct LoadScenario
+{
+    /** false: open-loop Poisson arrivals; true: closed-loop clients. */
+    bool closedLoop = false;
+    /** Open loop: offered load as a fraction of estimated capacity. */
+    double offeredLoad = 0.5;
+    /** Open loop: arrivals to generate. */
+    unsigned jobsTarget = 300;
+    /** Closed loop: concurrent clients per tenant. */
+    unsigned clientsPerTenant = 2;
+    /** Closed loop: think time between a completion and the resubmit. */
+    double thinkSeconds = 0;
+    /** Closed loop: submission horizon in simulated seconds. */
+    double durationSeconds = 0.05;
+    uint64_t seed = 0x10adull;
+    /** Tenant mix; defaultTenants(logN) when empty. */
+    std::vector<TenantProfile> tenants;
+
+    /** Premium/standard/bulk mix the benches use. */
+    static std::vector<TenantProfile> defaultTenants(unsigned logN);
+};
+
+/** Latency and outcome statistics of one tenant. */
+struct TenantLoadStats
+{
+    std::string name;
+    unsigned tenant = 0;
+    SlaClass sla = SlaClass::Standard;
+    ServiceCounters counters;
+    /** End-to-end latencies of completed jobs, simulated seconds. */
+    std::vector<double> latencies;
+    double p50 = 0, p95 = 0, p99 = 0;
+};
+
+/** Result of one scenario run. */
+struct LoadResult
+{
+    /** Offered fraction of capacity (open loop; 0 for closed). */
+    double offeredLoad = 0;
+    /** Offered arrival rate, jobs per simulated second. */
+    double offeredRate = 0;
+    /** Estimated fleet capacity, jobs per simulated second. */
+    double capacityRate = 0;
+    /** Last completion time, simulated seconds. */
+    double makespanSeconds = 0;
+    uint64_t completed = 0;
+    /** Completions per simulated second. */
+    double throughputRate = 0;
+    /** Results whose checksum disagreed with the reference (MUST be 0). */
+    uint64_t corruptResults = 0;
+    uint64_t coalescedLaunches = 0;
+    std::vector<TenantLoadStats> tenants;
+    std::vector<double> allLatencies;
+    double p50 = 0, p95 = 0, p99 = 0;
+    ServiceCounters totals;
+    SimReport report;
+    /** Terminal outcome of every admitted job, in completion order. */
+    std::vector<JobOutcome> outcomes;
+
+    /** Stats of the tenant named @p name (nullptr when absent). */
+    const TenantLoadStats *find(const std::string &name) const;
+};
+
+/** Run @p scenario against a fresh service on @p fleet. */
+LoadResult runLoadScenario(const MultiGpuSystem &fleet,
+                           const ServiceConfig &cfg,
+                           const LoadScenario &scenario,
+                           const ServiceChaos &chaos = ServiceChaos{});
+
+/** Per-tenant outcome/latency table ("soak"/"serve" output). */
+std::string formatLoadResult(const LoadResult &result);
+
+} // namespace unintt
+
+#endif // UNINTT_SERVICE_LOADGEN_HH

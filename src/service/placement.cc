@@ -1,0 +1,94 @@
+#include "service/placement.hh"
+
+#include <algorithm>
+
+#include "util/bitops.hh"
+#include "util/logging.hh"
+
+namespace unintt {
+
+namespace {
+
+/** Scheduling preference of a health state (lower is better). */
+unsigned
+healthRank(DeviceHealth state)
+{
+    switch (state) {
+      case DeviceHealth::Healthy:
+        return 0;
+      case DeviceHealth::Suspect:
+        return 1;
+      case DeviceHealth::Probation:
+        return 2;
+      case DeviceHealth::Quarantined:
+        return 3;
+    }
+    return 3;
+}
+
+/** Largest power of two <= n (0 for 0). */
+unsigned
+pow2Floor(unsigned n)
+{
+    unsigned p = 1;
+    while (2 * p <= n)
+        p *= 2;
+    return n == 0 ? 0 : p;
+}
+
+} // namespace
+
+PlacementPolicy::PlacementPolicy(unsigned fleet_gpus)
+    : fleetGpus_(fleet_gpus)
+{
+    UNINTT_ASSERT(fleet_gpus > 0, "fleet needs at least one GPU");
+}
+
+unsigned
+PlacementPolicy::idleUsable(const DeviceHealthTracker &health,
+                            const std::vector<bool> &busy) const
+{
+    UNINTT_ASSERT(busy.size() == fleetGpus_, "busy set size mismatch");
+    unsigned n = 0;
+    for (unsigned d = 0; d < fleetGpus_; ++d)
+        if (!busy[d] && health.usable(d))
+            ++n;
+    return n;
+}
+
+PlacementDecision
+PlacementPolicy::place(const DeviceHealthTracker &health,
+                       const std::vector<bool> &busy,
+                       unsigned preferred_gpus) const
+{
+    UNINTT_ASSERT(busy.size() == fleetGpus_, "busy set size mismatch");
+    UNINTT_ASSERT(preferred_gpus > 0 && isPow2(preferred_gpus),
+                  "jobs request a power-of-two GPU count");
+
+    std::vector<unsigned> candidates;
+    for (unsigned d = 0; d < fleetGpus_; ++d)
+        if (!busy[d] && health.usable(d))
+            candidates.push_back(d);
+
+    PlacementDecision out;
+    if (candidates.empty())
+        return out;
+
+    // Cleanest history first; ties resolve by device id so the choice
+    // is deterministic.
+    std::stable_sort(candidates.begin(), candidates.end(),
+                     [&](unsigned a, unsigned b) {
+                         const unsigned ra = healthRank(health.state(a));
+                         const unsigned rb = healthRank(health.state(b));
+                         return ra != rb ? ra < rb : a < b;
+                     });
+
+    unsigned take = std::min(
+        preferred_gpus, pow2Floor(static_cast<unsigned>(candidates.size())));
+    out.devices.assign(candidates.begin(), candidates.begin() + take);
+    std::sort(out.devices.begin(), out.devices.end());
+    out.degraded = take < preferred_gpus;
+    return out;
+}
+
+} // namespace unintt

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Fleet placement for the proving service: pick the power-of-two
+ * subset of idle devices a job (or coalesced batch) runs on.
+ *
+ * Placement consults the fleet-level DeviceHealthTracker — the
+ * circuit breaker fed by every run's fault attribution — so
+ * quarantined or lost devices never enter a plan, and prefers devices
+ * with the cleanest recent history: Healthy before Suspect before
+ * Probation (probation devices do get scheduled; that is how they
+ * earn re-admission). When fewer idle usable devices exist than the
+ * job requested, placement degrades to the largest power-of-two
+ * subset that fits rather than failing the job.
+ */
+
+#ifndef UNINTT_SERVICE_PLACEMENT_HH
+#define UNINTT_SERVICE_PLACEMENT_HH
+
+#include <vector>
+
+#include "unintt/health.hh"
+
+namespace unintt {
+
+/** Devices chosen for one launch. */
+struct PlacementDecision
+{
+    /** Fleet device ids, ascending; empty = nothing can run now. */
+    std::vector<unsigned> devices;
+    /** Fewer devices than the job requested. */
+    bool degraded = false;
+};
+
+/**
+ * Stateless placement policy over a fixed fleet. The caller owns the
+ * busy set (devices currently running a job) and the health tracker.
+ */
+class PlacementPolicy
+{
+  public:
+    explicit PlacementPolicy(unsigned fleet_gpus);
+
+    /**
+     * Choose up to @p preferred_gpus devices (power of two) that are
+     * idle per @p busy and usable per @p health, best health first.
+     * Returns an empty decision when no usable device is idle.
+     */
+    PlacementDecision place(const DeviceHealthTracker &health,
+                            const std::vector<bool> &busy,
+                            unsigned preferred_gpus) const;
+
+    /** Idle *and* usable device count (placement headroom). */
+    unsigned idleUsable(const DeviceHealthTracker &health,
+                        const std::vector<bool> &busy) const;
+
+  private:
+    unsigned fleetGpus_;
+};
+
+} // namespace unintt
+
+#endif // UNINTT_SERVICE_PLACEMENT_HH

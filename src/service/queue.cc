@@ -1,0 +1,170 @@
+#include "service/queue.hh"
+
+#include <string>
+
+#include "util/logging.hh"
+
+namespace unintt {
+
+AdmissionQueue::AdmissionQueue(const ServiceConfig &cfg)
+    : cfg_(cfg)
+{
+    UNINTT_ASSERT(cfg_.queueCapacity > 0, "queue capacity must be > 0");
+    for (unsigned c = 0; c < kNumSlaClasses; ++c)
+        UNINTT_ASSERT(cfg_.shedFraction[c] > 0.0 &&
+                          cfg_.shedFraction[c] <= 1.0,
+                      "shed fractions must be in (0, 1]");
+}
+
+bool
+AdmissionQueue::shedAt(SlaClass sla) const
+{
+    const double threshold =
+        cfg_.shedFraction[static_cast<unsigned>(sla)] *
+        static_cast<double>(cfg_.queueCapacity);
+    return static_cast<double>(size_) >= threshold;
+}
+
+Status
+AdmissionQueue::admit(const QueuedJob &job)
+{
+    if (shedAt(job.sla))
+        return Status::error(
+            StatusCode::Overloaded,
+            "queue depth " + std::to_string(size_) + "/" +
+                std::to_string(cfg_.queueCapacity) + " sheds class " +
+                toString(job.sla));
+    if (queuedOf(job.tenant) >= cfg_.quota.maxQueued)
+        return Status::error(
+            StatusCode::QuotaExceeded,
+            "tenant " + std::to_string(job.tenant) + " already has " +
+                std::to_string(queuedOf(job.tenant)) +
+                " jobs queued (quota " +
+                std::to_string(cfg_.quota.maxQueued) + ")");
+    byClass_[static_cast<unsigned>(job.sla)].push_back(job);
+    pushed(job);
+    return Status();
+}
+
+void
+AdmissionQueue::requeue(const QueuedJob &job)
+{
+    byClass_[static_cast<unsigned>(job.sla)].push_back(job);
+    pushed(job);
+}
+
+void
+AdmissionQueue::pushFront(const QueuedJob &job)
+{
+    byClass_[static_cast<unsigned>(job.sla)].push_front(job);
+    pushed(job);
+}
+
+void
+AdmissionQueue::pushed(const QueuedJob &job)
+{
+    queuedPerTenant_[job.tenant]++;
+    size_++;
+}
+
+void
+AdmissionQueue::popped(const QueuedJob &job)
+{
+    auto it = queuedPerTenant_.find(job.tenant);
+    UNINTT_ASSERT(it != queuedPerTenant_.end() && it->second > 0,
+                  "tenant queue accounting underflow");
+    it->second--;
+    size_--;
+}
+
+std::optional<QueuedJob>
+AdmissionQueue::popRunnable(double now, const Eligible &eligible)
+{
+    for (unsigned c = kNumSlaClasses; c-- > 0;) {
+        auto &fifo = byClass_[c];
+        for (auto it = fifo.begin(); it != fifo.end(); ++it) {
+            if (it->readyAt > now || it->deadlineAt <= now)
+                continue;
+            if (eligible && !eligible(*it))
+                continue;
+            QueuedJob job = *it;
+            fifo.erase(it);
+            popped(job);
+            return job;
+        }
+    }
+    return std::nullopt;
+}
+
+std::vector<QueuedJob>
+AdmissionQueue::popMatching(JobKind kind, unsigned logN, double now,
+                            unsigned max, const Eligible &eligible)
+{
+    std::vector<QueuedJob> out;
+    for (unsigned c = kNumSlaClasses; c-- > 0 && out.size() < max;) {
+        auto &fifo = byClass_[c];
+        for (auto it = fifo.begin();
+             it != fifo.end() && out.size() < max;) {
+            if (it->kind != kind || it->logN != logN ||
+                it->readyAt > now || it->deadlineAt <= now ||
+                (eligible && !eligible(*it))) {
+                ++it;
+                continue;
+            }
+            out.push_back(*it);
+            popped(*it);
+            it = fifo.erase(it);
+        }
+    }
+    return out;
+}
+
+bool
+AdmissionQueue::erase(uint64_t id)
+{
+    for (auto &fifo : byClass_) {
+        for (auto it = fifo.begin(); it != fifo.end(); ++it) {
+            if (it->id != id)
+                continue;
+            popped(*it);
+            fifo.erase(it);
+            return true;
+        }
+    }
+    return false;
+}
+
+std::optional<QueuedJob>
+AdmissionQueue::popAny()
+{
+    for (unsigned c = kNumSlaClasses; c-- > 0;) {
+        auto &fifo = byClass_[c];
+        if (fifo.empty())
+            continue;
+        QueuedJob job = fifo.front();
+        fifo.pop_front();
+        popped(job);
+        return job;
+    }
+    return std::nullopt;
+}
+
+unsigned
+AdmissionQueue::queuedOf(unsigned tenant) const
+{
+    auto it = queuedPerTenant_.find(tenant);
+    return it == queuedPerTenant_.end() ? 0 : it->second;
+}
+
+double
+AdmissionQueue::nextReadyAfter(double now) const
+{
+    double best = ServiceConfig::kNoDeadline;
+    for (const auto &fifo : byClass_)
+        for (const auto &job : fifo)
+            if (job.readyAt > now && job.readyAt < best)
+                best = job.readyAt;
+    return best;
+}
+
+} // namespace unintt

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Bounded admission queue of the proving service.
+ *
+ * Admission is where overload becomes a first-class, reported outcome
+ * instead of a silent drop: every rejection is a Status (Overloaded
+ * for load shedding, QuotaExceeded for per-tenant limits) that the
+ * service counts and returns to the caller. Inside the queue, jobs
+ * wait in per-class FIFOs; the scheduler pops the highest class first,
+ * FIFO within a class, skipping jobs whose retry backoff has not
+ * elapsed or whose tenant is at its in-flight quota.
+ *
+ * Load shedding is class-aware: a Batch job is rejected once the
+ * queue is half full, Standard at 80%, Premium only by a literally
+ * full queue — under overload the queue keeps absorbing the traffic
+ * whose latency promises matter most.
+ */
+
+#ifndef UNINTT_SERVICE_QUEUE_HH
+#define UNINTT_SERVICE_QUEUE_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "service/types.hh"
+#include "util/status.hh"
+
+namespace unintt {
+
+/** A job waiting for placement. */
+struct QueuedJob
+{
+    uint64_t id = 0;
+    unsigned tenant = 0;
+    SlaClass sla = SlaClass::Standard;
+    JobKind kind = JobKind::NttForward;
+    unsigned logN = 0;
+    /** Earliest start time (future while a retry backoff runs). */
+    double readyAt = 0;
+    /** Absolute deadline (infinity when none). */
+    double deadlineAt = ServiceConfig::kNoDeadline;
+};
+
+/**
+ * Bounded, class-aware admission queue. Not thread-safe: it belongs
+ * to the service's (serial) discrete-event loop.
+ */
+class AdmissionQueue
+{
+  public:
+    /** Predicate deciding whether a queued job may start right now. */
+    using Eligible = std::function<bool(const QueuedJob &)>;
+
+    AdmissionQueue(const ServiceConfig &cfg);
+
+    /**
+     * Admit @p job or reject it with a recoverable Status:
+     * Overloaded when the job's class has been shed, QuotaExceeded
+     * when the tenant is over its queued-jobs quota.
+     */
+    Status admit(const QueuedJob &job);
+
+    /**
+     * Re-queue an already admitted job (retry after backoff).
+     * Bypasses shedding — the job's admission was already granted —
+     * and goes to the back of its class FIFO.
+     */
+    void requeue(const QueuedJob &job);
+
+    /**
+     * Return a popped job to the front of its class FIFO (placement
+     * backpressure: no devices were free).
+     */
+    void pushFront(const QueuedJob &job);
+
+    /**
+     * Pop the best runnable job: highest class first, FIFO within a
+     * class, skipping jobs with readyAt > now, deadlineAt <= now, or
+     * for which @p eligible returns false.
+     */
+    std::optional<QueuedJob> popRunnable(double now,
+                                         const Eligible &eligible);
+
+    /**
+     * Pop up to @p max additional runnable jobs matching (kind, logN)
+     * across all classes — the candidates for one coalesced batched
+     * launch. Same runnability rules as popRunnable.
+     */
+    std::vector<QueuedJob> popMatching(JobKind kind, unsigned logN,
+                                       double now, unsigned max,
+                                       const Eligible &eligible);
+
+    /** Remove a queued job by id (deadline cancellation). */
+    bool erase(uint64_t id);
+
+    /**
+     * Pop any queued job regardless of runnability, highest class
+     * first (used to fail out the backlog when the fleet is gone).
+     */
+    std::optional<QueuedJob> popAny();
+
+    /** Jobs currently queued. */
+    size_t size() const { return size_; }
+
+    bool empty() const { return size_ == 0; }
+
+    /** Jobs tenant @p tenant has queued. */
+    unsigned queuedOf(unsigned tenant) const;
+
+    /** Earliest readyAt strictly greater than @p now (or infinity). */
+    double nextReadyAfter(double now) const;
+
+  private:
+    /** True iff a class-@p sla job would be shed at the current depth. */
+    bool shedAt(SlaClass sla) const;
+
+    void pushed(const QueuedJob &job);
+    void popped(const QueuedJob &job);
+
+    ServiceConfig cfg_;
+    /** One FIFO per class, indexed by SlaClass value. */
+    std::deque<QueuedJob> byClass_[kNumSlaClasses];
+    std::map<unsigned, unsigned> queuedPerTenant_;
+    size_t size_ = 0;
+};
+
+} // namespace unintt
+
+#endif // UNINTT_SERVICE_QUEUE_HH

@@ -1,0 +1,33 @@
+#include "service/types.hh"
+
+namespace unintt {
+
+const char *
+toString(JobKind kind)
+{
+    switch (kind) {
+      case JobKind::NttForward:
+        return "forward-ntt";
+      case JobKind::NttInverse:
+        return "inverse-ntt";
+      case JobKind::Proof:
+        return "proof";
+    }
+    return "?";
+}
+
+const char *
+toString(SlaClass sla)
+{
+    switch (sla) {
+      case SlaClass::Batch:
+        return "batch";
+      case SlaClass::Standard:
+        return "standard";
+      case SlaClass::Premium:
+        return "premium";
+    }
+    return "?";
+}
+
+} // namespace unintt

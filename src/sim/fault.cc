@@ -1,8 +1,23 @@
 #include "sim/fault.hh"
 
+#include "util/checksum.hh"
 #include "util/logging.hh"
 
 namespace unintt {
+
+double
+RetryPolicy::backoffSeconds(unsigned attempt, uint64_t salt) const
+{
+    const double capped = backoffSeconds(attempt);
+    if (jitterFraction <= 0.0)
+        return capped;
+    // Deterministic uniform draw in [0, 1) from (salt, attempt): the
+    // same job replays the same jitter, different jobs decorrelate.
+    const uint64_t h = mix64(salt ^ mix64(attempt + 1));
+    const double u =
+        static_cast<double>(h >> 11) * 0x1.0p-53; // [0, 1)
+    return capped * (1.0 - jitterFraction / 2.0 + jitterFraction * u);
+}
 
 bool
 FaultModel::anyEnabled() const

@@ -47,13 +47,41 @@ struct RetryPolicy
     unsigned maxRetries = 4;
     /** Backoff before the first retransmission; doubles per attempt. */
     double backoffBaseSeconds = 100e-6;
+    /**
+     * Ceiling of the exponential doubling: no single backoff delay
+     * exceeds this, however many attempts have failed. Without a cap
+     * the doubling alone can exceed any job deadline a service layer
+     * promises, so the cap — not the attempt count — is what bounds
+     * the worst-case recovery latency of one exchange.
+     */
+    double backoffMaxSeconds = 10e-3;
+    /**
+     * Jitter spread as a fraction of the capped delay: the delay is
+     * scaled by a factor drawn uniformly from
+     * [1 - jitterFraction/2, 1 + jitterFraction/2], derived
+     * deterministically from @p salt so a seeded run replays exactly.
+     * 0 (the default) keeps the classic deterministic doubling; a
+     * service retrying many jobs against the same contended fleet sets
+     * it to decorrelate their retry storms.
+     */
+    double jitterFraction = 0.0;
 
-    /** Backoff delay preceding retransmission number @p attempt. */
+    /** Backoff delay preceding retransmission number @p attempt,
+     * capped at backoffMaxSeconds (jitter-free form). */
     double
     backoffSeconds(unsigned attempt) const
     {
-        return backoffBaseSeconds * static_cast<double>(1u << attempt);
+        // Clamp the exponent before shifting: past ~2^40 the cap has
+        // long since won, and a shift by >= 63 would be undefined.
+        const unsigned exp = attempt < 40 ? attempt : 40;
+        const double raw =
+            backoffBaseSeconds * static_cast<double>(1ULL << exp);
+        return raw < backoffMaxSeconds ? raw : backoffMaxSeconds;
     }
+
+    /** Capped backoff with deterministic jitter: @p salt (e.g. a job
+     * id) decorrelates concurrent retry sequences. */
+    double backoffSeconds(unsigned attempt, uint64_t salt) const;
 };
 
 /** Description of an unreliable machine. All rates default to zero. */

@@ -90,6 +90,42 @@ SimReport::totalCommStats() const
     return total;
 }
 
+bool
+ServiceCounters::any() const
+{
+    return submitted || admitted || shed || quotaRejected || completed ||
+           failed || retried || degraded || deadlineMissed || coalesced;
+}
+
+ServiceCounters &
+ServiceCounters::operator+=(const ServiceCounters &o)
+{
+    submitted += o.submitted;
+    admitted += o.admitted;
+    shed += o.shed;
+    quotaRejected += o.quotaRejected;
+    completed += o.completed;
+    failed += o.failed;
+    retried += o.retried;
+    degraded += o.degraded;
+    deadlineMissed += o.deadlineMissed;
+    coalesced += o.coalesced;
+    return *this;
+}
+
+void
+SimReport::addServiceCounters(const std::string &tenant,
+                              const ServiceCounters &c)
+{
+    for (auto &row : service_) {
+        if (row.first == tenant) {
+            row.second += c;
+            return;
+        }
+    }
+    service_.emplace_back(tenant, c);
+}
+
 void
 SimReport::append(const SimReport &other)
 {
@@ -98,6 +134,8 @@ SimReport::append(const SimReport &other)
     setPeakDeviceBytes(other.peakDeviceBytes());
     faults_ += other.faults_;
     hostExec_ += other.hostExec_;
+    for (const auto &row : other.service_)
+        addServiceCounters(row.first, row.second);
 }
 
 std::string
@@ -137,6 +175,20 @@ SimReport::toString() const
            << faults_.devicesExcluded << " health-excluded), "
            << faults_.spotChecks << " spot checks ("
            << faults_.spotCheckFailures << " failed)\n";
+    }
+    for (const auto &row : service_) {
+        if (!row.second.any())
+            continue;
+        const ServiceCounters &c = row.second;
+        os << "service";
+        if (!row.first.empty())
+            os << "[" << row.first << "]";
+        os << ": " << c.submitted << " submitted, " << c.admitted
+           << " admitted (" << c.shed << " shed, " << c.quotaRejected
+           << " quota-rejected), " << c.completed << " completed, "
+           << c.failed << " failed, " << c.retried << " retried, "
+           << c.degraded << " degraded, " << c.deadlineMissed
+           << " deadline-missed, " << c.coalesced << " coalesced\n";
     }
     return os.str();
 }

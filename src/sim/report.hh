@@ -92,6 +92,42 @@ struct HostExecStats
     }
 };
 
+/**
+ * Multi-tenant service outcome counters for one tenant (or the
+ * aggregate): how admission, scheduling and the deadline watchdog
+ * treated the tenant's jobs. Produced by the proving service
+ * (src/service/) and surfaced through SimReport so service runs report
+ * through the same channel as engine runs.
+ */
+struct ServiceCounters
+{
+    uint64_t submitted = 0;
+    /** Jobs accepted into the queue. */
+    uint64_t admitted = 0;
+    /** Jobs rejected by load shedding (queue at capacity). */
+    uint64_t shed = 0;
+    /** Jobs rejected by the tenant's admission quota. */
+    uint64_t quotaRejected = 0;
+    /** Jobs that completed with an OK status inside their deadline. */
+    uint64_t completed = 0;
+    /** Jobs that failed cleanly (non-OK status, not deadline). */
+    uint64_t failed = 0;
+    /** Service-level retry attempts (capped backoff + jitter). */
+    uint64_t retried = 0;
+    /** Jobs run (or re-run) on a smaller GPU placement. */
+    uint64_t degraded = 0;
+    /** Jobs cancelled by the deadline watchdog. */
+    uint64_t deadlineMissed = 0;
+    /** Jobs whose transform rode a coalesced batched launch. */
+    uint64_t coalesced = 0;
+
+    /** True iff any counter is nonzero. */
+    bool any() const;
+
+    /** Accumulate another tenant's (or run's) counters. */
+    ServiceCounters &operator+=(const ServiceCounters &o);
+};
+
 /** Accumulated timeline and counters of one simulated run. */
 class SimReport
 {
@@ -143,6 +179,21 @@ class SimReport
     /** Host-side execution facts (zero when never recorded). */
     const HostExecStats &hostExecStats() const { return hostExec_; }
 
+    /**
+     * Merge service outcome counters attributed to @p tenant ("" for
+     * the aggregate row). Rows merge by tenant label, so appending
+     * reports sums per-tenant counters.
+     */
+    void addServiceCounters(const std::string &tenant,
+                            const ServiceCounters &c);
+
+    /** Per-tenant service counters, in first-seen order. */
+    const std::vector<std::pair<std::string, ServiceCounters>> &
+    serviceCounters() const
+    {
+        return service_;
+    }
+
     /** Record the per-GPU peak device-memory footprint. */
     void
     setPeakDeviceBytes(uint64_t bytes)
@@ -161,6 +212,7 @@ class SimReport
     uint64_t peakDeviceBytes_ = 0;
     FaultStats faults_;
     HostExecStats hostExec_;
+    std::vector<std::pair<std::string, ServiceCounters>> service_;
 };
 
 } // namespace unintt

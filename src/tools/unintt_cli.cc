@@ -23,6 +23,8 @@
 #include <vector>
 
 #include "baselines/fourstep_multigpu.hh"
+#include "service/loadgen.hh"
+#include "service/service.hh"
 #include "field/babybear.hh"
 #include "field/bn254.hh"
 #include "field/goldilocks.hh"
@@ -393,6 +395,235 @@ cmdStark(int argc, char **argv)
     return ok ? 0 : 1;
 }
 
+/**
+ * The tenant mix the service subcommands drive: the bench default
+ * (premium/standard/bulk NTTs) plus an optional checkpointed-proof
+ * tenant.
+ */
+std::vector<TenantProfile>
+serviceTenants(unsigned logN, bool proofs)
+{
+    std::vector<TenantProfile> tenants =
+        LoadScenario::defaultTenants(logN);
+    if (proofs) {
+        TenantProfile prover;
+        prover.name = "prover";
+        prover.sla = SlaClass::Standard;
+        prover.kind = JobKind::Proof;
+        prover.logN = 6;
+        prover.weight = 0.25;
+        prover.seedPool = 1;
+        tenants.push_back(prover);
+    }
+    return tenants;
+}
+
+/**
+ * Fabric faults + device kills, armed at @p kill_at seconds. The kill
+ * count scales with the fleet so the surviving capacity still exceeds
+ * the offered load (otherwise the queue is unstable by construction
+ * and no scheduler could hold any SLA).
+ */
+ServiceChaos
+serviceChaos(unsigned gpus, double kill_at)
+{
+    ServiceChaos chaos;
+    chaos.transientRate = 0.01;
+    chaos.bitFlipRate = 0.005;
+    chaos.stragglerRate = 0.01;
+    chaos.stragglerSlowdown = 2.0;
+    chaos.stageFailRate = 0.05;
+    chaos.roundFailRate = 0.02;
+    chaos.killDevices = gpus >= 8 ? std::vector<unsigned>{1, gpus - 1}
+                                  : std::vector<unsigned>{1};
+    chaos.killAtSeconds = kill_at;
+    return chaos;
+}
+
+/**
+ * Chaos soak of the *service* layer: the same seeded load scenario
+ * runs fault-free and under chaos; every completed result must match
+ * its fault-free reference, every loss must surface as a Status, and
+ * the healthy premium tenant's p99 must stay within 2x of the clean
+ * run.
+ */
+int
+runServiceSoak(const CliParser &cli)
+{
+    unsigned gpus = static_cast<unsigned>(cli.getInt("gpus"));
+    unsigned logN = static_cast<unsigned>(cli.getInt("log-n"));
+    unsigned jobs = 400;
+    if (cli.getBool("small")) {
+        // Keep the 8-GPU slot structure: a 2-slot fleet cannot absorb
+        // a device kill without head-of-line blocking every class.
+        logN = 10;
+        jobs = 150;
+    }
+    const uint64_t seed = static_cast<uint64_t>(cli.getInt("seed"));
+
+    MultiGpuSystem fleet = makeDgxA100(gpus);
+    ServiceConfig cfg;
+    cfg.jobGpus = 2;
+    cfg.seed = seed;
+    // Both runs use the hardened executor so the p99 ratio measures
+    // the injected faults, not a plain-vs-resilient overhead delta.
+    cfg.hardenedOnly = true;
+
+    LoadScenario scn;
+    scn.offeredLoad = 0.5;
+    scn.jobsTarget = jobs;
+    scn.seed = seed;
+    scn.tenants = serviceTenants(logN, /*proofs=*/true);
+
+    std::printf("service soak: %u jobs at %.0f%% load on %u GPUs, "
+                "seed 0x%llx\n\nfault-free:\n",
+                jobs, scn.offeredLoad * 100, gpus,
+                static_cast<unsigned long long>(seed));
+    LoadResult clean = runLoadScenario(fleet, cfg, scn);
+    std::printf("%s\n", formatLoadResult(clean).c_str());
+
+    const ServiceChaos chaos =
+        serviceChaos(gpus, clean.makespanSeconds * 0.3);
+    std::printf("under chaos (fabric faults + %zu device kill(s) + "
+                "proof interruptions):\n",
+                chaos.killDevices.size());
+    LoadResult faulty = runLoadScenario(fleet, cfg, scn, chaos);
+    std::printf("%s\n", formatLoadResult(faulty).c_str());
+    std::printf("%s\n", faulty.report.toString().c_str());
+
+    int failures = 0;
+    if (clean.corruptResults != 0 || faulty.corruptResults != 0) {
+        std::fprintf(stderr,
+                     "FAIL: %llu corrupt result(s) reported as OK\n",
+                     static_cast<unsigned long long>(
+                         clean.corruptResults + faulty.corruptResults));
+        failures++;
+    }
+    for (const LoadResult *r : {&clean, &faulty}) {
+        const ServiceCounters &c = r->totals;
+        if (c.submitted !=
+            c.admitted + c.shed + c.quotaRejected) {
+            std::fprintf(stderr, "FAIL: admission accounting leak\n");
+            failures++;
+        }
+        if (c.admitted !=
+            c.completed + c.failed + c.deadlineMissed) {
+            std::fprintf(stderr,
+                         "FAIL: %llu admitted job(s) vanished without "
+                         "an outcome\n",
+                         static_cast<unsigned long long>(
+                             c.admitted - c.completed - c.failed -
+                             c.deadlineMissed));
+            failures++;
+        }
+    }
+    // The slowest premium jobs under chaos, with what happened to
+    // them — makes an SLA breach diagnosable from the soak log.
+    {
+        std::vector<const JobOutcome *> prem;
+        for (const JobOutcome &out : faulty.outcomes)
+            if (out.tenant == 0 && out.status.ok())
+                prem.push_back(&out);
+        std::sort(prem.begin(), prem.end(),
+                  [](const JobOutcome *a, const JobOutcome *b) {
+                      return a->latency() > b->latency();
+                  });
+        std::printf("slowest premium jobs under chaos:\n");
+        for (size_t i = 0; i < prem.size() && i < 4; ++i) {
+            const JobOutcome &o = *prem[i];
+            std::printf("  job%llu: latency %s (queued %s), "
+                        "%u attempt(s)%s%s\n",
+                        static_cast<unsigned long long>(o.id),
+                        formatSeconds(o.latency()).c_str(),
+                        formatSeconds(o.started - o.arrival).c_str(),
+                        o.attempts, o.degraded ? ", degraded" : "",
+                        o.coalesced ? ", coalesced" : "");
+        }
+    }
+
+    const TenantLoadStats *clean_prem = clean.find("premium");
+    const TenantLoadStats *faulty_prem = faulty.find("premium");
+    if (clean_prem && faulty_prem && clean_prem->p99 > 0 &&
+        faulty_prem->p99 > 2.0 * clean_prem->p99) {
+        std::fprintf(stderr,
+                     "FAIL: premium p99 under chaos (%s) exceeds 2x "
+                     "the fault-free p99 (%s)\n",
+                     formatSeconds(faulty_prem->p99).c_str(),
+                     formatSeconds(clean_prem->p99).c_str());
+        failures++;
+    }
+    if (failures != 0)
+        return 1;
+    std::printf("OK: zero silent corruption, every job accounted, "
+                "premium p99 within 2x of fault-free\n");
+    return 0;
+}
+
+int
+cmdServe(int argc, char **argv)
+{
+    CliParser cli("run the multi-tenant proving service under a "
+                  "seeded load scenario");
+    cli.addInt("log-n", 12, "log2 transform size of the tenant mix");
+    cli.addInt("job-gpus", 2, "GPUs each job requests (power of two)");
+    cli.addInt("jobs", 400, "open loop: arrivals to generate");
+    cli.addInt("offered", 60,
+               "open loop: offered load, percent of estimated capacity");
+    cli.addBool("closed", false,
+                "closed-loop clients instead of Poisson arrivals");
+    cli.addInt("clients", 2, "closed loop: clients per tenant");
+    cli.addInt("duration-us", 2000,
+               "closed loop: submission horizon, simulated us");
+    cli.addBool("proofs", false, "add a checkpointed-proof tenant");
+    cli.addBool("chaos", false,
+                "inject fabric faults and kill two devices mid-run");
+    cli.addInt("seed", 0x5e41ce, "scenario seed");
+    addCommonFlags(cli);
+    cli.parse(argc, argv);
+
+    MultiGpuSystem fleet = systemFromFlags(cli);
+    ServiceConfig cfg;
+    cfg.jobGpus = static_cast<unsigned>(cli.getInt("job-gpus"));
+    cfg.seed = static_cast<uint64_t>(cli.getInt("seed"));
+
+    LoadScenario scn;
+    scn.seed = cfg.seed;
+    scn.closedLoop = cli.getBool("closed");
+    scn.offeredLoad =
+        static_cast<double>(cli.getInt("offered")) / 100.0;
+    scn.jobsTarget = static_cast<unsigned>(cli.getInt("jobs"));
+    scn.clientsPerTenant = static_cast<unsigned>(cli.getInt("clients"));
+    scn.durationSeconds =
+        static_cast<double>(cli.getInt("duration-us")) * 1e-6;
+    scn.tenants = serviceTenants(
+        static_cast<unsigned>(cli.getInt("log-n")),
+        cli.getBool("proofs"));
+
+    ServiceChaos chaos;
+    if (cli.getBool("chaos")) {
+        // Approximate the makespan to arm the kills a third in.
+        ProvingService probe(fleet, cfg);
+        const double est = probe.estimateServiceSeconds(
+            JobKind::NttForward,
+            static_cast<unsigned>(cli.getInt("log-n")));
+        const unsigned slots =
+            std::max(1u, fleet.numGpus / cfg.jobGpus);
+        const double makespan = static_cast<double>(scn.jobsTarget) *
+                                est /
+                                (scn.offeredLoad *
+                                 static_cast<double>(slots));
+        chaos = serviceChaos(fleet.numGpus, makespan * 0.3);
+    }
+
+    std::printf("%s, %zu tenants, %s load\n\n",
+                fleet.description().c_str(), scn.tenants.size(),
+                scn.closedLoop ? "closed-loop" : "open-loop");
+    LoadResult res = runLoadScenario(fleet, cfg, scn, chaos);
+    std::printf("%s\n", formatLoadResult(res).c_str());
+    std::printf("%s", res.report.toString().c_str());
+    return res.corruptResults == 0 ? 0 : 1;
+}
+
 int
 cmdSoak(int argc, char **argv)
 {
@@ -406,7 +637,13 @@ cmdSoak(int argc, char **argv)
     cli.addBool("small", false,
                 "shrink the workload for CI (log-trace=6, log-n=10, "
                 "gpus=4)");
+    cli.addBool("service", false,
+                "soak the multi-tenant service layer under load "
+                "instead of the bare engine/proof pipelines");
     cli.parse(argc, argv);
+
+    if (cli.getBool("service"))
+        return runServiceSoak(cli);
 
     ChaosConfig cfg;
     cfg.seed = static_cast<uint64_t>(cli.getInt("seed"));
@@ -480,6 +717,8 @@ usage()
         "  stark     run a functional STARK prove/verify cycle\n"
         "  soak      run seeded chaos campaigns over the proof "
         "pipeline\n"
+        "  serve     run the multi-tenant proving service under "
+        "load\n"
         "  levels    print the abstract hardware model of a machine\n\n"
         "run 'unintt-cli <command> --help' for the command's flags\n");
 }
@@ -510,6 +749,8 @@ main(int argc, char **argv)
         return cmdStark(argc - 1, argv + 1);
     if (cmd == "soak")
         return cmdSoak(argc - 1, argv + 1);
+    if (cmd == "serve")
+        return cmdServe(argc - 1, argv + 1);
     if (cmd == "levels")
         return cmdLevels(argc - 1, argv + 1);
     if (cmd == "--help" || cmd == "-h") {

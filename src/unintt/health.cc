@@ -56,6 +56,7 @@ DeviceHealthTracker::recordFault(unsigned device)
     UNINTT_ASSERT(device < devices_.size(), "device index out of range");
     Device &dev = devices_[device];
     dev.faultedThisRun = true;
+    dev.faultEvents++;
     dev.cleanRuns = 0;
     switch (dev.state) {
       case DeviceHealth::Quarantined:
@@ -87,6 +88,7 @@ DeviceHealthTracker::recordDeviceLost(unsigned device)
     UNINTT_ASSERT(device < devices_.size(), "device index out of range");
     Device &dev = devices_[device];
     dev.faultedThisRun = true;
+    dev.faultEvents++;
     dev.lost = !policy_.readmitLostDevices;
     dev.faultScore = policy_.quarantineAfterFaults;
     if (dev.state != DeviceHealth::Quarantined)
@@ -130,6 +132,20 @@ DeviceHealthTracker::endRun()
             break;
         }
     }
+}
+
+uint64_t
+DeviceHealthTracker::faultEvents(unsigned device) const
+{
+    UNINTT_ASSERT(device < devices_.size(), "device index out of range");
+    return devices_[device].faultEvents;
+}
+
+bool
+DeviceHealthTracker::isLost(unsigned device) const
+{
+    UNINTT_ASSERT(device < devices_.size(), "device index out of range");
+    return devices_[device].lost;
 }
 
 bool

@@ -124,6 +124,18 @@ class DeviceHealthTracker
      */
     unsigned usablePowerOfTwo() const;
 
+    /**
+     * Lifetime fault events attributed to @p device (transients,
+     * corruptions, stragglers and dropouts alike). Unlike the decaying
+     * fault score driving the state machine, this counter only grows —
+     * a service layer reads it after a sub-fleet run to translate the
+     * run-local attribution back onto fleet device ids.
+     */
+    uint64_t faultEvents(unsigned device) const;
+
+    /** True iff @p device was recorded permanently lost. */
+    bool isLost(unsigned device) const;
+
     /** Total Healthy/Suspect/Probation → Quarantined transitions. */
     uint64_t quarantineEvents() const { return quarantineEvents_; }
 
@@ -149,6 +161,8 @@ class DeviceHealthTracker
         bool lost = false;
         /** Saw a fault since the last endRun(). */
         bool faultedThisRun = false;
+        /** Lifetime attributed fault events (never decays). */
+        uint64_t faultEvents = 0;
     };
 
     void quarantine(Device &dev);

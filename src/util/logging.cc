@@ -5,6 +5,18 @@
 
 namespace unintt {
 
+namespace {
+
+/** The calling thread's attribution tag (see ScopedLogTag). */
+std::string &
+threadTag()
+{
+    thread_local std::string tag;
+    return tag;
+}
+
+} // namespace
+
 Logger &
 Logger::instance()
 {
@@ -15,9 +27,50 @@ Logger::instance()
 void
 Logger::emit(LogLevel level, const char *tag, const std::string &msg)
 {
-    if (static_cast<int>(level) > static_cast<int>(level_))
+    if (static_cast<int>(level) > level_.load(std::memory_order_relaxed))
         return;
-    std::fprintf(stderr, "%s: %s\n", tag, msg.c_str());
+    // Compose the complete line first, then write it in one locked
+    // operation so lines from concurrent threads never interleave.
+    std::string line(tag);
+    const std::string &attribution = threadTag();
+    if (!attribution.empty()) {
+        line += " [";
+        line += attribution;
+        line += ']';
+    }
+    line += ": ";
+    line += msg;
+    std::lock_guard<std::mutex> lk(mutex_);
+    if (sink_) {
+        sink_(line);
+        return;
+    }
+    line += '\n';
+    std::fwrite(line.data(), 1, line.size(), stderr);
+}
+
+void
+Logger::setSink(std::function<void(const std::string &)> sink)
+{
+    std::lock_guard<std::mutex> lk(mutex_);
+    sink_ = std::move(sink);
+}
+
+ScopedLogTag::ScopedLogTag(std::string tag)
+    : prev_(std::move(threadTag()))
+{
+    threadTag() = std::move(tag);
+}
+
+ScopedLogTag::~ScopedLogTag()
+{
+    threadTag() = std::move(prev_);
+}
+
+const std::string &
+ScopedLogTag::current()
+{
+    return threadTag();
 }
 
 namespace detail {

@@ -11,9 +11,12 @@
 #ifndef UNINTT_UTIL_LOGGING_HH
 #define UNINTT_UTIL_LOGGING_HH
 
+#include <atomic>
 #include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
+#include <functional>
+#include <mutex>
 #include <sstream>
 #include <string>
 
@@ -25,6 +28,11 @@ enum class LogLevel { Quiet = 0, Warn = 1, Inform = 2, Debug = 3 };
 /**
  * Global logging configuration. Benches lower the level to keep the
  * emitted tables clean; tests raise it when diagnosing failures.
+ *
+ * emit() is thread-safe: each message is composed into one line and
+ * written under a mutex, so concurrent service jobs never interleave
+ * characters. Per-thread attribution tags (ScopedLogTag) prefix the
+ * line, making interleaved job/tenant logs attributable.
  */
 class Logger
 {
@@ -33,13 +41,23 @@ class Logger
     static Logger &instance();
 
     /** Current verbosity threshold. */
-    LogLevel level() const { return level_; }
+    LogLevel level() const
+    {
+        return static_cast<LogLevel>(
+            level_.load(std::memory_order_relaxed));
+    }
 
     /** Change the verbosity threshold. */
-    void setLevel(LogLevel level) { level_ = level; }
+    void
+    setLevel(LogLevel level)
+    {
+        level_.store(static_cast<int>(level), std::memory_order_relaxed);
+    }
 
     /**
      * Emit one formatted message if @p level passes the threshold.
+     * The full line (tag, thread attribution, body) is written in one
+     * locked operation.
      *
      * @param level Severity of this message.
      * @param tag   Short prefix such as "info" or "warn".
@@ -47,10 +65,43 @@ class Logger
      */
     void emit(LogLevel level, const char *tag, const std::string &msg);
 
+    /**
+     * Redirect complete lines to @p sink instead of stderr (tests
+     * capture output this way); an empty function restores stderr.
+     * The sink is invoked under the same mutex that serializes
+     * emission, so it needs no locking of its own.
+     */
+    void setSink(std::function<void(const std::string &)> sink);
+
   private:
     Logger() = default;
 
-    LogLevel level_ = LogLevel::Inform;
+    std::atomic<int> level_{static_cast<int>(LogLevel::Inform)};
+    std::mutex mutex_;
+    std::function<void(const std::string &)> sink_;
+};
+
+/**
+ * RAII per-thread log attribution: while alive, every line this thread
+ * emits carries "[tag]" after the severity — the proving service tags
+ * worker output with "tenant<T>/job<J>" so interleaved logs remain
+ * attributable. Tags nest; the previous tag is restored on
+ * destruction.
+ */
+class ScopedLogTag
+{
+  public:
+    explicit ScopedLogTag(std::string tag);
+    ~ScopedLogTag();
+
+    ScopedLogTag(const ScopedLogTag &) = delete;
+    ScopedLogTag &operator=(const ScopedLogTag &) = delete;
+
+    /** The calling thread's active tag ("" when untagged). */
+    static const std::string &current();
+
+  private:
+    std::string prev_;
 };
 
 namespace detail {

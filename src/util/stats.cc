@@ -1,5 +1,6 @@
 #include "util/stats.hh"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <sstream>
@@ -77,6 +78,24 @@ mean(const std::vector<double> &xs)
     for (double x : xs)
         sum += x;
     return sum / static_cast<double>(xs.size());
+}
+
+double
+percentile(std::vector<double> xs, double p)
+{
+    if (xs.empty())
+        return 0.0;
+    UNINTT_ASSERT(p >= 0.0 && p <= 100.0,
+                  "percentile rank must be in [0, 100]");
+    std::sort(xs.begin(), xs.end());
+    // Nearest rank: the smallest value with at least p% of the sample
+    // at or below it.
+    const double rank =
+        std::ceil(p / 100.0 * static_cast<double>(xs.size()));
+    size_t idx = rank < 1.0 ? 0 : static_cast<size_t>(rank) - 1;
+    if (idx >= xs.size())
+        idx = xs.size() - 1;
+    return xs[idx];
 }
 
 double

@@ -53,6 +53,13 @@ class StatSet
 /** Arithmetic mean of @p xs; 0 for an empty vector. */
 double mean(const std::vector<double> &xs);
 
+/**
+ * The @p p-th percentile (0..100) of @p xs by the nearest-rank method;
+ * 0 for an empty vector. Used for the service latency SLOs (p50 / p95 /
+ * p99); nearest-rank keeps the result an actually observed latency.
+ */
+double percentile(std::vector<double> xs, double p);
+
 /** Geometric mean of @p xs; all entries must be positive. */
 double geomean(const std::vector<double> &xs);
 

@@ -16,6 +16,12 @@ toString(StatusCode code)
         return "DATA_CORRUPTION";
       case StatusCode::DeviceLost:
         return "DEVICE_LOST";
+      case StatusCode::Overloaded:
+        return "OVERLOADED";
+      case StatusCode::QuotaExceeded:
+        return "QUOTA_EXCEEDED";
+      case StatusCode::DeadlineExceeded:
+        return "DEADLINE_EXCEEDED";
     }
     return "?";
 }

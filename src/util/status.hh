@@ -33,6 +33,12 @@ enum class StatusCode {
     DataCorruption,
     /** A device dropped out and no degraded plan could absorb it. */
     DeviceLost,
+    /** Admission control shed the request: the service is at capacity. */
+    Overloaded,
+    /** The tenant exceeded its admission quota. */
+    QuotaExceeded,
+    /** The job missed its deadline and was cancelled. */
+    DeadlineExceeded,
 };
 
 /** Printable name of a status code ("DEVICE_LOST" style). */

@@ -142,6 +142,59 @@ TEST(RetryPolicy, BackoffDoubles)
     EXPECT_DOUBLE_EQ(r.backoffSeconds(3), 8e-4);
 }
 
+TEST(RetryPolicy, BackoffIsCappedHoweverManyAttemptsFailed)
+{
+    RetryPolicy r;
+    r.backoffBaseSeconds = 1e-4;
+    r.backoffMaxSeconds = 5e-4;
+    // 2^3 * base = 8e-4 would exceed the cap.
+    EXPECT_DOUBLE_EQ(r.backoffSeconds(3), 5e-4);
+    EXPECT_DOUBLE_EQ(r.backoffSeconds(17), 5e-4);
+    // Attempt counts far past the exponent range must not overflow
+    // into a tiny (or negative) delay.
+    EXPECT_DOUBLE_EQ(r.backoffSeconds(1u << 30), 5e-4);
+}
+
+TEST(RetryPolicy, JitterStaysInsideTheConfiguredSpread)
+{
+    RetryPolicy r;
+    r.backoffBaseSeconds = 1e-4;
+    r.backoffMaxSeconds = 5e-4;
+    r.jitterFraction = 0.5;
+    for (unsigned attempt = 0; attempt < 6; ++attempt) {
+        const double capped = r.backoffSeconds(attempt);
+        for (uint64_t salt = 1; salt <= 64; ++salt) {
+            const double jittered = r.backoffSeconds(attempt, salt);
+            EXPECT_GE(jittered, capped * 0.75);
+            EXPECT_LE(jittered, capped * 1.25);
+        }
+    }
+}
+
+TEST(RetryPolicy, JitterIsDeterministicPerSaltAndDecorrelated)
+{
+    RetryPolicy r;
+    r.backoffBaseSeconds = 1e-4;
+    r.jitterFraction = 0.5;
+    EXPECT_DOUBLE_EQ(r.backoffSeconds(2, 0xabcdef),
+                     r.backoffSeconds(2, 0xabcdef));
+    // Different salts (different jobs) must not share a delay —
+    // that is the point of jitter: concurrent retries decorrelate.
+    bool differs = false;
+    for (uint64_t salt = 1; salt < 16 && !differs; ++salt)
+        differs = r.backoffSeconds(2, salt) != r.backoffSeconds(2, 0);
+    EXPECT_TRUE(differs);
+}
+
+TEST(RetryPolicy, ZeroJitterMatchesTheDeterministicForm)
+{
+    RetryPolicy r;
+    r.backoffBaseSeconds = 1e-4;
+    for (unsigned attempt = 0; attempt < 5; ++attempt)
+        EXPECT_DOUBLE_EQ(r.backoffSeconds(attempt, 1234),
+                         r.backoffSeconds(attempt));
+}
+
 // ---------------------------------------------------------------------
 // Collectives wiring.
 // ---------------------------------------------------------------------

@@ -8,6 +8,7 @@
 
 #include "util/bitops.hh"
 #include "util/cli.hh"
+#include "util/logging.hh"
 #include "util/random.hh"
 #include "util/stats.hh"
 #include "util/table.hh"
@@ -147,6 +148,82 @@ TEST(Stats, Formatters)
     EXPECT_EQ(formatBytes(2048), "2.00 KiB");
     EXPECT_EQ(formatSeconds(1.5e-3), "1.50 ms");
     EXPECT_EQ(formatRate(2.5e9), "2.50 Gelem/s");
+}
+
+TEST(Stats, PercentileNearestRank)
+{
+    EXPECT_DOUBLE_EQ(percentile({}, 99), 0.0);
+    EXPECT_DOUBLE_EQ(percentile({7.0}, 0), 7.0);
+    EXPECT_DOUBLE_EQ(percentile({7.0}, 100), 7.0);
+    // Nearest rank returns an observed sample, never an interpolation.
+    std::vector<double> xs = {40, 10, 30, 20, 50};
+    EXPECT_DOUBLE_EQ(percentile(xs, 50), 30.0);
+    EXPECT_DOUBLE_EQ(percentile(xs, 95), 50.0);
+    EXPECT_DOUBLE_EQ(percentile(xs, 100), 50.0);
+    // With fewer than 101 samples the p99 IS the maximum — SLO gates
+    // built on it need enough jobs to see past a single outlier.
+    std::vector<double> hundred(100);
+    for (size_t i = 0; i < hundred.size(); ++i)
+        hundred[i] = static_cast<double>(i + 1);
+    EXPECT_DOUBLE_EQ(percentile(hundred, 99), 99.0);
+    hundred.push_back(101.0);
+    EXPECT_DOUBLE_EQ(percentile(hundred, 99), 100.0);
+}
+
+TEST(Logging, SinkCapturesTaggedLines)
+{
+    Logger &log = Logger::instance();
+    const LogLevel old_level = log.level();
+    log.setLevel(LogLevel::Inform);
+    std::vector<std::string> lines;
+    log.setSink([&](const std::string &line) { lines.push_back(line); });
+
+    inform("untagged %d", 1);
+    {
+        ScopedLogTag job("job42");
+        inform("tagged %d", 2);
+        {
+            ScopedLogTag tenant("tenant7");
+            warn("inner %d", 3);
+        }
+        // The outer tag is restored once the inner scope ends.
+        EXPECT_EQ(ScopedLogTag::current(), "job42");
+        debugLog("suppressed at Inform level");
+    }
+
+    log.setSink({});
+    log.setLevel(old_level);
+
+    ASSERT_EQ(lines.size(), 3u);
+    EXPECT_EQ(lines[0], "info: untagged 1");
+    EXPECT_EQ(lines[1], "info [job42]: tagged 2");
+    EXPECT_EQ(lines[2], "warn [tenant7]: inner 3");
+    EXPECT_EQ(ScopedLogTag::current(), "");
+}
+
+TEST(Logging, LevelGatesEmission)
+{
+    Logger &log = Logger::instance();
+    const LogLevel old_level = log.level();
+    unsigned count = 0;
+    log.setSink([&](const std::string &) { ++count; });
+
+    log.setLevel(LogLevel::Quiet);
+    inform("dropped");
+    warn("dropped");
+    EXPECT_EQ(count, 0u);
+
+    log.setLevel(LogLevel::Warn);
+    inform("dropped");
+    warn("kept");
+    EXPECT_EQ(count, 1u);
+
+    log.setLevel(LogLevel::Debug);
+    debugLog("kept");
+    EXPECT_EQ(count, 2u);
+
+    log.setSink({});
+    log.setLevel(old_level);
 }
 
 TEST(Table, RendersAlignedColumns)
