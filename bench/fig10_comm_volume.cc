@@ -63,6 +63,50 @@ main()
         std::printf("\n");
     }
 
+    // DAG overlap: with the wave dispatch on, each wave is priced as
+    // max(comm, compute) instead of their sum, so the overlapped
+    // makespan must come in strictly below the linear schedule at
+    // identical fabric bytes and message counts. The gate fails the
+    // bench (and CI) if either half of that claim breaks.
+    std::printf("DAG overlap vs linear dispatch (NVSwitch):\n");
+    Table to({"GPUs", "log2(N)", "dispatch", "waves", "total",
+              "visible comm", "bytes/GPU", "messages"});
+    for (unsigned gpus : {4u, 8u}) {
+        MultiGpuSystem sys{makeA100(), makeNvSwitchFabric(), gpus};
+        for (unsigned logN : {22u, 24u}) {
+            UniNttConfig lin;
+            lin.overlapComm = false;
+            UniNttEngine<F> dag_eng(sys);
+            UniNttEngine<F> lin_eng(sys, lin);
+            auto rd = dag_eng.analyticRun(logN, NttDirection::Forward);
+            auto rl = lin_eng.analyticRun(logN, NttDirection::Forward);
+            auto row = [&](const char *name, const SimReport &r) {
+                to.addRow({std::to_string(gpus), std::to_string(logN),
+                           name,
+                           std::to_string(r.hostExecStats().overlapWaves),
+                           formatSeconds(r.totalSeconds()),
+                           formatSeconds(r.commSeconds()),
+                           formatBytes(static_cast<double>(
+                               r.totalCommStats().bytesPerGpu)),
+                           std::to_string(r.totalCommStats().messages)});
+            };
+            row("dag-overlap", rd);
+            row("linear", rl);
+            if (rd.totalSeconds() >= rl.totalSeconds())
+                fatal("overlap gate: DAG makespan not below linear at "
+                      "2^%u on %u GPUs", logN, gpus);
+            if (rd.totalCommStats().bytesPerGpu !=
+                    rl.totalCommStats().bytesPerGpu ||
+                rd.totalCommStats().messages !=
+                    rl.totalCommStats().messages)
+                fatal("overlap gate: fabric ledger changed under the "
+                      "DAG dispatch at 2^%u on %u GPUs", logN, gpus);
+        }
+        to.addSeparator();
+    }
+    to.print();
+    std::printf("\n");
+
     // Host-tile fusion moves butterflies between kernels, not between
     // GPUs: the fused schedule touches DRAM less (one round trip per
     // fused group instead of per stage) while the fabric sees exactly

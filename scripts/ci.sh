@@ -33,6 +33,15 @@ if command -v python3 >/dev/null 2>&1; then
         | python3 -m json.tool >/dev/null
 fi
 
+echo "==> DAG overlap smoke (4-GPU 2^22 plan must carry the overlay)"
+# The differential DAG matrix and the mid-overlap chaos tests run in
+# both ctest trees above (test_differential, test_fault,
+# test_concurrency under sanitizers); this gate additionally pins the
+# user-visible surface: the compiled schedule reports overlap.
+"$BUILD_DIR"/src/tools/unintt-cli schedule --log-n=22 --gpus=4 --json \
+    | tee /tmp/ci_schedule_dag.json | grep -q '"overlap": true'
+grep -q '"waves": [1-9]' /tmp/ci_schedule_dag.json
+
 echo "==> host kernel perf smoke (fused vs per-stage)"
 ./scripts/bench.sh --smoke
 

@@ -163,7 +163,12 @@ SimReport::toString() const
            << hostExec_.twiddleSlabMisses << " miss, schedule cache "
            << hostExec_.scheduleCacheHits << " hit/"
            << hostExec_.scheduleCacheMisses << " miss, fused groups "
-           << hostExec_.fusedGroups << "\n";
+           << hostExec_.fusedGroups;
+        if (hostExec_.overlapWaves || hostExec_.exchangeChunks)
+            os << ", overlap " << hostExec_.overlapWaves << " wave"
+               << (hostExec_.overlapWaves == 1 ? "" : "s") << "/"
+               << hostExec_.exchangeChunks << " exchange chunks";
+        os << "\n";
     }
     if (faults_.any()) {
         os << "faults: " << faults_.transientRetries << " retries, "

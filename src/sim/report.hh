@@ -63,6 +63,10 @@ struct HostExecStats
     uint64_t scheduleCacheMisses = 0;
     /** FusedLocalPass steps the dispatched schedule contained. */
     uint64_t fusedGroups = 0;
+    /** Waves of the DAG overlay dispatched (overlapped schedules). */
+    uint64_t overlapWaves = 0;
+    /** Double-buffered exchange chunk nodes executed. */
+    uint64_t exchangeChunks = 0;
 
     /** True iff anything was recorded. */
     bool
@@ -71,7 +75,8 @@ struct HostExecStats
         return hostThreads != 0 || planCacheHits || planCacheMisses ||
                twiddleCacheHits || twiddleCacheMisses ||
                twiddleSlabHits || twiddleSlabMisses ||
-               scheduleCacheHits || scheduleCacheMisses || fusedGroups;
+               scheduleCacheHits || scheduleCacheMisses ||
+               fusedGroups || overlapWaves || exchangeChunks;
     }
 
     /** Combine with another run's host facts (report append). */
@@ -88,6 +93,8 @@ struct HostExecStats
         scheduleCacheHits += o.scheduleCacheHits;
         scheduleCacheMisses += o.scheduleCacheMisses;
         fusedGroups += o.fusedGroups;
+        overlapWaves += o.overlapWaves;
+        exchangeChunks += o.exchangeChunks;
         return *this;
     }
 };

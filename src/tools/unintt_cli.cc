@@ -16,6 +16,7 @@
  * engines the benches use.
  */
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -130,10 +131,28 @@ runSchedule(const CliParser &cli)
         std::printf("  \"scheduleCacheHit\": %s,\n",
                     sched_hit ? "true" : "false");
         std::printf("  \"fusedGroups\": %u,\n", fused_groups);
+        std::printf("  \"overlap\": %s,\n",
+                    sched->overlapped ? "true" : "false");
+        std::printf("  \"waves\": %zu,\n", sched->waves.size());
+        std::printf("  \"dagNodes\": %zu,\n", sched->dag.size());
         std::printf("  \"tileLog2\": %u,\n", tile_log2);
         std::printf("  \"peakDeviceBytes\": %llu,\n",
                     static_cast<unsigned long long>(
                         sched->peakDeviceBytes));
+        // Per-step DAG overlay facts: wave span and chunk count
+        // (zeroes for a linear schedule).
+        std::vector<unsigned> wave_lo(sched->steps.size(), 0);
+        std::vector<unsigned> wave_hi(sched->steps.size(), 0);
+        std::vector<unsigned> chunks(sched->steps.size(), 0);
+        for (const auto &nd : sched->dag) {
+            if (chunks[nd.step] == 0) {
+                wave_lo[nd.step] = nd.wave;
+                wave_hi[nd.step] = nd.wave;
+            }
+            wave_lo[nd.step] = std::min(wave_lo[nd.step], nd.wave);
+            wave_hi[nd.step] = std::max(wave_hi[nd.step], nd.wave);
+            chunks[nd.step] = nd.chunkCount;
+        }
         std::printf("  \"steps\": [\n");
         for (size_t i = 0; i < sched->steps.size(); ++i) {
             const auto &st = sched->steps[i];
@@ -141,11 +160,14 @@ runSchedule(const CliParser &cli)
                 "    {\"index\": %zu, \"kind\": \"%s\", "
                 "\"level\": \"%s\", \"name\": \"%s\", "
                 "\"sBegin\": %u, \"sEnd\": %u, \"distance\": %u, "
+                "\"waveBegin\": %u, \"waveEnd\": %u, "
+                "\"chunks\": %u, "
                 "\"fieldMuls\": %llu, \"fieldAdds\": %llu, "
                 "\"dramReadBytes\": %llu, \"dramWriteBytes\": %llu, "
                 "\"commBytesPerGpu\": %llu}%s\n",
                 i, toString(st.kind), toString(st.level),
                 st.name.c_str(), st.sBegin, st.sEnd, st.distance,
+                wave_lo[i], wave_hi[i], chunks[i],
                 static_cast<unsigned long long>(st.stats.fieldMuls),
                 static_cast<unsigned long long>(st.stats.fieldAdds),
                 static_cast<unsigned long long>(
@@ -167,6 +189,9 @@ runSchedule(const CliParser &cli)
         std::printf("fusion:   %u fused group%s, 2^%u-element tiles\n",
                     fused_groups, fused_groups == 1 ? "" : "s",
                     tile_log2);
+    if (sched->overlapped)
+        std::printf("overlap:  %zu waves over %zu DAG nodes\n",
+                    sched->waves.size(), sched->dag.size());
     std::printf("\n%s", sched->toString().c_str());
     std::printf("\npeak device memory: %s/GPU\n",
                 formatBytes(
@@ -640,6 +665,10 @@ cmdSoak(int argc, char **argv)
     cli.addBool("service", false,
                 "soak the multi-tenant service layer under load "
                 "instead of the bare engine/proof pipelines");
+    cli.addBool("no-overlap", false,
+                "run the NTT campaigns with the linear dispatch "
+                "(default soaks the DAG wave dispatch, so injected "
+                "faults land mid-overlap)");
     cli.parse(argc, argv);
 
     if (cli.getBool("service"))
@@ -651,6 +680,7 @@ cmdSoak(int argc, char **argv)
     cfg.gpus = static_cast<unsigned>(cli.getInt("gpus"));
     cfg.logN = static_cast<unsigned>(cli.getInt("log-n"));
     cfg.logTrace = static_cast<unsigned>(cli.getInt("log-trace"));
+    cfg.overlapComm = !cli.getBool("no-overlap");
     if (cli.getBool("small")) {
         cfg.logTrace = 6;
         cfg.logN = 10;
@@ -658,8 +688,9 @@ cmdSoak(int argc, char **argv)
     }
 
     std::printf("chaos soak: %u campaigns/intensity, proofs 2^%u, "
-                "NTT 2^%u on %u GPUs, seed 0x%llx\n\n",
+                "NTT 2^%u on %u GPUs (%s dispatch), seed 0x%llx\n\n",
                 cfg.campaigns, cfg.logTrace, cfg.logN, cfg.gpus,
+                cfg.overlapComm ? "dag-overlap" : "linear",
                 static_cast<unsigned long long>(cfg.seed));
 
     std::vector<ChaosCampaignStats> rows;

@@ -91,6 +91,7 @@ ScheduleCache::get(const NttPlan &pl, const MultiGpuSystem &sys,
             cfg.warpShuffle,
             cfg.naturalOrderOutput,
             cfg.fuseLocalPasses,
+            cfg.overlapComm,
             cfg.hostTileLog2,
             costs.twiddleTableDramFraction,
             costs.onTheFlyExtraMuls,

@@ -150,6 +150,11 @@ class ScheduleCache
         bool warpShuffle;
         bool naturalOrderOutput;
         bool fuseLocalPasses;
+        /**
+         * Overlap gates the DAG overlay: a linear schedule must never
+         * be served to a wave dispatch (or vice versa).
+         */
+        bool overlapComm;
         unsigned hostTileLog2;
         double twiddleTableDramFraction;
         double onTheFlyExtraMuls;

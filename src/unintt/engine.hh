@@ -492,10 +492,20 @@ UniNttEngine<F>::run(unsigned logN, NttDirection dir,
                                        hostLanes());
         Status st = dispatchSchedule(sched, exec);
         UNINTT_ASSERT(st.ok(), "functional execution cannot fail");
+        HostExecStats hx;
+        hx.exchangeChunks = exec.exchangeChunks();
+        if (sched->overlapped)
+            hx.overlapWaves = sched->waves.size();
+        if (hx.any())
+            report.addHostExecStats(hx);
     } else {
         AnalyticStepExecutor exec(sys_, perf_, cfg_.overlapComm, report);
         Status st = dispatchSchedule(sched, exec);
         UNINTT_ASSERT(st.ok(), "analytic execution cannot fail");
+        HostExecStats hx;
+        hx.overlapWaves = exec.overlapWaves();
+        if (hx.any())
+            report.addHostExecStats(hx);
     }
     return report;
 }

@@ -33,6 +33,7 @@
 #define UNINTT_UNINTT_EXECUTORS_HH
 
 #include <algorithm>
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <string>
@@ -72,26 +73,53 @@ struct StepAction
 };
 
 /**
- * Run @p sched through @p exec step by step. The single interpreter
- * loop shared by run(), analyticRun() and runResilient().
+ * Run @p sched through @p exec. The single interpreter loop shared by
+ * run(), analyticRun() and runResilient().
+ *
+ * Overlapped schedules (a non-empty DAG overlay, schedule.hh) dispatch
+ * wave by wave: every node of a wave is ready (all dependencies ran in
+ * earlier waves), so the executor may run the wave's exchange chunks
+ * and butterfly chunks concurrently. Linear schedules keep the
+ * historical barrier-per-step loop. A reschedule swaps in the
+ * executor's recompiled schedule and restarts it from the top in
+ * whichever mode that schedule carries.
  */
 template <typename Exec>
 Status
 dispatchSchedule(std::shared_ptr<const StageSchedule> sched, Exec &exec)
 {
-    for (size_t i = 0; i < sched->steps.size();) {
-        StepAction act = exec.onStep(sched->steps[i]);
-        if (!act.status.ok())
-            return act.status;
-        if (act.reschedule) {
-            sched = exec.reschedule();
-            UNINTT_ASSERT(sched != nullptr, "reschedule returned nothing");
-            i = 0;
-            continue;
+    for (;;) {
+        bool rescheduled = false;
+        if (sched->overlapped && !sched->waves.empty()) {
+            for (size_t w = 0; w < sched->waves.size(); ++w) {
+                StepAction act = exec.onWave(*sched, w);
+                if (!act.status.ok())
+                    return act.status;
+                if (act.reschedule) {
+                    sched = exec.reschedule();
+                    UNINTT_ASSERT(sched != nullptr,
+                                  "reschedule returned nothing");
+                    rescheduled = true;
+                    break;
+                }
+            }
+        } else {
+            for (size_t i = 0; i < sched->steps.size(); ++i) {
+                StepAction act = exec.onStep(sched->steps[i]);
+                if (!act.status.ok())
+                    return act.status;
+                if (act.reschedule) {
+                    sched = exec.reschedule();
+                    UNINTT_ASSERT(sched != nullptr,
+                                  "reschedule returned nothing");
+                    rescheduled = true;
+                    break;
+                }
+            }
         }
-        ++i;
+        if (!rescheduled)
+            return Status();
     }
-    return Status();
 }
 
 // ---------------------------------------------------------------------
@@ -168,6 +196,64 @@ crossStageCompute(DistributedVector<F> &data, unsigned s, unsigned logN,
                 }
             }
         });
+}
+
+/**
+ * Stage the element slice [c0, c1) of an exchanging pair into the
+ * partner's landing slab: @p land_lo receives the upper chunk's slice,
+ * @p land_hi the lower's. The landing slabs are the functional stand-in
+ * for the double-buffered exchange buffer of the device memory model;
+ * each chunk parity writes its own half, so in-flight chunks never
+ * alias their partner buffer.
+ */
+template <NttField F>
+inline void
+exchangePairSliceCopy(const F *lo, const F *hi, F *land_lo, F *land_hi,
+                      uint64_t c0, uint64_t c1)
+{
+    std::copy(hi + c0, hi + c1, land_lo + c0);
+    std::copy(lo + c0, lo + c1, land_hi + c0);
+}
+
+/**
+ * Butterflies of one exchanging pair over the element slice [c0, c1),
+ * reading the *received* values from the landing slabs (@p rlo holds
+ * what lo received — the partner's original values — and @p rhi what
+ * hi received). Arithmetically this multiplies and adds exactly the
+ * same canonical representations as crossStageCompute's direct
+ * partner-chunk reads, so the output is bit-identical; reading only
+ * the landing copies is what lets a chunk's butterflies run while the
+ * *other* chunk's exchange is still in flight.
+ */
+template <NttField F>
+inline void
+crossPairSliceCompute(F *lo, F *hi, const F *rlo, const F *rhi,
+                      const F *tws, uint64_t j0, uint64_t c0, uint64_t c1,
+                      NttDirection dir)
+{
+    for (uint64_t c = c0; c < c1; ++c) {
+        const uint64_t j = j0 + c;
+        if (dir == NttDirection::Forward) {
+            const F a = lo[c] + rlo[c];
+            const F b = (rhi[c] - hi[c]) * tws[j];
+            lo[c] = a;
+            hi[c] = b;
+        } else {
+            const F vl = rlo[c] * tws[j];
+            const F vh = hi[c] * tws[j];
+            const F a = lo[c] + vl;
+            const F b = rhi[c] - vh;
+            lo[c] = a;
+            hi[c] = b;
+        }
+    }
+}
+
+/** Lower-half GPU of exchanging pair @p pair at partner gap @p gap. */
+constexpr unsigned
+pairLowGpu(unsigned pair, unsigned gap)
+{
+    return (pair / gap) * 2 * gap + (pair % gap);
 }
 
 /** Functional butterflies of local stages [s_begin, s_end). */
@@ -653,6 +739,14 @@ class AnalyticStepExecutor
         return StepAction{};
     }
 
+    /** Wave-driven dispatch: price every node of wave @p w. */
+    StepAction
+    onWave(const StageSchedule &sched, size_t w)
+    {
+        priceWave(sched, w);
+        return StepAction{};
+    }
+
     /** Plain executors never request a reschedule. */
     std::shared_ptr<const StageSchedule>
     reschedule()
@@ -660,7 +754,123 @@ class AnalyticStepExecutor
         panic("plain executors cannot reschedule");
     }
 
+    /** Waves dispatched through the DAG overlay (0 = linear path). */
+    uint64_t overlapWaves() const { return overlapWaves_; }
+
   protected:
+    /** Reset the per-schedule DAG accounting on a schedule swap. */
+    void
+    initDagState(const StageSchedule &sched)
+    {
+        if (dagSched_ == &sched)
+            return;
+        dagSched_ = &sched;
+        remaining_.assign(sched.steps.size(), 0);
+        for (const ScheduleDagNode &nd : sched.dag)
+            remaining_[nd.step]++;
+        exVisible_.assign(sched.steps.size(), 0.0);
+        exHidden_.assign(sched.steps.size(), 0.0);
+    }
+
+    /**
+     * Price one wave of the DAG overlay. The wave's makespan is
+     * max(comm, compute): only the excess of the wave's exchange time
+     * over its butterfly time is visible, and that visible/hidden
+     * split is attributed back to each exchange step proportionally to
+     * its nodes' share of the wave's comm. Phases still materialize
+     * once per *step* — same names, same order, same CommStats as the
+     * linear path — when the step's last node completes, so reports
+     * keep their historical shape and total fabric bytes/messages are
+     * untouched; only the makespan shrinks.
+     */
+    void
+    priceWave(const StageSchedule &sched, size_t w)
+    {
+        initDagState(sched);
+        double comp_w = 0.0;
+        double comm_w = 0.0;
+        std::vector<std::pair<uint32_t, double>> comm_nodes;
+        std::vector<uint32_t> completed;
+        const double chunk_elems =
+            static_cast<double>(sched.plan.chunkElems());
+        for (uint32_t ni : sched.waves[w]) {
+            const ScheduleDagNode &nd = sched.dag[ni];
+            const ScheduleStep &st = sched.steps[nd.step];
+            const double frac =
+                static_cast<double>(nd.sliceEnd - nd.sliceBegin) /
+                chunk_elems;
+            if (st.kind == StepKind::Exchange) {
+                const Interconnect &fabric =
+                    st.crossesNodes ? sys_.nodeFabric : sys_.fabric;
+                const double t =
+                    fabric.pairwiseExchangeTime(st.comm.bytesPerGpu,
+                                                st.effectiveDistance) *
+                    frac;
+                comm_w += t;
+                comm_nodes.emplace_back(nd.step, t);
+            } else {
+                comp_w += perf_.kernelSeconds(st.stats) * frac;
+            }
+            UNINTT_ASSERT(remaining_[nd.step] > 0,
+                          "DAG node executed twice");
+            if (--remaining_[nd.step] == 0)
+                completed.push_back(nd.step);
+        }
+        const double visible_w = std::max(0.0, comm_w - comp_w);
+        const double hidden_w = comm_w - visible_w;
+        for (const auto &[sidx, t] : comm_nodes) {
+            const double share = comm_w > 0.0 ? t / comm_w : 0.0;
+            exVisible_[sidx] += visible_w * share;
+            exHidden_[sidx] += hidden_w * share;
+        }
+        std::sort(completed.begin(), completed.end());
+        for (uint32_t sidx : completed)
+            emitCompleted(sched, sidx);
+        overlapWaves_++;
+    }
+
+    /** Emit the phases of a step whose last DAG node just ran. */
+    void
+    emitCompleted(const StageSchedule &sched, uint32_t sidx)
+    {
+        const ScheduleStep &st = sched.steps[sidx];
+        switch (st.kind) {
+          case StepKind::Exchange:
+            // Deferred: its comm phase rides behind the paired
+            // CrossStage, preserving the report's historical order.
+            return;
+          case StepKind::CrossStage: {
+            report_.addKernelPhase(st.name, st.stats, perf_);
+            tagPhase(st);
+            UNINTT_ASSERT(sidx > 0 && sched.steps[sidx - 1].kind ==
+                                          StepKind::Exchange,
+                          "cross stage without a preceding exchange");
+            const ScheduleStep &ex = sched.steps[sidx - 1];
+            report_.addCommPhase(ex.name, exVisible_[sidx - 1], ex.comm,
+                                 exHidden_[sidx - 1]);
+            tagPhase(ex);
+            return;
+          }
+          case StepKind::LocalPass:
+          case StepKind::FusedLocalPass:
+          case StepKind::Scale:
+          case StepKind::SpotCheck:
+            report_.addKernelPhase(st.name, st.stats, perf_);
+            tagPhase(st);
+            return;
+          case StepKind::BitRevGather: {
+            report_.addKernelPhase(st.name, st.stats, perf_);
+            tagPhase(st);
+            if (st.comm.bytesPerGpu > 0) {
+                double t = sys_.fabric.allToAllTime(
+                    st.comm.bytesPerGpu, sys_.numGpus);
+                report_.addCommPhase(st.name + "-alltoall", t, st.comm);
+                tagPhase(st);
+            }
+            return;
+          }
+        }
+    }
     void
     execute(const ScheduleStep &st)
     {
@@ -734,6 +944,13 @@ class AnalyticStepExecutor
     const bool overlap_;
     SimReport &report_;
     const ScheduleStep *pendingExchange_ = nullptr;
+
+    /** DAG accounting, reset per schedule (initDagState). */
+    const StageSchedule *dagSched_ = nullptr;
+    std::vector<uint32_t> remaining_;
+    std::vector<double> exVisible_;
+    std::vector<double> exHidden_;
+    uint64_t overlapWaves_ = 0;
 };
 
 // ---------------------------------------------------------------------
@@ -760,6 +977,41 @@ class FunctionalStepExecutor : public AnalyticStepExecutor
 
     StepAction
     onStep(const ScheduleStep &st)
+    {
+        computeStep(st);
+        execute(st);
+        return StepAction{};
+    }
+
+    /**
+     * Wave-driven dispatch: run the wave's data movement and
+     * butterflies, then defer to the shared analytic wave pricing so
+     * the functional timeline stays identical to analyticRun by
+     * construction. A wave holding exchange and cross-stage chunk
+     * nodes fans *all* of them out through one hostParallelFor, so the
+     * landing-buffer copies genuinely interleave with butterfly work
+     * on the pool — the host analogue of a copy engine running under a
+     * compute kernel.
+     */
+    StepAction
+    onWave(const StageSchedule &sched, size_t w)
+    {
+        runWave(sched, w);
+        priceWave(sched, w);
+        return StepAction{};
+    }
+
+    /** Exchange chunk copies executed on the pool (HostExecStats). */
+    uint64_t
+    exchangeChunks() const
+    {
+        return exchangeChunks_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    /** The functional work of one whole step (linear path body). */
+    void
+    computeStep(const ScheduleStep &st)
     {
         switch (st.kind) {
           case StepKind::CrossStage:
@@ -792,16 +1044,141 @@ class FunctionalStepExecutor : public AnalyticStepExecutor
           case StepKind::SpotCheck:
             break;
         }
-        execute(st);
-        return StepAction{};
     }
 
-  private:
+    /** Lazily size the per-(batch entry, GPU) landing slabs. */
+    void
+    initLanding(const StageSchedule &sched)
+    {
+        const uint64_t C = sched.plan.chunkElems();
+        if (!landing_.empty() && landing_[0][0].size() == C)
+            return;
+        landing_.resize(batch_.size());
+        for (auto &per : landing_)
+            per.assign(batch_[0]->numGpus(), std::vector<F>(C));
+    }
+
+    void
+    runWave(const StageSchedule &sched, size_t w)
+    {
+        const auto &wave = sched.waves[w];
+        // A wave either mixes Exchange/CrossStage chunk nodes (the
+        // cross-phase pipeline) or holds exactly one whole-step node:
+        // unsplit steps depend on every node of their predecessor, so
+        // nothing else can share their level.
+        bool chunked = true;
+        for (uint32_t ni : wave) {
+            const StepKind k = sched.steps[sched.dag[ni].step].kind;
+            if (k != StepKind::Exchange && k != StepKind::CrossStage) {
+                chunked = false;
+                break;
+            }
+        }
+        if (!chunked) {
+            UNINTT_ASSERT(wave.size() == 1,
+                          "unsplit step sharing a wave");
+            computeStep(sched.steps[sched.dag[wave[0]].step]);
+            return;
+        }
+
+        initLanding(sched);
+        const unsigned G = batch_[0]->numGpus();
+        const uint64_t C = sched.plan.chunkElems();
+        const unsigned pairs = G / 2;
+        const uint32_t nbatch = static_cast<uint32_t>(batch_.size());
+
+        // Flatten every node into (batch entry, pair, element slice)
+        // units behind one fan-out; writes are disjoint across units
+        // (each touches one pair's slice of one entry), so the result
+        // is bit-identical for every thread count.
+        struct NodeWork
+        {
+            const ScheduleStep *st;
+            uint64_t b, e;
+            uint64_t firstUnit;
+            uint64_t slices;
+        };
+        std::vector<NodeWork> work;
+        work.reserve(wave.size());
+        uint64_t total_units = 0;
+        uint64_t total_cost = 0;
+        for (uint32_t ni : wave) {
+            const ScheduleDagNode &nd = sched.dag[ni];
+            NodeWork nw;
+            nw.st = &sched.steps[nd.step];
+            nw.b = nd.sliceBegin;
+            nw.e = nd.sliceEnd;
+            nw.firstUnit = total_units;
+            const uint64_t base_units =
+                static_cast<uint64_t>(pairs) * nbatch;
+            nw.slices = 1;
+            if (lanes_ > 1 && base_units < lanes_)
+                nw.slices = std::min<uint64_t>(
+                    nw.e - nw.b,
+                    (2ULL * lanes_ + base_units - 1) / base_units);
+            total_units += base_units * nw.slices;
+            const uint64_t elems = (nw.e - nw.b) * base_units;
+            total_cost += nw.st->kind == StepKind::Exchange
+                              ? elems
+                              : kernelCost(elems, dir_);
+            work.push_back(nw);
+        }
+
+        hostParallelFor(
+            total_units,
+            total_units > 0 ? total_cost / total_units : 0, lanes_,
+            [&](size_t u) {
+                size_t wi = 0;
+                while (wi + 1 < work.size() &&
+                       u >= work[wi + 1].firstUnit)
+                    ++wi;
+                const NodeWork &nw = work[wi];
+                const uint64_t local = u - nw.firstUnit;
+                const uint64_t pe = local / nw.slices;
+                const uint64_t sl = local % nw.slices;
+                const uint32_t bi = static_cast<uint32_t>(pe / pairs);
+                const unsigned pi = static_cast<unsigned>(pe % pairs);
+                const unsigned gap = nw.st->distance;
+                const unsigned g_lo = pairLowGpu(pi, gap);
+                const unsigned g_hi = g_lo + gap;
+                const uint64_t span = nw.e - nw.b;
+                const uint64_t c0 = nw.b + span * sl / nw.slices;
+                const uint64_t c1 =
+                    nw.b + span * (sl + 1) / nw.slices;
+                auto &lo = batch_[bi]->chunk(g_lo);
+                auto &hi = batch_[bi]->chunk(g_hi);
+                if (nw.st->kind == StepKind::Exchange) {
+                    exchangePairSliceCopy(
+                        lo.data(), hi.data(),
+                        landing_[bi][g_lo].data(),
+                        landing_[bi][g_hi].data(), c0, c1);
+                    // One bump per chunk node (its first unit), from
+                    // inside a pool task: must be atomic — the
+                    // overlapped path never quiesces the pool around
+                    // stats updates.
+                    if (local == 0)
+                        exchangeChunks_.fetch_add(
+                            1, std::memory_order_relaxed);
+                } else {
+                    crossPairSliceCompute(
+                        lo.data(), hi.data(),
+                        landing_[bi][g_lo].data(),
+                        landing_[bi][g_hi].data(),
+                        slabs_.slab(nw.st->sBegin),
+                        static_cast<uint64_t>(g_lo % gap) * C, c0, c1,
+                        dir_);
+                }
+            });
+    }
+
     std::vector<DistributedVector<F> *> &batch_;
     const TwiddleSlabs<F> &slabs_;
     const unsigned logN_;
     const NttDirection dir_;
     const unsigned lanes_;
+    /** Per-(batch entry, GPU) exchange landing slabs. */
+    std::vector<std::vector<std::vector<F>>> landing_;
+    std::atomic<uint64_t> exchangeChunks_{0};
 };
 
 // ---------------------------------------------------------------------
@@ -899,6 +1276,42 @@ class ResilientStepExecutor
         return StepAction{};
     }
 
+    /**
+     * Wave-driven dispatch over the DAG overlay: nodes run
+     * sequentially in wave order, with exchange chunks issued before
+     * the wave's butterfly chunks — the copy of the *next* stage's
+     * buffer is on the link while the *previous* stage's butterflies
+     * are still in flight, which is exactly the mid-overlap window a
+     * device loss must be able to land in. One fault draw per
+     * exchange step, at its first in-flight chunk, keeps the injector
+     * sequence identical to the linear path; on a loss the in-flight
+     * butterfly chunks of earlier stages drain deterministically
+     * before the reshard, so the recompiled resume schedule (itself a
+     * DAG) replays from a whole-stage boundary.
+     */
+    StepAction
+    onWave(const StageSchedule &sched, size_t w)
+    {
+        initDag(sched);
+        std::vector<uint32_t> order(sched.waves[w]);
+        std::stable_sort(
+            order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+                const bool ea = sched.steps[sched.dag[a].step].kind ==
+                                StepKind::Exchange;
+                const bool eb = sched.steps[sched.dag[b].step].kind ==
+                                StepKind::Exchange;
+                return ea && !eb;
+            });
+        for (uint32_t ni : order) {
+            if (nodeDone_[ni])
+                continue;
+            StepAction act = runNode(sched, ni);
+            if (!act.status.ok() || act.reschedule)
+                return act;
+        }
+        return StepAction{};
+    }
+
     /** Recompile the remaining stages for the degraded machine. */
     std::shared_ptr<const StageSchedule>
     reschedule()
@@ -914,34 +1327,48 @@ class ResilientStepExecutor
     const FaultStats &faultStats() const { return fs_; }
 
   private:
-    /** One cross-GPU stage under the full fault machinery. */
-    StepAction
-    crossStep(const ScheduleStep &st)
+    /** What the fault machinery decided about one exchange step. */
+    struct ExchangeResolution
     {
+        Status status;
+        /** >= 0: a device died; the caller drains, degrades, replans. */
+        int lostGpu = -1;
+        double commT = 0.0;
+        CommStats comm;
+    };
+
+    /**
+     * The fault machinery of one exchange step: the injector draw,
+     * straggler watchdog, bounded-backoff transient retries, and the
+     * checksum/retransmission loop. Shared verbatim by the linear
+     * crossStep and the wave path, so counters, health records, and
+     * priced retry time cannot drift between the two dispatch modes.
+     */
+    ExchangeResolution
+    resolveExchange(const ScheduleStep &st)
+    {
+        ExchangeResolution res;
         const unsigned s = st.sBegin;
         ExchangeOutcome out = faults_.nextExchange(rc_.retry.maxRetries);
         fs_.exchanges++;
         if (out.lostGpu >= 0) {
-            Status dst = degrade(out.lostGpu, s);
-            if (!dst.ok())
-                return StepAction{dst, false};
-            return StepAction{Status(), /*reschedule=*/true};
+            res.lostGpu = out.lostGpu;
+            return res;
         }
-        if (out.exhausted)
-            return StepAction{
-                Status::error(
-                    StatusCode::TransientFault,
-                    detail::format("cross-GPU exchange at stage %u "
-                                   "still failing after %u retries",
-                                   s, rc_.retry.maxRetries)),
-                false};
+        if (out.exhausted) {
+            res.status = Status::error(
+                StatusCode::TransientFault,
+                detail::format("cross-GPU exchange at stage %u "
+                               "still failing after %u retries",
+                               s, rc_.retry.maxRetries));
+            return res;
+        }
 
         const uint64_t C = pl_.chunkElems();
         const uint64_t bytes = C * sizeof(F);
         // The step's counters already include the checksum generation
         // and verification adds (compiled with resilient=true).
         fs_.checksummedBytes += 2 * bytes;
-        const double kernel_t = perf_.kernelSeconds(st.stats);
 
         const unsigned distance = st.distance;
         const Interconnect &fabric =
@@ -1002,18 +1429,38 @@ class ResilientStepExecutor
                 health_->recordFault(suspect);
             comm_t += once;
             comm.retries += 1;
-            if (++tries > rc_.retry.maxRetries)
-                return StepAction{
-                    Status::error(
-                        StatusCode::DataCorruption,
-                        detail::format(
-                            "payload checksum mismatch at stage %u "
-                            "persisted across %u retransmissions",
-                            s, rc_.retry.maxRetries)),
-                    false};
+            if (++tries > rc_.retry.maxRetries) {
+                res.status = Status::error(
+                    StatusCode::DataCorruption,
+                    detail::format(
+                        "payload checksum mismatch at stage %u "
+                        "persisted across %u retransmissions",
+                        s, rc_.retry.maxRetries));
+                return res;
+            }
             corrupted = faults_.retransmitCorrupted();
         }
+        res.commT = comm_t;
+        res.comm = comm;
+        return res;
+    }
 
+    /** One cross-GPU stage under the full fault machinery (linear). */
+    StepAction
+    crossStep(const ScheduleStep &st)
+    {
+        const unsigned s = st.sBegin;
+        ExchangeResolution res = resolveExchange(st);
+        if (res.lostGpu >= 0) {
+            Status dst = degrade(res.lostGpu, s);
+            if (!dst.ok())
+                return StepAction{dst, false};
+            return StepAction{Status(), /*reschedule=*/true};
+        }
+        if (!res.status.ok())
+            return StepAction{res.status, false};
+
+        const double kernel_t = perf_.kernelSeconds(st.stats);
         crossStageCompute(data_, s, pl_.logN, slabs_, dir_, lanes_);
         report_.addKernelPhase(st.name, st.stats, perf_);
         tagPhase(st);
@@ -1021,15 +1468,180 @@ class ResilientStepExecutor
                       "cross stage without a pending exchange");
         const std::string &exchange_name = pendingExchange_->name;
         if (cfg_.overlapComm) {
-            double visible = std::max(0.0, comm_t - kernel_t);
-            report_.addCommPhase(exchange_name, visible, comm,
-                                 comm_t - visible);
+            double visible = std::max(0.0, res.commT - kernel_t);
+            report_.addCommPhase(exchange_name, visible, res.comm,
+                                 res.commT - visible);
         } else {
-            report_.addCommPhase(exchange_name, comm_t, comm);
+            report_.addCommPhase(exchange_name, res.commT, res.comm);
         }
         tagPhase(*pendingExchange_);
         pendingExchange_ = nullptr;
         return StepAction{};
+    }
+
+    /** Reset the wave-dispatch state on a schedule swap. */
+    void
+    initDag(const StageSchedule &sched)
+    {
+        if (dagSched_ == &sched)
+            return;
+        dagSched_ = &sched;
+        nodeDone_.assign(sched.dag.size(), false);
+        nodesLeft_.assign(sched.steps.size(), 0);
+        for (const ScheduleDagNode &nd : sched.dag)
+            nodesLeft_[nd.step]++;
+        stepCommT_.assign(sched.steps.size(), 0.0);
+        stepComm_.assign(sched.steps.size(), CommStats{});
+        landing_.assign(data_.numGpus(),
+                        std::vector<F>(pl_.chunkElems()));
+    }
+
+    /** Execute one DAG node (wave path). */
+    StepAction
+    runNode(const StageSchedule &sched, uint32_t ni)
+    {
+        const ScheduleDagNode &nd = sched.dag[ni];
+        const ScheduleStep &st = sched.steps[nd.step];
+        switch (st.kind) {
+          case StepKind::Exchange: {
+            if (nd.chunk == 0) {
+                // One draw per exchange *step*, at its first chunk:
+                // the injector sequence matches the linear path.
+                ExchangeResolution res = resolveExchange(st);
+                if (res.lostGpu >= 0) {
+                    StepAction drained = drainBefore(sched, nd.step);
+                    if (!drained.status.ok() || drained.reschedule)
+                        return drained;
+                    Status dst = degrade(res.lostGpu, st.sBegin);
+                    if (!dst.ok())
+                        return StepAction{dst, false};
+                    return StepAction{Status(), /*reschedule=*/true};
+                }
+                if (!res.status.ok())
+                    return StepAction{res.status, false};
+                stepCommT_[nd.step] = res.commT;
+                stepComm_[nd.step] = res.comm;
+            }
+            exchangeChunkCopy(st, nd);
+            break;
+          }
+          case StepKind::CrossStage:
+            crossChunkCompute(st, nd);
+            break;
+          default: {
+            // Unsplit steps reuse the linear handlers unchanged
+            // (compute + phase emission in one go).
+            StepAction act = onStep(st);
+            if (!act.status.ok() || act.reschedule)
+                return act;
+            break;
+          }
+        }
+        nodeDone_[ni] = true;
+        UNINTT_ASSERT(nodesLeft_[nd.step] > 0, "DAG node ran twice");
+        if (--nodesLeft_[nd.step] == 0 &&
+            st.kind == StepKind::CrossStage)
+            finishCross(sched, nd.step);
+        return StepAction{};
+    }
+
+    /**
+     * Drain every not-yet-run node of steps before @p step_limit —
+     * the butterfly chunks still in flight on the surviving devices
+     * when a loss lands mid-overlap. DAG index order is wave order
+     * within a step, so the drain is deterministic; exchanges of
+     * earlier steps are always already resolved (their first chunk
+     * ran in an earlier wave), so no nested fault draw can occur.
+     */
+    StepAction
+    drainBefore(const StageSchedule &sched, uint32_t step_limit)
+    {
+        for (uint32_t ni = 0;
+             ni < static_cast<uint32_t>(sched.dag.size()); ++ni) {
+            const ScheduleDagNode &nd = sched.dag[ni];
+            if (nodeDone_[ni] || nd.step >= step_limit)
+                continue;
+            UNINTT_ASSERT(
+                sched.steps[nd.step].kind != StepKind::Exchange,
+                "exchange of an earlier stage still unresolved");
+            StepAction act = runNode(sched, ni);
+            if (!act.status.ok() || act.reschedule)
+                return act;
+        }
+        return StepAction{};
+    }
+
+    /** Stage one exchange chunk into the landing slabs (all pairs). */
+    void
+    exchangeChunkCopy(const ScheduleStep &st, const ScheduleDagNode &nd)
+    {
+        const unsigned G = data_.numGpus();
+        const unsigned gap = st.distance;
+        for (unsigned pi = 0; pi < G / 2; ++pi) {
+            const unsigned g_lo = pairLowGpu(pi, gap);
+            exchangePairSliceCopy(data_.chunk(g_lo).data(),
+                                  data_.chunk(g_lo + gap).data(),
+                                  landing_[g_lo].data(),
+                                  landing_[g_lo + gap].data(),
+                                  nd.sliceBegin, nd.sliceEnd);
+        }
+    }
+
+    /** Butterflies of one cross-stage chunk, from the landing slabs. */
+    void
+    crossChunkCompute(const ScheduleStep &st, const ScheduleDagNode &nd)
+    {
+        const unsigned G = data_.numGpus();
+        const unsigned gap = st.distance;
+        const uint64_t C = pl_.chunkElems();
+        const unsigned pairs = G / 2;
+        const uint64_t span = nd.sliceEnd - nd.sliceBegin;
+        uint64_t slices = 1;
+        if (lanes_ > 1 && pairs < lanes_)
+            slices = std::min<uint64_t>(
+                span, (2ULL * lanes_ + pairs - 1) / pairs);
+        const F *tws = slabs_.slab(st.sBegin);
+        hostParallelFor(
+            static_cast<uint64_t>(pairs) * slices,
+            kernelCost(span / slices, dir_), lanes_, [&](size_t unit) {
+                const unsigned pi =
+                    static_cast<unsigned>(unit / slices);
+                const uint64_t sl = unit % slices;
+                const unsigned g_lo = pairLowGpu(pi, gap);
+                const unsigned g_hi = g_lo + gap;
+                const uint64_t c0 = nd.sliceBegin + span * sl / slices;
+                const uint64_t c1 =
+                    nd.sliceBegin + span * (sl + 1) / slices;
+                crossPairSliceCompute(
+                    data_.chunk(g_lo).data(), data_.chunk(g_hi).data(),
+                    landing_[g_lo].data(), landing_[g_hi].data(), tws,
+                    static_cast<uint64_t>(g_lo % gap) * C, c0, c1,
+                    dir_);
+            });
+    }
+
+    /** Emit the phases of a completed cross stage (wave path). */
+    void
+    finishCross(const StageSchedule &sched, uint32_t sidx)
+    {
+        const ScheduleStep &st = sched.steps[sidx];
+        const double kernel_t = perf_.kernelSeconds(st.stats);
+        report_.addKernelPhase(st.name, st.stats, perf_);
+        tagPhase(st);
+        UNINTT_ASSERT(sidx > 0 && sched.steps[sidx - 1].kind ==
+                                      StepKind::Exchange,
+                      "cross stage without a preceding exchange");
+        const ScheduleStep &ex = sched.steps[sidx - 1];
+        const double comm_t = stepCommT_[sidx - 1];
+        const CommStats &comm = stepComm_[sidx - 1];
+        if (cfg_.overlapComm) {
+            const double visible = std::max(0.0, comm_t - kernel_t);
+            report_.addCommPhase(ex.name, visible, comm,
+                                 comm_t - visible);
+        } else {
+            report_.addCommPhase(ex.name, comm_t, comm);
+        }
+        tagPhase(ex);
     }
 
     /**
@@ -1145,6 +1757,17 @@ class ResilientStepExecutor
     FaultStats &fs_;
     const ScheduleStep *pendingExchange_ = nullptr;
     unsigned resumeStage_ = 0;
+
+    // Wave-dispatch state (DAG overlay), reset on schedule swap.
+    const StageSchedule *dagSched_ = nullptr;
+    std::vector<bool> nodeDone_;
+    /** Per step: nodes still to run; phases emit when it hits 0. */
+    std::vector<uint32_t> nodesLeft_;
+    /** Resolved comm time / stats stashed until the step completes. */
+    std::vector<double> stepCommT_;
+    std::vector<CommStats> stepComm_;
+    /** Per-GPU double-buffered landing slabs for exchange chunks. */
+    std::vector<std::vector<F>> landing_;
 };
 
 } // namespace unintt

@@ -392,6 +392,77 @@ class ScheduleBuilder
     const uint64_t C_;
 };
 
+/**
+ * Build the dependency-DAG overlay over @p sched's step list.
+ *
+ * Exchange and CrossStage steps split into two double-buffered
+ * half-chunk nodes; everything else is one node. Edges:
+ *
+ *  - chunk-aligned: when this step and the previous step are split
+ *    identically, chunk k depends only on the previous step's chunk k
+ *    (a cross-stage butterfly reads and writes exactly the element
+ *    slice its exchange delivered, so the other half is independent);
+ *  - full: an unsplit step (or a split mismatch) depends on every node
+ *    of the previous step;
+ *  - serialization: chunk k depends on chunk k-1 of its own step — a
+ *    pairwise link moves one buffer at a time, and the butterfly
+ *    engine drains chunks in order.
+ *
+ * Waves are longest-path levels. The chunk-aligned + serialization
+ * combination staggers the cross phase so wave w holds the exchange of
+ * chunk k+1 *and* the butterflies of chunk k: pure comm only at
+ * pipeline fill (first half-chunk in) and pure compute only at drain
+ * (last half-chunk out).
+ */
+void
+buildScheduleDag(StageSchedule &sched, uint64_t chunk_elems)
+{
+    sched.dag.clear();
+    sched.waves.clear();
+    std::vector<uint32_t> prev;
+    uint32_t prev_chunks = 1;
+    for (size_t i = 0; i < sched.steps.size(); ++i) {
+        const ScheduleStep &st = sched.steps[i];
+        const bool splittable = (st.kind == StepKind::Exchange ||
+                                 st.kind == StepKind::CrossStage) &&
+                                !st.degraded && chunk_elems >= 2;
+        const uint32_t chunks = splittable ? 2 : 1;
+        std::vector<uint32_t> cur;
+        for (uint32_t k = 0; k < chunks; ++k) {
+            ScheduleDagNode nd;
+            nd.step = static_cast<uint32_t>(i);
+            nd.chunk = k;
+            nd.chunkCount = chunks;
+            nd.sliceBegin = chunk_elems * k / chunks;
+            nd.sliceEnd = chunk_elems * (k + 1) / chunks;
+            if (!prev.empty()) {
+                if (chunks == prev_chunks && chunks > 1)
+                    nd.deps.push_back(prev[k]);
+                else
+                    nd.deps = prev;
+            }
+            if (k > 0)
+                nd.deps.push_back(cur[k - 1]);
+            uint32_t wave = 0;
+            for (uint32_t d : nd.deps)
+                wave = std::max(wave, sched.dag[d].wave + 1);
+            nd.wave = wave;
+            cur.push_back(static_cast<uint32_t>(sched.dag.size()));
+            sched.dag.push_back(std::move(nd));
+        }
+        prev = std::move(cur);
+        prev_chunks = chunks;
+    }
+    uint32_t wave_count = 0;
+    for (const ScheduleDagNode &nd : sched.dag)
+        wave_count = std::max(wave_count, nd.wave + 1);
+    sched.waves.resize(wave_count);
+    for (size_t i = 0; i < sched.dag.size(); ++i)
+        sched.waves[sched.dag[i].wave].push_back(
+            static_cast<uint32_t>(i));
+    sched.overlapped = true;
+}
+
 } // namespace
 
 StageSchedule
@@ -451,6 +522,12 @@ compileSchedule(const NttPlan &pl, const MultiGpuSystem &sys,
             b.spotCheckStep();
     }
 
+    // The DAG overlay only pays off (and the staging landing buffers
+    // only exist) on multi-GPU plans; single-GPU schedules keep the
+    // plain linear dispatch.
+    if (cfg.overlapComm && pl.numGpus > 1 && !sched.steps.empty())
+        buildScheduleDag(sched, pl.chunkElems());
+
     // Device-memory footprint: the data chunk, one exchange buffer for
     // the cross-GPU phase, and the twiddle table when it is not
     // generated on the fly.
@@ -471,17 +548,47 @@ compileSchedule(const NttPlan &pl, const MultiGpuSystem &sys,
 std::string
 StageSchedule::toString() const
 {
+    // Per-step wave span and whether any of its waves also hosts a
+    // node of a *different* step — the latter is the overlap marker.
+    std::vector<std::string> wave_col(steps.size(), "-");
+    std::vector<std::string> ovl_col(steps.size(), "-");
+    if (overlapped && !dag.empty()) {
+        std::vector<uint32_t> lo(steps.size(), UINT32_MAX);
+        std::vector<uint32_t> hi(steps.size(), 0);
+        for (const ScheduleDagNode &nd : dag) {
+            lo[nd.step] = std::min(lo[nd.step], nd.wave);
+            hi[nd.step] = std::max(hi[nd.step], nd.wave);
+        }
+        std::vector<bool> shares(steps.size(), false);
+        for (const auto &wave : waves)
+            for (uint32_t a : wave)
+                for (uint32_t b : wave)
+                    if (dag[a].step != dag[b].step)
+                        shares[dag[a].step] = true;
+        for (size_t i = 0; i < steps.size(); ++i) {
+            wave_col[i] = lo[i] == hi[i]
+                              ? std::to_string(lo[i])
+                              : std::to_string(lo[i]) + ".." +
+                                    std::to_string(hi[i]);
+            ovl_col[i] = shares[i] ? "yes" : "no";
+        }
+    }
+
     std::ostringstream os;
     os << "schedule: 2^" << logN << " " << unintt::toString(dir)
        << " x" << batch << " on " << plan.numGpus << " gpu"
        << (plan.numGpus == 1 ? "" : "s") << (resilient ? " (resilient)" : "")
        << ", " << steps.size() << " steps, peak "
-       << peakDeviceBytes << " B/gpu\n";
+       << peakDeviceBytes << " B/gpu";
+    if (overlapped)
+        os << ", " << waves.size() << " waves (overlap on)";
+    os << "\n";
     os << std::left << std::setw(4) << "#" << std::setw(15) << "kind"
        << std::setw(11) << "level" << std::setw(34) << "name"
        << std::setw(9) << "stages" << std::setw(13) << "muls"
        << std::setw(13) << "adds" << std::setw(14) << "dram-bytes"
-       << std::setw(13) << "comm-bytes" << "x-dist" << "\n";
+       << std::setw(13) << "comm-bytes" << std::setw(8) << "x-dist"
+       << std::setw(8) << "wave" << "overlap" << "\n";
     for (size_t i = 0; i < steps.size(); ++i) {
         const ScheduleStep &st = steps[i];
         std::string stages = "-";
@@ -494,8 +601,9 @@ StageSchedule::toString() const
            << std::setw(9) << stages << std::setw(13) << st.stats.fieldMuls
            << std::setw(13) << st.stats.fieldAdds << std::setw(14)
            << st.stats.globalBytes() << std::setw(13) << st.comm.bytesPerGpu
+           << std::setw(8)
            << (st.distance != 0 ? std::to_string(st.distance) : "-")
-           << "\n";
+           << std::setw(8) << wave_col[i] << ovl_col[i] << "\n";
     }
     return os.str();
 }

@@ -24,6 +24,17 @@
  * preserve the report's historical phase order (compute first, then
  * the exchange with its overlap split) by holding the pending Exchange
  * until its CrossStage has been priced.
+ *
+ * When comm overlap is enabled the schedule additionally carries a
+ * dependency DAG *overlay* (the step list itself is untouched): every
+ * step is covered by one or more ScheduleDagNodes, Exchange/CrossStage
+ * steps are split into double-buffered half-chunk nodes, and nodes are
+ * levelled into waves by longest dependency path. The chunk-aligned
+ * edges between an exchange and the butterflies that feed/consume it
+ * stagger the waves so that the copy of chunk k+1 shares a wave with
+ * the butterflies of chunk k — that shared wave is what the executors
+ * overlap (price as max(comm, compute); run concurrently on the host
+ * pool).
  */
 
 #ifndef UNINTT_UNINTT_SCHEDULE_HH
@@ -119,6 +130,30 @@ struct ScheduleStep
     CommStats comm;
 };
 
+/**
+ * One node of the dependency-DAG overlay. A node covers the element
+ * slice [sliceBegin, sliceEnd) of every per-GPU chunk touched by its
+ * step; unsplit steps have a single node spanning the whole chunk.
+ * Edges always point at earlier nodes (deps[i] < its own index), so
+ * the overlay is acyclic by construction.
+ */
+struct ScheduleDagNode
+{
+    /** Index into StageSchedule::steps. */
+    uint32_t step = 0;
+    /** Chunk index within the step (double buffering parity). */
+    uint32_t chunk = 0;
+    /** Chunks the step was split into (1 = unsplit). */
+    uint32_t chunkCount = 1;
+    /** Element slice [begin, end) of each per-GPU chunk. */
+    uint64_t sliceBegin = 0;
+    uint64_t sliceEnd = 0;
+    /** Wave index: longest dependency path from a root. */
+    uint32_t wave = 0;
+    /** Predecessor node indices (all < this node's index). */
+    std::vector<uint32_t> deps;
+};
+
 /** A fully compiled transform: the ordered step list plus metadata. */
 struct StageSchedule
 {
@@ -132,6 +167,17 @@ struct StageSchedule
     /** True iff compiled with the resilience additions. */
     bool resilient = false;
     std::vector<ScheduleStep> steps;
+
+    /**
+     * True iff the DAG overlay was built (cfg.overlapComm with a
+     * multi-GPU plan): executors dispatch wave-by-wave instead of
+     * step-by-step.
+     */
+    bool overlapped = false;
+    /** The DAG overlay; empty when overlapped is false. */
+    std::vector<ScheduleDagNode> dag;
+    /** Node indices grouped by wave, waves in execution order. */
+    std::vector<std::vector<uint32_t>> waves;
 
     /** Human-readable step table (unintt-cli schedule). */
     std::string toString() const;

@@ -112,7 +112,9 @@ runTransformCampaign(const ChaosConfig &cfg, const ChaosIntensity &in,
         x[i] = F::fromU64(mix64(seed ^ i));
 
     auto sys = makeDgxA100(cfg.gpus);
-    UniNttEngine<F> engine(sys);
+    UniNttConfig ecfg = UniNttConfig::allOn();
+    ecfg.overlapComm = cfg.overlapComm;
+    UniNttEngine<F> engine(sys, ecfg);
 
     auto ref = DistributedVector<F>::fromGlobal(x, cfg.gpus);
     engine.forward(ref);

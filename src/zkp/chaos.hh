@@ -67,6 +67,12 @@ struct ChaosConfig
     unsigned logN = 14;
     /** Resilient transforms per campaign (shared health tracker). */
     unsigned transformsPerCampaign = 2;
+    /**
+     * Overlap comm with compute in the NTT workload (wave dispatch
+     * over the DAG overlay). On by default so every soak exercises
+     * mid-overlap kills; off pins the linear dispatch for A/B runs.
+     */
+    bool overlapComm = true;
 };
 
 /** Outcome of one intensity's campaigns. */

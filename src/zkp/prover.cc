@@ -1,5 +1,7 @@
 #include "zkp/prover.hh"
 
+#include <algorithm>
+
 #include "field/bn254.hh"
 #include "field/goldilocks.hh"
 #include "msm/pippenger.hh"
@@ -131,6 +133,55 @@ ZkpPipeline::estimateHashBased(const std::vector<ProverStage> &stages) const
         }
     }
     return out;
+}
+
+ProverBreakdown
+ZkpPipeline::estimateHashBasedPipelined(
+    const std::vector<ProverStage> &stages) const
+{
+    ProverBreakdown out = estimateHashBased(stages);
+    // Pair each Hash stage with the next NTT stage that has no other
+    // commit in between: the commit reads only already-final codeword
+    // bytes and the NTT reads only already-absorbed polynomials, so
+    // the two are independent and the shorter one hides behind the
+    // longer (the prover-level analogue of the engine's DAG
+    // exchange/butterfly waves). Each NTT stage is consumed at most
+    // once.
+    size_t next_ntt = 0;
+    for (size_t i = 0; i < stages.size(); ++i) {
+        if (stages[i].kind != ProverStage::Kind::Hash)
+            continue;
+        size_t j = std::max(next_ntt, i + 1);
+        while (j < stages.size() &&
+               stages[j].kind != ProverStage::Kind::Ntt &&
+               stages[j].kind != ProverStage::Kind::Hash)
+            j++;
+        if (j >= stages.size() ||
+            stages[j].kind != ProverStage::Kind::Ntt)
+            continue;
+        out.hiddenSeconds += std::min(hashBasedStageSeconds(stages[i]),
+                                      hashBasedStageSeconds(stages[j]));
+        next_ntt = j + 1;
+    }
+    return out;
+}
+
+double
+ZkpPipeline::hashBasedStageSeconds(const ProverStage &stage) const
+{
+    switch (stage.kind) {
+      case ProverStage::Kind::Ntt:
+        return nttSecondsGoldilocks(stage.logSize) * stage.count;
+      case ProverStage::Kind::Hash:
+        return hashSeconds(stage.logSize) * stage.count;
+      case ProverStage::Kind::Pointwise:
+        return pointwiseSeconds(stage.logSize, /*goldilocks=*/true) *
+               stage.count;
+      case ProverStage::Kind::MsmG1:
+      case ProverStage::Kind::MsmG2:
+        panic("hash-based schedules have no MSM stages");
+    }
+    return 0;
 }
 
 double

@@ -59,11 +59,24 @@ struct ProverBreakdown
     double nttSeconds = 0;
     double msmSeconds = 0;
     double otherSeconds = 0;
+    /**
+     * Stage time hidden by cross-stage pipelining (the Merkle commit
+     * of round i overlapping the NTT of round i+1). Zero for the
+     * sequential estimates.
+     */
+    double hiddenSeconds = 0;
 
     double
     total() const
     {
         return nttSeconds + msmSeconds + otherSeconds;
+    }
+
+    /** Wall-clock total with pipelining: hidden time is not paid. */
+    double
+    pipelinedTotal() const
+    {
+        return total() - hiddenSeconds;
     }
 
     /** Fraction of total time spent in NTT stages. */
@@ -120,6 +133,16 @@ class ZkpPipeline
     ProverBreakdown estimateHashBased(
         const std::vector<ProverStage> &stages) const;
 
+    /**
+     * estimateHashBased with prover-stage pipelining: each Merkle
+     * commit runs concurrently with the next transcript-independent
+     * NTT of the schedule (no intervening commit), hiding the shorter
+     * of the two. Per-kind seconds are unchanged — only hiddenSeconds
+     * (and thus pipelinedTotal) differs from the sequential estimate.
+     */
+    ProverBreakdown estimateHashBasedPipelined(
+        const std::vector<ProverStage> &stages) const;
+
     /** The machine being modeled. */
     const MultiGpuSystem &system() const { return sys_; }
 
@@ -127,6 +150,7 @@ class ZkpPipeline
     NttBackend backend() const { return backend_; }
 
   private:
+    double hashBasedStageSeconds(const ProverStage &stage) const;
     double nttSeconds(unsigned log_size) const;
     double nttSecondsGoldilocks(unsigned log_size) const;
     double msmSeconds(unsigned log_size, bool g2) const;

@@ -1,5 +1,7 @@
 #include "zkp/stark.hh"
 
+#include <thread>
+
 #include "field/field_traits.hh"
 #include "ntt/radix2.hh"
 #include "util/bitops.hh"
@@ -220,20 +222,32 @@ SquareStark::prove(F t0, unsigned log_trace) const
                       "transition quotient exceeds the degree bound");
     q_coeffs.resize(n);
 
+    // Boundary quotient B = (T - t0) / (x - 1). It reads only the
+    // committed trace codeword — never the transcript — so its inverse
+    // NTT runs concurrently with the quotient Merkle commit below: the
+    // prover-level analogue of the engine's exchange/butterfly overlap
+    // (commit of round i hides the NTT of round i+1). The thread joins
+    // before the boundary commit touches the transcript, so the
+    // Fiat-Shamir sequence and the proof bytes are identical to the
+    // sequential order.
+    std::vector<F> b_code(d);
+    std::vector<F> b_coeffs;
+    std::thread boundary_ntt([&] {
+        std::vector<F> denom(d);
+        for (size_t i = 0; i < d; ++i)
+            denom[i] = xs[i] - F::one();
+        auto denom_inv = batchInverse(denom);
+        for (size_t i = 0; i < d; ++i)
+            b_code[i] = (t_code[i] - t0) * denom_inv[i];
+        b_coeffs = cosetInterpolate(b_code, shift);
+    });
+
     FriProverArtifacts q_art;
     proof.quotientFri = friProve(q_coeffs, fri, transcript, &q_art);
     UNINTT_ASSERT(q_art.codeword == q_code,
                   "quotient codeword mismatch (internal)");
 
-    // Boundary quotient B = (T - t0) / (x - 1).
-    std::vector<F> denom(d);
-    for (size_t i = 0; i < d; ++i)
-        denom[i] = xs[i] - F::one();
-    auto denom_inv = batchInverse(denom);
-    std::vector<F> b_code(d);
-    for (size_t i = 0; i < d; ++i)
-        b_code[i] = (t_code[i] - t0) * denom_inv[i];
-    auto b_coeffs = cosetInterpolate(b_code, shift);
+    boundary_ntt.join();
     for (size_t i = n; i < b_coeffs.size(); ++i)
         UNINTT_ASSERT(b_coeffs[i].isZero(),
                       "boundary quotient exceeds the degree bound");

@@ -20,6 +20,7 @@
 #include "ntt/twiddle_cache.hh"
 #include "sim/multi_gpu.hh"
 #include "unintt/cache.hh"
+#include "unintt/engine.hh"
 #include "util/logging.hh"
 
 using namespace unintt;
@@ -128,6 +129,43 @@ TEST(ConcurrentCaches, ScheduleCacheUnderContention)
     EXPECT_EQ(c.hits + c.misses,
               uint64_t{kThreads} * (kItersPerThread / 4));
     EXPECT_LE(cache.size(), 4u); // 2 sizes x 2 directions
+}
+
+TEST(ConcurrentExecution, OverlapCountersSurviveConcurrentEngines)
+{
+    // Regression for the schedule/slab counter race in the overlapped
+    // path: the exchange-chunk counter is bumped from inside thread
+    // pool tasks while the pool is NOT quiesced, so it must be atomic.
+    // Racing whole engines (each itself running a threaded wave
+    // dispatch) through the shared process-wide caches gives the
+    // sanitizer tree a torn-counter target, and the per-report
+    // invariant below catches lost increments in the normal tree: a
+    // 4-GPU forward has logMg = 2 exchange steps, each split into 2
+    // chunks, so every report must count exactly 4 exchange chunks
+    // and a positive wave count.
+    const MultiGpuSystem sys = makeDgxA100(4);
+    const size_t n = size_t{1} << 12;
+    std::vector<F> input(n);
+    for (size_t i = 0; i < n; ++i)
+        input[i] = F::fromU64(i * 2654435761u + 3);
+
+    std::atomic<uint64_t> total_chunks{0};
+    race([&](unsigned t) {
+        UniNttConfig cfg = UniNttConfig::allOn();
+        cfg.hostThreads = 1 + t % 4;
+        UniNttEngine<F> engine(sys, cfg);
+        for (unsigned i = 0; i < kItersPerThread / 8; ++i) {
+            auto data = DistributedVector<F>::fromGlobal(input, 4);
+            const SimReport r = engine.forward(data);
+            const HostExecStats &hx = r.hostExecStats();
+            ASSERT_EQ(hx.exchangeChunks, 4u);
+            ASSERT_GT(hx.overlapWaves, 0u);
+            total_chunks.fetch_add(hx.exchangeChunks,
+                                   std::memory_order_relaxed);
+        }
+    });
+    EXPECT_EQ(total_chunks.load(),
+              uint64_t{kThreads} * (kItersPerThread / 8) * 4);
 }
 
 TEST(ConcurrentLogging, LinesNeverInterleaveAndTagsAttribute)

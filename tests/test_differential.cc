@@ -301,6 +301,120 @@ TEST(Differential, FusedMatchesPerStageAcrossTilesAndThreads)
     }
 }
 
+/**
+ * DAG-overlapped execution against the linear path: for one seeded
+ * draw, every combination of direction, thread count and tile size
+ * must produce output byte-identical to the linear (overlap-off)
+ * serial engine, and the analytic reports must agree on fabric bytes
+ * and message counts — only the makespan may shrink.
+ */
+template <NttField F>
+void
+runOverlapDraw(const Draw &d)
+{
+    SCOPED_TRACE("draw " + std::to_string(d.index) + ": " +
+                 std::string(F::kName) + " logN=" +
+                 std::to_string(d.logN) + " gpus=" +
+                 std::to_string(d.gpus));
+
+    const size_t n = size_t{1} << d.logN;
+    Rng rng(d.dataSeed);
+    std::vector<F> input(n);
+    for (auto &v : input)
+        v = F::fromU64(rng.next());
+    auto sys = makeDgxA100(d.gpus);
+
+    for (auto dir : {NttDirection::Forward, NttDirection::Inverse}) {
+        SCOPED_TRACE(dir == NttDirection::Forward ? "forward"
+                                                  : "inverse");
+        UniNttConfig linear_cfg = UniNttConfig::allOn();
+        linear_cfg.overlapComm = false;
+        linear_cfg.hostThreads = 1;
+        UniNttEngine<F> linear(sys, linear_cfg);
+        auto base = DistributedVector<F>::fromGlobal(input, d.gpus);
+        if (dir == NttDirection::Forward)
+            linear.forward(base);
+        else
+            linear.inverse(base);
+        const std::vector<F> want = base.toGlobal();
+        const SimReport rep_linear = linear.analyticRun(d.logN, dir);
+
+        for (unsigned tile : {0u, 4u, 20u}) {
+            for (unsigned threads : {1u, 4u, 16u}) {
+                SCOPED_TRACE("tile=" + std::to_string(tile) +
+                             " threads=" + std::to_string(threads));
+                UniNttConfig cfg = UniNttConfig::allOn();
+                cfg.hostTileLog2 = tile;
+                cfg.hostThreads = threads;
+                UniNttEngine<F> dag(sys, cfg);
+                auto data =
+                    DistributedVector<F>::fromGlobal(input, d.gpus);
+                if (dir == NttDirection::Forward)
+                    dag.forward(data);
+                else
+                    dag.inverse(data);
+                ASSERT_EQ(data.toGlobal(), want);
+            }
+        }
+
+        // Analytic agreement: the fabric ledger is dispatch-invariant;
+        // makespan and visible comm may only shrink under overlap.
+        UniNttConfig dag_cfg = UniNttConfig::allOn();
+        dag_cfg.hostThreads = 1;
+        UniNttEngine<F> dag(sys, dag_cfg);
+        const SimReport rep_dag = dag.analyticRun(d.logN, dir);
+        EXPECT_EQ(rep_dag.totalCommStats().bytesPerGpu,
+                  rep_linear.totalCommStats().bytesPerGpu);
+        EXPECT_EQ(rep_dag.totalCommStats().messages,
+                  rep_linear.totalCommStats().messages);
+        EXPECT_LE(rep_dag.totalSeconds(), rep_linear.totalSeconds());
+        EXPECT_LE(rep_dag.commSeconds(), rep_linear.commSeconds());
+        // Same phase skeleton: the overlay never adds or renames
+        // phases, it only re-prices them.
+        ASSERT_EQ(rep_dag.phases().size(), rep_linear.phases().size());
+        for (size_t i = 0; i < rep_dag.phases().size(); ++i) {
+            EXPECT_EQ(rep_dag.phases()[i].name,
+                      rep_linear.phases()[i].name);
+            EXPECT_EQ(rep_dag.phases()[i].kind,
+                      rep_linear.phases()[i].kind);
+        }
+    }
+}
+
+TEST(Differential, DagOverlapMatchesLinearAcrossTilesAndThreads)
+{
+    // Same draw sequence as the other differential tests; like the
+    // fusion matrix, the per-draw combination count (2 directions x 3
+    // tiles x 3 thread counts) is the expensive part, so draws are
+    // subsampled while keeping the (field, logN, gpus) marginals.
+    Rng draw_rng(0xd1ffe7e57ULL);
+    for (int i = 0; i < kDraws; ++i) {
+        Draw d;
+        d.index = i;
+        d.field = static_cast<unsigned>(draw_rng.below(3));
+        d.logN = kMinLogN + static_cast<unsigned>(
+                                draw_rng.below(kMaxLogN - kMinLogN + 1));
+        d.gpus = 1u << draw_rng.below(4);
+        d.dataSeed = draw_rng.next();
+        if (i % 4 != 2)
+            continue;
+
+        switch (d.field) {
+        case 0:
+            runOverlapDraw<Goldilocks>(d);
+            break;
+        case 1:
+            runOverlapDraw<BabyBear>(d);
+            break;
+        default:
+            runOverlapDraw<Bn254Fr>(d);
+            break;
+        }
+        if (::testing::Test::HasFatalFailure())
+            return;
+    }
+}
+
 TEST(Differential, KernelCostMatchesButterflyWeights)
 {
     // The shared cost hint that sizes hostParallelFor work chunks:

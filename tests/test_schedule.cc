@@ -327,6 +327,190 @@ TEST(ScheduleCacheTest, TileConfigIsPartOfTheKey)
                 << i << " vs " << j;
 }
 
+TEST(DagOverlay, InvariantsHoldAcrossHardwareModels)
+{
+    // Every compiled DAG overlay must be acyclic, cover the exact step
+    // multiset of the linear list, partition each split step's chunk
+    // into disjoint slices, and level nodes into waves consistent with
+    // their dependencies.
+    const UniNttConfig cfg = UniNttConfig::allOn();
+    const CostConstants costs;
+    for (const auto &sys : scheduleSystems()) {
+        const unsigned logMg = log2Exact(sys.numGpus);
+        for (NttDirection dir :
+             {NttDirection::Forward, NttDirection::Inverse}) {
+            for (unsigned logN = logMg + 2; logN <= 24; logN += 5) {
+                SCOPED_TRACE(sys.gpu.name + " gpus=" +
+                             std::to_string(sys.numGpus) + " logN=" +
+                             std::to_string(logN) + " " +
+                             std::string(toString(dir)));
+                const auto pl = planNtt(logN, sys, 8);
+                const auto sched =
+                    compileSchedule(pl, sys, dir, 8, cfg, costs);
+
+                if (sys.numGpus == 1) {
+                    // Single-GPU plans have nothing to overlap.
+                    EXPECT_FALSE(sched.overlapped);
+                    EXPECT_TRUE(sched.dag.empty());
+                    continue;
+                }
+                ASSERT_TRUE(sched.overlapped);
+                ASSERT_FALSE(sched.dag.empty());
+
+                // Acyclic by construction: every edge points at an
+                // earlier node, and waves respect the edges.
+                std::vector<unsigned> nodes_per_step(
+                    sched.steps.size(), 0);
+                for (size_t i = 0; i < sched.dag.size(); ++i) {
+                    const auto &nd = sched.dag[i];
+                    ASSERT_LT(nd.step, sched.steps.size());
+                    nodes_per_step[nd.step]++;
+                    for (uint32_t d : nd.deps) {
+                        ASSERT_LT(d, i);
+                        EXPECT_LT(sched.dag[d].wave, nd.wave);
+                    }
+                }
+
+                // Same step multiset as the linear schedule: every
+                // step is covered, split steps by exactly chunkCount
+                // nodes whose slices partition the chunk.
+                const uint64_t C = pl.chunkElems();
+                for (size_t s = 0; s < sched.steps.size(); ++s) {
+                    EXPECT_GE(nodes_per_step[s], 1u) << "step " << s;
+                    uint64_t covered = 0, expect_begin = 0;
+                    for (const auto &nd : sched.dag) {
+                        if (nd.step != s)
+                            continue;
+                        EXPECT_EQ(nodes_per_step[s], nd.chunkCount);
+                        EXPECT_EQ(nd.sliceBegin, expect_begin);
+                        EXPECT_LT(nd.sliceBegin, nd.sliceEnd);
+                        covered += nd.sliceEnd - nd.sliceBegin;
+                        expect_begin = nd.sliceEnd;
+                    }
+                    EXPECT_EQ(covered, C) << "step " << s;
+                }
+
+                // Node order is step order (the dispatcher relies on
+                // this for deterministic drains), and an exchange
+                // chunk's butterflies depend on it transitively.
+                for (size_t i = 1; i < sched.dag.size(); ++i)
+                    EXPECT_LE(sched.dag[i - 1].step, sched.dag[i].step);
+
+                // The wave buckets are exactly the node set.
+                size_t bucketed = 0;
+                for (size_t w = 0; w < sched.waves.size(); ++w)
+                    for (uint32_t ni : sched.waves[w]) {
+                        ASSERT_LT(ni, sched.dag.size());
+                        EXPECT_EQ(sched.dag[ni].wave, w);
+                        bucketed++;
+                    }
+                EXPECT_EQ(bucketed, sched.dag.size());
+
+                // The overlay actually overlaps: with more than one
+                // cross stage some wave mixes an exchange chunk with
+                // butterfly work of a different step.
+                unsigned exchanges = 0;
+                for (const auto &st : sched.steps)
+                    if (st.kind == StepKind::Exchange)
+                        ++exchanges;
+                if (exchanges >= 2 && C >= 2) {
+                    bool mixed = false;
+                    for (const auto &wave : sched.waves) {
+                        bool ex = false, comp = false;
+                        for (uint32_t ni : wave) {
+                            const auto &st =
+                                sched.steps[sched.dag[ni].step];
+                            (st.kind == StepKind::Exchange ? ex : comp) =
+                                true;
+                        }
+                        mixed |= ex && comp;
+                    }
+                    EXPECT_TRUE(mixed);
+                }
+            }
+        }
+    }
+}
+
+TEST(DagOverlay, DoubleBufferedChunksNeverAliasTheirPartner)
+{
+    // The functional wave executor writes exchange chunk k into the
+    // landing-slab half selected by the chunk parity while the
+    // butterflies of chunk k-1 still read the other half. The slices
+    // the compiler assigns to adjacent chunks of one step must
+    // therefore be disjoint — and chunk-aligned with the butterfly
+    // node that consumes them.
+    const auto sys = makeDgxA100(4);
+    const auto pl = planNtt(22, sys, sizeof(Goldilocks));
+    const auto sched = compileSchedule(
+        pl, sys, NttDirection::Forward, sizeof(Goldilocks),
+        UniNttConfig::allOn(), CostConstants{});
+    ASSERT_TRUE(sched.overlapped);
+
+    for (size_t i = 0; i < sched.dag.size(); ++i) {
+        const auto &nd = sched.dag[i];
+        if (nd.chunk == 0)
+            continue;
+        // The previous chunk of the same step is this node's
+        // serialization dep; their slices must not overlap.
+        const auto &prev = sched.dag[i - 1];
+        ASSERT_EQ(prev.step, nd.step);
+        ASSERT_EQ(prev.chunk, nd.chunk - 1);
+        EXPECT_LE(prev.sliceEnd, nd.sliceBegin);
+        // And the producing/consuming chunk across steps covers the
+        // same slice, so a butterfly chunk reads only landing bytes
+        // its own exchange chunk wrote.
+        for (uint32_t d : nd.deps) {
+            const auto &dep = sched.dag[d];
+            if (dep.step == nd.step)
+                continue;
+            EXPECT_EQ(dep.sliceBegin, nd.sliceBegin);
+            EXPECT_EQ(dep.sliceEnd, nd.sliceEnd);
+        }
+    }
+}
+
+TEST(ScheduleCacheTest, OverlapConfigIsPartOfTheKey)
+{
+    // A cached linear schedule must never be served to a DAG dispatch
+    // (or the reverse): overlapComm is part of the schedule key.
+    PlanCache::global().clear();
+    ScheduleCache::global().clear();
+    const auto sys = makeDgxA100(4);
+
+    UniNttConfig on = UniNttConfig::allOn();
+    UniNttConfig off = on;
+    off.overlapComm = false;
+
+    UniNttEngine<Goldilocks> eng_on(sys, on);
+    UniNttEngine<Goldilocks> eng_off(sys, off);
+    bool plan_hit = false, sched_hit = true;
+    auto s_on = eng_on.schedule(18, NttDirection::Forward, 1, &plan_hit,
+                                &sched_hit);
+    EXPECT_FALSE(sched_hit);
+    sched_hit = true;
+    auto s_off = eng_off.schedule(18, NttDirection::Forward, 1,
+                                  &plan_hit, &sched_hit);
+    EXPECT_FALSE(sched_hit);
+    EXPECT_NE(s_on.get(), s_off.get());
+    EXPECT_TRUE(s_on->overlapped);
+    EXPECT_FALSE(s_off->overlapped);
+    EXPECT_TRUE(s_off->dag.empty());
+    EXPECT_TRUE(s_off->waves.empty());
+
+    // Both stay resident and replay to their own dispatch mode.
+    sched_hit = false;
+    auto warm_on = eng_on.schedule(18, NttDirection::Forward, 1,
+                                   &plan_hit, &sched_hit);
+    EXPECT_TRUE(sched_hit);
+    EXPECT_EQ(warm_on.get(), s_on.get());
+    sched_hit = false;
+    auto warm_off = eng_off.schedule(18, NttDirection::Forward, 1,
+                                     &plan_hit, &sched_hit);
+    EXPECT_TRUE(sched_hit);
+    EXPECT_EQ(warm_off.get(), s_off.get());
+}
+
 TEST(NaturalOrderOutput, GatherProducesTheNaturalOrderSpectrum)
 {
     const unsigned logN = 12;
