@@ -24,6 +24,7 @@
 
 #include "bench/bench_util.hh"
 #include "field/goldilocks.hh"
+#include "sim/fault.hh"
 #include "unintt/engine.hh"
 #include "util/stats.hh"
 #include "util/table.hh"
@@ -151,6 +152,45 @@ main(int argc, char **argv)
     }
     jw.endArray();
     t.print();
+
+    // The ABFT hardening point: clean-machine wall overhead of the
+    // compute-path checksums at the largest swept size, on the same
+    // pinned configuration. Tracked in the artifact so the hardening
+    // tax trends across commits like the kernel numbers (target:
+    // < 10% at 2^22; fig21_abft_overhead gates the multi-GPU case).
+    {
+        const unsigned logN = log_ns.back();
+        Rng rng(4040 + logN);
+        std::vector<F> input(1ULL << logN);
+        for (auto &v : input)
+            v = F::fromU64(rng.next());
+        auto timeResilient = [&](bool abft) {
+            ResilienceConfig rc;
+            rc.abft = abft;
+            auto dist =
+                DistributedVector<F>::fromGlobal(input, kGpus);
+            FaultInjector warm(FaultModel::none());
+            if (!fused.forwardResilient(dist, warm, rc).ok())
+                fatal("resilient warmup failed");
+            return bestWallSeconds(reps, [&] {
+                FaultInjector inj(FaultModel::none());
+                (void)fused.forwardResilient(dist, inj, rc);
+            });
+        };
+        const double off_sec = timeResilient(false);
+        const double on_sec = timeResilient(true);
+        const double ovh = (on_sec / off_sec - 1.0) * 100.0;
+        std::printf("\nabft point (2^%u): off %s, on %s, overhead "
+                    "%.1f%% (target < 10%% at 2^22)\n",
+                    logN, formatSeconds(off_sec).c_str(),
+                    formatSeconds(on_sec).c_str(), ovh);
+        jw.beginObject("abft")
+            .field("logN", logN)
+            .field("offSeconds", off_sec)
+            .field("onSeconds", on_sec)
+            .field("overheadPercent", ovh)
+            .endObject();
+    }
 
     writeTextFile(out_path, jw.str());
     std::printf("\nwrote %s\n", out_path.c_str());

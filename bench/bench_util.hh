@@ -172,6 +172,15 @@ class JsonWriter
     }
 
     JsonWriter &
+    beginObject(const std::string &key)
+    {
+        keyPrefix(key);
+        os_ << "{";
+        stack_.push_back(0);
+        return *this;
+    }
+
+    JsonWriter &
     endObject()
     {
         popLevel();

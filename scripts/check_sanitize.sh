@@ -13,3 +13,9 @@ cmake -B "$BUILD_DIR" -S . -DUNINTT_SANITIZE=ON \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$BUILD_DIR" -j"$JOBS"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$JOBS"
+
+echo "==> chaos soak under sanitizers (incl. compute-flip ABFT path)"
+# A short instrumented soak over the full intensity grid — including
+# the sdc-* compute-flip rows — so the checksum update, tile bisection,
+# and recompute paths run under ASan + UBSan, not just the unit tests.
+"$BUILD_DIR"/src/tools/unintt-cli soak --campaigns 4 --small

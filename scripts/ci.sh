@@ -15,7 +15,29 @@ cmake --build "$BUILD_DIR" -j"$JOBS"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$JOBS"
 
 echo "==> chaos soak (checkpointed pipeline + resilient NTT)"
-"$BUILD_DIR"/src/tools/unintt-cli soak --campaigns 8 --small
+# The soak itself hard-gates the ABFT ledger (injected == caught +
+# escalated) and silent corruptions; the greps below additionally pin
+# that the sdc-* grid rows actually exercised the compute-flip path,
+# so the gate can never go green by injecting nothing.
+"$BUILD_DIR"/src/tools/unintt-cli soak --campaigns 8 --small \
+    | tee /tmp/ci_soak.txt
+grep -Eq "compute flips:  [1-9][0-9]* injected" /tmp/ci_soak.txt
+grep -Eq "[1-9][0-9]* caught by ABFT" /tmp/ci_soak.txt
+
+echo "==> ABFT negative control (--no-abft must see silent corruption)"
+# Expected failure: with the checksums off, seeded in-kernel bit flips
+# must surface as silent corruptions and fail the soak. If this exits
+# zero the injection path is dead and the ABFT gate above is vacuous.
+if "$BUILD_DIR"/src/tools/unintt-cli soak --campaigns 8 --small \
+    --no-abft >/tmp/ci_soak_noabft.txt 2>&1; then
+    echo "FAIL: --no-abft soak passed — compute-flip injection is dead"
+    exit 1
+fi
+grep -q "silent corruption" /tmp/ci_soak_noabft.txt
+
+echo "==> ABFT overhead smoke (fig21: checksum tax + tile recovery)"
+"$BUILD_DIR"/bench/fig21_abft_overhead --smoke | tee /tmp/ci_fig21.txt
+grep -Eq "abftCatches=[1-9][0-9]*" /tmp/ci_fig21.txt
 
 echo "==> service chaos soak (multi-tenant load + seeded device kills)"
 # Exits non-zero on silent corruption, unaccounted jobs, or a healthy

@@ -138,6 +138,22 @@ class Goldilocks
         return fromU64(kGenerator);
     }
 
+    /** Canonical value as a machine word (checksum folding). */
+    constexpr uint64_t toU64() const { return value_; }
+
+    /**
+     * Reduce a full 128-bit integer into the field. Lets hot loops
+     * accumulate raw 128-bit products and pay one reduction per span
+     * instead of one per element (see unintt/abft.hh).
+     */
+    static constexpr Goldilocks
+    fromU128(unsigned __int128 x)
+    {
+        Goldilocks r;
+        r.value_ = reduce128(x);
+        return r;
+    }
+
     /** Decimal string of the canonical value. */
     std::string toString() const { return std::to_string(value_); }
 

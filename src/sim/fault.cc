@@ -23,7 +23,8 @@ bool
 FaultModel::anyEnabled() const
 {
     return transientExchangeRate > 0 || bitFlipRate > 0 ||
-           stragglerRate > 0 || !dropouts.empty();
+           computeBitFlipRate > 0 || stragglerRate > 0 ||
+           !dropouts.empty();
 }
 
 FaultInjector::FaultInjector(FaultModel model)
@@ -33,6 +34,7 @@ FaultInjector::FaultInjector(FaultModel model)
 {
     UNINTT_ASSERT(model_.transientExchangeRate <= 1.0 &&
                       model_.bitFlipRate <= 1.0 &&
+                      model_.computeBitFlipRate <= 1.0 &&
                       model_.stragglerRate <= 1.0,
                   "fault rates are probabilities");
 }
@@ -69,7 +71,7 @@ FaultInjector::nextExchange(unsigned max_attempts)
     if (rng_.uniform() < model_.bitFlipRate) {
         out.corrupted = true;
         out.corruptBit = rng_.next();
-        injected_.corruptions++;
+        injected_.exchangeCorruptions++;
     }
 
     if (rng_.uniform() < model_.stragglerRate) {
@@ -83,10 +85,36 @@ bool
 FaultInjector::retransmitCorrupted()
 {
     if (rng_.uniform() < model_.bitFlipRate) {
-        injected_.corruptions++;
+        injected_.retransmitCorruptions++;
         return true;
     }
     return false;
+}
+
+ComputeFaultOutcome
+FaultInjector::computeFault(unsigned device, uint64_t step,
+                            unsigned attempt)
+{
+    ComputeFaultOutcome out;
+    if (model_.computeBitFlipRate <= 0.0)
+        return out;
+    // Stateless per the seed-derivation contract: a chained hash of
+    // (seed, device, step, attempt), domain-separated from every other
+    // consumer of the seed so compute draws can never shadow exchange
+    // draws (which use the sequential xoshiro stream) or retry jitter
+    // (which salts by job id).
+    uint64_t h = mix64(model_.seed ^ 0xabf7c0de5dc00001ULL);
+    h = mix64(h ^ mix64(device + 1));
+    h = mix64(h ^ mix64(step + 1));
+    h = mix64(h ^ mix64(attempt + 1));
+    const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+    if (u < model_.computeBitFlipRate) {
+        out.corrupted = true;
+        out.corruptWord = mix64(h ^ 0x9e3779b97f4a7c15ULL);
+        out.corruptBit = mix64(out.corruptWord);
+        injected_.computeCorruptions++;
+    }
+    return out;
 }
 
 void

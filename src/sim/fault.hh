@@ -18,6 +18,29 @@
  * before it completed. The consumer decides how to respond (retry,
  * retransmit, re-plan); the injector only decides what the hardware
  * did.
+ *
+ * SEED-DERIVATION CONTRACT (the one place it is written down).
+ * Three kinds of randomness derive from FaultModel::seed, and they must
+ * never interfere:
+ *
+ *  1. Exchange draws (nextExchange / retransmitCorrupted) consume the
+ *     injector's sequential xoshiro stream seeded with model.seed.
+ *     They are ORDER-SENSITIVE: a replay reproduces them iff the caller
+ *     issues the identical call sequence. reset() rewinds this stream
+ *     (and the counters and the dropout schedule) to reproduce a
+ *     campaign.
+ *  2. Compute draws (computeFault) are STATELESS hashes of
+ *     (model.seed, device, step, attempt) — they never touch the
+ *     xoshiro stream, so adding, removing or reordering compute-side
+ *     checks cannot shift the exchange event sequence, and two replays
+ *     of the same schedule see the same compute faults regardless of
+ *     dispatch order (linear vs DAG waves). Only the injected()
+ *     counters record that a draw fired; reset() clears them.
+ *  3. Service-level job retries decorrelate their backoff through
+ *     RetryPolicy::backoffSeconds(attempt, salt) with a per-job salt —
+ *     they re-salt DELAYS only and never reseed an injector, so a
+ *     chaos replay of a service run replays the exact same injected
+ *     fault sequence per transform.
  */
 
 #ifndef UNINTT_SIM_FAULT_HH
@@ -93,6 +116,14 @@ struct FaultModel
     double transientExchangeRate = 0.0;
     /** P(an exchange's payload arrives with a flipped bit). */
     double bitFlipRate = 0.0;
+    /**
+     * P(one compute-step attempt writes a flipped bit into its output
+     * slice) — silent data corruption inside the arithmetic units, as
+     * opposed to bitFlipRate's corruption on the wire. Drawn through
+     * the stateless computeFault() hash, never the exchange stream
+     * (see the seed-derivation contract above).
+     */
+    double computeBitFlipRate = 0.0;
     /** P(an exchange is stretched by a straggling device). */
     double stragglerRate = 0.0;
     /** Slowdown factor a straggler applies to the exchange. */
@@ -124,14 +155,38 @@ struct ExchangeOutcome
     int lostGpu = -1;
 };
 
+/** The fate of one compute-step attempt, decided by the injector. */
+struct ComputeFaultOutcome
+{
+    /** The attempt's output slice received a flipped bit. */
+    bool corrupted = false;
+    /** Raw 64-bit draw selecting which output word flips. */
+    uint64_t corruptWord = 0;
+    /** Raw 64-bit draw selecting which bit of that word flips. */
+    uint64_t corruptBit = 0;
+};
+
 /** Running totals of what an injector has inflicted. */
 struct InjectedFaults
 {
     uint64_t exchanges = 0;
     uint64_t transients = 0;
-    uint64_t corruptions = 0;
+    /** First-transmission payload corruptions (the wire path). */
+    uint64_t exchangeCorruptions = 0;
+    /** Corruptions injected into checksum-forced retransmissions. */
+    uint64_t retransmitCorruptions = 0;
+    /** Bit flips injected inside compute-step outputs (the SDC path). */
+    uint64_t computeCorruptions = 0;
     uint64_t stragglers = 0;
     uint64_t dropouts = 0;
+
+    /** Every corruption regardless of path. */
+    uint64_t
+    corruptions() const
+    {
+        return exchangeCorruptions + retransmitCorruptions +
+               computeCorruptions;
+    }
 };
 
 /** Deterministic source of fault events drawn from a FaultModel. */
@@ -157,6 +212,17 @@ class FaultInjector
      * may corrupt again).
      */
     bool retransmitCorrupted();
+
+    /**
+     * Decide the fate of compute-step attempt @p attempt of schedule
+     * step @p step on device @p device. Stateless per the contract in
+     * the header comment: the result is a pure hash of
+     * (model.seed, device, step, attempt), so the exchange stream is
+     * untouched and any dispatch order replays identically. Only the
+     * injected() totals are mutated (when the draw fires).
+     */
+    ComputeFaultOutcome computeFault(unsigned device, uint64_t step,
+                                     unsigned attempt);
 
     /** Totals of everything injected so far. */
     const InjectedFaults &injected() const { return injected_; }

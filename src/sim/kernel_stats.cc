@@ -31,7 +31,8 @@ FaultStats::any() const
     return exchanges || transientRetries || corruptionsDetected ||
            stragglerEvents || devicesLost || degradedReplans ||
            spotChecks || spotCheckFailures || checksummedBytes ||
-           watchdogTimeouts || devicesExcluded;
+           watchdogTimeouts || devicesExcluded || abftChecks ||
+           abftCatches || tilesRecomputed || abftEscalations;
 }
 
 FaultStats &
@@ -48,6 +49,10 @@ FaultStats::operator+=(const FaultStats &o)
     checksummedBytes += o.checksummedBytes;
     watchdogTimeouts += o.watchdogTimeouts;
     devicesExcluded += o.devicesExcluded;
+    abftChecks += o.abftChecks;
+    abftCatches += o.abftCatches;
+    tilesRecomputed += o.tilesRecomputed;
+    abftEscalations += o.abftEscalations;
     return *this;
 }
 
@@ -73,6 +78,12 @@ FaultStats::exportTo(StatSet &out, const std::string &prefix) const
             static_cast<double>(watchdogTimeouts));
     out.add(prefix + ".devicesExcluded",
             static_cast<double>(devicesExcluded));
+    out.add(prefix + ".abftChecks", static_cast<double>(abftChecks));
+    out.add(prefix + ".abftCatches", static_cast<double>(abftCatches));
+    out.add(prefix + ".tilesRecomputed",
+            static_cast<double>(tilesRecomputed));
+    out.add(prefix + ".abftEscalations",
+            static_cast<double>(abftEscalations));
 }
 
 void

@@ -104,6 +104,14 @@ struct FaultStats
     uint64_t watchdogTimeouts = 0;
     /** Devices excluded up front by the health tracker. */
     uint64_t devicesExcluded = 0;
+    /** ABFT checksum comparisons after compute steps. */
+    uint64_t abftChecks = 0;
+    /** Compute-path corruptions the ABFT checksums caught. */
+    uint64_t abftCatches = 0;
+    /** Tiles recomputed after ABFT localization. */
+    uint64_t tilesRecomputed = 0;
+    /** ABFT retry budgets exhausted (escalated to degrade/reschedule). */
+    uint64_t abftEscalations = 0;
 
     /** True iff any counter is nonzero. */
     bool any() const;

@@ -180,6 +180,11 @@ SimReport::toString() const
            << faults_.devicesExcluded << " health-excluded), "
            << faults_.spotChecks << " spot checks ("
            << faults_.spotCheckFailures << " failed)\n";
+        if (faults_.abftChecks)
+            os << "abft: " << faults_.abftChecks << " checks, "
+               << faults_.abftCatches << " catches, "
+               << faults_.tilesRecomputed << " tiles recomputed, "
+               << faults_.abftEscalations << " escalations\n";
     }
     for (const auto &row : service_) {
         if (!row.second.any())

@@ -669,6 +669,11 @@ cmdSoak(int argc, char **argv)
                 "run the NTT campaigns with the linear dispatch "
                 "(default soaks the DAG wave dispatch, so injected "
                 "faults land mid-overlap)");
+    cli.addBool("no-abft", false,
+                "disable the ABFT compute checksums — the "
+                "expected-failure smoke: with compute bit flips in "
+                "the grid this MUST report silent corruptions, "
+                "proving the checksums are load-bearing");
     cli.parse(argc, argv);
 
     if (cli.getBool("service"))
@@ -681,6 +686,7 @@ cmdSoak(int argc, char **argv)
     cfg.logN = static_cast<unsigned>(cli.getInt("log-n"));
     cfg.logTrace = static_cast<unsigned>(cli.getInt("log-trace"));
     cfg.overlapComm = !cli.getBool("no-overlap");
+    cfg.abft = !cli.getBool("no-abft");
     if (cli.getBool("small")) {
         cfg.logTrace = 6;
         cfg.logN = 10;
@@ -688,9 +694,11 @@ cmdSoak(int argc, char **argv)
     }
 
     std::printf("chaos soak: %u campaigns/intensity, proofs 2^%u, "
-                "NTT 2^%u on %u GPUs (%s dispatch), seed 0x%llx\n\n",
+                "NTT 2^%u on %u GPUs (%s dispatch, abft %s), "
+                "seed 0x%llx\n\n",
                 cfg.campaigns, cfg.logTrace, cfg.logN, cfg.gpus,
                 cfg.overlapComm ? "dag-overlap" : "linear",
+                cfg.abft ? "on" : "OFF",
                 static_cast<unsigned long long>(cfg.seed));
 
     std::vector<ChaosCampaignStats> rows;
@@ -701,6 +709,43 @@ cmdSoak(int argc, char **argv)
     }
     printChaosTable(std::cout, rows);
 
+    // Injected-vs-caught ledger per fault category, over completed
+    // transforms (failed-clean runs discard their SimReport, so only
+    // completions can be balanced). The exchange side is
+    // informational; the compute side is a hard gate when ABFT is on:
+    // every injected flip must be either caught or escalated.
+    uint64_t xinj = 0, xcaught = 0, cinj = 0, ccaught = 0, cesc = 0,
+             tiles = 0;
+    for (const auto &r : rows) {
+        xinj += r.exchangeFlipsInjected;
+        xcaught += r.exchangeFlipsCaught;
+        cinj += r.computeFlipsInjected;
+        ccaught += r.abftCaught;
+        cesc += r.abftEscalated;
+        tiles += r.abftTilesRecomputed;
+    }
+    std::printf("\ninjected vs caught (completed transforms):\n"
+                "  exchange flips: %llu injected, %llu caught by "
+                "payload checksums\n"
+                "  compute flips:  %llu injected, %llu caught by "
+                "ABFT (+%llu escalated), %llu tiles recomputed\n",
+                static_cast<unsigned long long>(xinj),
+                static_cast<unsigned long long>(xcaught),
+                static_cast<unsigned long long>(cinj),
+                static_cast<unsigned long long>(ccaught),
+                static_cast<unsigned long long>(cesc),
+                static_cast<unsigned long long>(tiles));
+
+    if (cfg.abft && cinj != ccaught + cesc) {
+        std::fprintf(stderr,
+                     "\nFAIL: ABFT ledger imbalance — %llu compute "
+                     "flips injected but %llu caught + %llu "
+                     "escalated\n",
+                     static_cast<unsigned long long>(cinj),
+                     static_cast<unsigned long long>(ccaught),
+                     static_cast<unsigned long long>(cesc));
+        return 1;
+    }
     if (silent != 0) {
         std::fprintf(stderr,
                      "\nFAIL: %llu silent corruption(s) — a run "

@@ -1,0 +1,465 @@
+/**
+ * @file
+ * ABFT compute-path integrity: random-linear-combination (RLC)
+ * checksums carried analytically through every linear step of a
+ * compiled schedule.
+ *
+ * Every step of a transform schedule is a linear map A_k over the
+ * sharded data x. Pick a random coefficient vector r and track the
+ * scalar s_k = <r_k, x_k> per shard: if r_{k-1} = A_k^T r_k, then
+ * <r_{k-1}, x_{k-1}> == <r_k, A_k x_{k-1}> — the checksum of the step's
+ * *input* under the transposed coefficients predicts the checksum of
+ * its *output* under the original ones. The executor therefore never
+ * runs a transposed pass at runtime: AbftCoefficients precomputes the
+ * coefficient vector at every step boundary (generated backward from a
+ * seeded final vector through the step transposes), and each post-step
+ * check is one O(n/G) dot product per shard compared for equality.
+ *
+ * Transposes per step kind (butterfly pairs are disjoint, so the
+ * transpose is in-place over each pair):
+ *  - forward DIF butterfly (a,b) -> (a+b, (a-b)w):
+ *      r_a' = r_a + w r_b,  r_b' = r_a - w r_b
+ *  - inverse DIT butterfly (a,b) -> (a+wb, a-wb):
+ *      r_a' = r_a + r_b,    r_b' = w (r_a - r_b)
+ *  - inverse n^-1 scaling (x -> sx): r' = s r  (baked into the
+ *    generation, so every runtime comparison is plain equality)
+ *  - explicit twiddle passes (fusion off) are functional no-ops:
+ *    identity transition.
+ * Fused local groups transpose stage by stage in reverse execution
+ * order — the fused kernels are bit-identical to the per-stage walk,
+ * so the per-stage transposes compose to the group's exact transpose.
+ *
+ * Chunk-local steps (local passes, scaling) preserve per-shard
+ * checksums individually; a cross-GPU butterfly mixes exactly the two
+ * chunks of each exchanging pair, so its invariant is the *pairwise
+ * sum* of the two shard checksums. A single flipped bit changes the
+ * dot product unless its coefficient weight happens to vanish — a
+ * 2^-64 event for the 64-bit fields the chaos suite drives — which is
+ * what lets the executor localize corruption to a shard, then to a
+ * tile, and recompute only that tile (executors.hh).
+ *
+ * The vectors are immutable and shared through a process-wide LRU
+ * cache keyed by a fingerprint of the checked-step geometry, mirroring
+ * TwiddleSlabCache: proving loops re-run the same schedule shapes, and
+ * regeneration costs about one transform.
+ */
+
+#ifndef UNINTT_UNINTT_ABFT_HH
+#define UNINTT_UNINTT_ABFT_HH
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "field/field_traits.hh"
+#include "field/goldilocks.hh"
+#include "ntt/twiddle.hh"
+#include "ntt/twiddle_cache.hh"
+#include "unintt/distributed.hh"
+#include "unintt/schedule.hh"
+#include "util/checksum.hh"
+#include "util/logging.hh"
+#include "util/thread_pool.hh"
+
+namespace unintt {
+
+/** True iff @p st carries an ABFT checksum transition. */
+inline bool
+abftChecked(const ScheduleStep &st)
+{
+    return st.abftCheckElems != 0;
+}
+
+/**
+ * Fingerprint of everything the coefficient vectors depend on: the
+ * seed, the transform geometry, and the (kind, stage range, distance,
+ * scaling) signature of every checked step. Schedules that agree here
+ * produce identical vectors, so resume schedules after degradation key
+ * their own entries while repeated clean runs share one.
+ */
+inline uint64_t
+abftFingerprint(const StageSchedule &sched, uint64_t seed)
+{
+    uint64_t h = mix64(seed ^ 0xabf7f19e50d5eedfULL);
+    h = mix64(h ^ sched.logN);
+    h = mix64(h ^ (sched.dir == NttDirection::Forward ? 1u : 2u));
+    h = mix64(h ^ sched.plan.chunkElems());
+    for (const ScheduleStep &st : sched.steps) {
+        if (!abftChecked(st))
+            continue;
+        h = mix64(h ^ static_cast<uint64_t>(st.kind));
+        h = mix64(h ^ st.sBegin);
+        h = mix64(h ^ st.sEnd);
+        h = mix64(h ^ st.distance);
+        h = mix64(h ^ (st.applyInverseScale ? 1u : 0u));
+    }
+    return h;
+}
+
+/**
+ * RLC dot product over @p count elements (checks and tile
+ * localization). Four independent accumulator chains: a single
+ * running sum serializes on the field add/mul latency, which is what
+ * bounds this loop — not memory. The reduction order is fixed (and
+ * field addition exact), so the result is deterministic.
+ */
+template <NttField F>
+F
+abftSpanDot(const F *coef, const F *x, uint64_t count)
+{
+    F a0 = F::fromU64(0), a1 = a0, a2 = a0, a3 = a0;
+    uint64_t i = 0;
+    for (; i + 4 <= count; i += 4) {
+        a0 = a0 + coef[i] * x[i];
+        a1 = a1 + coef[i + 1] * x[i + 1];
+        a2 = a2 + coef[i + 2] * x[i + 2];
+        a3 = a3 + coef[i + 3] * x[i + 3];
+    }
+    for (; i < count; ++i)
+        a0 = a0 + coef[i] * x[i];
+    return (a0 + a1) + (a2 + a3);
+}
+
+/**
+ * Goldilocks overload: lazy reduction. Accumulate the raw 128-bit
+ * products with a wrap counter and reduce once per span — the modular
+ * reduction per element is what bounds the generic loop. The result
+ * is the same canonical value the generic form produces (2^128 ≡
+ * -2^32 mod p folds the wraps back), so checks and tile localization
+ * may mix both forms freely.
+ */
+inline Goldilocks
+abftSpanDot(const Goldilocks *coef, const Goldilocks *x,
+            uint64_t count)
+{
+    unsigned __int128 acc = 0;
+    uint64_t wraps = 0;
+    for (uint64_t i = 0; i < count; ++i) {
+        const unsigned __int128 p =
+            static_cast<unsigned __int128>(coef[i].toU64()) *
+            x[i].toU64();
+        acc += p;
+        wraps += acc < p ? 1 : 0;
+    }
+    const Goldilocks two128 = Goldilocks::fromU64(
+        Goldilocks::kModulus - (uint64_t{1} << 32));
+    return Goldilocks::fromU128(acc) +
+           two128 * Goldilocks::fromU64(wraps);
+}
+
+/**
+ * Per-shard RLC checksums of @p data under @p coef (flat global
+ * layout: chunk g owns [g*C, (g+1)*C)). Partial sums are reduced in a
+ * fixed order, and field addition is exact, so the result is
+ * bit-identical for every lane count.
+ */
+template <NttField F>
+std::vector<F>
+abftChunkChecksums(const std::vector<F> &coef,
+                   const DistributedVector<F> &data, unsigned lanes)
+{
+    const unsigned G = data.numGpus();
+    const uint64_t C = data.chunkSize();
+    UNINTT_ASSERT(coef.size() == static_cast<uint64_t>(G) * C,
+                  "coefficient vector does not match the data shape");
+    uint64_t slices = 1;
+    if (lanes > 1 && G < lanes)
+        slices =
+            std::min<uint64_t>(C, (2ULL * lanes + G - 1) / G);
+    std::vector<F> partial(static_cast<size_t>(G) * slices,
+                           F::fromU64(0));
+    hostParallelFor(
+        static_cast<uint64_t>(G) * slices, 2 * (C / slices), lanes,
+        [&](size_t u) {
+            const unsigned g = static_cast<unsigned>(u / slices);
+            const uint64_t sl = u % slices;
+            const uint64_t c0 = C * sl / slices;
+            const uint64_t c1 = C * (sl + 1) / slices;
+            partial[u] = abftSpanDot(
+                coef.data() + static_cast<uint64_t>(g) * C + c0,
+                data.chunk(g).data() + c0, c1 - c0);
+        });
+    std::vector<F> out(G, F::fromU64(0));
+    for (unsigned g = 0; g < G; ++g)
+        for (uint64_t sl = 0; sl < slices; ++sl)
+            out[g] = out[g] + partial[g * slices + sl];
+    return out;
+}
+
+/**
+ * The coefficient vector at every checked-step boundary of one
+ * schedule: boundary(k) weighs the data *before* the k-th checked step
+ * and boundary(k+1) the data after it. Immutable once built; share via
+ * AbftCoefficientCache.
+ */
+template <NttField F>
+class AbftCoefficients
+{
+  public:
+    AbftCoefficients(const StageSchedule &sched,
+                     const TwiddleSlabs<F> &slabs, uint64_t seed,
+                     unsigned lanes)
+        : n_(1ULL << sched.logN)
+    {
+        std::vector<const ScheduleStep *> checked;
+        for (const ScheduleStep &st : sched.steps)
+            if (abftChecked(st))
+                checked.push_back(&st);
+        boundaries_.resize(checked.size() + 1);
+
+        // Final boundary: seeded entropy, zeros nudged to one so every
+        // output element carries weight in the last comparison.
+        std::vector<F> &last = boundaries_.back();
+        last.resize(n_);
+        hostParallelFor(std::max<uint64_t>(n_ / 4096, 1), 4096, lanes,
+                        [&](size_t u) {
+                            const uint64_t units =
+                                std::max<uint64_t>(n_ / 4096, 1);
+                            const uint64_t i0 = n_ * u / units;
+                            const uint64_t i1 = n_ * (u + 1) / units;
+                            for (uint64_t i = i0; i < i1; ++i) {
+                                F e = fieldFromEntropy<F>(
+                                    mix64(seed ^ mix64(i + 1)));
+                                last[i] = e.isZero() ? F::fromU64(1)
+                                                     : e;
+                            }
+                        });
+
+        const uint64_t C = sched.plan.chunkElems();
+        for (size_t k = checked.size(); k-- > 0;) {
+            boundaries_[k] = boundaries_[k + 1];
+            transposeStep(*checked[k], boundaries_[k], C, slabs,
+                          sched.dir, lanes);
+        }
+    }
+
+    /** Transform size the vectors were built for. */
+    uint64_t n() const { return n_; }
+
+    /** Checked steps covered (boundary count minus one). */
+    size_t checkedSteps() const { return boundaries_.size() - 1; }
+
+    /** Coefficients weighing the data at boundary @p b. */
+    const std::vector<F> &
+    boundary(size_t b) const
+    {
+        UNINTT_ASSERT(b < boundaries_.size(),
+                      "ABFT boundary out of range");
+        return boundaries_[b];
+    }
+
+    /** Bytes the vectors occupy (cache budget accounting). */
+    uint64_t
+    sizeBytes() const
+    {
+        return boundaries_.size() * n_ * sizeof(F);
+    }
+
+  private:
+    /** In-place transpose of one checked step: r <- A^T r. */
+    static void
+    transposeStep(const ScheduleStep &st, std::vector<F> &r, uint64_t C,
+                  const TwiddleSlabs<F> &slabs, NttDirection dir,
+                  unsigned lanes)
+    {
+        const uint64_t n = r.size();
+        switch (st.kind) {
+          case StepKind::CrossStage: {
+            const unsigned G = static_cast<unsigned>(n / C);
+            const unsigned gap = st.distance;
+            const F *tws = slabs.slab(st.sBegin);
+            std::vector<unsigned> lows;
+            lows.reserve(G / 2);
+            for (unsigned g = 0; g < G; ++g)
+                if ((g / gap) % 2 == 0)
+                    lows.push_back(g);
+            hostParallelFor(
+                lows.size(), 3 * C, lanes, [&](size_t u) {
+                    const unsigned g = lows[u];
+                    F *lo = r.data() + static_cast<uint64_t>(g) * C;
+                    F *hi = lo + static_cast<uint64_t>(gap) * C;
+                    const uint64_t j0 =
+                        static_cast<uint64_t>(g % gap) * C;
+                    for (uint64_t c = 0; c < C; ++c)
+                        transposePair(lo[c], hi[c], tws[j0 + c], dir);
+                });
+            return;
+          }
+          case StepKind::LocalPass:
+          case StepKind::FusedLocalPass: {
+            // Reverse of the execution order (localStagesCompute runs
+            // forward stages ascending, inverse stages descending).
+            std::vector<unsigned> stages;
+            for (unsigned s = st.sBegin; s < st.sEnd; ++s)
+                stages.push_back(s);
+            if (dir == NttDirection::Forward)
+                std::reverse(stages.begin(), stages.end());
+            for (unsigned s : stages) {
+                const uint64_t half = n >> (s + 1);
+                const uint64_t block = 2 * half;
+                const F *tws = slabs.slab(s);
+                hostParallelFor(
+                    n / block, 3 * half, lanes, [&](size_t b) {
+                        F *p0 = r.data() + b * block;
+                        F *p1 = p0 + half;
+                        for (uint64_t j = 0; j < half; ++j)
+                            transposePair(p0[j], p1[j], tws[j], dir);
+                    });
+            }
+            return;
+          }
+          case StepKind::Scale: {
+            if (!st.applyInverseScale)
+                return; // explicit twiddle pass: functional no-op
+            const F s = inverseScale<F>(n);
+            hostParallelFor(std::max<uint64_t>(n / 4096, 1), 4096,
+                            lanes, [&](size_t u) {
+                                const uint64_t units =
+                                    std::max<uint64_t>(n / 4096, 1);
+                                const uint64_t i0 = n * u / units;
+                                const uint64_t i1 = n * (u + 1) / units;
+                                for (uint64_t i = i0; i < i1; ++i)
+                                    r[i] *= s;
+                            });
+            return;
+          }
+          default:
+            panic("step kind has no ABFT transition");
+        }
+    }
+
+    /** Transpose of one butterfly acting on coefficients (a, b). */
+    static void
+    transposePair(F &a, F &b, F w, NttDirection dir)
+    {
+        if (dir == NttDirection::Forward) {
+            const F t = w * b;
+            const F na = a + t;
+            b = a - t;
+            a = na;
+        } else {
+            const F na = a + b;
+            b = w * (a - b);
+            a = na;
+        }
+    }
+
+    uint64_t n_;
+    std::vector<std::vector<F>> boundaries_;
+};
+
+/**
+ * Thread-safe LRU cache of AbftCoefficients<F> keyed by the schedule
+ * fingerprint. A 2^22 Goldilocks entry is ~250 MiB, so the bounds are
+ * tight: a handful of resident shapes, evicted by recency.
+ */
+template <NttField F>
+class AbftCoefficientCache
+{
+  public:
+    explicit AbftCoefficientCache(size_t max_entries = 4,
+                                  size_t max_bytes = 768ULL << 20)
+        : maxEntries_(max_entries), maxBytes_(max_bytes)
+    {
+    }
+
+    std::shared_ptr<const AbftCoefficients<F>>
+    get(const StageSchedule &sched, const TwiddleSlabs<F> &slabs,
+        uint64_t seed, unsigned lanes, bool *hit_out = nullptr)
+    {
+        const uint64_t key = abftFingerprint(sched, seed);
+        {
+            std::lock_guard<std::mutex> lk(mutex_);
+            for (auto it = lru_.begin(); it != lru_.end(); ++it) {
+                if (it->key == key) {
+                    counters_.hits++;
+                    if (hit_out)
+                        *hit_out = true;
+                    lru_.splice(lru_.begin(), lru_, it);
+                    return lru_.front().coef;
+                }
+            }
+        }
+        // Build outside the lock (concurrent misses of one key are
+        // merely redundant work), like the twiddle slab cache.
+        auto coef = std::make_shared<const AbftCoefficients<F>>(
+            sched, slabs, seed, lanes);
+
+        std::lock_guard<std::mutex> lk(mutex_);
+        counters_.misses++;
+        if (hit_out)
+            *hit_out = false;
+        bytes_ += coef->sizeBytes();
+        lru_.push_front(Entry{key, coef});
+        while (lru_.size() > maxEntries_ ||
+               (bytes_ > maxBytes_ && lru_.size() > 1)) {
+            bytes_ -= lru_.back().coef->sizeBytes();
+            lru_.pop_back(); // outstanding shared_ptrs stay valid
+        }
+        return lru_.front().coef;
+    }
+
+    /** Drop every cached vector set (cold-cache tests). */
+    void
+    clear()
+    {
+        std::lock_guard<std::mutex> lk(mutex_);
+        lru_.clear();
+        bytes_ = 0;
+    }
+
+    /** Lifetime hit/miss counters. */
+    CacheCounters
+    counters() const
+    {
+        std::lock_guard<std::mutex> lk(mutex_);
+        return counters_;
+    }
+
+    /** Cached vector sets currently resident. */
+    size_t
+    size() const
+    {
+        std::lock_guard<std::mutex> lk(mutex_);
+        return lru_.size();
+    }
+
+    /** The process-wide instance for field F. */
+    static AbftCoefficientCache &
+    global()
+    {
+        static AbftCoefficientCache cache;
+        return cache;
+    }
+
+  private:
+    struct Entry
+    {
+        uint64_t key;
+        std::shared_ptr<const AbftCoefficients<F>> coef;
+    };
+
+    mutable std::mutex mutex_;
+    std::list<Entry> lru_; // front = most recently used
+    size_t maxEntries_;
+    size_t maxBytes_;
+    size_t bytes_ = 0;
+    CacheCounters counters_;
+};
+
+/** Cached lookup on the field's global coefficient cache. */
+template <NttField F>
+std::shared_ptr<const AbftCoefficients<F>>
+cachedAbftCoefficients(const StageSchedule &sched,
+                       const TwiddleSlabs<F> &slabs, uint64_t seed,
+                       unsigned lanes, bool *hit_out = nullptr)
+{
+    return AbftCoefficientCache<F>::global().get(sched, slabs, seed,
+                                                 lanes, hit_out);
+}
+
+} // namespace unintt
+
+#endif // UNINTT_UNINTT_ABFT_HH

@@ -206,6 +206,26 @@ struct ResilienceConfig
      * non-recoverable (but still non-fatal) DeviceLost status.
      */
     bool allowDegraded = true;
+
+    /**
+     * ABFT compute-path integrity: maintain a random-linear-combination
+     * checksum per shard, update it analytically through every linear
+     * step, compare after each compute step, and on mismatch localize
+     * the corrupted tile via per-tile partial checksums and recompute
+     * only that tile. Catches silent data corruption inside the
+     * arithmetic (FaultModel::computeBitFlipRate), which exchange
+     * checksums and spot checks cannot localize. Off trusts compute
+     * outputs exactly as before this layer existed.
+     */
+    bool abft = true;
+
+    /**
+     * Recompute attempts per corrupted tile before the ABFT layer
+     * escalates: the device is marked suspect in the health tracker
+     * and the run falls back to the degrade-reschedule path (multi-GPU)
+     * or fails with DataCorruption (last GPU).
+     */
+    unsigned abftMaxTileRetries = 2;
 };
 
 /**

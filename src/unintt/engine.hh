@@ -610,6 +610,7 @@ UniNttEngine<F>::runResilientImpl(NttDirection dir,
     ScheduleOptions opts;
     opts.resilient = true;
     opts.spotChecks = rc.spotChecks;
+    opts.abft = rc.abft;
     auto sched = std::make_shared<const StageSchedule>(compileSchedule(
         pl, sys, dir, sizeof(F), cfg_, costs_, opts));
     report.setPeakDeviceBytes(sched->peakDeviceBytes);
@@ -626,13 +627,15 @@ UniNttEngine<F>::runResilientImpl(NttDirection dir,
     hooks.replan = [this](unsigned lg, const MultiGpuSystem &s) {
         return planCached(lg, s, nullptr);
     };
-    hooks.recompile = [this, spot_checks = rc.spotChecks](
+    hooks.recompile = [this, spot_checks = rc.spotChecks,
+                       abft = rc.abft](
                           const NttPlan &p, const MultiGpuSystem &s,
                           NttDirection d, unsigned resume_stage,
                           unsigned orig_log_mg) {
         ScheduleOptions o;
         o.resilient = true;
         o.spotChecks = spot_checks;
+        o.abft = abft;
         o.resume = true;
         o.resumeStage = resume_stage;
         o.origLogMg = orig_log_mg;
@@ -646,6 +649,7 @@ UniNttEngine<F>::runResilientImpl(NttDirection dir,
     ResilientStepExecutor<F> exec(sys, perf_, cfg_, report, data, input,
                                   faults, rc, health, slabs, pl, logMg0,
                                   dir, hostLanes(), std::move(hooks), fs);
+    exec.attachSchedule(sched);
     Status st = dispatchSchedule(std::move(sched), exec);
     if (!st.ok())
         return st;

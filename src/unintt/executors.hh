@@ -48,6 +48,7 @@
 #include "sim/multi_gpu.hh"
 #include "sim/perf_model.hh"
 #include "sim/report.hh"
+#include "unintt/abft.hh"
 #include "unintt/config.hh"
 #include "unintt/distributed.hh"
 #include "unintt/health.hh"
@@ -1246,28 +1247,43 @@ class ResilientStepExecutor
             return StepAction{};
           case StepKind::CrossStage:
             return crossStep(st);
-          case StepKind::LocalPass:
+          case StepKind::LocalPass: {
+            abftArmStep(st);
             localStagesCompute(data_, st.sBegin, st.sEnd, pl_.logN,
                                slabs_, dir_, lanes_);
+            StepAction guard = abftGuardStep(st);
+            if (!guard.status.ok() || guard.reschedule)
+                return guard;
             report_.addKernelPhase(st.name, st.stats, perf_);
             tagPhase(st);
             return StepAction{};
-          case StepKind::FusedLocalPass:
+          }
+          case StepKind::FusedLocalPass: {
             // Fused groups flow through the same decorator as any
             // other step: the group is one phase, one watchdog unit.
+            abftArmStep(st);
             fusedLocalStagesCompute(data_, st.sBegin, st.sEnd, pl_.logN,
                                     st.tileLog2, slabs_, dir_, lanes_);
+            StepAction guard = abftGuardStep(st);
+            if (!guard.status.ok() || guard.reschedule)
+                return guard;
             report_.addKernelPhase(st.name, st.stats, perf_);
             tagPhase(st);
             return StepAction{};
-          case StepKind::Scale:
+          }
+          case StepKind::Scale: {
+            abftArmStep(st);
             if (st.applyInverseScale) {
                 std::vector<DistributedVector<F> *> batch{&data_};
                 inverseScaleCompute(batch, 1ULL << pl_.logN, lanes_);
             }
+            StepAction guard = abftGuardStep(st);
+            if (!guard.status.ok() || guard.reschedule)
+                return guard;
             report_.addKernelPhase(st.name, st.stats, perf_);
             tagPhase(st);
             return StepAction{};
+          }
           case StepKind::SpotCheck:
             return spotCheckStep(st);
           case StepKind::BitRevGather:
@@ -1320,7 +1336,27 @@ class ResilientStepExecutor
         auto sched = hooks_.recompile(pl_, sys_, dir_, resumeStage_,
                                       logMg0_);
         report_.setPeakDeviceBytes(sched->peakDeviceBytes);
+        // Fresh coefficient vectors and a fresh first-boundary init for
+        // the resume schedule; the injection ordinal keeps counting, so
+        // replayed steps never repeat an earlier fault draw.
+        attachSchedule(sched);
         return sched;
+    }
+
+    /**
+     * Bind the schedule whose checked steps the ABFT layer verifies
+     * (the engine calls this before dispatch; reschedule() re-binds the
+     * resume schedule). Coefficient vectors are fetched lazily at the
+     * first checked step, so ABFT-off runs never touch the cache.
+     */
+    void
+    attachSchedule(std::shared_ptr<const StageSchedule> sched)
+    {
+        abftSched_ = std::move(sched);
+        abftCoef_.reset();
+        abftBoundary_ = 0;
+        abftInited_ = false;
+        abftCrossInit_ = UINT32_MAX;
     }
 
     /** Resilience counters observed so far. */
@@ -1461,7 +1497,11 @@ class ResilientStepExecutor
             return StepAction{res.status, false};
 
         const double kernel_t = perf_.kernelSeconds(st.stats);
+        abftArmStep(st);
         crossStageCompute(data_, s, pl_.logN, slabs_, dir_, lanes_);
+        StepAction guard = abftGuardStep(st);
+        if (!guard.status.ok() || guard.reschedule)
+            return guard;
         report_.addKernelPhase(st.name, st.stats, perf_);
         tagPhase(st);
         UNINTT_ASSERT(pendingExchange_ != nullptr,
@@ -1526,6 +1566,15 @@ class ResilientStepExecutor
             break;
           }
           case StepKind::CrossStage:
+            // The first butterfly node of a checked cross stage sees
+            // the data exactly at the step boundary (its dependencies
+            // have completed, later steps depend on it), so the ABFT
+            // arm — and the recovery snapshot, when injection is live —
+            // happens here rather than per node.
+            if (abftCrossInit_ != nd.step) {
+                abftCrossInit_ = nd.step;
+                abftArmStep(st);
+            }
             crossChunkCompute(st, nd);
             break;
           default: {
@@ -1541,7 +1590,7 @@ class ResilientStepExecutor
         UNINTT_ASSERT(nodesLeft_[nd.step] > 0, "DAG node ran twice");
         if (--nodesLeft_[nd.step] == 0 &&
             st.kind == StepKind::CrossStage)
-            finishCross(sched, nd.step);
+            return finishCross(sched, nd.step);
         return StepAction{};
     }
 
@@ -1620,11 +1669,21 @@ class ResilientStepExecutor
             });
     }
 
-    /** Emit the phases of a completed cross stage (wave path). */
-    void
+    /**
+     * Inject/verify and emit the phases of a completed cross stage
+     * (wave path). The ABFT guard sits between the last butterfly node
+     * and the phase emission, mirroring the linear crossStep; the next
+     * exchange's already-staged chunk copies read the data *before*
+     * the injection point, so only clean values ever propagate and the
+     * guard's recovery leaves the landing slabs consistent.
+     */
+    StepAction
     finishCross(const StageSchedule &sched, uint32_t sidx)
     {
         const ScheduleStep &st = sched.steps[sidx];
+        StepAction guard = abftGuardStep(st);
+        if (!guard.status.ok() || guard.reschedule)
+            return guard;
         const double kernel_t = perf_.kernelSeconds(st.stats);
         report_.addKernelPhase(st.name, st.stats, perf_);
         tagPhase(st);
@@ -1642,6 +1701,7 @@ class ResilientStepExecutor
             report_.addCommPhase(ex.name, comm_t, comm);
         }
         tagPhase(ex);
+        return StepAction{};
     }
 
     /**
@@ -1732,6 +1792,337 @@ class ResilientStepExecutor
         return StepAction{};
     }
 
+    // -----------------------------------------------------------------
+    // ABFT compute-path integrity (unintt/abft.hh): deterministic
+    // fault injection into kernel outputs, RLC checksum comparison
+    // after every compute step, tile-granular recomputation on a
+    // mismatch, and the degrade/fail escalation ladder.
+    // -----------------------------------------------------------------
+
+    /** True iff the ABFT comparison runs after checked steps. */
+    bool
+    abftCheckOn(const ScheduleStep &st) const
+    {
+        return rc_.abft && abftChecked(st) && abftSched_ != nullptr;
+    }
+
+    /** True iff compute-fault injection is live for this run. */
+    bool
+    abftInjectOn() const
+    {
+        return faults_.model().computeBitFlipRate > 0.0;
+    }
+
+    /**
+     * Arm the ABFT machinery before a checked step's kernel runs:
+     * fetch the coefficient vectors (lazily, via the process cache),
+     * seed the first boundary's checksums from the current data, and —
+     * only when injection is live, so clean runs pay nothing beyond
+     * the comparison — snapshot the shards as the recovery restore
+     * source.
+     */
+    void
+    abftArmStep(const ScheduleStep &st)
+    {
+        if (!abftCheckOn(st))
+            return;
+        if (!abftCoef_) {
+            // Derived like the spot-check seeds (mix64 over the
+            // configured base, util/checksum.hh) but *not* advanced
+            // per transform: the vectors depend only on the schedule
+            // shape, which is what makes them cacheable.
+            const uint64_t seed =
+                mix64(rc_.spotCheckSeed ^ 0xabf7c0effec0ffeeULL);
+            abftCoef_ = cachedAbftCoefficients<F>(*abftSched_, slabs_,
+                                                  seed, lanes_);
+        }
+        if (!abftInited_) {
+            abftPrev_ = abftChunkChecksums(abftCoef_->boundary(0),
+                                           data_, lanes_);
+            abftInited_ = true;
+        }
+        if (abftInjectOn()) {
+            const unsigned G = data_.numGpus();
+            abftSnap_.resize(G);
+            hostParallelFor(G, data_.chunkSize(), lanes_,
+                            [&](size_t g) {
+                                abftSnap_[g] = data_.chunk(
+                                    static_cast<unsigned>(g));
+                            });
+        }
+    }
+
+    /**
+     * The compute-integrity decorator of one finished compute step:
+     * one deterministic fault draw against the step's output, then the
+     * ABFT comparison with tile recovery. Runs between the kernel and
+     * its phase emission in both dispatch modes; the step ordinal
+     * advances identically in both, so the draw sequences (and
+     * therefore the injected faults) cannot drift between them, and it
+     * is never reset on a reschedule, so resumed steps draw fresh.
+     */
+    StepAction
+    abftGuardStep(const ScheduleStep &st)
+    {
+        const bool inject = abftInjectOn();
+        const bool check = abftCheckOn(st);
+        if (!inject && !check)
+            return StepAction{};
+        const uint64_t ord = stepOrdinal_++;
+        if (inject) {
+            const unsigned g_t =
+                static_cast<unsigned>(ord % data_.numGpus());
+            ComputeFaultOutcome out =
+                faults_.computeFault(g_t, ord, 0);
+            if (out.corrupted)
+                abftCorrupt(g_t, 0, data_.chunkSize(), out);
+        }
+        if (!check)
+            return StepAction{}; // ABFT off: corruption flows silently
+        return abftVerifyStep(st, ord);
+    }
+
+    /** Flip one bit of one word of shard @p g inside [w0, w0+len). */
+    void
+    abftCorrupt(unsigned g, uint64_t w0, uint64_t len,
+                const ComputeFaultOutcome &out)
+    {
+        auto &chunk = data_.chunk(g);
+        const uint64_t word = w0 + out.corruptWord % len;
+        auto *raw = reinterpret_cast<unsigned char *>(chunk.data() +
+                                                      word);
+        const uint64_t bit = out.corruptBit % (8 * sizeof(F));
+        raw[bit / 8] ^= static_cast<unsigned char>(1u << (bit % 8));
+    }
+
+    /**
+     * Post-step ABFT comparison and bounded tile-granular recovery.
+     * Chunk-local steps must preserve every shard's checksum; a cross
+     * stage mixes exactly its exchanging pair, preserving the pairwise
+     * sum. Each recovery round counts one catch, restores and
+     * recomputes only the corrupted tiles, and re-draws the injector
+     * for the redone slice (attempt > 0); when the budget is spent the
+     * step escalates.
+     */
+    StepAction
+    abftVerifyStep(const ScheduleStep &st, uint64_t ord)
+    {
+        const unsigned G = data_.numGpus();
+        const uint64_t C = data_.chunkSize();
+        const std::vector<F> &prev_coef =
+            abftCoef_->boundary(abftBoundary_);
+        const std::vector<F> &cur_coef =
+            abftCoef_->boundary(abftBoundary_ + 1);
+        const bool cross = st.kind == StepKind::CrossStage;
+        const unsigned gap = st.distance;
+
+        unsigned attempt = 0;
+        for (;;) {
+            std::vector<F> actual =
+                abftChunkChecksums(cur_coef, data_, lanes_);
+            fs_.abftChecks++;
+            std::vector<unsigned> bad; // suspect shards (pair lows)
+            if (cross) {
+                for (unsigned pi = 0; pi < G / 2; ++pi) {
+                    const unsigned g_lo = pairLowGpu(pi, gap);
+                    const F want =
+                        abftPrev_[g_lo] + abftPrev_[g_lo + gap];
+                    if (!(actual[g_lo] + actual[g_lo + gap] == want))
+                        bad.push_back(g_lo);
+                }
+            } else {
+                for (unsigned g = 0; g < G; ++g)
+                    if (!(actual[g] == abftPrev_[g]))
+                        bad.push_back(g);
+            }
+            if (bad.empty()) {
+                abftPrev_ = std::move(actual);
+                abftBoundary_++;
+                return StepAction{};
+            }
+            // A mismatch without a live injector has no pre-step
+            // snapshot to recover from (clean runs skip it to stay
+            // overhead-honest): surface the corruption as-is.
+            if (!abftInjectOn() || abftSnap_.size() != G)
+                return StepAction{
+                    Status::error(
+                        StatusCode::DataCorruption,
+                        detail::format("ABFT checksum mismatch at %s "
+                                       "with no recovery snapshot",
+                                       st.name.c_str())),
+                    false};
+            if (attempt >= rc_.abftMaxTileRetries)
+                return abftEscalate(st, bad.front());
+
+            fs_.abftCatches++;
+            if (health_ != nullptr &&
+                bad.front() < health_->numDevices())
+                health_->recordFault(bad.front());
+            uint64_t redo_w0 = 0;
+            uint64_t redo_len = C;
+            for (unsigned g : bad) {
+                if (cross) {
+                    abftRecomputeCrossPair(st, g);
+                    fs_.tilesRecomputed++;
+                    continue;
+                }
+                if (st.kind == StepKind::Scale) {
+                    // Localization floor: the scaling pass has no
+                    // sub-chunk structure worth bisecting — the tile
+                    // is the shard.
+                    data_.chunk(g) = abftSnap_[g];
+                    if (st.applyInverseScale) {
+                        const F sc =
+                            inverseScale<F>(1ULL << pl_.logN);
+                        for (F &v : data_.chunk(g))
+                            v *= sc;
+                    }
+                    fs_.tilesRecomputed++;
+                    continue;
+                }
+                // Local passes: bisect to the stage-coupled
+                // super-block via per-tile partial checksums of the
+                // snapshot (previous boundary) against the current
+                // data (next boundary) — the step is block-diagonal
+                // over these tiles, so the transition holds per tile.
+                const uint64_t SB =
+                    (1ULL << pl_.logN) >> st.sBegin;
+                for (uint64_t o = 0; o < C; o += SB) {
+                    const F want = abftSpanDot(
+                        prev_coef.data() +
+                            static_cast<uint64_t>(g) * C + o,
+                        abftSnap_[g].data() + o, SB);
+                    const F got = abftSpanDot(
+                        cur_coef.data() +
+                            static_cast<uint64_t>(g) * C + o,
+                        data_.chunk(g).data() + o, SB);
+                    if (got == want)
+                        continue;
+                    std::copy(abftSnap_[g].begin() + o,
+                              abftSnap_[g].begin() + o + SB,
+                              data_.chunk(g).begin() + o);
+                    abftRecomputeLocalSpan(
+                        data_.chunk(g).data() + o, SB, st);
+                    fs_.tilesRecomputed++;
+                    redo_w0 = o;
+                    redo_len = SB;
+                }
+            }
+            ++attempt;
+            // The redone tile is itself kernel output: one fresh
+            // deterministic draw per (step, attempt) may corrupt it
+            // again, exercising the bounded-retry ladder.
+            ComputeFaultOutcome out =
+                faults_.computeFault(bad.front(), ord, attempt);
+            if (out.corrupted)
+                abftCorrupt(bad.front(), redo_w0, redo_len, out);
+        }
+    }
+
+    /** Redo one exchanging pair's butterflies from the snapshot. */
+    void
+    abftRecomputeCrossPair(const ScheduleStep &st, unsigned g_lo)
+    {
+        const unsigned gap = st.distance;
+        const uint64_t C = data_.chunkSize();
+        F *lo = data_.chunk(g_lo).data();
+        F *hi = data_.chunk(g_lo + gap).data();
+        const F *slo = abftSnap_[g_lo].data();
+        const F *shi = abftSnap_[g_lo + gap].data();
+        const F *tws = slabs_.slab(st.sBegin);
+        const uint64_t j0 = static_cast<uint64_t>(g_lo % gap) * C;
+        for (uint64_t c = 0; c < C; ++c) {
+            const F u = slo[c];
+            F v = shi[c];
+            if (dir_ == NttDirection::Forward) {
+                lo[c] = u + v;
+                hi[c] = (u - v) * tws[j0 + c];
+            } else {
+                v = v * tws[j0 + c];
+                lo[c] = u + v;
+                hi[c] = u - v;
+            }
+        }
+    }
+
+    /**
+     * Redo local stages [sBegin, sEnd) over one restored tile span —
+     * the same stage order and exact arithmetic as the full kernels,
+     * so the recomputed tile is bit-identical to an uncorrupted run.
+     */
+    void
+    abftRecomputeLocalSpan(F *buf, uint64_t span, const ScheduleStep &st)
+    {
+        if (st.kind == StepKind::FusedLocalPass) {
+            fusedSpanStages(buf, span, st.sBegin, st.sEnd, slabs_,
+                            dir_);
+            return;
+        }
+        const uint64_t n = 1ULL << pl_.logN;
+        std::vector<unsigned> stages;
+        for (unsigned s = st.sBegin; s < st.sEnd; ++s)
+            stages.push_back(s);
+        if (dir_ == NttDirection::Inverse)
+            std::reverse(stages.begin(), stages.end());
+        for (unsigned s : stages) {
+            const uint64_t half = n >> (s + 1);
+            const F *tws = slabs_.slab(s);
+            for (uint64_t start = 0; start < span;
+                 start += 2 * half) {
+                F *p0 = buf + start;
+                F *p1 = p0 + half;
+                for (uint64_t j = 0; j < half; ++j) {
+                    F a = p0[j];
+                    F b = p1[j];
+                    if (dir_ == NttDirection::Forward) {
+                        p0[j] = a + b;
+                        p1[j] = (a - b) * tws[j];
+                    } else {
+                        b = b * tws[j];
+                        p0[j] = a + b;
+                        p1[j] = a - b;
+                    }
+                }
+            }
+        }
+    }
+
+    /**
+     * Recovery budget spent: restore the whole pre-step state and walk
+     * the escalation ladder. Cross stages and forward local passes
+     * fall back to the degrade-reschedule path (the suspect shard's
+     * device is retired, exactly like a permanent loss); everything
+     * the resume compiler cannot re-enter — the inverse local phase
+     * (resume schedules skip it by contract) and the scaling pass —
+     * fails with a clean DataCorruption status, as does the last GPU.
+     */
+    StepAction
+    abftEscalate(const ScheduleStep &st, unsigned suspect)
+    {
+        fs_.abftEscalations++;
+        const unsigned G = data_.numGpus();
+        for (unsigned g = 0; g < G; ++g)
+            data_.chunk(g) = abftSnap_[g];
+        const bool local = st.kind == StepKind::LocalPass ||
+                           st.kind == StepKind::FusedLocalPass;
+        const bool resumable =
+            st.kind == StepKind::CrossStage ||
+            (local && dir_ == NttDirection::Forward);
+        if (!resumable || !rc_.allowDegraded || sys_.numGpus <= 1)
+            return StepAction{
+                Status::error(
+                    StatusCode::DataCorruption,
+                    detail::format(
+                        "compute corruption at %s persisted across "
+                        "%u tile recomputations",
+                        st.name.c_str(), rc_.abftMaxTileRetries)),
+                false};
+        Status dst = degrade(static_cast<int>(suspect), st.sBegin);
+        if (!dst.ok())
+            return StepAction{dst, false};
+        return StepAction{Status(), /*reschedule=*/true};
+    }
+
     void
     tagPhase(const ScheduleStep &st)
     {
@@ -1768,6 +2159,27 @@ class ResilientStepExecutor
     std::vector<CommStats> stepComm_;
     /** Per-GPU double-buffered landing slabs for exchange chunks. */
     std::vector<std::vector<F>> landing_;
+
+    // ABFT state (attachSchedule resets all but the ordinal).
+    /** Schedule whose checked steps are verified (keeps coef alive). */
+    std::shared_ptr<const StageSchedule> abftSched_;
+    std::shared_ptr<const AbftCoefficients<F>> abftCoef_;
+    /** Checked-step boundaries consumed so far. */
+    size_t abftBoundary_ = 0;
+    bool abftInited_ = false;
+    /** Per-shard checksums of the data at the current boundary. */
+    std::vector<F> abftPrev_;
+    /** Pre-step shard snapshot (taken only while injection is live). */
+    std::vector<std::vector<F>> abftSnap_;
+    /** Cross step already armed (wave path arms at its first node). */
+    uint32_t abftCrossInit_ = UINT32_MAX;
+    /**
+     * Injection clock: one tick per compute step with the guard
+     * active, monotone across reschedules, identical in both dispatch
+     * modes — the (device, step, attempt) triple of every draw is
+     * unique for the run (sim/fault.hh seed-derivation contract).
+     */
+    uint64_t stepOrdinal_ = 0;
 };
 
 } // namespace unintt

@@ -522,6 +522,38 @@ compileSchedule(const NttPlan &pl, const MultiGpuSystem &sys,
             b.spotCheckStep();
     }
 
+    // ABFT annotation: every compute step carries its checksum
+    // transition — one random-linear-combination dot product per shard
+    // after the step (the transition itself is a table switch between
+    // precomputed boundary coefficient vectors, amortized like twiddle
+    // tables). Folding the comparison cost into the step stats here is
+    // what makes all three executors price the hardening tax
+    // identically; only the resilient executor also performs the
+    // comparison.
+    if (opts.resilient && opts.abft) {
+        bool first = true;
+        for (ScheduleStep &st : sched.steps) {
+            const bool compute = st.kind == StepKind::CrossStage ||
+                                 st.kind == StepKind::LocalPass ||
+                                 st.kind == StepKind::FusedLocalPass ||
+                                 st.kind == StepKind::Scale;
+            if (!compute)
+                continue;
+            st.abftCheckElems = pl.chunkElems();
+            st.abftInit = first;
+            // The first checked step also accumulates the initial
+            // checksum over the input shards (a second dot product).
+            const uint64_t passes = first ? 2 : 1;
+            const uint64_t elems =
+                passes * pl.chunkElems() * opts.batch;
+            st.stats.fieldMuls += elems;
+            st.stats.fieldAdds += elems;
+            // Re-read the shard and the coefficient slab once per pass.
+            st.stats.globalReadBytes += 2 * elems * element_bytes;
+            first = false;
+        }
+    }
+
     // The DAG overlay only pays off (and the staging landing buffers
     // only exist) on multi-GPU plans; single-GPU schedules keep the
     // plain linear dispatch.
@@ -574,10 +606,16 @@ StageSchedule::toString() const
         }
     }
 
+    bool abft_on = false;
+    for (const ScheduleStep &st : steps)
+        abft_on = abft_on || st.abftCheckElems != 0;
+
     std::ostringstream os;
     os << "schedule: 2^" << logN << " " << unintt::toString(dir)
        << " x" << batch << " on " << plan.numGpus << " gpu"
-       << (plan.numGpus == 1 ? "" : "s") << (resilient ? " (resilient)" : "")
+       << (plan.numGpus == 1 ? "" : "s")
+       << (resilient ? (abft_on ? " (resilient+abft)" : " (resilient)")
+                     : "")
        << ", " << steps.size() << " steps, peak "
        << peakDeviceBytes << " B/gpu";
     if (overlapped)

@@ -124,6 +124,22 @@ struct ScheduleStep
     /** Distinct twiddles the slice spans (0 = none). */
     uint64_t twiddleCount = 0;
 
+    /**
+     * ABFT annotation: per-GPU elements folded into the post-step
+     * random-linear-combination checksum comparison (0 = the step has
+     * no ABFT transition — non-compute steps, or ABFT off). The O(n)
+     * cost of the comparison is already included in @p stats, so every
+     * executor prices the hardening tax identically; the resilient
+     * executor additionally performs the comparison and the tile
+     * localization it enables.
+     */
+    uint64_t abftCheckElems = 0;
+    /**
+     * True on the first ABFT-checked step: it also pays the initial
+     * checksum accumulation over the input shards (priced in stats).
+     */
+    bool abftInit = false;
+
     /** Unpriced per-GPU event counters of the step's kernel. */
     KernelStats stats;
     /** Unpriced communication counters (Exchange/BitRevGather). */
@@ -196,6 +212,12 @@ struct ScheduleOptions
     bool resilient = false;
     /** Spot checks of the appended SpotCheck step (resilient only). */
     unsigned spotChecks = 0;
+    /**
+     * Annotate compute steps with their ABFT checksum transition and
+     * fold the O(n) comparison cost into their stats (resilient only;
+     * mirrors ResilienceConfig::abft).
+     */
+    bool abft = false;
     /**
      * Resume compilation after a mid-run degradation: emit only the
      * steps from @p resumeStage onward (forward: upward from it;

@@ -122,12 +122,14 @@ runTransformCampaign(const ChaosConfig &cfg, const ChaosIntensity &in,
 
     DeviceHealthTracker health(cfg.gpus);
     ResilienceConfig rc;
+    rc.abft = cfg.abft;
     for (unsigned t = 0; t < cfg.transformsPerCampaign; ++t) {
         FaultModel m;
         m.seed = mix64(seed ^ (t + 1));
         m.transientExchangeRate = in.transientRate;
         m.bitFlipRate = in.bitFlipRate;
         m.stragglerRate = in.stragglerRate;
+        m.computeBitFlipRate = in.computeBitFlipRate;
         if (rng.uniform() < in.dropoutRate && cfg.gpus > 1) {
             DeviceDropout drop;
             drop.gpu = static_cast<unsigned>(rng.below(cfg.gpus));
@@ -140,10 +142,22 @@ runTransformCampaign(const ChaosConfig &cfg, const ChaosIntensity &in,
             engine.forwardResilient(data, inj, rc, &health);
 
         const InjectedFaults &f = inj.injected();
-        stats.injectedFaults +=
-            f.transients + f.corruptions + f.stragglers + f.dropouts;
+        stats.injectedFaults += f.transients + f.corruptions() +
+                                f.stragglers + f.dropouts;
         if (r.ok()) {
             stats.simulatedSeconds += r.value().totalSeconds();
+            // Per-category injected-vs-caught ledger. Only completed
+            // runs balance: an error discards the SimReport and the
+            // catch counters with it, so failed-clean runs are
+            // excluded from both sides.
+            stats.exchangeFlipsInjected +=
+                f.exchangeCorruptions + f.retransmitCorruptions;
+            stats.computeFlipsInjected += f.computeCorruptions;
+            const FaultStats &fs = r.value().faultStats();
+            stats.exchangeFlipsCaught += fs.corruptionsDetected;
+            stats.abftCaught += fs.abftCatches;
+            stats.abftTilesRecomputed += fs.tilesRecomputed;
+            stats.abftEscalated += fs.abftEscalations;
             if (data.toGlobal() == ref_global)
                 stats.transformsCompleted++;
             else
@@ -206,6 +220,18 @@ defaultChaosGrid()
     grid[3].bitFlipRate = 0.05;
     grid[3].stragglerRate = 0.10;
     grid[3].dropoutRate = 0.5;
+
+    // Pure compute-path silent-data-corruption rows: no fabric or
+    // pipeline chaos, only in-kernel bit flips, mirroring the
+    // exchange bitFlipRate ladder so the ABFT checksums are the only
+    // line of defense being measured.
+    grid.resize(7);
+    grid[4].label = "sdc-light";
+    grid[4].computeBitFlipRate = 0.005;
+    grid[5].label = "sdc-medium";
+    grid[5].computeBitFlipRate = 0.02;
+    grid[6].label = "sdc-heavy";
+    grid[6].computeBitFlipRate = 0.05;
     return grid;
 }
 
@@ -228,24 +254,28 @@ void
 printChaosTable(std::ostream &os,
                 const std::vector<ChaosCampaignStats> &rows)
 {
-    os << std::left << std::setw(8) << "grid" << std::right
+    os << std::left << std::setw(11) << "grid" << std::right
        << std::setw(7) << "proofs" << std::setw(7) << "clean"
        << std::setw(8) << "xforms" << std::setw(7) << "clean"
        << std::setw(8) << "intr" << std::setw(8) << "resume"
        << std::setw(8) << "flips" << std::setw(8) << "caught"
-       << std::setw(8) << "faults" << std::setw(6) << "quar"
-       << std::setw(12) << "mtbf[s]" << std::setw(10) << "res/prf"
-       << std::setw(8) << "silent" << "\n";
+       << std::setw(8) << "cflips" << std::setw(8) << "abft"
+       << std::setw(6) << "esc" << std::setw(8) << "faults"
+       << std::setw(6) << "quar" << std::setw(12) << "mtbf[s]"
+       << std::setw(10) << "res/prf" << std::setw(8) << "silent"
+       << "\n";
     for (const auto &r : rows) {
-        os << std::left << std::setw(8) << r.label << std::right
+        os << std::left << std::setw(11) << r.label << std::right
            << std::setw(7) << r.proofsCompleted << std::setw(7)
            << r.proofsFailedClean << std::setw(8)
            << r.transformsCompleted << std::setw(7)
            << r.transformsFailedClean << std::setw(8)
            << r.interruptions << std::setw(8) << r.resumes
            << std::setw(8) << r.checkpointCorruptions << std::setw(8)
-           << r.checksumDetections << std::setw(8) << r.injectedFaults
-           << std::setw(6) << r.quarantines;
+           << r.checksumDetections << std::setw(8)
+           << r.computeFlipsInjected << std::setw(8) << r.abftCaught
+           << std::setw(6) << r.abftEscalated << std::setw(8)
+           << r.injectedFaults << std::setw(6) << r.quarantines;
         os << std::setw(12);
         if (std::isinf(r.mtbfSeconds()))
             os << "inf";

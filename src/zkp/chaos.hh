@@ -48,6 +48,8 @@ struct ChaosIntensity
     double stragglerRate = 0.0;
     /** P(a transform schedules a permanent device dropout). */
     double dropoutRate = 0.0;
+    /** NTT compute path: per-kernel output bit-flip rate (ABFT). */
+    double computeBitFlipRate = 0.0;
 };
 
 /** Campaign-count and workload-shape knobs. */
@@ -73,6 +75,14 @@ struct ChaosConfig
      * mid-overlap kills; off pins the linear dispatch for A/B runs.
      */
     bool overlapComm = true;
+    /**
+     * Run the NTT workload with the ABFT compute checksums enabled.
+     * Off is the deliberate escape hatch (`unintt-cli soak
+     * --no-abft`): with computeBitFlipRate > 0 it demonstrates that
+     * the zero-silent-corruption invariant *fails* without ABFT, so
+     * it is an expected-failure smoke, never part of a green gate.
+     */
+    bool abft = true;
 };
 
 /** Outcome of one intensity's campaigns. */
@@ -101,9 +111,27 @@ struct ChaosCampaignStats
     /** Completions whose bytes differed from the reference. MUST be 0. */
     uint64_t silentCorruptions = 0;
 
-    /** NTT-side injected events (transients + flips + stragglers +
-     * dropouts) across all transforms. */
+    /** NTT-side injected events (transients + exchange/compute flips
+     * + stragglers + dropouts) across all transforms. */
     uint64_t injectedFaults = 0;
+    /**
+     * Injected-vs-caught accounting over *completed* transforms only
+     * (a failed run's SimReport — and with it the catch counters —
+     * does not survive the error path, so only completed runs can be
+     * balanced). For every completed transform the ABFT ledger must
+     * balance: computeFlipsInjected == abftCaught + abftEscalated.
+     */
+    uint64_t exchangeFlipsInjected = 0;
+    /** Exchange flips the payload checksums detected (completed). */
+    uint64_t exchangeFlipsCaught = 0;
+    /** Compute-path bit flips the injector fired (completed runs). */
+    uint64_t computeFlipsInjected = 0;
+    /** Compute flips the ABFT checksums caught and localized. */
+    uint64_t abftCaught = 0;
+    /** Corrupted tiles recomputed by the ABFT recovery path. */
+    uint64_t abftTilesRecomputed = 0;
+    /** ABFT escalations to the degrade-reschedule path. */
+    uint64_t abftEscalated = 0;
     /** Health-tracker quarantine transitions observed. */
     uint64_t quarantines = 0;
     /** Total priced NTT time across all resilient transforms. */
@@ -120,7 +148,12 @@ struct ChaosCampaignStats
     double resumesPerProof() const;
 };
 
-/** The default grid: off / light / medium / heavy. */
+/**
+ * The default grid: off / light / medium / heavy (fabric + pipeline
+ * chaos) followed by sdc-light / sdc-medium / sdc-heavy (pure
+ * compute-path bit flips mirroring the exchange bitFlipRate ladder,
+ * so the ABFT layer is exercised in isolation).
+ */
 std::vector<ChaosIntensity> defaultChaosGrid();
 
 /** Run @p cfg.campaigns campaigns at intensity @p intensity. */

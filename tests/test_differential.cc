@@ -415,6 +415,118 @@ TEST(Differential, DagOverlapMatchesLinearAcrossTilesAndThreads)
     }
 }
 
+/**
+ * ABFT hardening against the unhardened clean path: the checksum
+ * layer must be observation-only on a fault-free run — for one seeded
+ * draw, every combination of direction, tile size, thread count and
+ * dispatch mode with ABFT on must produce output byte-identical to
+ * the plain (non-resilient) transform and to the ABFT-off resilient
+ * run, while actually performing checks.
+ */
+template <NttField F>
+void
+runAbftDraw(const Draw &d)
+{
+    SCOPED_TRACE("draw " + std::to_string(d.index) + ": " +
+                 std::string(F::kName) + " logN=" +
+                 std::to_string(d.logN) + " gpus=" +
+                 std::to_string(d.gpus));
+
+    const size_t n = size_t{1} << d.logN;
+    Rng rng(d.dataSeed);
+    std::vector<F> input(n);
+    for (auto &v : input)
+        v = F::fromU64(rng.next());
+    auto sys = makeDgxA100(d.gpus);
+
+    for (auto dir : {NttDirection::Forward, NttDirection::Inverse}) {
+        SCOPED_TRACE(dir == NttDirection::Forward ? "forward"
+                                                  : "inverse");
+        UniNttEngine<F> plain(sys);
+        auto base = DistributedVector<F>::fromGlobal(input, d.gpus);
+        if (dir == NttDirection::Forward)
+            plain.forward(base);
+        else
+            plain.inverse(base);
+        const std::vector<F> want = base.toGlobal();
+
+        for (bool abft : {false, true}) {
+            for (bool overlap : {false, true}) {
+                for (unsigned tile : {0u, 4u, 20u}) {
+                    for (unsigned threads : {1u, 4u}) {
+                        SCOPED_TRACE(
+                            "abft=" + std::to_string(abft) +
+                            " overlap=" + std::to_string(overlap) +
+                            " tile=" + std::to_string(tile) +
+                            " threads=" + std::to_string(threads));
+                        UniNttConfig cfg = UniNttConfig::allOn();
+                        cfg.overlapComm = overlap;
+                        cfg.hostTileLog2 = tile;
+                        cfg.hostThreads = threads;
+                        UniNttEngine<F> engine(sys, cfg);
+                        ResilienceConfig rc;
+                        rc.abft = abft;
+                        FaultInjector inj(FaultModel::none());
+                        auto data = DistributedVector<F>::fromGlobal(
+                            input, d.gpus);
+                        Result<SimReport> r =
+                            dir == NttDirection::Forward
+                                ? engine.forwardResilient(data, inj,
+                                                          rc)
+                                : engine.inverseResilient(data, inj,
+                                                          rc);
+                        ASSERT_TRUE(r.ok())
+                            << r.status().toString();
+                        ASSERT_EQ(data.toGlobal(), want);
+                        const FaultStats &fs =
+                            r.value().faultStats();
+                        if (abft)
+                            EXPECT_GT(fs.abftChecks, 0u);
+                        else
+                            EXPECT_EQ(fs.abftChecks, 0u);
+                        EXPECT_EQ(fs.abftCatches, 0u);
+                        EXPECT_EQ(fs.tilesRecomputed, 0u);
+                    }
+                }
+            }
+        }
+    }
+}
+
+TEST(Differential, AbftOnMatchesCleanRunsAcrossTilesAndThreads)
+{
+    // Same draw sequence as the other differential tests; the matrix
+    // per draw (2 directions x 2 abft x 2 dispatch x 3 tiles x 2
+    // thread counts) is the expensive part, so draws are subsampled
+    // on a residue disjoint from the fusion/overlap matrices.
+    Rng draw_rng(0xd1ffe7e57ULL);
+    for (int i = 0; i < kDraws; ++i) {
+        Draw d;
+        d.index = i;
+        d.field = static_cast<unsigned>(draw_rng.below(3));
+        d.logN = kMinLogN + static_cast<unsigned>(
+                                draw_rng.below(kMaxLogN - kMinLogN + 1));
+        d.gpus = 1u << draw_rng.below(4);
+        d.dataSeed = draw_rng.next();
+        if (i % 8 != 5)
+            continue;
+
+        switch (d.field) {
+        case 0:
+            runAbftDraw<Goldilocks>(d);
+            break;
+        case 1:
+            runAbftDraw<BabyBear>(d);
+            break;
+        default:
+            runAbftDraw<Bn254Fr>(d);
+            break;
+        }
+        if (::testing::Test::HasFatalFailure())
+            return;
+    }
+}
+
 TEST(Differential, KernelCostMatchesButterflyWeights)
 {
     // The shared cost hint that sizes hostParallelFor work chunks:

@@ -8,11 +8,14 @@
 
 #include <gtest/gtest.h>
 
+#include "field/babybear.hh"
+#include "field/bn254.hh"
 #include "field/goldilocks.hh"
 #include "ntt/radix2.hh"
 #include "sim/collectives.hh"
 #include "sim/fault.hh"
 #include "sim/multi_gpu.hh"
+#include "unintt/abft.hh"
 #include "unintt/engine.hh"
 
 namespace unintt {
@@ -51,7 +54,7 @@ TEST(FaultInjector, CleanModelInjectsNothing)
         EXPECT_EQ(out.lostGpu, -1);
     }
     EXPECT_EQ(inj.injected().transients, 0u);
-    EXPECT_EQ(inj.injected().corruptions, 0u);
+    EXPECT_EQ(inj.injected().corruptions(), 0u);
     EXPECT_EQ(inj.exchangesSeen(), 100u);
 }
 
@@ -74,7 +77,12 @@ TEST(FaultInjector, SameSeedSameEventSequence)
     }
     EXPECT_EQ(a.injected().transients, b.injected().transients);
     EXPECT_GT(a.injected().transients, 0u);
-    EXPECT_GT(a.injected().corruptions, 0u);
+    EXPECT_GT(a.injected().corruptions(), 0u);
+    // The lump sum is exactly the sum of the per-category splits.
+    EXPECT_EQ(a.injected().corruptions(),
+              a.injected().exchangeCorruptions +
+                  a.injected().retransmitCorruptions +
+                  a.injected().computeCorruptions);
     EXPECT_GT(a.injected().stragglers, 0u);
 }
 
@@ -268,6 +276,129 @@ TEST(FaultyCollectives, SameSeedSameCost)
 }
 
 // ---------------------------------------------------------------------
+// Compute-fault draws (the ABFT injection side).
+// ---------------------------------------------------------------------
+
+TEST(ComputeFaults, DrawsAreStatelessHashesOfTheirCoordinates)
+{
+    // The seed-derivation contract (sim/fault.hh): compute draws are
+    // pure functions of (model.seed, device, step, attempt), so
+    // interleaving any number of exchange draws — which advance the
+    // sequential stream — must not perturb them. This is what makes a
+    // replay reproduce the same flip at the same step even when the
+    // recovery path changes how many exchanges run in between.
+    FaultModel m;
+    m.seed = 314;
+    m.computeBitFlipRate = 0.25;
+    m.transientExchangeRate = 0.5;
+    m.bitFlipRate = 0.5;
+
+    FaultInjector quiet(m), noisy(m);
+    bool fired = false;
+    for (unsigned device = 0; device < 4; ++device) {
+        for (uint64_t step = 0; step < 32; ++step) {
+            for (unsigned attempt = 0; attempt < 3; ++attempt) {
+                // Perturb the sequential stream of one injector only.
+                noisy.nextExchange(4);
+                ComputeFaultOutcome a =
+                    quiet.computeFault(device, step, attempt);
+                ComputeFaultOutcome b =
+                    noisy.computeFault(device, step, attempt);
+                EXPECT_EQ(a.corrupted, b.corrupted);
+                EXPECT_EQ(a.corruptWord, b.corruptWord);
+                EXPECT_EQ(a.corruptBit, b.corruptBit);
+                fired = fired || a.corrupted;
+            }
+        }
+    }
+    EXPECT_TRUE(fired);
+    EXPECT_GT(quiet.injected().computeCorruptions, 0u);
+    EXPECT_EQ(quiet.injected().computeCorruptions,
+              noisy.injected().computeCorruptions);
+}
+
+TEST(ComputeFaults, ReplayReproducesTheDrawSequence)
+{
+    FaultModel m;
+    m.seed = 2718;
+    m.computeBitFlipRate = 0.1;
+    FaultInjector a(m), b(m);
+    for (uint64_t step = 0; step < 200; ++step) {
+        ComputeFaultOutcome oa = a.computeFault(step % 8, step, 0);
+        ComputeFaultOutcome ob = b.computeFault(step % 8, step, 0);
+        EXPECT_EQ(oa.corrupted, ob.corrupted);
+        EXPECT_EQ(oa.corruptWord, ob.corruptWord);
+        EXPECT_EQ(oa.corruptBit, ob.corruptBit);
+    }
+    EXPECT_GT(a.injected().computeCorruptions, 0u);
+}
+
+TEST(ComputeFaults, CleanModelNeverFires)
+{
+    FaultInjector inj(FaultModel::none());
+    for (uint64_t step = 0; step < 100; ++step)
+        EXPECT_FALSE(inj.computeFault(0, step, 0).corrupted);
+    EXPECT_EQ(inj.injected().computeCorruptions, 0u);
+}
+
+// ---------------------------------------------------------------------
+// ABFT checksums: a flipped word can never cancel out of the dot.
+// ---------------------------------------------------------------------
+
+/**
+ * Flip one bit of one stored word the way the executor's injector
+ * does (a raw byte XOR) and require the random-linear-combination dot
+ * product to change. Sound because the coefficients are nudged away
+ * from zero and a single-bit XOR changes the raw word by ±2^k, which
+ * is never ≡ 0 mod an odd prime — so the dot moves by coef * delta,
+ * a product of nonzero field elements.
+ */
+template <typename Fld>
+void
+expectBitFlipChangesDot()
+{
+    const uint64_t n = 64;
+    std::vector<Fld> coef(n), x(n);
+    for (uint64_t i = 0; i < n; ++i) {
+        Fld e = fieldFromEntropy<Fld>(mix64(0x5eed ^ mix64(i + 1)));
+        coef[i] = e.isZero() ? Fld::fromU64(1) : e;
+        x[i] = fieldFromEntropy<Fld>(mix64(0xdada ^ mix64(i + 1)));
+    }
+    const Fld base = abftSpanDot(coef.data(), x.data(), n);
+    for (uint64_t w = 0; w < n; w += 7) {
+        for (unsigned bit = 0; bit < 8 * sizeof(Fld); bit += 5) {
+            Fld saved = x[w];
+            auto *raw = reinterpret_cast<unsigned char *>(&x[w]);
+            raw[bit / 8] ^= static_cast<unsigned char>(
+                1u << (bit % 8));
+            EXPECT_FALSE(x[w] == saved)
+                << "word " << w << " bit " << bit;
+            const Fld dot = abftSpanDot(coef.data(), x.data(), n);
+            EXPECT_FALSE(dot == base)
+                << "word " << w << " bit " << bit;
+            x[w] = saved;
+        }
+    }
+}
+
+TEST(AbftChecksum, BitFlipChangesDotGoldilocks)
+{
+    // Covers the branch-free reduction paths: the flipped raw word
+    // may be a non-canonical residue, but its value mod p still moves.
+    expectBitFlipChangesDot<Goldilocks>();
+}
+
+TEST(AbftChecksum, BitFlipChangesDotBabyBear)
+{
+    expectBitFlipChangesDot<BabyBear>();
+}
+
+TEST(AbftChecksum, BitFlipChangesDotBn254)
+{
+    expectBitFlipChangesDot<Bn254Fr>();
+}
+
+// ---------------------------------------------------------------------
 // Resilient engine: clean runs.
 // ---------------------------------------------------------------------
 
@@ -448,6 +579,189 @@ TEST(ResilientEngine, PersistentCorruptionIsDataCorruptionStatus)
     ASSERT_FALSE(r.ok());
     EXPECT_EQ(r.status().code(), StatusCode::DataCorruption);
     EXPECT_NE(r.status().message().find("checksum"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Resilient engine: ABFT compute-fault campaigns.
+// ---------------------------------------------------------------------
+
+TEST(AbftRecovery, ComputeFlipCampaignIsCorrectOrCleanAcrossKinds)
+{
+    // The recovery matrix: compute bit flips land on every step kind
+    // (cross stages, local passes, fused groups, the inverse scale)
+    // across directions, dispatch modes and GPU counts. Every run
+    // must either produce the bit-exact reference or fail with a
+    // clean Status, the injected-vs-caught ledger must balance on
+    // every completed run, and across the sweep the ABFT layer must
+    // actually catch flips and recompute tiles.
+    std::vector<F> x = testVector(1 << 12);
+    std::vector<F> fwd = x;
+    nttNoPermute(fwd, NttDirection::Forward);
+
+    uint64_t caught = 0, tiles = 0, escalated = 0, completed = 0;
+    for (unsigned gpus : {1u, 4u, 8u}) {
+        auto sys = makeDgxA100(gpus);
+        for (bool overlap : {true, false}) {
+            UniNttConfig cfg = UniNttConfig::allOn();
+            cfg.overlapComm = overlap;
+            UniNttEngine<F> engine(sys, cfg);
+            for (bool inverse : {false, true}) {
+                for (uint64_t seed = 0; seed < 6; ++seed) {
+                    SCOPED_TRACE("gpus " + std::to_string(gpus) +
+                                 " overlap " + std::to_string(overlap) +
+                                 " inverse " + std::to_string(inverse) +
+                                 " seed " + std::to_string(seed));
+                    FaultModel m;
+                    m.seed = mix64(seed + 1);
+                    m.computeBitFlipRate = 0.05;
+                    FaultInjector inj(m);
+                    auto dist = DistributedVector<F>::fromGlobal(
+                        inverse ? fwd : x, gpus);
+                    Result<SimReport> r =
+                        inverse ? engine.inverseResilient(dist, inj)
+                                : engine.forwardResilient(dist, inj);
+                    if (!r.ok()) {
+                        EXPECT_EQ(r.status().code(),
+                                  StatusCode::DataCorruption);
+                        continue;
+                    }
+                    completed++;
+                    EXPECT_EQ(dist.toGlobal(), inverse ? x : fwd);
+                    const FaultStats &fs = r.value().faultStats();
+                    EXPECT_GT(fs.abftChecks, 0u);
+                    // Ledger: every injected flip of a completed run
+                    // was caught or escalated.
+                    EXPECT_EQ(inj.injected().computeCorruptions,
+                              fs.abftCatches + fs.abftEscalations);
+                    caught += fs.abftCatches;
+                    tiles += fs.tilesRecomputed;
+                    escalated += fs.abftEscalations;
+                }
+            }
+        }
+    }
+    EXPECT_GT(completed, 0u);
+    EXPECT_GT(caught, 0u);
+    EXPECT_GT(tiles, 0u);
+    (void)escalated; // may be zero at this rate — covered below
+}
+
+TEST(AbftRecovery, ExhaustedTileRetriesEscalateToDegradeOrCleanError)
+{
+    // With a zero tile-retry budget every detected flip escalates
+    // immediately: on a multi-GPU forward run that is the
+    // degrade-reschedule path (and the run still completes exactly);
+    // the device the flip landed on is marked suspect in the health
+    // tracker either way.
+    auto sys = makeDgxA100(8);
+    UniNttEngine<F> engine(sys);
+    std::vector<F> x = testVector(1 << 12);
+    std::vector<F> expect = x;
+    nttNoPermute(expect, NttDirection::Forward);
+
+    ResilienceConfig rc;
+    rc.abftMaxTileRetries = 0;
+    bool escalated_ok = false, escalated_err = false;
+    // A forward schedule here has only 4 checked steps (3 cross + 1
+    // fused local group), so the per-run fire probability needs a
+    // hotter rate than the recovery matrix to make escalations
+    // certain across the sweep.
+    for (uint64_t seed = 0; seed < 20; ++seed) {
+        SCOPED_TRACE("seed " + std::to_string(seed));
+        FaultModel m;
+        m.seed = mix64(seed + 77);
+        m.computeBitFlipRate = 0.15;
+        FaultInjector inj(m);
+        DeviceHealthTracker health(8);
+        auto dist = DistributedVector<F>::fromGlobal(x, 8);
+        Result<SimReport> r =
+            engine.forwardResilient(dist, inj, rc, &health);
+        if (inj.injected().computeCorruptions == 0)
+            continue;
+        if (r.ok()) {
+            EXPECT_EQ(dist.toGlobal(), expect);
+            EXPECT_GT(r.value().faultStats().abftEscalations, 0u);
+            EXPECT_GT(r.value().faultStats().degradedReplans, 0u);
+            escalated_ok = true;
+        } else {
+            EXPECT_EQ(r.status().code(), StatusCode::DataCorruption);
+            escalated_err = true;
+        }
+        uint64_t attributed = 0;
+        for (unsigned d = 0; d < 8; ++d)
+            attributed += health.faultEvents(d);
+        EXPECT_GT(attributed, 0u);
+    }
+    EXPECT_TRUE(escalated_ok || escalated_err);
+}
+
+TEST(AbftRecovery, AbftOffLetsComputeFlipsCorruptSilently)
+{
+    // The negative control behind `unintt-cli soak --no-abft`: with
+    // the checksums disabled an injected compute flip sails through
+    // and the output is wrong. This is what proves the ABFT layer is
+    // load-bearing rather than vacuously green.
+    auto sys = makeDgxA100(8);
+    UniNttEngine<F> engine(sys);
+    std::vector<F> x = testVector(1 << 12);
+    std::vector<F> expect = x;
+    nttNoPermute(expect, NttDirection::Forward);
+
+    ResilienceConfig rc;
+    rc.abft = false;
+    // Also disable the spot checks: they sample output points, so an
+    // early flip (which spreads to every output) would be caught and
+    // turn the run into a clean failure instead of the silent
+    // corruption this control is after.
+    rc.spotChecks = 0;
+    bool corrupted = false;
+    for (uint64_t seed = 0; seed < 20 && !corrupted; ++seed) {
+        FaultModel m;
+        m.seed = mix64(seed + 5);
+        m.computeBitFlipRate = 0.15;
+        FaultInjector inj(m);
+        auto dist = DistributedVector<F>::fromGlobal(x, 8);
+        Result<SimReport> r = engine.forwardResilient(dist, inj, rc);
+        ASSERT_TRUE(r.ok()) << r.status().toString();
+        EXPECT_EQ(r.value().faultStats().abftChecks, 0u);
+        if (inj.injected().computeCorruptions > 0)
+            corrupted = dist.toGlobal() != expect;
+    }
+    EXPECT_TRUE(corrupted);
+}
+
+TEST(AbftRecovery, LinearAndDagDispatchAgreeOnAbftAccounting)
+{
+    // Compute-fault ordinals advance in step order in both dispatch
+    // modes, so the same seed must catch the same flips at the same
+    // boundaries whether or not the waves overlap.
+    auto sys = makeDgxA100(8);
+    std::vector<F> x = testVector(1 << 12);
+    FaultModel m;
+    m.seed = 4242;
+    m.computeBitFlipRate = 0.05;
+
+    auto runWith = [&](bool overlap) {
+        UniNttConfig cfg = UniNttConfig::allOn();
+        cfg.overlapComm = overlap;
+        UniNttEngine<F> engine(sys, cfg);
+        FaultInjector inj(m);
+        auto dist = DistributedVector<F>::fromGlobal(x, 8);
+        Result<SimReport> r = engine.forwardResilient(dist, inj);
+        EXPECT_TRUE(r.ok()) << r.status().toString();
+        return std::make_tuple(r.value().faultStats(),
+                               inj.injected().computeCorruptions,
+                               dist.toGlobal());
+    };
+    auto dag = runWith(true);
+    auto lin = runWith(false);
+    EXPECT_EQ(std::get<2>(dag), std::get<2>(lin));
+    EXPECT_EQ(std::get<1>(dag), std::get<1>(lin));
+    EXPECT_EQ(std::get<0>(dag).abftChecks, std::get<0>(lin).abftChecks);
+    EXPECT_EQ(std::get<0>(dag).abftCatches,
+              std::get<0>(lin).abftCatches);
+    EXPECT_EQ(std::get<0>(dag).tilesRecomputed,
+              std::get<0>(lin).tilesRecomputed);
 }
 
 // ---------------------------------------------------------------------
@@ -729,6 +1043,21 @@ TEST(FaultStatsReport, CleanReportPrintsNoFaultLine)
     PerfModel perf(makeDgxA100(1).gpu, fieldCostOf<F>());
     report.addKernelPhase("p", k, perf);
     EXPECT_EQ(report.toString().find("faults:"), std::string::npos);
+}
+
+TEST(FaultStatsReport, AbftCountersAppearInTheReportText)
+{
+    FaultStats fs;
+    fs.abftChecks = 12;
+    fs.abftCatches = 2;
+    fs.tilesRecomputed = 3;
+    fs.abftEscalations = 1;
+    EXPECT_TRUE(fs.any());
+    SimReport report;
+    report.addFaultStats(fs);
+    std::string text = report.toString();
+    EXPECT_NE(text.find("abft"), std::string::npos);
+    EXPECT_NE(text.find("recomputed"), std::string::npos);
 }
 
 TEST(FaultStatsReport, AppendMergesFaultCounters)
