@@ -5,11 +5,16 @@
  * Times the fused tile-resident local passes (unintt/executors.hh,
  * fusedLocalStagesCompute) against the per-stage path on one pinned
  * configuration — Goldilocks, one GPU chunk, one host thread — so the
- * number tracks kernel quality, not scheduling luck. Both paths are
- * first checked bit-identical on the same input; the harness then
- * reports ns per butterfly, elements per second, and the fused
- * speedup, and writes the machine-readable BENCH_host_ntt.json that
- * scripts/bench.sh (and CI in --smoke mode) diff across commits.
+ * number tracks kernel quality, not scheduling luck. The sweep runs
+ * once per acceleration path the router can bind on this host
+ * (field/dispatch.hh), so BENCH_host_ntt.json carries one point per
+ * (logN, isa) pair and the scalar/AVX2/AVX-512 trajectories diff
+ * independently across commits. Every path's output is first checked
+ * bit-identical against the forced-scalar engine on the same input;
+ * the harness then reports ns per butterfly, elements per second, and
+ * the fused speedup, and writes the machine-readable
+ * BENCH_host_ntt.json that scripts/bench.sh (and CI in --smoke mode)
+ * diff across commits.
  *
  * Flags:
  *   --smoke      tiny sizes for CI; exits non-zero if the fused path
@@ -23,6 +28,7 @@
 #include <vector>
 
 #include "bench/bench_util.hh"
+#include "field/dispatch.hh"
 #include "field/goldilocks.hh"
 #include "sim/fault.hh"
 #include "unintt/engine.hh"
@@ -73,97 +79,129 @@ main(int argc, char **argv)
     }
 
     benchHeader("BENCH host NTT",
-                "fused tile-resident vs per-stage host butterflies");
+                "fused tile-resident vs per-stage host butterflies, "
+                "per acceleration path");
     auto sys = makeDgxA100(kGpus);
     verifyOrDie<F>(sys);
+    std::printf("%s\n", routerDescription().c_str());
 
     const std::vector<unsigned> log_ns =
         smoke ? std::vector<unsigned>{14, 16}
               : std::vector<unsigned>{20, 22, 24};
     const int reps = smoke ? 2 : 5;
+    const std::vector<IsaPath> paths = availableIsaPaths();
 
-    UniNttConfig fused_cfg;
-    fused_cfg.hostThreads = 1;
-    UniNttConfig unfused_cfg = fused_cfg;
-    unfused_cfg.fuseLocalPasses = false;
-    UniNttEngine<F> fused(sys, fused_cfg);
-    UniNttEngine<F> unfused(sys, unfused_cfg);
+    UniNttConfig base_cfg;
+    base_cfg.hostThreads = 1;
 
     std::printf("pinned: %s, %u host thread, best of %d reps\n\n",
-                sys.description().c_str(), fused_cfg.hostThreads, reps);
+                sys.description().c_str(), base_cfg.hostThreads, reps);
 
     JsonWriter jw;
     jw.field("bench", "host_ntt")
         .field("field", F::kName)
         .field("gpus", kGpus)
-        .field("hostThreads", fused_cfg.hostThreads)
+        .field("hostThreads", base_cfg.hostThreads)
+        .field("router", isaPathName(resolveIsaPath(IsaPath::Auto)))
         .field("smoke", smoke)
         .beginArray("points");
 
-    Table t({"logN", "tile", "fused ns/bfly", "per-stage ns/bfly",
-             "fused elem/s", "speedup"});
+    // Scalar reference engine: every path's bytes must match its
+    // output before that path's timing is worth reporting.
+    UniNttConfig scalar_cfg = base_cfg;
+    scalar_cfg.isaPath = IsaPath::Scalar;
+    UniNttEngine<F> scalar_ref(sys, scalar_cfg);
+
+    Table t({"logN", "isa", "tile", "fused ns/bfly",
+             "per-stage ns/bfly", "fused elem/s", "speedup"});
     bool smoke_ok = true;
     double min_large_speedup = 1e300;
+    double best_fused_ns = 1e300;
     for (unsigned logN : log_ns) {
         Rng rng(4040 + logN);
         std::vector<F> input(1ULL << logN);
         for (auto &v : input)
             v = F::fromU64(rng.next());
 
-        // The fused path must be bit-identical to the per-stage path
-        // before any timing is worth reporting.
-        auto df = DistributedVector<F>::fromGlobal(input, kGpus);
-        auto du = DistributedVector<F>::fromGlobal(input, kGpus);
-        fused.forward(df);
-        unfused.forward(du);
-        if (df.toGlobal() != du.toGlobal())
-            fatal("fused output differs from per-stage at 2^%u", logN);
+        auto dref = DistributedVector<F>::fromGlobal(input, kGpus);
+        scalar_ref.forward(dref);
+        const std::vector<F> ref = dref.toGlobal();
 
-        unsigned tile_log2 = 0;
-        for (const auto &st :
-             fused.schedule(logN, NttDirection::Forward)->steps)
-            if (st.kind == StepKind::FusedLocalPass)
-                tile_log2 = st.tileLog2;
+        for (IsaPath isa : paths) {
+            UniNttConfig fused_cfg = base_cfg;
+            fused_cfg.isaPath = isa;
+            UniNttConfig unfused_cfg = fused_cfg;
+            unfused_cfg.fuseLocalPasses = false;
+            UniNttEngine<F> fused(sys, fused_cfg);
+            UniNttEngine<F> unfused(sys, unfused_cfg);
 
-        const double fsec = timeForward(fused, input, reps);
-        const double usec = timeForward(unfused, input, reps);
-        const double fns = nsPerButterfly(fsec, logN);
-        const double uns = nsPerButterfly(usec, logN);
-        const double elems = static_cast<double>(1ULL << logN);
-        const double speedup = uns / fns;
-        if (smoke && fns > 1.10 * uns)
-            smoke_ok = false;
-        if (logN >= 20)
-            min_large_speedup = std::min(min_large_speedup, speedup);
+            // Byte-identity gates: fused and per-stage under this
+            // path must both reproduce the forced-scalar bytes.
+            auto df = DistributedVector<F>::fromGlobal(input, kGpus);
+            auto du = DistributedVector<F>::fromGlobal(input, kGpus);
+            fused.forward(df);
+            unfused.forward(du);
+            if (df.toGlobal() != ref)
+                fatal("%s fused output differs from scalar at 2^%u",
+                      isaPathName(isa), logN);
+            if (du.toGlobal() != ref)
+                fatal("%s per-stage output differs from scalar at "
+                      "2^%u", isaPathName(isa), logN);
 
-        t.addRow({std::to_string(logN), "2^" + std::to_string(tile_log2),
-                  fmtF(fns, 3), fmtF(uns, 3),
-                  formatRate(elems / fsec), fmtF(speedup, 2) + "x"});
+            unsigned tile_log2 = 0;
+            for (const auto &st :
+                 fused.schedule(logN, NttDirection::Forward)->steps)
+                if (st.kind == StepKind::FusedLocalPass)
+                    tile_log2 = st.tileLog2;
 
-        jw.beginObject()
-            .field("logN", logN)
-            .field("tileLog2", tile_log2)
-            .field("fusedNsPerButterfly", fns)
-            .field("unfusedNsPerButterfly", uns)
-            .field("fusedElementsPerSec", elems / fsec)
-            .field("unfusedElementsPerSec", elems / usec)
-            .field("speedup", speedup)
-            .endObject();
+            const double fsec = timeForward(fused, input, reps);
+            const double usec = timeForward(unfused, input, reps);
+            const double fns = nsPerButterfly(fsec, logN);
+            const double uns = nsPerButterfly(usec, logN);
+            const double elems = static_cast<double>(1ULL << logN);
+            const double speedup = uns / fns;
+            if (smoke && fns > 1.10 * uns)
+                smoke_ok = false;
+            if (logN >= 20)
+                min_large_speedup =
+                    std::min(min_large_speedup, speedup);
+            if (logN >= 20)
+                best_fused_ns = std::min(best_fused_ns, fns);
+
+            t.addRow({std::to_string(logN), isaPathName(isa),
+                      "2^" + std::to_string(tile_log2), fmtF(fns, 3),
+                      fmtF(uns, 3), formatRate(elems / fsec),
+                      fmtF(speedup, 2) + "x"});
+
+            jw.beginObject()
+                .field("logN", logN)
+                .field("isa", isaPathName(isa))
+                .field("isaLanes", isaLaneWidth(isa, sizeof(F)))
+                .field("tileLog2", tile_log2)
+                .field("fusedNsPerButterfly", fns)
+                .field("unfusedNsPerButterfly", uns)
+                .field("fusedElementsPerSec", elems / fsec)
+                .field("unfusedElementsPerSec", elems / usec)
+                .field("speedup", speedup)
+                .endObject();
+        }
     }
     jw.endArray();
     t.print();
 
     // The ABFT hardening point: clean-machine wall overhead of the
     // compute-path checksums at the largest swept size, on the same
-    // pinned configuration. Tracked in the artifact so the hardening
-    // tax trends across commits like the kernel numbers (target:
-    // < 10% at 2^22; fig21_abft_overhead gates the multi-GPU case).
+    // pinned configuration under the router's auto path. Tracked in
+    // the artifact so the hardening tax trends across commits like
+    // the kernel numbers (target: < 10% at 2^22; fig21_abft_overhead
+    // gates the multi-GPU case).
     {
         const unsigned logN = log_ns.back();
         Rng rng(4040 + logN);
         std::vector<F> input(1ULL << logN);
         for (auto &v : input)
             v = F::fromU64(rng.next());
+        UniNttEngine<F> fused(sys, base_cfg);
         auto timeResilient = [&](bool abft) {
             ResilienceConfig rc;
             rc.abft = abft;
@@ -198,6 +236,10 @@ main(int argc, char **argv)
     if (!smoke && min_large_speedup < 1e300)
         std::printf("fused speedup at logN >= 20: %.2fx "
                     "(target >= 1.5x)\n", min_large_speedup);
+    if (!smoke && best_fused_ns < 1e300)
+        std::printf("best fused ns/butterfly at logN >= 20: %.3f "
+                    "(target < 1.5 on a vector path)\n",
+                    best_fused_ns);
     if (smoke && !smoke_ok) {
         std::fprintf(stderr, "\nFAIL: fused path more than 10%% slower "
                              "than per-stage in smoke mode\n");

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Figure 22 (new experiment): SIMD span-kernel speedup.
+ *
+ * Sweeps one pinned host configuration — one GPU chunk, one host
+ * thread, fused local passes — over transform sizes, once per
+ * acceleration path the router can bind (field/dispatch.hh), for
+ * Goldilocks and BabyBear. Each vector path's output is checked
+ * bit-identical against the forced-scalar engine before timing; the
+ * bench then reports ns per butterfly and the vector-over-scalar
+ * speedup per (field, logN, isa) cell.
+ *
+ * Hard gate: at every logN >= 16 every vector path must be at least
+ * as fast as forced scalar (ratio >= 1.0x). A vector path losing to
+ * scalar at a cache-resident or larger size means the router would
+ * bind a pessimization, so the bench exits non-zero. Sizes below 16
+ * are context only (span lengths there are short enough that fixed
+ * overheads can dominate).
+ *
+ * Flags:
+ *   --smoke   tiny sizes for CI (still includes logN=16 so the gate
+ *             stays armed).
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.hh"
+#include "field/babybear.hh"
+#include "field/dispatch.hh"
+#include "field/goldilocks.hh"
+#include "unintt/engine.hh"
+#include "util/stats.hh"
+#include "util/table.hh"
+
+using namespace unintt;
+
+namespace {
+
+constexpr unsigned kGpus = 1;
+constexpr unsigned kGateLogN = 16;
+
+double
+nsPerButterfly(double seconds, unsigned logN)
+{
+    const double butterflies =
+        static_cast<double>(logN) *
+        static_cast<double>(1ULL << logN) / 2.0;
+    return seconds * 1e9 / butterflies;
+}
+
+/**
+ * Sweep one field: per (logN, vector path) time forced-scalar vs the
+ * vector engine and record the speedup. Returns false if any vector
+ * path at logN >= kGateLogN is slower than scalar.
+ */
+template <NttField F>
+bool
+sweepField(const MultiGpuSystem &sys, Table &t,
+           const std::vector<unsigned> &log_ns, int reps)
+{
+    std::vector<IsaPath> vec_paths;
+    for (IsaPath p : availableIsaPaths())
+        if (p != IsaPath::Scalar &&
+            isaLaneWidth(p, sizeof(F)) > 1)
+            vec_paths.push_back(p);
+    if (vec_paths.empty()) {
+        std::printf("%s: no vector path available on this host, "
+                    "nothing to gate\n", F::kName);
+        return true;
+    }
+
+    UniNttConfig scalar_cfg;
+    scalar_cfg.hostThreads = 1;
+    scalar_cfg.isaPath = IsaPath::Scalar;
+    UniNttEngine<F> scalar(sys, scalar_cfg);
+
+    bool ok = true;
+    for (unsigned logN : log_ns) {
+        Rng rng(2222 + logN);
+        std::vector<F> input(1ULL << logN);
+        for (auto &v : input)
+            v = F::fromU64(rng.next());
+
+        auto ds = DistributedVector<F>::fromGlobal(input, kGpus);
+        scalar.forward(ds);
+        const std::vector<F> ref = ds.toGlobal();
+        auto dist = DistributedVector<F>::fromGlobal(input, kGpus);
+        const double ssec = bestWallSeconds(
+            reps, [&] { scalar.forward(dist); });
+
+        for (IsaPath isa : vec_paths) {
+            UniNttConfig cfg = scalar_cfg;
+            cfg.isaPath = isa;
+            UniNttEngine<F> vec(sys, cfg);
+
+            auto dv = DistributedVector<F>::fromGlobal(input, kGpus);
+            vec.forward(dv);
+            if (dv.toGlobal() != ref)
+                fatal("%s %s output differs from scalar at 2^%u",
+                      F::kName, isaPathName(isa), logN);
+
+            auto dt = DistributedVector<F>::fromGlobal(input, kGpus);
+            const double vsec = bestWallSeconds(
+                reps, [&] { vec.forward(dt); });
+            const double speedup = ssec / vsec;
+            const bool gated = logN >= kGateLogN;
+            const bool lost = gated && speedup < 1.0;
+            if (lost)
+                ok = false;
+
+            t.addRow({F::kName, std::to_string(logN),
+                      isaPathName(isa),
+                      std::to_string(isaLaneWidth(isa, sizeof(F))),
+                      fmtF(nsPerButterfly(ssec, logN), 3),
+                      fmtF(nsPerButterfly(vsec, logN), 3),
+                      fmtF(speedup, 2) + "x",
+                      lost ? "FAIL" : (gated ? "ok" : "-")});
+        }
+    }
+    return ok;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool smoke = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") == 0)
+            smoke = true;
+        else
+            fatal("unknown flag '%s' (--smoke)", argv[i]);
+    }
+
+    benchHeader("Figure 22",
+                "SIMD span-kernel speedup: forced-scalar vs vector "
+                "acceleration paths");
+    auto sys = makeDgxA100(kGpus);
+    verifyOrDie<Goldilocks>(sys);
+    std::printf("%s\n", routerDescription().c_str());
+
+    // The gate size (16) must always be in the sweep, smoke or not.
+    const std::vector<unsigned> log_ns =
+        smoke ? std::vector<unsigned>{14, 16}
+              : std::vector<unsigned>{14, 16, 18, 20, 22};
+    const int reps = smoke ? 2 : 5;
+    std::printf("pinned: %s, 1 host thread, best of %d reps; gate: "
+                "vector >= scalar at logN >= %u\n\n",
+                sys.description().c_str(), reps, kGateLogN);
+
+    Table t({"field", "logN", "isa", "lanes", "scalar ns/bfly",
+             "vector ns/bfly", "speedup", "gate"});
+    bool ok = sweepField<Goldilocks>(sys, t, log_ns, reps);
+    ok = sweepField<BabyBear>(sys, t, log_ns, reps) && ok;
+    t.print();
+
+    if (!ok) {
+        std::fprintf(stderr,
+                     "\nFAIL: a vector path lost to forced scalar at "
+                     "logN >= %u — the router would bind a "
+                     "pessimization\n", kGateLogN);
+        return 1;
+    }
+    std::printf("\nOK: every vector path at least matches scalar at "
+                "logN >= %u\n", kGateLogN);
+    return 0;
+}

@@ -30,15 +30,22 @@ done
 
 cmake -B "$BUILD_DIR" -S . >/dev/null
 cmake --build "$BUILD_DIR" -j"$JOBS" --target bench_host_ntt \
-    micro_ntt micro_field fig18_host_parallel
+    fig22_simd_speedup micro_ntt micro_field fig18_host_parallel
 
-echo "==> host NTT kernel harness"
-"$BUILD_DIR"/bench/bench_host_ntt $SMOKE --out="$OUT"
+echo "==> host NTT kernel harness (one sweep per ISA path)"
+"$BUILD_DIR"/bench/bench_host_ntt $SMOKE --out="$OUT" \
+    | tee /tmp/bench_host_ntt.txt
+grep -q "router: " /tmp/bench_host_ntt.txt
 
 if command -v python3 >/dev/null 2>&1; then
     python3 -m json.tool "$OUT" >/dev/null
-    echo "==> $OUT parses"
+    grep -q '"router"' "$OUT"
+    grep -q '"isa"' "$OUT"
+    echo "==> $OUT parses and carries the router/isa fields"
 fi
+
+echo "==> fig22: SIMD speedup gate (vector must not lose at logN >= 16)"
+"$BUILD_DIR"/bench/fig22_simd_speedup $SMOKE
 
 if [ -z "$SMOKE" ]; then
     echo "==> context benches"

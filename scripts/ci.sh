@@ -12,7 +12,40 @@ JOBS="${JOBS:-$(nproc)}"
 echo "==> regular build + tests ($BUILD_DIR)"
 cmake -B "$BUILD_DIR" -S .
 cmake --build "$BUILD_DIR" -j"$JOBS"
+# Two full passes of the suite: first pinned to the scalar kernels
+# (the pre-SIMD reference bytes), then with the router free to bind
+# the best vector path. Both must be green — byte-identity across
+# acceleration paths is a correctness contract, not a fast path.
+echo "==> tests, forced scalar kernels (UNINTT_FORCE_ISA=scalar)"
+UNINTT_FORCE_ISA=scalar \
+    ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$JOBS"
+echo "==> tests, auto-routed kernels"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$JOBS"
+
+echo "==> acceleration router smoke (--list-kernels + report line)"
+"$BUILD_DIR"/src/tools/unintt-cli list-kernels \
+    | tee /tmp/ci_kernels.txt
+grep -q "router: " /tmp/ci_kernels.txt
+grep -qi "goldilocks" /tmp/ci_kernels.txt
+# The functional engine must surface its bound path in the report.
+"$BUILD_DIR"/src/tools/unintt-cli ntt --log-n=14 --gpus=2 \
+    --functional | tee /tmp/ci_ntt_isa.txt
+grep -Eq "isa [a-z0-9]+ \([0-9]+ lanes?, [0-9]+ dispatches\)" \
+    /tmp/ci_ntt_isa.txt
+# Forcing scalar through the config flag must also stick.
+"$BUILD_DIR"/src/tools/unintt-cli ntt --log-n=14 --gpus=2 \
+    --functional --isa=scalar | grep -q "isa scalar (1 lane,"
+
+echo "==> compile-only config: -DUNINTT_DISABLE_SIMD=ON"
+# The vector TUs are optional by design; the scalar-only tree must
+# keep configuring and compiling (no tests — the regular tree already
+# proved scalar correctness via UNINTT_FORCE_ISA=scalar above).
+cmake -B "$BUILD_DIR-nosimd" -S . -DUNINTT_DISABLE_SIMD=ON >/dev/null
+cmake --build "$BUILD_DIR-nosimd" -j"$JOBS" --target unintt-cli
+# With the vector TUs stripped the probe may still see the hardware,
+# but the router must resolve to scalar and bind only scalar tables.
+"$BUILD_DIR-nosimd"/src/tools/unintt-cli list-kernels \
+    | grep -q "router: scalar"
 
 echo "==> chaos soak (checkpointed pipeline + resilient NTT)"
 # The soak itself hard-gates the ABFT ledger (injected == caught +

@@ -1,0 +1,294 @@
+/**
+ * @file
+ * Acceleration-router implementation: the one-time CPU feature probe,
+ * the env/config/probe resolution ladder, the per-path dispatch
+ * counters, and the lane-parallel table bindings for Goldilocks and
+ * BabyBear (produced by kernels_avx2.cc / kernels_avx512.cc when the
+ * build carries those backends).
+ */
+
+#include "field/dispatch.hh"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+#include "field/babybear.hh"
+#include "field/bn254.hh"
+#include "field/goldilocks.hh"
+#include "field/kernels_tables.hh"
+
+namespace unintt {
+
+const char *
+isaPathName(IsaPath p)
+{
+    switch (p) {
+    case IsaPath::Auto:
+        return "auto";
+    case IsaPath::Scalar:
+        return "scalar";
+    case IsaPath::Avx2:
+        return "avx2";
+    case IsaPath::Avx512:
+        return "avx512";
+    case IsaPath::Neon:
+        return "neon";
+    }
+    return "?";
+}
+
+bool
+parseIsaPath(const std::string &s, IsaPath *out)
+{
+    for (IsaPath p : {IsaPath::Auto, IsaPath::Scalar, IsaPath::Avx2,
+                      IsaPath::Avx512, IsaPath::Neon}) {
+        if (s == isaPathName(p)) {
+            *out = p;
+            return true;
+        }
+    }
+    return false;
+}
+
+std::string
+CpuFeatures::toString() const
+{
+    std::string s;
+    s += "avx2=";
+    s += avx2 ? "yes" : "no";
+    s += " avx512f=";
+    s += avx512 ? "yes" : "no";
+    s += " neon=";
+    s += neon ? "yes" : "no";
+    return s;
+}
+
+const CpuFeatures &
+cpuFeatures()
+{
+    static const CpuFeatures f = [] {
+        CpuFeatures r;
+#if defined(__x86_64__) || defined(__i386__)
+        r.avx2 = __builtin_cpu_supports("avx2");
+        r.avx512 = __builtin_cpu_supports("avx512f");
+#elif defined(__aarch64__) || defined(__ARM_NEON)
+        r.neon = true;
+#endif
+        return r;
+    }();
+    return f;
+}
+
+bool
+isaPathAvailable(IsaPath p)
+{
+    switch (p) {
+    case IsaPath::Scalar:
+        return true;
+    case IsaPath::Avx2:
+#if defined(UNINTT_HAVE_AVX2)
+        return cpuFeatures().avx2;
+#else
+        return false;
+#endif
+    case IsaPath::Avx512:
+#if defined(UNINTT_HAVE_AVX512)
+        return cpuFeatures().avx512;
+#else
+        return false;
+#endif
+    case IsaPath::Neon: // stub: no kernel tables registered yet
+    case IsaPath::Auto:
+        return false;
+    }
+    return false;
+}
+
+IsaPath
+bestIsaPath()
+{
+    if (isaPathAvailable(IsaPath::Avx512))
+        return IsaPath::Avx512;
+    if (isaPathAvailable(IsaPath::Avx2))
+        return IsaPath::Avx2;
+    return IsaPath::Scalar;
+}
+
+IsaPath
+forcedIsaPath()
+{
+    static const IsaPath forced = [] {
+        const char *env = std::getenv("UNINTT_FORCE_ISA");
+        if (env == nullptr || env[0] == '\0')
+            return IsaPath::Auto;
+        IsaPath p = IsaPath::Auto;
+        if (!parseIsaPath(env, &p)) {
+            std::fprintf(stderr,
+                         "unintt: ignoring unknown UNINTT_FORCE_ISA="
+                         "'%s' (auto, scalar, avx2, avx512, neon)\n",
+                         env);
+            return IsaPath::Auto;
+        }
+        return p;
+    }();
+    return forced;
+}
+
+IsaPath
+resolveIsaPath(IsaPath requested)
+{
+    IsaPath want = forcedIsaPath();
+    if (want == IsaPath::Auto)
+        want = requested;
+    if (want == IsaPath::Auto)
+        return bestIsaPath();
+    // Fall down the ladder until the host/build can run the request.
+    if (want == IsaPath::Neon && !isaPathAvailable(IsaPath::Neon))
+        want = IsaPath::Scalar;
+    if (want == IsaPath::Avx512 && !isaPathAvailable(IsaPath::Avx512))
+        want = IsaPath::Avx2;
+    if (want == IsaPath::Avx2 && !isaPathAvailable(IsaPath::Avx2))
+        want = IsaPath::Scalar;
+    return want;
+}
+
+std::vector<IsaPath>
+availableIsaPaths()
+{
+    std::vector<IsaPath> out;
+    for (IsaPath p :
+         {IsaPath::Avx512, IsaPath::Avx2, IsaPath::Scalar})
+        if (isaPathAvailable(p))
+            out.push_back(p);
+    return out;
+}
+
+unsigned
+isaLaneWidth(IsaPath p, size_t element_bytes)
+{
+    p = resolveIsaPath(p);
+    if (p == IsaPath::Scalar || element_bytes == 0)
+        return 1;
+    if (element_bytes > 8)
+        return 2; // multi-word ILP tables
+    const size_t vector_bytes = p == IsaPath::Avx512 ? 64 : 32;
+    return static_cast<unsigned>(vector_bytes / element_bytes);
+}
+
+namespace {
+
+std::array<std::atomic<uint64_t>, kIsaPathCount> g_dispatches{};
+
+} // namespace
+
+void
+recordKernelDispatch(IsaPath p, uint64_t n)
+{
+    g_dispatches[static_cast<size_t>(p)].fetch_add(
+        n, std::memory_order_relaxed);
+}
+
+std::array<uint64_t, kIsaPathCount>
+kernelDispatchCounts()
+{
+    std::array<uint64_t, kIsaPathCount> out{};
+    for (size_t i = 0; i < kIsaPathCount; ++i)
+        out[i] = g_dispatches[i].load(std::memory_order_relaxed);
+    return out;
+}
+
+std::string
+routerDescription()
+{
+    std::string s = "router: ";
+    s += isaPathName(resolveIsaPath(IsaPath::Auto));
+    s += " (probe: ";
+    s += cpuFeatures().toString();
+    s += "; forced=";
+    s += forcedIsaPath() == IsaPath::Auto
+             ? "none"
+             : isaPathName(forcedIsaPath());
+    s += ")";
+    return s;
+}
+
+template <>
+const FieldKernels<Goldilocks> &
+fieldKernels<Goldilocks>(IsaPath requested)
+{
+    static const FieldKernels<Goldilocks> scalar =
+        scalarKernelTable<Goldilocks>();
+    switch (resolveIsaPath(requested)) {
+#if defined(UNINTT_HAVE_AVX2)
+    case IsaPath::Avx2:
+        return spankernels::goldilocksAvx2Table();
+#endif
+#if defined(UNINTT_HAVE_AVX512)
+    case IsaPath::Avx512:
+        return spankernels::goldilocksAvx512Table();
+#endif
+    default:
+        return scalar;
+    }
+}
+
+template <>
+const FieldKernels<BabyBear> &
+fieldKernels<BabyBear>(IsaPath requested)
+{
+    static const FieldKernels<BabyBear> scalar =
+        scalarKernelTable<BabyBear>();
+    switch (resolveIsaPath(requested)) {
+#if defined(UNINTT_HAVE_AVX2)
+    case IsaPath::Avx2:
+        return spankernels::babybearAvx2Table();
+#endif
+#if defined(UNINTT_HAVE_AVX512)
+    case IsaPath::Avx512:
+        return spankernels::babybearAvx512Table();
+#endif
+    default:
+        return scalar;
+    }
+}
+
+std::string
+listKernelsReport()
+{
+    std::string s = routerDescription();
+    s += "\n";
+    char line[160];
+    auto describe = [&](const char *field, const char *table,
+                        unsigned lanes, IsaPath path) {
+        std::snprintf(line, sizeof(line),
+                      "  %-12s -> %-7s (%u lane%s, path %s)\n", field,
+                      table, lanes, lanes == 1 ? "" : "s",
+                      isaPathName(path));
+        s += line;
+    };
+    const auto &gl = fieldKernels<Goldilocks>();
+    describe(Goldilocks::kName, gl.name, gl.lanes, gl.path);
+    const auto &bb = fieldKernels<BabyBear>();
+    describe(BabyBear::kName, bb.name, bb.lanes, bb.path);
+    const auto &fr = fieldKernels<Bn254Fr>();
+    describe(Bn254Fr::kName, fr.name, fr.lanes, fr.path);
+    s += "  available:";
+    for (IsaPath p : availableIsaPaths()) {
+        s += " ";
+        s += isaPathName(p);
+    }
+    s += "\n  dispatches:";
+    const auto counts = kernelDispatchCounts();
+    for (IsaPath p : {IsaPath::Scalar, IsaPath::Avx2, IsaPath::Avx512,
+                      IsaPath::Neon}) {
+        std::snprintf(line, sizeof(line), " %s=%llu", isaPathName(p),
+                      static_cast<unsigned long long>(
+                          counts[static_cast<size_t>(p)]));
+        s += line;
+    }
+    s += "\n";
+    return s;
+}
+
+} // namespace unintt

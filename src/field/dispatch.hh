@@ -1,0 +1,122 @@
+/**
+ * @file
+ * The runtime acceleration router. Probes the CPU feature set once
+ * (CPUID on x86), decides the best compiled-in kernel path, and binds
+ * a FieldKernels table per field. Resolution order for every lookup:
+ *
+ *   1. UNINTT_FORCE_ISA environment variable (read once at startup),
+ *   2. the caller's requested path (UniNttConfig::isaPath),
+ *   3. the best probed path.
+ *
+ * A request the host or the build cannot satisfy falls down the
+ * ladder Avx512 -> Avx2 -> Scalar (Neon is stubbed through the same
+ * interface and currently resolves to Scalar), so forcing a path is
+ * always safe. Per-path dispatch counters record how many span-kernel
+ * batches each path actually executed; engines fold their deltas into
+ * hostExecStats and the process totals show up in
+ * `unintt-cli --list-kernels`.
+ */
+
+#ifndef UNINTT_FIELD_DISPATCH_HH
+#define UNINTT_FIELD_DISPATCH_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "field/isa.hh"
+#include "field/kernels.hh"
+
+namespace unintt {
+
+class Goldilocks;
+class BabyBear;
+
+/** What the one-time hardware probe saw. */
+struct CpuFeatures
+{
+    bool avx2 = false;
+    bool avx512 = false; // AVX-512F
+    bool neon = false;
+    std::string toString() const;
+};
+
+/** The cached startup probe. */
+const CpuFeatures &cpuFeatures();
+
+/** True iff @p p is compiled in *and* the probe allows running it. */
+bool isaPathAvailable(IsaPath p);
+
+/** Best available path (what Auto resolves to without an override). */
+IsaPath bestIsaPath();
+
+/** UNINTT_FORCE_ISA override, parsed once; Auto when unset. */
+IsaPath forcedIsaPath();
+
+/**
+ * Final routing decision for a request: env override beats the
+ * request beats the probe; unsupported paths fall down the ladder.
+ * Never returns Auto.
+ */
+IsaPath resolveIsaPath(IsaPath requested);
+
+/** Every path resolveIsaPath can return on this host, best first. */
+std::vector<IsaPath> availableIsaPaths();
+
+/**
+ * Lane width (field elements per vector op) the bound kernel tables
+ * use for a field of @p element_bytes under path @p p. This is the
+ * number the schedule compiler's cost model and tile heuristic
+ * consume; it matches FieldKernels::lanes of the table the router
+ * would bind (wide multi-word fields report their ILP width of 2).
+ */
+unsigned isaLaneWidth(IsaPath p, size_t element_bytes);
+
+/** Bump the process-wide dispatch counter of @p p by @p n batches. */
+void recordKernelDispatch(IsaPath p, uint64_t n = 1);
+
+/** Process-wide dispatch counts, indexed by IsaPath value. */
+std::array<uint64_t, kIsaPathCount> kernelDispatchCounts();
+
+/** One-line router summary ("router: avx512 (probe ...)"). */
+std::string routerDescription();
+
+/** Multi-line probe + per-field table report (--list-kernels). */
+std::string listKernelsReport();
+
+/**
+ * The kernel table the router binds for field F under @p requested.
+ * Cheap enough for per-call use (static tables + one enum resolve);
+ * engines still bind once at construction so a whole run uses one
+ * table even if the environment changes mid-process.
+ */
+template <typename F>
+const FieldKernels<F> &
+fieldKernels(IsaPath requested = IsaPath::Auto)
+{
+    static const FieldKernels<F> scalar = scalarKernelTable<F>();
+    static const FieldKernels<F> mw_avx2 =
+        multiwordKernelTable<F>(IsaPath::Avx2, "mw2");
+    static const FieldKernels<F> mw_avx512 =
+        multiwordKernelTable<F>(IsaPath::Avx512, "mw2");
+    switch (resolveIsaPath(requested)) {
+    case IsaPath::Avx2:
+        return mw_avx2;
+    case IsaPath::Avx512:
+        return mw_avx512;
+    default:
+        return scalar;
+    }
+}
+
+/** Lane-parallel specializations (defined in dispatch.cc). */
+template <>
+const FieldKernels<Goldilocks> &
+fieldKernels<Goldilocks>(IsaPath requested);
+template <>
+const FieldKernels<BabyBear> &fieldKernels<BabyBear>(IsaPath requested);
+
+} // namespace unintt
+
+#endif // UNINTT_FIELD_DISPATCH_HH

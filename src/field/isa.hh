@@ -1,0 +1,43 @@
+/**
+ * @file
+ * The instruction-set paths the acceleration router can bind
+ * (field/dispatch.hh). Split into its own tiny header so config-layer
+ * code (unintt/config.hh) can name a path without pulling in the
+ * kernel tables.
+ */
+
+#ifndef UNINTT_FIELD_ISA_HH
+#define UNINTT_FIELD_ISA_HH
+
+#include <cstdint>
+#include <string>
+
+namespace unintt {
+
+/**
+ * One host acceleration path. `Auto` defers to the runtime feature
+ * probe; the rest force a specific kernel family. A forced path the
+ * host (or the build) cannot run falls down the ladder
+ * Avx512 -> Avx2 -> Scalar; `Neon` is plumbed through the same
+ * interface but has no kernel tables yet, so it resolves to Scalar.
+ */
+enum class IsaPath : uint8_t {
+    Auto = 0,
+    Scalar = 1,
+    Avx2 = 2,
+    Avx512 = 3,
+    Neon = 4,
+};
+
+/** Number of enumerators, for per-path counter arrays. */
+constexpr unsigned kIsaPathCount = 5;
+
+/** Lower-case name ("auto", "scalar", "avx2", "avx512", "neon"). */
+const char *isaPathName(IsaPath p);
+
+/** Parse an isaPathName() string; returns false on unknown input. */
+bool parseIsaPath(const std::string &s, IsaPath *out);
+
+} // namespace unintt
+
+#endif // UNINTT_FIELD_ISA_HH

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Declarations of the SIMD kernel tables the backend translation
+ * units export. Shared between dispatch.cc (consumer) and
+ * kernels_avx2.cc / kernels_avx512.cc (producers) so the signatures
+ * cannot drift. Each getter returns a process-lifetime table; the
+ * router only hands it out after the runtime CPUID probe confirms the
+ * host can execute it.
+ */
+
+#ifndef UNINTT_FIELD_KERNELS_TABLES_HH
+#define UNINTT_FIELD_KERNELS_TABLES_HH
+
+#include "field/babybear.hh"
+#include "field/goldilocks.hh"
+#include "field/kernels.hh"
+
+namespace unintt {
+namespace spankernels {
+
+#if defined(UNINTT_HAVE_AVX2)
+const FieldKernels<Goldilocks> &goldilocksAvx2Table();
+const FieldKernels<BabyBear> &babybearAvx2Table();
+#endif
+
+#if defined(UNINTT_HAVE_AVX512)
+const FieldKernels<Goldilocks> &goldilocksAvx512Table();
+const FieldKernels<BabyBear> &babybearAvx512Table();
+#endif
+
+} // namespace spankernels
+} // namespace unintt
+
+#endif // UNINTT_FIELD_KERNELS_TABLES_HH

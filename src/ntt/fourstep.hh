@@ -94,8 +94,7 @@ fourStepNtt(const std::vector<F> &x, size_t n1, NttDirection dir)
         // nttDif tables above were built for the requested direction but
         // the per-subtransform scaling was skipped; apply 1/n once.
         F scale = inverseScale<F>(n);
-        for (auto &v : out)
-            v *= scale;
+        fieldKernels<F>().scaleSpan(out.data(), scale, out.size());
     }
     return out;
 }

@@ -18,6 +18,7 @@
 
 #include <vector>
 
+#include "field/dispatch.hh"
 #include "field/field_traits.hh"
 #include "ntt/ntt.hh"
 #include "ntt/twiddle.hh"
@@ -38,16 +39,12 @@ void
 nttDif(F *a, size_t n, const TwiddleTable<F> &tw)
 {
     UNINTT_ASSERT(tw.n() == n, "twiddle table size mismatch");
+    const FieldKernels<F> &fk = fieldKernels<F>();
+    const F *twp = &tw[0];
     for (size_t half = n / 2; half >= 1; half /= 2) {
         size_t stride = n / (2 * half); // exponent step at this stage
-        for (size_t start = 0; start < n; start += 2 * half) {
-            for (size_t j = 0; j < half; ++j) {
-                F u = a[start + j];
-                F v = a[start + j + half];
-                a[start + j] = u + v;
-                a[start + j + half] = (u - v) * tw[j * stride];
-            }
-        }
+        for (size_t start = 0; start < n; start += 2 * half)
+            fk.bflyFwd(a + start, a + start + half, twp, stride, half);
     }
 }
 
@@ -62,17 +59,12 @@ void
 nttDif(F *a, size_t n, const TwiddleSlabs<F> &sl)
 {
     UNINTT_ASSERT(sl.n() == n, "twiddle slab size mismatch");
+    const FieldKernels<F> &fk = fieldKernels<F>();
     unsigned s = 0;
     for (size_t half = n / 2; half >= 1; half /= 2, ++s) {
         const F *tw = sl.slab(s);
-        for (size_t start = 0; start < n; start += 2 * half) {
-            for (size_t j = 0; j < half; ++j) {
-                F u = a[start + j];
-                F v = a[start + j + half];
-                a[start + j] = u + v;
-                a[start + j + half] = (u - v) * tw[j];
-            }
-        }
+        for (size_t start = 0; start < n; start += 2 * half)
+            fk.bflyFwd(a + start, a + start + half, tw, 1, half);
     }
 }
 
@@ -85,16 +77,12 @@ void
 nttDit(F *a, size_t n, const TwiddleTable<F> &tw)
 {
     UNINTT_ASSERT(tw.n() == n, "twiddle table size mismatch");
+    const FieldKernels<F> &fk = fieldKernels<F>();
+    const F *twp = &tw[0];
     for (size_t half = 1; half < n; half *= 2) {
         size_t stride = n / (2 * half);
-        for (size_t start = 0; start < n; start += 2 * half) {
-            for (size_t j = 0; j < half; ++j) {
-                F u = a[start + j];
-                F v = a[start + j + half] * tw[j * stride];
-                a[start + j] = u + v;
-                a[start + j + half] = u - v;
-            }
-        }
+        for (size_t start = 0; start < n; start += 2 * half)
+            fk.bflyInv(a + start, a + start + half, twp, stride, half);
     }
 }
 
@@ -104,17 +92,12 @@ void
 nttDit(F *a, size_t n, const TwiddleSlabs<F> &sl)
 {
     UNINTT_ASSERT(sl.n() == n, "twiddle slab size mismatch");
+    const FieldKernels<F> &fk = fieldKernels<F>();
     unsigned s = log2Exact(n);
     for (size_t half = 1; half < n; half *= 2) {
         const F *tw = sl.slab(--s);
-        for (size_t start = 0; start < n; start += 2 * half) {
-            for (size_t j = 0; j < half; ++j) {
-                F u = a[start + j];
-                F v = a[start + j + half] * tw[j];
-                a[start + j] = u + v;
-                a[start + j + half] = u - v;
-            }
-        }
+        for (size_t start = 0; start < n; start += 2 * half)
+            fk.bflyInv(a + start, a + start + half, tw, 1, half);
     }
 }
 
@@ -144,8 +127,7 @@ nttInverseInPlace(std::vector<F> &a)
     bitReversePermute(a.data(), a.size());
     nttDit(a.data(), a.size(), *sl);
     F scale = inverseScale<F>(a.size());
-    for (auto &v : a)
-        v *= scale;
+    fieldKernels<F>().scaleSpan(a.data(), scale, a.size());
 }
 
 /**
@@ -163,8 +145,7 @@ nttNoPermute(std::vector<F> &a, NttDirection dir)
     } else {
         nttDit(a.data(), a.size(), *sl);
         F scale = inverseScale<F>(a.size());
-        for (auto &v : a)
-            v *= scale;
+        fieldKernels<F>().scaleSpan(a.data(), scale, a.size());
     }
 }
 

@@ -102,8 +102,7 @@ sixStepNtt(const std::vector<F> &x, size_t n1, NttDirection dir)
 
     if (dir == NttDirection::Inverse) {
         F scale = inverseScale<F>(n);
-        for (auto &v : out)
-            v *= scale;
+        fieldKernels<F>().scaleSpan(out.data(), scale, out.size());
     }
     return out;
 }

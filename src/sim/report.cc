@@ -168,6 +168,11 @@ SimReport::toString() const
             os << ", overlap " << hostExec_.overlapWaves << " wave"
                << (hostExec_.overlapWaves == 1 ? "" : "s") << "/"
                << hostExec_.exchangeChunks << " exchange chunks";
+        if (!hostExec_.isaPath.empty())
+            os << ", isa " << hostExec_.isaPath << " ("
+               << hostExec_.isaLanes << " lane"
+               << (hostExec_.isaLanes == 1 ? "" : "s") << ", "
+               << hostExec_.isaDispatches << " dispatches)";
         os << "\n";
     }
     if (faults_.any()) {

@@ -67,6 +67,17 @@ struct HostExecStats
     uint64_t overlapWaves = 0;
     /** Double-buffered exchange chunk nodes executed. */
     uint64_t exchangeChunks = 0;
+    /**
+     * Resolved kernel acceleration path name (field/dispatch.hh):
+     * "scalar", "avx2", ... Empty = unset; "mixed" after merging runs
+     * bound to different paths. A string so the sim layer stays
+     * independent of the field-layer enum.
+     */
+    std::string isaPath;
+    /** Vector lanes of the bound kernel table (0 = unset). */
+    unsigned isaLanes = 0;
+    /** Span-kernel fan-outs dispatched through the bound table. */
+    uint64_t isaDispatches = 0;
 
     /** True iff anything was recorded. */
     bool
@@ -76,7 +87,8 @@ struct HostExecStats
                twiddleCacheHits || twiddleCacheMisses ||
                twiddleSlabHits || twiddleSlabMisses ||
                scheduleCacheHits || scheduleCacheMisses ||
-               fusedGroups || overlapWaves || exchangeChunks;
+               fusedGroups || overlapWaves || exchangeChunks ||
+               !isaPath.empty() || isaLanes != 0 || isaDispatches;
     }
 
     /** Combine with another run's host facts (report append). */
@@ -95,6 +107,14 @@ struct HostExecStats
         fusedGroups += o.fusedGroups;
         overlapWaves += o.overlapWaves;
         exchangeChunks += o.exchangeChunks;
+        if (!o.isaPath.empty()) {
+            if (isaPath.empty())
+                isaPath = o.isaPath;
+            else if (isaPath != o.isaPath)
+                isaPath = "mixed";
+        }
+        isaLanes = std::max(isaLanes, o.isaLanes);
+        isaDispatches += o.isaDispatches;
         return *this;
     }
 };

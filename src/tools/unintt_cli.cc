@@ -27,6 +27,7 @@
 #include "service/loadgen.hh"
 #include "service/service.hh"
 #include "field/babybear.hh"
+#include "field/dispatch.hh"
 #include "field/bn254.hh"
 #include "field/goldilocks.hh"
 #include "msm/pippenger.hh"
@@ -62,6 +63,9 @@ addTileFlag(CliParser &cli)
     cli.addInt("tile-log2", 0,
                "log2 of the host-resident tile for fused local "
                "passes (0 = auto from the cache model)");
+    cli.addString("isa", "auto",
+                  "host acceleration path: auto, scalar, avx2, "
+                  "avx512, neon (UNINTT_FORCE_ISA overrides)");
 }
 
 UniNttConfig
@@ -70,6 +74,9 @@ configFromFlags(const CliParser &cli)
     UniNttConfig cfg;
     cfg.hostTileLog2 =
         static_cast<unsigned>(cli.getInt("tile-log2"));
+    if (!parseIsaPath(cli.getString("isa"), &cfg.isaPath))
+        fatal("unknown --isa '%s' (auto, scalar, avx2, avx512, neon)",
+              cli.getString("isa").c_str());
     return cfg;
 }
 
@@ -107,7 +114,9 @@ runSchedule(const CliParser &cli)
     NttDirection dir = cli.getBool("inverse") ? NttDirection::Inverse
                                               : NttDirection::Forward;
 
-    UniNttEngine<F> engine(sys, configFromFlags(cli));
+    UniNttConfig cfg = configFromFlags(cli);
+    const IsaPath isa = resolveIsaPath(cfg.isaPath);
+    UniNttEngine<F> engine(sys, cfg);
     bool plan_hit = false, sched_hit = false;
     auto sched = engine.schedule(logN, dir, batch, &plan_hit, &sched_hit);
 
@@ -125,6 +134,9 @@ runSchedule(const CliParser &cli)
         std::printf("  \"dir\": \"%s\",\n", toString(sched->dir));
         std::printf("  \"batch\": %zu,\n", sched->batch);
         std::printf("  \"field\": \"%s\",\n", F::kName);
+        std::printf("  \"isa\": \"%s\",\n", isaPathName(isa));
+        std::printf("  \"isaLanes\": %u,\n",
+                    isaLaneWidth(isa, sizeof(F)));
         std::printf("  \"gpus\": %u,\n", sys.numGpus);
         std::printf("  \"planCacheHit\": %s,\n",
                     plan_hit ? "true" : "false");
@@ -183,6 +195,10 @@ runSchedule(const CliParser &cli)
 
     std::printf("machine:  %s\n", sys.description().c_str());
     std::printf("plan:     %s\n", sched->plan.toString().c_str());
+    std::printf("%s\n", routerDescription().c_str());
+    std::printf("isa:      %s (%u lane%s for %s)\n", isaPathName(isa),
+                isaLaneWidth(isa, sizeof(F)),
+                isaLaneWidth(isa, sizeof(F)) == 1 ? "" : "s", F::kName);
     std::printf("caches:   plan %s, schedule %s\n",
                 plan_hit ? "hit" : "miss", sched_hit ? "hit" : "miss");
     if (fused_groups > 0)
@@ -234,9 +250,10 @@ runNtt(const CliParser &cli)
     NttDirection dir = cli.getBool("inverse") ? NttDirection::Inverse
                                               : NttDirection::Forward;
 
-    std::printf("machine: %s, %s NTT of 2^%u x%zu over %s\n\n",
+    std::printf("machine: %s, %s NTT of 2^%u x%zu over %s\n",
                 sys.description().c_str(), toString(dir), logN, batch,
                 F::kName);
+    std::printf("%s\n\n", routerDescription().c_str());
 
     unsigned threads = static_cast<unsigned>(cli.getInt("threads"));
     if (threads > 0)
@@ -759,6 +776,16 @@ cmdSoak(int argc, char **argv)
 }
 
 int
+cmdListKernels(int argc, char **argv)
+{
+    CliParser cli("print the probed CPU features and the kernel "
+                  "table the router binds for every field");
+    cli.parse(argc, argv);
+    std::printf("%s", listKernelsReport().c_str());
+    return 0;
+}
+
+int
 cmdLevels(int argc, char **argv)
 {
     CliParser cli("print the abstract hardware model");
@@ -795,7 +822,14 @@ usage()
         "pipeline\n"
         "  serve     run the multi-tenant proving service under "
         "load\n"
-        "  levels    print the abstract hardware model of a machine\n\n"
+        "  levels    print the abstract hardware model of a machine\n"
+        "  list-kernels  print probed CPU features and the kernel "
+        "table\n"
+        "                bound per field (also: --list-kernels)\n\n"
+        "schedule/ntt take --isa=auto|scalar|avx2|avx512|neon to "
+        "force\n"
+        "an acceleration path; the UNINTT_FORCE_ISA environment\n"
+        "variable overrides every request.\n\n"
         "run 'unintt-cli <command> --help' for the command's flags\n");
 }
 
@@ -829,6 +863,8 @@ main(int argc, char **argv)
         return cmdServe(argc - 1, argv + 1);
     if (cmd == "levels")
         return cmdLevels(argc - 1, argv + 1);
+    if (cmd == "list-kernels" || cmd == "--list-kernels")
+        return cmdListKernels(argc - 1, argv + 1);
     if (cmd == "--help" || cmd == "-h") {
         usage();
         return 0;

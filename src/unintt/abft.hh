@@ -53,6 +53,7 @@
 #include <mutex>
 #include <vector>
 
+#include "field/dispatch.hh"
 #include "field/field_traits.hh"
 #include "field/goldilocks.hh"
 #include "ntt/twiddle.hh"
@@ -100,53 +101,18 @@ abftFingerprint(const StageSchedule &sched, uint64_t seed)
 
 /**
  * RLC dot product over @p count elements (checks and tile
- * localization). Four independent accumulator chains: a single
- * running sum serializes on the field add/mul latency, which is what
- * bounds this loop — not memory. The reduction order is fixed (and
- * field addition exact), so the result is deterministic.
+ * localization), via the bound dot-span kernel (field/kernels.hh).
+ * Every registered table carries the same value-exact reduction — the
+ * four-chain scalar form, with a lazy-u128 Goldilocks path that folds
+ * its wraps back to the identical canonical value — and the reduction
+ * order is fixed, so the result is deterministic across ISA paths and
+ * checks/localization may mix freely with historic checksums.
  */
 template <NttField F>
 F
 abftSpanDot(const F *coef, const F *x, uint64_t count)
 {
-    F a0 = F::fromU64(0), a1 = a0, a2 = a0, a3 = a0;
-    uint64_t i = 0;
-    for (; i + 4 <= count; i += 4) {
-        a0 = a0 + coef[i] * x[i];
-        a1 = a1 + coef[i + 1] * x[i + 1];
-        a2 = a2 + coef[i + 2] * x[i + 2];
-        a3 = a3 + coef[i + 3] * x[i + 3];
-    }
-    for (; i < count; ++i)
-        a0 = a0 + coef[i] * x[i];
-    return (a0 + a1) + (a2 + a3);
-}
-
-/**
- * Goldilocks overload: lazy reduction. Accumulate the raw 128-bit
- * products with a wrap counter and reduce once per span — the modular
- * reduction per element is what bounds the generic loop. The result
- * is the same canonical value the generic form produces (2^128 ≡
- * -2^32 mod p folds the wraps back), so checks and tile localization
- * may mix both forms freely.
- */
-inline Goldilocks
-abftSpanDot(const Goldilocks *coef, const Goldilocks *x,
-            uint64_t count)
-{
-    unsigned __int128 acc = 0;
-    uint64_t wraps = 0;
-    for (uint64_t i = 0; i < count; ++i) {
-        const unsigned __int128 p =
-            static_cast<unsigned __int128>(coef[i].toU64()) *
-            x[i].toU64();
-        acc += p;
-        wraps += acc < p ? 1 : 0;
-    }
-    const Goldilocks two128 = Goldilocks::fromU64(
-        Goldilocks::kModulus - (uint64_t{1} << 32));
-    return Goldilocks::fromU128(acc) +
-           two128 * Goldilocks::fromU64(wraps);
+    return fieldKernels<F>().dotSpan(coef, x, count);
 }
 
 /**

@@ -1,5 +1,7 @@
 #include "unintt/cache.hh"
 
+#include "field/dispatch.hh"
+
 namespace unintt {
 
 NttPlan
@@ -93,6 +95,7 @@ ScheduleCache::get(const NttPlan &pl, const MultiGpuSystem &sys,
             cfg.fuseLocalPasses,
             cfg.overlapComm,
             cfg.hostTileLog2,
+            static_cast<unsigned>(resolveIsaPath(cfg.isaPath)),
             costs.twiddleTableDramFraction,
             costs.onTheFlyExtraMuls,
             costs.unpaddedConflictReplays,

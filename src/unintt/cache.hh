@@ -156,6 +156,12 @@ class ScheduleCache
          */
         bool overlapComm;
         unsigned hostTileLog2;
+        /**
+         * Resolved acceleration path (field/dispatch.hh): the fused
+         * tile floor depends on the active lane width, so schedules
+         * compiled under different paths must never alias.
+         */
+        unsigned isaPath;
         double twiddleTableDramFraction;
         double onTheFlyExtraMuls;
         double unpaddedConflictReplays;

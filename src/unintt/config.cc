@@ -22,12 +22,20 @@ constexpr unsigned kMaxHostTileLog2 = 20;
 } // namespace
 
 unsigned
-UniNttConfig::resolvedHostTileLog2(size_t element_bytes) const
+UniNttConfig::resolvedHostTileLog2(size_t element_bytes,
+                                   unsigned simd_lanes) const
 {
     unsigned t = hostTileLog2;
     if (t == 0)
         t = log2Floor(kHostTileCacheBytes / std::max<size_t>(element_bytes, 1));
-    return std::clamp(t, kMinHostTileLog2, kMaxHostTileLog2);
+    // Lane-parallel kernel paths need the smallest fused spans to
+    // still hold a few full vectors: raise the floor to 8 vectors'
+    // worth of elements (lanes * 8). Scalar keeps the historic floor.
+    unsigned min_t = kMinHostTileLog2;
+    if (simd_lanes > 1)
+        min_t = std::max(min_t, log2Floor(simd_lanes) + 3);
+    return std::clamp(t, std::min(min_t, kMaxHostTileLog2),
+                      kMaxHostTileLog2);
 }
 
 std::string
@@ -46,7 +54,8 @@ UniNttConfig::toString() const
         os << "auto";
     else
         os << hostTileLog2;
-    os << " host-caches=" << onoff(useHostCaches)
+    os << " isa=" << isaPathName(isaPath)
+       << " host-caches=" << onoff(useHostCaches)
        << " host-threads=";
     if (hostThreads == 0)
         os << "auto";

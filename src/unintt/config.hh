@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <string>
 
+#include "field/isa.hh"
 #include "sim/fault.hh"
 
 namespace unintt {
@@ -112,9 +113,25 @@ struct UniNttConfig
      * The tile log2 fused kernels actually use for elements of
      * @p element_bytes: the explicit hostTileLog2 when set, otherwise
      * the largest tile fitting the per-core cache budget, both clamped
-     * to [4, 20].
+     * to [4, 20]. @p simd_lanes is the active kernel path's vector
+     * width (field/dispatch.hh isaLaneWidth): the floor of the clamp
+     * rises so the smallest fused spans still hold several full
+     * vectors, keeping tiny forced tiles from starving the lane-
+     * parallel kernels. Purely a perf knob — outputs are bit-identical
+     * for every value.
      */
-    unsigned resolvedHostTileLog2(size_t element_bytes) const;
+    unsigned resolvedHostTileLog2(size_t element_bytes,
+                                  unsigned simd_lanes = 1) const;
+
+    /**
+     * Host acceleration path for the span kernels (field/dispatch.hh).
+     * Auto probes the CPU and binds the best compiled-in path; the
+     * UNINTT_FORCE_ISA environment variable overrides this field, and
+     * unsupported requests fall back down the ladder to scalar. Every
+     * path produces byte-identical outputs; this is purely a host
+     * performance knob.
+     */
+    IsaPath isaPath = IsaPath::Auto;
 
     /**
      * Host threads allowed to execute the functional (bit-exact)

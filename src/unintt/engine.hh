@@ -40,6 +40,7 @@
 #include <utility>
 #include <vector>
 
+#include "field/dispatch.hh"
 #include "field/field_traits.hh"
 #include "ntt/ntt.hh"
 #include "ntt/twiddle.hh"
@@ -139,6 +140,19 @@ class UniNttEngine
     {
         return cfg_.hostThreads != 0 ? cfg_.hostThreads
                                      : ThreadPool::defaultLanes();
+    }
+
+    /**
+     * The span-kernel table the functional execution is bound to: the
+     * configured isaPath resolved through the acceleration router
+     * (UNINTT_FORCE_ISA > cfg.isaPath > CPU probe, with unsupported
+     * requests falling down the ladder). Every table is byte-identical
+     * — this only selects how fast the butterflies run.
+     */
+    const FieldKernels<F> &
+    kernels() const
+    {
+        return fieldKernels<F>(cfg_.isaPath);
     }
 
     /**
@@ -489,13 +503,18 @@ UniNttEngine<F>::run(unsigned logN, NttDirection dir,
     if (functional) {
         FunctionalStepExecutor<F> exec(sys_, perf_, cfg_.overlapComm,
                                        report, batch, *slabs, logN, dir,
-                                       hostLanes());
+                                       hostLanes(), kernels());
         Status st = dispatchSchedule(sched, exec);
         UNINTT_ASSERT(st.ok(), "functional execution cannot fail");
         HostExecStats hx;
         hx.exchangeChunks = exec.exchangeChunks();
         if (sched->overlapped)
             hx.overlapWaves = sched->waves.size();
+        hx.isaPath = exec.kernels().name;
+        hx.isaLanes = exec.kernels().lanes;
+        hx.isaDispatches = exec.kernelDispatches();
+        recordKernelDispatch(exec.kernels().path,
+                             exec.kernelDispatches());
         if (hx.any())
             report.addHostExecStats(hx);
     } else {
@@ -648,12 +667,22 @@ UniNttEngine<F>::runResilientImpl(NttDirection dir,
 
     ResilientStepExecutor<F> exec(sys, perf_, cfg_, report, data, input,
                                   faults, rc, health, slabs, pl, logMg0,
-                                  dir, hostLanes(), std::move(hooks), fs);
+                                  dir, hostLanes(), std::move(hooks), fs,
+                                  kernels());
     exec.attachSchedule(sched);
     Status st = dispatchSchedule(std::move(sched), exec);
     if (!st.ok())
         return st;
 
+    {
+        HostExecStats hx;
+        hx.isaPath = exec.kernels().name;
+        hx.isaLanes = exec.kernels().lanes;
+        hx.isaDispatches = exec.kernelDispatches();
+        recordKernelDispatch(exec.kernels().path,
+                             exec.kernelDispatches());
+        report.addHostExecStats(hx);
+    }
     report.addFaultStats(fs);
     return report;
 }

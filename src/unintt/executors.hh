@@ -40,6 +40,7 @@
 #include <utility>
 #include <vector>
 
+#include "field/dispatch.hh"
 #include "field/field_traits.hh"
 #include "ntt/ntt.hh"
 #include "ntt/twiddle.hh"
@@ -140,12 +141,28 @@ kernelCost(uint64_t butterflies, NttDirection dir)
     return butterflies * (dir == NttDirection::Forward ? 3 : 4);
 }
 
+/**
+ * Lane-aware cost hint: a vector kernel path retires @p lanes
+ * butterflies per step, so the per-unit work the pool's serial
+ * threshold sees shrinks accordingly. lanes == 1 reproduces the
+ * scalar hint exactly; the hint never collapses to zero for nonzero
+ * work.
+ */
+constexpr uint64_t
+kernelCost(uint64_t butterflies, NttDirection dir, unsigned lanes)
+{
+    const uint64_t c =
+        kernelCost(butterflies, dir) / (lanes > 0 ? lanes : 1);
+    return butterflies > 0 && c == 0 ? 1 : c;
+}
+
 /** Functional butterflies of one cross-GPU stage. */
 template <NttField F>
 void
 crossStageCompute(DistributedVector<F> &data, unsigned s, unsigned logN,
                   const TwiddleSlabs<F> &slabs, NttDirection dir,
-                  unsigned lanes)
+                  unsigned lanes,
+                  const FieldKernels<F> &fk = fieldKernels<F>())
 {
     const unsigned G = data.numGpus();
     const unsigned logMg = log2Exact(G);
@@ -172,8 +189,8 @@ crossStageCompute(DistributedVector<F> &data, unsigned s, unsigned logN,
     // Compacted stage slab: tws[j] == full_table[j << s], unit stride.
     const F *tws = slabs.slab(s);
     hostParallelFor(
-        lows.size() * slices, kernelCost(C / slices, dir), lanes,
-        [&](size_t unit) {
+        lows.size() * slices, kernelCost(C / slices, dir, fk.lanes),
+        lanes, [&](size_t unit) {
             const unsigned g = lows[unit / slices];
             const uint64_t slice = unit % slices;
             const uint64_t c0 = C * slice / slices;
@@ -183,19 +200,12 @@ crossStageCompute(DistributedVector<F> &data, unsigned s, unsigned logN,
             // Position of this GPU's chunk inside the half-block.
             const uint64_t j0 =
                 static_cast<uint64_t>(g % partner_gap) * C;
-            for (uint64_t c = c0; c < c1; ++c) {
-                uint64_t j = j0 + c;
-                F u = lo[c];
-                F v = hi[c];
-                if (dir == NttDirection::Forward) {
-                    lo[c] = u + v;
-                    hi[c] = (u - v) * tws[j];
-                } else {
-                    v = v * tws[j];
-                    lo[c] = u + v;
-                    hi[c] = u - v;
-                }
-            }
+            if (dir == NttDirection::Forward)
+                fk.bflyFwd(lo.data() + c0, hi.data() + c0,
+                           tws + j0 + c0, 1, c1 - c0);
+            else
+                fk.bflyInv(lo.data() + c0, hi.data() + c0,
+                           tws + j0 + c0, 1, c1 - c0);
         });
 }
 
@@ -230,24 +240,15 @@ template <NttField F>
 inline void
 crossPairSliceCompute(F *lo, F *hi, const F *rlo, const F *rhi,
                       const F *tws, uint64_t j0, uint64_t c0, uint64_t c1,
-                      NttDirection dir)
+                      NttDirection dir,
+                      const FieldKernels<F> &fk = fieldKernels<F>())
 {
-    for (uint64_t c = c0; c < c1; ++c) {
-        const uint64_t j = j0 + c;
-        if (dir == NttDirection::Forward) {
-            const F a = lo[c] + rlo[c];
-            const F b = (rhi[c] - hi[c]) * tws[j];
-            lo[c] = a;
-            hi[c] = b;
-        } else {
-            const F vl = rlo[c] * tws[j];
-            const F vh = hi[c] * tws[j];
-            const F a = lo[c] + vl;
-            const F b = rhi[c] - vh;
-            lo[c] = a;
-            hi[c] = b;
-        }
-    }
+    if (dir == NttDirection::Forward)
+        fk.bflyRecvFwd(lo + c0, hi + c0, rlo + c0, rhi + c0,
+                       tws + j0 + c0, c1 - c0);
+    else
+        fk.bflyRecvInv(lo + c0, hi + c0, rlo + c0, rhi + c0,
+                       tws + j0 + c0, c1 - c0);
 }
 
 /** Lower-half GPU of exchanging pair @p pair at partner gap @p gap. */
@@ -263,7 +264,8 @@ void
 localStagesCompute(DistributedVector<F> &data, unsigned s_begin,
                    unsigned s_end, unsigned logN,
                    const TwiddleSlabs<F> &slabs, NttDirection dir,
-                   unsigned lanes)
+                   unsigned lanes,
+                   const FieldKernels<F> &fk = fieldKernels<F>())
 {
     const uint64_t n = 1ULL << logN;
     const unsigned G = data.numGpus();
@@ -295,7 +297,8 @@ localStagesCompute(DistributedVector<F> &data, unsigned s_begin,
 
         const F *tws = slabs.slab(s); // tws[j] == full_table[j << s]
         hostParallelFor(
-            units * jslices, kernelCost(half / jslices, dir), lanes,
+            units * jslices,
+            kernelCost(half / jslices, dir, fk.lanes), lanes,
             [&](size_t u) {
                 const uint64_t unit = u / jslices;
                 const uint64_t slice = u % jslices;
@@ -306,18 +309,11 @@ localStagesCompute(DistributedVector<F> &data, unsigned s_begin,
                 const uint64_t jb = half * slice / jslices;
                 const uint64_t je = half * (slice + 1) / jslices;
                 auto &chunk = data.chunk(g);
-                for (uint64_t j = jb; j < je; ++j) {
-                    F a = chunk[start + j];
-                    F b = chunk[start + j + half];
-                    if (dir == NttDirection::Forward) {
-                        chunk[start + j] = a + b;
-                        chunk[start + j + half] = (a - b) * tws[j];
-                    } else {
-                        b = b * tws[j];
-                        chunk[start + j] = a + b;
-                        chunk[start + j + half] = a - b;
-                    }
-                }
+                F *p0 = chunk.data() + start + jb;
+                if (dir == NttDirection::Forward)
+                    fk.bflyFwd(p0, p0 + half, tws + jb, 1, je - jb);
+                else
+                    fk.bflyInv(p0, p0 + half, tws + jb, 1, je - jb);
             });
     }
 }
@@ -341,7 +337,8 @@ template <NttField F>
 void
 fusedTileStages(F *buf, size_t row_stride, size_t cols, size_t col0,
                 size_t h1, unsigned s0, unsigned s1,
-                const TwiddleSlabs<F> &slabs, NttDirection dir)
+                const TwiddleSlabs<F> &slabs, NttDirection dir,
+                const FieldKernels<F> &fk = fieldKernels<F>())
 {
     const size_t rows = size_t{1} << (s1 - s0);
     if (dir == NttDirection::Forward) {
@@ -358,24 +355,13 @@ fusedTileStages(F *buf, size_t row_stride, size_t cols, size_t col0,
                     F *r1 = r0 + d * row_stride;
                     F *r2 = r1 + d * row_stride;
                     F *r3 = r2 + d * row_stride;
-                    const size_t jrow = rq * h1 + col0;
-                    for (size_t w = 0; w < cols; ++w) {
-                        const size_t j = jrow + w;
-                        const F a0 = r0[w], a1 = r1[w];
-                        const F a2 = r2[w], a3 = r3[w];
-                        const F t02p = a0 + a2, t02m = a0 - a2;
-                        const F t13p = a1 + a3;
-                        const F t13m = (a1 - a3) * im;
-                        r0[w] = t02p + t13p;
-                        r1[w] = (t02p - t13p) * tw1[j];
-                        r2[w] = (t02m + t13m) * tw0[j];
-                        const size_t j3 = 3 * j;
-                        // tw[3j] wraps past hs as -tw[3j - hs]
-                        // (w^(hs<<s) = w^(n/2) = -1); j < hs/2 keeps
-                        // the folded index in range.
-                        r3[w] = (t02m - t13m) *
-                                (j3 < hs ? tw0[j3] : -tw0[j3 - hs]);
-                    }
+                    // The kernel folds the tw0[3j] wrap past hs as
+                    // (t13m - t02m) * tw0[3j - hs] — the same values
+                    // the branchy form multiplies (w^(hs<<s) = -1 and
+                    // (-a)*b == a*(-b) on canonical representations),
+                    // so the bytes cannot differ.
+                    fk.r4Fwd(r0, r1, r2, r3, tw0, tw1, im,
+                             rq * h1 + col0, hs, cols);
                 }
             }
         }
@@ -387,12 +373,7 @@ fusedTileStages(F *buf, size_t row_stride, size_t cols, size_t col0,
             for (size_t q = 0; q < rows; q += 2) {
                 F *r0 = buf + q * row_stride;
                 F *r1 = r0 + row_stride;
-                for (size_t w = 0; w < cols; ++w) {
-                    const F a = r0[w];
-                    const F b = r1[w];
-                    r0[w] = a + b;
-                    r1[w] = (a - b) * tws[col0 + w];
-                }
+                fk.bflyFwd(r0, r1, tws + col0, 1, cols);
             }
         }
     } else {
@@ -403,13 +384,7 @@ fusedTileStages(F *buf, size_t row_stride, size_t cols, size_t col0,
                 for (size_t rq = 0; rq < d; ++rq) {
                     F *r0 = buf + (q + rq) * row_stride;
                     F *r1 = r0 + d * row_stride;
-                    const size_t jrow = rq * h1 + col0;
-                    for (size_t w = 0; w < cols; ++w) {
-                        const F a = r0[w];
-                        const F b = r1[w] * tws[jrow + w];
-                        r0[w] = a + b;
-                        r1[w] = a - b;
-                    }
+                    fk.bflyInv(r0, r1, tws + rq * h1 + col0, 1, cols);
                 }
             }
         }
@@ -430,7 +405,8 @@ fusedTileStages(F *buf, size_t row_stride, size_t cols, size_t col0,
 template <NttField F>
 void
 fusedSpanStages(F *buf, size_t sb_elems, unsigned s0, unsigned s1,
-                const TwiddleSlabs<F> &slabs, NttDirection dir)
+                const TwiddleSlabs<F> &slabs, NttDirection dir,
+                const FieldKernels<F> &fk = fieldKernels<F>())
 {
     if (dir == NttDirection::Forward) {
         const F im = slabs.fourthRoot();
@@ -486,45 +462,9 @@ fusedSpanStages(F *buf, size_t sb_elems, unsigned s0, unsigned s1,
             }
             for (size_t start = 0; start < sb_elems; start += span) {
                 F *p0 = buf + start;
-                F *p1 = p0 + q8;
-                F *p2 = p1 + q8;
-                F *p3 = p2 + q8;
-                F *p4 = p3 + q8;
-                F *p5 = p4 + q8;
-                F *p6 = p5 + q8;
-                F *p7 = p6 + q8;
-                for (size_t j = 0; j < q8; ++j) {
-                    const F a0 = p0[j], a1 = p1[j];
-                    const F a2 = p2[j], a3 = p3[j];
-                    const F a4 = p4[j], a5 = p5[j];
-                    const F a6 = p6[j], a7 = p7[j];
-                    const F u0 = a0 + a4;
-                    const F u4 = (a0 - a4) * twa[j];
-                    const F u1 = a1 + a5;
-                    const F u5 = (a1 - a5) * twa[q8 + j];
-                    const F u2 = a2 + a6;
-                    const F u6 = (a2 - a6) * twa[2 * q8 + j];
-                    const F u3 = a3 + a7;
-                    const F u7 = (a3 - a7) * twa[3 * q8 + j];
-                    const F wb0 = twb[j], wb1 = twb[q8 + j];
-                    const F v0 = u0 + u2;
-                    const F v2 = (u0 - u2) * wb0;
-                    const F v1 = u1 + u3;
-                    const F v3 = (u1 - u3) * wb1;
-                    const F v4 = u4 + u6;
-                    const F v6 = (u4 - u6) * wb0;
-                    const F v5 = u5 + u7;
-                    const F v7 = (u5 - u7) * wb1;
-                    const F wc = twc[j];
-                    p0[j] = v0 + v1;
-                    p1[j] = (v0 - v1) * wc;
-                    p2[j] = v2 + v3;
-                    p3[j] = (v2 - v3) * wc;
-                    p4[j] = v4 + v5;
-                    p5[j] = (v4 - v5) * wc;
-                    p6[j] = v6 + v7;
-                    p7[j] = (v6 - v7) * wc;
-                }
+                fk.r8Fwd(p0, p0 + q8, p0 + 2 * q8, p0 + 3 * q8,
+                         p0 + 4 * q8, p0 + 5 * q8, p0 + 6 * q8,
+                         p0 + 7 * q8, twa, twb, twc, q8);
             }
         }
         for (; s + 2 <= s1; s += 2, span /= 4) {
@@ -533,12 +473,10 @@ fusedSpanStages(F *buf, size_t sb_elems, unsigned s0, unsigned s1,
             const F *tw1 = slabs.slab(s + 1);
             const size_t hs = slabs.count(s);
             // tw[3j] wraps past hs with a sign flip (w^(hs<<s) =
-            // w^(n/2) = -1); folding the sign into the butterfly as
-            // (b-a)*w instead of (a-b)*(-w) keeps the wrap free, and
-            // splitting the loop at the wrap point keeps the hot
-            // loop branchless. Exact arithmetic: bit-identical.
-            const size_t jsplit =
-                std::min(quarter, (hs + 2) / 3);
+            // w^(n/2) = -1); the kernel folds the sign into the
+            // butterfly as (b-a)*w instead of (a-b)*(-w) and splits
+            // the loop at the wrap point (r4SplitIndex) so the hot
+            // loop stays branchless. Exact arithmetic: bit-identical.
             if (quarter == 1) {
                 // span == 4: all three stage twiddles sit at slab
                 // index 0 and equal one; only the fourth-root factor
@@ -559,31 +497,9 @@ fusedSpanStages(F *buf, size_t sb_elems, unsigned s0, unsigned s1,
             }
             for (size_t start = 0; start < sb_elems; start += span) {
                 F *p0 = buf + start;
-                F *p1 = p0 + quarter;
-                F *p2 = p1 + quarter;
-                F *p3 = p2 + quarter;
-                for (size_t j = 0; j < jsplit; ++j) {
-                    const F a0 = p0[j], a1 = p1[j];
-                    const F a2 = p2[j], a3 = p3[j];
-                    const F t02p = a0 + a2, t02m = a0 - a2;
-                    const F t13p = a1 + a3;
-                    const F t13m = (a1 - a3) * im;
-                    p0[j] = t02p + t13p;
-                    p1[j] = (t02p - t13p) * tw1[j];
-                    p2[j] = (t02m + t13m) * tw0[j];
-                    p3[j] = (t02m - t13m) * tw0[3 * j];
-                }
-                for (size_t j = jsplit; j < quarter; ++j) {
-                    const F a0 = p0[j], a1 = p1[j];
-                    const F a2 = p2[j], a3 = p3[j];
-                    const F t02p = a0 + a2, t02m = a0 - a2;
-                    const F t13p = a1 + a3;
-                    const F t13m = (a1 - a3) * im;
-                    p0[j] = t02p + t13p;
-                    p1[j] = (t02p - t13p) * tw1[j];
-                    p2[j] = (t02m + t13m) * tw0[j];
-                    p3[j] = (t13m - t02m) * tw0[3 * j - hs];
-                }
+                fk.r4Fwd(p0, p0 + quarter, p0 + 2 * quarter,
+                         p0 + 3 * quarter, tw0, tw1, im, 0, hs,
+                         quarter);
             }
         }
         if (s < s1) {
@@ -601,13 +517,7 @@ fusedSpanStages(F *buf, size_t sb_elems, unsigned s0, unsigned s1,
                 for (size_t start = 0; start < sb_elems;
                      start += span) {
                     F *p0 = buf + start;
-                    F *p1 = p0 + half;
-                    for (size_t j = 0; j < half; ++j) {
-                        const F a = p0[j];
-                        const F b = p1[j];
-                        p0[j] = a + b;
-                        p1[j] = (a - b) * tws[j];
-                    }
+                    fk.bflyFwd(p0, p0 + half, tws, 1, half);
                 }
             }
         }
@@ -618,13 +528,7 @@ fusedSpanStages(F *buf, size_t sb_elems, unsigned s0, unsigned s1,
             for (size_t start = 0; start < sb_elems;
                  start += 2 * half) {
                 F *p0 = buf + start;
-                F *p1 = p0 + half;
-                for (size_t j = 0; j < half; ++j) {
-                    const F a = p0[j];
-                    const F b = p1[j] * tws[j];
-                    p0[j] = a + b;
-                    p1[j] = a - b;
-                }
+                fk.bflyInv(p0, p0 + half, tws, 1, half);
             }
         }
     }
@@ -650,7 +554,8 @@ void
 fusedLocalStagesCompute(DistributedVector<F> &data, unsigned s_begin,
                         unsigned s_end, unsigned logN, unsigned tile_log2,
                         const TwiddleSlabs<F> &slabs, NttDirection dir,
-                        unsigned lanes)
+                        unsigned lanes,
+                        const FieldKernels<F> &fk = fieldKernels<F>())
 {
     (void)tile_log2; // geometry lives in the schedule's group sizes
     const uint64_t n = 1ULL << logN;
@@ -668,8 +573,8 @@ fusedLocalStagesCompute(DistributedVector<F> &data, unsigned s_begin,
         csl = std::min<uint64_t>(h1,
                                  (2ULL * lanes + units - 1) / units);
     hostParallelFor(
-        units * csl, kernelCost(SB / 2 * t / csl, dir), lanes,
-        [&](size_t u) {
+        units * csl, kernelCost(SB / 2 * t / csl, dir, fk.lanes),
+        lanes, [&](size_t u) {
             const uint64_t unit = u / csl;
             const uint64_t slice = u % csl;
             const unsigned g =
@@ -678,13 +583,14 @@ fusedLocalStagesCompute(DistributedVector<F> &data, unsigned s_begin,
             F *base = data.chunk(g).data() + sb * SB;
             if (csl == 1) {
                 // Whole super-block in one unit: flat sweep.
-                fusedSpanStages(base, SB, s_begin, s_end, slabs, dir);
+                fusedSpanStages(base, SB, s_begin, s_end, slabs, dir,
+                                fk);
                 return;
             }
             const uint64_t c0 = h1 * slice / csl;
             const uint64_t c1 = h1 * (slice + 1) / csl;
             fusedTileStages(base + c0, h1, c1 - c0, c0, h1, s_begin,
-                            s_end, slabs, dir);
+                            s_end, slabs, dir, fk);
         });
 }
 
@@ -692,7 +598,8 @@ fusedLocalStagesCompute(DistributedVector<F> &data, unsigned s_begin,
 template <NttField F>
 void
 inverseScaleCompute(std::vector<DistributedVector<F> *> &batch,
-                    uint64_t n, unsigned lanes)
+                    uint64_t n, unsigned lanes,
+                    const FieldKernels<F> &fk = fieldKernels<F>())
 {
     F scale = inverseScale<F>(n);
     const unsigned G = batch.empty() ? 1 : batch[0]->numGpus();
@@ -700,8 +607,8 @@ inverseScaleCompute(std::vector<DistributedVector<F> *> &batch,
                     lanes, [&](size_t u) {
                         auto &chunk = batch[u / G]->chunk(
                             static_cast<unsigned>(u % G));
-                        for (auto &v : chunk)
-                            v *= scale;
+                        fk.scaleSpan(chunk.data(), scale,
+                                     chunk.size());
                     });
 }
 
@@ -966,13 +873,15 @@ class FunctionalStepExecutor : public AnalyticStepExecutor
                            bool overlap_comm, SimReport &report,
                            std::vector<DistributedVector<F> *> &batch,
                            const TwiddleSlabs<F> &slabs, unsigned logN,
-                           NttDirection dir, unsigned lanes)
+                           NttDirection dir, unsigned lanes,
+                           const FieldKernels<F> &fk = fieldKernels<F>())
         : AnalyticStepExecutor(sys, perf, overlap_comm, report),
           batch_(batch),
           slabs_(slabs),
           logN_(logN),
           dir_(dir),
-          lanes_(lanes)
+          lanes_(lanes),
+          fk_(fk)
     {
     }
 
@@ -1009,6 +918,16 @@ class FunctionalStepExecutor : public AnalyticStepExecutor
         return exchangeChunks_.load(std::memory_order_relaxed);
     }
 
+    /** Span-kernel dispatches through the bound table (router stats). */
+    uint64_t
+    kernelDispatches() const
+    {
+        return kernelDispatches_.load(std::memory_order_relaxed);
+    }
+
+    /** The kernel table this executor runs on. */
+    const FieldKernels<F> &kernels() const { return fk_; }
+
   private:
     /** The functional work of one whole step (linear path body). */
     void
@@ -1018,24 +937,31 @@ class FunctionalStepExecutor : public AnalyticStepExecutor
           case StepKind::CrossStage:
             for (auto *d : batch_)
                 crossStageCompute(*d, st.sBegin, logN_, slabs_, dir_,
-                                  lanes_);
+                                  lanes_, fk_);
+            countDispatch();
             break;
           case StepKind::LocalPass:
             for (auto *d : batch_)
                 localStagesCompute(*d, st.sBegin, st.sEnd, logN_, slabs_,
-                                   dir_, lanes_);
+                                   dir_, lanes_, fk_);
+            countDispatch();
             break;
           case StepKind::FusedLocalPass:
             for (auto *d : batch_)
                 fusedLocalStagesCompute(*d, st.sBegin, st.sEnd, logN_,
-                                        st.tileLog2, slabs_, dir_, lanes_);
+                                        st.tileLog2, slabs_, dir_,
+                                        lanes_, fk_);
+            countDispatch();
             break;
           case StepKind::Scale:
             // Explicit twiddle passes are functionally no-ops (the
             // fused execution already applied the factors); only the
             // inverse n^-1 scaling does real work.
-            if (st.applyInverseScale)
-                inverseScaleCompute(batch_, 1ULL << logN_, lanes_);
+            if (st.applyInverseScale) {
+                inverseScaleCompute(batch_, 1ULL << logN_, lanes_,
+                                    fk_);
+                countDispatch();
+            }
             break;
           case StepKind::BitRevGather:
             for (auto *d : batch_)
@@ -1121,7 +1047,7 @@ class FunctionalStepExecutor : public AnalyticStepExecutor
             const uint64_t elems = (nw.e - nw.b) * base_units;
             total_cost += nw.st->kind == StepKind::Exchange
                               ? elems
-                              : kernelCost(elems, dir_);
+                              : kernelCost(elems, dir_, fk_.lanes);
             work.push_back(nw);
         }
 
@@ -1167,9 +1093,21 @@ class FunctionalStepExecutor : public AnalyticStepExecutor
                         landing_[bi][g_hi].data(),
                         slabs_.slab(nw.st->sBegin),
                         static_cast<uint64_t>(g_lo % gap) * C, c0, c1,
-                        dir_);
+                        dir_, fk_);
+                    // One bump per butterfly chunk node, mirroring the
+                    // exchange accounting above.
+                    if (local == 0)
+                        kernelDispatches_.fetch_add(
+                            1, std::memory_order_relaxed);
                 }
             });
+    }
+
+    /** One bump per kernel fan-out (called from the dispatch thread). */
+    void
+    countDispatch()
+    {
+        kernelDispatches_.fetch_add(1, std::memory_order_relaxed);
     }
 
     std::vector<DistributedVector<F> *> &batch_;
@@ -1177,9 +1115,11 @@ class FunctionalStepExecutor : public AnalyticStepExecutor
     const unsigned logN_;
     const NttDirection dir_;
     const unsigned lanes_;
+    const FieldKernels<F> &fk_;
     /** Per-(batch entry, GPU) exchange landing slabs. */
     std::vector<std::vector<std::vector<F>>> landing_;
     std::atomic<uint64_t> exchangeChunks_{0};
+    std::atomic<uint64_t> kernelDispatches_{0};
 };
 
 // ---------------------------------------------------------------------
@@ -1218,7 +1158,8 @@ class ResilientStepExecutor
                           const TwiddleSlabs<F> &slabs, NttPlan pl,
                           unsigned logMg0, NttDirection dir,
                           unsigned lanes, ResilientHooks hooks,
-                          FaultStats &fs)
+                          FaultStats &fs,
+                          const FieldKernels<F> &fk = fieldKernels<F>())
         : sys_(std::move(sys)),
           perf_(perf),
           cfg_(cfg),
@@ -1233,6 +1174,7 @@ class ResilientStepExecutor
           logMg0_(logMg0),
           dir_(dir),
           lanes_(lanes),
+          fk_(fk),
           hooks_(std::move(hooks)),
           fs_(fs)
     {
@@ -1250,7 +1192,8 @@ class ResilientStepExecutor
           case StepKind::LocalPass: {
             abftArmStep(st);
             localStagesCompute(data_, st.sBegin, st.sEnd, pl_.logN,
-                               slabs_, dir_, lanes_);
+                               slabs_, dir_, lanes_, fk_);
+            kernelDispatches_.fetch_add(1, std::memory_order_relaxed);
             StepAction guard = abftGuardStep(st);
             if (!guard.status.ok() || guard.reschedule)
                 return guard;
@@ -1263,7 +1206,9 @@ class ResilientStepExecutor
             // other step: the group is one phase, one watchdog unit.
             abftArmStep(st);
             fusedLocalStagesCompute(data_, st.sBegin, st.sEnd, pl_.logN,
-                                    st.tileLog2, slabs_, dir_, lanes_);
+                                    st.tileLog2, slabs_, dir_, lanes_,
+                                    fk_);
+            kernelDispatches_.fetch_add(1, std::memory_order_relaxed);
             StepAction guard = abftGuardStep(st);
             if (!guard.status.ok() || guard.reschedule)
                 return guard;
@@ -1275,7 +1220,10 @@ class ResilientStepExecutor
             abftArmStep(st);
             if (st.applyInverseScale) {
                 std::vector<DistributedVector<F> *> batch{&data_};
-                inverseScaleCompute(batch, 1ULL << pl_.logN, lanes_);
+                inverseScaleCompute(batch, 1ULL << pl_.logN, lanes_,
+                                    fk_);
+                kernelDispatches_.fetch_add(1,
+                                            std::memory_order_relaxed);
             }
             StepAction guard = abftGuardStep(st);
             if (!guard.status.ok() || guard.reschedule)
@@ -1361,6 +1309,16 @@ class ResilientStepExecutor
 
     /** Resilience counters observed so far. */
     const FaultStats &faultStats() const { return fs_; }
+
+    /** Span-kernel dispatches through the bound table (router stats). */
+    uint64_t
+    kernelDispatches() const
+    {
+        return kernelDispatches_.load(std::memory_order_relaxed);
+    }
+
+    /** The kernel table this executor runs on. */
+    const FieldKernels<F> &kernels() const { return fk_; }
 
   private:
     /** What the fault machinery decided about one exchange step. */
@@ -1498,7 +1456,9 @@ class ResilientStepExecutor
 
         const double kernel_t = perf_.kernelSeconds(st.stats);
         abftArmStep(st);
-        crossStageCompute(data_, s, pl_.logN, slabs_, dir_, lanes_);
+        crossStageCompute(data_, s, pl_.logN, slabs_, dir_, lanes_,
+                          fk_);
+        kernelDispatches_.fetch_add(1, std::memory_order_relaxed);
         StepAction guard = abftGuardStep(st);
         if (!guard.status.ok() || guard.reschedule)
             return guard;
@@ -1652,7 +1612,8 @@ class ResilientStepExecutor
         const F *tws = slabs_.slab(st.sBegin);
         hostParallelFor(
             static_cast<uint64_t>(pairs) * slices,
-            kernelCost(span / slices, dir_), lanes_, [&](size_t unit) {
+            kernelCost(span / slices, dir_, fk_.lanes), lanes_,
+            [&](size_t unit) {
                 const unsigned pi =
                     static_cast<unsigned>(unit / slices);
                 const uint64_t sl = unit % slices;
@@ -1665,8 +1626,9 @@ class ResilientStepExecutor
                     data_.chunk(g_lo).data(), data_.chunk(g_hi).data(),
                     landing_[g_lo].data(), landing_[g_hi].data(), tws,
                     static_cast<uint64_t>(g_lo % gap) * C, c0, c1,
-                    dir_);
+                    dir_, fk_);
             });
+        kernelDispatches_.fetch_add(1, std::memory_order_relaxed);
     }
 
     /**
@@ -2027,22 +1989,18 @@ class ResilientStepExecutor
         const uint64_t C = data_.chunkSize();
         F *lo = data_.chunk(g_lo).data();
         F *hi = data_.chunk(g_lo + gap).data();
-        const F *slo = abftSnap_[g_lo].data();
-        const F *shi = abftSnap_[g_lo + gap].data();
+        // The span kernels run in place, so re-seed the pair from the
+        // pre-step snapshot first; the butterflies themselves are the
+        // same exact arithmetic the step originally ran.
+        std::copy(abftSnap_[g_lo].begin(), abftSnap_[g_lo].end(), lo);
+        std::copy(abftSnap_[g_lo + gap].begin(),
+                  abftSnap_[g_lo + gap].end(), hi);
         const F *tws = slabs_.slab(st.sBegin);
         const uint64_t j0 = static_cast<uint64_t>(g_lo % gap) * C;
-        for (uint64_t c = 0; c < C; ++c) {
-            const F u = slo[c];
-            F v = shi[c];
-            if (dir_ == NttDirection::Forward) {
-                lo[c] = u + v;
-                hi[c] = (u - v) * tws[j0 + c];
-            } else {
-                v = v * tws[j0 + c];
-                lo[c] = u + v;
-                hi[c] = u - v;
-            }
-        }
+        if (dir_ == NttDirection::Forward)
+            fk_.bflyFwd(lo, hi, tws + j0, 1, C);
+        else
+            fk_.bflyInv(lo, hi, tws + j0, 1, C);
     }
 
     /**
@@ -2055,7 +2013,7 @@ class ResilientStepExecutor
     {
         if (st.kind == StepKind::FusedLocalPass) {
             fusedSpanStages(buf, span, st.sBegin, st.sEnd, slabs_,
-                            dir_);
+                            dir_, fk_);
             return;
         }
         const uint64_t n = 1ULL << pl_.logN;
@@ -2070,19 +2028,10 @@ class ResilientStepExecutor
             for (uint64_t start = 0; start < span;
                  start += 2 * half) {
                 F *p0 = buf + start;
-                F *p1 = p0 + half;
-                for (uint64_t j = 0; j < half; ++j) {
-                    F a = p0[j];
-                    F b = p1[j];
-                    if (dir_ == NttDirection::Forward) {
-                        p0[j] = a + b;
-                        p1[j] = (a - b) * tws[j];
-                    } else {
-                        b = b * tws[j];
-                        p0[j] = a + b;
-                        p1[j] = a - b;
-                    }
-                }
+                if (dir_ == NttDirection::Forward)
+                    fk_.bflyFwd(p0, p0 + half, tws, 1, half);
+                else
+                    fk_.bflyInv(p0, p0 + half, tws, 1, half);
             }
         }
     }
@@ -2143,11 +2092,13 @@ class ResilientStepExecutor
     const unsigned logMg0_;
     const NttDirection dir_;
     const unsigned lanes_;
+    const FieldKernels<F> &fk_;
     ResilientHooks hooks_;
     /** The caller's counters (may already hold health exclusions). */
     FaultStats &fs_;
     const ScheduleStep *pendingExchange_ = nullptr;
     unsigned resumeStage_ = 0;
+    std::atomic<uint64_t> kernelDispatches_{0};
 
     // Wave-dispatch state (DAG overlay), reset on schedule swap.
     const StageSchedule *dagSched_ = nullptr;

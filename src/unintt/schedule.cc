@@ -5,6 +5,7 @@
 #include <sstream>
 #include <utility>
 
+#include "field/dispatch.hh"
 #include "sim/memory.hh"
 #include "util/logging.hh"
 
@@ -295,7 +296,9 @@ class ScheduleBuilder
     {
         const bool fused = cfg_.fuseLocalPasses;
         const unsigned tile_bits =
-            fused ? cfg_.resolvedHostTileLog2(eb_) : pl_.logBlockTile;
+            fused ? cfg_.resolvedHostTileLog2(
+                        eb_, isaLaneWidth(cfg_.isaPath, eb_))
+                  : pl_.logBlockTile;
         auto ranges =
             localRangesFrom(pl_, pl_.logN, from, tile_bits, fused);
         if (dir == NttDirection::Inverse)

@@ -23,6 +23,7 @@
 
 #include "field/babybear.hh"
 #include "field/bn254.hh"
+#include "field/dispatch.hh"
 #include "field/goldilocks.hh"
 #include "ntt/fourstep.hh"
 #include "ntt/radix2.hh"
@@ -600,6 +601,379 @@ TEST(Differential, ExecutorsAgreeOnSeededDraws)
         if (::testing::Test::HasFatalFailure())
             return;
     }
+}
+
+/**
+ * The acceleration-path byte-identity matrix: for one seeded draw,
+ * every registered ISA path must reproduce the forced-scalar bytes
+ * under every combination of direction, thread count, fused/unfused
+ * local passes, and ABFT on/off. This is the contract that makes the
+ * router invisible: routing is a pure perf decision, never a numeric
+ * one.
+ */
+template <NttField F>
+void
+runIsaDraw(const Draw &d)
+{
+    SCOPED_TRACE("draw " + std::to_string(d.index) + ": " +
+                 std::string(F::kName) + " logN=" +
+                 std::to_string(d.logN) + " gpus=" +
+                 std::to_string(d.gpus));
+
+    const size_t n = size_t{1} << d.logN;
+    Rng rng(d.dataSeed);
+    std::vector<F> input(n);
+    for (auto &v : input)
+        v = F::fromU64(rng.next());
+    auto sys = makeDgxA100(d.gpus);
+
+    for (auto dir : {NttDirection::Forward, NttDirection::Inverse}) {
+        SCOPED_TRACE(dir == NttDirection::Forward ? "forward"
+                                                  : "inverse");
+        UniNttConfig scalar_cfg;
+        scalar_cfg.isaPath = IsaPath::Scalar;
+        scalar_cfg.hostThreads = 1;
+        UniNttEngine<F> scalar(sys, scalar_cfg);
+        auto base = DistributedVector<F>::fromGlobal(input, d.gpus);
+        if (dir == NttDirection::Forward)
+            scalar.forward(base);
+        else
+            scalar.inverse(base);
+        const std::vector<F> want = base.toGlobal();
+
+        for (IsaPath isa : availableIsaPaths()) {
+            for (bool fused : {true, false}) {
+                for (unsigned threads : {1u, 4u, 16u}) {
+                    SCOPED_TRACE(std::string("isa=") +
+                                 isaPathName(isa) + " fused=" +
+                                 std::to_string(fused) + " threads=" +
+                                 std::to_string(threads));
+                    UniNttConfig cfg;
+                    cfg.isaPath = isa;
+                    cfg.fuseLocalPasses = fused;
+                    cfg.hostThreads = threads;
+                    UniNttEngine<F> engine(sys, cfg);
+
+                    // ABFT off: the plain functional executor.
+                    auto data = DistributedVector<F>::fromGlobal(
+                        input, d.gpus);
+                    if (dir == NttDirection::Forward)
+                        engine.forward(data);
+                    else
+                        engine.inverse(data);
+                    ASSERT_EQ(data.toGlobal(), want);
+
+                    // ABFT on: the hardened executor re-derives the
+                    // checksums and recovery path through the same
+                    // kernel table.
+                    ResilienceConfig rc;
+                    rc.abft = true;
+                    FaultInjector inj(FaultModel::none());
+                    auto hard = DistributedVector<F>::fromGlobal(
+                        input, d.gpus);
+                    Result<SimReport> r =
+                        dir == NttDirection::Forward
+                            ? engine.forwardResilient(hard, inj, rc)
+                            : engine.inverseResilient(hard, inj, rc);
+                    ASSERT_TRUE(r.ok()) << r.status().toString();
+                    ASSERT_EQ(hard.toGlobal(), want);
+                }
+            }
+        }
+    }
+}
+
+TEST(Differential, IsaPathsMatchScalarAcrossExecutionMatrix)
+{
+    // Same draw sequence as the other differential tests; the
+    // per-draw matrix (paths x 2 directions x 3 threads x fused x
+    // abft) is the expensive part, so draws are subsampled on a
+    // residue disjoint from the fusion/overlap/abft matrices.
+    Rng draw_rng(0xd1ffe7e57ULL);
+    for (int i = 0; i < kDraws; ++i) {
+        Draw d;
+        d.index = i;
+        d.field = static_cast<unsigned>(draw_rng.below(3));
+        d.logN = kMinLogN + static_cast<unsigned>(
+                                draw_rng.below(kMaxLogN - kMinLogN + 1));
+        d.gpus = 1u << draw_rng.below(4);
+        d.dataSeed = draw_rng.next();
+        if (i % 8 != 3)
+            continue;
+
+        switch (d.field) {
+        case 0:
+            runIsaDraw<Goldilocks>(d);
+            break;
+        case 1:
+            runIsaDraw<BabyBear>(d);
+            break;
+        default:
+            runIsaDraw<Bn254Fr>(d);
+            break;
+        }
+        if (::testing::Test::HasFatalFailure())
+            return;
+    }
+}
+
+/**
+ * Edge-case spans straight against the kernel tables: every length
+ * around and below the lane width, misaligned heads (pointers offset
+ * off the allocation), and non-unit twiddle strides must match the
+ * scalar reference element-for-element. This is the layer the engine
+ * matrix above cannot isolate: a masked-tail or bounce-buffer bug
+ * shows up here with a one-line repro.
+ */
+template <NttField F>
+void
+checkSpanEdgeCases(const FieldKernels<F> &fk)
+{
+    SCOPED_TRACE(std::string(F::kName) + " table " + fk.name);
+    const FieldKernels<F> scalar = scalarKernelTable<F>();
+    Rng rng(0x51a9ed9eULL + fk.lanes);
+    auto draw = [&](size_t count, size_t pad) {
+        std::vector<F> v(count + pad);
+        for (auto &x : v)
+            x = F::fromU64(rng.next());
+        return v;
+    };
+
+    std::vector<size_t> lens{0, 1, 2, 3, 33, 100};
+    if (fk.lanes > 1) {
+        lens.push_back(fk.lanes - 1);
+        lens.push_back(fk.lanes);
+        lens.push_back(fk.lanes + 1);
+        lens.push_back(2 * fk.lanes + 1);
+    }
+    for (size_t len : lens) {
+        for (size_t off : {size_t{0}, size_t{1}}) { // misaligned head
+            for (size_t stride : {size_t{1}, size_t{2}, size_t{3}}) {
+                SCOPED_TRACE("len=" + std::to_string(len) + " off=" +
+                             std::to_string(off) + " stride=" +
+                             std::to_string(stride));
+                const std::vector<F> lo0 = draw(len, off);
+                const std::vector<F> hi0 = draw(len, off);
+                const std::vector<F> tw = draw(len * stride + 1, off);
+                const std::vector<F> rlo = draw(len, off);
+                const std::vector<F> rhi = draw(len, off);
+
+                auto lo_a = lo0, hi_a = hi0;
+                auto lo_b = lo0, hi_b = hi0;
+                fk.bflyFwd(lo_a.data() + off, hi_a.data() + off,
+                           tw.data() + off, stride, len);
+                scalar.bflyFwd(lo_b.data() + off, hi_b.data() + off,
+                               tw.data() + off, stride, len);
+                ASSERT_EQ(lo_a, lo_b);
+                ASSERT_EQ(hi_a, hi_b);
+
+                lo_a = lo0; hi_a = hi0; lo_b = lo0; hi_b = hi0;
+                fk.bflyInv(lo_a.data() + off, hi_a.data() + off,
+                           tw.data() + off, stride, len);
+                scalar.bflyInv(lo_b.data() + off, hi_b.data() + off,
+                               tw.data() + off, stride, len);
+                ASSERT_EQ(lo_a, lo_b);
+                ASSERT_EQ(hi_a, hi_b);
+
+                if (stride != 1)
+                    continue; // recv/scale/dot spans are unit-stride
+                lo_a = lo0; hi_a = hi0; lo_b = lo0; hi_b = hi0;
+                fk.bflyRecvFwd(lo_a.data() + off, hi_a.data() + off,
+                               rlo.data() + off, rhi.data() + off,
+                               tw.data() + off, len);
+                scalar.bflyRecvFwd(lo_b.data() + off,
+                                   hi_b.data() + off,
+                                   rlo.data() + off, rhi.data() + off,
+                                   tw.data() + off, len);
+                ASSERT_EQ(lo_a, lo_b);
+                ASSERT_EQ(hi_a, hi_b);
+
+                lo_a = lo0; hi_a = hi0; lo_b = lo0; hi_b = hi0;
+                fk.bflyRecvInv(lo_a.data() + off, hi_a.data() + off,
+                               rlo.data() + off, rhi.data() + off,
+                               tw.data() + off, len);
+                scalar.bflyRecvInv(lo_b.data() + off,
+                                   hi_b.data() + off,
+                                   rlo.data() + off, rhi.data() + off,
+                                   tw.data() + off, len);
+                ASSERT_EQ(lo_a, lo_b);
+                ASSERT_EQ(hi_a, hi_b);
+
+                const F s = F::fromU64(rng.next());
+                lo_a = lo0; lo_b = lo0;
+                fk.scaleSpan(lo_a.data() + off, s, len);
+                scalar.scaleSpan(lo_b.data() + off, s, len);
+                ASSERT_EQ(lo_a, lo_b);
+
+                ASSERT_EQ(fk.dotSpan(tw.data() + off,
+                                     lo0.data() + off, len),
+                          scalar.dotSpan(tw.data() + off,
+                                         lo0.data() + off, len));
+            }
+        }
+    }
+
+    // Radix-4 rows across the branchy twiddle split (j0 straddling
+    // (hs+2)/3) and the radix-8 first rank.
+    for (size_t hs : {size_t{16}, size_t{48}}) {
+        const std::vector<F> tw0 = draw(3 * hs, 0);
+        const std::vector<F> tw1 = draw(hs, 0);
+        const F im = F::fromU64(rng.next());
+        for (size_t j0 : {size_t{0}, size_t{1}, (hs + 2) / 3 - 1,
+                          (hs + 2) / 3, hs / 2}) {
+            for (size_t cnt : {size_t{1}, size_t{3}, size_t{7}}) {
+                if (j0 + cnt > hs)
+                    continue;
+                SCOPED_TRACE("hs=" + std::to_string(hs) + " j0=" +
+                             std::to_string(j0) + " cnt=" +
+                             std::to_string(cnt));
+                std::vector<std::vector<F>> rows_a, rows_b;
+                for (int r = 0; r < 4; ++r) {
+                    rows_a.push_back(draw(cnt, 0));
+                    rows_b.push_back(rows_a.back());
+                }
+                fk.r4Fwd(rows_a[0].data(), rows_a[1].data(),
+                         rows_a[2].data(), rows_a[3].data(),
+                         tw0.data(), tw1.data(), im, j0, hs, cnt);
+                scalar.r4Fwd(rows_b[0].data(), rows_b[1].data(),
+                             rows_b[2].data(), rows_b[3].data(),
+                             tw0.data(), tw1.data(), im, j0, hs, cnt);
+                for (int r = 0; r < 4; ++r)
+                    ASSERT_EQ(rows_a[r], rows_b[r]) << "row " << r;
+            }
+        }
+    }
+    for (size_t q8 : {size_t{1}, size_t{3}, size_t{8}, size_t{13}}) {
+        SCOPED_TRACE("q8=" + std::to_string(q8));
+        const std::vector<F> twa = draw(4 * q8, 0);
+        const std::vector<F> twb = draw(2 * q8, 0);
+        const std::vector<F> twc = draw(q8, 0);
+        std::vector<std::vector<F>> rows_a, rows_b;
+        for (int r = 0; r < 8; ++r) {
+            rows_a.push_back(draw(q8, 0));
+            rows_b.push_back(rows_a.back());
+        }
+        fk.r8Fwd(rows_a[0].data(), rows_a[1].data(), rows_a[2].data(),
+                 rows_a[3].data(), rows_a[4].data(), rows_a[5].data(),
+                 rows_a[6].data(), rows_a[7].data(), twa.data(),
+                 twb.data(), twc.data(), q8);
+        scalar.r8Fwd(rows_b[0].data(), rows_b[1].data(),
+                     rows_b[2].data(), rows_b[3].data(),
+                     rows_b[4].data(), rows_b[5].data(),
+                     rows_b[6].data(), rows_b[7].data(), twa.data(),
+                     twb.data(), twc.data(), q8);
+        for (int r = 0; r < 8; ++r)
+            ASSERT_EQ(rows_a[r], rows_b[r]) << "row " << r;
+    }
+}
+
+TEST(Differential, SpanKernelEdgeCasesMatchScalar)
+{
+    for (IsaPath isa : availableIsaPaths()) {
+        checkSpanEdgeCases<Goldilocks>(fieldKernels<Goldilocks>(isa));
+        checkSpanEdgeCases<BabyBear>(fieldKernels<BabyBear>(isa));
+        checkSpanEdgeCases<Bn254Fr>(fieldKernels<Bn254Fr>(isa));
+        if (::testing::Test::HasFatalFailure())
+            return;
+    }
+}
+
+/**
+ * Forced-path engine round trips per registered table: forcing every
+ * available path through UniNttConfig::isaPath must (a) actually bind
+ * that path (visible in hostExecStats), (b) round-trip
+ * forward-then-inverse back to the input exactly.
+ */
+template <NttField F>
+void
+checkForcedPathRoundTrip(IsaPath isa)
+{
+    SCOPED_TRACE(std::string(F::kName) + " isa=" + isaPathName(isa));
+    auto sys = makeDgxA100(2);
+    UniNttConfig cfg;
+    cfg.isaPath = isa;
+    UniNttEngine<F> engine(sys, cfg);
+    const FieldKernels<F> &fk = engine.kernels();
+    EXPECT_EQ(fk.path, resolveIsaPath(isa));
+
+    Rng rng(0xf0cced + static_cast<uint64_t>(isa));
+    std::vector<F> input(1ULL << 12);
+    for (auto &v : input)
+        v = F::fromU64(rng.next());
+    auto dist = DistributedVector<F>::fromGlobal(input, 2);
+    SimReport rep = engine.forward(dist);
+    EXPECT_EQ(rep.hostExecStats().isaPath, std::string(fk.name));
+    EXPECT_EQ(rep.hostExecStats().isaLanes, fk.lanes);
+    EXPECT_GT(rep.hostExecStats().isaDispatches, 0u);
+    engine.inverse(dist);
+    ASSERT_EQ(dist.toGlobal(), input);
+}
+
+TEST(Differential, ForcedPathEngineRoundTripsPerTable)
+{
+    for (IsaPath isa : availableIsaPaths()) {
+        checkForcedPathRoundTrip<Goldilocks>(isa);
+        checkForcedPathRoundTrip<BabyBear>(isa);
+        checkForcedPathRoundTrip<Bn254Fr>(isa);
+        if (::testing::Test::HasFatalFailure())
+            return;
+    }
+}
+
+TEST(Differential, KernelCostIsLaneAware)
+{
+    // The lane-aware overload divides the scalar weights by the SIMD
+    // width (work chunks scale with vector throughput) but never
+    // prices nonzero work at zero.
+    EXPECT_EQ(kernelCost(100, NttDirection::Forward, 1), 300u);
+    EXPECT_EQ(kernelCost(100, NttDirection::Inverse, 1), 400u);
+    EXPECT_EQ(kernelCost(100, NttDirection::Forward, 4), 75u);
+    EXPECT_EQ(kernelCost(100, NttDirection::Inverse, 8), 50u);
+    EXPECT_EQ(kernelCost(0, NttDirection::Forward, 8), 0u);
+    EXPECT_EQ(kernelCost(1, NttDirection::Forward, 8), 1u);
+    EXPECT_EQ(kernelCost(1, NttDirection::Inverse, 16), 1u);
+}
+
+TEST(Differential, RouterResolutionLadder)
+{
+    // CI runs the whole suite under UNINTT_FORCE_ISA=scalar as well
+    // as auto-routed; with a force in effect every request resolves
+    // to the forced path, so the per-request ladder expectations only
+    // apply to the unforced case.
+    const bool forced = forcedIsaPath() != IsaPath::Auto;
+    // Auto resolves to a concrete path, never to Auto.
+    EXPECT_NE(resolveIsaPath(IsaPath::Auto), IsaPath::Auto);
+    if (!forced) {
+        // Scalar is always available and resolves to itself.
+        EXPECT_EQ(resolveIsaPath(IsaPath::Scalar), IsaPath::Scalar);
+        // Auto resolves to the best probed path.
+        EXPECT_EQ(resolveIsaPath(IsaPath::Auto), bestIsaPath());
+        // Neon is stubbed: requesting it lands on scalar, not a
+        // crash.
+        if (!isaPathAvailable(IsaPath::Neon)) {
+            EXPECT_EQ(resolveIsaPath(IsaPath::Neon), IsaPath::Scalar);
+        }
+        // A forced-down request falls the ladder, never up: if
+        // AVX-512 is unavailable the request lands elsewhere.
+        if (!isaPathAvailable(IsaPath::Avx512)) {
+            EXPECT_NE(resolveIsaPath(IsaPath::Avx512),
+                      IsaPath::Avx512);
+        }
+        // Every available path resolves to itself.
+        for (IsaPath p : availableIsaPaths())
+            EXPECT_EQ(resolveIsaPath(p), p);
+    } else {
+        for (IsaPath p : availableIsaPaths())
+            EXPECT_EQ(resolveIsaPath(p), resolveIsaPath(IsaPath::Auto));
+    }
+    // Lane widths are sane either way.
+    for (IsaPath p : availableIsaPaths()) {
+        EXPECT_GE(isaLaneWidth(p, sizeof(Goldilocks)), 1u);
+        EXPECT_GE(isaLaneWidth(p, sizeof(Bn254Fr)), 1u);
+    }
+    EXPECT_EQ(isaLaneWidth(IsaPath::Scalar, sizeof(Goldilocks)),
+              forced ? isaLaneWidth(IsaPath::Auto, sizeof(Goldilocks))
+                     : 1u);
 }
 
 } // namespace

@@ -10,6 +10,7 @@
 
 #include "field/babybear.hh"
 #include "field/bn254.hh"
+#include "field/dispatch.hh"
 #include "field/goldilocks.hh"
 #include "ntt/fourstep.hh"
 #include "unintt/backend.hh"
@@ -225,8 +226,12 @@ TEST(FusedScheduleInvariants, GroupsRespectChunkAndTileBounds)
         for (unsigned tile : {0u, 4u, 11u, 20u}) {
             UniNttConfig cfg = UniNttConfig::allOn();
             cfg.hostTileLog2 = tile;
-            const unsigned resolved =
-                cfg.resolvedHostTileLog2(sizeof(Goldilocks));
+            // The compiler resolves the tile with the bound SIMD
+            // lane width (the floor rises so a fused tile always
+            // feeds full vectors), so the expectation must too.
+            const unsigned resolved = cfg.resolvedHostTileLog2(
+                sizeof(Goldilocks),
+                isaLaneWidth(cfg.isaPath, sizeof(Goldilocks)));
             for (unsigned logN = logMg + 2; logN <= 24; logN += 6) {
                 SCOPED_TRACE(sys.gpu.name + " gpus=" +
                              std::to_string(sys.numGpus) + " logN=" +
