@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Tuned-point regression gate over BENCH_host_ntt.json artifacts.
+
+Compares a refreshed artifact against the previous one and fails (exit
+1) if any point that was *tuned in both* got slower beyond a noise
+tolerance — a tuning-DB refresh must never regress a number it already
+banked. Points that are new, heuristic on either side, or absent from
+the previous artifact are skipped (they have no banked baseline).
+
+Usage: check_bench_regression.py PREVIOUS REFRESHED [--tolerance=0.10]
+"""
+
+import argparse
+import json
+import sys
+
+
+def tuned_points(path):
+    with open(path) as f:
+        doc = json.load(f)
+    return {
+        (p["logN"], p["isa"]): p
+        for p in doc.get("points", [])
+        if p.get("tuned")
+    }
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("previous")
+    ap.add_argument("refreshed")
+    ap.add_argument("--tolerance", type=float, default=0.10,
+                    help="allowed fractional slowdown (default 0.10)")
+    args = ap.parse_args()
+
+    prev = tuned_points(args.previous)
+    new = tuned_points(args.refreshed)
+
+    checked = 0
+    regressions = []
+    for key, p in sorted(new.items()):
+        old = prev.get(key)
+        if old is None:
+            continue
+        checked += 1
+        old_ns = old["fusedNsPerButterfly"]
+        new_ns = p["fusedNsPerButterfly"]
+        if new_ns > old_ns * (1.0 + args.tolerance):
+            regressions.append(
+                f"  logN={key[0]} isa={key[1]}: {old_ns:.3f} -> "
+                f"{new_ns:.3f} ns/bfly "
+                f"(+{(new_ns / old_ns - 1) * 100:.1f}%)")
+
+    if regressions:
+        print("FAIL: tuned points regressed beyond "
+              f"{args.tolerance * 100:.0f}% noise tolerance:")
+        print("\n".join(regressions))
+        return 1
+    print(f"OK: {checked} tuned point(s) within "
+          f"{args.tolerance * 100:.0f}% of their previous values"
+          + (" (no banked baseline yet)" if checked == 0 else ""))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

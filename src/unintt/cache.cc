@@ -78,7 +78,7 @@ std::shared_ptr<const StageSchedule>
 ScheduleCache::get(const NttPlan &pl, const MultiGpuSystem &sys,
                    NttDirection dir, size_t element_bytes,
                    const UniNttConfig &cfg, const CostConstants &costs,
-                   size_t batch, bool *hit_out)
+                   size_t batch, bool *hit_out, bool tuned)
 {
     Key key{pl.logN,
             sys.numGpus,
@@ -96,6 +96,7 @@ ScheduleCache::get(const NttPlan &pl, const MultiGpuSystem &sys,
             cfg.overlapComm,
             cfg.hostTileLog2,
             static_cast<unsigned>(resolveIsaPath(cfg.isaPath)),
+            tuned,
             costs.twiddleTableDramFraction,
             costs.onTheFlyExtraMuls,
             costs.unpaddedConflictReplays,

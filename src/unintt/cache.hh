@@ -119,7 +119,7 @@ class ScheduleCache
     get(const NttPlan &pl, const MultiGpuSystem &sys, NttDirection dir,
         size_t element_bytes, const UniNttConfig &cfg,
         const CostConstants &costs, size_t batch,
-        bool *hit_out = nullptr);
+        bool *hit_out = nullptr, bool tuned = false);
 
     /** Drop every cached schedule. Counters persist. */
     void clear();
@@ -162,6 +162,13 @@ class ScheduleCache
          * compiled under different paths must never alias.
          */
         unsigned isaPath;
+        /**
+         * Tuning-DB provenance: a schedule compiled from a DB entry
+         * must never alias a heuristic one (or vice versa), even when
+         * today's knobs happen to coincide — a DB refresh changes the
+         * tuned side without touching the heuristic side.
+         */
+        bool tuned;
         double twiddleTableDramFraction;
         double onTheFlyExtraMuls;
         double unpaddedConflictReplays;

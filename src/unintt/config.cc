@@ -54,7 +54,9 @@ UniNttConfig::toString() const
         os << "auto";
     else
         os << hostTileLog2;
-    os << " isa=" << isaPathName(isaPath)
+    os << " radix=r" << (1u << std::clamp(fusedRadixLog2, 1u, 3u))
+       << " tune-db=" << (useTuneDb ? "on" : "off")
+       << " isa=" << isaPathName(isaPath)
        << " host-caches=" << onoff(useHostCaches)
        << " host-threads=";
     if (hostThreads == 0)

@@ -110,6 +110,30 @@ struct UniNttConfig
     unsigned hostTileLog2 = 0;
 
     /**
+     * log2 of the largest radix the fused flat sweeps may use:
+     * 3 = radix-8 + radix-4 + radix-2 (default), 2 = radix-4 +
+     * radix-2, 1 = radix-2 only. The autotuner's radix-mix knob;
+     * every mix applies the identical per-stage arithmetic, so
+     * outputs are bit-identical for all values.
+     */
+    unsigned fusedRadixLog2 = 3;
+
+    /**
+     * Consult the persisted tuning DB (unintt/tunedb.hh) ahead of the
+     * heuristic when resolving the host execution knobs. Off skips the
+     * lookup entirely (pinned harnesses, differential baselines).
+     * UNINTT_TUNEDB overrides both this flag and tuneDbPath.
+     */
+    bool useTuneDb = true;
+
+    /**
+     * Path of the tuning DB file; "" = the in-repo default
+     * (tuning/tunedb.json), "off" disables consultation like
+     * useTuneDb = false.
+     */
+    std::string tuneDbPath;
+
+    /**
      * The tile log2 fused kernels actually use for elements of
      * @p element_bytes: the explicit hostTileLog2 when set, otherwise
      * the largest tile fitting the per-core cache budget, both clamped

@@ -55,6 +55,7 @@
 #include "unintt/health.hh"
 #include "unintt/plan.hh"
 #include "unintt/schedule.hh"
+#include "unintt/tunedb.hh"
 #include "unintt/verify.hh"
 #include "util/bitops.hh"
 #include "util/checksum.hh"
@@ -125,10 +126,15 @@ class UniNttEngine
     std::shared_ptr<const StageSchedule>
     schedule(unsigned logN, NttDirection dir, size_t batch = 1,
              bool *plan_hit_out = nullptr,
-             bool *sched_hit_out = nullptr) const
+             bool *sched_hit_out = nullptr,
+             bool *tuned_out = nullptr) const
     {
         const NttPlan pl = planCached(logN, sys_, plan_hit_out);
-        return scheduleCached(pl, dir, batch, sched_hit_out);
+        const TunedConfig tc = tunedFor(logN, "functional");
+        if (tuned_out)
+            *tuned_out = tc.tuned;
+        return scheduleCached(pl, dir, batch, tc.cfg, tc.tuned,
+                              sched_hit_out);
     }
 
     /**
@@ -138,8 +144,7 @@ class UniNttEngine
     unsigned
     hostLanes() const
     {
-        return cfg_.hostThreads != 0 ? cfg_.hostThreads
-                                     : ThreadPool::defaultLanes();
+        return hostLanesFor(cfg_);
     }
 
     /**
@@ -153,6 +158,20 @@ class UniNttEngine
     kernels() const
     {
         return fieldKernels<F>(cfg_.isaPath);
+    }
+
+    /**
+     * The per-run tuning-DB consultation (unintt/tunedb.hh): the
+     * effective config for a 2^logN transform under @p executor
+     * ("functional" or "analytic"), with provenance and any tile
+     * clamp warnings. Public so benches and the tuner can inspect
+     * exactly what a run would use.
+     */
+    TunedConfig
+    tunedFor(unsigned logN, const char *executor) const
+    {
+        return resolveTunedConfig(cfg_, F::kName, sizeof(F), logN,
+                                  sys_, executor);
     }
 
     /**
@@ -381,21 +400,35 @@ class UniNttEngine
                                cfg_.forceLogBlockTile);
     }
 
-    /** Schedule via the shared ScheduleCache (or freshly compiled). */
+    /**
+     * Schedule via the shared ScheduleCache (or freshly compiled).
+     * @p cfg is the *effective* (possibly DB-tuned) config and
+     * @p tuned its provenance — part of the cache key, so tuned and
+     * heuristic schedules never alias.
+     */
     std::shared_ptr<const StageSchedule>
     scheduleCached(const NttPlan &pl, NttDirection dir, size_t batch,
+                   const UniNttConfig &cfg, bool tuned,
                    bool *hit_out) const
     {
-        if (cfg_.useHostCaches)
+        if (cfg.useHostCaches)
             return ScheduleCache::global().get(pl, sys_, dir, sizeof(F),
-                                               cfg_, costs_, batch,
-                                               hit_out);
+                                               cfg, costs_, batch,
+                                               hit_out, tuned);
         if (hit_out)
             *hit_out = false;
         ScheduleOptions opts;
         opts.batch = batch;
         return std::make_shared<const StageSchedule>(compileSchedule(
-            pl, sys_, dir, sizeof(F), cfg_, costs_, opts));
+            pl, sys_, dir, sizeof(F), cfg, costs_, opts));
+    }
+
+    /** hostLanes() for an arbitrary (effective) config. */
+    static unsigned
+    hostLanesFor(const UniNttConfig &cfg)
+    {
+        return cfg.hostThreads != 0 ? cfg.hostThreads
+                                    : ThreadPool::defaultLanes();
     }
 
     /** Twiddle table via the shared cache (or freshly built). */
@@ -459,9 +492,16 @@ UniNttEngine<F>::run(unsigned logN, NttDirection dir,
         UNINTT_ASSERT(d->numGpus() == sys_.numGpus, "GPU count mismatch");
     }
 
+    // Consult the tuning DB for this (field, logN, machine, executor)
+    // before compiling: a hit swaps in the persisted knobs (honoring
+    // explicit pins), a miss keeps the heuristic config unchanged.
+    const TunedConfig tc =
+        tunedFor(logN, functional ? "functional" : "analytic");
+    const UniNttConfig &ecfg = tc.cfg;
+
     bool sched_hit = false;
     std::shared_ptr<const StageSchedule> sched =
-        scheduleCached(pl, dir, nbatch, &sched_hit);
+        scheduleCached(pl, dir, nbatch, ecfg, tc.tuned, &sched_hit);
 
     // Compacted twiddle slabs shared by the functional execution
     // (served from the per-field slab cache; a slab miss pulls the flat
@@ -477,7 +517,9 @@ UniNttEngine<F>::run(unsigned logN, NttDirection dir,
     SimReport report;
     {
         HostExecStats hx;
-        hx.hostThreads = hostLanes();
+        hx.hostThreads = hostLanesFor(ecfg);
+        (tc.tuned ? hx.tunedSchedules : hx.heuristicSchedules) = 1;
+        hx.tuneClampWarnings = tc.clampWarnings;
         for (const auto &st : sched->steps)
             if (st.kind == StepKind::FusedLocalPass)
                 hx.fusedGroups++;
@@ -501,9 +543,10 @@ UniNttEngine<F>::run(unsigned logN, NttDirection dir,
     report.setPeakDeviceBytes(sched->peakDeviceBytes);
 
     if (functional) {
-        FunctionalStepExecutor<F> exec(sys_, perf_, cfg_.overlapComm,
-                                       report, batch, *slabs, logN, dir,
-                                       hostLanes(), kernels());
+        FunctionalStepExecutor<F> exec(
+            sys_, perf_, ecfg.overlapComm, report, batch, *slabs, logN,
+            dir, hostLanesFor(ecfg), fieldKernels<F>(ecfg.isaPath),
+            ecfg.fusedRadixLog2);
         Status st = dispatchSchedule(sched, exec);
         UNINTT_ASSERT(st.ok(), "functional execution cannot fail");
         HostExecStats hx;
@@ -518,7 +561,7 @@ UniNttEngine<F>::run(unsigned logN, NttDirection dir,
         if (hx.any())
             report.addHostExecStats(hx);
     } else {
-        AnalyticStepExecutor exec(sys_, perf_, cfg_.overlapComm, report);
+        AnalyticStepExecutor exec(sys_, perf_, ecfg.overlapComm, report);
         Status st = dispatchSchedule(sched, exec);
         UNINTT_ASSERT(st.ok(), "analytic execution cannot fail");
         HostExecStats hx;
@@ -564,6 +607,11 @@ UniNttEngine<F>::runResilientImpl(NttDirection dir,
 
     const unsigned logN = log2Exact(data.size());
     const uint64_t n = 1ULL << logN;
+
+    // Resilient runs execute functionally, so they consult the same
+    // tuning key the plain functional path does.
+    const TunedConfig tc = tunedFor(logN, "functional");
+    const UniNttConfig &ecfg = tc.cfg;
 
     // Input snapshot for the post-transform spot check.
     const std::vector<F> input = data.toGlobal();
@@ -612,7 +660,9 @@ UniNttEngine<F>::runResilientImpl(NttDirection dir,
     const unsigned logMg0 = pl.logMg;
     {
         HostExecStats hx;
-        hx.hostThreads = hostLanes();
+        hx.hostThreads = hostLanesFor(ecfg);
+        (tc.tuned ? hx.tunedSchedules : hx.heuristicSchedules) = 1;
+        hx.tuneClampWarnings = tc.clampWarnings;
         if (cfg_.useHostCaches) {
             (plan_hit ? hx.planCacheHits : hx.planCacheMisses) = 1;
             (slab_hit ? hx.twiddleSlabHits : hx.twiddleSlabMisses) = 1;
@@ -631,7 +681,7 @@ UniNttEngine<F>::runResilientImpl(NttDirection dir,
     opts.spotChecks = rc.spotChecks;
     opts.abft = rc.abft;
     auto sched = std::make_shared<const StageSchedule>(compileSchedule(
-        pl, sys, dir, sizeof(F), cfg_, costs_, opts));
+        pl, sys, dir, sizeof(F), ecfg, costs_, opts));
     report.setPeakDeviceBytes(sched->peakDeviceBytes);
     {
         HostExecStats hx;
@@ -646,7 +696,7 @@ UniNttEngine<F>::runResilientImpl(NttDirection dir,
     hooks.replan = [this](unsigned lg, const MultiGpuSystem &s) {
         return planCached(lg, s, nullptr);
     };
-    hooks.recompile = [this, spot_checks = rc.spotChecks,
+    hooks.recompile = [this, ecfg, spot_checks = rc.spotChecks,
                        abft = rc.abft](
                           const NttPlan &p, const MultiGpuSystem &s,
                           NttDirection d, unsigned resume_stage,
@@ -659,16 +709,17 @@ UniNttEngine<F>::runResilientImpl(NttDirection dir,
         o.resumeStage = resume_stage;
         o.origLogMg = orig_log_mg;
         return std::make_shared<const StageSchedule>(
-            compileSchedule(p, s, d, sizeof(F), cfg_, costs_, o));
+            compileSchedule(p, s, d, sizeof(F), ecfg, costs_, o));
     };
     hooks.nextSpotSeed = [this](uint64_t base) {
         return nextSpotSeed(base);
     };
 
-    ResilientStepExecutor<F> exec(sys, perf_, cfg_, report, data, input,
+    ResilientStepExecutor<F> exec(sys, perf_, ecfg, report, data, input,
                                   faults, rc, health, slabs, pl, logMg0,
-                                  dir, hostLanes(), std::move(hooks), fs,
-                                  kernels());
+                                  dir, hostLanesFor(ecfg),
+                                  std::move(hooks), fs,
+                                  fieldKernels<F>(ecfg.isaPath));
     exec.attachSchedule(sched);
     Status st = dispatchSchedule(std::move(sched), exec);
     if (!st.ok())

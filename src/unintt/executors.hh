@@ -406,7 +406,8 @@ template <NttField F>
 void
 fusedSpanStages(F *buf, size_t sb_elems, unsigned s0, unsigned s1,
                 const TwiddleSlabs<F> &slabs, NttDirection dir,
-                const FieldKernels<F> &fk = fieldKernels<F>())
+                const FieldKernels<F> &fk = fieldKernels<F>(),
+                unsigned max_radix_log2 = 3)
 {
     if (dir == NttDirection::Forward) {
         const F im = slabs.fourthRoot();
@@ -419,7 +420,11 @@ fusedSpanStages(F *buf, size_t sb_elems, unsigned s0, unsigned s1,
         // offset and stays inside its slab — no wrap handling. One
         // load+store per element per *three* stages is what moves
         // the streamed head groups from 2 sweeps per pair to 1 per
-        // triple.
+        // triple. max_radix_log2 caps the mix (3 = r8+r4+r2,
+        // 2 = r4+r2, 1 = r2-only) for the autotuner's radix search;
+        // every mix applies the identical per-stage arithmetic, so
+        // the bytes cannot differ.
+        if (max_radix_log2 >= 3)
         for (; s + 3 <= s1; s += 3, span /= 8) {
             const size_t q8 = span / 8;
             const F *twa = slabs.slab(s);
@@ -467,6 +472,7 @@ fusedSpanStages(F *buf, size_t sb_elems, unsigned s0, unsigned s1,
                          p0 + 7 * q8, twa, twb, twc, q8);
             }
         }
+        if (max_radix_log2 >= 2)
         for (; s + 2 <= s1; s += 2, span /= 4) {
             const size_t quarter = span / 4;
             const F *tw0 = slabs.slab(s);
@@ -502,7 +508,10 @@ fusedSpanStages(F *buf, size_t sb_elems, unsigned s0, unsigned s1,
                          quarter);
             }
         }
-        if (s < s1) {
+        // Radix-2 remainder: one stage after the r4 loop under the
+        // default mix, the whole group when the tuner caps the mix at
+        // r2-only.
+        for (; s < s1; ++s, span /= 2) {
             const size_t half = span / 2;
             const F *tws = slabs.slab(s);
             if (half == 1) {
@@ -555,7 +564,8 @@ fusedLocalStagesCompute(DistributedVector<F> &data, unsigned s_begin,
                         unsigned s_end, unsigned logN, unsigned tile_log2,
                         const TwiddleSlabs<F> &slabs, NttDirection dir,
                         unsigned lanes,
-                        const FieldKernels<F> &fk = fieldKernels<F>())
+                        const FieldKernels<F> &fk = fieldKernels<F>(),
+                        unsigned max_radix_log2 = 3)
 {
     (void)tile_log2; // geometry lives in the schedule's group sizes
     const uint64_t n = 1ULL << logN;
@@ -584,7 +594,7 @@ fusedLocalStagesCompute(DistributedVector<F> &data, unsigned s_begin,
             if (csl == 1) {
                 // Whole super-block in one unit: flat sweep.
                 fusedSpanStages(base, SB, s_begin, s_end, slabs, dir,
-                                fk);
+                                fk, max_radix_log2);
                 return;
             }
             const uint64_t c0 = h1 * slice / csl;
@@ -874,14 +884,16 @@ class FunctionalStepExecutor : public AnalyticStepExecutor
                            std::vector<DistributedVector<F> *> &batch,
                            const TwiddleSlabs<F> &slabs, unsigned logN,
                            NttDirection dir, unsigned lanes,
-                           const FieldKernels<F> &fk = fieldKernels<F>())
+                           const FieldKernels<F> &fk = fieldKernels<F>(),
+                           unsigned max_radix_log2 = 3)
         : AnalyticStepExecutor(sys, perf, overlap_comm, report),
           batch_(batch),
           slabs_(slabs),
           logN_(logN),
           dir_(dir),
           lanes_(lanes),
-          fk_(fk)
+          fk_(fk),
+          maxRadixLog2_(max_radix_log2)
     {
     }
 
@@ -950,7 +962,7 @@ class FunctionalStepExecutor : public AnalyticStepExecutor
             for (auto *d : batch_)
                 fusedLocalStagesCompute(*d, st.sBegin, st.sEnd, logN_,
                                         st.tileLog2, slabs_, dir_,
-                                        lanes_, fk_);
+                                        lanes_, fk_, maxRadixLog2_);
             countDispatch();
             break;
           case StepKind::Scale:
@@ -1120,6 +1132,7 @@ class FunctionalStepExecutor : public AnalyticStepExecutor
     std::vector<std::vector<std::vector<F>>> landing_;
     std::atomic<uint64_t> exchangeChunks_{0};
     std::atomic<uint64_t> kernelDispatches_{0};
+    const unsigned maxRadixLog2_;
 };
 
 // ---------------------------------------------------------------------
@@ -1207,7 +1220,7 @@ class ResilientStepExecutor
             abftArmStep(st);
             fusedLocalStagesCompute(data_, st.sBegin, st.sEnd, pl_.logN,
                                     st.tileLog2, slabs_, dir_, lanes_,
-                                    fk_);
+                                    fk_, cfg_.fusedRadixLog2);
             kernelDispatches_.fetch_add(1, std::memory_order_relaxed);
             StepAction guard = abftGuardStep(st);
             if (!guard.status.ok() || guard.reschedule)
@@ -2013,7 +2026,7 @@ class ResilientStepExecutor
     {
         if (st.kind == StepKind::FusedLocalPass) {
             fusedSpanStages(buf, span, st.sBegin, st.sEnd, slabs_,
-                            dir_, fk_);
+                            dir_, fk_, cfg_.fusedRadixLog2);
             return;
         }
         const uint64_t n = 1ULL << pl_.logN;

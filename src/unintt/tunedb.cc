@@ -1,0 +1,649 @@
+#include "unintt/tunedb.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <map>
+#include <mutex>
+#include <sstream>
+
+#include "field/dispatch.hh"
+#include "util/bitops.hh"
+
+namespace unintt {
+
+const char *const kDefaultTuneDbPath = "tuning/tunedb.json";
+
+namespace {
+
+// -------------------------------------------------------------------
+// Minimal tolerant JSON reader. The repo only had a writer
+// (bench/bench_util.hh); the DB needs the other direction. Recursive
+// descent over the value grammar, no exceptions: any malformed input
+// returns false and the caller treats the file as corrupt. Unknown
+// object keys are parsed and ignored, which is the forward-compat
+// passthrough the DB format relies on.
+// -------------------------------------------------------------------
+
+struct JsonValue
+{
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+    Kind kind = Kind::Null;
+    bool b = false;
+    double num = 0;
+    std::string str;
+    std::vector<JsonValue> arr;
+    std::vector<std::pair<std::string, JsonValue>> obj;
+
+    const JsonValue *
+    get(const char *key) const
+    {
+        for (const auto &kv : obj)
+            if (kv.first == key)
+                return &kv.second;
+        return nullptr;
+    }
+};
+
+class JsonReader
+{
+  public:
+    explicit JsonReader(const std::string &text) : s_(text) {}
+
+    bool
+    parse(JsonValue &out)
+    {
+        if (!value(out))
+            return false;
+        skipWs();
+        return pos_ == s_.size(); // trailing garbage = corrupt
+    }
+
+  private:
+    void
+    skipWs()
+    {
+        while (pos_ < s_.size() &&
+               std::isspace(static_cast<unsigned char>(s_[pos_])))
+            pos_++;
+    }
+
+    bool
+    literal(const char *word)
+    {
+        const size_t n = std::strlen(word);
+        if (s_.compare(pos_, n, word) != 0)
+            return false;
+        pos_ += n;
+        return true;
+    }
+
+    bool
+    value(JsonValue &out)
+    {
+        skipWs();
+        if (pos_ >= s_.size())
+            return false;
+        switch (s_[pos_]) {
+        case '{':
+            return object(out);
+        case '[':
+            return array(out);
+        case '"':
+            out.kind = JsonValue::Kind::String;
+            return string(out.str);
+        case 't':
+            out.kind = JsonValue::Kind::Bool;
+            out.b = true;
+            return literal("true");
+        case 'f':
+            out.kind = JsonValue::Kind::Bool;
+            out.b = false;
+            return literal("false");
+        case 'n':
+            out.kind = JsonValue::Kind::Null;
+            return literal("null");
+        default:
+            return number(out);
+        }
+    }
+
+    bool
+    string(std::string &out)
+    {
+        if (s_[pos_] != '"')
+            return false;
+        pos_++;
+        out.clear();
+        while (pos_ < s_.size() && s_[pos_] != '"') {
+            char c = s_[pos_++];
+            if (c == '\\') {
+                if (pos_ >= s_.size())
+                    return false;
+                char e = s_[pos_++];
+                switch (e) {
+                case '"': out += '"'; break;
+                case '\\': out += '\\'; break;
+                case '/': out += '/'; break;
+                case 'n': out += '\n'; break;
+                case 't': out += '\t'; break;
+                case 'r': out += '\r'; break;
+                case 'b': out += '\b'; break;
+                case 'f': out += '\f'; break;
+                case 'u':
+                    // The DB writes ASCII only; skip the four hex
+                    // digits and substitute '?' for anything exotic.
+                    if (pos_ + 4 > s_.size())
+                        return false;
+                    pos_ += 4;
+                    out += '?';
+                    break;
+                default:
+                    return false;
+                }
+            } else {
+                out += c;
+            }
+        }
+        if (pos_ >= s_.size())
+            return false; // unterminated = truncated file
+        pos_++;           // closing quote
+        return true;
+    }
+
+    bool
+    number(JsonValue &out)
+    {
+        const char *begin = s_.c_str() + pos_;
+        char *end = nullptr;
+        out.num = std::strtod(begin, &end);
+        if (end == begin)
+            return false;
+        out.kind = JsonValue::Kind::Number;
+        pos_ += static_cast<size_t>(end - begin);
+        return true;
+    }
+
+    bool
+    array(JsonValue &out)
+    {
+        out.kind = JsonValue::Kind::Array;
+        pos_++; // '['
+        skipWs();
+        if (pos_ < s_.size() && s_[pos_] == ']') {
+            pos_++;
+            return true;
+        }
+        while (true) {
+            JsonValue v;
+            if (!value(v))
+                return false;
+            out.arr.push_back(std::move(v));
+            skipWs();
+            if (pos_ >= s_.size())
+                return false;
+            if (s_[pos_] == ',') {
+                pos_++;
+                continue;
+            }
+            if (s_[pos_] == ']') {
+                pos_++;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    bool
+    object(JsonValue &out)
+    {
+        out.kind = JsonValue::Kind::Object;
+        pos_++; // '{'
+        skipWs();
+        if (pos_ < s_.size() && s_[pos_] == '}') {
+            pos_++;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            std::string key;
+            if (pos_ >= s_.size() || s_[pos_] != '"' || !string(key))
+                return false;
+            skipWs();
+            if (pos_ >= s_.size() || s_[pos_] != ':')
+                return false;
+            pos_++;
+            JsonValue v;
+            if (!value(v))
+                return false;
+            out.obj.emplace_back(std::move(key), std::move(v));
+            skipWs();
+            if (pos_ >= s_.size())
+                return false;
+            if (s_[pos_] == ',') {
+                pos_++;
+                continue;
+            }
+            if (s_[pos_] == '}') {
+                pos_++;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    const std::string &s_;
+    size_t pos_ = 0;
+};
+
+/** Escape for the writer side (keys/values are ASCII in practice). */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        out += c;
+    }
+    return out;
+}
+
+/** Fixed number formatting so repeated saves are byte-identical. */
+std::string
+fmtSeconds(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.9g", v);
+    return buf;
+}
+
+unsigned
+asUnsigned(const JsonValue *v, unsigned def)
+{
+    if (v == nullptr || v->kind != JsonValue::Kind::Number)
+        return def;
+    return v->num < 0 ? def : static_cast<unsigned>(v->num);
+}
+
+bool
+asBool(const JsonValue *v, bool def)
+{
+    return v != nullptr && v->kind == JsonValue::Kind::Bool ? v->b : def;
+}
+
+std::string
+asString(const JsonValue *v, const char *def)
+{
+    return v != nullptr && v->kind == JsonValue::Kind::String ? v->str
+                                                              : def;
+}
+
+double
+asDouble(const JsonValue *v, double def)
+{
+    return v != nullptr && v->kind == JsonValue::Kind::Number ? v->num
+                                                              : def;
+}
+
+// -------------------------------------------------------------------
+// Process-wide DB images, cached per path. The cache also remembers
+// load *failures* so a missing or corrupt file costs one stat per
+// process, not one per transform.
+// -------------------------------------------------------------------
+
+struct CachedDb
+{
+    std::shared_ptr<const TuningDb> db; // nullptr when unusable
+};
+
+std::mutex g_mutex;
+std::map<std::string, CachedDb> g_cache;
+TuneDbCounters g_counters;
+
+std::shared_ptr<const TuningDb>
+sharedTuneDb(const std::string &path)
+{
+    std::lock_guard<std::mutex> lk(g_mutex);
+    auto it = g_cache.find(path);
+    if (it != g_cache.end())
+        return it->second.db;
+
+    auto db = std::make_shared<TuningDb>();
+    TuningDb::LoadStatus st = db->loadFile(path);
+    CachedDb slot;
+    if (st.ok())
+        slot.db = db;
+    else if (st.missing)
+        slot.db = nullptr; // no file: every lookup is a heuristic run
+    else {
+        // Corrupt or stale files degrade to an *empty* DB (all
+        // lookups miss) rather than nothing, so the counters below
+        // distinguish "no DB" from "DB dropped".
+        if (st.staleVersion)
+            g_counters.staleVersion++;
+        if (st.corrupt)
+            g_counters.corruptFiles++;
+        slot.db = nullptr;
+    }
+    g_cache.emplace(path, slot);
+    return slot.db;
+}
+
+} // namespace
+
+std::string
+TuneKey::canonical() const
+{
+    std::ostringstream os;
+    os << field << '|' << logN << '|' << gpus << '|' << hw << '|'
+       << executor;
+    return os.str();
+}
+
+std::string
+TunedParams::toString() const
+{
+    std::ostringstream os;
+    os << "tile=" << (hostTileLog2 ? std::to_string(hostTileLog2)
+                                   : std::string("auto"))
+       << " radix=r" << (1u << fusedRadixLog2)
+       << " fuse=" << (fuseLocalPasses ? "on" : "off")
+       << " threads="
+       << (hostThreads ? std::to_string(hostThreads)
+                       : std::string("all"))
+       << " isa=" << isaPathName(isaPath)
+       << " overlap=" << (overlapComm ? "on" : "off");
+    return os.str();
+}
+
+std::string
+tuneHwId(const MultiGpuSystem &sys)
+{
+    std::string id = sys.gpu.name;
+    id += '/';
+    id += toString(sys.fabric.kind);
+    if (sys.gpusPerNode != 0) {
+        id += '/';
+        id += std::to_string(sys.gpusPerNode);
+        id += "per-node-";
+        id += toString(sys.nodeFabric.kind);
+    }
+    return id;
+}
+
+TuningDb::LoadStatus
+TuningDb::loadFile(const std::string &path)
+{
+    entries_.clear();
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f) {
+        LoadStatus st;
+        st.missing = true;
+        st.detail = "no such file: " + path;
+        return st;
+    }
+    std::string text;
+    char buf[4096];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof buf, f)) > 0)
+        text.append(buf, n);
+    std::fclose(f);
+    return loadJson(text);
+}
+
+TuningDb::LoadStatus
+TuningDb::loadJson(const std::string &text)
+{
+    entries_.clear();
+    LoadStatus st;
+
+    JsonValue root;
+    JsonReader reader(text);
+    if (!reader.parse(root) || root.kind != JsonValue::Kind::Object) {
+        st.corrupt = true;
+        st.detail = "unparseable JSON";
+        return st;
+    }
+    const JsonValue *ver = root.get("version");
+    if (ver == nullptr || ver->kind != JsonValue::Kind::Number) {
+        st.corrupt = true;
+        st.detail = "missing version";
+        return st;
+    }
+    if (static_cast<unsigned>(ver->num) != kTuneDbVersion) {
+        st.staleVersion = true;
+        st.detail = "version " + std::to_string(ver->num) +
+                    " != " + std::to_string(kTuneDbVersion);
+        return st;
+    }
+    const JsonValue *entries = root.get("entries");
+    if (entries == nullptr || entries->kind != JsonValue::Kind::Array) {
+        st.corrupt = true;
+        st.detail = "missing entries array";
+        return st;
+    }
+
+    for (const JsonValue &e : entries->arr) {
+        if (e.kind != JsonValue::Kind::Object) {
+            st.corrupt = true;
+            st.detail = "non-object entry";
+            entries_.clear();
+            return st;
+        }
+        TuneEntry out;
+        out.key.field = asString(e.get("field"), "");
+        out.key.logN = asUnsigned(e.get("logN"), 0);
+        out.key.gpus = asUnsigned(e.get("gpus"), 0);
+        out.key.hw = asString(e.get("hw"), "");
+        out.key.executor = asString(e.get("executor"), "");
+        if (out.key.field.empty() || out.key.logN == 0 ||
+            out.key.gpus == 0 || out.key.executor.empty()) {
+            st.corrupt = true;
+            st.detail = "entry with incomplete key";
+            entries_.clear();
+            return st;
+        }
+        out.params.hostTileLog2 =
+            asUnsigned(e.get("hostTileLog2"), 0);
+        out.params.fuseLocalPasses =
+            asBool(e.get("fuseLocalPasses"), true);
+        out.params.fusedRadixLog2 = std::clamp(
+            asUnsigned(e.get("fusedRadixLog2"), 3), 1u, 3u);
+        out.params.hostThreads = asUnsigned(e.get("hostThreads"), 0);
+        if (!parseIsaPath(asString(e.get("isa"), "auto"),
+                          &out.params.isaPath))
+            out.params.isaPath = IsaPath::Auto;
+        out.params.overlapComm = asBool(e.get("overlapComm"), true);
+        out.seconds = asDouble(e.get("seconds"), 0);
+        out.heuristicSeconds = asDouble(e.get("heuristicSeconds"), 0);
+        put(out);
+    }
+    return st;
+}
+
+std::string
+TuningDb::toJson() const
+{
+    std::vector<const TuneEntry *> sorted;
+    sorted.reserve(entries_.size());
+    for (const auto &e : entries_)
+        sorted.push_back(&e);
+    std::sort(sorted.begin(), sorted.end(),
+              [](const TuneEntry *a, const TuneEntry *b) {
+                  return a->key.canonical() < b->key.canonical();
+              });
+
+    std::ostringstream os;
+    os << "{\n  \"version\": " << kTuneDbVersion
+       << ",\n  \"entries\": [";
+    for (size_t i = 0; i < sorted.size(); ++i) {
+        const TuneEntry &e = *sorted[i];
+        os << (i ? "," : "") << "\n    {\n"
+           << "      \"field\": \"" << jsonEscape(e.key.field)
+           << "\",\n"
+           << "      \"logN\": " << e.key.logN << ",\n"
+           << "      \"gpus\": " << e.key.gpus << ",\n"
+           << "      \"hw\": \"" << jsonEscape(e.key.hw) << "\",\n"
+           << "      \"executor\": \"" << jsonEscape(e.key.executor)
+           << "\",\n"
+           << "      \"hostTileLog2\": " << e.params.hostTileLog2
+           << ",\n"
+           << "      \"fuseLocalPasses\": "
+           << (e.params.fuseLocalPasses ? "true" : "false") << ",\n"
+           << "      \"fusedRadixLog2\": " << e.params.fusedRadixLog2
+           << ",\n"
+           << "      \"hostThreads\": " << e.params.hostThreads
+           << ",\n"
+           << "      \"isa\": \"" << isaPathName(e.params.isaPath)
+           << "\",\n"
+           << "      \"overlapComm\": "
+           << (e.params.overlapComm ? "true" : "false") << ",\n"
+           << "      \"seconds\": " << fmtSeconds(e.seconds) << ",\n"
+           << "      \"heuristicSeconds\": "
+           << fmtSeconds(e.heuristicSeconds) << "\n    }";
+    }
+    os << (sorted.empty() ? "]" : "\n  ]") << "\n}\n";
+    return os.str();
+}
+
+bool
+TuningDb::saveFile(const std::string &path) const
+{
+    const std::string text = toJson();
+    const std::filesystem::path parent =
+        std::filesystem::path(path).parent_path();
+    if (!parent.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(parent, ec);
+    }
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f)
+        return false;
+    const size_t n = std::fwrite(text.data(), 1, text.size(), f);
+    std::fclose(f);
+    return n == text.size();
+}
+
+const TuneEntry *
+TuningDb::find(const TuneKey &key) const
+{
+    for (const auto &e : entries_)
+        if (e.key == key)
+            return &e;
+    return nullptr;
+}
+
+void
+TuningDb::put(const TuneEntry &e)
+{
+    for (auto &existing : entries_) {
+        if (existing.key == e.key) {
+            existing = e;
+            return;
+        }
+    }
+    entries_.push_back(e);
+}
+
+std::string
+resolveTuneDbPath(const UniNttConfig &cfg)
+{
+    const char *env = std::getenv("UNINTT_TUNEDB");
+    if (env != nullptr && *env != '\0')
+        return std::strcmp(env, "off") == 0 ? "" : env;
+    if (!cfg.useTuneDb)
+        return "";
+    if (!cfg.tuneDbPath.empty())
+        return cfg.tuneDbPath == "off" ? "" : cfg.tuneDbPath;
+    return kDefaultTuneDbPath;
+}
+
+TuneDbCounters
+tuneDbCounters()
+{
+    std::lock_guard<std::mutex> lk(g_mutex);
+    return g_counters;
+}
+
+void
+invalidateTuneDbCache()
+{
+    std::lock_guard<std::mutex> lk(g_mutex);
+    g_cache.clear();
+}
+
+unsigned
+applyTunedParams(UniNttConfig &cfg, const TunedParams &p,
+                 size_t element_bytes)
+{
+    unsigned clamps = 0;
+    // Tri-state knobs honor an explicit pin (see the header's
+    // resolution order); the pure toggles belong to the DB entry.
+    if (cfg.isaPath == IsaPath::Auto)
+        cfg.isaPath = p.isaPath;
+    if (cfg.hostThreads == 0)
+        cfg.hostThreads = p.hostThreads;
+    cfg.fuseLocalPasses = p.fuseLocalPasses;
+    cfg.fusedRadixLog2 = std::clamp(p.fusedRadixLog2, 1u, 3u);
+    cfg.overlapComm = p.overlapComm;
+    if (cfg.hostTileLog2 == 0 && p.hostTileLog2 != 0) {
+        unsigned t = p.hostTileLog2;
+        const unsigned lanes =
+            isaLaneWidth(resolveIsaPath(cfg.isaPath), element_bytes);
+        if (lanes > 1) {
+            const unsigned floor_t = log2Floor(lanes) + 3;
+            if (t < floor_t) {
+                t = floor_t;
+                clamps++;
+            }
+        }
+        cfg.hostTileLog2 = t;
+    }
+    if (clamps != 0) {
+        std::lock_guard<std::mutex> lk(g_mutex);
+        g_counters.clampWarnings += clamps;
+    }
+    return clamps;
+}
+
+TunedConfig
+resolveTunedConfig(const UniNttConfig &cfg, const char *field,
+                   size_t element_bytes, unsigned logN,
+                   const MultiGpuSystem &sys, const char *executor)
+{
+    TunedConfig out;
+    out.cfg = cfg;
+
+    const std::string path = resolveTuneDbPath(cfg);
+    if (path.empty())
+        return out;
+    std::shared_ptr<const TuningDb> db = sharedTuneDb(path);
+    if (db == nullptr)
+        return out;
+
+    TuneKey key;
+    key.field = field;
+    key.logN = logN;
+    key.gpus = sys.numGpus;
+    key.hw = tuneHwId(sys);
+    key.executor = executor;
+    const TuneEntry *e = db->find(key);
+    {
+        std::lock_guard<std::mutex> lk(g_mutex);
+        (e != nullptr ? g_counters.hits : g_counters.misses)++;
+    }
+    if (e == nullptr)
+        return out;
+
+    out.clampWarnings =
+        applyTunedParams(out.cfg, e->params, element_bytes);
+    out.tuned = true;
+    return out;
+}
+
+} // namespace unintt

@@ -1,0 +1,202 @@
+/**
+ * @file
+ * The persisted schedule-tuning database.
+ *
+ * The autotuner (unintt/tuner.hh) searches the joint host-execution
+ * space {tile size, fusion on/off, radix mix, host threads, ISA path,
+ * exchange overlap} per (field, logN, gpus, hardware model, executor)
+ * and records the winner here. The DB is a versioned, human-diffable
+ * JSON file (tuning/tunedb.json by default, kept in-repo so tuned
+ * configurations travel with the code); UniNttEngine consults it ahead
+ * of the 256 KiB cache heuristic on every run.
+ *
+ * Resolution order for every knob — strongest first:
+ *
+ *   1. environment (UNINTT_FORCE_ISA for the ISA path; UNINTT_TUNEDB
+ *      picks the DB file or disables it with "off"),
+ *   2. an explicit config pin (a non-Auto isaPath, a nonzero
+ *      hostTileLog2 / hostThreads) — the DB never overrides a value
+ *      the caller set by hand,
+ *   3. a DB hit for the exact key,
+ *   4. the built-in heuristic.
+ *
+ * Robustness contract: a missing file, a corrupt or truncated file,
+ * and a version mismatch all degrade to the heuristic silently (the
+ * event is counted in tuneDbCounters(), never thrown); entries under
+ * keys the current process never asks for are preserved verbatim
+ * across a tune-refresh, so one DB file can hold winners for several
+ * machines. A DB-supplied tile is still clamped to the lane-aware
+ * floor of the active kernel path (config.hh resolvedHostTileLog2's
+ * log2(lanes)+3), with the clamp counted as a warning rather than
+ * silently accepted.
+ */
+
+#ifndef UNINTT_UNINTT_TUNEDB_HH
+#define UNINTT_UNINTT_TUNEDB_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/multi_gpu.hh"
+#include "unintt/config.hh"
+
+namespace unintt {
+
+/** Schema version written to (and required of) every DB file. */
+constexpr unsigned kTuneDbVersion = 1;
+
+/** Default on-disk location, relative to the working directory. */
+extern const char *const kDefaultTuneDbPath;
+
+/** Identity of one tuning point: everything the optimum depends on. */
+struct TuneKey
+{
+    std::string field;    ///< F::kName ("goldilocks", ...)
+    unsigned logN = 0;    ///< transform size
+    unsigned gpus = 0;    ///< shard count
+    std::string hw;       ///< tuneHwId() of the simulated machine
+    std::string executor; ///< "functional" (measured) or "analytic"
+
+    /** Stable "field|logN|gpus|hw|executor" form (sort + map key). */
+    std::string canonical() const;
+
+    bool operator==(const TuneKey &) const = default;
+};
+
+/** Hardware identity string of @p sys used in TuneKey::hw. */
+std::string tuneHwId(const MultiGpuSystem &sys);
+
+/** The tunable knobs a DB entry pins (subset of UniNttConfig). */
+struct TunedParams
+{
+    unsigned hostTileLog2 = 0; ///< 0 = keep the heuristic tile
+    bool fuseLocalPasses = true;
+    unsigned fusedRadixLog2 = 3; ///< 3 = r8+r4+r2, 2 = r4+r2, 1 = r2
+    unsigned hostThreads = 0;    ///< 0 = every pool lane
+    IsaPath isaPath = IsaPath::Auto;
+    bool overlapComm = true;
+
+    /** Compact "tile=.. radix=.. ..." form for tables and logs. */
+    std::string toString() const;
+
+    bool operator==(const TunedParams &) const = default;
+};
+
+/** One persisted winner: key, knobs, and the timings behind it. */
+struct TuneEntry
+{
+    TuneKey key;
+    TunedParams params;
+    /** Winner's repeat-median seconds (analytic-priced for sims). */
+    double seconds = 0;
+    /** The heuristic candidate's seconds on the same measurement. */
+    double heuristicSeconds = 0;
+};
+
+/**
+ * In-memory image of one DB file. Load/save are whole-file (the file
+ * is small and the writes must be atomic at the granularity users
+ * diff); entries are kept in insertion order and serialized sorted by
+ * canonical key so repeated saves of the same content are
+ * byte-identical.
+ */
+class TuningDb
+{
+  public:
+    /** What loadFile/loadJson observed (all false = clean load). */
+    struct LoadStatus
+    {
+        bool missing = false;      ///< file did not exist
+        bool corrupt = false;      ///< unparseable / wrong shape
+        bool staleVersion = false; ///< version != kTuneDbVersion
+        std::string detail;        ///< human-readable reason
+
+        bool ok() const { return !missing && !corrupt && !staleVersion; }
+    };
+
+    /** Parse @p path. Any failure leaves the DB empty (heuristic). */
+    LoadStatus loadFile(const std::string &path);
+
+    /** Parse a JSON document (tests and loadFile both land here). */
+    LoadStatus loadJson(const std::string &text);
+
+    /** Serialize: sorted entries, fixed formatting, version header. */
+    std::string toJson() const;
+
+    /** Write toJson() to @p path; false on I/O failure. */
+    bool saveFile(const std::string &path) const;
+
+    /** The entry under @p key, or nullptr. */
+    const TuneEntry *find(const TuneKey &key) const;
+
+    /** Insert or replace the entry under @p e.key. */
+    void put(const TuneEntry &e);
+
+    size_t size() const { return entries_.size(); }
+    const std::vector<TuneEntry> &entries() const { return entries_; }
+
+  private:
+    std::vector<TuneEntry> entries_;
+};
+
+/**
+ * The DB file this config resolves to: UNINTT_TUNEDB beats
+ * UniNttConfig::tuneDbPath beats kDefaultTuneDbPath; the literal value
+ * "off" (either source) and useTuneDb == false both yield "" (DB
+ * consultation disabled).
+ */
+std::string resolveTuneDbPath(const UniNttConfig &cfg);
+
+/** Process-wide DB consultation counters (tests / reports). */
+struct TuneDbCounters
+{
+    uint64_t hits = 0;          ///< runs served a DB entry
+    uint64_t misses = 0;        ///< DB present but no entry for the key
+    uint64_t staleVersion = 0;  ///< files dropped for a version mismatch
+    uint64_t corruptFiles = 0;  ///< files dropped as corrupt/truncated
+    uint64_t clampWarnings = 0; ///< DB tiles raised to the lane floor
+};
+
+TuneDbCounters tuneDbCounters();
+
+/**
+ * Drop every cached DB image (and the cached load failures), forcing
+ * the next resolveTunedConfig to re-read the files. Call after writing
+ * a DB in-process (the tuner CLI does) or between tests.
+ */
+void invalidateTuneDbCache();
+
+/** Outcome of the per-run DB consultation. */
+struct TunedConfig
+{
+    UniNttConfig cfg;  ///< effective config (== input when !tuned)
+    bool tuned = false;
+    /** DB tiles below the lane-aware floor raised on this resolve. */
+    unsigned clampWarnings = 0;
+};
+
+/**
+ * Apply @p p onto @p cfg honoring explicit pins (see the file
+ * comment's resolution order) and the lane-aware tile floor for
+ * elements of @p element_bytes. Returns the number of clamp warnings.
+ */
+unsigned applyTunedParams(UniNttConfig &cfg, const TunedParams &p,
+                          size_t element_bytes);
+
+/**
+ * The engine's per-run entry point: look up (field, logN, gpus,
+ * tuneHwId(sys), executor) in the DB resolveTuneDbPath(cfg) names and
+ * return the effective config. DB images are cached per path (one
+ * file read per process per path); every failure mode falls back to
+ * the heuristic config unchanged.
+ */
+TunedConfig resolveTunedConfig(const UniNttConfig &cfg,
+                               const char *field, size_t element_bytes,
+                               unsigned logN, const MultiGpuSystem &sys,
+                               const char *executor);
+
+} // namespace unintt
+
+#endif // UNINTT_UNINTT_TUNEDB_HH

@@ -1,0 +1,47 @@
+#include "unintt/tuner.hh"
+
+namespace unintt {
+
+TuneSpace
+TuneSpace::defaults()
+{
+    TuneSpace s;
+    // 0 = the heuristic cache-derived tile; the explicit values
+    // bracket it (the 256 KiB model lands at 15 for 8-byte fields).
+    s.tileLog2s = {0, 14, 16, 18};
+    s.radixLog2s = {3, 2};
+    s.hostThreads = {0, 1};
+    s.isaPaths = {IsaPath::Auto};
+    s.overlaps = {true, false};
+    s.fusions = {true};
+    return s;
+}
+
+TuneSpace
+TuneSpace::small()
+{
+    TuneSpace s;
+    s.tileLog2s = {0, 12};
+    s.radixLog2s = {3, 1};
+    s.hostThreads = {1};
+    s.isaPaths = {IsaPath::Auto};
+    s.overlaps = {true, false};
+    s.fusions = {true};
+    return s;
+}
+
+std::vector<size_t>
+seededOrder(size_t n, uint64_t seed)
+{
+    std::vector<size_t> order(n);
+    for (size_t i = 0; i < n; ++i)
+        order[i] = i;
+    Rng rng(seed ^ 0x74756e65ULL); // "tune" salt
+    for (size_t i = n; i > 1; --i) {
+        const size_t j = static_cast<size_t>(rng.next() % i);
+        std::swap(order[i - 1], order[j]);
+    }
+    return order;
+}
+
+} // namespace unintt

@@ -1,0 +1,321 @@
+/**
+ * @file
+ * The schedule autotuner: the data-driven replacement for the 256 KiB
+ * cache heuristic.
+ *
+ * For one tuning key (field, logN, gpus, hardware model, executor) the
+ * tuner enumerates a candidate grid over the joint host-execution
+ * space — {hostTileLog2, fused radix mix, hostThreads, isaPath,
+ * overlapComm, fuseLocalPasses} — measures every candidate, and
+ * records the winner as a TuneEntry for the persisted DB
+ * (unintt/tunedb.hh). Measurement is executor-specific:
+ *
+ *  - "functional": seeded deterministic inputs, repeat-median wall
+ *    time of the bit-exact host execution (the only wall-clock in the
+ *    whole tuner);
+ *  - "analytic": the deterministic analytic pricing of the candidate's
+ *    schedule (simulated hardware models have no host wall time worth
+ *    trusting).
+ *
+ * Determinism contract: candidates are enumerated in a fixed canonical
+ * order (the heuristic baseline is always candidate 0), the
+ * *measurement* order is a seeded shuffle of that list (seededOrder),
+ * and the winner is the lexicographic minimum of (median seconds,
+ * analytic virtual cost, canonical index) — so ties never depend on
+ * enumeration luck and two analytic tune passes over the same space
+ * produce byte-identical DB files.
+ */
+
+#ifndef UNINTT_UNINTT_TUNER_HH
+#define UNINTT_UNINTT_TUNER_HH
+
+#include <algorithm>
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "unintt/engine.hh"
+#include "unintt/tunedb.hh"
+#include "util/random.hh"
+
+namespace unintt {
+
+/** The candidate grid, one axis per tunable knob. */
+struct TuneSpace
+{
+    /** Host tile log2 values; 0 = the heuristic cache-derived tile. */
+    std::vector<unsigned> tileLog2s;
+    /** Fused radix mixes (3 = r8+r4+r2, 2 = r4+r2, 1 = r2). */
+    std::vector<unsigned> radixLog2s;
+    /** Host thread counts; 0 = every pool lane. */
+    std::vector<unsigned> hostThreads;
+    /** Acceleration paths (Auto defers to the router probe). */
+    std::vector<IsaPath> isaPaths;
+    /** overlapComm values (exchange/compute overlap chunking). */
+    std::vector<bool> overlaps;
+    /** fuseLocalPasses values. */
+    std::vector<bool> fusions;
+
+    /** Grid size before pin-collapsing and deduplication. */
+    size_t
+    size() const
+    {
+        return tileLog2s.size() * radixLog2s.size() *
+               hostThreads.size() * isaPaths.size() * overlaps.size() *
+               fusions.size();
+    }
+
+    /** The full default grid (bench.sh --tune). */
+    static TuneSpace defaults();
+
+    /** A tiny grid for CI smoke runs (unintt-cli tune --small). */
+    static TuneSpace small();
+};
+
+/** One tuning task: everything tuneOne needs besides the grid. */
+struct TuneRequest
+{
+    unsigned logN = 12;
+    MultiGpuSystem sys;
+    /** "functional" (measured) or "analytic" (priced). */
+    std::string executor = "functional";
+    /** Wall-time repetitions per functional candidate (median). */
+    unsigned reps = 3;
+    /** Seed of the input data and the measurement-order shuffle. */
+    uint64_t seed = 1;
+    /**
+     * Baseline config. Knobs it pins explicitly (non-zero tile or
+     * threads, non-Auto isaPath) collapse their search axis — the DB
+     * never overrides a pin, so searching one would be wasted work.
+     */
+    UniNttConfig base;
+};
+
+/** One measured candidate (canonical order in TuneOutcome). */
+struct TuneCandidateResult
+{
+    TunedParams params;
+    /** Median functional seconds, or the analytic pricing. */
+    double seconds = 0;
+    /** Deterministic analytic pricing (tiebreak for ties). */
+    double virtualCost = 0;
+    /** Canonical enumeration index (final tiebreak). */
+    size_t index = 0;
+    /** True for candidate 0, the heuristic baseline. */
+    bool heuristic = false;
+};
+
+/** What one tuneOne call produced. */
+struct TuneOutcome
+{
+    /** The winner, ready for TuningDb::put. */
+    TuneEntry entry;
+    /** The heuristic baseline's measured seconds. */
+    double heuristicSeconds = 0;
+    /** Every candidate, in canonical order. */
+    std::vector<TuneCandidateResult> measurements;
+
+    /** True iff the winner strictly beats the heuristic baseline. */
+    bool
+    improved() const
+    {
+        return entry.seconds < heuristicSeconds;
+    }
+};
+
+/**
+ * Deterministic measurement permutation of [0, n): a Fisher–Yates
+ * shuffle driven by a splitmix-seeded generator, so the same (n, seed)
+ * always yields the same order. Defined in tuner.cc.
+ */
+std::vector<size_t> seededOrder(size_t n, uint64_t seed);
+
+namespace tuner_detail {
+
+/** Apply a candidate's knobs over the baseline config. */
+inline UniNttConfig
+candidateConfig(const UniNttConfig &base, const TunedParams &p)
+{
+    UniNttConfig cfg = base;
+    cfg.useTuneDb = false; // never recurse into the DB while tuning
+    cfg.hostTileLog2 = p.hostTileLog2;
+    cfg.fuseLocalPasses = p.fuseLocalPasses;
+    cfg.fusedRadixLog2 = p.fusedRadixLog2;
+    cfg.hostThreads = p.hostThreads;
+    cfg.isaPath = p.isaPath;
+    cfg.overlapComm = p.overlapComm;
+    return cfg;
+}
+
+/** Lower-median of @p xs (an observed value, never an interpolation). */
+inline double
+medianSeconds(std::vector<double> xs)
+{
+    std::sort(xs.begin(), xs.end());
+    return xs.empty() ? 0.0 : xs[(xs.size() - 1) / 2];
+}
+
+} // namespace tuner_detail
+
+/**
+ * Measure one candidate under @p req: the analytic pricing always (it
+ * is the virtual-cost tiebreak), plus the functional repeat-median
+ * wall time when the request's executor is "functional".
+ */
+template <NttField F>
+void
+measureTuneCandidate(const TuneRequest &req, TuneCandidateResult &c)
+{
+    const UniNttConfig cfg =
+        tuner_detail::candidateConfig(req.base, c.params);
+    UniNttEngine<F> engine(req.sys, cfg);
+    c.virtualCost =
+        engine.analyticRun(req.logN, NttDirection::Forward)
+            .totalSeconds();
+    if (req.executor != "functional") {
+        c.seconds = c.virtualCost;
+        return;
+    }
+
+    Rng rng(req.seed ^ (0x9e3779b97f4a7c15ULL *
+                        (static_cast<uint64_t>(req.logN) + 1)));
+    std::vector<F> input(1ULL << req.logN);
+    for (auto &v : input)
+        v = F::fromU64(rng.next());
+    auto dist =
+        DistributedVector<F>::fromGlobal(input, req.sys.numGpus);
+    engine.forward(dist); // warm plan/schedule/twiddle caches
+
+    std::vector<double> times;
+    const unsigned reps = std::max(1u, req.reps);
+    times.reserve(reps);
+    for (unsigned r = 0; r < reps; ++r) {
+        const auto t0 = std::chrono::steady_clock::now();
+        engine.forward(dist);
+        const auto t1 = std::chrono::steady_clock::now();
+        times.push_back(
+            std::chrono::duration<double>(t1 - t0).count());
+    }
+    c.seconds = tuner_detail::medianSeconds(std::move(times));
+}
+
+/**
+ * Tune one key: enumerate the (pin-collapsed, deduplicated) candidate
+ * grid with the heuristic baseline as candidate 0, measure in seeded
+ * order, and pick the (seconds, virtualCost, index)-lexicographic
+ * minimum. The returned entry's key names F, the request's shape and
+ * machine, and the request's executor.
+ */
+template <NttField F>
+TuneOutcome
+tuneOne(const TuneRequest &req, const TuneSpace &space)
+{
+    // Pins collapse their axis (the DB honors them at apply time).
+    const std::vector<unsigned> tiles =
+        req.base.hostTileLog2 != 0
+            ? std::vector<unsigned>{req.base.hostTileLog2}
+            : space.tileLog2s;
+    const std::vector<unsigned> threads =
+        req.base.hostThreads != 0
+            ? std::vector<unsigned>{req.base.hostThreads}
+            : space.hostThreads;
+    const std::vector<IsaPath> isas =
+        req.base.isaPath != IsaPath::Auto
+            ? std::vector<IsaPath>{req.base.isaPath}
+            : space.isaPaths;
+
+    TuneOutcome out;
+    auto &cands = out.measurements;
+
+    // Candidate 0: the heuristic baseline, verbatim from the base
+    // config, so the winner can never be worse than what a DB miss
+    // would have produced (up to measurement noise).
+    {
+        TuneCandidateResult heur;
+        heur.params.hostTileLog2 = req.base.hostTileLog2;
+        heur.params.fuseLocalPasses = req.base.fuseLocalPasses;
+        heur.params.fusedRadixLog2 = req.base.fusedRadixLog2;
+        heur.params.hostThreads = req.base.hostThreads;
+        heur.params.isaPath = req.base.isaPath;
+        heur.params.overlapComm = req.base.overlapComm;
+        heur.heuristic = true;
+        heur.index = 0;
+        cands.push_back(heur);
+    }
+
+    // Canonical enumeration order: isa, threads, tile, radix, fusion,
+    // overlap — fixed forever, because the index is a tiebreak.
+    for (IsaPath isa : isas)
+        for (unsigned th : threads)
+            for (unsigned tile : tiles)
+                for (unsigned radix : space.radixLog2s)
+                    for (bool fuse : space.fusions)
+                        for (bool ov : space.overlaps) {
+                            TuneCandidateResult c;
+                            c.params.hostTileLog2 = tile;
+                            c.params.fuseLocalPasses = fuse;
+                            c.params.fusedRadixLog2 = radix;
+                            c.params.hostThreads = th;
+                            c.params.isaPath = isa;
+                            c.params.overlapComm = ov;
+                            bool dup = false;
+                            for (const auto &e : cands)
+                                if (e.params == c.params) {
+                                    dup = true;
+                                    break;
+                                }
+                            if (dup)
+                                continue;
+                            c.index = cands.size();
+                            cands.push_back(c);
+                        }
+
+    for (size_t i : seededOrder(cands.size(), req.seed))
+        measureTuneCandidate<F>(req, cands[i]);
+
+    const TuneCandidateResult *best = &cands[0];
+    for (const auto &c : cands) {
+        if (c.seconds < best->seconds ||
+            (c.seconds == best->seconds &&
+             (c.virtualCost < best->virtualCost ||
+              (c.virtualCost == best->virtualCost &&
+               c.index < best->index))))
+            best = &c;
+    }
+
+    out.heuristicSeconds = cands[0].seconds;
+    out.entry.key.field = F::kName;
+    out.entry.key.logN = req.logN;
+    out.entry.key.gpus = req.sys.numGpus;
+    out.entry.key.hw = tuneHwId(req.sys);
+    out.entry.key.executor = req.executor;
+    out.entry.params = best->params;
+    out.entry.seconds = best->seconds;
+    out.entry.heuristicSeconds = out.heuristicSeconds;
+    return out;
+}
+
+/**
+ * Tune every size of @p log_ns under the request prototype and record
+ * the winners in @p db (insert-or-replace; foreign keys untouched).
+ */
+template <NttField F>
+std::vector<TuneOutcome>
+tuneField(TuningDb &db, const std::vector<unsigned> &log_ns,
+          const TuneRequest &proto, const TuneSpace &space)
+{
+    std::vector<TuneOutcome> out;
+    out.reserve(log_ns.size());
+    for (unsigned logN : log_ns) {
+        TuneRequest req = proto;
+        req.logN = logN;
+        TuneOutcome o = tuneOne<F>(req, space);
+        db.put(o.entry);
+        out.push_back(std::move(o));
+    }
+    return out;
+}
+
+} // namespace unintt
+
+#endif // UNINTT_UNINTT_TUNER_HH

@@ -1,0 +1,428 @@
+/**
+ * @file
+ * The schedule autotuner and its persisted DB: robustness of the
+ * loader (version mismatch, corruption, unknown keys), the resolution
+ * order (pins beat DB beats heuristic), provenance in the schedule
+ * cache, byte-identity of tuned execution, and the determinism
+ * contract (repeat tune runs serialize byte-identically).
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "field/goldilocks.hh"
+#include "unintt/engine.hh"
+#include "unintt/tunedb.hh"
+#include "unintt/tuner.hh"
+#include "util/random.hh"
+
+using namespace unintt;
+
+namespace {
+
+using F = Goldilocks;
+
+/** A DB entry for (logN, sys, "functional") with @p params. */
+TuneEntry
+entryFor(unsigned logN, const MultiGpuSystem &sys,
+         const TunedParams &params)
+{
+    TuneEntry e;
+    e.key.field = F::kName;
+    e.key.logN = logN;
+    e.key.gpus = sys.numGpus;
+    e.key.hw = tuneHwId(sys);
+    e.key.executor = "functional";
+    e.params = params;
+    e.seconds = 1e-3;
+    e.heuristicSeconds = 2e-3;
+    return e;
+}
+
+/** Write @p text to @p path (truncation tests need partial files). */
+void
+writeFile(const std::string &path, const std::string &text)
+{
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fclose(f);
+}
+
+TEST(TuneDb, RoundTripAndUnknownKeyPassthrough)
+{
+    auto sys = makeDgxA100(2);
+    TunedParams p;
+    p.hostTileLog2 = 13;
+    p.overlapComm = false;
+    TuningDb db;
+    db.put(entryFor(12, sys, p));
+
+    // A second entry under a key this process never resolves (another
+    // machine): it must survive a put + save + load cycle verbatim.
+    TuneEntry foreign = entryFor(16, sys, p);
+    foreign.key.hw = "SomeOther-GPU/ring";
+    foreign.params.fusedRadixLog2 = 2;
+    db.put(foreign);
+
+    TuningDb back;
+    auto st = back.loadJson(db.toJson());
+    EXPECT_TRUE(st.ok());
+    ASSERT_EQ(back.size(), 2u);
+    const TuneEntry *f = back.find(foreign.key);
+    ASSERT_NE(f, nullptr);
+    EXPECT_EQ(f->params, foreign.params);
+
+    // Replacing the local entry must not disturb the foreign one.
+    p.hostTileLog2 = 14;
+    back.put(entryFor(12, sys, p));
+    TuningDb again;
+    EXPECT_TRUE(again.loadJson(back.toJson()).ok());
+    EXPECT_EQ(again.size(), 2u);
+    EXPECT_NE(again.find(foreign.key), nullptr);
+}
+
+TEST(TuneDb, UnknownJsonFieldsIgnored)
+{
+    // Forward compatibility: extra per-entry and top-level keys parse
+    // cleanly and are ignored.
+    const std::string text = R"({
+  "version": 1,
+  "comment": "from a future tool",
+  "entries": [
+    {
+      "field": "Goldilocks", "logN": 12, "gpus": 2,
+      "hw": "A100-SXM4-80GB/nvswitch", "executor": "functional",
+      "hostTileLog2": 13, "futureKnob": [1, 2, {"x": true}],
+      "seconds": 0.001, "heuristicSeconds": 0.002
+    }
+  ]
+})";
+    TuningDb db;
+    auto st = db.loadJson(text);
+    EXPECT_TRUE(st.ok()) << st.detail;
+    ASSERT_EQ(db.size(), 1u);
+    EXPECT_EQ(db.entries()[0].params.hostTileLog2, 13u);
+}
+
+TEST(TuneDb, VersionMismatchFallsBackToHeuristic)
+{
+    auto sys = makeDgxA100(2);
+    TuningDb db;
+    TunedParams p;
+    p.hostTileLog2 = 13;
+    db.put(entryFor(12, sys, p));
+    std::string text = db.toJson();
+    const std::string from = "\"version\": 1";
+    text.replace(text.find(from), from.size(), "\"version\": 999");
+
+    TuningDb stale;
+    auto st = stale.loadJson(text);
+    EXPECT_TRUE(st.staleVersion);
+    EXPECT_EQ(stale.size(), 0u);
+
+    const char *path = "test_tuner_stale.json";
+    writeFile(path, text);
+    invalidateTuneDbCache();
+    const auto before = tuneDbCounters();
+
+    UniNttConfig cfg;
+    cfg.tuneDbPath = path;
+    auto tc = resolveTunedConfig(cfg, F::kName, sizeof(F), 12, sys,
+                                 "functional");
+    EXPECT_FALSE(tc.tuned);
+    EXPECT_EQ(tc.cfg.hostTileLog2, 0u); // heuristic untouched
+    const auto after = tuneDbCounters();
+    EXPECT_EQ(after.staleVersion, before.staleVersion + 1);
+    std::remove(path);
+    invalidateTuneDbCache();
+}
+
+TEST(TuneDb, CorruptAndTruncatedFilesFallBack)
+{
+    auto sys = makeDgxA100(2);
+    TuningDb db;
+    TunedParams p;
+    p.hostTileLog2 = 13;
+    db.put(entryFor(12, sys, p));
+    const std::string good = db.toJson();
+
+    // Truncation at every prefix must yield corrupt or an empty DB,
+    // never a crash or a half-parsed entry with a bogus key.
+    for (size_t cut : {size_t{1}, good.size() / 4, good.size() / 2,
+                       good.size() - 2}) {
+        TuningDb t;
+        auto st = t.loadJson(good.substr(0, cut));
+        EXPECT_TRUE(st.corrupt) << "cut at " << cut;
+        EXPECT_EQ(t.size(), 0u);
+    }
+    // Outright garbage and wrong top-level shapes.
+    for (const char *bad :
+         {"", "not json at all", "[1,2,3]", "{\"entries\": []}",
+          "{\"version\": 1, \"entries\": [{\"field\": \"\"}]}",
+          "{\"version\": 1, \"entries\": [42]}"}) {
+        TuningDb t;
+        EXPECT_TRUE(t.loadJson(bad).corrupt) << bad;
+        EXPECT_EQ(t.size(), 0u);
+    }
+
+    const char *path = "test_tuner_corrupt.json";
+    writeFile(path, good.substr(0, good.size() / 2));
+    invalidateTuneDbCache();
+    const auto before = tuneDbCounters();
+    UniNttConfig cfg;
+    cfg.tuneDbPath = path;
+    auto tc = resolveTunedConfig(cfg, F::kName, sizeof(F), 12, sys,
+                                 "functional");
+    EXPECT_FALSE(tc.tuned);
+    const auto after = tuneDbCounters();
+    EXPECT_EQ(after.corruptFiles, before.corruptFiles + 1);
+    std::remove(path);
+    invalidateTuneDbCache();
+}
+
+TEST(TuneDb, ResolutionOrderPinsBeatDb)
+{
+    TunedParams p;
+    p.hostTileLog2 = 13;
+    p.hostThreads = 4;
+    p.isaPath = IsaPath::Scalar;
+    p.fusedRadixLog2 = 1;
+    p.overlapComm = false;
+
+    // Unpinned config: the DB fills every knob.
+    {
+        UniNttConfig cfg;
+        const unsigned clamps = applyTunedParams(cfg, p, sizeof(F));
+        EXPECT_EQ(clamps, 0u);
+        EXPECT_EQ(cfg.hostTileLog2, 13u);
+        EXPECT_EQ(cfg.hostThreads, 4u);
+        EXPECT_EQ(cfg.isaPath, IsaPath::Scalar);
+        EXPECT_EQ(cfg.fusedRadixLog2, 1u);
+        EXPECT_FALSE(cfg.overlapComm);
+    }
+    // Pinned config: tile, threads, and isa stay put; the pure
+    // toggles (fusion, radix, overlap) still belong to the DB entry.
+    {
+        UniNttConfig cfg;
+        cfg.hostTileLog2 = 15;
+        cfg.hostThreads = 2;
+        cfg.isaPath = IsaPath::Avx2;
+        applyTunedParams(cfg, p, sizeof(F));
+        EXPECT_EQ(cfg.hostTileLog2, 15u);
+        EXPECT_EQ(cfg.hostThreads, 2u);
+        EXPECT_EQ(cfg.isaPath, IsaPath::Avx2);
+        EXPECT_EQ(cfg.fusedRadixLog2, 1u);
+        EXPECT_FALSE(cfg.overlapComm);
+    }
+}
+
+TEST(TuneDb, DbTileClampedToLaneFloor)
+{
+    // A DB tile below the lane-aware floor must be raised to it, and
+    // the raise must be counted — silently running a vector kernel on
+    // a sub-span tile would fall back to scalar remainders everywhere.
+    const IsaPath active = resolveIsaPath(IsaPath::Auto);
+    const unsigned lanes = isaLaneWidth(active, sizeof(F));
+    TunedParams p;
+    p.hostTileLog2 = 4; // below any vector floor (log2(lanes)+3)
+
+    UniNttConfig cfg;
+    const auto before = tuneDbCounters();
+    const unsigned clamps = applyTunedParams(cfg, p, sizeof(F));
+    const auto after = tuneDbCounters();
+    if (lanes > 1) {
+        const unsigned floor_t = log2Floor(lanes) + 3;
+        EXPECT_EQ(clamps, 1u);
+        EXPECT_EQ(cfg.hostTileLog2, floor_t);
+        EXPECT_EQ(after.clampWarnings, before.clampWarnings + 1);
+    } else {
+        // Scalar host (or UNINTT_FORCE_ISA=scalar): no floor, the DB
+        // tile applies as-is.
+        EXPECT_EQ(clamps, 0u);
+        EXPECT_EQ(cfg.hostTileLog2, 4u);
+    }
+}
+
+TEST(TuneDb, OffSwitchesResolveToEmptyPath)
+{
+    UniNttConfig cfg;
+    EXPECT_EQ(resolveTuneDbPath(cfg), kDefaultTuneDbPath);
+    cfg.tuneDbPath = "off";
+    EXPECT_EQ(resolveTuneDbPath(cfg), "");
+    cfg.tuneDbPath = "some/db.json";
+    EXPECT_EQ(resolveTuneDbPath(cfg), "some/db.json");
+    cfg.useTuneDb = false;
+    EXPECT_EQ(resolveTuneDbPath(cfg), "");
+}
+
+TEST(ScheduleCacheProvenance, TunedAndHeuristicNeverAlias)
+{
+    // A DB entry whose knobs equal the heuristic outcome: the
+    // schedules are byte-identical, but the cache keys must not be —
+    // otherwise toggling the DB would serve stale provenance.
+    auto sys = makeDgxA100(2);
+    const unsigned logN = 11;
+    TuningDb db;
+    db.put(entryFor(logN, sys, TunedParams{}));
+    const char *path = "test_tuner_alias.json";
+    ASSERT_TRUE(db.saveFile(path));
+    invalidateTuneDbCache();
+
+    UniNttConfig heur_cfg;
+    heur_cfg.useTuneDb = false;
+    UniNttEngine<F> heur(sys, heur_cfg);
+    bool hit = false, tuned = true;
+    heur.schedule(logN, NttDirection::Forward, 1, nullptr, &hit,
+                  &tuned);
+    EXPECT_FALSE(tuned);
+    heur.schedule(logN, NttDirection::Forward, 1, nullptr, &hit,
+                  &tuned);
+    EXPECT_TRUE(hit); // warmed its own key
+
+    UniNttConfig tuned_cfg;
+    tuned_cfg.tuneDbPath = path;
+    UniNttEngine<F> te(sys, tuned_cfg);
+    te.schedule(logN, NttDirection::Forward, 1, nullptr, &hit, &tuned);
+    EXPECT_TRUE(tuned);
+    EXPECT_FALSE(hit) << "tuned compile aliased the heuristic entry";
+    te.schedule(logN, NttDirection::Forward, 1, nullptr, &hit, &tuned);
+    EXPECT_TRUE(hit); // but it caches under its own key
+    std::remove(path);
+    invalidateTuneDbCache();
+}
+
+TEST(TunedExecution, ByteIdenticalToHeuristicAndCounted)
+{
+    // Every knob the tuner may move must leave the transform's bytes
+    // untouched; provenance lands in hostExecStats.
+    auto sys = makeDgxA100(2);
+    const unsigned logN = 12;
+    TunedParams p;
+    p.hostTileLog2 = 13;
+    p.fusedRadixLog2 = 1; // radix-2 only grouping
+    p.overlapComm = false;
+    TuningDb db;
+    db.put(entryFor(logN, sys, p));
+    const char *path = "test_tuner_bytes.json";
+    ASSERT_TRUE(db.saveFile(path));
+    invalidateTuneDbCache();
+
+    Rng rng(77);
+    std::vector<F> input(1ULL << logN);
+    for (auto &v : input)
+        v = F::fromU64(rng.next());
+
+    UniNttConfig heur_cfg;
+    heur_cfg.useTuneDb = false;
+    UniNttEngine<F> heur(sys, heur_cfg);
+    auto dh = DistributedVector<F>::fromGlobal(input, sys.numGpus);
+    SimReport hr = heur.forward(dh);
+    EXPECT_EQ(hr.hostExecStats().tunedSchedules, 0u);
+    EXPECT_EQ(hr.hostExecStats().heuristicSchedules, 1u);
+
+    UniNttConfig tuned_cfg;
+    tuned_cfg.tuneDbPath = path;
+    UniNttEngine<F> te(sys, tuned_cfg);
+    auto dt = DistributedVector<F>::fromGlobal(input, sys.numGpus);
+    SimReport tr = te.forward(dt);
+    EXPECT_EQ(tr.hostExecStats().tunedSchedules, 1u);
+    EXPECT_EQ(tr.hostExecStats().heuristicSchedules, 0u);
+    EXPECT_NE(tr.toString().find("schedule tuned"), std::string::npos);
+
+    EXPECT_EQ(dh.toGlobal(), dt.toGlobal());
+
+    // Inverse round-trip under the tuned radix-2-only grouping.
+    te.inverse(dt);
+    EXPECT_EQ(dt.toGlobal(), input);
+    std::remove(path);
+    invalidateTuneDbCache();
+}
+
+TEST(Tuner, SeededOrderIsDeterministic)
+{
+    const auto a = seededOrder(17, 42);
+    const auto b = seededOrder(17, 42);
+    EXPECT_EQ(a, b);
+    const auto c = seededOrder(17, 43);
+    EXPECT_NE(a, c);
+    std::vector<size_t> sorted = a;
+    std::sort(sorted.begin(), sorted.end());
+    for (size_t i = 0; i < sorted.size(); ++i)
+        EXPECT_EQ(sorted[i], i); // a permutation, nothing dropped
+}
+
+TEST(Tuner, RepeatAnalyticRunsAreByteIdentical)
+{
+    // The determinism contract end to end: two tune passes over the
+    // same space with the analytic executor (no wall clock anywhere)
+    // must serialize byte-identical DB files.
+    TuneRequest proto;
+    proto.sys = makeDgxA100(4);
+    proto.executor = "analytic";
+    proto.seed = 7;
+    proto.base.useTuneDb = false;
+
+    const std::vector<unsigned> log_ns = {10, 12};
+    TuningDb a, b;
+    tuneField<F>(a, log_ns, proto, TuneSpace::small());
+    tuneField<F>(b, log_ns, proto, TuneSpace::small());
+    EXPECT_EQ(a.toJson(), b.toJson());
+    EXPECT_EQ(a.size(), log_ns.size());
+
+    const char *pa = "test_tuner_det_a.json";
+    const char *pb = "test_tuner_det_b.json";
+    ASSERT_TRUE(a.saveFile(pa));
+    ASSERT_TRUE(b.saveFile(pb));
+    TuningDb ra, rb;
+    EXPECT_TRUE(ra.loadFile(pa).ok());
+    EXPECT_TRUE(rb.loadFile(pb).ok());
+    EXPECT_EQ(ra.toJson(), rb.toJson());
+    EXPECT_EQ(ra.toJson(), a.toJson()); // save/load round-trips
+    std::remove(pa);
+    std::remove(pb);
+}
+
+TEST(Tuner, WinnerNeverLosesToHeuristicOnAnalyticPricing)
+{
+    // With the deterministic analytic pricing the winner's cost is
+    // exactly min over candidates, so it can never exceed the
+    // heuristic baseline (candidate 0).
+    TuneRequest req;
+    req.sys = makeDgxA100(4);
+    req.logN = 12;
+    req.executor = "analytic";
+    req.base.useTuneDb = false;
+    const TuneOutcome o = tuneOne<F>(req, TuneSpace::defaults());
+    EXPECT_LE(o.entry.seconds, o.heuristicSeconds);
+    // 4 tiles x 2 radixes x 2 threads x 2 overlaps = 32 grid points;
+    // the heuristic baseline duplicates one of them exactly.
+    EXPECT_EQ(o.measurements.size(), 32u);
+    EXPECT_TRUE(o.measurements[0].heuristic);
+}
+
+TEST(Tuner, PinsCollapseSearchAxes)
+{
+    TuneRequest req;
+    req.sys = makeDgxA100(2);
+    req.logN = 10;
+    req.executor = "analytic";
+    req.base.useTuneDb = false;
+    req.base.hostTileLog2 = 13;
+    req.base.hostThreads = 1;
+    req.base.isaPath = IsaPath::Scalar;
+    const TuneOutcome o = tuneOne<F>(req, TuneSpace::defaults());
+    // tiles, threads, isa collapsed to the pins: radix x overlap
+    // remain (2 x 2), heuristic is one of them (deduped).
+    EXPECT_EQ(o.measurements.size(), 4u);
+    for (const auto &m : o.measurements) {
+        EXPECT_EQ(m.params.hostTileLog2, 13u);
+        EXPECT_EQ(m.params.hostThreads, 1u);
+        EXPECT_EQ(m.params.isaPath, IsaPath::Scalar);
+    }
+}
+
+} // namespace
